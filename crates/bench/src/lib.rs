@@ -1,0 +1,34 @@
+//! Criterion harness support for `specfetch`.
+//!
+//! The benches live under `benches/`: one group per paper table
+//! (`benches/tables.rs`) and figure (`benches/figures.rs`) — each runs a
+//! scaled-down regeneration of that artifact — plus microbenchmarks of
+//! the substrates (`benches/components.rs`). This library only carries
+//! the shared budget constants so the three harnesses stay consistent.
+
+/// Instructions per benchmark for table/figure regeneration benches
+/// (scaled down from the reproduction default so Criterion iterations
+/// stay fast).
+pub const BENCH_INSTRS: u64 = 30_000;
+
+/// Instructions for single-run engine-throughput benches.
+pub const THROUGHPUT_INSTRS: u64 = 200_000;
+
+/// The options experiment benches run with.
+pub fn bench_options() -> specfetch_experiments::RunOptions {
+    specfetch_experiments::RunOptions::new().with_instrs(BENCH_INSTRS)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate config sanity checks
+    fn budgets_are_sane() {
+        assert!(super::BENCH_INSTRS >= 10_000);
+        assert!(super::THROUGHPUT_INSTRS > super::BENCH_INSTRS);
+        assert_eq!(
+            super::bench_options().instrs_per_benchmark,
+            super::BENCH_INSTRS
+        );
+    }
+}

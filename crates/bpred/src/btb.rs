@@ -1,0 +1,221 @@
+//! The branch target buffer.
+
+use specfetch_isa::{Addr, InstrKind};
+
+/// A successful BTB probe: the buffered target and what kind of branch the
+/// entry was trained by.
+///
+/// Knowing the kind at fetch time is what lets the front end redirect
+/// immediately on a hit (a BTB hit tells it "this is a taken-predicted
+/// branch to `target`" before decode).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BtbHit {
+    /// The buffered (most recent) taken target.
+    pub target: Addr,
+    /// The branch kind recorded when the entry was inserted.
+    pub kind: InstrKind,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Entry {
+    tag: u64,
+    target: Addr,
+    kind: InstrKind,
+    /// Lower = more recently used.
+    lru: u32,
+}
+
+/// A set-associative branch target buffer.
+///
+/// The paper's configuration is 64 entries, 4-way associative, holding the
+/// targets of recently *taken* branches, updated speculatively after
+/// decode. Replacement is true LRU within a set.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_bpred::Btb;
+/// use specfetch_isa::{Addr, InstrKind};
+///
+/// let mut btb = Btb::new(64, 4);
+/// let pc = Addr::new(0x40);
+/// let t = Addr::new(0x80);
+/// btb.insert(pc, t, InstrKind::Jump { target: t });
+/// assert_eq!(btb.lookup(pc).map(|h| h.target), Some(t));
+/// assert!(btb.lookup(Addr::new(0x44)).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Btb {
+    sets: Vec<Vec<Entry>>,
+    assoc: usize,
+    set_mask: u64,
+    tick: u32,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by `assoc` or the set count is
+    /// not a power of two (validated earlier by
+    /// [`crate::BpredConfig::validate`]).
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        assert!(assoc > 0 && entries.is_multiple_of(assoc), "entries must divide into ways");
+        let n_sets = entries / assoc;
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        Btb {
+            sets: vec![Vec::with_capacity(assoc); n_sets],
+            assoc,
+            set_mask: n_sets as u64 - 1,
+            tick: 0,
+        }
+    }
+
+    fn index(&self, pc: Addr) -> (usize, u64) {
+        let word = pc.word_index();
+        ((word & self.set_mask) as usize, word >> self.set_mask.count_ones())
+    }
+
+    /// Probes the BTB; a hit refreshes the entry's recency.
+    pub fn lookup(&mut self, pc: Addr) -> Option<BtbHit> {
+        let (set, tag) = self.index(pc);
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.sets[set].iter_mut().find(|e| e.tag == tag)?;
+        e.lru = tick;
+        Some(BtbHit { target: e.target, kind: e.kind })
+    }
+
+    /// Probes without touching recency or statistics (for introspection).
+    pub fn peek(&self, pc: Addr) -> Option<BtbHit> {
+        let (set, tag) = self.index(pc);
+        self.sets[set]
+            .iter()
+            .find(|e| e.tag == tag)
+            .map(|e| BtbHit { target: e.target, kind: e.kind })
+    }
+
+    /// Inserts or refreshes the entry for a taken branch at `pc`, evicting
+    /// the set's LRU entry if full.
+    pub fn insert(&mut self, pc: Addr, target: Addr, kind: InstrKind) {
+        let (set, tag) = self.index(pc);
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = &mut self.sets[set];
+        if let Some(e) = ways.iter_mut().find(|e| e.tag == tag) {
+            e.target = target;
+            e.kind = kind;
+            e.lru = tick;
+            return;
+        }
+        let entry = Entry { tag, target, kind, lru: tick };
+        if ways.len() < self.assoc {
+            ways.push(entry);
+        } else {
+            let victim = ways
+                .iter_mut()
+                .min_by_key(|e| e.lru)
+                .expect("full set is non-empty");
+            *victim = entry;
+        }
+    }
+
+    /// Number of valid entries currently buffered.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jmp(t: u64) -> InstrKind {
+        InstrKind::Jump { target: Addr::new(t) }
+    }
+
+    #[test]
+    fn miss_on_cold_btb() {
+        let mut btb = Btb::new(64, 4);
+        assert!(btb.lookup(Addr::new(0)).is_none());
+        assert_eq!(btb.occupancy(), 0);
+    }
+
+    #[test]
+    fn hit_after_insert_and_update_in_place() {
+        let mut btb = Btb::new(64, 4);
+        let pc = Addr::new(0x10);
+        btb.insert(pc, Addr::new(0x100), jmp(0x100));
+        assert_eq!(btb.lookup(pc).unwrap().target, Addr::new(0x100));
+        btb.insert(pc, Addr::new(0x200), jmp(0x200));
+        assert_eq!(btb.lookup(pc).unwrap().target, Addr::new(0x200));
+        assert_eq!(btb.occupancy(), 1);
+    }
+
+    #[test]
+    fn different_pcs_in_same_set_coexist_up_to_assoc() {
+        let mut btb = Btb::new(8, 4); // 2 sets
+        // PCs with the same set index: word indices 0, 2, 4, 6 (set 0).
+        for i in 0..4u64 {
+            btb.insert(Addr::from_word(i * 2), Addr::new(0x100), jmp(0x100));
+        }
+        for i in 0..4u64 {
+            assert!(btb.peek(Addr::from_word(i * 2)).is_some(), "way {i} evicted too early");
+        }
+        assert_eq!(btb.occupancy(), 4);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut btb = Btb::new(4, 4); // 1 set
+        for i in 0..4u64 {
+            btb.insert(Addr::from_word(i), Addr::new(0x100), jmp(0x100));
+        }
+        // Touch word 0 so word 1 becomes LRU.
+        assert!(btb.lookup(Addr::from_word(0)).is_some());
+        btb.insert(Addr::from_word(9), Addr::new(0x100), jmp(0x100));
+        assert!(btb.peek(Addr::from_word(0)).is_some());
+        assert!(btb.peek(Addr::from_word(1)).is_none(), "LRU entry should be evicted");
+        assert!(btb.peek(Addr::from_word(9)).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_refresh_recency() {
+        let mut btb = Btb::new(2, 2); // 1 set, 2 ways
+        btb.insert(Addr::from_word(0), Addr::new(0), jmp(0));
+        btb.insert(Addr::from_word(1), Addr::new(0), jmp(0));
+        // Peek at word 0 (would refresh if it were lookup)...
+        assert!(btb.peek(Addr::from_word(0)).is_some());
+        // ...so word 0 is still LRU and gets evicted.
+        btb.insert(Addr::from_word(2), Addr::new(0), jmp(0));
+        assert!(btb.peek(Addr::from_word(0)).is_none());
+        assert!(btb.peek(Addr::from_word(1)).is_some());
+    }
+
+    #[test]
+    fn capacity_reports_configuration() {
+        let btb = Btb::new(64, 4);
+        assert_eq!(btb.capacity(), 64);
+    }
+
+    #[test]
+    fn stores_kind() {
+        let mut btb = Btb::new(64, 4);
+        let pc = Addr::new(0x10);
+        let t = Addr::new(0x40);
+        btb.insert(pc, t, InstrKind::CondBranch { target: t });
+        assert_eq!(btb.lookup(pc).unwrap().kind, InstrKind::CondBranch { target: t });
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_indivisible_geometry() {
+        let _ = Btb::new(63, 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! Branch-architecture configuration.
+
+use std::fmt;
+
+/// Which direction predictor backs the PHT.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum DirectionKind {
+    /// McFarling's gshare: PHT indexed by `GHR XOR branch address`
+    /// (the paper's configuration).
+    #[default]
+    Gshare,
+    /// A PC-indexed table of 2-bit counters (no history) — the ablation
+    /// baseline gshare was invented to beat.
+    Bimodal,
+    /// Predict not-taken always (static baseline).
+    StaticNotTaken,
+}
+
+/// Whether direction prediction is available independently of the BTB.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum BtbCoupling {
+    /// PHT consulted for every conditional branch, BTB only supplies
+    /// targets (PowerPC 604 style; the paper's configuration).
+    #[default]
+    Decoupled,
+    /// Prediction state lives with the BTB entry: on a BTB miss the branch
+    /// falls back to static not-taken (Pentium style; ablation).
+    Coupled,
+}
+
+/// When the global history register learns an outcome.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum GhrUpdate {
+    /// At branch resolution — the paper's "simple PHT architecture".
+    /// Predictions made under deep speculation see stale history, which is
+    /// why Table 3's PHT ISPI grows from depth 1 to depth 4.
+    #[default]
+    AtResolve,
+    /// Speculatively at prediction time with the predicted direction, and
+    /// repaired on a mispredict (ablation; modern front ends do this).
+    Speculative,
+}
+
+/// Which GHR value indexes the PHT when a resolved branch trains it.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum PhtTrain {
+    /// Train the entry that was *read* at prediction time (the branch
+    /// carries its index down the pipe — what real front ends do).
+    #[default]
+    PredictIndex,
+    /// Recompute the index from the GHR at resolve time. Under deep
+    /// speculation this trains a different entry than was consulted,
+    /// systematically degrading history-based predictors (kept as an
+    /// ablation of the naive reading of the paper's "simple PHT").
+    ResolveIndex,
+}
+
+/// Full configuration of the branch unit.
+///
+/// [`BpredConfig::paper`] is the architecture of §4.1; [`Default`] is the
+/// same. The remaining knobs exist for the ablation studies in
+/// `specfetch-experiments`.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_bpred::BpredConfig;
+///
+/// let c = BpredConfig::paper();
+/// assert_eq!(c.btb_entries, 64);
+/// assert_eq!(c.btb_assoc, 4);
+/// assert_eq!(c.pht_entries, 512);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BpredConfig {
+    /// Total BTB entries (must be a multiple of `btb_assoc`).
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_assoc: usize,
+    /// PHT entries (power of two).
+    pub pht_entries: usize,
+    /// Global-history length in bits; the paper XORs the full index width,
+    /// i.e. `log2(pht_entries)` bits (9 for 512 entries).
+    pub ghr_bits: u32,
+    /// Direction-predictor flavour.
+    pub direction: DirectionKind,
+    /// Coupled vs decoupled BTB.
+    pub coupling: BtbCoupling,
+    /// History update timing.
+    pub ghr_update: GhrUpdate,
+    /// Training-index selection.
+    pub pht_train: PhtTrain,
+    /// Return-address-stack depth (0 disables the RAS).
+    pub ras_depth: usize,
+}
+
+impl BpredConfig {
+    /// The paper's branch architecture: decoupled 64-entry 4-way BTB,
+    /// 512-entry gshare PHT with resolve-time history update, and a
+    /// 16-deep RAS (the paper does not size the RAS; 16 was typical of the
+    /// era, e.g. the Alpha 21164).
+    pub fn paper() -> Self {
+        BpredConfig {
+            btb_entries: 64,
+            btb_assoc: 4,
+            pht_entries: 512,
+            ghr_bits: 9,
+            direction: DirectionKind::Gshare,
+            coupling: BtbCoupling::Decoupled,
+            ghr_update: GhrUpdate::AtResolve,
+            pht_train: PhtTrain::PredictIndex,
+            ras_depth: 16,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), BpredConfigError> {
+        if self.btb_assoc == 0 || self.btb_entries == 0 {
+            return Err(BpredConfigError::ZeroSize);
+        }
+        if !self.btb_entries.is_multiple_of(self.btb_assoc) {
+            return Err(BpredConfigError::BtbNotDivisible {
+                entries: self.btb_entries,
+                assoc: self.btb_assoc,
+            });
+        }
+        if !(self.btb_entries / self.btb_assoc).is_power_of_two() {
+            return Err(BpredConfigError::BtbSetsNotPowerOfTwo {
+                sets: self.btb_entries / self.btb_assoc,
+            });
+        }
+        if !self.pht_entries.is_power_of_two() {
+            return Err(BpredConfigError::PhtNotPowerOfTwo { entries: self.pht_entries });
+        }
+        if self.ghr_bits > 30 {
+            return Err(BpredConfigError::GhrTooLong { bits: self.ghr_bits });
+        }
+        Ok(())
+    }
+}
+
+impl Default for BpredConfig {
+    fn default() -> Self {
+        BpredConfig::paper()
+    }
+}
+
+/// A constraint violation in a [`BpredConfig`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BpredConfigError {
+    /// BTB entries or associativity is zero.
+    ZeroSize,
+    /// BTB entries not divisible by associativity.
+    BtbNotDivisible {
+        /// Configured entry count.
+        entries: usize,
+        /// Configured associativity.
+        assoc: usize,
+    },
+    /// BTB set count is not a power of two.
+    BtbSetsNotPowerOfTwo {
+        /// The non-power-of-two set count.
+        sets: usize,
+    },
+    /// PHT entry count is not a power of two.
+    PhtNotPowerOfTwo {
+        /// The offending entry count.
+        entries: usize,
+    },
+    /// History register longer than supported.
+    GhrTooLong {
+        /// The configured length.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for BpredConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpredConfigError::ZeroSize => write!(f, "btb entries and associativity must be nonzero"),
+            BpredConfigError::BtbNotDivisible { entries, assoc } => {
+                write!(f, "btb entries {entries} not divisible by associativity {assoc}")
+            }
+            BpredConfigError::BtbSetsNotPowerOfTwo { sets } => {
+                write!(f, "btb set count {sets} is not a power of two")
+            }
+            BpredConfigError::PhtNotPowerOfTwo { entries } => {
+                write!(f, "pht entry count {entries} is not a power of two")
+            }
+            BpredConfigError::GhrTooLong { bits } => {
+                write!(f, "global history of {bits} bits exceeds the supported 30")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BpredConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        assert_eq!(BpredConfig::paper().validate(), Ok(()));
+        assert_eq!(BpredConfig::default(), BpredConfig::paper());
+    }
+
+    #[test]
+    fn rejects_indivisible_btb() {
+        let mut c = BpredConfig::paper();
+        c.btb_entries = 63;
+        assert!(matches!(c.validate(), Err(BpredConfigError::BtbNotDivisible { .. })));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_sets() {
+        let mut c = BpredConfig::paper();
+        c.btb_entries = 24;
+        c.btb_assoc = 4; // 6 sets
+        assert!(matches!(c.validate(), Err(BpredConfigError::BtbSetsNotPowerOfTwo { .. })));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_pht() {
+        let mut c = BpredConfig::paper();
+        c.pht_entries = 500;
+        assert!(matches!(c.validate(), Err(BpredConfigError::PhtNotPowerOfTwo { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_and_long_ghr() {
+        let mut c = BpredConfig::paper();
+        c.btb_assoc = 0;
+        assert_eq!(c.validate(), Err(BpredConfigError::ZeroSize));
+        let mut c = BpredConfig::paper();
+        c.ghr_bits = 31;
+        assert!(matches!(c.validate(), Err(BpredConfigError::GhrTooLong { .. })));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            BpredConfigError::ZeroSize,
+            BpredConfigError::BtbNotDivisible { entries: 63, assoc: 4 },
+            BpredConfigError::BtbSetsNotPowerOfTwo { sets: 6 },
+            BpredConfigError::PhtNotPowerOfTwo { entries: 500 },
+            BpredConfigError::GhrTooLong { bits: 31 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

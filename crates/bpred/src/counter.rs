@@ -1,0 +1,124 @@
+//! Two-bit saturating counters.
+
+use std::fmt;
+
+/// A 2-bit saturating counter, the direction-prediction state element used
+/// throughout the paper (in both the PHT and the Pentium-style coupled
+/// BTB it cites).
+///
+/// States 0–1 predict not-taken, 2–3 predict taken. New counters start at
+/// weakly-not-taken (1), so a never-seen branch predicts not-taken — the
+/// static assumption of the era's front ends.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_bpred::Counter2;
+///
+/// let mut c = Counter2::default();
+/// assert!(!c.predict_taken());
+/// c.update(true);
+/// c.update(true);
+/// assert!(c.predict_taken());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Strongly not-taken.
+    pub const STRONG_NOT_TAKEN: Counter2 = Counter2(0);
+    /// Weakly not-taken (the reset state).
+    pub const WEAK_NOT_TAKEN: Counter2 = Counter2(1);
+    /// Weakly taken.
+    pub const WEAK_TAKEN: Counter2 = Counter2(2);
+    /// Strongly taken.
+    pub const STRONG_TAKEN: Counter2 = Counter2(3);
+
+    /// The predicted direction.
+    pub const fn predict_taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains the counter with an actual outcome (saturating).
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            if self.0 < 3 {
+                self.0 += 1;
+            }
+        } else if self.0 > 0 {
+            self.0 -= 1;
+        }
+    }
+
+    /// The raw state (0..=3), exposed for tests and table dumps.
+    pub const fn state(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for Counter2 {
+    fn default() -> Self {
+        Counter2::WEAK_NOT_TAKEN
+    }
+}
+
+impl fmt::Debug for Counter2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.0 {
+            0 => "strong-NT",
+            1 => "weak-NT",
+            2 => "weak-T",
+            _ => "strong-T",
+        };
+        write!(f, "Counter2({name})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_predicts_not_taken() {
+        assert!(!Counter2::default().predict_taken());
+        assert_eq!(Counter2::default(), Counter2::WEAK_NOT_TAKEN);
+    }
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = Counter2::STRONG_TAKEN;
+        c.update(true);
+        assert_eq!(c, Counter2::STRONG_TAKEN);
+        let mut c = Counter2::STRONG_NOT_TAKEN;
+        c.update(false);
+        assert_eq!(c, Counter2::STRONG_NOT_TAKEN);
+    }
+
+    #[test]
+    fn hysteresis_needs_two_flips() {
+        let mut c = Counter2::STRONG_TAKEN;
+        c.update(false);
+        assert!(c.predict_taken(), "one not-taken should not flip a strong counter");
+        c.update(false);
+        assert!(!c.predict_taken());
+    }
+
+    #[test]
+    fn walks_the_full_lattice() {
+        let mut c = Counter2::STRONG_NOT_TAKEN;
+        let states: Vec<u8> = (0..3)
+            .map(|_| {
+                c.update(true);
+                c.state()
+            })
+            .collect();
+        assert_eq!(states, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        for s in [Counter2(0), Counter2(1), Counter2(2), Counter2(3)] {
+            assert!(!format!("{s:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Direction predictors (the PHT flavours).
+
+use specfetch_isa::Addr;
+
+use crate::Counter2;
+
+/// A conditional-branch direction predictor.
+///
+/// Implementations are pure state machines over `(pc, global history)`;
+/// *when* the history is updated is the [`crate::BranchUnit`]'s concern
+/// (the paper updates at resolve).
+pub trait DirectionPredictor {
+    /// Predicted direction for the branch at `pc` given the current global
+    /// history (low `ghr_bits` significant).
+    fn predict(&self, pc: Addr, ghr: u32) -> bool;
+
+    /// Trains with an actual outcome, using the same `(pc, ghr)` pair the
+    /// update-time policy dictates.
+    fn update(&mut self, pc: Addr, ghr: u32, taken: bool);
+}
+
+/// McFarling's gshare PHT: counters indexed by `GHR XOR branch address`.
+///
+/// The XOR spreads branches with identical histories across the table,
+/// which the paper notes "tries to avoid conflicts in the PHT during
+/// speculative execution".
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_bpred::{DirectionPredictor, Gshare};
+/// use specfetch_isa::Addr;
+///
+/// let mut pht = Gshare::new(512);
+/// let pc = Addr::new(0x40);
+/// assert!(!pht.predict(pc, 0)); // cold: weakly not-taken
+/// pht.update(pc, 0, true);
+/// pht.update(pc, 0, true);
+/// assert!(pht.predict(pc, 0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    table: Vec<Counter2>,
+    mask: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare PHT with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "PHT entries must be a power of two");
+        Gshare { table: vec![Counter2::default(); entries], mask: entries as u32 - 1 }
+    }
+
+    fn index(&self, pc: Addr, ghr: u32) -> usize {
+        ((pc.word_index() as u32 ^ ghr) & self.mask) as usize
+    }
+
+    /// The counter state backing `(pc, ghr)`, for tests and diagnostics.
+    pub fn counter(&self, pc: Addr, ghr: u32) -> Counter2 {
+        self.table[self.index(pc, ghr)]
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&self, pc: Addr, ghr: u32) -> bool {
+        self.table[self.index(pc, ghr)].predict_taken()
+    }
+
+    fn update(&mut self, pc: Addr, ghr: u32, taken: bool) {
+        let i = self.index(pc, ghr);
+        self.table[i].update(taken);
+    }
+}
+
+/// A PC-indexed table of 2-bit counters with no history (ablation
+/// baseline).
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal PHT with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "PHT entries must be a power of two");
+        Bimodal { table: vec![Counter2::default(); entries], mask: entries as u64 - 1 }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        (pc.word_index() & self.mask) as usize
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: Addr, _ghr: u32) -> bool {
+        self.table[self.index(pc)].predict_taken()
+    }
+
+    fn update(&mut self, pc: Addr, _ghr: u32, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].update(taken);
+    }
+}
+
+/// Static not-taken prediction (the fall-through assumption of BTB-less
+/// front ends).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StaticNotTaken;
+
+impl DirectionPredictor for StaticNotTaken {
+    fn predict(&self, _pc: Addr, _ghr: u32) -> bool {
+        false
+    }
+
+    fn update(&mut self, _pc: Addr, _ghr: u32, _taken: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gshare_xor_separates_contexts() {
+        let mut pht = Gshare::new(16);
+        let pc = Addr::new(0x0);
+        // Train (pc, ghr=0) taken; (pc, ghr=1) must be unaffected.
+        pht.update(pc, 0, true);
+        pht.update(pc, 0, true);
+        assert!(pht.predict(pc, 0));
+        assert!(!pht.predict(pc, 1));
+    }
+
+    #[test]
+    fn gshare_aliases_when_xor_collides() {
+        let pht = Gshare::new(16);
+        // word(pc)=2 XOR ghr=3 == 1; word(pc)=0 XOR ghr=1 == 1: same entry.
+        assert_eq!(
+            pht.counter(Addr::from_word(2), 3),
+            pht.counter(Addr::from_word(0), 1),
+        );
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern_with_history() {
+        // A branch alternating T,N,T,N is mispredicted forever by bimodal
+        // hysteresis but perfectly predicted by gshare once each history
+        // context's counter saturates.
+        let mut g = Gshare::new(64);
+        let mut b = Bimodal::new(64);
+        let pc = Addr::new(0x40);
+        let mut ghr: u32 = 0;
+        let mut g_wrong = 0;
+        let mut b_wrong = 0;
+        for i in 0..200 {
+            let actual = i % 2 == 0;
+            if g.predict(pc, ghr) != actual {
+                g_wrong += 1;
+            }
+            if b.predict(pc, 0) != actual {
+                b_wrong += 1;
+            }
+            g.update(pc, ghr, actual);
+            b.update(pc, 0, actual);
+            ghr = (ghr << 1) | actual as u32;
+        }
+        assert!(g_wrong < 10, "gshare should lock onto the pattern, got {g_wrong} wrong");
+        assert!(b_wrong > 90, "bimodal cannot learn alternation, got {b_wrong} wrong");
+    }
+
+    #[test]
+    fn bimodal_ignores_history() {
+        let mut b = Bimodal::new(16);
+        let pc = Addr::new(0x8);
+        b.update(pc, 7, true);
+        b.update(pc, 9, true);
+        assert!(b.predict(pc, 0));
+        assert!(b.predict(pc, 0xffff_ffff));
+    }
+
+    #[test]
+    fn static_not_taken_never_predicts_taken() {
+        let mut s = StaticNotTaken;
+        s.update(Addr::new(0), 0, true);
+        assert!(!s.predict(Addr::new(0), 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gshare_rejects_non_power_of_two() {
+        let _ = Gshare::new(500);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bimodal_rejects_non_power_of_two() {
+        let _ = Bimodal::new(12);
+    }
+}

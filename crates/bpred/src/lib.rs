@@ -1,0 +1,55 @@
+//! Branch-prediction substrate for `specfetch`.
+//!
+//! Models the paper's branch architecture (§4.1): a **decoupled** design
+//! with a 64-entry 4-way-associative branch target buffer ([`Btb`]) that
+//! predicts targets of taken branches, and a 512-entry pattern history
+//! table using McFarling's *gshare* indexing (global history register XORed
+//! with the branch address) over 2-bit saturating counters ([`Gshare`]).
+//! The paper's "simple PHT" updates both the history register and the
+//! counters **at branch resolution**, which is why deeper speculation
+//! degrades PHT accuracy (Table 3) — predictions made while older branches
+//! are unresolved see a stale history. A return-address stack ([`Ras`])
+//! rounds out the unit.
+//!
+//! [`BranchUnit`] composes the pieces behind the query/update API the fetch
+//! engine uses; [`BpredConfig`] selects variants, including the *coupled*
+//! BTB design and a bimodal PHT, kept as ablations (the paper cites
+//! Calder & Grunwald '94 for decoupled-beats-coupled and McFarling '93 for
+//! gshare-beats-bimodal).
+//!
+//! # Examples
+//!
+//! ```
+//! use specfetch_bpred::{BpredConfig, BranchUnit};
+//! use specfetch_isa::{Addr, InstrKind};
+//!
+//! let mut unit = BranchUnit::new(&BpredConfig::paper());
+//! let pc = Addr::new(0x100);
+//! let target = Addr::new(0x200);
+//!
+//! // Cold BTB: no fetch-time target.
+//! assert!(unit.btb_lookup(pc).is_none());
+//!
+//! // After decoding a predicted-taken branch, the BTB learns its target.
+//! unit.btb_insert(pc, target, InstrKind::CondBranch { target });
+//! assert_eq!(unit.btb_lookup(pc).map(|h| h.target), Some(target));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod config;
+mod counter;
+mod direction;
+mod ras;
+mod stats;
+mod unit;
+
+pub use btb::{Btb, BtbHit};
+pub use config::{BpredConfig, BpredConfigError, BtbCoupling, DirectionKind, GhrUpdate, PhtTrain};
+pub use counter::Counter2;
+pub use direction::{Bimodal, DirectionPredictor, Gshare, StaticNotTaken};
+pub use ras::Ras;
+pub use stats::BpredStats;
+pub use unit::BranchUnit;

@@ -1,0 +1,134 @@
+//! The return-address stack.
+
+use specfetch_isa::Addr;
+
+/// A fixed-depth return-address stack.
+///
+/// Calls push their return address; returns pop their prediction. The
+/// stack is updated speculatively along the fetch path and is *not*
+/// repaired after squashes (mid-1990s style), so deep wrong paths can
+/// corrupt it — a real effect the simulator inherits. Overflow wraps,
+/// silently overwriting the oldest entry; underflow predicts nothing.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_bpred::Ras;
+/// use specfetch_isa::Addr;
+///
+/// let mut ras = Ras::new(4);
+/// ras.push(Addr::new(0x104));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x104)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ras {
+    ring: Vec<Option<Addr>>,
+    top: usize,
+    live: usize,
+}
+
+impl Ras {
+    /// Creates a RAS holding up to `depth` return addresses; `depth == 0`
+    /// disables it (every prediction misses).
+    pub fn new(depth: usize) -> Self {
+        Ras { ring: vec![None; depth], top: 0, live: 0 }
+    }
+
+    /// Pushes a return address (a call was fetched).
+    pub fn push(&mut self, ret: Addr) {
+        if self.ring.is_empty() {
+            return;
+        }
+        self.top = (self.top + 1) % self.ring.len();
+        self.ring[self.top] = Some(ret);
+        self.live = (self.live + 1).min(self.ring.len());
+    }
+
+    /// Pops the predicted return address (a return was fetched).
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.ring.is_empty() || self.live == 0 {
+            return None;
+        }
+        let r = self.ring[self.top].take();
+        self.top = (self.top + self.ring.len() - 1) % self.ring.len();
+        self.live -= 1;
+        r
+    }
+
+    /// The address a return would be predicted to, without popping.
+    pub fn peek(&self) -> Option<Addr> {
+        if self.live == 0 {
+            None
+        } else {
+            self.ring[self.top]
+        }
+    }
+
+    /// Current number of live entries.
+    pub fn depth(&self) -> usize {
+        self.live
+    }
+
+    /// Maximum depth.
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = Ras::new(8);
+        ras.push(Addr::new(0x10));
+        ras.push(Addr::new(0x20));
+        ras.push(Addr::new(0x30));
+        assert_eq!(ras.depth(), 3);
+        assert_eq!(ras.pop(), Some(Addr::new(0x30)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x20)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x10)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut ras = Ras::new(4);
+        ras.push(Addr::new(0x10));
+        assert_eq!(ras.peek(), Some(Addr::new(0x10)));
+        assert_eq!(ras.depth(), 1);
+        assert_eq!(ras.pop(), Some(Addr::new(0x10)));
+        assert_eq!(ras.peek(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_keeps_newest() {
+        let mut ras = Ras::new(2);
+        ras.push(Addr::new(0x10));
+        ras.push(Addr::new(0x20));
+        ras.push(Addr::new(0x30)); // overwrites 0x10
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(Addr::new(0x30)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x20)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn zero_depth_is_disabled() {
+        let mut ras = Ras::new(0);
+        ras.push(Addr::new(0x10));
+        assert_eq!(ras.pop(), None);
+        assert_eq!(ras.peek(), None);
+        assert_eq!(ras.capacity(), 0);
+    }
+
+    #[test]
+    fn underflow_then_recovery() {
+        let mut ras = Ras::new(4);
+        assert_eq!(ras.pop(), None);
+        ras.push(Addr::new(0x40));
+        assert_eq!(ras.pop(), Some(Addr::new(0x40)));
+    }
+}

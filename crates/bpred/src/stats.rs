@@ -1,0 +1,116 @@
+//! Branch-prediction accuracy counters.
+
+use std::fmt;
+
+/// Accuracy counters accumulated by a [`crate::BranchUnit`].
+///
+/// These feed the paper's Table 3 (PHT mispredict ISPI, BTB misfetch
+/// ISPI); the translation from counts to issue-slot penalties happens in
+/// the fetch engine, which knows the timing.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct BpredStats {
+    /// Conditional-branch direction predictions resolved (correct path).
+    pub cond_resolved: u64,
+    /// Of those, how many were mispredicted.
+    pub cond_mispredicted: u64,
+    /// BTB probes performed at fetch time.
+    pub btb_lookups: u64,
+    /// BTB probes that hit.
+    pub btb_hits: u64,
+    /// Return predictions resolved against an actual return target.
+    pub returns_resolved: u64,
+    /// Of those, how many the RAS (or BTB fallback) got wrong.
+    pub returns_mispredicted: u64,
+    /// Indirect jumps/calls resolved.
+    pub indirects_resolved: u64,
+    /// Of those, how many had a wrong or unavailable predicted target.
+    pub indirects_mispredicted: u64,
+}
+
+impl BpredStats {
+    /// Conditional direction accuracy in [0, 1]; 1.0 when nothing resolved.
+    pub fn cond_accuracy(&self) -> f64 {
+        if self.cond_resolved == 0 {
+            1.0
+        } else {
+            1.0 - self.cond_mispredicted as f64 / self.cond_resolved as f64
+        }
+    }
+
+    /// BTB hit rate in [0, 1]; 1.0 when no lookups happened.
+    pub fn btb_hit_rate(&self) -> f64 {
+        if self.btb_lookups == 0 {
+            1.0
+        } else {
+            self.btb_hits as f64 / self.btb_lookups as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &BpredStats) {
+        self.cond_resolved += other.cond_resolved;
+        self.cond_mispredicted += other.cond_mispredicted;
+        self.btb_lookups += other.btb_lookups;
+        self.btb_hits += other.btb_hits;
+        self.returns_resolved += other.returns_resolved;
+        self.returns_mispredicted += other.returns_mispredicted;
+        self.indirects_resolved += other.indirects_resolved;
+        self.indirects_mispredicted += other.indirects_mispredicted;
+    }
+}
+
+impl fmt::Display for BpredStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cond {:.2}% ({}/{}), btb hit {:.2}%, ret miss {}/{}, ind miss {}/{}",
+            100.0 * self.cond_accuracy(),
+            self.cond_resolved - self.cond_mispredicted,
+            self.cond_resolved,
+            100.0 * self.btb_hit_rate(),
+            self.returns_mispredicted,
+            self.returns_resolved,
+            self.indirects_mispredicted,
+            self.indirects_resolved,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_perfect_ratios() {
+        let s = BpredStats::default();
+        assert_eq!(s.cond_accuracy(), 1.0);
+        assert_eq!(s.btb_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn ratios_computed() {
+        let s = BpredStats {
+            cond_resolved: 100,
+            cond_mispredicted: 10,
+            btb_lookups: 50,
+            btb_hits: 25,
+            ..Default::default()
+        };
+        assert!((s.cond_accuracy() - 0.9).abs() < 1e-12);
+        assert!((s.btb_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let a = BpredStats { cond_resolved: 1, btb_hits: 2, ..Default::default() };
+        let mut b = BpredStats { cond_resolved: 10, btb_hits: 20, ..Default::default() };
+        b.merge(&a);
+        assert_eq!(b.cond_resolved, 11);
+        assert_eq!(b.btb_hits, 22);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!BpredStats::default().to_string().is_empty());
+    }
+}

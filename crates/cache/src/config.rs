@@ -1,0 +1,202 @@
+//! Cache geometry configuration.
+
+use std::fmt;
+
+/// Geometry of an instruction cache.
+///
+/// The paper simulates direct-mapped 8 KB and 32 KB caches with 32-byte
+/// lines; [`CacheConfig::paper_8k`] and [`CacheConfig::paper_32k`] are
+/// those configurations. Associativity is exposed for the set-associative
+/// ablation.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_cache::CacheConfig;
+///
+/// let c = CacheConfig::paper_8k();
+/// assert_eq!(c.num_lines(), 256);
+/// assert_eq!(c.num_sets(), 256);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (1 = direct mapped, the paper's configuration).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// The paper's small cache: 8 KB direct-mapped, 32-byte lines.
+    pub fn paper_8k() -> Self {
+        CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, assoc: 1 }
+    }
+
+    /// The paper's large cache: 32 KB direct-mapped, 32-byte lines.
+    pub fn paper_32k() -> Self {
+        CacheConfig { size_bytes: 32 * 1024, line_bytes: 32, assoc: 1 }
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> usize {
+        (self.size_bytes / self.line_bytes) as usize
+    }
+
+    /// Number of sets (`lines / assoc`).
+    pub fn num_sets(&self) -> usize {
+        self.num_lines() / self.assoc
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.size_bytes == 0 || self.line_bytes == 0 || self.assoc == 0 {
+            return Err(CacheConfigError::ZeroSize);
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::LineNotPowerOfTwo { line_bytes: self.line_bytes });
+        }
+        if !self.size_bytes.is_multiple_of(self.line_bytes) {
+            return Err(CacheConfigError::SizeNotLineMultiple {
+                size_bytes: self.size_bytes,
+                line_bytes: self.line_bytes,
+            });
+        }
+        if !self.num_lines().is_multiple_of(self.assoc) {
+            return Err(CacheConfigError::LinesNotDivisible {
+                lines: self.num_lines(),
+                assoc: self.assoc,
+            });
+        }
+        if !self.num_sets().is_power_of_two() {
+            return Err(CacheConfigError::SetsNotPowerOfTwo { sets: self.num_sets() });
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::paper_8k()
+    }
+}
+
+/// A constraint violation in a [`CacheConfig`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CacheConfigError {
+    /// A zero size, line size, or associativity.
+    ZeroSize,
+    /// Line size is not a power of two.
+    LineNotPowerOfTwo {
+        /// The offending line size.
+        line_bytes: u64,
+    },
+    /// Capacity is not a multiple of the line size.
+    SizeNotLineMultiple {
+        /// Configured capacity.
+        size_bytes: u64,
+        /// Configured line size.
+        line_bytes: u64,
+    },
+    /// Line count is not divisible by the associativity.
+    LinesNotDivisible {
+        /// Total lines.
+        lines: usize,
+        /// Configured associativity.
+        assoc: usize,
+    },
+    /// Set count is not a power of two.
+    SetsNotPowerOfTwo {
+        /// The offending set count.
+        sets: usize,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::ZeroSize => {
+                write!(f, "cache size, line size, and associativity must be nonzero")
+            }
+            CacheConfigError::LineNotPowerOfTwo { line_bytes } => {
+                write!(f, "line size {line_bytes} is not a power of two")
+            }
+            CacheConfigError::SizeNotLineMultiple { size_bytes, line_bytes } => {
+                write!(f, "cache size {size_bytes} is not a multiple of line size {line_bytes}")
+            }
+            CacheConfigError::LinesNotDivisible { lines, assoc } => {
+                write!(f, "{lines} lines not divisible by associativity {assoc}")
+            }
+            CacheConfigError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "set count {sets} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_valid() {
+        assert_eq!(CacheConfig::paper_8k().validate(), Ok(()));
+        assert_eq!(CacheConfig::paper_32k().validate(), Ok(()));
+        assert_eq!(CacheConfig::default(), CacheConfig::paper_8k());
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let c8 = CacheConfig::paper_8k();
+        assert_eq!(c8.num_lines(), 256);
+        assert_eq!(c8.num_sets(), 256);
+        let c32 = CacheConfig::paper_32k();
+        assert_eq!(c32.num_lines(), 1024);
+    }
+
+    #[test]
+    fn assoc_divides_lines_into_sets() {
+        let c = CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, assoc: 4 };
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.num_sets(), 64);
+    }
+
+    #[test]
+    fn rejects_bad_geometries() {
+        let zero = CacheConfig { size_bytes: 0, line_bytes: 32, assoc: 1 };
+        assert_eq!(zero.validate(), Err(CacheConfigError::ZeroSize));
+
+        let odd_line = CacheConfig { size_bytes: 8192, line_bytes: 48, assoc: 1 };
+        assert!(matches!(odd_line.validate(), Err(CacheConfigError::LineNotPowerOfTwo { .. })));
+
+        let ragged = CacheConfig { size_bytes: 8200, line_bytes: 32, assoc: 1 };
+        assert!(matches!(ragged.validate(), Err(CacheConfigError::SizeNotLineMultiple { .. })));
+
+        let indivisible = CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, assoc: 3 };
+        assert!(matches!(indivisible.validate(), Err(CacheConfigError::LinesNotDivisible { .. })));
+
+        let bad_sets = CacheConfig { size_bytes: 96, line_bytes: 32, assoc: 1 };
+        assert!(matches!(bad_sets.validate(), Err(CacheConfigError::SetsNotPowerOfTwo { .. })));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            CacheConfigError::ZeroSize,
+            CacheConfigError::LineNotPowerOfTwo { line_bytes: 48 },
+            CacheConfigError::SizeNotLineMultiple { size_bytes: 100, line_bytes: 32 },
+            CacheConfigError::LinesNotDivisible { lines: 256, assoc: 3 },
+            CacheConfigError::SetsNotPowerOfTwo { sets: 3 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

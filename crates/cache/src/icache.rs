@@ -1,0 +1,238 @@
+//! The instruction cache proper.
+
+use specfetch_isa::LineAddr;
+
+use crate::{CacheConfig, CacheStats};
+
+#[derive(Copy, Clone, Debug)]
+struct Way {
+    tag: u64,
+    /// The paper's next-line-prefetch state: set when the line is loaded,
+    /// cleared when a prefetch of line+1 is triggered from it.
+    first_ref: bool,
+    lru: u64,
+}
+
+/// A set-associative instruction cache with per-line first-time-referenced
+/// bits.
+///
+/// The paper's caches are direct-mapped ([`CacheConfig::paper_8k`] /
+/// [`CacheConfig::paper_32k`]); associativity > 1 is the set-associative
+/// ablation. Replacement is true LRU within a set.
+///
+/// The cache stores *presence* only — the simulator never needs
+/// instruction bytes, just hit/miss behaviour.
+///
+/// See the crate-level example for basic use.
+#[derive(Clone, Debug)]
+pub struct ICache {
+    sets: Vec<Vec<Way>>,
+    assoc: usize,
+    set_mask: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ICache {
+    /// Builds a cache from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`CacheConfig::validate`]; validate first
+    /// if the configuration comes from user input.
+    pub fn new(config: &CacheConfig) -> Self {
+        config.validate().expect("invalid cache configuration");
+        let n_sets = config.num_sets();
+        ICache {
+            sets: vec![Vec::with_capacity(config.assoc); n_sets],
+            assoc: config.assoc,
+            set_mask: n_sets as u64 - 1,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn index(&self, line: LineAddr) -> (usize, u64) {
+        ((line.index() & self.set_mask) as usize, line.index() >> self.set_mask.count_ones())
+    }
+
+    /// A demand access: returns `true` on a hit (refreshing LRU) and
+    /// counts the access in [`ICache::stats`].
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        self.stats.accesses += 1;
+        let (set, tag) = self.index(line);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
+            w.lru = tick;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Is `line` resident? (No statistics, no LRU update.)
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let (set, tag) = self.index(line);
+        self.sets[set].iter().any(|w| w.tag == tag)
+    }
+
+    /// Installs `line`, evicting the set's LRU victim if needed, and sets
+    /// its first-time-referenced bit (the paper sets the bit whenever a
+    /// line is loaded, by demand or prefetch).
+    pub fn fill(&mut self, line: LineAddr) {
+        self.stats.fills += 1;
+        let (set, tag) = self.index(line);
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = &mut self.sets[set];
+        if let Some(w) = ways.iter_mut().find(|w| w.tag == tag) {
+            // Refill of a resident line (can happen when a stale wrong-path
+            // fill lands after the same line was demand-filled).
+            w.lru = tick;
+            w.first_ref = true;
+            return;
+        }
+        let way = Way { tag, first_ref: true, lru: tick };
+        if ways.len() < self.assoc {
+            ways.push(way);
+        } else {
+            let victim = ways.iter_mut().min_by_key(|w| w.lru).expect("full set is non-empty");
+            *victim = way;
+        }
+    }
+
+    /// Is the first-time-referenced bit of a *resident* `line` set?
+    /// Returns `false` for non-resident lines.
+    pub fn first_ref_set(&self, line: LineAddr) -> bool {
+        let (set, tag) = self.index(line);
+        self.sets[set].iter().any(|w| w.tag == tag && w.first_ref)
+    }
+
+    /// Clears the first-time-referenced bit (done when a next-line
+    /// prefetch is triggered from the line). No-op if not resident.
+    pub fn clear_first_ref(&mut self, line: LineAddr) {
+        let (set, tag) = self.index(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
+            w.first_ref = false;
+        }
+    }
+
+    /// Accumulated access statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_cache() -> ICache {
+        ICache::new(&CacheConfig::paper_8k())
+    }
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = dm_cache();
+        assert!(!c.access(line(5)));
+        c.fill(line(5));
+        assert!(c.access(line(5)));
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().fills, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = dm_cache(); // 256 sets
+        c.fill(line(7));
+        c.fill(line(7 + 256)); // same set, direct-mapped -> evict
+        assert!(!c.contains(line(7)));
+        assert!(c.contains(line(7 + 256)));
+    }
+
+    #[test]
+    fn two_way_avoids_the_conflict() {
+        let cfg = CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, assoc: 2 };
+        let mut c = ICache::new(&cfg); // 128 sets
+        c.fill(line(7));
+        c.fill(line(7 + 128));
+        assert!(c.contains(line(7)));
+        assert!(c.contains(line(7 + 128)));
+        // Third conflicting fill evicts the LRU (line 7, untouched since).
+        c.fill(line(7 + 256));
+        assert!(!c.contains(line(7)));
+        assert!(c.contains(line(7 + 128)));
+    }
+
+    #[test]
+    fn lru_respects_access_recency() {
+        let cfg = CacheConfig { size_bytes: 128, line_bytes: 32, assoc: 4 };
+        let mut c = ICache::new(&cfg); // 1 set, 4 ways
+        for i in 0..4 {
+            c.fill(line(i));
+        }
+        assert!(c.access(line(0))); // refresh 0; 1 becomes LRU
+        c.fill(line(10));
+        assert!(c.contains(line(0)));
+        assert!(!c.contains(line(1)));
+    }
+
+    #[test]
+    fn first_ref_lifecycle() {
+        let mut c = dm_cache();
+        assert!(!c.first_ref_set(line(3)), "non-resident line has no bit");
+        c.fill(line(3));
+        assert!(c.first_ref_set(line(3)), "fill sets the bit");
+        c.clear_first_ref(line(3));
+        assert!(!c.first_ref_set(line(3)));
+        // Refill re-arms the bit.
+        c.fill(line(3));
+        assert!(c.first_ref_set(line(3)));
+    }
+
+    #[test]
+    fn clear_first_ref_on_absent_line_is_noop() {
+        let mut c = dm_cache();
+        c.clear_first_ref(line(42));
+        assert!(!c.contains(line(42)));
+    }
+
+    #[test]
+    fn contains_does_not_count_stats() {
+        let mut c = dm_cache();
+        c.fill(line(1));
+        let _ = c.contains(line(1));
+        let _ = c.contains(line(2));
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn occupancy_grows_to_capacity() {
+        let cfg = CacheConfig { size_bytes: 128, line_bytes: 32, assoc: 1 };
+        let mut c = ICache::new(&cfg); // 4 lines
+        for i in 0..8 {
+            c.fill(line(i));
+        }
+        assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        let cfg = CacheConfig { size_bytes: 0, line_bytes: 32, assoc: 1 };
+        let _ = ICache::new(&cfg);
+    }
+}

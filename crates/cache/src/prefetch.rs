@@ -1,0 +1,265 @@
+//! Next-line prefetching ("maximal fetchahead and first time referenced").
+
+use specfetch_isa::LineAddr;
+
+use crate::{Bus, ICache, Purpose};
+
+/// What a prefetch trigger decided.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PrefetchDecision {
+    /// The accessed line's first-ref bit was clear: nothing to do.
+    NotTriggered,
+    /// The next line is already resident (or buffered or in flight); the
+    /// bit was cleared without a memory request.
+    AlreadyCovered,
+    /// A prefetch of the next line was issued on the bus.
+    Issued,
+    /// The bus was busy; the bit stays set and the trigger will retry on a
+    /// later access.
+    BusBusy,
+}
+
+/// The paper's next-line prefetch variant.
+///
+/// When a line is loaded into the cache its first-time-referenced bit is
+/// set (see [`ICache::fill`]). When the fetch unit reads from a line whose
+/// bit is set, the prefetcher tries to fetch line *i+1*: if it is already
+/// resident the bit is simply cleared; if the bus is free a prefetch is
+/// issued (and the bit cleared); if the bus is busy nothing happens and the
+/// trigger retries on a later access.
+///
+/// A completed prefetch parks in a one-line buffer and is "written before
+/// the next prefetch is issued or at the next I-cache miss, whichever
+/// comes first" (§3) — [`NextLinePrefetcher::drain_into`] implements the
+/// write, and the engine calls it at both of those points.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_cache::{Bus, CacheConfig, ICache, NextLinePrefetcher, PrefetchDecision};
+/// use specfetch_isa::LineAddr;
+///
+/// let mut cache = ICache::new(&CacheConfig::paper_8k());
+/// let mut bus = Bus::new();
+/// let mut pf = NextLinePrefetcher::new();
+///
+/// cache.fill(LineAddr::new(10)); // sets the first-ref bit
+/// let d = pf.trigger(0, LineAddr::new(10), &mut cache, &mut bus, 5);
+/// assert_eq!(d, PrefetchDecision::Issued);
+/// assert!(!cache.first_ref_set(LineAddr::new(10)));
+/// assert_eq!(bus.current().unwrap().line, LineAddr::new(11));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct NextLinePrefetcher {
+    buffered: Option<LineAddr>,
+    triggers: u64,
+    issued: u64,
+    buffer_hits: u64,
+}
+
+impl NextLinePrefetcher {
+    /// A prefetcher with an empty buffer.
+    pub fn new() -> Self {
+        NextLinePrefetcher::default()
+    }
+
+    /// Runs the trigger check for a fetch access to `line` (which hit in
+    /// the cache). `penalty` is the line-fill latency.
+    pub fn trigger(
+        &mut self,
+        now: u64,
+        line: LineAddr,
+        icache: &mut ICache,
+        bus: &mut Bus,
+        penalty: u64,
+    ) -> PrefetchDecision {
+        if !icache.first_ref_set(line) {
+            return PrefetchDecision::NotTriggered;
+        }
+        self.triggers += 1;
+        let next = line.next();
+        let in_flight = bus.in_flight(next);
+        if icache.contains(next) || self.buffered == Some(next) || in_flight {
+            icache.clear_first_ref(line);
+            return PrefetchDecision::AlreadyCovered;
+        }
+        if !bus.is_free() {
+            return PrefetchDecision::BusBusy;
+        }
+        // "The prefetched line is written before the next prefetch is
+        // issued": drain the buffer first.
+        self.drain_into(icache);
+        icache.clear_first_ref(line);
+        bus.start(now, next, penalty, Purpose::Prefetch);
+        self.issued += 1;
+        PrefetchDecision::Issued
+    }
+
+    /// Parks a completed prefetch transaction's line in the buffer.
+    pub fn complete(&mut self, line: LineAddr) {
+        debug_assert!(self.buffered.is_none(), "prefetch buffer overwritten before draining");
+        self.buffered = Some(line);
+    }
+
+    /// Writes the buffered line (if any) into the cache. The engine calls
+    /// this at every I-cache miss and the prefetcher itself calls it before
+    /// issuing the next prefetch.
+    pub fn drain_into(&mut self, icache: &mut ICache) {
+        if let Some(line) = self.buffered.take() {
+            if !icache.contains(line) {
+                icache.fill(line);
+            }
+        }
+    }
+
+    /// Does the buffer currently hold `line`? (A demand miss to a buffered
+    /// line costs nothing — the engine checks this before going to
+    /// memory.) Counts a buffer hit when it matches.
+    pub fn buffer_satisfies(&mut self, line: LineAddr) -> bool {
+        let hit = self.buffered == Some(line);
+        if hit {
+            self.buffer_hits += 1;
+        }
+        hit
+    }
+
+    /// The buffered line, if any.
+    pub fn buffered(&self) -> Option<LineAddr> {
+        self.buffered
+    }
+
+    /// Times the trigger condition fired (first-ref bit seen set).
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// Prefetches actually issued on the bus.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Demand misses satisfied from the prefetch buffer.
+    pub fn buffer_hits(&self) -> u64 {
+        self.buffer_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheConfig;
+
+    fn setup() -> (ICache, Bus, NextLinePrefetcher) {
+        (ICache::new(&CacheConfig::paper_8k()), Bus::new(), NextLinePrefetcher::new())
+    }
+
+    #[test]
+    fn no_trigger_without_first_ref_bit() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        c.clear_first_ref(LineAddr::new(1));
+        let d = pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5);
+        assert_eq!(d, PrefetchDecision::NotTriggered);
+        assert!(b.is_free());
+    }
+
+    #[test]
+    fn issues_and_clears_bit() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        assert_eq!(pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5), PrefetchDecision::Issued);
+        assert!(!c.first_ref_set(LineAddr::new(1)));
+        assert_eq!(b.prefetch_count(), 1);
+        // Second access: bit clear, no re-trigger.
+        assert_eq!(pf.trigger(1, LineAddr::new(1), &mut c, &mut b, 5), PrefetchDecision::NotTriggered);
+    }
+
+    #[test]
+    fn already_resident_clears_bit_without_traffic() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        c.fill(LineAddr::new(2));
+        assert_eq!(
+            pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5),
+            PrefetchDecision::AlreadyCovered
+        );
+        assert!(!c.first_ref_set(LineAddr::new(1)));
+        assert_eq!(b.total_traffic(), 0);
+    }
+
+    #[test]
+    fn busy_bus_leaves_bit_set_for_retry() {
+        let (mut c, mut b, mut pf) = setup();
+        b.start(0, LineAddr::new(99), 20, Purpose::DemandCorrect);
+        c.fill(LineAddr::new(1));
+        assert_eq!(pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5), PrefetchDecision::BusBusy);
+        assert!(c.first_ref_set(LineAddr::new(1)), "bit must stay set for retry");
+        // Bus frees up; retry succeeds.
+        b.take_completed(20);
+        assert_eq!(pf.trigger(21, LineAddr::new(1), &mut c, &mut b, 5), PrefetchDecision::Issued);
+    }
+
+    #[test]
+    fn in_flight_prefetch_counts_as_covered() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5); // line 2 in flight
+        c.fill(LineAddr::new(1 + 256)); // evicts line 1 (direct mapped, 256 sets)
+        c.fill(LineAddr::new(1));
+        // Retrigger for line 2 while its prefetch is still in flight.
+        assert_eq!(
+            pf.trigger(1, LineAddr::new(1), &mut c, &mut b, 5),
+            PrefetchDecision::AlreadyCovered
+        );
+        assert_eq!(b.prefetch_count(), 1);
+    }
+
+    #[test]
+    fn completed_prefetch_parks_then_drains() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5);
+        let tx = b.take_completed(5).unwrap();
+        pf.complete(tx.line);
+        assert_eq!(pf.buffered(), Some(LineAddr::new(2)));
+        assert!(!c.contains(LineAddr::new(2)), "not written until drain");
+        pf.drain_into(&mut c);
+        assert!(c.contains(LineAddr::new(2)));
+        assert!(c.first_ref_set(LineAddr::new(2)), "prefetched lines re-arm the bit");
+        assert_eq!(pf.buffered(), None);
+    }
+
+    #[test]
+    fn next_issue_drains_previous_buffer() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5);
+        pf.complete(b.take_completed(5).unwrap().line); // line 2 buffered
+        c.fill(LineAddr::new(10));
+        assert_eq!(pf.trigger(6, LineAddr::new(10), &mut c, &mut b, 5), PrefetchDecision::Issued);
+        assert!(c.contains(LineAddr::new(2)), "buffer drained before new issue");
+        assert_eq!(pf.buffered(), None);
+    }
+
+    #[test]
+    fn buffer_satisfies_demand_miss() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5);
+        pf.complete(b.take_completed(5).unwrap().line);
+        assert!(pf.buffer_satisfies(LineAddr::new(2)));
+        assert!(!pf.buffer_satisfies(LineAddr::new(3)));
+        assert_eq!(pf.buffer_hits(), 1);
+    }
+
+    #[test]
+    fn stats_track_triggers_and_issues() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        c.fill(LineAddr::new(2));
+        pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5); // covered
+        pf.trigger(1, LineAddr::new(2), &mut c, &mut b, 5); // issued (line 3)
+        assert_eq!(pf.triggers(), 2);
+        assert_eq!(pf.issued(), 1);
+    }
+}

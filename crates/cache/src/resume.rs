@@ -1,0 +1,99 @@
+//! The Resume policy's one-line fill buffer.
+
+use specfetch_isa::LineAddr;
+
+/// The paper's resume buffer: "a buffer that can hold the missing cache
+/// line when it is returned from memory as well as the index where it
+/// needs to be stored in the I-cache".
+///
+/// Under the Resume policy, a wrong-path fill that completes after the
+/// processor has already redirected drains into this buffer instead of
+/// stalling the cache. The buffered line is written into the cache at the
+/// next I-cache miss; if that next miss is *for the buffered line*, it is
+/// satisfied from the buffer without a new memory request.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_cache::ResumeBuffer;
+/// use specfetch_isa::LineAddr;
+///
+/// let mut rb = ResumeBuffer::new();
+/// rb.store(LineAddr::new(9));
+/// assert!(rb.holds(LineAddr::new(9)));
+/// assert_eq!(rb.take(), Some(LineAddr::new(9)));
+/// assert!(rb.take().is_none());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct ResumeBuffer {
+    line: Option<LineAddr>,
+}
+
+impl ResumeBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        ResumeBuffer::default()
+    }
+
+    /// Parks a completed fill in the buffer.
+    ///
+    /// A previous occupant is overwritten; with a single-transaction bus
+    /// the engine always drains the buffer (at the miss that starts the
+    /// next fill) before another fill can complete, so an overwrite
+    /// indicates an engine bug in debug builds.
+    pub fn store(&mut self, line: LineAddr) {
+        debug_assert!(self.line.is_none(), "resume buffer overwritten before being drained");
+        self.line = Some(line);
+    }
+
+    /// Is `line` parked here?
+    pub fn holds(&self, line: LineAddr) -> bool {
+        self.line == Some(line)
+    }
+
+    /// Is anything parked here?
+    pub fn is_occupied(&self) -> bool {
+        self.line.is_some()
+    }
+
+    /// Removes and returns the parked line (to be written into the cache).
+    pub fn take(&mut self) -> Option<LineAddr> {
+        self.line.take()
+    }
+
+    /// The parked line, if any, without draining.
+    pub fn peek(&self) -> Option<LineAddr> {
+        self.line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let rb = ResumeBuffer::new();
+        assert!(!rb.is_occupied());
+        assert!(!rb.holds(LineAddr::new(0)));
+        assert_eq!(rb.peek(), None);
+    }
+
+    #[test]
+    fn store_take_cycle() {
+        let mut rb = ResumeBuffer::new();
+        rb.store(LineAddr::new(4));
+        assert!(rb.is_occupied());
+        assert!(rb.holds(LineAddr::new(4)));
+        assert!(!rb.holds(LineAddr::new(5)));
+        assert_eq!(rb.peek(), Some(LineAddr::new(4)));
+        assert_eq!(rb.take(), Some(LineAddr::new(4)));
+        assert!(!rb.is_occupied());
+    }
+
+    #[test]
+    fn take_when_empty_is_none() {
+        let mut rb = ResumeBuffer::new();
+        assert_eq!(rb.take(), None);
+    }
+}

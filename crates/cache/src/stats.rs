@@ -1,0 +1,77 @@
+//! Cache access statistics.
+
+use std::fmt;
+
+/// Hit/miss counters for an [`crate::ICache`].
+///
+/// `accesses`/`misses` count *demand* line probes (one per distinct line a
+/// fetch group touches); `fills` counts line installs from any source
+/// (demand, resume-buffer drain, prefetch-buffer drain).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Demand line accesses.
+    pub accesses: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Lines installed.
+    pub fills: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in [0, 1]; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.fills += other.fills;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%), {} fills",
+            self.accesses,
+            self.misses,
+            100.0 * self.miss_ratio(),
+            self.fills
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_empty() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_computed() {
+        let s = CacheStats { accesses: 200, misses: 30, fills: 30 };
+        assert!((s.miss_ratio() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = CacheStats { accesses: 10, misses: 2, fills: 2 };
+        a.merge(&CacheStats { accesses: 5, misses: 1, fills: 3 });
+        assert_eq!(a, CacheStats { accesses: 15, misses: 3, fills: 5 });
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!CacheStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! A Jouppi-style FIFO stream buffer (the '90 ISCA design the paper's
+//! §2.2 credits with removing 85% of a 4KB I-cache's misses).
+
+use std::collections::VecDeque;
+
+use specfetch_isa::LineAddr;
+
+/// A single FIFO stream buffer.
+///
+/// On a demand miss the buffer (re)allocates a *stream*: it prefetches the
+/// lines sequentially following the miss, as bus slots allow, into a
+/// small FIFO. A later miss that matches the FIFO **head** is served from
+/// the buffer (the line moves into the cache for free) and the stream
+/// continues; a miss that does not match the head restarts the stream —
+/// Jouppi's buffers only compare the head entry.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_cache::StreamBuffer;
+/// use specfetch_isa::LineAddr;
+///
+/// let mut sb = StreamBuffer::new(4);
+/// sb.restart(LineAddr::new(11)); // a miss on line 10 allocates 11..
+/// assert_eq!(sb.want_fetch(), Some(LineAddr::new(11)));
+/// sb.note_issued(LineAddr::new(11)); // the engine put it on the bus
+/// sb.complete(LineAddr::new(11)); // ...and the fill returned
+/// assert!(sb.take_head(LineAddr::new(11)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamBuffer {
+    depth: usize,
+    /// Prefetched lines waiting to be consumed, oldest first.
+    queue: VecDeque<LineAddr>,
+    /// The next sequential line the stream wants to prefetch.
+    next_fetch: Option<LineAddr>,
+    /// A stream prefetch currently on the bus.
+    in_flight: Option<LineAddr>,
+    restarts: u64,
+    issued: u64,
+    head_hits: u64,
+}
+
+impl StreamBuffer {
+    /// A buffer holding up to `depth` lines (Jouppi evaluated four).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "stream buffer needs at least one entry");
+        StreamBuffer {
+            depth,
+            queue: VecDeque::with_capacity(depth),
+            next_fetch: None,
+            in_flight: None,
+            restarts: 0,
+            issued: 0,
+            head_hits: 0,
+        }
+    }
+
+    /// Reallocates the stream to begin at `first` (called on a demand miss
+    /// the buffer could not serve; `first` is the line after the miss).
+    pub fn restart(&mut self, first: LineAddr) {
+        self.queue.clear();
+        self.in_flight = None;
+        self.next_fetch = Some(first);
+        self.restarts += 1;
+    }
+
+    /// The line the stream wants to prefetch next, if it has capacity.
+    pub fn want_fetch(&self) -> Option<LineAddr> {
+        if self.queue.len() + self.in_flight_slots() >= self.depth {
+            return None;
+        }
+        self.next_fetch
+    }
+
+    /// Marks the stream's next line as issued on the bus.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if called without [`StreamBuffer::want_fetch`]
+    /// being `Some` (an engine sequencing bug).
+    pub fn note_issued(&mut self, line: LineAddr) {
+        debug_assert_eq!(self.next_fetch, Some(line), "stream issued out of order");
+        self.next_fetch = Some(line.next());
+        self.issued += 1;
+        self.in_flight = Some(line);
+    }
+
+    /// Advances the stream past a line that is already cached (no bus
+    /// transaction needed).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `line` is not the stream's next fetch.
+    pub fn skip(&mut self, line: LineAddr) {
+        debug_assert_eq!(self.next_fetch, Some(line), "stream skipped out of order");
+        self.next_fetch = Some(line.next());
+    }
+
+    /// A stream prefetch completed: the line joins the FIFO.
+    pub fn complete(&mut self, line: LineAddr) {
+        if self.in_flight == Some(line) {
+            self.in_flight = None;
+            self.queue.push_back(line);
+        }
+        // A completion for a line from a stale (restarted) stream is
+        // dropped: the queue was cleared and the data is unwanted.
+    }
+
+    /// Does the FIFO head hold `line`? If so, consume it (the engine
+    /// moves it into the cache). A non-head match is *not* served —
+    /// Jouppi's buffers only compare the head.
+    pub fn take_head(&mut self, line: LineAddr) -> bool {
+        if self.queue.front() == Some(&line) {
+            self.queue.pop_front();
+            self.head_hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is a stream prefetch of `line` currently on the bus?
+    pub fn in_flight_is(&self, line: LineAddr) -> bool {
+        self.in_flight == Some(line)
+    }
+
+    /// Lines currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Is the FIFO empty?
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Stream reallocations (one per unserved miss).
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Prefetches issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Misses served from the head.
+    pub fn head_hits(&self) -> u64 {
+        self.head_hits
+    }
+
+    fn in_flight_slots(&self) -> usize {
+        usize::from(self.in_flight.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_and_streams_sequentially() {
+        let mut sb = StreamBuffer::new(4);
+        assert_eq!(sb.want_fetch(), None, "no stream before the first miss");
+        sb.restart(LineAddr::new(100));
+        for i in 100..104 {
+            let want = sb.want_fetch().expect("capacity available");
+            assert_eq!(want, LineAddr::new(i));
+            sb.note_issued(want);
+            sb.complete(want);
+        }
+        assert_eq!(sb.want_fetch(), None, "FIFO full");
+        assert_eq!(sb.len(), 4);
+    }
+
+    #[test]
+    fn head_hit_consumes_and_frees_capacity() {
+        let mut sb = StreamBuffer::new(2);
+        sb.restart(LineAddr::new(10));
+        sb.note_issued(LineAddr::new(10));
+        sb.complete(LineAddr::new(10));
+        sb.note_issued(LineAddr::new(11));
+        sb.complete(LineAddr::new(11));
+        assert_eq!(sb.want_fetch(), None);
+        assert!(sb.take_head(LineAddr::new(10)));
+        assert_eq!(sb.want_fetch(), Some(LineAddr::new(12)));
+        assert_eq!(sb.head_hits(), 1);
+    }
+
+    #[test]
+    fn non_head_match_is_not_served() {
+        let mut sb = StreamBuffer::new(4);
+        sb.restart(LineAddr::new(20));
+        for i in 20..22 {
+            sb.note_issued(LineAddr::new(i));
+            sb.complete(LineAddr::new(i));
+        }
+        assert!(!sb.take_head(LineAddr::new(21)), "only the head is compared");
+        assert!(sb.take_head(LineAddr::new(20)));
+        assert!(sb.take_head(LineAddr::new(21)));
+    }
+
+    #[test]
+    fn restart_discards_stale_stream_and_completions() {
+        let mut sb = StreamBuffer::new(4);
+        sb.restart(LineAddr::new(30));
+        sb.note_issued(LineAddr::new(30));
+        // Stream restarts (a miss elsewhere) while 30 is still in flight.
+        sb.restart(LineAddr::new(90));
+        sb.complete(LineAddr::new(30)); // stale completion dropped
+        assert!(sb.is_empty());
+        assert_eq!(sb.want_fetch(), Some(LineAddr::new(90)));
+        assert_eq!(sb.restarts(), 2);
+    }
+
+    #[test]
+    fn in_flight_tracking() {
+        let mut sb = StreamBuffer::new(4);
+        sb.restart(LineAddr::new(40));
+        sb.note_issued(LineAddr::new(40));
+        assert!(sb.in_flight_is(LineAddr::new(40)));
+        assert!(!sb.in_flight_is(LineAddr::new(41)));
+        sb.complete(LineAddr::new(40));
+        assert!(!sb.in_flight_is(LineAddr::new(40)));
+    }
+
+    #[test]
+    fn skip_advances_without_buffering() {
+        let mut sb = StreamBuffer::new(4);
+        sb.restart(LineAddr::new(50));
+        sb.skip(LineAddr::new(50)); // already cached
+        assert_eq!(sb.want_fetch(), Some(LineAddr::new(51)));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_depth_rejected() {
+        let _ = StreamBuffer::new(0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Branch-target prefetching (the Smith & Hsu '92 extension).
+//!
+//! Where next-line prefetching covers sequential flow, *target*
+//! prefetching covers taken branches: a small direct-mapped table learns,
+//! per cache line, which non-sequential line execution jumped to last
+//! time; when the line is fetched again, the remembered successor is
+//! prefetched. Combining both (with target taking priority, as in Pierce
+//! & Mudge's *wrong-path prefetching*) covers both outcomes of a
+//! conditional branch.
+
+use specfetch_isa::LineAddr;
+
+use crate::{Bus, ICache, PrefetchDecision, Purpose};
+
+/// A direct-mapped table of `line -> last taken-successor line`, with the
+/// same one-line fill buffer and deferred-write rule as the next-line
+/// prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_cache::{Bus, CacheConfig, ICache, PrefetchDecision, TargetPrefetcher};
+/// use specfetch_isa::LineAddr;
+///
+/// let mut cache = ICache::new(&CacheConfig::paper_8k());
+/// let mut bus = Bus::new();
+/// let mut pf = TargetPrefetcher::new(64);
+///
+/// cache.fill(LineAddr::new(3));
+/// pf.train(LineAddr::new(3), LineAddr::new(40)); // a taken branch jumped 3 -> 40
+/// let d = pf.trigger(0, LineAddr::new(3), &mut cache, &mut bus, 5);
+/// assert_eq!(d, PrefetchDecision::Issued);
+/// assert_eq!(bus.current().unwrap().line, LineAddr::new(40));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TargetPrefetcher {
+    /// `table[line % len] = (line, successor)`.
+    table: Vec<Option<(u64, LineAddr)>>,
+    buffered: Option<LineAddr>,
+    trained: u64,
+    issued: u64,
+    buffer_hits: u64,
+}
+
+impl TargetPrefetcher {
+    /// Creates a table with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table entries must be a power of two");
+        TargetPrefetcher {
+            table: vec![None; entries],
+            buffered: None,
+            trained: 0,
+            issued: 0,
+            buffer_hits: 0,
+        }
+    }
+
+    fn slot(&self, line: LineAddr) -> usize {
+        (line.index() % self.table.len() as u64) as usize
+    }
+
+    /// Records that control flow left `from` for the non-sequential line
+    /// `to` (called by the engine for taken branches that cross lines).
+    pub fn train(&mut self, from: LineAddr, to: LineAddr) {
+        if from == to || to == from.next() {
+            return; // sequential flow is next-line prefetching's job
+        }
+        let i = self.slot(from);
+        self.table[i] = Some((from.index(), to));
+        self.trained += 1;
+    }
+
+    /// The remembered successor of `from`, if the table holds one.
+    pub fn predict(&self, from: LineAddr) -> Option<LineAddr> {
+        let (tag, to) = self.table[self.slot(from)]?;
+        (tag == from.index()).then_some(to)
+    }
+
+    /// Runs the trigger for a fetch access to `line`: if a successor is
+    /// remembered and absent, prefetch it (when the bus is free).
+    pub fn trigger(
+        &mut self,
+        now: u64,
+        line: LineAddr,
+        icache: &mut ICache,
+        bus: &mut Bus,
+        penalty: u64,
+    ) -> PrefetchDecision {
+        let Some(to) = self.predict(line) else {
+            return PrefetchDecision::NotTriggered;
+        };
+        if icache.contains(to) || self.buffered == Some(to) || bus.prefetch_in_flight(to) {
+            return PrefetchDecision::AlreadyCovered;
+        }
+        if !bus.is_free() {
+            return PrefetchDecision::BusBusy;
+        }
+        self.drain_into(icache);
+        bus.start(now, to, penalty, Purpose::TargetPrefetch);
+        self.issued += 1;
+        PrefetchDecision::Issued
+    }
+
+    /// Parks a completed target prefetch in the buffer.
+    pub fn complete(&mut self, line: LineAddr) {
+        debug_assert!(self.buffered.is_none(), "target buffer overwritten before draining");
+        self.buffered = Some(line);
+    }
+
+    /// Writes the buffered line into the cache (at a miss, or before the
+    /// next issue).
+    pub fn drain_into(&mut self, icache: &mut ICache) {
+        if let Some(line) = self.buffered.take() {
+            if !icache.contains(line) {
+                icache.fill(line);
+            }
+        }
+    }
+
+    /// Does the buffer hold `line`? Counts a hit when it matches.
+    pub fn buffer_satisfies(&mut self, line: LineAddr) -> bool {
+        let hit = self.buffered == Some(line);
+        if hit {
+            self.buffer_hits += 1;
+        }
+        hit
+    }
+
+    /// The buffered line, if any.
+    pub fn buffered(&self) -> Option<LineAddr> {
+        self.buffered
+    }
+
+    /// Training events observed.
+    pub fn trained(&self) -> u64 {
+        self.trained
+    }
+
+    /// Prefetches issued on the bus.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Demand misses satisfied from the buffer.
+    pub fn buffer_hits(&self) -> u64 {
+        self.buffer_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheConfig;
+
+    fn setup() -> (ICache, Bus, TargetPrefetcher) {
+        (ICache::new(&CacheConfig::paper_8k()), Bus::new(), TargetPrefetcher::new(64))
+    }
+
+    #[test]
+    fn untrained_never_triggers() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        assert_eq!(
+            pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5),
+            PrefetchDecision::NotTriggered
+        );
+    }
+
+    #[test]
+    fn sequential_training_is_ignored() {
+        let (_, _, mut pf) = setup();
+        pf.train(LineAddr::new(5), LineAddr::new(6)); // next line
+        pf.train(LineAddr::new(5), LineAddr::new(5)); // same line
+        assert_eq!(pf.predict(LineAddr::new(5)), None);
+        assert_eq!(pf.trained(), 0);
+    }
+
+    #[test]
+    fn trains_and_issues() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        pf.train(LineAddr::new(1), LineAddr::new(30));
+        assert_eq!(pf.predict(LineAddr::new(1)), Some(LineAddr::new(30)));
+        assert_eq!(pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5), PrefetchDecision::Issued);
+        assert_eq!(b.target_prefetch_count(), 1);
+    }
+
+    #[test]
+    fn retrains_to_latest_successor() {
+        let (_, _, mut pf) = setup();
+        pf.train(LineAddr::new(1), LineAddr::new(30));
+        pf.train(LineAddr::new(1), LineAddr::new(50));
+        assert_eq!(pf.predict(LineAddr::new(1)), Some(LineAddr::new(50)));
+    }
+
+    #[test]
+    fn aliasing_evicts_the_older_entry() {
+        let (_, _, mut pf) = setup(); // 64 slots
+        pf.train(LineAddr::new(1), LineAddr::new(30));
+        pf.train(LineAddr::new(65), LineAddr::new(90)); // same slot as 1
+        assert_eq!(pf.predict(LineAddr::new(1)), None);
+        assert_eq!(pf.predict(LineAddr::new(65)), Some(LineAddr::new(90)));
+    }
+
+    #[test]
+    fn covered_and_busy_cases() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        c.fill(LineAddr::new(30));
+        pf.train(LineAddr::new(1), LineAddr::new(30));
+        assert_eq!(
+            pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5),
+            PrefetchDecision::AlreadyCovered
+        );
+        pf.train(LineAddr::new(1), LineAddr::new(31));
+        b.start(0, LineAddr::new(99), 20, Purpose::DemandCorrect);
+        assert_eq!(pf.trigger(1, LineAddr::new(1), &mut c, &mut b, 5), PrefetchDecision::BusBusy);
+    }
+
+    #[test]
+    fn buffer_lifecycle() {
+        let (mut c, mut b, mut pf) = setup();
+        c.fill(LineAddr::new(1));
+        pf.train(LineAddr::new(1), LineAddr::new(30));
+        pf.trigger(0, LineAddr::new(1), &mut c, &mut b, 5);
+        let tx = b.take_completed(5).unwrap();
+        pf.complete(tx.line);
+        assert!(pf.buffer_satisfies(LineAddr::new(30)));
+        assert!(!pf.buffer_satisfies(LineAddr::new(31)));
+        pf.drain_into(&mut c);
+        assert!(c.contains(LineAddr::new(30)));
+        assert_eq!(pf.buffered(), None);
+        assert_eq!(pf.buffer_hits(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_table_panics() {
+        let _ = TargetPrefetcher::new(63);
+    }
+}

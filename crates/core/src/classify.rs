@@ -1,0 +1,140 @@
+//! The paper's Table 4 miss taxonomy.
+
+use std::fmt;
+
+/// Classification of I-cache misses under an aggressive policy against a
+/// shadow **Oracle cache** that is filled only by correct-path accesses
+/// (the paper's §5.1.1 categories).
+///
+/// All counts are per correct-path instruction access, except
+/// `wrong_path`, which counts wrong-path accesses that missed in the real
+/// cache. The paper's percentages divide by correct-path accesses.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct MissClass {
+    /// Correct-path accesses that miss in both the real and Oracle caches.
+    pub both_miss: u64,
+    /// Correct-path accesses that miss only in the real cache — pollution
+    /// from wrong-path fills displacing useful lines.
+    pub spec_pollute: u64,
+    /// Correct-path accesses that miss only in the Oracle cache — the
+    /// *prefetching* benefit of wrong-path fills.
+    pub spec_prefetch: u64,
+    /// Wrong-path accesses that miss in the real cache; their main cost is
+    /// memory bandwidth.
+    pub wrong_path: u64,
+    /// Correct-path accesses observed (the percentage denominator).
+    pub correct_accesses: u64,
+}
+
+impl MissClass {
+    /// Both-miss as a percentage of correct-path accesses (the paper's
+    /// "BM" column).
+    pub fn both_miss_pct(&self) -> f64 {
+        self.pct(self.both_miss)
+    }
+
+    /// Spec-pollute percentage ("SPo").
+    pub fn spec_pollute_pct(&self) -> f64 {
+        self.pct(self.spec_pollute)
+    }
+
+    /// Spec-prefetch percentage ("SPr").
+    pub fn spec_prefetch_pct(&self) -> f64 {
+        self.pct(self.spec_prefetch)
+    }
+
+    /// Wrong-path percentage ("WP"; same denominator as the others).
+    pub fn wrong_path_pct(&self) -> f64 {
+        self.pct(self.wrong_path)
+    }
+
+    /// The aggressive policy's overall miss ratio: `BM + SPo + WP`.
+    pub fn optimistic_miss_pct(&self) -> f64 {
+        self.pct(self.both_miss + self.spec_pollute + self.wrong_path)
+    }
+
+    /// The Oracle's miss ratio: `BM + SPr`.
+    pub fn oracle_miss_pct(&self) -> f64 {
+        self.pct(self.both_miss + self.spec_prefetch)
+    }
+
+    /// Traffic ratio ("TR"): aggressive fills over Oracle fills. Returns
+    /// 1.0 when the Oracle had no misses.
+    pub fn traffic_ratio(&self) -> f64 {
+        let oracle = self.both_miss + self.spec_prefetch;
+        if oracle == 0 {
+            1.0
+        } else {
+            (self.both_miss + self.spec_pollute + self.wrong_path) as f64 / oracle as f64
+        }
+    }
+
+    fn pct(&self, n: u64) -> f64 {
+        if self.correct_accesses == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / self.correct_accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for MissClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BM {:.2}% SPo {:.2}% SPr {:.2}% WP {:.2}% TR {:.2}",
+            self.both_miss_pct(),
+            self.spec_pollute_pct(),
+            self.spec_prefetch_pct(),
+            self.wrong_path_pct(),
+            self.traffic_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MissClass {
+        MissClass {
+            both_miss: 200,
+            spec_pollute: 40,
+            spec_prefetch: 80,
+            wrong_path: 160,
+            correct_accesses: 10_000,
+        }
+    }
+
+    #[test]
+    fn percentages() {
+        let c = sample();
+        assert!((c.both_miss_pct() - 2.0).abs() < 1e-12);
+        assert!((c.spec_pollute_pct() - 0.4).abs() < 1e-12);
+        assert!((c.spec_prefetch_pct() - 0.8).abs() < 1e-12);
+        assert!((c.wrong_path_pct() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_rates_follow_paper_formulas() {
+        let c = sample();
+        assert!((c.optimistic_miss_pct() - 4.0).abs() < 1e-12);
+        assert!((c.oracle_miss_pct() - 2.8).abs() < 1e-12);
+        assert!((c.traffic_ratio() - 400.0 / 280.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_classification_is_benign() {
+        let c = MissClass::default();
+        assert_eq!(c.both_miss_pct(), 0.0);
+        assert_eq!(c.traffic_ratio(), 1.0);
+    }
+
+    #[test]
+    fn display_has_all_columns() {
+        let s = sample().to_string();
+        for col in ["BM", "SPo", "SPr", "WP", "TR"] {
+            assert!(s.contains(col), "missing {col} in {s}");
+        }
+    }
+}

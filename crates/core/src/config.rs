@@ -1,0 +1,253 @@
+//! Simulator configuration.
+
+use std::fmt;
+
+use specfetch_bpred::BpredConfig;
+use specfetch_cache::CacheConfig;
+
+use crate::FetchPolicy;
+
+/// Full configuration of one simulation run.
+///
+/// [`SimConfig::paper_baseline`] is the paper's §5.1 baseline: four-wide
+/// issue, 2-cycle decode, 4-cycle resolve, up to four unresolved
+/// conditional branches, an 8 KB direct-mapped I-cache with 32-byte lines,
+/// a 5-cycle miss penalty, the Resume policy, and no prefetching. Every
+/// experiment varies one or two of these fields.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_core::{FetchPolicy, SimConfig};
+///
+/// let mut cfg = SimConfig::paper_baseline();
+/// cfg.policy = FetchPolicy::Pessimistic;
+/// cfg.miss_penalty = 20; // the paper's "long latency" point
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SimConfig {
+    /// The fetch policy under test.
+    pub policy: FetchPolicy,
+    /// I-cache geometry.
+    pub icache: CacheConfig,
+    /// Line-fill latency in cycles (the paper uses 5 and 20).
+    pub miss_penalty: u64,
+    /// Maximum unresolved conditional branches in flight (1, 2, or 4 in
+    /// the paper).
+    pub max_unresolved: usize,
+    /// Issue slots per cycle.
+    pub issue_width: u32,
+    /// Cycles from fetch to decode (branch identity/target computation).
+    pub decode_latency: u64,
+    /// Cycles from fetch to conditional-branch resolution.
+    pub resolve_latency: u64,
+    /// Enable next-line prefetching ("maximal fetchahead, first-time
+    /// referenced").
+    pub prefetch: bool,
+    /// Enable branch-target prefetching (Smith & Hsu '92 extension; with
+    /// `prefetch` it approximates Pierce & Mudge's wrong-path
+    /// prefetching — target prefetches take priority, as they prescribe).
+    pub target_prefetch: bool,
+    /// Enable a four-deep Jouppi stream buffer (alternative sequential
+    /// prefetcher; mutually exclusive with `prefetch`).
+    pub stream_buffer: bool,
+    /// Bus transaction slots. 1 = the paper's blocking single-transaction
+    /// channel; >1 models its §6 future work ("pipelining miss
+    /// requests"): prefetches no longer monopolise the channel.
+    pub bus_slots: usize,
+    /// Branch architecture.
+    pub bpred: BpredConfig,
+    /// Maintain the shadow Oracle cache and classify every correct-path
+    /// access (the paper's Table 4). Slightly slows the run.
+    pub classify: bool,
+}
+
+impl SimConfig {
+    /// The paper's baseline architecture (§4.1/§5.1).
+    pub fn paper_baseline() -> Self {
+        SimConfig {
+            policy: FetchPolicy::Resume,
+            icache: CacheConfig::paper_8k(),
+            miss_penalty: 5,
+            max_unresolved: 4,
+            issue_width: 4,
+            decode_latency: 2,
+            resolve_latency: 4,
+            prefetch: false,
+            target_prefetch: false,
+            stream_buffer: false,
+            bus_slots: 1,
+            bpred: BpredConfig::paper(),
+            classify: false,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint, including those of the
+    /// nested cache and branch-prediction configurations.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.issue_width == 0 {
+            return Err(SimConfigError::ZeroWidth);
+        }
+        if self.max_unresolved == 0 {
+            return Err(SimConfigError::ZeroDepth);
+        }
+        if self.miss_penalty == 0 {
+            return Err(SimConfigError::ZeroPenalty);
+        }
+        if self.decode_latency == 0 || self.decode_latency > self.resolve_latency {
+            return Err(SimConfigError::BadLatencies {
+                decode: self.decode_latency,
+                resolve: self.resolve_latency,
+            });
+        }
+        if self.prefetch && self.stream_buffer {
+            return Err(SimConfigError::ConflictingPrefetchers);
+        }
+        if self.bus_slots == 0 {
+            return Err(SimConfigError::ZeroBusSlots);
+        }
+        self.icache.validate().map_err(SimConfigError::Cache)?;
+        self.bpred.validate().map_err(SimConfigError::Bpred)?;
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_baseline()
+    }
+}
+
+/// A constraint violation in a [`SimConfig`].
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum SimConfigError {
+    /// Issue width of zero.
+    ZeroWidth,
+    /// Speculation depth of zero.
+    ZeroDepth,
+    /// Miss penalty of zero.
+    ZeroPenalty,
+    /// Decode latency zero or exceeding resolve latency.
+    BadLatencies {
+        /// Configured decode latency.
+        decode: u64,
+        /// Configured resolve latency.
+        resolve: u64,
+    },
+    /// Next-line prefetching and the stream buffer are both enabled; they
+    /// are alternative sequential prefetchers.
+    ConflictingPrefetchers,
+    /// Zero bus transaction slots.
+    ZeroBusSlots,
+    /// Invalid cache geometry.
+    Cache(specfetch_cache::CacheConfigError),
+    /// Invalid branch-prediction configuration.
+    Bpred(specfetch_bpred::BpredConfigError),
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimConfigError::ZeroWidth => write!(f, "issue width must be nonzero"),
+            SimConfigError::ZeroDepth => write!(f, "speculation depth must be nonzero"),
+            SimConfigError::ZeroPenalty => write!(f, "miss penalty must be nonzero"),
+            SimConfigError::BadLatencies { decode, resolve } => {
+                write!(f, "decode latency {decode} must be in 1..=resolve latency {resolve}")
+            }
+            SimConfigError::ConflictingPrefetchers => {
+                write!(f, "enable either next-line prefetching or the stream buffer, not both")
+            }
+            SimConfigError::ZeroBusSlots => write!(f, "the bus needs at least one slot"),
+            SimConfigError::Cache(e) => write!(f, "cache config: {e}"),
+            SimConfigError::Bpred(e) => write!(f, "branch-prediction config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimConfigError::Cache(e) => Some(e),
+            SimConfigError::Bpred(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_valid_and_matches_paper() {
+        let c = SimConfig::paper_baseline();
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.decode_latency, 2);
+        assert_eq!(c.resolve_latency, 4);
+        assert_eq!(c.max_unresolved, 4);
+        assert_eq!(c.miss_penalty, 5);
+        assert_eq!(c.icache.size_bytes, 8 * 1024);
+        assert!(!c.prefetch);
+        assert_eq!(SimConfig::default(), c);
+    }
+
+    #[test]
+    fn rejects_degenerate_values() {
+        let mut c = SimConfig::paper_baseline();
+        c.issue_width = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroWidth));
+
+        let mut c = SimConfig::paper_baseline();
+        c.max_unresolved = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroDepth));
+
+        let mut c = SimConfig::paper_baseline();
+        c.miss_penalty = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroPenalty));
+
+        let mut c = SimConfig::paper_baseline();
+        c.decode_latency = 6;
+        assert!(matches!(c.validate(), Err(SimConfigError::BadLatencies { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_bus_slots() {
+        let mut c = SimConfig::paper_baseline();
+        c.bus_slots = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroBusSlots));
+    }
+
+    #[test]
+    fn rejects_conflicting_prefetchers() {
+        let mut c = SimConfig::paper_baseline();
+        c.prefetch = true;
+        c.stream_buffer = true;
+        assert_eq!(c.validate(), Err(SimConfigError::ConflictingPrefetchers));
+        c.prefetch = false;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn nested_errors_propagate() {
+        let mut c = SimConfig::paper_baseline();
+        c.icache.size_bytes = 0;
+        assert!(matches!(c.validate(), Err(SimConfigError::Cache(_))));
+
+        let mut c = SimConfig::paper_baseline();
+        c.bpred.pht_entries = 500;
+        assert!(matches!(c.validate(), Err(SimConfigError::Bpred(_))));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let mut c = SimConfig::paper_baseline();
+        c.issue_width = 0;
+        assert!(!c.validate().unwrap_err().to_string().is_empty());
+    }
+}

@@ -1,0 +1,1023 @@
+//! The cycle-granular fetch engine.
+//!
+//! One [`Engine`] simulates the paper's four-wide speculative front end
+//! over a single correct execution path. Each cycle it:
+//!
+//! 1. collects a completed bus transaction (demand fill or prefetch);
+//! 2. fires due decode/resolve events of in-flight branches, applying
+//!    redirects, squashes, speculative BTB updates, and PHT training;
+//! 3. fetches up to `issue_width` instructions along the *believed* path —
+//!    the correct-path stream while no divergence is pending, the static
+//!    image (a "wrong-path walk") after one — attributing every lost slot
+//!    to one of the six ISPI components.
+//!
+//! The believed path diverges at a branch whose fetch-time guess or
+//! decode-time prediction differs from the ground truth; the engine then
+//! schedules the *recovery* event (the decode redirect for a pure
+//! misfetch, the resolve redirect for a mispredict) and walks the wrong
+//! path exactly as the hardware would — predicting wrong-path branches
+//! with live predictor state, taking wrong-path misses per the configured
+//! [`FetchPolicy`].
+
+use std::collections::VecDeque;
+
+use specfetch_bpred::{BranchUnit, GhrUpdate};
+use specfetch_cache::{Bus, ICache, NextLinePrefetcher, Purpose, ResumeBuffer, StreamBuffer, TargetPrefetcher};
+use specfetch_isa::{Addr, DynInstr, InstrKind, LineAddr, Program};
+use specfetch_trace::PathSource;
+
+use crate::{FetchPolicy, IspiBreakdown, MissClass, SimConfig, SimResult};
+
+/// Entries in the target-prefetch table (Smith & Hsu used small
+/// direct-mapped tables; 64 matches the BTB's capacity class).
+const TARGET_PREFETCH_ENTRIES: usize = 64;
+
+/// Stream-buffer depth (Jouppi evaluated four-entry buffers).
+const STREAM_BUFFER_DEPTH: usize = 4;
+
+/// What triggered the current wrong-path episode (Table 3 attribution).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Trigger {
+    /// BTB misfetch: the branch's target was not available at fetch but
+    /// decode computes it (and the direction prediction was right).
+    Misfetch,
+    /// PHT direction mispredict.
+    PhtMispredict,
+    /// Wrong (or unavailable) predicted target for a return/indirect.
+    BtbMispredict,
+}
+
+#[derive(Copy, Clone, Debug)]
+enum Mode {
+    /// Fetching the correct path (consuming the source).
+    Correct,
+    /// Fetching a wrong path. `walk` is the believed PC (`None` = the walk
+    /// halted: unknown target, off-image, or an unserviced Oracle miss).
+    Wrong { walk: Option<Addr>, trigger: Trigger },
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Inflight {
+    pc: Addr,
+    kind: InstrKind,
+    decode_at: u64,
+    resolve_at: u64,
+    decode_done: bool,
+    resolved: bool,
+    is_cond: bool,
+    on_correct: bool,
+    pred_taken: bool,
+    /// Speculative BTB insert performed at decode.
+    insert_target: Option<Addr>,
+    /// Believed-path change at decode (`decode_pred != fetch_guess`).
+    decode_redirect: Option<Addr>,
+    /// The decode redirect returns fetch to the correct path.
+    decode_recovers: bool,
+    /// No target computable at decode: the walk halts there.
+    halt_at_decode: bool,
+    /// Correct-path recovery at resolve (ground-truth successor).
+    resolve_redirect: Option<Addr>,
+    /// BTB learns the actual target at resolve (returns/indirects).
+    resolve_insert_target: Option<Addr>,
+    /// Ground-truth direction (correct-path conditionals).
+    actual_taken: bool,
+    /// GHR snapshot before this branch's speculative shift (speculative
+    /// GHR ablation only).
+    ghr_snapshot: u32,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum MissState {
+    /// Pessimistic/Decode gate: may not issue before `until`.
+    ForceWait { until: u64 },
+    /// Ready to issue, bus busy.
+    BusWait,
+    /// Demand fill on the bus. `wrong_issue` records the fetch mode at
+    /// issue time (for ISPI attribution after a recovery).
+    InFlight { wrong_issue: bool },
+    /// The missing line is the prefetch currently on the bus.
+    PrefetchWait,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct PendingMiss {
+    line: LineAddr,
+    state: MissState,
+}
+
+/// What a stalled slot is charged to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Cause {
+    BranchFull,
+    Branch(Trigger),
+    ForceResolve,
+    RtICache,
+    WrongICache,
+    Bus,
+}
+
+pub(crate) struct Engine<'s, S: PathSource> {
+    cfg: SimConfig,
+    source: &'s mut S,
+    program: Program,
+    unit: BranchUnit,
+    icache: ICache,
+    shadow: Option<ICache>,
+    bus: Bus,
+    resume_buf: ResumeBuffer,
+    prefetcher: NextLinePrefetcher,
+    target_pf: TargetPrefetcher,
+    stream: StreamBuffer,
+
+    cycle: u64,
+    mode: Mode,
+    next_correct: Option<DynInstr>,
+    inflight: VecDeque<Inflight>,
+    cond_in_flight: usize,
+    pending: Option<PendingMiss>,
+    /// Lines whose in-flight demand fill was squashed from under the
+    /// fetch engine (Resume policy, after a redirect): their completions
+    /// drain into the resume buffer instead of stalling fetch. A set,
+    /// because a pipelined bus (`bus_slots > 1`) can carry several.
+    orphan_fills: std::collections::HashSet<LineAddr>,
+    /// The `(pc, on-correct-path)` of the access that last blocked fetch:
+    /// its retry after the fill must not double-count access statistics.
+    last_blocked: Option<(Addr, bool)>,
+    /// Cycle of the most recent issued fetch slot. The Decode/Pessimistic
+    /// gates must wait for *every* previously fetched instruction to
+    /// decode — until then the machine cannot know none of them was a
+    /// misfetched branch — so the gate floor is this cycle plus the
+    /// decode latency.
+    last_fetch_cycle: Option<u64>,
+
+    // Results.
+    correct_instrs: u64,
+    lost: IspiBreakdown,
+    pht_mispredict_slots: u64,
+    btb_misfetch_slots: u64,
+    btb_mispredict_slots: u64,
+    misfetches: u64,
+    mispredicts: u64,
+    target_mispredicts: u64,
+    cache_correct: specfetch_cache::CacheStats,
+    cache_wrong: specfetch_cache::CacheStats,
+    classification: MissClass,
+    unused_end_slots: u64,
+}
+
+impl<'s, S: PathSource> Engine<'s, S> {
+    pub(crate) fn new(cfg: SimConfig, source: &'s mut S) -> Self {
+        cfg.validate().expect("invalid simulator configuration");
+        let program = source.program().clone();
+        let next_correct = source.next_instr();
+        Engine {
+            unit: BranchUnit::new(&cfg.bpred),
+            icache: ICache::new(&cfg.icache),
+            shadow: cfg.classify.then(|| ICache::new(&cfg.icache)),
+            bus: Bus::with_slots(cfg.bus_slots),
+            resume_buf: ResumeBuffer::new(),
+            prefetcher: NextLinePrefetcher::new(),
+            target_pf: TargetPrefetcher::new(TARGET_PREFETCH_ENTRIES),
+            stream: StreamBuffer::new(STREAM_BUFFER_DEPTH),
+            cycle: 0,
+            mode: Mode::Correct,
+            next_correct,
+            inflight: VecDeque::with_capacity(16),
+            cond_in_flight: 0,
+            pending: None,
+            orphan_fills: std::collections::HashSet::new(),
+            last_blocked: None,
+            last_fetch_cycle: None,
+            correct_instrs: 0,
+            lost: IspiBreakdown::default(),
+            pht_mispredict_slots: 0,
+            btb_misfetch_slots: 0,
+            btb_mispredict_slots: 0,
+            misfetches: 0,
+            mispredicts: 0,
+            target_mispredicts: 0,
+            cache_correct: specfetch_cache::CacheStats::default(),
+            cache_wrong: specfetch_cache::CacheStats::default(),
+            classification: MissClass::default(),
+            unused_end_slots: 0,
+            cfg,
+            source,
+            program,
+        }
+    }
+
+    pub(crate) fn run(mut self) -> SimResult {
+        // Safety valve: a deadlocked engine is a bug, not a long run.
+        let mut last_progress = (0u64, 0u64);
+        while self.next_correct.is_some() {
+            self.process_bus();
+            self.stream_tick();
+            self.process_events();
+            self.fetch_phase();
+            self.cycle += 1;
+            if self.correct_instrs != last_progress.0 {
+                last_progress = (self.correct_instrs, self.cycle);
+            } else {
+                assert!(
+                    self.cycle - last_progress.1 < 1_000_000,
+                    "engine stalled: cycle {}, {} instrs, mode {:?}, pending {:?}",
+                    self.cycle,
+                    self.correct_instrs,
+                    self.mode,
+                    self.pending
+                );
+            }
+        }
+        debug_assert_eq!(
+            self.cycle * self.cfg.issue_width as u64,
+            self.correct_instrs + self.lost.total() + self.unused_end_slots,
+            "slot accounting identity violated"
+        );
+        SimResult {
+            policy: self.cfg.policy,
+            correct_instrs: self.correct_instrs,
+            cycles: self.cycle,
+            issue_width: self.cfg.issue_width,
+            lost: self.lost,
+            pht_mispredict_slots: self.pht_mispredict_slots,
+            btb_misfetch_slots: self.btb_misfetch_slots,
+            btb_mispredict_slots: self.btb_mispredict_slots,
+            misfetches: self.misfetches,
+            mispredicts: self.mispredicts,
+            target_mispredicts: self.target_mispredicts,
+            cache_correct: self.cache_correct,
+            cache_wrong: self.cache_wrong,
+            bpred: *self.unit.stats(),
+            traffic_demand_correct: self.bus.demand_correct_count(),
+            traffic_demand_wrong: self.bus.demand_wrong_count(),
+            traffic_prefetch: self.bus.prefetch_count(),
+            traffic_target_prefetch: self.bus.target_prefetch_count(),
+            classification: self.cfg.classify.then_some(self.classification),
+            prefetches_issued: self.prefetcher.issued()
+                + self.target_pf.issued()
+                + self.stream.issued(),
+            prefetch_hits: self.prefetcher.buffer_hits()
+                + self.target_pf.buffer_hits()
+                + self.stream.head_hits(),
+        }
+    }
+
+    // ---- per-cycle phases -------------------------------------------------
+
+    /// Keeps the stream buffer's pipeline of sequential prefetches fed
+    /// (one per free bus slot, up to the FIFO depth).
+    fn stream_tick(&mut self) {
+        if !self.cfg.stream_buffer {
+            return;
+        }
+        // Skip over lines that are already resident; stop at the first
+        // line that needs (or is awaiting) a bus transaction.
+        while let Some(line) = self.stream.want_fetch() {
+            if self.icache.contains(line) {
+                self.stream.skip(line);
+                continue;
+            }
+            if self.bus.is_free() {
+                self.bus.start(self.cycle, line, self.cfg.miss_penalty, Purpose::Prefetch);
+                self.stream.note_issued(line);
+            }
+            break;
+        }
+    }
+
+    fn process_bus(&mut self) {
+        // A pipelined bus can deliver several fills in one cycle.
+        while let Some(tx) = self.bus.take_completed(self.cycle) {
+            self.deliver(tx);
+        }
+    }
+
+    fn deliver(&mut self, tx: specfetch_cache::Transaction) {
+        match tx.purpose {
+            Purpose::Prefetch if self.cfg.stream_buffer => {
+                self.stream.complete(tx.line);
+                if let Some(p) = self.pending {
+                    if p.state == MissState::PrefetchWait
+                        && p.line == tx.line
+                        && self.stream.take_head(tx.line)
+                    {
+                        self.icache.fill(tx.line);
+                        self.pending = None;
+                    }
+                    // A stale (restarted-over) completion leaves the
+                    // pending miss to re-issue as a demand fill.
+                }
+            }
+            Purpose::Prefetch => {
+                // On a pipelined bus a second prefetch can land before the
+                // first drained; make room (the one-line buffer writes
+                // through to the cache).
+                self.prefetcher.drain_into(&mut self.icache);
+                self.prefetcher.complete(tx.line);
+                if let Some(p) = self.pending {
+                    if p.state == MissState::PrefetchWait && p.line == tx.line {
+                        self.prefetcher.buffer_satisfies(tx.line);
+                        self.prefetcher.drain_into(&mut self.icache);
+                        self.pending = None;
+                    }
+                }
+            }
+            Purpose::TargetPrefetch => {
+                self.target_pf.drain_into(&mut self.icache);
+                self.target_pf.complete(tx.line);
+                if let Some(p) = self.pending {
+                    if p.state == MissState::PrefetchWait && p.line == tx.line {
+                        self.target_pf.buffer_satisfies(tx.line);
+                        self.target_pf.drain_into(&mut self.icache);
+                        self.pending = None;
+                    }
+                }
+            }
+            Purpose::DemandCorrect | Purpose::DemandWrong => {
+                if self.orphan_fills.remove(&tx.line) {
+                    // A squashed wrong-path fill. If the correct path is
+                    // already waiting for this very line, deliver it
+                    // straight to the cache; otherwise park it in the
+                    // resume buffer (or the cache when the single-line
+                    // buffer is occupied — pipelined-bus case).
+                    let waiting = self.pending.is_some_and(|p| {
+                        p.line == tx.line && p.state == MissState::PrefetchWait
+                    });
+                    if waiting {
+                        self.icache.fill(tx.line);
+                        self.pending = None;
+                    } else if self.resume_buf.is_occupied() {
+                        self.icache.fill(tx.line);
+                    } else {
+                        self.resume_buf.store(tx.line);
+                    }
+                } else {
+                    self.icache.fill(tx.line);
+                    if let Some(p) = self.pending {
+                        if matches!(p.state, MissState::InFlight { .. }) {
+                            debug_assert_eq!(p.line, tx.line, "fill/pending line mismatch");
+                            self.pending = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_events(&mut self) {
+        // Events fire oldest-first; a redirect squashes everything younger,
+        // so restart the scan after each one.
+        'outer: loop {
+            for i in 0..self.inflight.len() {
+                let f = self.inflight[i];
+                if !f.decode_done && self.cycle >= f.decode_at {
+                    self.inflight[i].decode_done = true;
+                    if let Some(t) = f.insert_target {
+                        self.unit.btb_insert(f.pc, t, f.kind);
+                    }
+                    if f.halt_at_decode {
+                        self.squash_younger(i);
+                        if let Mode::Wrong { walk, .. } = &mut self.mode {
+                            *walk = None;
+                        }
+                        self.discard_path_pending();
+                        continue 'outer;
+                    }
+                    if let Some(target) = f.decode_redirect {
+                        self.squash_younger(i);
+                        if f.decode_recovers {
+                            self.recover(target);
+                        } else {
+                            // A believed-path correction within the wrong
+                            // path (or onto it). The machine sees a
+                            // redirect either way, so Resume re-arms the
+                            // fill orphaning here too.
+                            self.redirect_wrong(target);
+                        }
+                        continue 'outer;
+                    }
+                }
+                let f = self.inflight[i];
+                if !f.resolved && self.needs_resolution(f.kind) && self.cycle >= f.resolve_at {
+                    self.inflight[i].resolved = true;
+                    if f.is_cond {
+                        self.cond_in_flight -= 1;
+                    }
+                    if f.on_correct {
+                        if f.is_cond {
+                            self.unit.resolve_cond(f.pc, f.ghr_snapshot, f.actual_taken, f.pred_taken);
+                            if self.cfg.bpred.ghr_update == GhrUpdate::Speculative
+                                && f.pred_taken != f.actual_taken
+                            {
+                                self.unit
+                                    .repair_ghr((f.ghr_snapshot << 1) | f.actual_taken as u32);
+                            }
+                        } else if f.kind.is_return() {
+                            self.unit.note_return_resolved(f.resolve_redirect.is_none());
+                        } else if matches!(
+                            f.kind,
+                            InstrKind::IndirectJump | InstrKind::IndirectCall
+                        ) {
+                            self.unit.note_indirect_resolved(f.resolve_redirect.is_none());
+                        }
+                        if let Some(t) = f.resolve_insert_target {
+                            self.unit.btb_insert(f.pc, t, f.kind);
+                        }
+                        if let Some(target) = f.resolve_redirect {
+                            self.squash_younger(i);
+                            self.recover(target);
+                            continue 'outer;
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        // Drop fully-processed leading records to keep the queue short.
+        while let Some(f) = self.inflight.front() {
+            let done = f.decode_done && (f.resolved || !self.needs_resolution(f.kind));
+            if done {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn needs_resolution(&self, kind: InstrKind) -> bool {
+        matches!(
+            kind,
+            InstrKind::CondBranch { .. }
+                | InstrKind::Return
+                | InstrKind::IndirectJump
+                | InstrKind::IndirectCall
+        )
+    }
+
+    fn squash_younger(&mut self, idx: usize) {
+        while self.inflight.len() > idx + 1 {
+            let f = self.inflight.pop_back().expect("len checked");
+            if f.is_cond && !f.resolved {
+                self.cond_in_flight -= 1;
+            }
+        }
+    }
+
+    /// The machine redirects fetch while remaining (unknowingly) on a
+    /// wrong path.
+    fn redirect_wrong(&mut self, target: Addr) {
+        if let Mode::Wrong { walk, .. } = &mut self.mode {
+            *walk = Some(target);
+        }
+        self.on_machine_visible_redirect();
+    }
+
+    /// Recovery: fetch returns to the correct path.
+    fn recover(&mut self, target: Addr) {
+        debug_assert!(
+            matches!(self.mode, Mode::Wrong { .. }),
+            "recovery only fires from a wrong path"
+        );
+        if let Some(d) = self.next_correct {
+            debug_assert_eq!(d.pc, target, "recovery target must match the correct stream");
+        }
+        self.mode = Mode::Correct;
+        self.on_machine_visible_redirect();
+    }
+
+    /// Shared redirect handling: discard path-bound pending misses; under
+    /// Resume, hand an outstanding demand fill to the resume buffer and
+    /// free the fetch engine.
+    fn on_machine_visible_redirect(&mut self) {
+        match self.pending.map(|p| (p.state, p.line)) {
+            Some((MissState::InFlight { .. }, line)) if self.cfg.policy == FetchPolicy::Resume => {
+                self.orphan_fills.insert(line);
+                self.pending = None;
+            }
+            // Optimistic/Decode: blocking — the pending fill keeps
+            // stalling fetch until it completes (post-recovery slots
+            // become `wrong_icache`). This arm must stay distinct from the
+            // discard arm below: collapsing it would silently discard the
+            // blocking fill for every policy.
+            Some((MissState::InFlight { .. }, _)) => {}
+            Some(_) => self.pending = None,
+            None => {}
+        }
+    }
+
+    /// Discard a pending miss that belonged to an abandoned believed path
+    /// (used when the walk halts without a redirect target).
+    fn discard_path_pending(&mut self) {
+        if let Some(p) = self.pending {
+            if !matches!(p.state, MissState::InFlight { .. }) {
+                self.pending = None;
+            }
+        }
+    }
+
+    // ---- fetch ------------------------------------------------------------
+
+    fn fetch_phase(&mut self) {
+        let width = self.cfg.issue_width as u64;
+        let mut slot = 0u64;
+        while slot < width {
+            if self.pending.is_some() && !self.advance_pending() {
+                let cause = self.stall_cause();
+                self.lose(width - slot, cause);
+                return;
+            }
+            match self.mode {
+                Mode::Correct => {
+                    let Some(d) = self.next_correct else {
+                        self.unused_end_slots += width - slot;
+                        return;
+                    };
+                    if d.kind.is_conditional() && self.cond_in_flight >= self.cfg.max_unresolved {
+                        self.lose(width - slot, Cause::BranchFull);
+                        return;
+                    }
+                    if !self.access(d.pc, true) {
+                        let cause = self.stall_cause();
+                        self.lose(width - slot, cause);
+                        return;
+                    }
+                    self.next_correct = self.source.next_instr();
+                    self.correct_instrs += 1;
+                    self.last_fetch_cycle = Some(self.cycle);
+                    slot += 1;
+                    if d.kind.is_branch() {
+                        self.branch_correct(d);
+                    }
+                }
+                Mode::Wrong { walk: None, trigger } => {
+                    self.lose(width - slot, Cause::Branch(trigger));
+                    return;
+                }
+                Mode::Wrong { walk: Some(pc), trigger } => {
+                    let Some(kind) = self.program.fetch(pc) else {
+                        // Walked off the image: halt until a redirect.
+                        if let Mode::Wrong { walk, .. } = &mut self.mode {
+                            *walk = None;
+                        }
+                        continue;
+                    };
+                    if kind.is_conditional() && self.cond_in_flight >= self.cfg.max_unresolved {
+                        self.lose(width - slot, Cause::Branch(trigger));
+                        return;
+                    }
+                    if !self.access(pc, false) {
+                        let cause = self.stall_cause();
+                        self.lose(width - slot, cause);
+                        return;
+                    }
+                    self.lose(1, Cause::Branch(trigger));
+                    self.last_fetch_cycle = Some(self.cycle);
+                    slot += 1;
+                    if kind.is_branch() {
+                        self.branch_wrong(pc, kind);
+                    } else if let Mode::Wrong { walk, .. } = &mut self.mode {
+                        *walk = Some(pc.next());
+                    }
+                }
+            }
+        }
+    }
+
+    fn lose(&mut self, slots: u64, cause: Cause) {
+        match cause {
+            Cause::BranchFull => self.lost.branch_full += slots,
+            Cause::Branch(t) => {
+                self.lost.branch += slots;
+                match t {
+                    Trigger::Misfetch => self.btb_misfetch_slots += slots,
+                    Trigger::PhtMispredict => self.pht_mispredict_slots += slots,
+                    Trigger::BtbMispredict => self.btb_mispredict_slots += slots,
+                }
+            }
+            Cause::ForceResolve => self.lost.force_resolve += slots,
+            Cause::RtICache => self.lost.rt_icache += slots,
+            Cause::WrongICache => self.lost.wrong_icache += slots,
+            Cause::Bus => self.lost.bus += slots,
+        }
+    }
+
+    /// Attribution of a stalled slot, per the DESIGN.md priority rules.
+    fn stall_cause(&self) -> Cause {
+        if let Mode::Wrong { trigger, .. } = self.mode {
+            return Cause::Branch(trigger);
+        }
+        match self.pending.map(|p| p.state) {
+            Some(MissState::ForceWait { .. }) => Cause::ForceResolve,
+            Some(MissState::BusWait) => Cause::Bus,
+            Some(MissState::InFlight { wrong_issue: true }) => Cause::WrongICache,
+            Some(MissState::InFlight { wrong_issue: false }) => Cause::RtICache,
+            Some(MissState::PrefetchWait) => Cause::RtICache,
+            None => Cause::RtICache,
+        }
+    }
+
+    /// Accesses the line under `pc`; returns `true` when fetch may
+    /// proceed (hit, or satisfied by a buffer), `false` when it stalls
+    /// (a pending miss was created or is outstanding).
+    fn access(&mut self, pc: Addr, correct: bool) -> bool {
+        let line = pc.line(self.cfg.icache.line_bytes);
+        let hit = self.icache.access(line);
+
+        // A retry of the access that stalled fetch (the fill just landed)
+        // is the same architectural reference: don't count it twice.
+        let retry = self.last_blocked == Some((pc, correct));
+        if !retry {
+            let shadow_hit = if correct {
+                self.shadow.as_mut().map(|sh| {
+                    let h = sh.access(line);
+                    if !h {
+                        sh.fill(line);
+                    }
+                    h
+                })
+            } else {
+                None
+            };
+            if correct {
+                self.cache_correct.accesses += 1;
+                if !hit {
+                    self.cache_correct.misses += 1;
+                }
+                if let Some(sh) = shadow_hit {
+                    self.classification.correct_accesses += 1;
+                    match (hit, sh) {
+                        (false, false) => self.classification.both_miss += 1,
+                        (false, true) => self.classification.spec_pollute += 1,
+                        (true, false) => self.classification.spec_prefetch += 1,
+                        (true, true) => {}
+                    }
+                }
+            } else {
+                self.cache_wrong.accesses += 1;
+                if !hit {
+                    self.cache_wrong.misses += 1;
+                    if self.shadow.is_some() {
+                        self.classification.wrong_path += 1;
+                    }
+                }
+            }
+        }
+
+        if hit {
+            self.last_blocked = None;
+            // Pierce & Mudge priority: target prefetches before next-line.
+            if self.cfg.target_prefetch {
+                self.target_pf.trigger(
+                    self.cycle,
+                    line,
+                    &mut self.icache,
+                    &mut self.bus,
+                    self.cfg.miss_penalty,
+                );
+            }
+            if self.cfg.prefetch {
+                self.prefetcher.trigger(
+                    self.cycle,
+                    line,
+                    &mut self.icache,
+                    &mut self.bus,
+                    self.cfg.miss_penalty,
+                );
+            }
+            return true;
+        }
+        if self.on_miss(line, correct) {
+            self.last_blocked = None;
+            true
+        } else {
+            self.last_blocked = Some((pc, correct));
+            false
+        }
+    }
+
+    /// Handles a demand miss; returns `true` if a buffer satisfied it.
+    fn on_miss(&mut self, line: LineAddr, correct: bool) -> bool {
+        debug_assert!(self.pending.is_none(), "nested miss while one is pending");
+
+        if self.cfg.stream_buffer {
+            if self.stream.take_head(line) {
+                self.icache.fill(line);
+                return true;
+            }
+            if self.stream.in_flight_is(line) {
+                self.pending = Some(PendingMiss { line, state: MissState::PrefetchWait });
+                return false;
+            }
+            // An unserved miss reallocates the stream (Jouppi).
+            self.stream.restart(line.next());
+        }
+
+        // Prefetch buffers: a buffered line is free; any other buffered
+        // line is written into the cache now ("at the next I-cache miss").
+        if self.cfg.prefetch {
+            if self.prefetcher.buffer_satisfies(line) {
+                self.prefetcher.drain_into(&mut self.icache);
+                return true;
+            }
+            self.prefetcher.drain_into(&mut self.icache);
+        }
+        if self.cfg.target_prefetch {
+            if self.target_pf.buffer_satisfies(line) {
+                self.target_pf.drain_into(&mut self.icache);
+                return true;
+            }
+            self.target_pf.drain_into(&mut self.icache);
+        }
+
+        // Resume buffer: same-line check avoids the memory request.
+        if self.resume_buf.holds(line) {
+            self.resume_buf.take();
+            self.icache.fill(line);
+            return true;
+        }
+        if let Some(parked) = self.resume_buf.take() {
+            self.icache.fill(parked);
+        }
+
+        // The missing line may already be on its way (a prefetch, or an
+        // orphaned wrong-path fill on a pipelined bus).
+        if self.bus.in_flight(line) {
+            self.pending = Some(PendingMiss { line, state: MissState::PrefetchWait });
+            return false;
+        }
+
+        let state = match self.cfg.policy {
+            FetchPolicy::Oracle if !correct => {
+                // Oracle never services wrong-path misses: halt the walk
+                // and idle out the branch penalty.
+                if let Mode::Wrong { walk, .. } = &mut self.mode {
+                    *walk = None;
+                }
+                return false;
+            }
+            FetchPolicy::Oracle | FetchPolicy::Optimistic | FetchPolicy::Resume => {
+                MissState::BusWait
+            }
+            FetchPolicy::Pessimistic => MissState::ForceWait { until: self.pessimistic_gate() },
+            FetchPolicy::Decode => MissState::ForceWait { until: self.decode_gate() },
+        };
+        self.pending = Some(PendingMiss { line, state });
+        // Give zero-length gates and a free bus the chance to issue in
+        // this same cycle (the fill latency still blocks the slot).
+        self.advance_pending();
+        false
+    }
+
+    /// Pessimistic gate: every outstanding branch resolved, every previous
+    /// instruction decoded.
+    fn pessimistic_gate(&self) -> u64 {
+        let mut until = self.decode_gate();
+        for f in &self.inflight {
+            if !f.resolved && self.needs_resolution(f.kind) {
+                until = until.max(f.resolve_at);
+            }
+        }
+        until
+    }
+
+    /// Decode gate: previous instructions decoded (misfetch guard only).
+    /// Any instruction fetched within the last `decode_latency` cycles —
+    /// branch or not, the machine cannot tell yet — holds the gate.
+    fn decode_gate(&self) -> u64 {
+        let mut until = self.cycle;
+        if let Some(last) = self.last_fetch_cycle {
+            until = until.max(last + self.cfg.decode_latency);
+        }
+        for f in &self.inflight {
+            if !f.decode_done {
+                until = until.max(f.decode_at);
+            }
+        }
+        until
+    }
+
+    /// Advances the pending-miss state machine; returns `true` when the
+    /// miss has been satisfied and fetch may proceed this cycle.
+    fn advance_pending(&mut self) -> bool {
+        let Some(p) = self.pending else { return true };
+        match p.state {
+            MissState::ForceWait { until } if self.cycle >= until => {
+                self.try_issue(p.line);
+                self.pending.is_none()
+            }
+            MissState::BusWait => {
+                self.try_issue(p.line);
+                self.pending.is_none()
+            }
+            MissState::PrefetchWait if !self.bus.in_flight(p.line) => {
+                // The awaited prefetch was superseded (stream restart) or
+                // its data was dropped: fall back to a demand fill.
+                self.try_issue(p.line);
+                self.pending.is_none()
+            }
+            _ => false,
+        }
+    }
+
+    fn try_issue(&mut self, line: LineAddr) {
+        // A prefetch or an orphaned resume-buffer fill may have delivered
+        // (or be delivering) the line while we were gated; the paper calls
+        // out the resume-buffer index check explicitly.
+        if self.icache.contains(line) {
+            self.pending = None;
+            return;
+        }
+        if self.resume_buf.holds(line) {
+            self.resume_buf.take();
+            self.icache.fill(line);
+            self.pending = None;
+            return;
+        }
+        if let Some(parked) = self.resume_buf.take() {
+            self.icache.fill(parked);
+        }
+        if self.cfg.prefetch && self.prefetcher.buffer_satisfies(line) {
+            self.prefetcher.drain_into(&mut self.icache);
+            self.pending = None;
+            return;
+        }
+        if self.cfg.target_prefetch && self.target_pf.buffer_satisfies(line) {
+            self.target_pf.drain_into(&mut self.icache);
+            self.pending = None;
+            return;
+        }
+        if self.bus.in_flight(line) {
+            self.pending = Some(PendingMiss { line, state: MissState::PrefetchWait });
+            return;
+        }
+        if self.bus.is_free() {
+            let wrong_issue = matches!(self.mode, Mode::Wrong { .. });
+            let purpose =
+                if wrong_issue { Purpose::DemandWrong } else { Purpose::DemandCorrect };
+            self.bus.start(self.cycle, line, self.cfg.miss_penalty, purpose);
+            self.pending = Some(PendingMiss { line, state: MissState::InFlight { wrong_issue } });
+        } else {
+            self.pending = Some(PendingMiss { line, state: MissState::BusWait });
+        }
+    }
+
+    // ---- branch machinery ---------------------------------------------------
+
+    /// Fetch-time branch handling for a correct-path branch: prediction,
+    /// divergence detection, event scheduling.
+    fn branch_correct(&mut self, d: DynInstr) {
+        if self.cfg.target_prefetch && d.taken {
+            let lb = self.cfg.icache.line_bytes;
+            self.target_pf.train(d.pc.line(lb), d.next_pc.line(lb));
+        }
+        let (record, fetch_guess, decode_pred) = self.predict(d.pc, d.kind, true, Some(d));
+        let actual = d.next_pc;
+        let diverged = !(fetch_guess == actual && decode_pred == Some(actual));
+        let mut record = record;
+
+        if diverged {
+            let decode_recovers = decode_pred == Some(actual);
+            record.decode_recovers = decode_recovers;
+            if !decode_recovers {
+                record.resolve_redirect = Some(actual);
+            }
+            let trigger = if decode_recovers {
+                self.misfetches += 1;
+                Trigger::Misfetch
+            } else if record.is_cond && record.pred_taken != d.taken {
+                self.mispredicts += 1;
+                Trigger::PhtMispredict
+            } else {
+                self.target_mispredicts += 1;
+                Trigger::BtbMispredict
+            };
+            self.mode = Mode::Wrong { walk: Some(fetch_guess), trigger };
+        }
+        self.push_inflight(record);
+    }
+
+    /// Fetch-time branch handling on a wrong path: same machinery, no
+    /// ground truth, no recovery events.
+    fn branch_wrong(&mut self, pc: Addr, kind: InstrKind) {
+        let (record, fetch_guess, _) = self.predict(pc, kind, false, None);
+        if self.cfg.target_prefetch && record.pred_taken {
+            let lb = self.cfg.icache.line_bytes;
+            self.target_pf.train(pc.line(lb), fetch_guess.line(lb));
+        }
+        if let Mode::Wrong { walk, .. } = &mut self.mode {
+            *walk = Some(fetch_guess);
+        }
+        self.push_inflight(record);
+    }
+
+    fn push_inflight(&mut self, record: Inflight) {
+        if record.is_cond {
+            self.cond_in_flight += 1;
+        }
+        self.inflight.push_back(record);
+    }
+
+    /// Shared prediction flow. Returns the in-flight record (events
+    /// pre-filled for the *machine-visible* corrections: decode redirects
+    /// and halts), the fetch-time guess, and the decode-time prediction.
+    fn predict(
+        &mut self,
+        pc: Addr,
+        kind: InstrKind,
+        on_correct: bool,
+        actual: Option<DynInstr>,
+    ) -> (Inflight, Addr, Option<Addr>) {
+        let btb = self.unit.btb_lookup(pc);
+        let btb_hit = btb.is_some();
+        let is_cond = kind.is_conditional();
+        let pred_taken = if is_cond { self.unit.predict_cond(pc, btb_hit) } else { true };
+
+        let ghr_snapshot = self.unit.ghr();
+        if is_cond {
+            self.unit.speculate_ghr(pred_taken);
+        }
+
+        // RAS maintenance (speculative, never repaired — mid-90s style).
+        let ras_pred = if kind.is_return() { self.unit.ras_pop() } else { None };
+        if kind.is_call() {
+            self.unit.ras_push(pc.next());
+        }
+
+        let static_target = kind.static_target();
+        let fetch_guess = match btb {
+            Some(h) => match kind {
+                InstrKind::CondBranch { target } => {
+                    if pred_taken {
+                        target
+                    } else {
+                        pc.next()
+                    }
+                }
+                InstrKind::Jump { target } | InstrKind::Call { target } => target,
+                InstrKind::Return => ras_pred.unwrap_or(h.target),
+                InstrKind::IndirectJump | InstrKind::IndirectCall => h.target,
+                InstrKind::Seq => unreachable!("predict() is only called for branches"),
+            },
+            None => pc.next(),
+        };
+
+        let decode_pred: Option<Addr> = match kind {
+            InstrKind::CondBranch { target } => {
+                Some(if pred_taken { target } else { pc.next() })
+            }
+            InstrKind::Jump { target } | InstrKind::Call { target } => Some(target),
+            InstrKind::Return => ras_pred,
+            InstrKind::IndirectJump | InstrKind::IndirectCall => btb.map(|h| h.target),
+            InstrKind::Seq => unreachable!("predict() is only called for branches"),
+        };
+
+        // Speculative BTB update after decode: believed-taken branches
+        // insert their believed target (wrong paths included).
+        let believed_taken = !is_cond || pred_taken;
+        let insert_target = if believed_taken {
+            match kind {
+                InstrKind::CondBranch { .. } | InstrKind::Jump { .. } | InstrKind::Call { .. } => {
+                    static_target
+                }
+                _ => decode_pred,
+            }
+        } else {
+            None
+        };
+
+        // Correct-path returns/indirects train the BTB with the actual
+        // target at resolve.
+        let resolve_insert_target = match kind {
+            InstrKind::Return | InstrKind::IndirectJump | InstrKind::IndirectCall => {
+                actual.map(|d| d.next_pc)
+            }
+            _ => None,
+        };
+
+        let decode_redirect = match decode_pred {
+            Some(dp) if dp != fetch_guess => Some(dp),
+            _ => None,
+        };
+
+        let record = Inflight {
+            pc,
+            kind,
+            decode_at: self.cycle + self.cfg.decode_latency,
+            resolve_at: self.cycle + self.cfg.resolve_latency,
+            decode_done: false,
+            resolved: false,
+            is_cond,
+            on_correct,
+            pred_taken,
+            insert_target,
+            decode_redirect,
+            decode_recovers: false,
+            halt_at_decode: decode_pred.is_none(),
+            resolve_redirect: None,
+            resolve_insert_target,
+            actual_taken: actual.map(|d| d.taken).unwrap_or(pred_taken),
+            ghr_snapshot,
+        };
+        (record, fetch_guess, decode_pred)
+    }
+}

@@ -1,0 +1,105 @@
+//! The five instruction-cache fetch policies.
+
+use std::fmt;
+
+/// What to do with an I-cache miss encountered during speculative
+/// execution (the paper's Table 1).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FetchPolicy {
+    /// Only process misses on the right path. Unrealisable (it requires
+    /// knowing branch outcomes at fetch time); included as the yardstick.
+    Oracle,
+    /// Process every miss immediately. The cache is blocking, so a fill
+    /// started on a wrong path stalls the machine even after the
+    /// mispredict is discovered.
+    Optimistic,
+    /// Like Optimistic, but the processor resumes the correct path as soon
+    /// as a mispredict/misfetch is detected; an outstanding wrong-path
+    /// fill drains into a one-line resume buffer. A correct-path miss
+    /// under that outstanding fill waits for the bus.
+    Resume,
+    /// On a miss, wait until all outstanding branches are resolved and all
+    /// previous instructions are decoded; fetch only if still on the
+    /// (now provably) correct path. Never pollutes, never wastes
+    /// bandwidth, but taxes every miss with a resolution wait.
+    Pessimistic,
+    /// On a miss, wait only until the previous instructions are decoded
+    /// and fetch if the miss was not caused by a misfetch. Cheaper tax
+    /// than Pessimistic, but still fetches down mispredicted paths.
+    Decode,
+}
+
+impl FetchPolicy {
+    /// All five policies, in the paper's presentation order.
+    pub const ALL: [FetchPolicy; 5] = [
+        FetchPolicy::Oracle,
+        FetchPolicy::Optimistic,
+        FetchPolicy::Resume,
+        FetchPolicy::Pessimistic,
+        FetchPolicy::Decode,
+    ];
+
+    /// Short column label used in the paper's tables.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            FetchPolicy::Oracle => "Oracle",
+            FetchPolicy::Optimistic => "Opt",
+            FetchPolicy::Resume => "Res",
+            FetchPolicy::Pessimistic => "Pess",
+            FetchPolicy::Decode => "Dec",
+        }
+    }
+
+    /// Does this policy ever issue a memory request for a wrong-path miss?
+    pub fn fills_wrong_path(self) -> bool {
+        match self {
+            FetchPolicy::Oracle | FetchPolicy::Pessimistic => false,
+            // Decode fetches down mispredicted (though not misfetched)
+            // paths.
+            FetchPolicy::Optimistic | FetchPolicy::Resume | FetchPolicy::Decode => true,
+        }
+    }
+}
+
+impl fmt::Display for FetchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchPolicy::Oracle => write!(f, "Oracle"),
+            FetchPolicy::Optimistic => write!(f, "Optimistic"),
+            FetchPolicy::Resume => write!(f, "Resume"),
+            FetchPolicy::Pessimistic => write!(f, "Pessimistic"),
+            FetchPolicy::Decode => write!(f, "Decode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_five_distinct_policies() {
+        let mut names: Vec<&str> = FetchPolicy::ALL.iter().map(|p| p.short_name()).collect();
+        assert_eq!(names.len(), 5);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn wrong_path_fill_classification() {
+        assert!(!FetchPolicy::Oracle.fills_wrong_path());
+        assert!(!FetchPolicy::Pessimistic.fills_wrong_path());
+        assert!(FetchPolicy::Optimistic.fills_wrong_path());
+        assert!(FetchPolicy::Resume.fills_wrong_path());
+        assert!(FetchPolicy::Decode.fills_wrong_path());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for p in FetchPolicy::ALL {
+            assert!(!p.to_string().is_empty());
+            assert!(!p.short_name().is_empty());
+        }
+    }
+}

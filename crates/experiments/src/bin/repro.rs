@@ -1,0 +1,96 @@
+//! `specfetch-repro`: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! specfetch-repro [--experiment <id>|all] [--instrs N] [--format plain|markdown|csv]
+//!                 [--sequential] [--list]
+//! ```
+
+use std::process::ExitCode;
+
+use specfetch_experiments::{run_experiment, Format, RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS};
+
+struct Args {
+    experiment: String,
+    format: Format,
+    opts: RunOptions,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = "all".to_owned();
+    let mut format = Format::Plain;
+    let mut opts = RunOptions::new();
+    let mut list = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                experiment = it.next().ok_or("--experiment needs a value")?;
+            }
+            "--instrs" | "-n" => {
+                let v = it.next().ok_or("--instrs needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --instrs value {v:?}"))?;
+                if n == 0 {
+                    return Err("--instrs must be positive".into());
+                }
+                opts = opts.with_instrs(n);
+            }
+            "--format" | "-f" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                format = Format::parse(&v).ok_or(format!("unknown format {v:?}"))?;
+            }
+            "--sequential" => opts.parallel = false,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: specfetch-repro [--experiment <id>|all] [--instrs N] \
+                     [--format plain|markdown|csv] [--sequential] [--list]"
+                );
+                println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
+                println!("extras:      extras {}", EXTRA_EXPERIMENT_IDS.join(" "));
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args { experiment, format, opts, list })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for id in EXPERIMENT_IDS.iter().chain(EXTRA_EXPERIMENT_IDS.iter()) {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<&str> = match args.experiment.as_str() {
+        "all" => EXPERIMENT_IDS.to_vec(),
+        "extras" => EXTRA_EXPERIMENT_IDS.to_vec(),
+        other => vec![other],
+    };
+
+    for id in ids {
+        let started = std::time::Instant::now();
+        match run_experiment(id, &args.opts) {
+            Ok(report) => {
+                println!("{}", report.render(args.format));
+                eprintln!("[{id} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,532 @@
+//! Ablation studies beyond the paper's tables: prefetch variants,
+//! branch-architecture choices, and cache associativity.
+//!
+//! These quantify the design decisions the paper takes as given (its
+//! §2 cites the papers these mechanisms come from) plus the
+//! set-associative caches it leaves unexplored.
+
+use specfetch_bpred::{BtbCoupling, DirectionKind, GhrUpdate, PhtTrain};
+use specfetch_core::FetchPolicy;
+use specfetch_synth::suite::Benchmark;
+
+use crate::experiments::baseline;
+use crate::runner::{mean, simulate_benchmark};
+use crate::{par_map, ExperimentReport, RunOptions, Table};
+
+// ---------------------------------------------------------------------------
+// Prefetch variants
+// ---------------------------------------------------------------------------
+
+/// Prefetch configurations compared by [`prefetch_data`].
+pub const PREFETCH_VARIANTS: [&str; 5] =
+    ["none", "next-line", "target", "both-path", "stream"];
+
+/// ISPI and traffic per prefetch variant for one benchmark (Resume
+/// policy, baseline machine).
+#[derive(Clone, PartialEq, Debug)]
+pub struct PrefetchRow {
+    /// The benchmark.
+    pub benchmark: &'static Benchmark,
+    /// ISPI per variant, [`PREFETCH_VARIANTS`] order.
+    pub ispi: [f64; 5],
+    /// Total memory traffic per variant, same order.
+    pub traffic: [u64; 5],
+}
+
+/// Gathers the prefetch-variant sweep.
+pub fn prefetch_data(opts: &RunOptions) -> Vec<PrefetchRow> {
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let instrs = opts.instrs_per_benchmark;
+    par_map(benches, opts.parallel, |b| {
+        let mut ispi = [0.0; 5];
+        let mut traffic = [0u64; 5];
+        for (i, &(next, target, stream)) in [
+            (false, false, false),
+            (true, false, false),
+            (false, true, false),
+            (true, true, false),
+            (false, false, true),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut cfg = baseline(FetchPolicy::Resume);
+            cfg.prefetch = next;
+            cfg.target_prefetch = target;
+            cfg.stream_buffer = stream;
+            let r = simulate_benchmark(b, cfg, instrs);
+            ispi[i] = r.ispi();
+            traffic[i] = r.total_traffic();
+        }
+        PrefetchRow { benchmark: b, ispi, traffic }
+    })
+}
+
+/// Renders the prefetch-variant report.
+pub fn run_prefetch(opts: &RunOptions) -> ExperimentReport {
+    let rows = prefetch_data(opts);
+    let mut table = Table::new([
+        "bench",
+        "none",
+        "next-line",
+        "target",
+        "both-path",
+        "stream",
+        "traffic x (nl/t/both/sb)",
+    ]);
+    for r in &rows {
+        let base = r.traffic[0].max(1) as f64;
+        table.row(vec![
+            r.benchmark.name.to_owned(),
+            format!("{:.3}", r.ispi[0]),
+            format!("{:.3}", r.ispi[1]),
+            format!("{:.3}", r.ispi[2]),
+            format!("{:.3}", r.ispi[3]),
+            format!("{:.3}", r.ispi[4]),
+            format!(
+                "{:.2}/{:.2}/{:.2}/{:.2}",
+                r.traffic[1] as f64 / base,
+                r.traffic[2] as f64 / base,
+                r.traffic[3] as f64 / base,
+                r.traffic[4] as f64 / base
+            ),
+        ]);
+    }
+    let mut avg = vec!["Average".to_owned()];
+    for i in 0..5 {
+        avg.push(format!("{:.3}", mean(rows.iter().map(|r| r.ispi[i]))));
+    }
+    avg.push("-".into());
+    table.row(avg);
+    ExperimentReport {
+        id: "ablation-prefetch",
+        title: "Prefetch variants under Resume: none / next-line (paper) / target \
+                (Smith & Hsu) / both-path (Pierce & Mudge)"
+            .into(),
+        table,
+        notes: vec![
+            "Pierce & Mudge report next-line provides 70-80% of the combined gain; \
+             expect 'both-path' to edge out 'next-line' at extra traffic. The \
+             four-entry Jouppi stream buffer covers sequential misses like next-line \
+             but restarts on every non-sequential miss — on this shared blocking bus \
+             it loses on branchy codes (Jouppi assumed a separate fill path), an \
+             amplified case of the paper's bandwidth caution."
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Branch-architecture variants
+// ---------------------------------------------------------------------------
+
+/// Branch-architecture variants compared by [`bpred_data`].
+pub const BPRED_VARIANTS: [&str; 6] =
+    ["paper", "coupled-btb", "bimodal", "static-nt", "spec-ghr", "resolve-idx"];
+
+/// ISPI and conditional accuracy per branch-architecture variant.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BpredRow {
+    /// The benchmark.
+    pub benchmark: &'static Benchmark,
+    /// ISPI per variant, [`BPRED_VARIANTS`] order.
+    pub ispi: [f64; 6],
+    /// Conditional-branch prediction accuracy per variant.
+    pub accuracy: [f64; 6],
+}
+
+/// Gathers the branch-architecture sweep (Resume policy).
+pub fn bpred_data(opts: &RunOptions) -> Vec<BpredRow> {
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let instrs = opts.instrs_per_benchmark;
+    par_map(benches, opts.parallel, |b| {
+        let mut ispi = [0.0; 6];
+        let mut accuracy = [0.0; 6];
+        for (i, variant) in BPRED_VARIANTS.iter().enumerate() {
+            let mut cfg = baseline(FetchPolicy::Resume);
+            match *variant {
+                "paper" => {}
+                "coupled-btb" => cfg.bpred.coupling = BtbCoupling::Coupled,
+                "bimodal" => cfg.bpred.direction = DirectionKind::Bimodal,
+                "static-nt" => cfg.bpred.direction = DirectionKind::StaticNotTaken,
+                "spec-ghr" => cfg.bpred.ghr_update = GhrUpdate::Speculative,
+                "resolve-idx" => cfg.bpred.pht_train = PhtTrain::ResolveIndex,
+                other => unreachable!("unknown variant {other}"),
+            }
+            let r = simulate_benchmark(b, cfg, instrs);
+            ispi[i] = r.ispi();
+            accuracy[i] = r.bpred.cond_accuracy();
+        }
+        BpredRow { benchmark: b, ispi, accuracy }
+    })
+}
+
+/// Renders the branch-architecture report.
+pub fn run_bpred(opts: &RunOptions) -> ExperimentReport {
+    let rows = bpred_data(opts);
+    let mut headers = vec!["bench".to_owned()];
+    headers.extend(BPRED_VARIANTS.iter().map(|v| format!("{v} (acc%)")));
+    let mut table = Table::new(headers);
+    for r in &rows {
+        let mut cells = vec![r.benchmark.name.to_owned()];
+        for i in 0..BPRED_VARIANTS.len() {
+            cells.push(format!("{:.3} ({:.1})", r.ispi[i], 100.0 * r.accuracy[i]));
+        }
+        table.row(cells);
+    }
+    let mut avg = vec!["Average".to_owned()];
+    for i in 0..BPRED_VARIANTS.len() {
+        avg.push(format!(
+            "{:.3} ({:.1})",
+            mean(rows.iter().map(|r| r.ispi[i])),
+            100.0 * mean(rows.iter().map(|r| r.accuracy[i]))
+        ));
+    }
+    table.row(avg);
+    ExperimentReport {
+        id: "ablation-bpred",
+        title: "Branch-architecture ablations under Resume (decoupled gshare is the \
+                paper's choice)"
+            .into(),
+        table,
+        notes: vec![
+            "Expected: coupled BTBs lose accuracy on BTB misses (Calder & Grunwald \
+             '94); static not-taken is the floor. Caveat: on these synthetic \
+             workloads bimodal can beat gshare-512 — i.i.d.-biased conditionals give \
+             the global history little signal while its entropy scatters each branch \
+             across the small table (the PHT ISPI nevertheless matches Table 3)."
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache associativity
+// ---------------------------------------------------------------------------
+
+/// Associativities compared by [`assoc_data`].
+pub const ASSOCIATIVITIES: [usize; 3] = [1, 2, 4];
+
+/// Miss rate and ISPI per associativity (8K cache, Resume policy).
+#[derive(Clone, PartialEq, Debug)]
+pub struct AssocRow {
+    /// The benchmark.
+    pub benchmark: &'static Benchmark,
+    /// Correct-path miss rate (percent) per associativity.
+    pub miss: [f64; 3],
+    /// ISPI per associativity.
+    pub ispi: [f64; 3],
+}
+
+/// Gathers the associativity sweep.
+pub fn assoc_data(opts: &RunOptions) -> Vec<AssocRow> {
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let instrs = opts.instrs_per_benchmark;
+    par_map(benches, opts.parallel, |b| {
+        let mut miss = [0.0; 3];
+        let mut ispi = [0.0; 3];
+        for (i, assoc) in ASSOCIATIVITIES.into_iter().enumerate() {
+            let mut cfg = baseline(FetchPolicy::Resume);
+            cfg.icache.assoc = assoc;
+            let r = simulate_benchmark(b, cfg, instrs);
+            miss[i] = r.miss_rate_pct();
+            ispi[i] = r.ispi();
+        }
+        AssocRow { benchmark: b, miss, ispi }
+    })
+}
+
+/// Renders the associativity report.
+pub fn run_assoc(opts: &RunOptions) -> ExperimentReport {
+    let rows = assoc_data(opts);
+    let mut table = Table::new([
+        "bench",
+        "DM miss%/ISPI",
+        "2-way miss%/ISPI",
+        "4-way miss%/ISPI",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.benchmark.name.to_owned(),
+            format!("{:.2}/{:.3}", r.miss[0], r.ispi[0]),
+            format!("{:.2}/{:.3}", r.miss[1], r.ispi[1]),
+            format!("{:.2}/{:.3}", r.miss[2], r.ispi[2]),
+        ]);
+    }
+    let mut avg = vec!["Average".to_owned()];
+    for i in 0..3 {
+        avg.push(format!(
+            "{:.2}/{:.3}",
+            mean(rows.iter().map(|r| r.miss[i])),
+            mean(rows.iter().map(|r| r.ispi[i]))
+        ));
+    }
+    table.row(avg);
+    ExperimentReport {
+        id: "ablation-assoc",
+        title: "8K I-cache associativity under Resume (the paper models direct-mapped \
+                only)"
+            .into(),
+        table,
+        notes: vec![
+            "Associativity removes conflict misses; the residual at 4-way is \
+             capacity — how much of each benchmark's 8K miss rate was conflict \
+             pressure."
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Miss-penalty sweep (the summary's crossover claim)
+// ---------------------------------------------------------------------------
+
+/// Miss penalties swept by [`penalty_data`].
+pub const PENALTIES: [u64; 5] = [3, 5, 10, 20, 40];
+
+/// Suite-average ISPI of Resume and Pessimistic at one miss penalty.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PenaltyRow {
+    /// Line-fill latency in cycles.
+    pub penalty: u64,
+    /// Suite-average Resume ISPI.
+    pub resume: f64,
+    /// Suite-average Pessimistic ISPI.
+    pub pessimistic: f64,
+    /// Suite-average Resume-with-prefetch ISPI.
+    pub resume_pref: f64,
+}
+
+/// Sweeps the miss penalty for Resume, Pessimistic, and Resume+prefetch,
+/// locating the crossover the paper's summary describes ("when the miss
+/// penalty is high, Pessimistic performs as well as Resume on average").
+pub fn penalty_data(opts: &RunOptions) -> Vec<PenaltyRow> {
+    let instrs = opts.instrs_per_benchmark;
+    let work: Vec<u64> = PENALTIES.to_vec();
+    par_map(work, opts.parallel, |penalty| {
+        let avg = |cfg_of: &dyn Fn() -> specfetch_core::SimConfig| {
+            mean(Benchmark::all().iter().map(|b| {
+                let mut cfg = cfg_of();
+                cfg.miss_penalty = penalty;
+                simulate_benchmark(b, cfg, instrs).ispi()
+            }))
+        };
+        PenaltyRow {
+            penalty,
+            resume: avg(&|| baseline(FetchPolicy::Resume)),
+            pessimistic: avg(&|| baseline(FetchPolicy::Pessimistic)),
+            resume_pref: avg(&|| {
+                let mut c = baseline(FetchPolicy::Resume);
+                c.prefetch = true;
+                c
+            }),
+        }
+    })
+}
+
+/// Renders the penalty-sweep report.
+pub fn run_penalty(opts: &RunOptions) -> ExperimentReport {
+    let rows = penalty_data(opts);
+    let mut table = Table::new(["penalty", "Resume", "Pessimistic", "Pess/Res", "Resume+Pref"]);
+    for r in &rows {
+        table.row(vec![
+            r.penalty.to_string(),
+            format!("{:.3}", r.resume),
+            format!("{:.3}", r.pessimistic),
+            format!("{:.2}", r.pessimistic / r.resume.max(1e-9)),
+            format!("{:.3}", r.resume_pref),
+        ]);
+    }
+    ExperimentReport {
+        id: "ablation-penalty",
+        title: "Miss-penalty sweep: where the conservative policy catches up (paper \
+                summary / §5.2.1)"
+            .into(),
+        table,
+        notes: vec![
+            "Expected shape: Pessimistic/Resume ratio falls toward (and past) 1.0 as \
+             the penalty grows; Resume+Pref's advantage over plain Resume shrinks and \
+             inverts at high penalties."
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined miss requests (the paper's §6 future work)
+// ---------------------------------------------------------------------------
+
+/// Bus slot counts swept by [`bus_data`].
+pub const BUS_SLOTS: [usize; 3] = [1, 2, 4];
+
+/// Suite-average ISPI at the long penalty, with and without next-line
+/// prefetching, per bus configuration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BusRow {
+    /// Transaction slots on the bus.
+    pub slots: usize,
+    /// Resume, no prefetch.
+    pub plain: f64,
+    /// Resume with next-line prefetching.
+    pub prefetch: f64,
+}
+
+/// Tests the paper's §6 hypothesis: does pipelining miss requests rescue
+/// next-line prefetching at the 20-cycle penalty (where Figure 4 shows it
+/// hurting)?
+pub fn bus_data(opts: &RunOptions) -> Vec<BusRow> {
+    let instrs = opts.instrs_per_benchmark;
+    par_map(BUS_SLOTS.to_vec(), opts.parallel, |slots| {
+        let avg = |prefetch: bool| {
+            mean(Benchmark::all().iter().map(|b| {
+                let mut cfg = baseline(FetchPolicy::Resume);
+                cfg.miss_penalty = 20;
+                cfg.bus_slots = slots;
+                cfg.prefetch = prefetch;
+                simulate_benchmark(b, cfg, instrs).ispi()
+            }))
+        };
+        BusRow { slots, plain: avg(false), prefetch: avg(true) }
+    })
+}
+
+/// Renders the pipelined-bus report.
+pub fn run_bus(opts: &RunOptions) -> ExperimentReport {
+    let rows = bus_data(opts);
+    let mut table = Table::new(["bus slots", "Resume", "Resume+Pref", "prefetch gain%"]);
+    for r in &rows {
+        table.row(vec![
+            r.slots.to_string(),
+            format!("{:.3}", r.plain),
+            format!("{:.3}", r.prefetch),
+            format!("{:.1}", 100.0 * (r.plain - r.prefetch) / r.plain.max(1e-9)),
+        ]);
+    }
+    ExperimentReport {
+        id: "ablation-bus",
+        title: "Pipelined miss requests at the 20-cycle penalty (paper §6 future work)"
+            .into(),
+        table,
+        notes: vec![
+            "Expected shape: with one slot, prefetching at the long penalty is a \
+             wash or a loss (Figure 4); extra slots let prefetches overlap demand \
+             fills, restoring the prefetch gain."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> RunOptions {
+        RunOptions::smoke().with_instrs(60_000)
+    }
+
+    #[test]
+    fn both_path_prefetching_beats_none_on_average() {
+        let rows = prefetch_data(&opts());
+        let avg = |i: usize| mean(rows.iter().map(|r| r.ispi[i]));
+        assert!(avg(3) < avg(0), "both-path {:.3} !< none {:.3}", avg(3), avg(0));
+        assert!(avg(1) < avg(0), "next-line {:.3} !< none {:.3}", avg(1), avg(0));
+        // Traffic is near-monotone: covering a line by target prefetch can
+        // displace a next-line issue or a demand fill, so allow small
+        // reductions but no large ones.
+        for r in &rows {
+            assert!(
+                r.traffic[3] as f64 >= 0.95 * r.traffic[1] as f64,
+                "{}: both {} vs next-line {}",
+                r.benchmark.name,
+                r.traffic[3],
+                r.traffic[1]
+            );
+        }
+    }
+
+    /// Any dynamic predictor must beat static not-taken. Note: on these
+    /// synthetic workloads bimodal can *beat* gshare — many conditionals
+    /// are i.i.d.-biased, so the 9-bit global history carries little
+    /// signal while still scattering each branch over many of the 512
+    /// entries (McFarling's gshare advantage needs low-entropy, correlated
+    /// histories or larger tables). The measured PHT ISPI still lands on
+    /// the paper's Table 3 values, which is the quantity the reproduction
+    /// calibrates.
+    #[test]
+    fn dynamic_prediction_beats_static() {
+        let rows = bpred_data(&opts());
+        let acc = |i: usize| mean(rows.iter().map(|r| r.accuracy[i]));
+        assert!(acc(0) > acc(3), "gshare {:.3} !> static {:.3}", acc(0), acc(3));
+        assert!(acc(2) > acc(3), "bimodal {:.3} !> static {:.3}", acc(2), acc(3));
+        let ispi = |i: usize| mean(rows.iter().map(|r| r.ispi[i]));
+        assert!(ispi(0) < ispi(3), "paper config must beat static not-taken");
+    }
+
+    #[test]
+    fn decoupled_beats_coupled() {
+        let rows = bpred_data(&opts());
+        let ispi = |i: usize| mean(rows.iter().map(|r| r.ispi[i]));
+        assert!(
+            ispi(0) < ispi(1),
+            "decoupled {:.3} should beat coupled {:.3} (Calder & Grunwald)",
+            ispi(0),
+            ispi(1)
+        );
+    }
+
+    /// Associativity usually removes conflict misses, but LRU is
+    /// *pathological* on near-cyclic sweeps larger than the cache (each
+    /// way evicts exactly the line needed furthest in the future), so a
+    /// strictly monotone assertion would be wrong — fpppp, a nearly
+    /// cyclic sweep, genuinely misses more at 4-way than 2-way. Assert
+    /// the average improves and per-benchmark regressions stay modest.
+    #[test]
+    fn associativity_reduces_misses_on_average() {
+        let rows = assoc_data(&opts());
+        let avg = |i: usize| mean(rows.iter().map(|r| r.miss[i]));
+        assert!(avg(1) <= avg(0) + 0.05, "2-way {:.2} vs DM {:.2}", avg(1), avg(0));
+        for r in &rows {
+            assert!(
+                r.miss[2] <= r.miss[0] * 1.5 + 0.3,
+                "{}: 4-way {:.2} wildly above DM {:.2}",
+                r.benchmark.name,
+                r.miss[2],
+                r.miss[0]
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_bus_rescues_long_latency_prefetching() {
+        let rows = bus_data(&opts());
+        let gain = |r: &BusRow| (r.plain - r.prefetch) / r.plain;
+        assert!(
+            gain(&rows[2]) > gain(&rows[0]),
+            "4-slot prefetch gain {:.3} should exceed 1-slot gain {:.3}",
+            gain(&rows[2]),
+            gain(&rows[0])
+        );
+    }
+
+    #[test]
+    fn pessimistic_catches_up_as_penalty_grows() {
+        let rows = penalty_data(&opts());
+        let ratio = |r: &PenaltyRow| r.pessimistic / r.resume;
+        let first = ratio(&rows[0]);
+        let last = ratio(&rows[rows.len() - 1]);
+        assert!(
+            last < first,
+            "Pess/Res ratio should fall with penalty: {first:.3} -> {last:.3}"
+        );
+    }
+
+    #[test]
+    fn reports_render() {
+        let o = RunOptions::smoke();
+        for rep in [run_prefetch(&o), run_bpred(&o), run_assoc(&o)] {
+            assert_eq!(rep.table.len(), 14);
+            assert!(!rep.render(crate::Format::Plain).is_empty());
+        }
+        assert_eq!(run_penalty(&o).table.len(), PENALTIES.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Paper Figure 1: ISPI penalty breakdown per policy, baseline machine.
+
+use specfetch_core::{FetchPolicy, SimConfig, SimResult};
+use specfetch_synth::suite::Benchmark;
+
+use crate::experiments::baseline;
+use crate::paper::FIGURE_BENCHMARKS;
+use crate::runner::simulate_benchmark;
+use crate::{par_map, ExperimentReport, RunOptions, Table};
+
+/// One bar of the figure: a `(benchmark, policy)` breakdown.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Bar {
+    /// The benchmark.
+    pub benchmark: &'static Benchmark,
+    /// The policy.
+    pub policy: FetchPolicy,
+    /// The full run result (components are read from `result.lost`).
+    pub result: SimResult,
+}
+
+/// Collects the figure's bars for an arbitrary config generator (shared
+/// with Figure 2, which only changes the miss penalty).
+pub(crate) fn bars(
+    opts: &RunOptions,
+    cfg_for: impl Fn(FetchPolicy) -> SimConfig + Sync,
+) -> Vec<Bar> {
+    let mut work = Vec::new();
+    for name in FIGURE_BENCHMARKS {
+        let b = Benchmark::by_name(name).expect("figure benchmarks exist");
+        for policy in FetchPolicy::ALL {
+            work.push((b, policy));
+        }
+    }
+    let instrs = opts.instrs_per_benchmark;
+    par_map(work, opts.parallel, |(b, policy)| Bar {
+        benchmark: b,
+        policy,
+        result: simulate_benchmark(b, cfg_for(policy), instrs),
+    })
+}
+
+/// Renders a breakdown table shared by Figures 1 and 2.
+pub(crate) fn breakdown_report(
+    id: &'static str,
+    title: String,
+    notes: Vec<String>,
+    bars: &[Bar],
+) -> ExperimentReport {
+    let mut table = Table::new([
+        "bench",
+        "policy",
+        "branch_full",
+        "branch",
+        "force_resolve",
+        "rt_icache",
+        "wrong_icache",
+        "bus",
+        "total ISPI",
+    ]);
+    for bar in bars {
+        let r = &bar.result;
+        let c = |slots: u64| format!("{:.3}", r.ispi_component(slots));
+        table.row(vec![
+            bar.benchmark.name.to_owned(),
+            bar.policy.short_name().to_owned(),
+            c(r.lost.branch_full),
+            c(r.lost.branch),
+            c(r.lost.force_resolve),
+            c(r.lost.rt_icache),
+            c(r.lost.wrong_icache),
+            c(r.lost.bus),
+            format!("{:.3}", r.ispi()),
+        ]);
+    }
+    ExperimentReport { id, title, table, notes }
+}
+
+/// Gathers the figure's data at the baseline configuration.
+pub fn data(opts: &RunOptions) -> Vec<Bar> {
+    bars(opts, baseline)
+}
+
+/// Renders the report.
+pub fn run(opts: &RunOptions) -> ExperimentReport {
+    let bars = data(opts);
+    breakdown_report(
+        "figure1",
+        "ISPI breakdown, baseline (8K, 5-cycle penalty, depth 4) — paper Figure 1".into(),
+        vec![
+            "Expected shape: Optimistic < Pessimistic; Resume ~ Oracle (best); Decode ~ \
+             Pessimistic; bus nonzero only for Resume; force_resolve only for \
+             Pessimistic/Decode."
+                .into(),
+        ],
+        &bars,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> RunOptions {
+        RunOptions::smoke().with_instrs(80_000)
+    }
+
+    #[test]
+    fn components_respect_policy_structure() {
+        for bar in data(&opts()) {
+            let l = &bar.result.lost;
+            match bar.policy {
+                FetchPolicy::Oracle => {
+                    assert_eq!(l.force_resolve, 0);
+                    assert_eq!(l.wrong_icache, 0);
+                    assert_eq!(l.bus, 0);
+                }
+                FetchPolicy::Optimistic => {
+                    assert_eq!(l.force_resolve, 0);
+                    assert_eq!(l.bus, 0);
+                }
+                FetchPolicy::Resume => {
+                    assert_eq!(l.force_resolve, 0);
+                    assert_eq!(l.wrong_icache, 0, "{}", bar.benchmark.name);
+                }
+                FetchPolicy::Pessimistic => {
+                    assert_eq!(l.wrong_icache, 0);
+                    assert_eq!(l.bus, 0);
+                }
+                FetchPolicy::Decode => {
+                    assert_eq!(l.bus, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_beats_pessimistic_at_small_penalty() {
+        let bars = data(&opts());
+        for name in FIGURE_BENCHMARKS {
+            let ispi = |p: FetchPolicy| {
+                bars.iter()
+                    .find(|b| b.benchmark.name == name && b.policy == p)
+                    .map(|b| b.result.ispi())
+                    .expect("bar exists")
+            };
+            assert!(
+                ispi(FetchPolicy::Resume) < ispi(FetchPolicy::Pessimistic),
+                "{name}: Resume {:.3} !< Pessimistic {:.3}",
+                ispi(FetchPolicy::Resume),
+                ispi(FetchPolicy::Pessimistic)
+            );
+        }
+    }
+
+    #[test]
+    fn report_has_25_bars() {
+        let rep = run(&opts());
+        assert_eq!(rep.table.len(), 25);
+    }
+}

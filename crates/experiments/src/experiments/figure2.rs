@@ -1,0 +1,73 @@
+//! Paper Figure 2: ISPI breakdown with a long (20-cycle) miss penalty.
+
+use crate::experiments::baseline;
+use crate::experiments::figure1::{bars, breakdown_report, Bar};
+use crate::{ExperimentReport, RunOptions};
+
+/// The long-latency penalty the paper uses.
+pub const LONG_PENALTY: u64 = 20;
+
+/// Gathers the figure's data at the 20-cycle penalty.
+pub fn data(opts: &RunOptions) -> Vec<Bar> {
+    bars(opts, |policy| {
+        let mut cfg = baseline(policy);
+        cfg.miss_penalty = LONG_PENALTY;
+        cfg
+    })
+}
+
+/// Renders the report.
+pub fn run(opts: &RunOptions) -> ExperimentReport {
+    let bars = data(opts);
+    breakdown_report(
+        "figure2",
+        "ISPI breakdown, long latency (8K, 20-cycle penalty, depth 4) — paper Figure 2".into(),
+        vec![
+            "Expected shape: with the large penalty, servicing wrong-path misses gets \
+             expensive — Pessimistic beats Optimistic for the C/C++ codes and roughly \
+             ties Resume on average."
+                .into(),
+        ],
+        &bars,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::mean;
+    use specfetch_core::FetchPolicy;
+
+    #[test]
+    fn long_latency_flips_optimistic_vs_pessimistic_on_average() {
+        let bars = data(&RunOptions::smoke().with_instrs(100_000));
+        // Average over the branchy (C/C++) figure benchmarks, as the paper
+        // qualifies the flip for those codes.
+        let avg = |policy: FetchPolicy| {
+            mean(
+                bars.iter()
+                    .filter(|b| b.policy == policy && b.benchmark.name != "doduc")
+                    .map(|b| b.result.ispi()),
+            )
+        };
+        let opt = avg(FetchPolicy::Optimistic);
+        let pess = avg(FetchPolicy::Pessimistic);
+        assert!(
+            pess < opt,
+            "at 20-cycle penalty Pessimistic ({pess:.3}) should beat Optimistic ({opt:.3})"
+        );
+    }
+
+    #[test]
+    fn wrong_icache_grows_with_penalty() {
+        let small = super::super::figure1::data(&RunOptions::smoke().with_instrs(60_000));
+        let large = data(&RunOptions::smoke().with_instrs(60_000));
+        let sum = |bars: &[Bar]| -> u64 {
+            bars.iter()
+                .filter(|b| b.policy == FetchPolicy::Optimistic)
+                .map(|b| b.result.lost.wrong_icache)
+                .sum()
+        };
+        assert!(sum(&large) > sum(&small));
+    }
+}

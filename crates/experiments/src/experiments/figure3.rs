@@ -1,0 +1,170 @@
+//! Paper Figure 3: next-line prefetching at the baseline penalty.
+
+use specfetch_core::{FetchPolicy, SimConfig, SimResult};
+use specfetch_synth::suite::Benchmark;
+
+use crate::experiments::baseline;
+use crate::paper::FIGURE_BENCHMARKS;
+use crate::runner::simulate_benchmark;
+use crate::{par_map, ExperimentReport, RunOptions, Table};
+
+/// The three policies the paper's prefetch figures compare.
+pub const PREFETCH_POLICIES: [FetchPolicy; 3] =
+    [FetchPolicy::Oracle, FetchPolicy::Resume, FetchPolicy::Pessimistic];
+
+/// One bar: `(benchmark, policy, prefetch?)`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Bar {
+    /// The benchmark.
+    pub benchmark: &'static Benchmark,
+    /// The policy.
+    pub policy: FetchPolicy,
+    /// Whether next-line prefetching was on.
+    pub prefetch: bool,
+    /// The run result.
+    pub result: SimResult,
+}
+
+/// Collects prefetch-comparison bars for a config generator (shared with
+/// Figure 4).
+pub(crate) fn bars(
+    opts: &RunOptions,
+    cfg_for: impl Fn(FetchPolicy, bool) -> SimConfig + Sync,
+) -> Vec<Bar> {
+    let mut work = Vec::new();
+    for name in FIGURE_BENCHMARKS {
+        let b = Benchmark::by_name(name).expect("figure benchmarks exist");
+        for policy in PREFETCH_POLICIES {
+            for prefetch in [false, true] {
+                work.push((b, policy, prefetch));
+            }
+        }
+    }
+    let instrs = opts.instrs_per_benchmark;
+    par_map(work, opts.parallel, |(b, policy, prefetch)| Bar {
+        benchmark: b,
+        policy,
+        prefetch,
+        result: simulate_benchmark(b, cfg_for(policy, prefetch), instrs),
+    })
+}
+
+/// Renders a breakdown table shared by Figures 3 and 4.
+pub(crate) fn prefetch_report(
+    id: &'static str,
+    title: String,
+    notes: Vec<String>,
+    bars: &[Bar],
+) -> ExperimentReport {
+    let mut table = Table::new([
+        "bench",
+        "policy",
+        "branch_full",
+        "branch",
+        "force_resolve",
+        "rt_icache",
+        "wrong_icache",
+        "bus",
+        "total ISPI",
+    ]);
+    for bar in bars {
+        let r = &bar.result;
+        let c = |slots: u64| format!("{:.3}", r.ispi_component(slots));
+        let label = if bar.prefetch {
+            format!("{}+Pref", bar.policy.short_name())
+        } else {
+            bar.policy.short_name().to_owned()
+        };
+        table.row(vec![
+            bar.benchmark.name.to_owned(),
+            label,
+            c(r.lost.branch_full),
+            c(r.lost.branch),
+            c(r.lost.force_resolve),
+            c(r.lost.rt_icache),
+            c(r.lost.wrong_icache),
+            c(r.lost.bus),
+            format!("{:.3}", r.ispi()),
+        ]);
+    }
+    ExperimentReport { id, title, table, notes }
+}
+
+/// Gathers Figure 3's bars (baseline penalty).
+pub fn data(opts: &RunOptions) -> Vec<Bar> {
+    bars(opts, |policy, prefetch| {
+        let mut cfg = baseline(policy);
+        cfg.prefetch = prefetch;
+        cfg
+    })
+}
+
+/// Renders the report.
+pub fn run(opts: &RunOptions) -> ExperimentReport {
+    let bars = data(opts);
+    prefetch_report(
+        "figure3",
+        "Next-line prefetching, baseline penalty (paper Figure 3)".into(),
+        vec![
+            "Expected shape: prefetching improves every policy and narrows the \
+             Resume-vs-Pessimistic gap; Resume without prefetching is comparable to \
+             Pessimistic with it."
+                .into(),
+        ],
+        &bars,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::mean;
+
+    fn opts() -> RunOptions {
+        RunOptions::smoke().with_instrs(100_000)
+    }
+
+    #[test]
+    fn prefetch_reduces_ispi_at_small_penalty() {
+        let bars = data(&opts());
+        for policy in PREFETCH_POLICIES {
+            let avg = |pref: bool| {
+                mean(
+                    bars.iter()
+                        .filter(|b| b.policy == policy && b.prefetch == pref)
+                        .map(|b| b.result.ispi()),
+                )
+            };
+            assert!(
+                avg(true) < avg(false),
+                "{policy}: prefetch {:.3} !< plain {:.3}",
+                avg(true),
+                avg(false)
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_narrows_resume_vs_pessimistic() {
+        let bars = data(&opts());
+        let avg = |policy: FetchPolicy, pref: bool| {
+            mean(
+                bars.iter()
+                    .filter(|b| b.policy == policy && b.prefetch == pref)
+                    .map(|b| b.result.ispi()),
+            )
+        };
+        let gap_plain = avg(FetchPolicy::Pessimistic, false) - avg(FetchPolicy::Resume, false);
+        let gap_pref = avg(FetchPolicy::Pessimistic, true) - avg(FetchPolicy::Resume, true);
+        assert!(
+            gap_pref < gap_plain,
+            "prefetch gap {gap_pref:.3} should be below plain gap {gap_plain:.3}"
+        );
+    }
+
+    #[test]
+    fn report_has_30_bars() {
+        let rep = run(&opts());
+        assert_eq!(rep.table.len(), 30);
+    }
+}

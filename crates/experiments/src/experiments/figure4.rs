@@ -1,0 +1,75 @@
+//! Paper Figure 4: next-line prefetching with the long miss penalty.
+
+use crate::experiments::baseline;
+use crate::experiments::figure2::LONG_PENALTY;
+use crate::experiments::figure3::{bars, prefetch_report, Bar};
+use crate::{ExperimentReport, RunOptions};
+
+/// Gathers Figure 4's bars (20-cycle penalty).
+pub fn data(opts: &RunOptions) -> Vec<Bar> {
+    bars(opts, |policy, prefetch| {
+        let mut cfg = baseline(policy);
+        cfg.miss_penalty = LONG_PENALTY;
+        cfg.prefetch = prefetch;
+        cfg
+    })
+}
+
+/// Renders the report.
+pub fn run(opts: &RunOptions) -> ExperimentReport {
+    let bars = data(opts);
+    prefetch_report(
+        "figure4",
+        "Next-line prefetching, long latency (paper Figure 4)".into(),
+        vec![
+            "Expected shape: with a 20-cycle fill, prefetches monopolise the bus and \
+             can hurt — even Oracle can lose performance, and aggressive fetch \
+             activity stops paying off."
+                .into(),
+        ],
+        &bars,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::mean;
+    use specfetch_core::FetchPolicy;
+
+    #[test]
+    fn prefetch_gains_shrink_or_invert_at_long_latency() {
+        let opts = RunOptions::smoke().with_instrs(100_000);
+        let short = super::super::figure3::data(&opts);
+        let long = data(&opts);
+        let gain = |bars: &[Bar], policy: FetchPolicy| {
+            let avg = |pref: bool| {
+                mean(
+                    bars.iter()
+                        .filter(|b| b.policy == policy && b.prefetch == pref)
+                        .map(|b| b.result.ispi()),
+                )
+            };
+            (avg(false) - avg(true)) / avg(false).max(1e-9)
+        };
+        // Relative prefetch gain at 20 cycles is smaller than at 5 cycles
+        // for the conservative policy (the paper's "not recommended").
+        let g_short = gain(&short, FetchPolicy::Pessimistic);
+        let g_long = gain(&long, FetchPolicy::Pessimistic);
+        assert!(
+            g_long < g_short,
+            "long-latency prefetch gain {g_long:.3} should be below short-latency {g_short:.3}"
+        );
+    }
+
+    #[test]
+    fn bus_component_appears_under_prefetching() {
+        let bars = data(&RunOptions::smoke().with_instrs(100_000));
+        let bus: u64 = bars
+            .iter()
+            .filter(|b| b.prefetch)
+            .map(|b| b.result.lost.bus)
+            .sum();
+        assert!(bus > 0, "prefetching at long latency must cause bus waits");
+    }
+}

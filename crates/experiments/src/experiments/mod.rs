@@ -1,0 +1,28 @@
+//! One module per regenerated paper artifact, plus the ablation studies.
+
+pub mod ablations;
+pub mod figure1;
+pub mod figure2;
+pub mod figure3;
+pub mod figure4;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+use specfetch_core::{FetchPolicy, SimConfig};
+
+/// Baseline config of §5.1 for a given policy: 8K direct-mapped cache,
+/// 5-cycle penalty, depth 4, no prefetch.
+pub(crate) fn baseline(policy: FetchPolicy) -> SimConfig {
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.policy = policy;
+    cfg
+}
+
+/// Formats "measured (paper)" cells.
+pub(crate) fn vs(measured: f64, paper: f64) -> String {
+    format!("{measured:.2} ({paper:.2})")
+}

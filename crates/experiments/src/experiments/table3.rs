@@ -1,0 +1,144 @@
+//! Paper Table 3: I-cache miss rates and branch-architecture ISPI.
+
+use specfetch_cache::CacheConfig;
+use specfetch_core::{FetchPolicy, SimResult};
+use specfetch_synth::suite::Benchmark;
+
+use crate::experiments::{baseline, vs};
+use crate::runner::{mean, simulate_benchmark};
+use crate::{par_map, ExperimentReport, RunOptions, Table};
+
+/// Measured Table 3 quantities for one benchmark.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: &'static Benchmark,
+    /// 8K direct-mapped miss rate, percent.
+    pub miss_8k: f64,
+    /// 32K direct-mapped miss rate, percent.
+    pub miss_32k: f64,
+    /// PHT-mispredict ISPI at depth 1.
+    pub pht_b1: f64,
+    /// PHT-mispredict ISPI at depth 4.
+    pub pht_b4: f64,
+    /// BTB-misfetch ISPI (depth 4).
+    pub btb_misfetch: f64,
+    /// BTB target-mispredict ISPI (depth 4).
+    pub btb_mispredict: f64,
+}
+
+fn pht_ispi(r: &SimResult) -> f64 {
+    r.ispi_component(r.pht_mispredict_slots)
+}
+
+/// Gathers the measured rows: per benchmark, Oracle runs at (8K, depth 4),
+/// (8K, depth 1), and (32K, depth 4).
+pub fn data(opts: &RunOptions) -> Vec<Row> {
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let instrs = opts.instrs_per_benchmark;
+    par_map(benches, opts.parallel, |b| {
+        let d4 = simulate_benchmark(b, baseline(FetchPolicy::Oracle), instrs);
+        let mut cfg_d1 = baseline(FetchPolicy::Oracle);
+        cfg_d1.max_unresolved = 1;
+        let d1 = simulate_benchmark(b, cfg_d1, instrs);
+        let mut cfg_32 = baseline(FetchPolicy::Oracle);
+        cfg_32.icache = CacheConfig::paper_32k();
+        let k32 = simulate_benchmark(b, cfg_32, instrs);
+        Row {
+            benchmark: b,
+            miss_8k: d4.miss_rate_pct(),
+            miss_32k: k32.miss_rate_pct(),
+            pht_b1: pht_ispi(&d1),
+            pht_b4: pht_ispi(&d4),
+            btb_misfetch: d4.ispi_component(d4.btb_misfetch_slots),
+            btb_mispredict: d4.ispi_component(d4.btb_mispredict_slots),
+        }
+    })
+}
+
+/// Renders the report.
+pub fn run(opts: &RunOptions) -> ExperimentReport {
+    let rows = data(opts);
+    let mut table = Table::new([
+        "bench",
+        "8K% (paper)",
+        "32K% (paper)",
+        "PHT B1 (paper)",
+        "PHT B4 (paper)",
+        "BTB-mf (paper)",
+        "BTB-mp (paper)",
+    ]);
+    for r in &rows {
+        let p = &r.benchmark.paper;
+        table.row(vec![
+            r.benchmark.name.to_owned(),
+            vs(r.miss_8k, p.miss_8k),
+            vs(r.miss_32k, p.miss_32k),
+            vs(r.pht_b1, p.pht_ispi_b1),
+            vs(r.pht_b4, p.pht_ispi_b4),
+            vs(r.btb_misfetch, p.btb_misfetch_ispi),
+            vs(r.btb_mispredict, p.btb_mispredict_ispi),
+        ]);
+    }
+    table.row(vec![
+        "Average".into(),
+        vs(mean(rows.iter().map(|r| r.miss_8k)), 3.70),
+        vs(mean(rows.iter().map(|r| r.miss_32k)), 0.97),
+        vs(mean(rows.iter().map(|r| r.pht_b1)), 0.32),
+        vs(mean(rows.iter().map(|r| r.pht_b4)), 0.45),
+        vs(mean(rows.iter().map(|r| r.btb_misfetch)), 0.18),
+        vs(mean(rows.iter().map(|r| r.btb_mispredict)), 0.03),
+    ]);
+    ExperimentReport {
+        id: "table3",
+        title: "I-cache miss rates and PHT/BTB ISPI (paper Table 3)".into(),
+        table,
+        notes: vec![
+            "Miss rates are correct-path, per instruction, under Oracle (the paper's \
+             workload characterisation)."
+                .into(),
+            "Expected shape: PHT ISPI grows from depth 1 to depth 4 (stale resolve-time \
+             history); BTB mispredict ISPI is near zero (direct targets are static)."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's depth effect (PHT ISPI grows with speculation depth)
+    /// is present but weaker here than in the paper: it flows from stale
+    /// history at predict time, and only the history-correlated fraction
+    /// of our synthetic branches is sensitive to it. Assert the suite
+    /// average does not *improve* with depth.
+    #[test]
+    fn pht_does_not_improve_with_depth_on_average() {
+        let opts = RunOptions::smoke().with_instrs(60_000);
+        let rows = data(&opts);
+        let b1 = mean(rows.iter().map(|r| r.pht_b1));
+        let b4 = mean(rows.iter().map(|r| r.pht_b4));
+        assert!(b4 >= b1 - 0.02, "PHT ISPI improved with depth: B1 {b1:.3} -> B4 {b4:.3}");
+    }
+
+    #[test]
+    fn bigger_cache_misses_less() {
+        let opts = RunOptions::smoke().with_instrs(60_000);
+        for r in data(&opts) {
+            assert!(
+                r.miss_32k <= r.miss_8k + 1e-9,
+                "{}: 32K {:.2}% > 8K {:.2}%",
+                r.benchmark.name,
+                r.miss_32k,
+                r.miss_8k
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders_14_rows() {
+        let rep = run(&RunOptions::smoke());
+        assert_eq!(rep.table.len(), 14);
+    }
+}

@@ -1,0 +1,111 @@
+//! Paper Table 4: miss classification under Optimistic vs Oracle.
+
+use specfetch_core::{FetchPolicy, MissClass};
+use specfetch_synth::suite::Benchmark;
+
+use crate::experiments::{baseline, vs};
+use crate::paper::{Table4Row, TABLE4};
+use crate::runner::{mean, simulate_benchmark};
+use crate::{par_map, ExperimentReport, RunOptions, Table};
+
+/// Measured classification for one benchmark.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: &'static Benchmark,
+    /// The shadow-cache classification.
+    pub class: MissClass,
+    /// The paper's published row.
+    pub paper: Table4Row,
+}
+
+/// Gathers measured rows: one classified Optimistic run per benchmark.
+pub fn data(opts: &RunOptions) -> Vec<Row> {
+    let benches: Vec<(usize, &'static Benchmark)> =
+        Benchmark::all().iter().enumerate().collect();
+    let instrs = opts.instrs_per_benchmark;
+    par_map(benches, opts.parallel, |(i, b)| {
+        let mut cfg = baseline(FetchPolicy::Optimistic);
+        cfg.classify = true;
+        let r = simulate_benchmark(b, cfg, instrs);
+        Row {
+            benchmark: b,
+            class: r.classification.expect("classification was enabled"),
+            paper: TABLE4[i],
+        }
+    })
+}
+
+/// Renders the report.
+pub fn run(opts: &RunOptions) -> ExperimentReport {
+    let rows = data(opts);
+    let mut table = Table::new([
+        "bench",
+        "BM (paper)",
+        "SPo (paper)",
+        "SPr (paper)",
+        "WP (paper)",
+        "TR (paper)",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.benchmark.name.to_owned(),
+            vs(r.class.both_miss_pct(), r.paper.bm),
+            vs(r.class.spec_pollute_pct(), r.paper.spo),
+            vs(r.class.spec_prefetch_pct(), r.paper.spr),
+            vs(r.class.wrong_path_pct(), r.paper.wp),
+            vs(r.class.traffic_ratio(), r.paper.tr),
+        ]);
+    }
+    table.row(vec![
+        "Average".into(),
+        vs(mean(rows.iter().map(|r| r.class.both_miss_pct())), 2.87),
+        vs(mean(rows.iter().map(|r| r.class.spec_pollute_pct())), 0.32),
+        vs(mean(rows.iter().map(|r| r.class.spec_prefetch_pct())), 0.83),
+        vs(mean(rows.iter().map(|r| r.class.wrong_path_pct())), 1.87),
+        vs(mean(rows.iter().map(|r| r.class.traffic_ratio())), 1.36),
+    ]);
+    ExperimentReport {
+        id: "table4",
+        title: "Miss classification: Optimistic vs Oracle (paper Table 4)".into(),
+        table,
+        notes: vec![
+            "Expected shape: Spec-Prefetch exceeds Spec-Pollute (wrong-path fills help \
+             more than they pollute), and Wrong-Path misses dominate the traffic-ratio \
+             increase."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_beats_pollution_on_average() {
+        let rows = data(&RunOptions::smoke().with_instrs(80_000));
+        let spr = mean(rows.iter().map(|r| r.class.spec_prefetch_pct()));
+        let spo = mean(rows.iter().map(|r| r.class.spec_pollute_pct()));
+        assert!(spr > spo, "SPr {spr:.2} should exceed SPo {spo:.2}");
+    }
+
+    #[test]
+    fn traffic_ratio_is_at_least_one() {
+        for r in data(&RunOptions::smoke()) {
+            assert!(
+                r.class.traffic_ratio() >= 1.0 - 1e-9,
+                "{}: TR {:.2}",
+                r.benchmark.name,
+                r.class.traffic_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let rep = run(&RunOptions::smoke());
+        assert_eq!(rep.table.len(), 14);
+        assert_eq!(rep.id, "table4");
+    }
+}

@@ -1,0 +1,111 @@
+//! Paper Table 7: memory-traffic cost of next-line prefetching.
+
+use specfetch_core::FetchPolicy;
+use specfetch_synth::suite::Benchmark;
+
+use crate::experiments::{baseline, vs};
+use crate::paper::TABLE7;
+use crate::runner::{mean, simulate_benchmark};
+use crate::{par_map, ExperimentReport, RunOptions, Table};
+
+/// Traffic ratios for one benchmark: policy-with-prefetch over plain
+/// Oracle.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Row {
+    /// The benchmark.
+    pub benchmark: &'static Benchmark,
+    /// Ratios for Oracle, Resume, Pessimistic (each with prefetching)
+    /// relative to Oracle without prefetching.
+    pub ratios: [f64; 3],
+}
+
+/// Gathers the traffic ratios.
+pub fn data(opts: &RunOptions) -> Vec<Row> {
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let instrs = opts.instrs_per_benchmark;
+    par_map(benches, opts.parallel, |b| {
+        let base = simulate_benchmark(b, baseline(FetchPolicy::Oracle), instrs);
+        let base_traffic = base.total_traffic().max(1) as f64;
+        let mut ratios = [0.0; 3];
+        for (i, policy) in
+            [FetchPolicy::Oracle, FetchPolicy::Resume, FetchPolicy::Pessimistic]
+                .into_iter()
+                .enumerate()
+        {
+            let mut cfg = baseline(policy);
+            cfg.prefetch = true;
+            let r = simulate_benchmark(b, cfg, instrs);
+            ratios[i] = r.total_traffic() as f64 / base_traffic;
+        }
+        Row { benchmark: b, ratios }
+    })
+}
+
+/// Renders the report.
+pub fn run(opts: &RunOptions) -> ExperimentReport {
+    let rows = data(opts);
+    let mut table = Table::new([
+        "bench",
+        "Oracle+Pref (paper)",
+        "Resume+Pref (paper)",
+        "Pess+Pref (paper)",
+    ]);
+    for (i, r) in rows.iter().enumerate() {
+        table.row(vec![
+            r.benchmark.name.to_owned(),
+            vs(r.ratios[0], TABLE7[i][0]),
+            vs(r.ratios[1], TABLE7[i][1]),
+            vs(r.ratios[2], TABLE7[i][2]),
+        ]);
+    }
+    let paper_avg = [1.35, 1.56, 1.38];
+    table.row(vec![
+        "Average".into(),
+        vs(mean(rows.iter().map(|r| r.ratios[0])), paper_avg[0]),
+        vs(mean(rows.iter().map(|r| r.ratios[1])), paper_avg[1]),
+        vs(mean(rows.iter().map(|r| r.ratios[2])), paper_avg[2]),
+    ]);
+    ExperimentReport {
+        id: "table7",
+        title: "Memory traffic of prefetching policies vs plain Oracle (paper Table 7)".into(),
+        table,
+        notes: vec![
+            "Expected shape: prefetching costs 20-80% extra traffic everywhere; \
+             Resume+Pref is the most expensive (wrong-path demand fills plus \
+             prefetches); Oracle+Pref and Pessimistic+Pref are close."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetching_always_costs_traffic() {
+        for r in data(&RunOptions::smoke().with_instrs(60_000)) {
+            for (i, ratio) in r.ratios.iter().enumerate() {
+                assert!(
+                    *ratio >= 0.99,
+                    "{} ratio[{i}] = {ratio:.2} should not be below 1",
+                    r.benchmark.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_pref_is_most_expensive_on_average() {
+        let rows = data(&RunOptions::smoke().with_instrs(60_000));
+        let avg = |i: usize| mean(rows.iter().map(|r| r.ratios[i]));
+        assert!(avg(1) >= avg(0), "Resume {:.2} !>= Oracle {:.2}", avg(1), avg(0));
+        assert!(avg(1) >= avg(2), "Resume {:.2} !>= Pess {:.2}", avg(1), avg(2));
+    }
+
+    #[test]
+    fn report_renders_14_rows() {
+        let rep = run(&RunOptions::smoke());
+        assert_eq!(rep.table.len(), 14);
+    }
+}

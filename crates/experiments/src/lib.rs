@@ -1,0 +1,129 @@
+//! Experiment harness regenerating every table and figure of the ISCA '95
+//! fetch-policy paper.
+//!
+//! Each paper artifact has a module under [`experiments`] exposing a
+//! structured `data(...)` function (used by tests and Criterion benches)
+//! and a `run(...)` function returning a rendered [`ExperimentReport`].
+//! The `specfetch-repro` binary drives them:
+//!
+//! ```text
+//! specfetch-repro --experiment table5 --instrs 2000000
+//! specfetch-repro --experiment all --format markdown
+//! ```
+//!
+//! | Id | Paper artifact | What it reproduces |
+//! |---|---|---|
+//! | `table2` | Table 2 | workload inventory: instruction counts, % branches |
+//! | `table3` | Table 3 | miss rates (8K/32K) + PHT/BTB ISPI at depths 1 and 4 |
+//! | `table4` | Table 4 | miss classification BM/SPo/SPr/WP + traffic ratio |
+//! | `figure1` | Figure 1 | ISPI breakdown per policy, baseline (5-cycle penalty) |
+//! | `figure2` | Figure 2 | ISPI breakdown per policy, 20-cycle penalty |
+//! | `table5` | Table 5 | ISPI × speculation depth (1/2/4) × policy |
+//! | `table6` | Table 6 | ISPI per policy with a 32K cache |
+//! | `figure3` | Figure 3 | next-line prefetching at the baseline penalty |
+//! | `figure4` | Figure 4 | next-line prefetching at the 20-cycle penalty |
+//! | `table7` | Table 7 | memory-traffic ratios with prefetching |
+//!
+//! Every report prints measured values next to the paper's published
+//! numbers (kept in [`paper`]), so shape comparisons are immediate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod options;
+pub mod paper;
+mod parallel;
+mod report;
+mod runner;
+mod table;
+
+pub use options::RunOptions;
+pub use parallel::par_map;
+pub use report::ExperimentReport;
+pub use runner::{simulate_benchmark, suite_results, BenchResult};
+pub use table::{Format, Table};
+
+use std::fmt;
+
+/// The paper-artifact experiment identifiers (`--experiment all`).
+pub const EXPERIMENT_IDS: [&str; 10] = [
+    "table2", "table3", "table4", "figure1", "figure2", "table5", "table6", "figure3", "figure4",
+    "table7",
+];
+
+/// The ablation-study identifiers (`--experiment extras`), beyond the
+/// paper's artifacts.
+pub const EXTRA_EXPERIMENT_IDS: [&str; 5] = [
+    "ablation-prefetch",
+    "ablation-bpred",
+    "ablation-assoc",
+    "ablation-penalty",
+    "ablation-bus",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns [`UnknownExperiment`] if `id` is not one of
+/// [`EXPERIMENT_IDS`].
+pub fn run_experiment(id: &str, opts: &RunOptions) -> Result<ExperimentReport, UnknownExperiment> {
+    match id {
+        "table2" => Ok(experiments::table2::run(opts)),
+        "table3" => Ok(experiments::table3::run(opts)),
+        "table4" => Ok(experiments::table4::run(opts)),
+        "figure1" => Ok(experiments::figure1::run(opts)),
+        "figure2" => Ok(experiments::figure2::run(opts)),
+        "table5" => Ok(experiments::table5::run(opts)),
+        "table6" => Ok(experiments::table6::run(opts)),
+        "figure3" => Ok(experiments::figure3::run(opts)),
+        "figure4" => Ok(experiments::figure4::run(opts)),
+        "table7" => Ok(experiments::table7::run(opts)),
+        "ablation-prefetch" => Ok(experiments::ablations::run_prefetch(opts)),
+        "ablation-bpred" => Ok(experiments::ablations::run_bpred(opts)),
+        "ablation-assoc" => Ok(experiments::ablations::run_assoc(opts)),
+        "ablation-penalty" => Ok(experiments::ablations::run_penalty(opts)),
+        "ablation-bus" => Ok(experiments::ablations::run_bus(opts)),
+        other => Err(UnknownExperiment { id: other.to_owned() }),
+    }
+}
+
+/// Returned by [`run_experiment`] for an unrecognised id.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnknownExperiment {
+    /// The unrecognised identifier.
+    pub id: String,
+}
+
+impl fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown experiment {:?} (expected one of {:?})", self.id, EXPERIMENT_IDS)
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_reported() {
+        let opts = RunOptions::smoke();
+        let e = run_experiment("table99", &opts).unwrap_err();
+        assert!(e.to_string().contains("table99"));
+    }
+
+    #[test]
+    fn every_listed_id_dispatches() {
+        // Smoke-run the two cheapest to keep test time sane; the rest are
+        // covered by integration tests and benches.
+        let opts = RunOptions::smoke();
+        for id in ["table2", "table4"] {
+            let r = run_experiment(id, &opts).unwrap();
+            assert_eq!(r.id, id);
+            assert!(!r.table.render(Format::Plain).is_empty());
+        }
+    }
+}

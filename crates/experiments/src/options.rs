@@ -1,0 +1,49 @@
+//! Experiment run options.
+
+/// Knobs shared by every experiment run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RunOptions {
+    /// Dynamic instructions simulated per benchmark per configuration.
+    /// The paper ran 6M–4.8B per program; the default here (2M) keeps a
+    /// full reproduction of all tables within minutes while leaving the
+    /// relative results stable.
+    pub instrs_per_benchmark: u64,
+    /// Run the 13 benchmarks on worker threads.
+    pub parallel: bool,
+}
+
+impl RunOptions {
+    /// The default reproduction budget.
+    pub fn new() -> Self {
+        RunOptions { instrs_per_benchmark: 2_000_000, parallel: true }
+    }
+
+    /// A budget for unit tests and smoke checks.
+    pub fn smoke() -> Self {
+        RunOptions { instrs_per_benchmark: 40_000, parallel: true }
+    }
+
+    /// Overrides the per-benchmark instruction budget.
+    pub fn with_instrs(mut self, instrs: u64) -> Self {
+        self.instrs_per_benchmark = instrs;
+        self
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_builders() {
+        assert_eq!(RunOptions::default(), RunOptions::new());
+        assert_eq!(RunOptions::new().with_instrs(5).instrs_per_benchmark, 5);
+        assert!(RunOptions::smoke().instrs_per_benchmark < RunOptions::new().instrs_per_benchmark);
+    }
+}

@@ -1,0 +1,69 @@
+//! A tiny scoped-thread parallel map (no external dependencies).
+
+/// Maps `f` over `items` on up to `available_parallelism` worker threads,
+/// preserving order. Falls back to sequential mapping when `parallel` is
+/// false or only one CPU is available.
+///
+/// # Examples
+///
+/// ```
+/// let squares = specfetch_experiments::par_map(vec![1, 2, 3, 4], true, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: Vec<T>, parallel: bool, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = if parallel {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        1
+    };
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                let Some((idx, item)) = item else { break };
+                let r = f(item);
+                results.lock().expect("results lock")[idx] = Some(r);
+            });
+        }
+    });
+
+    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect(), true, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_mode_matches() {
+        let a = par_map(vec!["a", "bb", "ccc"], false, |s| s.len());
+        assert_eq!(a, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(par_map(Vec::<i32>::new(), true, |x| x), Vec::<i32>::new());
+        assert_eq!(par_map(vec![7], true, |x| x + 1), vec![8]);
+    }
+}

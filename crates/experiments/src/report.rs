@@ -1,0 +1,54 @@
+//! The rendered output of one experiment.
+
+use crate::{Format, Table};
+
+/// One regenerated paper artifact: an identifier, a human title, the data
+/// table, and explanatory notes (what shape to expect vs. the paper).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExperimentReport {
+    /// Stable identifier (`"table4"`, `"figure1"`, ...).
+    pub id: &'static str,
+    /// Human-readable title quoting the paper artifact.
+    pub title: String,
+    /// The measured (and paper-reference) data.
+    pub table: Table,
+    /// Free-form notes: expected shape, caveats, substitutions.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Renders the full report (title, table, notes).
+    pub fn render(&self, format: Format) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n\n", self.id, self.title));
+        out.push_str(&self.table.render(format));
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("note: {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_all_parts() {
+        let mut table = Table::new(["a"]);
+        table.row(vec!["1".into()]);
+        let r = ExperimentReport {
+            id: "table0",
+            title: "Demo".into(),
+            table,
+            notes: vec!["hello".into()],
+        };
+        let s = r.render(Format::Plain);
+        assert!(s.contains("table0"));
+        assert!(s.contains("Demo"));
+        assert!(s.contains("note: hello"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Shared simulation driving: one benchmark × one configuration.
+
+use specfetch_core::{SimConfig, SimResult, Simulator};
+use specfetch_synth::suite::Benchmark;
+use specfetch_trace::PathSource;
+
+use crate::{par_map, RunOptions};
+
+/// One benchmark's simulation outcome.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BenchResult {
+    /// Which benchmark.
+    pub benchmark: &'static Benchmark,
+    /// The measurements.
+    pub result: SimResult,
+}
+
+/// Simulates one benchmark under `cfg` for `instrs` dynamic instructions.
+///
+/// The correct path is fixed per benchmark (same generator seed, same
+/// path seed), so different configurations replay the *same* execution —
+/// the property every policy comparison in the paper relies on.
+pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, instrs: u64) -> SimResult {
+    let workload = bench.workload().expect("calibrated specs always generate");
+    let source = workload.executor(bench.path_seed()).take_instrs(instrs);
+    Simulator::new(cfg).run(source)
+}
+
+/// Runs the full 13-benchmark suite under the configuration produced by
+/// `cfg_for` (called once per benchmark), in suite order.
+pub fn suite_results(
+    opts: &RunOptions,
+    cfg_for: impl Fn(&Benchmark) -> SimConfig + Sync,
+) -> Vec<BenchResult> {
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let instrs = opts.instrs_per_benchmark;
+    par_map(benches, opts.parallel, |b| BenchResult {
+        benchmark: b,
+        result: simulate_benchmark(b, cfg_for(b), instrs),
+    })
+}
+
+/// The arithmetic mean of `xs`.
+pub(crate) fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u32);
+    for x in xs {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfetch_core::FetchPolicy;
+
+    #[test]
+    fn simulate_benchmark_is_deterministic() {
+        let b = Benchmark::by_name("li").unwrap();
+        let cfg = SimConfig::paper_baseline();
+        let a = simulate_benchmark(b, cfg, 20_000);
+        let c = simulate_benchmark(b, cfg, 20_000);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn suite_results_covers_all_benchmarks_in_order() {
+        let opts = RunOptions::smoke().with_instrs(5_000);
+        let rs = suite_results(&opts, |_| SimConfig::paper_baseline());
+        assert_eq!(rs.len(), 13);
+        assert_eq!(rs[0].benchmark.name, "doduc");
+        assert_eq!(rs[12].benchmark.name, "porky");
+        for r in &rs {
+            assert_eq!(r.result.policy, FetchPolicy::Resume);
+            assert_eq!(r.result.correct_instrs, 5_000);
+        }
+    }
+
+    #[test]
+    fn helpers() {
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean([]), 0.0);
+    }
+}

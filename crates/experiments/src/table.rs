@@ -1,0 +1,224 @@
+//! Plain-text / markdown / CSV table rendering.
+
+use std::fmt;
+
+/// Output format for rendered tables.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Format {
+    /// Aligned monospace columns.
+    #[default]
+    Plain,
+    /// GitHub-flavoured markdown.
+    Markdown,
+    /// Comma-separated values (headers included).
+    Csv,
+}
+
+impl Format {
+    /// Parses a CLI format name.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "plain" => Some(Format::Plain),
+            "markdown" | "md" => Some(Format::Markdown),
+            "csv" => Some(Format::Csv),
+            _ => None,
+        }
+    }
+}
+
+/// A rendered experiment table.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_experiments::{Format, Table};
+///
+/// let mut t = Table::new(["bench", "ISPI"]);
+/// t.row(["gcc".into(), "1.88".into()]);
+/// let text = t.render(Format::Plain);
+/// assert!(text.contains("gcc"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count (a harness
+    /// bug, not a data condition).
+    pub fn row<I>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let row: Vec<String> = cells.into_iter().collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty of data rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The raw cell at `(row, col)`, for tests.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    /// Renders in the requested format.
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Plain => self.render_plain(),
+            Format::Markdown => self.render_markdown(),
+            Format::Csv => self.render_csv(),
+        }
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    fn render_plain(&self) -> String {
+        use fmt::Write;
+        let w = self.widths();
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align labels.
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", c, width = w[i]);
+                } else {
+                    let _ = write!(out, "{:>width$}", c, width = w[i]);
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["bench", "ISPI", "paper"]);
+        t.row(vec!["gcc".into(), "1.92".into(), "1.88".into()]);
+        t.row(vec!["li".into(), "1.51".into(), "1.54".into()]);
+        t
+    }
+
+    #[test]
+    fn plain_aligns_columns() {
+        let s = sample().render(Format::Plain);
+        assert!(s.contains("bench"));
+        assert!(s.contains("gcc"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let s = sample().render(Format::Markdown);
+        assert!(s.starts_with("| bench | ISPI | paper |"));
+        assert!(s.lines().nth(1).unwrap().contains("---"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(["a"]);
+        t.row(vec!["x,y".into()]);
+        let s = t.render(Format::Csv);
+        assert!(s.contains("\"x,y\""));
+    }
+
+    #[test]
+    fn cell_access() {
+        let t = sample();
+        assert_eq!(t.cell(0, 0), Some("gcc"));
+        assert_eq!(t.cell(1, 2), Some("1.54"));
+        assert_eq!(t.cell(9, 0), None);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn format_parse() {
+        assert_eq!(Format::parse("plain"), Some(Format::Plain));
+        assert_eq!(Format::parse("md"), Some(Format::Markdown));
+        assert_eq!(Format::parse("csv"), Some(Format::Csv));
+        assert_eq!(Format::parse("xml"), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! Strongly-typed instruction addresses and cache-line numbers.
+
+use std::fmt;
+
+/// Size of one instruction in bytes.
+///
+/// The paper's benchmarks ran on the Alpha AXP-21064, a fixed-width 32-bit
+/// RISC encoding; every address handled by the simulator is a multiple of
+/// this constant.
+pub const INSTR_BYTES: u64 = 4;
+
+/// A byte address of an instruction.
+///
+/// Addresses are always aligned to [`INSTR_BYTES`]; constructors debug-assert
+/// this so misaligned PCs are caught early in tests.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_isa::Addr;
+///
+/// let pc = Addr::new(0x2000);
+/// assert_eq!(pc.next().raw(), 0x2004);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `raw` is not [`INSTR_BYTES`]-aligned.
+    pub const fn new(raw: u64) -> Self {
+        debug_assert!(raw.is_multiple_of(INSTR_BYTES), "instruction address misaligned");
+        Addr(raw)
+    }
+
+    /// Creates an address from a word index (instruction number).
+    ///
+    /// ```
+    /// use specfetch_isa::Addr;
+    /// assert_eq!(Addr::from_word(3).raw(), 12);
+    /// ```
+    pub const fn from_word(word: u64) -> Self {
+        Addr(word * INSTR_BYTES)
+    }
+
+    /// Returns the raw byte value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the word index (`raw / 4`).
+    pub const fn word_index(self) -> u64 {
+        self.0 / INSTR_BYTES
+    }
+
+    /// The address of the next sequential instruction (the fall-through PC).
+    pub const fn next(self) -> Addr {
+        Addr(self.0 + INSTR_BYTES)
+    }
+
+    /// Offsets the address by `words` instructions (may be negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow below address zero.
+    pub fn offset_words(self, words: i64) -> Addr {
+        let delta = words * INSTR_BYTES as i64;
+        Addr(self.0.checked_add_signed(delta).expect("address out of range"))
+    }
+
+    /// The cache line this address falls in, for lines of `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `line_bytes` is not a power of two.
+    pub fn line(self, line_bytes: u64) -> LineAddr {
+        debug_assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        LineAddr(self.0 / line_bytes)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+/// A cache-line number: a byte address divided by the line size.
+///
+/// The line size is a property of the cache, so `LineAddr` values are only
+/// comparable when produced with the same `line_bytes`; the simulator always
+/// derives them from a single [`crate::Addr::line`] call site per cache.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line number directly.
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// Returns the raw line number.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The next sequential line (the one next-line prefetching targets).
+    pub const fn next(self) -> LineAddr {
+        LineAddr(self.0 + 1)
+    }
+
+    /// The first byte address of this line, for lines of `line_bytes` bytes.
+    pub const fn base_addr(self, line_bytes: u64) -> Addr {
+        Addr::new(self.0 * line_bytes)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip() {
+        for w in [0u64, 1, 17, 1 << 40] {
+            assert_eq!(Addr::from_word(w).word_index(), w);
+        }
+    }
+
+    #[test]
+    fn next_advances_one_instruction() {
+        assert_eq!(Addr::new(0).next(), Addr::new(4));
+        assert_eq!(Addr::new(100).next().raw(), 104);
+    }
+
+    #[test]
+    fn offset_words_signed() {
+        let a = Addr::new(0x100);
+        assert_eq!(a.offset_words(2), Addr::new(0x108));
+        assert_eq!(a.offset_words(-4), Addr::new(0xf0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_words_underflow_panics() {
+        let _ = Addr::new(0).offset_words(-1);
+    }
+
+    #[test]
+    fn line_mapping_32_byte_lines() {
+        assert_eq!(Addr::new(0).line(32), LineAddr::new(0));
+        assert_eq!(Addr::new(28).line(32), LineAddr::new(0));
+        assert_eq!(Addr::new(32).line(32), LineAddr::new(1));
+        assert_eq!(Addr::new(0x1000).line(32).index(), 0x1000 / 32);
+    }
+
+    #[test]
+    fn line_base_addr_round_trip() {
+        let line = Addr::new(0x12340).line(32);
+        assert_eq!(line.base_addr(32).line(32), line);
+    }
+
+    #[test]
+    fn line_next_is_sequential() {
+        let line = Addr::new(0).line(32);
+        assert_eq!(line.next(), Addr::new(32).line(32));
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(format!("{}", Addr::new(0x1f0)), "0x1f0");
+        assert_eq!(format!("{:x}", Addr::new(0x1f0)), "1f0");
+        assert_eq!(format!("{}", LineAddr::new(7)), "line#7");
+    }
+}

@@ -1,0 +1,147 @@
+//! Dynamic (retired, correct-path) instruction records.
+
+use std::fmt;
+
+use crate::{Addr, InstrKind};
+
+/// One retired instruction of the correct execution path, with its
+/// ground-truth control-flow outcome.
+///
+/// This is what a trace yields and what the simulator's correct-path stream
+/// consumes. For non-branches `taken` is `false` and `next_pc` is `pc + 4`;
+/// for branches `taken`/`next_pc` record what the program *actually* did —
+/// the oracle knowledge the fetch engine is trying to predict.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_isa::{Addr, DynInstr, InstrKind};
+///
+/// let taken = DynInstr::branch(
+///     Addr::new(0x10),
+///     InstrKind::CondBranch { target: Addr::new(0x40) },
+///     true,
+///     Addr::new(0x40),
+/// );
+/// assert!(taken.taken);
+/// assert_eq!(taken.next_pc, Addr::new(0x40));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DynInstr {
+    /// The instruction's address.
+    pub pc: Addr,
+    /// Its static classification.
+    pub kind: InstrKind,
+    /// Actual direction (always `false` for [`InstrKind::Seq`], always
+    /// `true` for unconditional transfers).
+    pub taken: bool,
+    /// The actual successor PC.
+    pub next_pc: Addr,
+}
+
+impl DynInstr {
+    /// A retired non-branch at `pc`.
+    pub fn seq(pc: Addr) -> Self {
+        DynInstr { pc, kind: InstrKind::Seq, taken: false, next_pc: pc.next() }
+    }
+
+    /// A retired control transfer with its actual outcome.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `kind` is [`InstrKind::Seq`], if an
+    /// unconditional transfer is flagged not-taken, or if a not-taken
+    /// outcome does not fall through.
+    pub fn branch(pc: Addr, kind: InstrKind, taken: bool, next_pc: Addr) -> Self {
+        debug_assert!(kind.is_branch(), "DynInstr::branch needs a branch kind");
+        debug_assert!(taken || kind.is_conditional(), "unconditional transfers are always taken");
+        debug_assert!(taken || next_pc == pc.next(), "not-taken branch must fall through");
+        DynInstr { pc, kind, taken, next_pc }
+    }
+
+    /// Is this a control transfer?
+    pub fn is_branch(&self) -> bool {
+        self.kind.is_branch()
+    }
+}
+
+impl fmt::Display for DynInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kind.is_branch() {
+            write!(
+                f,
+                "{}: {} [{} -> {}]",
+                self.pc,
+                self.kind,
+                if self.taken { "taken" } else { "not-taken" },
+                self.next_pc
+            )
+        } else {
+            write!(f, "{}: {}", self.pc, self.kind)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_falls_through() {
+        let d = DynInstr::seq(Addr::new(0x100));
+        assert!(!d.is_branch());
+        assert!(!d.taken);
+        assert_eq!(d.next_pc, Addr::new(0x104));
+    }
+
+    #[test]
+    fn not_taken_branch_falls_through() {
+        let pc = Addr::new(0x20);
+        let d = DynInstr::branch(pc, InstrKind::CondBranch { target: Addr::new(0x80) }, false, pc.next());
+        assert!(d.is_branch());
+        assert_eq!(d.next_pc, Addr::new(0x24));
+    }
+
+    #[test]
+    fn taken_branch_jumps() {
+        let d = DynInstr::branch(
+            Addr::new(0x20),
+            InstrKind::Jump { target: Addr::new(0x80) },
+            true,
+            Addr::new(0x80),
+        );
+        assert_eq!(d.next_pc, Addr::new(0x80));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)] // validation is debug_assert! (hot path)
+    fn seq_kind_rejected_by_branch_ctor() {
+        let _ = DynInstr::branch(Addr::new(0), InstrKind::Seq, false, Addr::new(4));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)] // validation is debug_assert! (hot path)
+    fn not_taken_must_fall_through() {
+        let _ = DynInstr::branch(
+            Addr::new(0),
+            InstrKind::CondBranch { target: Addr::new(8) },
+            false,
+            Addr::new(8),
+        );
+    }
+
+    #[test]
+    fn display_shows_outcome() {
+        let d = DynInstr::branch(
+            Addr::new(0x20),
+            InstrKind::CondBranch { target: Addr::new(0x80) },
+            true,
+            Addr::new(0x80),
+        );
+        let s = format!("{d}");
+        assert!(s.contains("taken"));
+        assert!(!format!("{}", DynInstr::seq(Addr::new(0))).is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Control-flow classification of instructions.
+
+use std::fmt;
+
+use crate::Addr;
+
+/// The control-flow-relevant classification of one static instruction.
+///
+/// The fetch engine only cares about how an instruction redirects (or does
+/// not redirect) the PC, so everything that is not a control transfer is a
+/// single [`InstrKind::Seq`] variant. Targets of direct transfers are part
+/// of the static image; returns and indirect transfers carry no static
+/// target — their destination is only known once the instruction resolves
+/// (or is predicted by the BTB/RAS).
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_isa::{Addr, InstrKind};
+///
+/// let b = InstrKind::CondBranch { target: Addr::new(0x40) };
+/// assert!(b.is_branch());
+/// assert!(b.is_conditional());
+/// assert_eq!(b.static_target(), Some(Addr::new(0x40)));
+/// assert_eq!(InstrKind::Return.static_target(), None);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum InstrKind {
+    /// A non-control-transfer instruction; execution falls through.
+    Seq,
+    /// A conditional branch with a statically-known taken target.
+    CondBranch {
+        /// Taken-path destination.
+        target: Addr,
+    },
+    /// An unconditional direct jump.
+    Jump {
+        /// Destination.
+        target: Addr,
+    },
+    /// A direct call; pushes the return address (PC+4) on the call stack.
+    Call {
+        /// Callee entry point.
+        target: Addr,
+    },
+    /// A return; its target is the top of the call stack, unknown statically.
+    Return,
+    /// An indirect jump (e.g. a switch table); target unknown statically.
+    IndirectJump,
+    /// An indirect call (e.g. a virtual dispatch); target unknown statically.
+    IndirectCall,
+}
+
+impl InstrKind {
+    /// Is this any control-transfer instruction?
+    ///
+    /// The paper's "% Branches" column (Table 2) counts exactly these.
+    pub const fn is_branch(self) -> bool {
+        !matches!(self, InstrKind::Seq)
+    }
+
+    /// Is this a conditional branch (the only kind that can fall through
+    /// *or* jump, and the kind counted against the unresolved-branch limit)?
+    pub const fn is_conditional(self) -> bool {
+        matches!(self, InstrKind::CondBranch { .. })
+    }
+
+    /// Is this always taken when executed (every transfer except a
+    /// conditional branch)?
+    pub const fn is_unconditional(self) -> bool {
+        self.is_branch() && !self.is_conditional()
+    }
+
+    /// Does this instruction push a return address (calls, direct or
+    /// indirect)?
+    pub const fn is_call(self) -> bool {
+        matches!(self, InstrKind::Call { .. } | InstrKind::IndirectCall)
+    }
+
+    /// Is this a return?
+    pub const fn is_return(self) -> bool {
+        matches!(self, InstrKind::Return)
+    }
+
+    /// The statically-known taken target, if any.
+    ///
+    /// Direct branches, jumps, and calls have one; returns and indirect
+    /// transfers do not (their target only becomes available at resolve
+    /// time, or earlier from a BTB/RAS prediction).
+    pub const fn static_target(self) -> Option<Addr> {
+        match self {
+            InstrKind::CondBranch { target }
+            | InstrKind::Jump { target }
+            | InstrKind::Call { target } => Some(target),
+            InstrKind::Seq
+            | InstrKind::Return
+            | InstrKind::IndirectJump
+            | InstrKind::IndirectCall => None,
+        }
+    }
+
+    /// Can the front end compute this instruction's taken target in the
+    /// decode stage (two cycles after fetch)?
+    ///
+    /// Direct transfers encode their displacement, so decode can produce the
+    /// target (this is what bounds a *misfetch* to the paper's 2-cycle
+    /// penalty). Returns and indirect transfers cannot; without a BTB/RAS
+    /// hit their target is only available at resolve time.
+    pub const fn target_computable_at_decode(self) -> bool {
+        self.static_target().is_some()
+    }
+}
+
+impl fmt::Display for InstrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrKind::Seq => write!(f, "seq"),
+            InstrKind::CondBranch { target } => write!(f, "bcond {target}"),
+            InstrKind::Jump { target } => write!(f, "jmp {target}"),
+            InstrKind::Call { target } => write!(f, "call {target}"),
+            InstrKind::Return => write!(f, "ret"),
+            InstrKind::IndirectJump => write!(f, "ijmp"),
+            InstrKind::IndirectCall => write!(f, "icall"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Addr = Addr::new(0x80);
+
+    #[test]
+    fn seq_is_not_a_branch() {
+        assert!(!InstrKind::Seq.is_branch());
+        assert!(!InstrKind::Seq.is_conditional());
+        assert_eq!(InstrKind::Seq.static_target(), None);
+    }
+
+    #[test]
+    fn classification_matrix() {
+        let cond = InstrKind::CondBranch { target: T };
+        let jump = InstrKind::Jump { target: T };
+        let call = InstrKind::Call { target: T };
+
+        for k in [cond, jump, call, InstrKind::Return, InstrKind::IndirectJump, InstrKind::IndirectCall] {
+            assert!(k.is_branch(), "{k} should be a branch");
+        }
+        assert!(cond.is_conditional());
+        assert!(!jump.is_conditional());
+        assert!(jump.is_unconditional());
+        assert!(!cond.is_unconditional());
+        assert!(call.is_call());
+        assert!(InstrKind::IndirectCall.is_call());
+        assert!(!jump.is_call());
+        assert!(InstrKind::Return.is_return());
+    }
+
+    #[test]
+    fn static_targets() {
+        assert_eq!(InstrKind::CondBranch { target: T }.static_target(), Some(T));
+        assert_eq!(InstrKind::Jump { target: T }.static_target(), Some(T));
+        assert_eq!(InstrKind::Call { target: T }.static_target(), Some(T));
+        assert_eq!(InstrKind::Return.static_target(), None);
+        assert_eq!(InstrKind::IndirectJump.static_target(), None);
+        assert_eq!(InstrKind::IndirectCall.static_target(), None);
+    }
+
+    #[test]
+    fn decode_target_computability() {
+        assert!(InstrKind::Jump { target: T }.target_computable_at_decode());
+        assert!(!InstrKind::Return.target_computable_at_decode());
+        assert!(!InstrKind::IndirectCall.target_computable_at_decode());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for k in [
+            InstrKind::Seq,
+            InstrKind::CondBranch { target: T },
+            InstrKind::Jump { target: T },
+            InstrKind::Call { target: T },
+            InstrKind::Return,
+            InstrKind::IndirectJump,
+            InstrKind::IndirectCall,
+        ] {
+            assert!(!format!("{k}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Instruction-set and static program-image substrate for `specfetch`.
+//!
+//! The ISCA '95 fetch-policy study is *trace driven*: the simulator replays
+//! a recorded correct execution path, but it must also be able to walk the
+//! **wrong** paths the front end speculatively fetches after a branch
+//! misfetch or mispredict. Walking a wrong path requires a *static* view of
+//! the program — what instruction sits at an arbitrary PC, whether it is a
+//! branch, and where its statically-known target points. This crate provides
+//! that view:
+//!
+//! - [`Addr`] / [`LineAddr`]: strongly-typed byte addresses and cache-line
+//!   numbers (instructions are 4 bytes, as on the Alpha AXP the paper used).
+//! - [`InstrKind`]: the control-flow-relevant classification of an
+//!   instruction (sequential, conditional branch, jump, call, return,
+//!   indirect jump/call).
+//! - [`Program`]: an immutable code image with O(1) PC lookup, built with
+//!   [`ProgramBuilder`].
+//! - [`DynInstr`]: one retired instruction of the *correct* path, carrying
+//!   its ground-truth outcome.
+//!
+//! # Examples
+//!
+//! Build a two-instruction infinite loop and look it up by PC:
+//!
+//! ```
+//! use specfetch_isa::{Addr, InstrKind, ProgramBuilder};
+//!
+//! # fn main() -> Result<(), specfetch_isa::ProgramBuildError> {
+//! let mut b = ProgramBuilder::new(Addr::new(0x1000));
+//! let top = b.push(InstrKind::Seq);
+//! b.push(InstrKind::CondBranch { target: top });
+//! b.set_entry(top);
+//! let program = b.finish()?;
+//!
+//! assert_eq!(program.fetch(top), Some(InstrKind::Seq));
+//! assert_eq!(program.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod dynamic;
+mod instr;
+mod program;
+
+pub use addr::{Addr, LineAddr, INSTR_BYTES};
+pub use dynamic::DynInstr;
+pub use instr::InstrKind;
+pub use program::{Program, ProgramBuildError, ProgramBuilder};

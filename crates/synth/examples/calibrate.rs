@@ -1,0 +1,181 @@
+//! Calibration search: tunes each benchmark's generator knobs until its
+//! measured characteristics (% branches, 8K/32K direct-mapped miss rates)
+//! match the paper's Tables 2–3, then prints a `Knobs` row to paste into
+//! `suite.rs`.
+//!
+//! Usage: `cargo run --release -p specfetch-synth --example calibrate
+//! [bench ...]` (defaults to all benchmarks).
+
+use std::collections::HashMap;
+
+use specfetch_synth::suite::Benchmark;
+use specfetch_synth::{Workload, WorkloadSpec};
+use specfetch_trace::PathSource;
+
+const EVAL_INSTRS: u64 = 900_000;
+
+#[derive(Copy, Clone, Debug, Default)]
+struct Measured {
+    branch_pct: f64,
+    miss_8k: f64,
+    miss_32k: f64,
+}
+
+fn measure(spec: &WorkloadSpec, path_seed: u64) -> Option<Measured> {
+    let w = Workload::generate(spec).ok()?;
+    let mut e = w.executor(path_seed).take_instrs(EVAL_INSTRS);
+    let mut c8: HashMap<u64, u64> = HashMap::new();
+    let mut c32: HashMap<u64, u64> = HashMap::new();
+    let (mut m8, mut m32, mut instrs, mut branches) = (0u64, 0u64, 0u64, 0u64);
+    while let Some(d) = e.next_instr() {
+        instrs += 1;
+        if d.kind.is_branch() {
+            branches += 1;
+        }
+        let line = d.pc.raw() / 32;
+        let (s8, t8) = (line % 256, line / 256);
+        if c8.get(&s8) != Some(&t8) {
+            m8 += 1;
+            c8.insert(s8, t8);
+        }
+        let (s32, t32) = (line % 1024, line / 1024);
+        if c32.get(&s32) != Some(&t32) {
+            m32 += 1;
+            c32.insert(s32, t32);
+        }
+    }
+    Some(Measured {
+        branch_pct: 100.0 * branches as f64 / instrs as f64,
+        miss_8k: 100.0 * m8 as f64 / instrs as f64,
+        miss_32k: 100.0 * m32 as f64 / instrs as f64,
+    })
+}
+
+/// Relative-error objective; miss-rate terms use a floor so near-zero
+/// targets (su2cor's 0.00% at 32K) don't blow up.
+fn error(m: &Measured, b: &Benchmark) -> f64 {
+    let rel = |got: f64, want: f64, floor: f64| {
+        let w = want.max(floor);
+        ((got - want) / w).abs()
+    };
+    1.0 * rel(m.branch_pct, b.paper.branch_pct, 1.0)
+        + 2.0 * rel(m.miss_8k, b.paper.miss_8k, 0.3)
+        + 1.5 * rel(m.miss_32k, b.paper.miss_32k, 0.3)
+}
+
+type Mutation = (&'static str, fn(&mut WorkloadSpec));
+
+fn mutations() -> Vec<Mutation> {
+    fn scale_usize(v: usize, f: f64, lo: usize) -> usize {
+        ((v as f64 * f).round() as usize).max(lo)
+    }
+    vec![
+        ("hot+", |s| s.hot_functions = (s.hot_functions + 1).min(s.n_functions)),
+        ("hot++", |s| {
+            s.hot_functions = scale_usize(s.hot_functions, 1.5, 1).min(s.n_functions)
+        }),
+        ("hot-", |s| s.hot_functions = s.hot_functions.saturating_sub(1).max(1)),
+        ("hot--", |s| s.hot_functions = scale_usize(s.hot_functions, 0.67, 1)),
+        ("n+", |s| s.n_functions = scale_usize(s.n_functions, 1.3, 4)),
+        ("n-", |s| {
+            s.n_functions = scale_usize(s.n_functions, 0.77, 4);
+            s.hot_functions = s.hot_functions.min(s.n_functions);
+        }),
+        ("loop+", |s| s.p_loop = (s.p_loop * 1.4 + 0.01).min(0.5)),
+        ("loop-", |s| s.p_loop = (s.p_loop * 0.7).max(0.0)),
+        ("cold+", |s| s.cold_call_prob = (s.cold_call_prob * 1.5 + 0.005).min(0.6)),
+        ("cold-", |s| s.cold_call_prob = (s.cold_call_prob * 0.67).max(0.0)),
+        ("blk+", |s| s.block_len = (s.block_len.0, s.block_len.1 + 1)),
+        ("blk-", |s| {
+            s.block_len = (s.block_len.0.max(2) - 1, (s.block_len.1 - 1).max(s.block_len.0.max(2) - 1).max(1))
+        }),
+        ("trip+", |s| s.loop_trip = (s.loop_trip.0, (s.loop_trip.1 as f64 * 1.4) as u32 + 1)),
+        ("trip-", |s| {
+            s.loop_trip = (s.loop_trip.0.min(2), ((s.loop_trip.1 as f64 * 0.7) as u32).max(s.loop_trip.0.min(2)))
+        }),
+        ("jump+", |s| s.call_jump += 2),
+        ("jump-", |s| s.call_jump = s.call_jump.saturating_sub(2).max(1)),
+        ("stmt+", |s| s.stmts_per_fn = (s.stmts_per_fn.0 + 1, s.stmts_per_fn.1 + 2)),
+        ("stmt-", |s| {
+            let lo = s.stmts_per_fn.0.saturating_sub(1).max(2);
+            s.stmts_per_fn = (lo, (s.stmts_per_fn.1.saturating_sub(2)).max(lo));
+        }),
+    ]
+}
+
+fn calibrate(b: &Benchmark, rounds: usize) -> (WorkloadSpec, Measured, f64) {
+    let mut best_spec = b.spec();
+    let mut best_m = measure(&best_spec, b.path_seed()).expect("base spec generates");
+    let mut best_e = error(&best_m, b);
+    let muts = mutations();
+    for round in 0..rounds {
+        let mut improved = false;
+        for (name, m) in &muts {
+            let mut cand = best_spec.clone();
+            m(&mut cand);
+            if cand.validate().is_err() {
+                continue;
+            }
+            let Some(meas) = measure(&cand, b.path_seed()) else { continue };
+            let e = error(&meas, b);
+            if e + 1e-9 < best_e {
+                eprintln!(
+                    "  [{}] round {round} {name}: err {best_e:.3} -> {e:.3} (br {:.1} m8 {:.2} m32 {:.2})",
+                    b.name, meas.branch_pct, meas.miss_8k, meas.miss_32k
+                );
+                best_spec = cand;
+                best_m = meas;
+                best_e = e;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (best_spec, best_m, best_e)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches: Vec<&Benchmark> = if args.is_empty() {
+        Benchmark::all().iter().collect()
+    } else {
+        args.iter()
+            .map(|a| Benchmark::by_name(a).unwrap_or_else(|| panic!("unknown benchmark {a}")))
+            .collect()
+    };
+    let mut rows = Vec::new();
+    for b in benches {
+        let (spec, m, e) = calibrate(b, 20);
+        eprintln!(
+            "{}: err {:.3}  br {:.1}/{:.1}  8K {:.2}/{:.2}  32K {:.2}/{:.2}",
+            b.name,
+            e,
+            m.branch_pct,
+            b.paper.branch_pct,
+            m.miss_8k,
+            b.paper.miss_8k,
+            m.miss_32k,
+            b.paper.miss_32k
+        );
+        rows.push(format!(
+            "    // {}\n    Knobs {{ block_len: ({}, {}), n_functions: {}, stmts_per_fn: ({}, {}), hot_functions: {}, cold_call_prob: {:.4}, p_loop: {:.4}, loop_trip: ({}, {}), weak_branch_frac: {:.2}, max_loop_depth: {}, call_jump: {} }},",
+            b.name,
+            spec.block_len.0, spec.block_len.1,
+            spec.n_functions,
+            spec.stmts_per_fn.0, spec.stmts_per_fn.1,
+            spec.hot_functions,
+            spec.cold_call_prob,
+            spec.p_loop,
+            spec.loop_trip.0, spec.loop_trip.1,
+            spec.weak_branch_frac,
+            spec.max_loop_depth,
+            spec.call_jump,
+        ));
+    }
+    println!("\n==== paste into suite.rs KNOBS ====");
+    for r in &rows {
+        println!("{r}");
+    }
+}

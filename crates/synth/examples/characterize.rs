@@ -1,0 +1,70 @@
+//! Quick workload characterisation dump (used during calibration).
+//!
+//! Prints, per benchmark: static size, dynamic %branches, taken ratio, and
+//! per-instruction miss rates of 8K/32K direct-mapped caches on the
+//! correct path, next to the paper's targets.
+use std::collections::HashMap;
+
+use specfetch_synth::suite::Benchmark;
+use specfetch_trace::PathSource;
+
+const N: u64 = 1_000_000;
+
+fn main() {
+    println!(
+        "{:<8} {:>7} {:>6}/{:<6} {:>5} {:>6}/{:<6} {:>6}/{:<6} {:>6} {:>8}",
+        "bench", "static", "%br", "paper", "taken", "8K", "paper", "32K", "paper", "footKB", "iterlen"
+    );
+    for b in Benchmark::all() {
+        let w = b.workload().unwrap();
+        let mut e = w.executor(b.path_seed()).take_instrs(N);
+        let mut c8: HashMap<u64, u64> = HashMap::new(); // set -> tag
+        let mut c32: HashMap<u64, u64> = HashMap::new();
+        let (mut m8, mut m32, mut instrs, mut branches, mut taken, mut conds) =
+            (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut touched = std::collections::HashSet::new();
+        let entry = w.program().entry();
+        let mut iterations = 0u64;
+        while let Some(d) = e.next_instr() {
+            if d.pc == entry {
+                iterations += 1;
+            }
+            instrs += 1;
+            if d.kind.is_branch() {
+                branches += 1;
+            }
+            if d.kind.is_conditional() {
+                conds += 1;
+                if d.taken {
+                    taken += 1;
+                }
+            }
+            let line = d.pc.raw() / 32;
+            touched.insert(line);
+            let (s8, t8) = (line % 256, line / 256);
+            if c8.get(&s8) != Some(&t8) {
+                m8 += 1;
+                c8.insert(s8, t8);
+            }
+            let (s32, t32) = (line % 1024, line / 1024);
+            if c32.get(&s32) != Some(&t32) {
+                m32 += 1;
+                c32.insert(s32, t32);
+            }
+        }
+        println!(
+            "{:<8} {:>7} {:>6.1}/{:<5.1} {:>5.2} {:>6.2}/{:<5.2} {:>6.2}/{:<5.2} {:>5} {:>8}",
+            b.name,
+            w.program().len(),
+            100.0 * branches as f64 / instrs as f64,
+            b.paper.branch_pct,
+            taken as f64 / conds.max(1) as f64,
+            100.0 * m8 as f64 / instrs as f64,
+            b.paper.miss_8k,
+            100.0 * m32 as f64 / instrs as f64,
+            b.paper.miss_32k,
+            touched.len() * 32 / 1024,
+            instrs / iterations.max(1),
+        );
+    }
+}

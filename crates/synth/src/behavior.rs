@@ -1,0 +1,167 @@
+//! Dynamic behaviours attached to generated branch sites.
+
+use specfetch_isa::Addr;
+
+/// How a generated conditional branch behaves when executed.
+///
+/// The interpreter keeps per-site state (loop counters) and a seeded RNG;
+/// the behaviour plus that state fully determines each dynamic outcome, so
+/// the same workload and seed always produce the same path.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BranchBehavior {
+    /// A loop back-edge: taken `trip` consecutive times, then not taken
+    /// once (the loop exit), then the counter resets. Highly predictable —
+    /// what makes the Fortran-like codes accurate to predict.
+    Loop {
+        /// Consecutive taken executions before one not-taken.
+        trip: u32,
+    },
+    /// A data-dependent conditional taken with probability `p_taken`
+    /// independently at each execution.
+    Biased {
+        /// Probability of the taken direction.
+        p_taken: f64,
+    },
+    /// A conditional correlated with the global outcome history: with
+    /// probability `p_agree` it repeats the outcome of the conditional
+    /// executed `lag` branches ago (real programs test related conditions
+    /// close together — exactly the signal gshare-style predictors
+    /// exploit and PC-indexed ones cannot).
+    Correlated {
+        /// How many conditional outcomes back to look (1-based).
+        lag: u32,
+        /// Probability of agreeing with that outcome.
+        p_agree: f64,
+    },
+}
+
+impl BranchBehavior {
+    /// Long-run taken frequency of this behaviour (for [`Correlated`]
+    /// branches this depends on the surrounding mix; 0.5 is reported as
+    /// the neutral estimate).
+    ///
+    /// [`Correlated`]: BranchBehavior::Correlated
+    pub fn taken_rate(&self) -> f64 {
+        match *self {
+            BranchBehavior::Loop { trip } => trip as f64 / (trip as f64 + 1.0),
+            BranchBehavior::Biased { p_taken } => p_taken,
+            BranchBehavior::Correlated { .. } => 0.5,
+        }
+    }
+
+    /// The best static-prediction accuracy achievable on this behaviour
+    /// (what a saturated 2-bit counter converges to, history aside).
+    pub fn best_static_accuracy(&self) -> f64 {
+        if let BranchBehavior::Correlated { p_agree, .. } = *self {
+            // A history-aware predictor can reach p_agree; a static or
+            // PC-indexed one is stuck near chance.
+            return p_agree.max(1.0 - p_agree);
+        }
+        let t = self.taken_rate();
+        t.max(1.0 - t)
+    }
+}
+
+/// The target set of a generated indirect call/jump site.
+///
+/// Targets are chosen per execution with the given relative weights,
+/// modelling virtual dispatch where one receiver class dominates.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DispatchTable {
+    targets: Vec<Addr>,
+    /// Cumulative weights, normalised so the last entry is 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl DispatchTable {
+    /// Builds a table from `(target, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any weight is non-positive — a
+    /// generator bug, not a runtime condition.
+    pub fn new(entries: &[(Addr, f64)]) -> Self {
+        assert!(!entries.is_empty(), "dispatch table needs at least one target");
+        let total: f64 = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0 && entries.iter().all(|&(_, w)| w > 0.0), "weights must be positive");
+        let mut cumulative = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        for &(_, w) in entries {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        DispatchTable { targets: entries.iter().map(|&(t, _)| t).collect(), cumulative }
+    }
+
+    /// Picks a target for a uniform sample `u` in `[0, 1)`.
+    pub fn pick(&self, u: f64) -> Addr {
+        let i = self
+            .cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.targets.len() - 1);
+        self.targets[i]
+    }
+
+    /// All possible targets.
+    pub fn targets(&self) -> &[Addr] {
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_taken_rate() {
+        let b = BranchBehavior::Loop { trip: 9 };
+        assert!((b.taken_rate() - 0.9).abs() < 1e-12);
+        assert!((b.best_static_accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_rates() {
+        let b = BranchBehavior::Correlated { lag: 2, p_agree: 0.9 };
+        assert!((b.taken_rate() - 0.5).abs() < 1e-12);
+        assert!((b.best_static_accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_rates() {
+        let b = BranchBehavior::Biased { p_taken: 0.2 };
+        assert!((b.taken_rate() - 0.2).abs() < 1e-12);
+        assert!((b.best_static_accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispatch_pick_honours_weights() {
+        let t = DispatchTable::new(&[(Addr::new(0), 3.0), (Addr::new(4), 1.0)]);
+        assert_eq!(t.pick(0.0), Addr::new(0));
+        assert_eq!(t.pick(0.74), Addr::new(0));
+        assert_eq!(t.pick(0.76), Addr::new(4));
+        assert_eq!(t.pick(0.999999), Addr::new(4));
+        assert_eq!(t.targets().len(), 2);
+    }
+
+    #[test]
+    fn dispatch_single_target_always_picked() {
+        let t = DispatchTable::new(&[(Addr::new(8), 1.0)]);
+        for u in [0.0, 0.5, 0.999] {
+            assert_eq!(t.pick(u), Addr::new(8));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dispatch_panics() {
+        let _ = DispatchTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_weight_panics() {
+        let _ = DispatchTable::new(&[(Addr::new(0), 0.0)]);
+    }
+}

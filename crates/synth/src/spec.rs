@@ -1,0 +1,322 @@
+//! Workload-generator parameters.
+
+use std::fmt;
+
+/// All knobs of the synthetic program generator.
+///
+/// The three preset families mirror the paper's language groups:
+/// [`WorkloadSpec::fortran_like`] (long basic blocks, deep predictable
+/// loops, direct calls only), [`WorkloadSpec::c_like`] (short blocks, many
+/// data-dependent conditionals), and [`WorkloadSpec::cpp_like`] (short
+/// blocks, many small functions, indirect dispatch). The thirteen
+/// calibrated benchmarks in [`crate::suite`] are tuned variants of these.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_synth::WorkloadSpec;
+///
+/// let mut spec = WorkloadSpec::cpp_like("mini", 1);
+/// spec.n_functions = 24;
+/// assert!(spec.validate().is_ok());
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct WorkloadSpec {
+    /// Workload name (used in reports).
+    pub name: String,
+    /// Generator seed; the same spec always generates the same program.
+    pub seed: u64,
+    /// Number of functions besides `main`.
+    pub n_functions: usize,
+    /// Sequential instructions per basic block: `(min, max)` inclusive.
+    pub block_len: (usize, usize),
+    /// Statements per function body: `(min, max)` inclusive.
+    pub stmts_per_fn: (usize, usize),
+    /// Probability that a statement is a loop.
+    pub p_loop: f64,
+    /// Probability that a statement is an if/else.
+    pub p_if: f64,
+    /// Probability that a statement is a direct call (when callees exist).
+    pub p_call: f64,
+    /// Probability that a statement is an indirect (virtual) call.
+    pub p_icall: f64,
+    /// Loop trip count: `(min, max)` inclusive.
+    pub loop_trip: (u32, u32),
+    /// Maximum loop nesting depth within one function.
+    pub max_loop_depth: usize,
+    /// Fraction of if-conditionals that are weakly biased (hard to
+    /// predict); the rest are strongly biased.
+    pub weak_branch_frac: f64,
+    /// Fraction of if-conditionals correlated with the global outcome
+    /// history (predictable by gshare-style predictors only). Applied
+    /// before the weak/strong split.
+    pub corr_branch_frac: f64,
+    /// Taken probability magnitude for strongly-biased conditionals; each
+    /// site flips a coin between `p` and `1 - p`.
+    pub strong_bias: f64,
+    /// Taken-probability range for weakly-biased conditionals.
+    pub weak_bias: (f64, f64),
+    /// Number of functions reachable from each indirect-dispatch site.
+    pub dispatch_targets: usize,
+    /// Functions `main` calls on every iteration (the hot working set).
+    pub hot_functions: usize,
+    /// Per-iteration probability that `main` also calls each remaining
+    /// (cold) function — the knob that sets capacity-miss pressure.
+    pub cold_call_prob: f64,
+    /// Callee locality window: a call site in function `i` targets a
+    /// function drawn from `i+1 ..= i+call_jump` (clamped to the last
+    /// function). Small windows keep each call chain inside a narrow band
+    /// of the image, so the hot roots' activation trees barely overlap and
+    /// per-iteration code reuse stays low — the regime real flat-profile
+    /// programs (and the paper's miss rates) live in.
+    pub call_jump: usize,
+    /// Hard cap on call sites (direct + indirect) emitted per function
+    /// body. This bounds the activation-tree fan-out: without it the
+    /// expected cost of calling one hot function grows exponentially in
+    /// the call-DAG depth and execution never finishes a `main` iteration.
+    pub max_calls_per_fn: usize,
+}
+
+impl WorkloadSpec {
+    /// Fortran-style preset: long blocks, deep loops, no indirection.
+    pub fn fortran_like(name: &str, seed: u64) -> Self {
+        WorkloadSpec {
+            name: name.to_owned(),
+            seed,
+            n_functions: 24,
+            block_len: (6, 20),
+            stmts_per_fn: (4, 8),
+            p_loop: 0.35,
+            p_if: 0.15,
+            p_call: 0.25,
+            p_icall: 0.0,
+            loop_trip: (4, 30),
+            max_loop_depth: 2,
+            weak_branch_frac: 0.15,
+            corr_branch_frac: 0.1,
+            strong_bias: 0.06,
+            weak_bias: (0.3, 0.7),
+            dispatch_targets: 0,
+            hot_functions: 6,
+            cold_call_prob: 0.03,
+            call_jump: 12,
+            max_calls_per_fn: 2,
+        }
+    }
+
+    /// C-style preset: short blocks, branchy, moderate call density.
+    pub fn c_like(name: &str, seed: u64) -> Self {
+        WorkloadSpec {
+            name: name.to_owned(),
+            seed,
+            n_functions: 48,
+            block_len: (2, 6),
+            stmts_per_fn: (5, 9),
+            p_loop: 0.15,
+            p_if: 0.35,
+            p_call: 0.3,
+            p_icall: 0.0,
+            loop_trip: (2, 10),
+            max_loop_depth: 2,
+            weak_branch_frac: 0.3,
+            corr_branch_frac: 0.15,
+            strong_bias: 0.1,
+            weak_bias: (0.25, 0.75),
+            dispatch_targets: 0,
+            hot_functions: 10,
+            cold_call_prob: 0.08,
+            call_jump: 12,
+            max_calls_per_fn: 2,
+        }
+    }
+
+    /// C++-style preset: short blocks, many small functions, virtual
+    /// dispatch.
+    pub fn cpp_like(name: &str, seed: u64) -> Self {
+        WorkloadSpec {
+            name: name.to_owned(),
+            seed,
+            n_functions: 72,
+            block_len: (2, 5),
+            stmts_per_fn: (4, 8),
+            p_loop: 0.12,
+            p_if: 0.32,
+            p_call: 0.28,
+            p_icall: 0.08,
+            loop_trip: (2, 8),
+            max_loop_depth: 2,
+            weak_branch_frac: 0.3,
+            corr_branch_frac: 0.15,
+            strong_bias: 0.1,
+            weak_bias: (0.25, 0.75),
+            dispatch_targets: 4,
+            hot_functions: 12,
+            cold_call_prob: 0.1,
+            call_jump: 12,
+            max_calls_per_fn: 2,
+        }
+    }
+
+    /// Validates parameter consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.n_functions == 0 {
+            return Err(SpecError::NoFunctions);
+        }
+        if self.block_len.0 == 0 || self.block_len.0 > self.block_len.1 {
+            return Err(SpecError::BadRange { what: "block_len" });
+        }
+        if self.stmts_per_fn.0 == 0 || self.stmts_per_fn.0 > self.stmts_per_fn.1 {
+            return Err(SpecError::BadRange { what: "stmts_per_fn" });
+        }
+        if self.loop_trip.0 == 0 || self.loop_trip.0 > self.loop_trip.1 {
+            return Err(SpecError::BadRange { what: "loop_trip" });
+        }
+        let p = self.p_loop + self.p_if + self.p_call + self.p_icall;
+        if !(0.0..=1.0).contains(&p)
+            || [self.p_loop, self.p_if, self.p_call, self.p_icall].iter().any(|&x| x < 0.0)
+        {
+            return Err(SpecError::BadProbabilities { sum: p });
+        }
+        if !(0.0..=1.0).contains(&self.corr_branch_frac) {
+            return Err(SpecError::BadRange { what: "corr_branch_frac" });
+        }
+        if !(0.0..=1.0).contains(&self.weak_branch_frac)
+            || !(0.0..=0.5).contains(&self.strong_bias)
+            || self.weak_bias.0 > self.weak_bias.1
+            || !(0.0..=1.0).contains(&self.weak_bias.0)
+            || !(0.0..=1.0).contains(&self.weak_bias.1)
+            || !(0.0..=1.0).contains(&self.cold_call_prob)
+        {
+            return Err(SpecError::BadRange { what: "bias/probability" });
+        }
+        if self.p_icall > 0.0 && self.dispatch_targets == 0 {
+            return Err(SpecError::DispatchWithoutTargets);
+        }
+        if self.call_jump == 0 {
+            return Err(SpecError::BadRange { what: "call_jump" });
+        }
+        if self.hot_functions > self.n_functions {
+            return Err(SpecError::HotExceedsTotal {
+                hot: self.hot_functions,
+                total: self.n_functions,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A constraint violation in a [`WorkloadSpec`].
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum SpecError {
+    /// Zero functions requested.
+    NoFunctions,
+    /// A `(min, max)` range is empty or zero-based where it must not be.
+    BadRange {
+        /// Which field.
+        what: &'static str,
+    },
+    /// Statement-kind probabilities are negative or sum past 1.
+    BadProbabilities {
+        /// The offending sum.
+        sum: f64,
+    },
+    /// Indirect calls requested with an empty dispatch pool.
+    DispatchWithoutTargets,
+    /// More hot functions than functions.
+    HotExceedsTotal {
+        /// Requested hot count.
+        hot: usize,
+        /// Total functions.
+        total: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoFunctions => write!(f, "workload needs at least one function"),
+            SpecError::BadRange { what } => write!(f, "invalid range for {what}"),
+            SpecError::BadProbabilities { sum } => {
+                write!(f, "statement probabilities invalid (sum {sum})")
+            }
+            SpecError::DispatchWithoutTargets => {
+                write!(f, "p_icall > 0 requires dispatch_targets > 0")
+            }
+            SpecError::HotExceedsTotal { hot, total } => {
+                write!(f, "hot_functions {hot} exceeds n_functions {total}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(WorkloadSpec::fortran_like("f", 1).validate().is_ok());
+        assert!(WorkloadSpec::c_like("c", 1).validate().is_ok());
+        assert!(WorkloadSpec::cpp_like("cpp", 1).validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_functions() {
+        let mut s = WorkloadSpec::c_like("x", 1);
+        s.n_functions = 0;
+        assert_eq!(s.validate(), Err(SpecError::NoFunctions));
+    }
+
+    #[test]
+    fn rejects_inverted_ranges() {
+        let mut s = WorkloadSpec::c_like("x", 1);
+        s.block_len = (9, 3);
+        assert!(matches!(s.validate(), Err(SpecError::BadRange { .. })));
+        let mut s = WorkloadSpec::c_like("x", 1);
+        s.loop_trip = (0, 4);
+        assert!(matches!(s.validate(), Err(SpecError::BadRange { .. })));
+    }
+
+    #[test]
+    fn rejects_probability_overflow() {
+        let mut s = WorkloadSpec::c_like("x", 1);
+        s.p_loop = 0.9;
+        s.p_if = 0.9;
+        assert!(matches!(s.validate(), Err(SpecError::BadProbabilities { .. })));
+    }
+
+    #[test]
+    fn rejects_icall_without_pool() {
+        let mut s = WorkloadSpec::c_like("x", 1);
+        s.p_icall = 0.1;
+        s.dispatch_targets = 0;
+        assert_eq!(s.validate(), Err(SpecError::DispatchWithoutTargets));
+    }
+
+    #[test]
+    fn rejects_hot_overflow() {
+        let mut s = WorkloadSpec::c_like("x", 1);
+        s.hot_functions = s.n_functions + 1;
+        assert!(matches!(s.validate(), Err(SpecError::HotExceedsTotal { .. })));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            SpecError::NoFunctions,
+            SpecError::BadRange { what: "x" },
+            SpecError::BadProbabilities { sum: 1.5 },
+            SpecError::DispatchWithoutTargets,
+            SpecError::HotExceedsTotal { hot: 9, total: 3 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

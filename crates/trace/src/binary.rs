@@ -1,0 +1,267 @@
+//! The compact `.sftb` binary trace format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "SFTB"              4 bytes
+//! version u16 = 1
+//! base    u64
+//! entry   u64
+//! n_image u64
+//! image records:
+//!     opcode u8   0=seq 1=bcond 2=jmp 3=call 4=ret 5=ijmp 6=icall
+//!     target u64  (opcodes 1..=3 only)
+//! n_path  u64
+//! path records:
+//!     tag u8      0=not-taken 1=taken 2=indirect
+//!     target u64  (tag 2 only)
+//! ```
+
+use std::io::{Read, Write};
+
+use specfetch_isa::{Addr, InstrKind, ProgramBuilder, INSTR_BYTES};
+
+use crate::{Outcome, Trace, TraceError};
+
+const MAGIC: &[u8; 4] = b"SFTB";
+const VERSION: u16 = 1;
+
+/// Serialises a trace in the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failure.
+pub fn write_trace_binary<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceError> {
+    let p = trace.program();
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&p.base().raw().to_le_bytes())?;
+    w.write_all(&p.entry().raw().to_le_bytes())?;
+    w.write_all(&(p.len() as u64).to_le_bytes())?;
+    for (_, kind) in p.iter() {
+        match kind {
+            InstrKind::Seq => w.write_all(&[0])?,
+            InstrKind::CondBranch { target } => {
+                w.write_all(&[1])?;
+                w.write_all(&target.raw().to_le_bytes())?;
+            }
+            InstrKind::Jump { target } => {
+                w.write_all(&[2])?;
+                w.write_all(&target.raw().to_le_bytes())?;
+            }
+            InstrKind::Call { target } => {
+                w.write_all(&[3])?;
+                w.write_all(&target.raw().to_le_bytes())?;
+            }
+            InstrKind::Return => w.write_all(&[4])?,
+            InstrKind::IndirectJump => w.write_all(&[5])?,
+            InstrKind::IndirectCall => w.write_all(&[6])?,
+        }
+    }
+    w.write_all(&(trace.outcomes().len() as u64).to_le_bytes())?;
+    for o in trace.outcomes() {
+        match o {
+            Outcome::Cond { taken: false } => w.write_all(&[0])?,
+            Outcome::Cond { taken: true } => w.write_all(&[1])?,
+            Outcome::Indirect { target } => {
+                w.write_all(&[2])?;
+                w.write_all(&target.raw().to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+struct Cursor<R> {
+    reader: R,
+    offset: u64,
+}
+
+impl<R: Read> Cursor<R> {
+    fn bytes<const N: usize>(&mut self) -> Result<[u8; N], TraceError> {
+        let mut buf = [0u8; N];
+        self.reader.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Malformed { at: self.offset, detail: "unexpected end of file".into() }
+            } else {
+                TraceError::Io(e)
+            }
+        })?;
+        self.offset += N as u64;
+        Ok(buf)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.bytes::<1>()?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.bytes::<2>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.bytes::<8>()?))
+    }
+
+    fn addr(&mut self) -> Result<Addr, TraceError> {
+        let at = self.offset;
+        let raw = self.u64()?;
+        if raw % INSTR_BYTES != 0 {
+            return Err(TraceError::Malformed { at, detail: format!("misaligned address {raw:#x}") });
+        }
+        Ok(Addr::new(raw))
+    }
+}
+
+/// Parses a trace in the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failure, a bad magic/version, a truncated
+/// or malformed record, or an invalid embedded image.
+pub fn read_trace_binary<R: Read>(reader: R) -> Result<Trace, TraceError> {
+    let mut c = Cursor { reader, offset: 0 };
+
+    let magic: [u8; 4] = c.bytes()?;
+    if &magic != MAGIC {
+        return Err(TraceError::BadHeader { detail: format!("bad magic {magic:?}") });
+    }
+    let version = c.u16()?;
+    if version != VERSION {
+        return Err(TraceError::BadHeader { detail: format!("unsupported version {version}") });
+    }
+
+    let base = c.addr()?;
+    let entry = c.addr()?;
+    let n_image = c.u64()?;
+
+    let mut builder = ProgramBuilder::new(base);
+    for _ in 0..n_image {
+        let at = c.offset;
+        let kind = match c.u8()? {
+            0 => InstrKind::Seq,
+            1 => InstrKind::CondBranch { target: c.addr()? },
+            2 => InstrKind::Jump { target: c.addr()? },
+            3 => InstrKind::Call { target: c.addr()? },
+            4 => InstrKind::Return,
+            5 => InstrKind::IndirectJump,
+            6 => InstrKind::IndirectCall,
+            op => {
+                return Err(TraceError::Malformed { at, detail: format!("bad opcode {op}") });
+            }
+        };
+        builder.push(kind);
+    }
+    builder.set_entry(entry);
+    let program = builder.finish()?;
+
+    let n_path = c.u64()?;
+    let mut outcomes = Vec::with_capacity(n_path.min(1 << 24) as usize);
+    for _ in 0..n_path {
+        let at = c.offset;
+        let o = match c.u8()? {
+            0 => Outcome::not_taken(),
+            1 => Outcome::taken(),
+            2 => Outcome::indirect(c.addr()?),
+            tag => {
+                return Err(TraceError::Malformed { at, detail: format!("bad outcome tag {tag}") });
+            }
+        };
+        outcomes.push(o);
+    }
+
+    Ok(Trace::new(program, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write_trace_text;
+
+    fn sample_trace() -> Trace {
+        let mut b = ProgramBuilder::new(Addr::new(0x2000));
+        let entry = b.push(InstrKind::Seq);
+        b.push(InstrKind::CondBranch { target: entry });
+        b.push(InstrKind::Jump { target: entry });
+        b.push(InstrKind::Call { target: entry });
+        b.push(InstrKind::Return);
+        b.push(InstrKind::IndirectJump);
+        b.push(InstrKind::IndirectCall);
+        b.set_entry(entry);
+        let outcomes = vec![
+            Outcome::taken(),
+            Outcome::not_taken(),
+            Outcome::indirect(Addr::new(0x2004)),
+        ];
+        Trace::new(b.finish().unwrap(), outcomes)
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        let back = read_trace_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let t = sample_trace();
+        let mut bin = Vec::new();
+        let mut txt = Vec::new();
+        write_trace_binary(&t, &mut bin).unwrap();
+        write_trace_text(&t, &mut txt).unwrap();
+        assert!(bin.len() < txt.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let e = read_trace_binary(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(e, TraceError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SFTB");
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        let e = read_trace_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        // Any strict prefix must fail (never panic, never succeed).
+        for cut in 0..buf.len() {
+            let r = read_trace_binary(&buf[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SFTB");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // base
+        buf.extend_from_slice(&0u64.to_le_bytes()); // entry
+        buf.extend_from_slice(&1u64.to_le_bytes()); // n_image
+        buf.push(99); // bad opcode
+        let e = read_trace_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::Malformed { .. }));
+    }
+
+    #[test]
+    fn rejects_misaligned_base() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SFTB");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes()); // misaligned base
+        let e = read_trace_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::Malformed { .. }));
+    }
+}

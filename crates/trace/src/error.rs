@@ -1,0 +1,104 @@
+//! Trace I/O and replay errors.
+
+use std::fmt;
+use std::io;
+
+use specfetch_isa::Addr;
+
+/// Errors from parsing, writing, or replaying a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a recognised `.sft` trace (bad magic/version).
+    BadHeader {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A malformed record at line (text) or byte offset (binary) `at`.
+    Malformed {
+        /// Line number (text format) or byte offset (binary format).
+        at: u64,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The program image embedded in the trace failed validation.
+    BadImage(specfetch_isa::ProgramBuildError),
+    /// Replay walked to a PC outside the program image.
+    WalkedOffImage {
+        /// The out-of-range PC.
+        pc: Addr,
+    },
+    /// Replay found an outcome of the wrong kind for the instruction at
+    /// `pc` (e.g. a direction bit where an indirect target was needed).
+    OutcomeMismatch {
+        /// The instruction whose outcome was malformed.
+        pc: Addr,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadHeader { detail } => write!(f, "bad trace header: {detail}"),
+            TraceError::Malformed { at, detail } => write!(f, "malformed trace at {at}: {detail}"),
+            TraceError::BadImage(e) => write!(f, "invalid program image in trace: {e}"),
+            TraceError::WalkedOffImage { pc } => {
+                write!(f, "replay walked off the program image at {pc}")
+            }
+            TraceError::OutcomeMismatch { pc } => {
+                write!(f, "outcome kind mismatch for instruction at {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::BadImage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<specfetch_isa::ProgramBuildError> for TraceError {
+    fn from(e: specfetch_isa::ProgramBuildError) -> Self {
+        TraceError::BadImage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_for_all_variants() {
+        let errs: Vec<TraceError> = vec![
+            TraceError::Io(io::Error::other("boom")),
+            TraceError::BadHeader { detail: "nope".into() },
+            TraceError::Malformed { at: 3, detail: "bad token".into() },
+            TraceError::BadImage(specfetch_isa::ProgramBuildError::Empty),
+            TraceError::WalkedOffImage { pc: Addr::new(4) },
+            TraceError::OutcomeMismatch { pc: Addr::new(8) },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: TraceError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, TraceError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

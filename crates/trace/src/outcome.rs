@@ -1,0 +1,138 @@
+//! Data-dependent control-flow outcomes.
+
+use std::fmt;
+
+use specfetch_isa::{Addr, DynInstr};
+
+/// One data-dependent control-flow decision of a dynamic path.
+///
+/// Direct jumps and calls need no outcome (the image determines them);
+/// conditional branches contribute a direction bit, and returns/indirect
+/// transfers contribute their actual target.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_isa::Addr;
+/// use specfetch_trace::Outcome;
+///
+/// assert!(Outcome::taken().as_cond().unwrap());
+/// assert_eq!(
+///     Outcome::indirect(Addr::new(0x40)).as_indirect(),
+///     Some(Addr::new(0x40)),
+/// );
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Outcome {
+    /// A conditional branch's direction.
+    Cond {
+        /// `true` if the branch was taken.
+        taken: bool,
+    },
+    /// The actual destination of a return or indirect transfer.
+    Indirect {
+        /// The destination PC.
+        target: Addr,
+    },
+}
+
+impl Outcome {
+    /// A taken conditional outcome.
+    pub const fn taken() -> Self {
+        Outcome::Cond { taken: true }
+    }
+
+    /// A not-taken conditional outcome.
+    pub const fn not_taken() -> Self {
+        Outcome::Cond { taken: false }
+    }
+
+    /// An indirect-transfer outcome landing at `target`.
+    pub const fn indirect(target: Addr) -> Self {
+        Outcome::Indirect { target }
+    }
+
+    /// The direction bit, if this is a conditional outcome.
+    pub const fn as_cond(self) -> Option<bool> {
+        match self {
+            Outcome::Cond { taken } => Some(taken),
+            Outcome::Indirect { .. } => None,
+        }
+    }
+
+    /// The target, if this is an indirect outcome.
+    pub const fn as_indirect(self) -> Option<Addr> {
+        match self {
+            Outcome::Indirect { target } => Some(target),
+            Outcome::Cond { .. } => None,
+        }
+    }
+
+    /// Extracts the outcome a retired instruction contributes to a trace,
+    /// if any (`None` for sequential instructions and direct
+    /// jumps/calls, whose successors the image already determines).
+    pub fn from_dyn(d: &DynInstr) -> Option<Outcome> {
+        use specfetch_isa::InstrKind;
+        match d.kind {
+            InstrKind::CondBranch { .. } => Some(Outcome::Cond { taken: d.taken }),
+            InstrKind::Return | InstrKind::IndirectJump | InstrKind::IndirectCall => {
+                Some(Outcome::Indirect { target: d.next_pc })
+            }
+            InstrKind::Seq | InstrKind::Jump { .. } | InstrKind::Call { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Cond { taken: true } => write!(f, "taken"),
+            Outcome::Cond { taken: false } => write!(f, "not-taken"),
+            Outcome::Indirect { target } => write!(f, "-> {target}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfetch_isa::InstrKind;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Outcome::taken().as_cond(), Some(true));
+        assert_eq!(Outcome::not_taken().as_cond(), Some(false));
+        assert_eq!(Outcome::taken().as_indirect(), None);
+        let t = Addr::new(0x20);
+        assert_eq!(Outcome::indirect(t).as_indirect(), Some(t));
+        assert_eq!(Outcome::indirect(t).as_cond(), None);
+    }
+
+    #[test]
+    fn from_dyn_filters_static_flow() {
+        let pc = Addr::new(0x10);
+        assert_eq!(Outcome::from_dyn(&DynInstr::seq(pc)), None);
+        let jump = DynInstr::branch(pc, InstrKind::Jump { target: Addr::new(0x40) }, true, Addr::new(0x40));
+        assert_eq!(Outcome::from_dyn(&jump), None);
+        let call = DynInstr::branch(pc, InstrKind::Call { target: Addr::new(0x40) }, true, Addr::new(0x40));
+        assert_eq!(Outcome::from_dyn(&call), None);
+    }
+
+    #[test]
+    fn from_dyn_captures_data_dependence() {
+        let pc = Addr::new(0x10);
+        let cond = DynInstr::branch(pc, InstrKind::CondBranch { target: Addr::new(0x40) }, false, pc.next());
+        assert_eq!(Outcome::from_dyn(&cond), Some(Outcome::not_taken()));
+        let ret = DynInstr::branch(pc, InstrKind::Return, true, Addr::new(0x100));
+        assert_eq!(Outcome::from_dyn(&ret), Some(Outcome::indirect(Addr::new(0x100))));
+        let icall = DynInstr::branch(pc, InstrKind::IndirectCall, true, Addr::new(0x200));
+        assert_eq!(Outcome::from_dyn(&icall), Some(Outcome::indirect(Addr::new(0x200))));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for o in [Outcome::taken(), Outcome::not_taken(), Outcome::indirect(Addr::new(8))] {
+            assert!(!o.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Expanding an outcome stream back into a dynamic instruction stream.
+
+use std::borrow::Cow;
+
+use specfetch_isa::{Addr, DynInstr, InstrKind, Program};
+
+use crate::{Outcome, PathSource, TraceError};
+
+/// Replays a dynamic path from a program image plus its outcome stream.
+///
+/// Starting at the program entry, `Replay` walks the image: sequential
+/// instructions and direct transfers advance deterministically; each
+/// conditional branch consumes a direction [`Outcome`], and each return or
+/// indirect transfer consumes a target `Outcome`.
+///
+/// The replay ends cleanly when the outcome stream is exhausted at a
+/// data-dependent branch, or when the PC falls off the end of the image.
+/// Corrupt traces (an outcome of the wrong kind, or a walk to an address
+/// outside the image) also end the stream; [`Replay::error`] distinguishes
+/// that case.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct Replay<'p, O> {
+    program: Cow<'p, Program>,
+    outcomes: O,
+    pc: Option<Addr>,
+    error: Option<TraceError>,
+}
+
+impl<'p, O: Iterator<Item = Outcome>> Replay<'p, O> {
+    /// Replays within a borrowed image.
+    pub fn new(program: &'p Program, outcomes: O) -> Self {
+        let pc = Some(program.entry());
+        Replay { program: Cow::Borrowed(program), outcomes, pc, error: None }
+    }
+
+    /// Replays within an owned image (what [`crate::Trace::into_source`]
+    /// uses).
+    pub fn from_owned(program: Program, outcomes: O) -> Replay<'static, O> {
+        let pc = Some(program.entry());
+        Replay { program: Cow::Owned(program), outcomes, pc, error: None }
+    }
+
+    /// The error that terminated the replay, if it did not end cleanly.
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+
+    fn fail(&mut self, e: TraceError) -> Option<DynInstr> {
+        self.error = Some(e);
+        self.pc = None;
+        None
+    }
+}
+
+impl<O: Iterator<Item = Outcome>> PathSource for Replay<'_, O> {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn next_instr(&mut self) -> Option<DynInstr> {
+        let pc = self.pc?;
+        let Some(kind) = self.program.fetch(pc) else {
+            // Falling exactly off the end of the image is a clean stop
+            // (the recorded run simply ended); anywhere else is corruption.
+            if pc == self.program.end() {
+                self.pc = None;
+                return None;
+            }
+            return self.fail(TraceError::WalkedOffImage { pc });
+        };
+
+        let d = match kind {
+            InstrKind::Seq => DynInstr::seq(pc),
+            InstrKind::Jump { target } | InstrKind::Call { target } => {
+                DynInstr::branch(pc, kind, true, target)
+            }
+            InstrKind::CondBranch { target } => match self.outcomes.next() {
+                None => {
+                    self.pc = None;
+                    return None;
+                }
+                Some(Outcome::Cond { taken }) => {
+                    let next_pc = if taken { target } else { pc.next() };
+                    DynInstr::branch(pc, kind, taken, next_pc)
+                }
+                Some(Outcome::Indirect { .. }) => {
+                    return self.fail(TraceError::OutcomeMismatch { pc });
+                }
+            },
+            InstrKind::Return | InstrKind::IndirectJump | InstrKind::IndirectCall => {
+                match self.outcomes.next() {
+                    None => {
+                        self.pc = None;
+                        return None;
+                    }
+                    Some(Outcome::Indirect { target }) => {
+                        if !self.program.contains(target) {
+                            return self.fail(TraceError::WalkedOffImage { pc: target });
+                        }
+                        DynInstr::branch(pc, kind, true, target)
+                    }
+                    Some(Outcome::Cond { .. }) => {
+                        return self.fail(TraceError::OutcomeMismatch { pc });
+                    }
+                }
+            }
+        };
+        self.pc = Some(d.next_pc);
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfetch_isa::ProgramBuilder;
+
+    /// entry: seq; call f; seq; bcond->entry; (f): seq; ret
+    fn program_with_call() -> (Program, Addr, Addr) {
+        let mut b = ProgramBuilder::new(Addr::new(0));
+        let entry = b.push(InstrKind::Seq);
+        let call = b.push(InstrKind::Call { target: Addr::new(0) }); // patched
+        let after_call = b.push(InstrKind::Seq);
+        b.push(InstrKind::CondBranch { target: entry });
+        let f = b.push(InstrKind::Seq);
+        b.push(InstrKind::Return);
+        b.patch_target(call, f);
+        b.set_entry(entry);
+        (b.finish().unwrap(), f, after_call)
+    }
+
+    #[test]
+    fn replays_calls_and_returns() {
+        let (p, _f, after_call) = program_with_call();
+        let outcomes = vec![Outcome::indirect(after_call), Outcome::not_taken()];
+        let mut r = Replay::new(&p, outcomes.into_iter());
+        let pcs: Vec<u64> = std::iter::from_fn(|| r.next_instr()).map(|d| d.pc.raw()).collect();
+        // entry, call, f, ret, after_call, bcond(not taken), then the
+        // fall-through re-enters f and stops when outcomes run out at ret
+        // (the un-outcomed ret itself is not emitted).
+        assert_eq!(pcs, vec![0, 4, 16, 20, 8, 12, 16]);
+        assert!(r.error().is_none());
+    }
+
+    #[test]
+    fn clean_stop_when_outcomes_exhausted_at_branch() {
+        let (p, _, after_call) = program_with_call();
+        let outcomes = vec![Outcome::indirect(after_call)];
+        let mut r = Replay::new(&p, outcomes.into_iter());
+        let n = std::iter::from_fn(|| r.next_instr()).count();
+        assert_eq!(n, 5); // stops before the un-outcomed conditional
+        assert!(r.error().is_none());
+    }
+
+    #[test]
+    fn mismatched_outcome_is_an_error() {
+        let (p, _, _) = program_with_call();
+        // Call's return needs an indirect outcome; give a direction bit.
+        let outcomes = vec![Outcome::taken()];
+        let mut r = Replay::new(&p, outcomes.into_iter());
+        while r.next_instr().is_some() {}
+        assert!(matches!(r.error(), Some(TraceError::OutcomeMismatch { .. })));
+    }
+
+    #[test]
+    fn indirect_target_outside_image_is_an_error() {
+        let (p, _, _) = program_with_call();
+        let outcomes = vec![Outcome::indirect(Addr::new(0x4000))];
+        let mut r = Replay::new(&p, outcomes.into_iter());
+        while r.next_instr().is_some() {}
+        assert!(matches!(r.error(), Some(TraceError::WalkedOffImage { .. })));
+    }
+
+    #[test]
+    fn falling_off_image_end_is_clean() {
+        let mut b = ProgramBuilder::new(Addr::new(0));
+        b.push_seq(2);
+        b.set_entry(Addr::new(0));
+        let p = b.finish().unwrap();
+        let mut r = Replay::new(&p, std::iter::empty());
+        assert_eq!(std::iter::from_fn(|| r.next_instr()).count(), 2);
+        assert!(r.error().is_none());
+    }
+
+    #[test]
+    fn owned_replay_matches_borrowed() {
+        let (p, _, after_call) = program_with_call();
+        let outcomes = vec![Outcome::indirect(after_call), Outcome::taken(), Outcome::indirect(after_call)];
+        let mut borrowed = Replay::new(&p, outcomes.clone().into_iter());
+        let mut owned = Replay::from_owned(p.clone(), outcomes.into_iter());
+        loop {
+            let a = borrowed.next_instr();
+            let b = owned.next_instr();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

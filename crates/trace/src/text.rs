@@ -1,0 +1,296 @@
+//! The human-readable `.sft` text trace format.
+//!
+//! ```text
+//! SFT1 text
+//! base 0x1000
+//! entry 0x1000
+//! image 4
+//! s              # sequential
+//! b 0x1008       # conditional branch, taken target
+//! j 0x1000       # jump
+//! r              # return   (x = indirect jump, y = indirect call,
+//!                #           c <addr> = direct call)
+//! path 2
+//! t              # conditional taken
+//! n              # conditional not taken
+//! @ 0x1004       # return/indirect target
+//! end
+//! ```
+//!
+//! `#` starts a comment; blank lines are ignored.
+
+use std::io::{BufRead, Write};
+
+use specfetch_isa::{Addr, InstrKind, ProgramBuilder};
+
+use crate::{Outcome, Trace, TraceError};
+
+/// Serialises a trace in the text format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failure.
+pub fn write_trace_text<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceError> {
+    let p = trace.program();
+    writeln!(w, "SFT1 text")?;
+    writeln!(w, "base {}", p.base())?;
+    writeln!(w, "entry {}", p.entry())?;
+    writeln!(w, "image {}", p.len())?;
+    for (_, kind) in p.iter() {
+        match kind {
+            InstrKind::Seq => writeln!(w, "s")?,
+            InstrKind::CondBranch { target } => writeln!(w, "b {target}")?,
+            InstrKind::Jump { target } => writeln!(w, "j {target}")?,
+            InstrKind::Call { target } => writeln!(w, "c {target}")?,
+            InstrKind::Return => writeln!(w, "r")?,
+            InstrKind::IndirectJump => writeln!(w, "x")?,
+            InstrKind::IndirectCall => writeln!(w, "y")?,
+        }
+    }
+    writeln!(w, "path {}", trace.outcomes().len())?;
+    for o in trace.outcomes() {
+        match o {
+            Outcome::Cond { taken: true } => writeln!(w, "t")?,
+            Outcome::Cond { taken: false } => writeln!(w, "n")?,
+            Outcome::Indirect { target } => writeln!(w, "@ {target}")?,
+        }
+    }
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+struct Lines<R> {
+    reader: R,
+    line_no: u64,
+    buf: String,
+}
+
+impl<R: BufRead> Lines<R> {
+    /// Next meaningful line (comments stripped, blanks skipped).
+    fn next_line(&mut self) -> Result<Option<(u64, &str)>, TraceError> {
+        loop {
+            self.buf.clear();
+            let n = self.reader.read_line(&mut self.buf)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let mut line = self.buf.as_str();
+            if let Some(hash) = line.find('#') {
+                line = &line[..hash];
+            }
+            let line = line.trim();
+            if !line.is_empty() {
+                // Reborrow from buf with the trimmed range to satisfy the
+                // borrow checker via index arithmetic.
+                let start = line.as_ptr() as usize - self.buf.as_ptr() as usize;
+                let end = start + line.len();
+                return Ok(Some((self.line_no, &self.buf[start..end])));
+            }
+        }
+    }
+}
+
+fn malformed(at: u64, detail: impl Into<String>) -> TraceError {
+    TraceError::Malformed { at, detail: detail.into() }
+}
+
+fn parse_addr(at: u64, tok: &str) -> Result<Addr, TraceError> {
+    let raw = if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse::<u64>()
+    }
+    .map_err(|_| malformed(at, format!("bad address {tok:?}")))?;
+    if raw % specfetch_isa::INSTR_BYTES != 0 {
+        return Err(malformed(at, format!("misaligned address {tok:?}")));
+    }
+    Ok(Addr::new(raw))
+}
+
+fn expect_kv(line: (u64, &str), key: &str) -> Result<Addr, TraceError> {
+    let (at, s) = line;
+    let rest = s
+        .strip_prefix(key)
+        .ok_or_else(|| malformed(at, format!("expected `{key} <addr>`, got {s:?}")))?;
+    parse_addr(at, rest.trim())
+}
+
+/// Parses a trace in the text format.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failure, a bad header, a malformed record,
+/// or an image that fails [`ProgramBuilder::finish`] validation.
+pub fn read_trace_text<R: BufRead>(reader: R) -> Result<Trace, TraceError> {
+    let mut lines = Lines { reader, line_no: 0, buf: String::new() };
+
+    let (at, header) = lines
+        .next_line()?
+        .ok_or_else(|| TraceError::BadHeader { detail: "empty file".into() })?;
+    if header != "SFT1 text" {
+        return Err(TraceError::BadHeader { detail: format!("line {at}: got {header:?}") });
+    }
+
+    let base = {
+        let line = lines.next_line()?.ok_or_else(|| malformed(0, "missing base"))?;
+        expect_kv(line, "base")?
+    };
+    let entry = {
+        let line = lines.next_line()?.ok_or_else(|| malformed(0, "missing entry"))?;
+        expect_kv(line, "entry")?
+    };
+
+    let (at, image_hdr) = lines.next_line()?.ok_or_else(|| malformed(0, "missing image"))?;
+    let count: usize = image_hdr
+        .strip_prefix("image")
+        .and_then(|r| r.trim().parse().ok())
+        .ok_or_else(|| malformed(at, format!("expected `image <count>`, got {image_hdr:?}")))?;
+
+    let mut builder = ProgramBuilder::new(base);
+    for _ in 0..count {
+        let (at, s) = lines.next_line()?.ok_or_else(|| malformed(0, "truncated image"))?;
+        let mut parts = s.split_whitespace();
+        let op = parts.next().expect("non-empty line has a token");
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return Err(malformed(at, format!("trailing tokens in {s:?}")));
+        }
+        let kind = match (op, arg) {
+            ("s", None) => InstrKind::Seq,
+            ("b", Some(a)) => InstrKind::CondBranch { target: parse_addr(at, a)? },
+            ("j", Some(a)) => InstrKind::Jump { target: parse_addr(at, a)? },
+            ("c", Some(a)) => InstrKind::Call { target: parse_addr(at, a)? },
+            ("r", None) => InstrKind::Return,
+            ("x", None) => InstrKind::IndirectJump,
+            ("y", None) => InstrKind::IndirectCall,
+            _ => return Err(malformed(at, format!("bad instruction record {s:?}"))),
+        };
+        builder.push(kind);
+    }
+    builder.set_entry(entry);
+    let program = builder.finish()?;
+
+    let (at, path_hdr) = lines.next_line()?.ok_or_else(|| malformed(0, "missing path"))?;
+    let n_outcomes: usize = path_hdr
+        .strip_prefix("path")
+        .and_then(|r| r.trim().parse().ok())
+        .ok_or_else(|| malformed(at, format!("expected `path <count>`, got {path_hdr:?}")))?;
+
+    let mut outcomes = Vec::with_capacity(n_outcomes);
+    for _ in 0..n_outcomes {
+        let (at, s) = lines.next_line()?.ok_or_else(|| malformed(0, "truncated path"))?;
+        let o = match s {
+            "t" => Outcome::taken(),
+            "n" => Outcome::not_taken(),
+            _ => {
+                let rest = s
+                    .strip_prefix('@')
+                    .ok_or_else(|| malformed(at, format!("bad outcome record {s:?}")))?;
+                Outcome::indirect(parse_addr(at, rest.trim())?)
+            }
+        };
+        outcomes.push(o);
+    }
+
+    let (at, end) = lines.next_line()?.ok_or_else(|| malformed(0, "missing end marker"))?;
+    if end != "end" {
+        return Err(malformed(at, format!("expected `end`, got {end:?}")));
+    }
+
+    Ok(Trace::new(program, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_trace() -> Trace {
+        let mut b = ProgramBuilder::new(Addr::new(0x1000));
+        let entry = b.push(InstrKind::Seq);
+        b.push(InstrKind::CondBranch { target: entry });
+        b.push(InstrKind::Call { target: entry });
+        b.push(InstrKind::Return);
+        b.push(InstrKind::IndirectJump);
+        b.push(InstrKind::IndirectCall);
+        b.push(InstrKind::Jump { target: entry });
+        b.set_entry(entry);
+        let program = b.finish().unwrap();
+        let outcomes =
+            vec![Outcome::taken(), Outcome::not_taken(), Outcome::indirect(Addr::new(0x1008))];
+        Trace::new(program, outcomes)
+    }
+
+    fn round_trip(trace: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace_text(trace, &mut buf).unwrap();
+        read_trace_text(Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn text_round_trip_preserves_everything() {
+        let t = sample_trace();
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut buf = Vec::new();
+        write_trace_text(&sample_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let noisy = text
+            .lines()
+            .map(|l| format!("{l}  # trailing comment\n\n"))
+            .collect::<String>();
+        let t = read_trace_text(Cursor::new(noisy)).unwrap();
+        assert_eq!(t, sample_trace());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let e = read_trace_text(Cursor::new("SFT9 text\n")).unwrap_err();
+        assert!(matches!(e, TraceError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        let e = read_trace_text(Cursor::new("")).unwrap_err();
+        assert!(matches!(e, TraceError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_instruction_record() {
+        let text = "SFT1 text\nbase 0x0\nentry 0x0\nimage 1\nz\npath 0\nend\n";
+        let e = read_trace_text(Cursor::new(text)).unwrap_err();
+        assert!(matches!(e, TraceError::Malformed { .. }));
+    }
+
+    #[test]
+    fn rejects_misaligned_address() {
+        let text = "SFT1 text\nbase 0x2\n";
+        let e = read_trace_text(Cursor::new(text)).unwrap_err();
+        assert!(matches!(e, TraceError::Malformed { .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_path_section() {
+        let text = "SFT1 text\nbase 0x0\nentry 0x0\nimage 1\ns\npath 2\nt\n";
+        let e = read_trace_text(Cursor::new(text)).unwrap_err();
+        assert!(matches!(e, TraceError::Malformed { .. }));
+    }
+
+    #[test]
+    fn rejects_dangling_branch_target() {
+        let text = "SFT1 text\nbase 0x0\nentry 0x0\nimage 1\nb 0x100\npath 0\nend\n";
+        let e = read_trace_text(Cursor::new(text)).unwrap_err();
+        assert!(matches!(e, TraceError::BadImage(_)));
+    }
+
+    #[test]
+    fn rejects_missing_end_marker() {
+        let text = "SFT1 text\nbase 0x0\nentry 0x0\nimage 1\ns\npath 0\n";
+        let e = read_trace_text(Cursor::new(text)).unwrap_err();
+        assert!(matches!(e, TraceError::Malformed { .. }));
+    }
+}

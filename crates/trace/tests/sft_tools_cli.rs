@@ -1,0 +1,110 @@
+//! End-to-end tests of the `sft-tools` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use specfetch_isa::{Addr, InstrKind, ProgramBuilder};
+use specfetch_trace::{write_trace_text, Outcome, Trace};
+
+fn sft_tools() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sft_tools"))
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sft-tools-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_trace() -> Trace {
+    let mut b = ProgramBuilder::new(Addr::new(0x1000));
+    let top = b.push_seq(3);
+    b.push(InstrKind::CondBranch { target: top });
+    b.push(InstrKind::Return);
+    b.set_entry(top);
+    Trace::new(
+        b.finish().unwrap(),
+        vec![Outcome::taken(), Outcome::taken(), Outcome::not_taken()],
+    )
+}
+
+#[test]
+fn info_and_stats_report() {
+    let dir = temp_dir();
+    let path = dir.join("x.sft");
+    write_trace_text(&sample_trace(), &mut std::fs::File::create(&path).unwrap()).unwrap();
+
+    let info = sft_tools().args(["info", path.to_str().unwrap()]).output().unwrap();
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("image:"), "{text}");
+    assert!(text.contains("5 instructions"), "{text}");
+    assert!(text.contains("outcomes: 3"), "{text}");
+
+    let stats = sft_tools().args(["stats", path.to_str().unwrap()]).output().unwrap();
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("instructions:"), "{text}");
+    assert!(text.contains("branches:"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convert_round_trips_formats() {
+    let dir = temp_dir();
+    let text_path = dir.join("a.sft");
+    let bin_path = dir.join("a.sftb");
+    let back_path = dir.join("b.sft");
+    write_trace_text(&sample_trace(), &mut std::fs::File::create(&text_path).unwrap()).unwrap();
+
+    let to_bin = sft_tools()
+        .args(["convert", text_path.to_str().unwrap(), bin_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(to_bin.status.success(), "{}", String::from_utf8_lossy(&to_bin.stderr));
+
+    let to_text = sft_tools()
+        .args(["convert", bin_path.to_str().unwrap(), back_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(to_text.status.success());
+
+    let original = std::fs::read_to_string(&text_path).unwrap();
+    let round_tripped = std::fs::read_to_string(&back_path).unwrap();
+    assert_eq!(original, round_tripped, "text -> binary -> text must be lossless");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn head_prints_instructions() {
+    let dir = temp_dir();
+    let path = dir.join("h.sft");
+    write_trace_text(&sample_trace(), &mut std::fs::File::create(&path).unwrap()).unwrap();
+
+    let out = sft_tools().args(["head", path.to_str().unwrap(), "4"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 4, "{text}");
+    assert!(text.contains("0x1000"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_unknown_extension_and_missing_file() {
+    let out = sft_tools().args(["stats", "/nonexistent.sft"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = sft_tools().args(["stats", "/tmp/whatever.xyz"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("extension"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = sft_tools().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

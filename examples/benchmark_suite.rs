@@ -1,0 +1,59 @@
+//! Run the full thirteen-benchmark suite under one configuration and
+//! print per-benchmark ISPI, miss rate, and memory traffic — the view the
+//! paper's evaluation section is built from.
+//!
+//! Run with: `cargo run --release --example benchmark_suite [policy] [instrs]`
+//! where `policy` is one of oracle/optimistic/resume/pessimistic/decode.
+
+use specfetch::core::{FetchPolicy, SimConfig};
+use specfetch::experiments::{suite_results, RunOptions};
+
+fn parse_policy(s: &str) -> Option<FetchPolicy> {
+    match s.to_ascii_lowercase().as_str() {
+        "oracle" => Some(FetchPolicy::Oracle),
+        "optimistic" | "opt" => Some(FetchPolicy::Optimistic),
+        "resume" | "res" => Some(FetchPolicy::Resume),
+        "pessimistic" | "pess" => Some(FetchPolicy::Pessimistic),
+        "decode" | "dec" => Some(FetchPolicy::Decode),
+        _ => None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let policy = match args.next() {
+        Some(s) => parse_policy(&s).ok_or_else(|| format!("unknown policy {s:?}"))?,
+        None => FetchPolicy::Resume,
+    };
+    let instrs: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(500_000);
+
+    let opts = RunOptions::new().with_instrs(instrs);
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.policy = policy;
+
+    println!("policy: {policy}   ({instrs} instructions per benchmark)\n");
+    println!(
+        "{:<8} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "bench", "ISPI", "miss%", "IPC", "demand", "wrong", "mispred"
+    );
+
+    let results = suite_results(&opts, |_| cfg);
+    let mut total_ispi = 0.0;
+    for br in &results {
+        let r = &br.result;
+        let ipc = r.correct_instrs as f64 / r.cycles as f64;
+        println!(
+            "{:<8} {:>8.3} {:>7.2} {:>7.2} {:>9} {:>9} {:>9}",
+            br.benchmark.name,
+            r.ispi(),
+            r.miss_rate_pct(),
+            ipc,
+            r.traffic_demand_correct,
+            r.traffic_demand_wrong,
+            r.mispredicts,
+        );
+        total_ispi += r.ispi();
+    }
+    println!("{:<8} {:>8.3}", "Average", total_ispi / results.len() as f64);
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Build custom workloads and explore how *branch predictability* decides
+//! which fetch policy wins — the paper's central trade-off: aggressive
+//! policies gamble on predictions being right.
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use specfetch::core::{FetchPolicy, SimConfig, Simulator};
+use specfetch::synth::{Workload, WorkloadSpec};
+use specfetch::trace::PathSource;
+
+const INSTRS: u64 = 300_000;
+
+fn run(workload: &Workload, policy: FetchPolicy) -> f64 {
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.policy = policy;
+    Simulator::new(cfg)
+        .run(workload.executor(1).take_instrs(INSTRS))
+        .ispi()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("How branch predictability shifts the policy ranking");
+    println!("(8K cache, 5-cycle penalty, depth 4, {INSTRS} instructions)\n");
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "Oracle", "Opt", "Res", "Pess", "Dec"
+    );
+
+    // Sweep the fraction of weakly-biased (hard) branches from almost
+    // none (loop-dominated Fortran style) to most (input-dependent).
+    for (label, weak_frac) in [
+        ("predictable (5% weak)", 0.05),
+        ("paper-like (30% weak)", 0.30),
+        ("hostile (70% weak)", 0.70),
+    ] {
+        let mut spec = WorkloadSpec::c_like(label, 99);
+        spec.weak_branch_frac = weak_frac;
+        let w = Workload::generate(&spec)?;
+        let ispi: Vec<f64> = FetchPolicy::ALL.iter().map(|&p| run(&w, p)).collect();
+        println!(
+            "{:<26} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            label, ispi[0], ispi[1], ispi[2], ispi[3], ispi[4]
+        );
+    }
+
+    println!();
+    println!("Expected: with predictable branches the aggressive policies dominate;");
+    println!("as branches get hostile, wrong paths multiply and the conservative");
+    println!("policies close the gap (the paper's large-latency argument, induced");
+    println!("here through prediction quality instead).");
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! Property tests of the whole fetch engine over randomly generated
+//! (valid) workloads: for any program, path, policy, and machine
+//! configuration, the engine must terminate, balance its slot accounting,
+//! and respect each policy's structural guarantees.
+
+use proptest::prelude::*;
+
+use specfetch::core::{FetchPolicy, SimConfig, Simulator};
+use specfetch::synth::{Workload, WorkloadSpec};
+use specfetch::trace::PathSource;
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    spec: WorkloadSpec,
+    path_seed: u64,
+    policy: FetchPolicy,
+    miss_penalty: u64,
+    max_unresolved: usize,
+    prefetch: bool,
+    target_prefetch: bool,
+    small_cache: bool,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0u64..1000,                      // generator seed
+        0u64..1000,                      // path seed
+        0usize..5,                       // policy index
+        prop_oneof![Just(2u64), Just(5), Just(13), Just(20)],
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0usize..3, // workload family
+    )
+        .prop_map(
+            |(gen_seed, path_seed, policy, penalty, depth, prefetch, target, small, family)| {
+                let spec = match family {
+                    0 => WorkloadSpec::fortran_like("prop", gen_seed),
+                    1 => WorkloadSpec::c_like("prop", gen_seed),
+                    _ => WorkloadSpec::cpp_like("prop", gen_seed),
+                };
+                Scenario {
+                    spec,
+                    path_seed,
+                    policy: FetchPolicy::ALL[policy],
+                    miss_penalty: penalty,
+                    max_unresolved: depth,
+                    prefetch,
+                    target_prefetch: target,
+                    small_cache: small,
+                }
+            },
+        )
+}
+
+const INSTRS: u64 = 6_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_invariants_hold_for_any_scenario(sc in arb_scenario()) {
+        let workload = Workload::generate(&sc.spec).expect("presets are valid");
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.policy = sc.policy;
+        cfg.miss_penalty = sc.miss_penalty;
+        cfg.max_unresolved = sc.max_unresolved;
+        cfg.prefetch = sc.prefetch;
+        cfg.target_prefetch = sc.target_prefetch;
+        cfg.classify = true;
+        if sc.small_cache {
+            cfg.icache.size_bytes = 1024; // stress conflicts and eviction
+        }
+
+        let r = Simulator::new(cfg)
+            .run(workload.executor(sc.path_seed).take_instrs(INSTRS));
+
+        // Termination with the full path consumed.
+        prop_assert_eq!(r.correct_instrs, INSTRS);
+
+        // Slot accounting: cycles x width == issued + lost (+ final
+        // partial group).
+        let total = r.cycles * r.issue_width as u64;
+        let used = r.correct_instrs + r.lost.total();
+        prop_assert!(total >= used && total - used < r.issue_width as u64,
+            "slots {} vs used {}", total, used);
+
+        // Branch-slot decomposition is exact.
+        prop_assert_eq!(
+            r.lost.branch,
+            r.pht_mispredict_slots + r.btb_misfetch_slots + r.btb_mispredict_slots
+        );
+
+        // Structural zeroes per policy (prefetching may add `bus` to any
+        // policy, so only the stronger invariants are asserted).
+        match sc.policy {
+            FetchPolicy::Oracle | FetchPolicy::Pessimistic => {
+                prop_assert_eq!(r.traffic_demand_wrong, 0);
+                prop_assert_eq!(r.lost.wrong_icache, 0);
+            }
+            FetchPolicy::Resume => {
+                prop_assert_eq!(r.lost.wrong_icache, 0);
+                prop_assert_eq!(r.lost.force_resolve, 0);
+            }
+            FetchPolicy::Optimistic => {
+                prop_assert_eq!(r.lost.force_resolve, 0);
+            }
+            FetchPolicy::Decode => {}
+        }
+
+        // Classification is internally consistent.
+        let cls = r.classification.expect("classification enabled");
+        prop_assert_eq!(cls.correct_accesses, r.correct_instrs);
+        prop_assert_eq!(cls.both_miss + cls.spec_pollute, r.cache_correct.misses);
+
+        // Traffic counters cover exactly the bus transactions.
+        prop_assert_eq!(
+            r.total_traffic(),
+            r.traffic_demand_correct
+                + r.traffic_demand_wrong
+                + r.traffic_prefetch
+                + r.traffic_target_prefetch
+        );
+        if !sc.prefetch {
+            prop_assert_eq!(r.traffic_prefetch, 0);
+        }
+        if !sc.target_prefetch {
+            prop_assert_eq!(r.traffic_target_prefetch, 0);
+        }
+
+        // Determinism: the same scenario replays identically.
+        let again = Simulator::new(cfg)
+            .run(workload.executor(sc.path_seed).take_instrs(INSTRS));
+        prop_assert_eq!(r, again);
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end checks that the paper's headline qualitative results hold
+//! on the calibrated suite (moderate budgets; the full-budget numbers are
+//! in EXPERIMENTS.md).
+
+use specfetch::core::FetchPolicy;
+use specfetch::experiments::experiments::{figure3, table4, table5};
+use specfetch::experiments::RunOptions;
+
+fn opts() -> RunOptions {
+    RunOptions::new().with_instrs(150_000)
+}
+
+/// §5.1.2: "Optimistic is always better than Pessimistic" (baseline
+/// penalty) — checked on the suite average and on nearly every benchmark.
+#[test]
+fn optimistic_beats_pessimistic_at_small_penalty() {
+    let rows = table5::data(&opts());
+    let d4: Vec<_> = rows.iter().filter(|r| r.depth == 4).collect();
+    let mut wins = 0;
+    for r in &d4 {
+        if r.ispi[1] < r.ispi[3] {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 12, "Optimistic beat Pessimistic on only {wins}/13 benchmarks");
+}
+
+/// §5.1.2: "Resume performs the best, and does as well as Oracle."
+#[test]
+fn resume_tracks_oracle() {
+    let rows = table5::data(&opts());
+    for r in rows.iter().filter(|r| r.depth == 4) {
+        let (oracle, resume) = (r.ispi[0], r.ispi[2]);
+        assert!(
+            resume <= oracle * 1.05 + 0.02,
+            "{}: Resume {resume:.3} strays from Oracle {oracle:.3}",
+            r.benchmark.name
+        );
+    }
+}
+
+/// §5.2.2: deeper speculation lowers ISPI for every policy (suite
+/// average), with the depth-1 -> 2 step bigger than 2 -> 4.
+#[test]
+fn depth_effect_matches_paper() {
+    let rows = table5::data(&opts());
+    let avg = |depth: usize, p: usize| {
+        let xs: Vec<f64> =
+            rows.iter().filter(|r| r.depth == depth).map(|r| r.ispi[p]).collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    for p in 0..5 {
+        let (d1, d2, d4) = (avg(1, p), avg(2, p), avg(4, p));
+        assert!(d2 < d1 && d4 <= d2 + 0.01, "policy {p}: {d1:.3} -> {d2:.3} -> {d4:.3}");
+        assert!(
+            (d1 - d2) > (d2 - d4) * 0.8,
+            "policy {p}: first depth step should dominate ({d1:.3}/{d2:.3}/{d4:.3})"
+        );
+    }
+}
+
+/// §5.1.1 (Table 4): the wrong-path prefetch effect beats pollution, and
+/// Fortran codes barely notice speculation.
+#[test]
+fn classification_shape() {
+    let rows = table4::data(&opts());
+    let avg_spr: f64 =
+        rows.iter().map(|r| r.class.spec_prefetch_pct()).sum::<f64>() / rows.len() as f64;
+    let avg_spo: f64 =
+        rows.iter().map(|r| r.class.spec_pollute_pct()).sum::<f64>() / rows.len() as f64;
+    assert!(avg_spr > avg_spo, "SPr {avg_spr:.2} must exceed SPo {avg_spo:.2}");
+
+    // Fortran codes: both speculation effects are minimal (paper: "both
+    // effects are minimal").
+    for r in rows.iter().take(3) {
+        assert!(
+            r.class.spec_pollute_pct() < 0.5,
+            "{}: Fortran pollution {:.2}% too high",
+            r.benchmark.name,
+            r.class.spec_pollute_pct()
+        );
+    }
+}
+
+/// §5.3: prefetching helps every policy at the small penalty and narrows
+/// the policy spread.
+#[test]
+fn prefetch_helps_at_small_penalty() {
+    let bars = figure3::data(&opts());
+    for policy in figure3::PREFETCH_POLICIES {
+        let avg = |pref: bool| {
+            let xs: Vec<f64> = bars
+                .iter()
+                .filter(|b| b.policy == policy && b.prefetch == pref)
+                .map(|b| b.result.ispi())
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(avg(true) < avg(false), "{policy}: prefetch did not help");
+    }
+    // "Resume without next-line prefetching gives approximately the same
+    // performance as Pessimistic with next-line prefetching."
+    let avg_of = |policy: FetchPolicy, pref: bool| {
+        let xs: Vec<f64> = bars
+            .iter()
+            .filter(|b| b.policy == policy && b.prefetch == pref)
+            .map(|b| b.result.ispi())
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let resume_plain = avg_of(FetchPolicy::Resume, false);
+    let pess_pref = avg_of(FetchPolicy::Pessimistic, true);
+    assert!(
+        (resume_plain - pess_pref).abs() < 0.35 * resume_plain,
+        "Resume plain {resume_plain:.3} should approximate Pessimistic+Pref {pess_pref:.3}"
+    );
+}

@@ -1,0 +1,168 @@
+//! Cross-crate invariants of the fetch-policy engine, checked over the
+//! calibrated benchmark models.
+
+use specfetch::core::{FetchPolicy, SimConfig, SimResult, Simulator};
+use specfetch::synth::suite::Benchmark;
+use specfetch::trace::PathSource;
+
+const INSTRS: u64 = 60_000;
+
+fn run(bench: &Benchmark, cfg: SimConfig) -> SimResult {
+    let w = bench.workload().expect("calibrated specs generate");
+    Simulator::new(cfg).run(w.executor(bench.path_seed()).take_instrs(INSTRS))
+}
+
+fn baseline(policy: FetchPolicy) -> SimConfig {
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.policy = policy;
+    cfg
+}
+
+/// Every policy on every benchmark satisfies the slot-accounting
+/// identity: cycles x width >= issued + lost, with the gap under one
+/// fetch group (the final partial cycle).
+#[test]
+fn slot_accounting_identity() {
+    for bench in Benchmark::all() {
+        for policy in FetchPolicy::ALL {
+            let r = run(bench, baseline(policy));
+            let total = r.cycles * r.issue_width as u64;
+            let used = r.correct_instrs + r.lost.total();
+            assert!(
+                total >= used && total - used < r.issue_width as u64,
+                "{bench} {policy}: {total} slots vs {used} used"
+            );
+        }
+    }
+}
+
+/// The paper's footnote 3: Oracle and Pessimistic generate the same
+/// misses (they never fill wrong paths); Optimistic and Resume fill the
+/// same lines modulo resume-buffer reuse.
+#[test]
+fn miss_pairing_footnote() {
+    for bench in Benchmark::all() {
+        let oracle = run(bench, baseline(FetchPolicy::Oracle));
+        let pess = run(bench, baseline(FetchPolicy::Pessimistic));
+        assert_eq!(oracle.traffic_demand_wrong, 0, "{bench}");
+        assert_eq!(pess.traffic_demand_wrong, 0, "{bench}");
+        assert_eq!(
+            oracle.traffic_demand_correct, pess.traffic_demand_correct,
+            "{bench}: Oracle and Pessimistic must generate identical fills"
+        );
+
+        let opt = run(bench, baseline(FetchPolicy::Optimistic));
+        let res = run(bench, baseline(FetchPolicy::Resume));
+        let (a, b) = (opt.total_traffic(), res.total_traffic());
+        assert!(
+            a.abs_diff(b) as f64 <= 0.03 * a.max(b) as f64 + 16.0,
+            "{bench}: Optimistic {a} vs Resume {b} traffic"
+        );
+    }
+}
+
+/// The correct path is policy-invariant: every policy retires the same
+/// instructions and resolves (almost) the same branches. Prediction
+/// *events* may differ slightly — how deep a wrong path runs is policy
+/// dependent, and wrong-path branches update the BTB/RAS speculatively,
+/// so predictor state feeds back — but only within a small margin.
+#[test]
+fn correct_path_is_policy_invariant() {
+    for bench in [Benchmark::by_name("li").unwrap(), Benchmark::by_name("fpppp").unwrap()] {
+        let results: Vec<SimResult> =
+            FetchPolicy::ALL.iter().map(|&p| run(bench, baseline(p))).collect();
+        for r in &results[1..] {
+            assert_eq!(r.correct_instrs, results[0].correct_instrs, "{bench}");
+            let conds = (r.bpred.cond_resolved, results[0].bpred.cond_resolved);
+            assert!(
+                conds.0.abs_diff(conds.1) <= 8,
+                "{bench}: resolved conds {conds:?} (only the end-of-run window may differ)"
+            );
+            let mp = (r.mispredicts, results[0].mispredicts);
+            assert!(
+                mp.0.abs_diff(mp.1) as f64 <= 0.05 * mp.1 as f64 + 8.0,
+                "{bench}: mispredicts {mp:?} differ beyond predictor-feedback noise"
+            );
+        }
+    }
+}
+
+/// Policy-structural zeroes: each component can only appear under the
+/// policies whose mechanism produces it.
+#[test]
+fn component_structure_by_policy() {
+    for bench in Benchmark::all() {
+        for policy in FetchPolicy::ALL {
+            let r = run(bench, baseline(policy));
+            match policy {
+                FetchPolicy::Oracle => {
+                    assert_eq!(r.lost.force_resolve, 0);
+                    assert_eq!(r.lost.wrong_icache, 0);
+                    assert_eq!(r.lost.bus, 0);
+                }
+                FetchPolicy::Optimistic => {
+                    assert_eq!(r.lost.force_resolve, 0);
+                    assert_eq!(r.lost.bus, 0);
+                }
+                FetchPolicy::Resume => {
+                    assert_eq!(r.lost.force_resolve, 0);
+                    assert_eq!(r.lost.wrong_icache, 0);
+                }
+                FetchPolicy::Pessimistic => {
+                    assert_eq!(r.lost.wrong_icache, 0);
+                    assert_eq!(r.lost.bus, 0);
+                }
+                FetchPolicy::Decode => {
+                    assert_eq!(r.lost.bus, 0);
+                }
+            }
+        }
+    }
+}
+
+/// Halving the cache can only increase (or preserve) the miss rate, and
+/// the 20-cycle penalty can only increase ISPI.
+#[test]
+fn monotone_in_cache_size_and_penalty() {
+    for name in ["gcc", "groff", "doduc"] {
+        let bench = Benchmark::by_name(name).unwrap();
+        let small = run(bench, baseline(FetchPolicy::Resume));
+        let mut cfg32 = baseline(FetchPolicy::Resume);
+        cfg32.icache = specfetch::cache::CacheConfig::paper_32k();
+        let big = run(bench, cfg32);
+        assert!(
+            big.miss_rate_pct() <= small.miss_rate_pct() + 1e-9,
+            "{name}: 32K missed more than 8K"
+        );
+
+        let mut cfg20 = baseline(FetchPolicy::Resume);
+        cfg20.miss_penalty = 20;
+        let slow = run(bench, cfg20);
+        assert!(slow.ispi() > small.ispi(), "{name}: higher penalty must cost ISPI");
+    }
+}
+
+/// Branch-penalty slots decompose exactly into the three trigger
+/// categories.
+#[test]
+fn branch_slots_decompose_by_trigger() {
+    for bench in Benchmark::all() {
+        let r = run(bench, baseline(FetchPolicy::Resume));
+        assert_eq!(
+            r.lost.branch,
+            r.pht_mispredict_slots + r.btb_misfetch_slots + r.btb_mispredict_slots,
+            "{bench}"
+        );
+    }
+}
+
+/// Identical configuration and path seed produce bit-identical results
+/// (the whole study depends on replayability).
+#[test]
+fn determinism_end_to_end() {
+    let bench = Benchmark::by_name("porky").unwrap();
+    let mut cfg = baseline(FetchPolicy::Resume);
+    cfg.prefetch = true;
+    cfg.classify = true;
+    assert_eq!(run(bench, cfg), run(bench, cfg));
+}

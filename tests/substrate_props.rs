@@ -1,0 +1,180 @@
+//! Property tests on the hardware substrates: caches against a reference
+//! model, saturating counters, the RAS, and the gshare PHT.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use specfetch::bpred::{Btb, Counter2, Ras};
+use specfetch::cache::{CacheConfig, ICache};
+use specfetch::isa::{Addr, InstrKind, LineAddr};
+
+/// A reference LRU set-associative cache model (slow but obviously
+/// correct).
+struct RefCache {
+    sets: usize,
+    assoc: usize,
+    /// set -> (tag, last-use tick), most-recent ordering by tick.
+    data: HashMap<u64, Vec<(u64, u64)>>,
+    tick: u64,
+}
+
+impl RefCache {
+    fn new(sets: usize, assoc: usize) -> Self {
+        RefCache { sets, assoc, data: HashMap::new(), tick: 0 }
+    }
+
+    fn split(&self, line: u64) -> (u64, u64) {
+        (line % self.sets as u64, line / self.sets as u64)
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.split(line);
+        let ways = self.data.entry(set).or_default();
+        if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            w.1 = self.tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, line: u64) {
+        self.tick += 1;
+        let (set, tag) = self.split(line);
+        let assoc = self.assoc;
+        let tick = self.tick;
+        let ways = self.data.entry(set).or_default();
+        if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            w.1 = tick;
+            return;
+        }
+        if ways.len() == assoc {
+            let lru = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            ways.remove(lru);
+        }
+        ways.push((tag, tick));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The I-cache agrees with the reference LRU model on every access of
+    /// arbitrary access/fill interleavings, for several geometries.
+    #[test]
+    fn icache_matches_reference_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..400),
+        geometry in 0usize..3,
+    ) {
+        let cfg = match geometry {
+            0 => CacheConfig { size_bytes: 512, line_bytes: 32, assoc: 1 },
+            1 => CacheConfig { size_bytes: 512, line_bytes: 32, assoc: 2 },
+            _ => CacheConfig { size_bytes: 512, line_bytes: 32, assoc: 4 },
+        };
+        let mut dut = ICache::new(&cfg);
+        let mut reference = RefCache::new(cfg.num_sets(), cfg.assoc);
+        for (is_fill, line) in ops {
+            if is_fill {
+                dut.fill(LineAddr::new(line));
+                reference.fill(line);
+            } else {
+                let got = dut.access(LineAddr::new(line));
+                let want = reference.access(line);
+                prop_assert_eq!(got, want, "access divergence on line {}", line);
+            }
+        }
+    }
+
+    /// A 2-bit counter never leaves its 0..=3 lattice and always predicts
+    /// the direction it last saturated toward.
+    #[test]
+    fn counter2_lattice(updates in proptest::collection::vec(any::<bool>(), 1..64)) {
+        let mut c = Counter2::default();
+        for &taken in &updates {
+            c.update(taken);
+            prop_assert!(c.state() <= 3);
+        }
+        // Two identical updates force the prediction.
+        let last = updates[updates.len() - 1];
+        c.update(last);
+        c.update(last);
+        prop_assert_eq!(c.predict_taken(), last);
+    }
+
+    /// The RAS behaves as a bounded stack: with fewer than `depth` live
+    /// entries it is exactly LIFO.
+    #[test]
+    fn ras_is_lifo_within_capacity(ops in proptest::collection::vec(any::<Option<u8>>(), 1..64)) {
+        let mut ras = Ras::new(64); // deeper than any test sequence
+        let mut model: Vec<Addr> = Vec::new();
+        for op in ops {
+            match op {
+                Some(x) => {
+                    let a = Addr::new(4 * x as u64);
+                    ras.push(a);
+                    model.push(a);
+                }
+                None => {
+                    prop_assert_eq!(ras.pop(), model.pop());
+                }
+            }
+        }
+        prop_assert_eq!(ras.depth(), model.len());
+    }
+
+    /// The BTB never invents entries: a lookup hit always returns the
+    /// most recent insert for that exact PC.
+    #[test]
+    fn btb_returns_latest_insert(
+        ops in proptest::collection::vec((0u64..128, 0u64..32), 1..300),
+    ) {
+        let mut btb = Btb::new(16, 4);
+        let mut latest: HashMap<u64, Addr> = HashMap::new();
+        for (pc_word, target_word) in ops {
+            let pc = Addr::from_word(pc_word);
+            let target = Addr::from_word(target_word);
+            btb.insert(pc, target, InstrKind::Jump { target });
+            latest.insert(pc_word, target);
+            if let Some(hit) = btb.lookup(pc) {
+                prop_assert_eq!(hit.target, latest[&pc_word]);
+            } else {
+                prop_assert!(false, "an entry just inserted must hit");
+            }
+        }
+        // Any surviving entry must match the latest insert for its PC.
+        for (&pc_word, &target) in &latest {
+            if let Some(hit) = btb.peek(Addr::from_word(pc_word)) {
+                prop_assert_eq!(hit.target, target);
+            }
+        }
+    }
+}
+
+/// First-ref bits: set by fill, cleared by `clear_first_ref`, reset by a
+/// refill — over arbitrary interleavings.
+#[test]
+fn first_ref_bit_lifecycle_exhaustive() {
+    let cfg = CacheConfig { size_bytes: 256, line_bytes: 32, assoc: 1 };
+    let mut c = ICache::new(&cfg);
+    for line in 0..8u64 {
+        let l = LineAddr::new(line);
+        assert!(!c.first_ref_set(l));
+        c.fill(l);
+        assert!(c.first_ref_set(l));
+        c.clear_first_ref(l);
+        assert!(!c.first_ref_set(l));
+        c.fill(l);
+        assert!(c.first_ref_set(l), "refill must re-arm the bit");
+    }
+    // Evicting a line clears its state entirely.
+    c.fill(LineAddr::new(8)); // maps onto set 0, evicting line 0
+    assert!(!c.first_ref_set(LineAddr::new(0)));
+    assert!(c.first_ref_set(LineAddr::new(8)));
+}

@@ -1,0 +1,115 @@
+//! Property tests: the `.sft` trace formats and the record/replay pair
+//! are lossless for arbitrary valid programs and outcome streams.
+
+use proptest::prelude::*;
+
+use specfetch::isa::{Addr, InstrKind, Program, ProgramBuilder};
+use specfetch::trace::{
+    outcomes_of, read_trace_binary, read_trace_text, write_trace_binary, write_trace_text,
+    Outcome, PathSource, Trace,
+};
+
+/// A strategy for valid programs: 4..=96 instructions with in-image
+/// targets.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (4usize..=96).prop_flat_map(|n| {
+        let instr = (0u8..7, 0..n).prop_map(move |(op, t)| (op, t));
+        (proptest::collection::vec(instr, n), 0..n).prop_map(move |(instrs, entry)| {
+            let mut b = ProgramBuilder::new(Addr::new(0x4000));
+            let addr_of = |i: usize| Addr::new(0x4000 + 4 * i as u64);
+            for &(op, t) in &instrs {
+                let target = addr_of(t);
+                b.push(match op {
+                    0 | 1 => InstrKind::Seq,
+                    2 => InstrKind::CondBranch { target },
+                    3 => InstrKind::Jump { target },
+                    4 => InstrKind::Call { target },
+                    5 => InstrKind::Return,
+                    _ => InstrKind::IndirectCall,
+                });
+            }
+            b.set_entry(addr_of(entry));
+            b.finish().expect("targets are in-image by construction")
+        })
+    })
+}
+
+fn arb_outcomes(program: &Program) -> impl Strategy<Value = Vec<Outcome>> {
+    let len = program.len();
+    let outcome = (0u8..3, 0..len).prop_map(move |(tag, t)| match tag {
+        0 => Outcome::not_taken(),
+        1 => Outcome::taken(),
+        _ => Outcome::indirect(Addr::new(0x4000 + 4 * t as u64)),
+    });
+    proptest::collection::vec(outcome, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Text serialisation round-trips any trace exactly.
+    #[test]
+    fn text_round_trip((program, outcomes) in arb_program().prop_flat_map(|p| {
+        let o = arb_outcomes(&p);
+        (Just(p), o)
+    })) {
+        let trace = Trace::new(program, outcomes);
+        let mut buf = Vec::new();
+        write_trace_text(&trace, &mut buf).unwrap();
+        let back = read_trace_text(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Binary serialisation round-trips any trace exactly.
+    #[test]
+    fn binary_round_trip((program, outcomes) in arb_program().prop_flat_map(|p| {
+        let o = arb_outcomes(&p);
+        (Just(p), o)
+    })) {
+        let trace = Trace::new(program, outcomes);
+        let mut buf = Vec::new();
+        write_trace_binary(&trace, &mut buf).unwrap();
+        let back = read_trace_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Truncating a binary trace never panics and never parses.
+    #[test]
+    fn binary_truncation_is_rejected((program, outcomes, frac) in arb_program().prop_flat_map(|p| {
+        let o = arb_outcomes(&p);
+        (Just(p), o, 0.0f64..1.0)
+    })) {
+        let trace = Trace::new(program, outcomes);
+        let mut buf = Vec::new();
+        write_trace_binary(&trace, &mut buf).unwrap();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assert!(read_trace_binary(&buf[..cut]).is_err());
+    }
+}
+
+/// record(replay(trace)) reproduces the trace's effective prefix: the
+/// replayed path, re-recorded, replays identically.
+#[test]
+fn record_replay_fixpoint() {
+    let w = specfetch::synth::Workload::generate(&specfetch::synth::WorkloadSpec::cpp_like(
+        "fixpoint", 5,
+    ))
+    .unwrap();
+    let mut live = w.executor(3);
+    let trace = Trace::record(&mut live, 20_000);
+
+    // Replay and re-record.
+    let mut replay = trace.clone().into_source();
+    let mut path = Vec::new();
+    while let Some(d) = replay.next_instr() {
+        path.push(d);
+    }
+    let rerecorded = outcomes_of(&path);
+    assert_eq!(rerecorded.as_slice(), trace.outcomes());
+
+    // And the replayed path itself matches the original executor.
+    let mut live2 = w.executor(3);
+    for d in &path {
+        assert_eq!(Some(*d), live2.next_instr());
+    }
+}
