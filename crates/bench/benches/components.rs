@@ -1,9 +1,8 @@
 //! Microbenchmarks of the substrates and the engine's raw throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use specfetch_bench::THROUGHPUT_INSTRS;
+use specfetch_bench::{Runner, THROUGHPUT_INSTRS};
 use specfetch_bpred::{BpredConfig, BranchUnit, DirectionPredictor, Gshare};
 use specfetch_cache::{CacheConfig, ICache};
 use specfetch_core::{FetchPolicy, SimConfig, Simulator};
@@ -12,114 +11,90 @@ use specfetch_synth::suite::Benchmark;
 use specfetch_synth::{Workload, WorkloadSpec};
 use specfetch_trace::PathSource;
 
-fn bench_icache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("icache");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("access_hit_stream", |b| {
-        let mut cache = ICache::new(&CacheConfig::paper_8k());
-        for i in 0..256 {
+fn bench_icache(r: &mut Runner) {
+    let mut cache = ICache::new(&CacheConfig::paper_8k());
+    for i in 0..256 {
+        cache.fill(LineAddr::new(i));
+    }
+    r.bench("icache/access_hit_stream", 20, || {
+        for i in 0..1024u64 {
+            black_box(cache.access(LineAddr::new(i % 256)));
+        }
+    });
+    let mut cache = ICache::new(&CacheConfig::paper_8k());
+    r.bench("icache/fill_conflict_stream", 20, || {
+        for i in 0..1024u64 {
             cache.fill(LineAddr::new(i));
         }
-        b.iter(|| {
-            for i in 0..1024u64 {
-                black_box(cache.access(LineAddr::new(i % 256)));
-            }
-        })
     });
-    group.bench_function("fill_conflict_stream", |b| {
-        let mut cache = ICache::new(&CacheConfig::paper_8k());
-        b.iter(|| {
-            for i in 0..1024u64 {
-                cache.fill(LineAddr::new(i));
-            }
-        })
-    });
-    group.finish();
 }
 
-fn bench_bpred(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bpred");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("gshare_predict_update", |b| {
-        let mut pht = Gshare::new(512);
-        b.iter(|| {
-            let mut ghr = 0u32;
-            for i in 0..1024u64 {
-                let pc = Addr::from_word(i % 97);
-                let taken = i % 3 != 0;
-                black_box(pht.predict(pc, ghr));
-                pht.update(pc, ghr, taken);
-                ghr = (ghr << 1) | taken as u32;
-            }
-        })
+fn bench_bpred(r: &mut Runner) {
+    let mut pht = Gshare::new(512);
+    r.bench("bpred/gshare_predict_update", 20, || {
+        let mut ghr = 0u32;
+        for i in 0..1024u64 {
+            let pc = Addr::from_word(i % 97);
+            let taken = i % 3 != 0;
+            black_box(pht.predict(pc, ghr));
+            pht.update(pc, ghr, taken);
+            ghr = (ghr << 1) | taken as u32;
+        }
     });
-    group.bench_function("btb_lookup_insert", |b| {
-        let mut unit = BranchUnit::new(&BpredConfig::paper());
-        b.iter(|| {
-            for i in 0..1024u64 {
-                let pc = Addr::from_word(i % 211);
-                if unit.btb_lookup(pc).is_none() {
-                    unit.btb_insert(pc, Addr::from_word(i % 64), InstrKind::Jump {
-                        target: Addr::from_word(i % 64),
-                    });
-                }
+    let mut unit = BranchUnit::new(&BpredConfig::paper());
+    r.bench("bpred/btb_lookup_insert", 20, || {
+        for i in 0..1024u64 {
+            let pc = Addr::from_word(i % 211);
+            if unit.btb_lookup(pc).is_none() {
+                unit.btb_insert(
+                    pc,
+                    Addr::from_word(i % 64),
+                    InstrKind::Jump { target: Addr::from_word(i % 64) },
+                );
             }
-        })
+        }
     });
-    group.finish();
 }
 
-fn bench_synth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synth");
-    group.bench_function("generate_gcc_image", |b| {
-        let spec = Benchmark::by_name("gcc").unwrap().spec();
-        b.iter(|| black_box(Workload::generate(&spec).unwrap()))
+fn bench_synth(r: &mut Runner) {
+    let spec = Benchmark::by_name("gcc").unwrap().spec();
+    r.bench("synth/generate_gcc_image", 10, || black_box(Workload::generate(&spec).unwrap()));
+    let w = Workload::generate(&WorkloadSpec::c_like("bench", 1)).unwrap();
+    r.bench("synth/executor_100k_instrs", 10, || {
+        let mut e = w.executor(1).take_instrs(100_000);
+        let mut n = 0u64;
+        while e.next_instr().is_some() {
+            n += 1;
+        }
+        black_box(n)
     });
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("executor_100k_instrs", |b| {
-        let w = Workload::generate(&WorkloadSpec::c_like("bench", 1)).unwrap();
-        b.iter(|| {
-            let mut e = w.executor(1).take_instrs(100_000);
-            let mut n = 0u64;
-            while e.next_instr().is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
-    });
-    group.finish();
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(THROUGHPUT_INSTRS));
+fn bench_engine(r: &mut Runner) {
     let bench = Benchmark::by_name("gcc").unwrap();
     let workload = bench.workload().unwrap();
     for policy in FetchPolicy::ALL {
-        group.bench_function(format!("gcc_{}", policy.short_name()), |b| {
-            let mut cfg = SimConfig::paper_baseline();
-            cfg.policy = policy;
-            let sim = Simulator::new(cfg);
-            b.iter(|| {
-                black_box(
-                    sim.run(workload.executor(bench.path_seed()).take_instrs(THROUGHPUT_INSTRS)),
-                )
-            })
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.policy = policy;
+        let sim = Simulator::new(cfg);
+        let name = format!("engine/gcc_{}", policy.short_name());
+        r.bench(&name, 10, || {
+            black_box(sim.run(workload.executor(bench.path_seed()).take_instrs(THROUGHPUT_INSTRS)))
         });
     }
-    group.bench_function("gcc_resume_prefetch", |b| {
-        let mut cfg = SimConfig::paper_baseline();
-        cfg.prefetch = true;
-        let sim = Simulator::new(cfg);
-        b.iter(|| {
-            black_box(
-                sim.run(workload.executor(bench.path_seed()).take_instrs(THROUGHPUT_INSTRS)),
-            )
-        })
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.prefetch = true;
+    let sim = Simulator::new(cfg);
+    r.bench("engine/gcc_resume_prefetch", 10, || {
+        black_box(sim.run(workload.executor(bench.path_seed()).take_instrs(THROUGHPUT_INSTRS)))
     });
-    group.finish();
 }
 
-criterion_group!(components, bench_icache, bench_bpred, bench_synth, bench_engine);
-criterion_main!(components);
+fn main() {
+    let mut r = Runner::from_args("components");
+    bench_icache(&mut r);
+    bench_bpred(&mut r);
+    bench_synth(&mut r);
+    bench_engine(&mut r);
+    r.finish();
+}

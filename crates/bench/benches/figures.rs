@@ -1,43 +1,17 @@
-//! One Criterion bench per paper *figure*: each iteration regenerates the
-//! figure's bars at a scaled-down instruction budget.
+//! One bench per paper *figure*: each iteration regenerates the figure's
+//! bars at a scaled-down instruction budget.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use specfetch_bench::bench_options;
+use specfetch_bench::{bench_options, Runner};
 use specfetch_experiments::experiments::{figure1, figure2, figure3, figure4};
 
-fn bench_figure1(c: &mut Criterion) {
+fn main() {
     let opts = bench_options();
-    c.bench_function("figure1_baseline_breakdown", |b| {
-        b.iter(|| black_box(figure1::data(&opts)))
-    });
+    let mut r = Runner::from_args("figures");
+    r.bench("figure1_baseline_breakdown", 10, || black_box(figure1::data(&opts)));
+    r.bench("figure2_long_latency_breakdown", 10, || black_box(figure2::data(&opts)));
+    r.bench("figure3_prefetch_baseline", 10, || black_box(figure3::data(&opts)));
+    r.bench("figure4_prefetch_long_latency", 10, || black_box(figure4::data(&opts)));
+    r.finish();
 }
-
-fn bench_figure2(c: &mut Criterion) {
-    let opts = bench_options();
-    c.bench_function("figure2_long_latency_breakdown", |b| {
-        b.iter(|| black_box(figure2::data(&opts)))
-    });
-}
-
-fn bench_figure3(c: &mut Criterion) {
-    let opts = bench_options();
-    c.bench_function("figure3_prefetch_baseline", |b| {
-        b.iter(|| black_box(figure3::data(&opts)))
-    });
-}
-
-fn bench_figure4(c: &mut Criterion) {
-    let opts = bench_options();
-    c.bench_function("figure4_prefetch_long_latency", |b| {
-        b.iter(|| black_box(figure4::data(&opts)))
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_figure1, bench_figure2, bench_figure3, bench_figure4
-}
-criterion_main!(figures);

@@ -1,0 +1,67 @@
+//! The tentpole comparison: interpret-once / replay-N versus
+//! interpret-N, both as raw stream production and end-to-end through the
+//! engine — the measurement behind the shared-trace layer.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use specfetch_bench::{Runner, THROUGHPUT_INSTRS};
+use specfetch_core::{SimConfig, Simulator};
+use specfetch_synth::suite::Benchmark;
+use specfetch_trace::{PathSource, RecordedTrace};
+
+/// How many configurations the sweep-shaped benches replay the same path
+/// under (the reproduction replays each benchmark far more often).
+const REPLAYS: usize = 8;
+
+fn main() {
+    let mut r = Runner::from_args("replay");
+    let bench = Benchmark::by_name("gcc").unwrap();
+    let workload = bench.workload().unwrap();
+
+    // Raw stream production: N interpretations vs one recording + N array
+    // walks.
+    r.bench("stream/interpret_n", 10, || {
+        let mut n = 0u64;
+        for _ in 0..REPLAYS {
+            let mut e = workload.executor(bench.path_seed()).take_instrs(THROUGHPUT_INSTRS);
+            while e.next_instr().is_some() {
+                n += 1;
+            }
+        }
+        black_box(n)
+    });
+    r.bench("stream/record_once_replay_n", 10, || {
+        let mut live = workload.executor(bench.path_seed());
+        let trace = Arc::new(RecordedTrace::record(&mut live, THROUGHPUT_INSTRS));
+        let mut n = 0u64;
+        for _ in 0..REPLAYS {
+            let mut s = RecordedTrace::source(&trace);
+            while s.next_instr().is_some() {
+                n += 1;
+            }
+        }
+        black_box(n)
+    });
+
+    // End-to-end: the same N engine runs fed by fresh interpretation vs by
+    // the shared recording.
+    let cfg = SimConfig::paper_baseline();
+    r.bench("engine/interpret_n", 5, || {
+        for _ in 0..REPLAYS {
+            black_box(
+                Simulator::new(cfg)
+                    .run(workload.executor(bench.path_seed()).take_instrs(THROUGHPUT_INSTRS)),
+            );
+        }
+    });
+    r.bench("engine/record_once_replay_n", 5, || {
+        let mut live = workload.executor(bench.path_seed());
+        let trace = Arc::new(RecordedTrace::record(&mut live, THROUGHPUT_INSTRS));
+        for _ in 0..REPLAYS {
+            black_box(Simulator::new(cfg).run(RecordedTrace::source(&trace)));
+        }
+    });
+
+    r.finish();
+}

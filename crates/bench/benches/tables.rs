@@ -1,55 +1,23 @@
-//! One Criterion bench per paper *table*: each iteration regenerates the
-//! table's data at a scaled-down instruction budget.
+//! One bench per paper *table*: each iteration regenerates the table's
+//! data at a scaled-down instruction budget.
+//!
+//! The experiment layer serves all of these from the shared-trace cache,
+//! so after the first iteration warms it, iterations measure pure
+//! simulation (replay + engine), not workload interpretation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use specfetch_bench::bench_options;
+use specfetch_bench::{bench_options, Runner};
 use specfetch_experiments::experiments::{table2, table3, table4, table5, table6, table7};
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     let opts = bench_options();
-    c.bench_function("table2_workload_inventory", |b| {
-        b.iter(|| black_box(table2::data(&opts)))
-    });
+    let mut r = Runner::from_args("tables");
+    r.bench("table2_workload_inventory", 10, || black_box(table2::data(&opts)));
+    r.bench("table3_miss_rates_and_bpred_ispi", 10, || black_box(table3::data(&opts)));
+    r.bench("table4_miss_classification", 10, || black_box(table4::data(&opts)));
+    r.bench("table5_speculation_depth_sweep", 10, || black_box(table5::data(&opts)));
+    r.bench("table6_32k_cache", 10, || black_box(table6::data(&opts)));
+    r.bench("table7_prefetch_traffic", 10, || black_box(table7::data(&opts)));
+    r.finish();
 }
-
-fn bench_table3(c: &mut Criterion) {
-    let opts = bench_options();
-    c.bench_function("table3_miss_rates_and_bpred_ispi", |b| {
-        b.iter(|| black_box(table3::data(&opts)))
-    });
-}
-
-fn bench_table4(c: &mut Criterion) {
-    let opts = bench_options();
-    c.bench_function("table4_miss_classification", |b| {
-        b.iter(|| black_box(table4::data(&opts)))
-    });
-}
-
-fn bench_table5(c: &mut Criterion) {
-    let opts = bench_options();
-    c.bench_function("table5_speculation_depth_sweep", |b| {
-        b.iter(|| black_box(table5::data(&opts)))
-    });
-}
-
-fn bench_table6(c: &mut Criterion) {
-    let opts = bench_options();
-    c.bench_function("table6_32k_cache", |b| b.iter(|| black_box(table6::data(&opts))));
-}
-
-fn bench_table7(c: &mut Criterion) {
-    let opts = bench_options();
-    c.bench_function("table7_prefetch_traffic", |b| {
-        b.iter(|| black_box(table7::data(&opts)))
-    });
-}
-
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table2, bench_table3, bench_table4, bench_table5, bench_table6, bench_table7
-}
-criterion_main!(tables);

@@ -1,0 +1,115 @@
+//! `bench-snapshot`: measure the shared-trace speedup and write a
+//! machine-readable `BENCH_1.json` to seed the perf trajectory.
+//!
+//! ```text
+//! bench-snapshot [--out BENCH_1.json] [--instrs 500000] [--all-instrs 2000000] [--skip-all]
+//! ```
+//!
+//! Two comparisons, each run with the trace cache off (the legacy
+//! interpret-per-run path) and on (record-once / replay-many):
+//!
+//! - `table4`: one experiment (`--experiment table4`), 500k instructions —
+//!   the satellite's standing wall-clock probe;
+//! - `all`: the full `--experiment all` sweep at the reproduction budget —
+//!   the tentpole's ≥2× acceptance measurement (skippable with
+//!   `--skip-all` when iterating).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use specfetch_experiments::{run_experiment, RunOptions, EXPERIMENT_IDS};
+
+struct Measurement {
+    name: &'static str,
+    instrs: u64,
+    legacy_s: f64,
+    shared_s: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.legacy_s / self.shared_s
+    }
+}
+
+fn run_ids(ids: &[&str], opts: &RunOptions) -> f64 {
+    let t = Instant::now();
+    for id in ids {
+        let report = run_experiment(id, opts).expect("known experiment id");
+        std::hint::black_box(report);
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// Times `ids` under both modes in a fresh cache state.
+///
+/// The legacy pass runs first; the shared pass then starts with a cold
+/// cache *for this window* only if the window was not used before, so
+/// callers use distinct instruction windows per measurement.
+fn measure(name: &'static str, ids: &[&str], instrs: u64) -> Measurement {
+    let legacy = RunOptions::new().with_instrs(instrs).with_share_traces(false);
+    let shared = RunOptions::new().with_instrs(instrs);
+    let legacy_s = run_ids(ids, &legacy);
+    let shared_s = run_ids(ids, &shared);
+    let m = Measurement { name, instrs, legacy_s, shared_s };
+    eprintln!(
+        "[{name}: legacy {legacy_s:.2}s, shared {:.2}s, speedup {:.2}x]",
+        m.shared_s,
+        m.speedup()
+    );
+    m
+}
+
+fn main() {
+    let mut out = "BENCH_1.json".to_owned();
+    let mut table4_instrs = 500_000u64;
+    let mut all_instrs = 2_000_000u64;
+    let mut skip_all = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().expect("--out needs a value"),
+            "--instrs" => {
+                table4_instrs = it.next().and_then(|v| v.parse().ok()).expect("bad --instrs")
+            }
+            "--all-instrs" => {
+                all_instrs = it.next().and_then(|v| v.parse().ok()).expect("bad --all-instrs")
+            }
+            "--skip-all" => skip_all = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut measurements = vec![measure("table4", &["table4"], table4_instrs)];
+    if !skip_all {
+        measurements.push(measure("all", &EXPERIMENT_IDS, all_instrs));
+    }
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"specfetch-bench-snapshot/1\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"measurements\": [");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"experiment\": \"{}\", \"instrs\": {}, \"legacy_wall_s\": {:.3}, \
+             \"shared_wall_s\": {:.3}, \"speedup\": {:.2}}}{comma}",
+            m.name,
+            m.instrs,
+            m.legacy_s,
+            m.shared_s,
+            m.speedup()
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("writable output path");
+    println!("{json}");
+    eprintln!("[wrote {out}]");
+}

@@ -1,14 +1,21 @@
-//! Criterion harness support for `specfetch`.
+//! Benchmark harness support for `specfetch`.
 //!
 //! The benches live under `benches/`: one group per paper table
 //! (`benches/tables.rs`) and figure (`benches/figures.rs`) — each runs a
 //! scaled-down regeneration of that artifact — plus microbenchmarks of
-//! the substrates (`benches/components.rs`). This library only carries
-//! the shared budget constants so the three harnesses stay consistent.
+//! the substrates (`benches/components.rs`) and the record-once /
+//! replay-many comparison (`benches/replay.rs`). All four are
+//! `harness = false` binaries built on the dependency-free [`Runner`]
+//! here (the workspace builds offline, so no Criterion).
+//!
+//! Under `cargo bench` each measurement runs its full sample count; under
+//! `cargo test` (no `--bench` flag) everything collapses to one sample so
+//! the harnesses stay compile-checked and smoke-run without the cost.
+
+use std::time::{Duration, Instant};
 
 /// Instructions per benchmark for table/figure regeneration benches
-/// (scaled down from the reproduction default so Criterion iterations
-/// stay fast).
+/// (scaled down from the reproduction default so iterations stay fast).
 pub const BENCH_INSTRS: u64 = 30_000;
 
 /// Instructions for single-run engine-throughput benches.
@@ -19,16 +26,118 @@ pub fn bench_options() -> specfetch_experiments::RunOptions {
     specfetch_experiments::RunOptions::new().with_instrs(BENCH_INSTRS)
 }
 
+/// A minimal wall-clock benchmark runner.
+///
+/// # Examples
+///
+/// ```
+/// let mut r = specfetch_bench::Runner::from_args("demo");
+/// r.bench("add", 5, || std::hint::black_box(2 + 2));
+/// r.finish();
+/// ```
+pub struct Runner {
+    group: &'static str,
+    /// True under `cargo bench` (cargo passes `--bench` to the binary);
+    /// false under `cargo test`, where each bench runs a single sample.
+    bench_mode: bool,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Runner {
+    /// Builds a runner from the process arguments: `--bench` selects full
+    /// sampling, a bare argument filters benches by substring.
+    pub fn from_args(group: &'static str) -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                bench_mode = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        println!("# bench group: {group}{}", if bench_mode { "" } else { " (smoke: 1 sample)" });
+        Runner { group, bench_mode, filter, ran: 0 }
+    }
+
+    /// Times `f` for `samples` iterations (one warm-up discarded) and
+    /// prints min/median wall-clock.
+    pub fn bench<R>(&mut self, name: &str, samples: usize, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.bench_mode { samples.max(1) } else { 1 };
+        std::hint::black_box(f()); // warm-up
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        println!(
+            "{:<44} min {:>10}  median {:>10}  ({} samples)",
+            format!("{}/{}", self.group, name),
+            fmt_duration(min),
+            fmt_duration(median),
+            samples
+        );
+        self.ran += 1;
+    }
+
+    /// Prints the group summary. Call last.
+    pub fn finish(self) {
+        println!("# {}: {} benches", self.group, self.ran);
+    }
+}
+
+/// Renders a duration with a unit that keeps 3-4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     #[allow(clippy::assertions_on_constants)] // deliberate config sanity checks
     fn budgets_are_sane() {
-        assert!(super::BENCH_INSTRS >= 10_000);
-        assert!(super::THROUGHPUT_INSTRS > super::BENCH_INSTRS);
-        assert_eq!(
-            super::bench_options().instrs_per_benchmark,
-            super::BENCH_INSTRS
-        );
+        assert!(BENCH_INSTRS >= 10_000);
+        assert!(THROUGHPUT_INSTRS > BENCH_INSTRS);
+        assert_eq!(bench_options().instrs_per_benchmark, BENCH_INSTRS);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt_duration(Duration::from_micros(42)), "42.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(13)), "13.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(11)), "11.00s");
+    }
+
+    #[test]
+    fn runner_counts_and_filters() {
+        let mut r = Runner { group: "t", bench_mode: false, filter: Some("yes".into()), ran: 0 };
+        let mut hits = 0;
+        r.bench("yes_one", 3, || hits += 1);
+        r.bench("no_two", 3, || hits += 100);
+        assert_eq!(r.ran, 1);
+        assert_eq!(hits, 2, "warm-up + one sample, filtered bench untouched");
     }
 }

@@ -113,10 +113,7 @@ impl Btb {
         if ways.len() < self.assoc {
             ways.push(entry);
         } else {
-            let victim = ways
-                .iter_mut()
-                .min_by_key(|e| e.lru)
-                .expect("full set is non-empty");
+            let victim = ways.iter_mut().min_by_key(|e| e.lru).expect("full set is non-empty");
             *victim = entry;
         }
     }
@@ -161,7 +158,7 @@ mod tests {
     #[test]
     fn different_pcs_in_same_set_coexist_up_to_assoc() {
         let mut btb = Btb::new(8, 4); // 2 sets
-        // PCs with the same set index: word indices 0, 2, 4, 6 (set 0).
+                                      // PCs with the same set index: word indices 0, 2, 4, 6 (set 0).
         for i in 0..4u64 {
             btb.insert(Addr::from_word(i * 2), Addr::new(0x100), jmp(0x100));
         }

@@ -181,7 +181,9 @@ pub enum BpredConfigError {
 impl fmt::Display for BpredConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BpredConfigError::ZeroSize => write!(f, "btb entries and associativity must be nonzero"),
+            BpredConfigError::ZeroSize => {
+                write!(f, "btb entries and associativity must be nonzero")
+            }
             BpredConfigError::BtbNotDivisible { entries, assoc } => {
                 write!(f, "btb entries {entries} not divisible by associativity {assoc}")
             }

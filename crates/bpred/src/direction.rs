@@ -143,10 +143,7 @@ mod tests {
     fn gshare_aliases_when_xor_collides() {
         let pht = Gshare::new(16);
         // word(pc)=2 XOR ghr=3 == 1; word(pc)=0 XOR ghr=1 == 1: same entry.
-        assert_eq!(
-            pht.counter(Addr::from_word(2), 3),
-            pht.counter(Addr::from_word(0), 1),
-        );
+        assert_eq!(pht.counter(Addr::from_word(2), 3), pht.counter(Addr::from_word(0), 1),);
     }
 
     #[test]

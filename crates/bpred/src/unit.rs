@@ -3,8 +3,8 @@
 use specfetch_isa::{Addr, InstrKind};
 
 use crate::{
-    Bimodal, BpredConfig, Btb, BtbCoupling, BtbHit, DirectionKind, DirectionPredictor, GhrUpdate,
-    Gshare, BpredStats, PhtTrain, Ras, StaticNotTaken,
+    Bimodal, BpredConfig, BpredStats, Btb, BtbCoupling, BtbHit, DirectionKind, DirectionPredictor,
+    GhrUpdate, Gshare, PhtTrain, Ras, StaticNotTaken,
 };
 
 #[derive(Clone, Debug)]

@@ -157,6 +157,13 @@ impl Bus {
         Some(self.in_flight.remove(idx))
     }
 
+    /// The completion cycle of the transaction that finishes first, if
+    /// any is in flight. Lets the engine fast-forward over cycles in
+    /// which nothing can happen.
+    pub fn earliest_completion(&self) -> Option<u64> {
+        self.in_flight.iter().map(|t| t.complete_at).min()
+    }
+
     /// Completed-or-started demand fills on the believed-correct path.
     pub fn demand_correct_count(&self) -> u64 {
         self.demand_correct
@@ -180,8 +187,7 @@ impl Bus {
     /// Is any in-flight transaction a prefetch of `line`?
     pub fn prefetch_in_flight(&self, line: LineAddr) -> bool {
         self.in_flight.iter().any(|t| {
-            t.line == line
-                && matches!(t.purpose, Purpose::Prefetch | Purpose::TargetPrefetch)
+            t.line == line && matches!(t.purpose, Purpose::Prefetch | Purpose::TargetPrefetch)
         })
     }
 

@@ -7,11 +7,14 @@ use crate::{CacheConfig, CacheStats};
 #[derive(Copy, Clone, Debug)]
 struct Way {
     tag: u64,
+    valid: bool,
     /// The paper's next-line-prefetch state: set when the line is loaded,
     /// cleared when a prefetch of line+1 is triggered from it.
     first_ref: bool,
     lru: u64,
 }
+
+const EMPTY_WAY: Way = Way { tag: 0, valid: false, first_ref: false, lru: 0 };
 
 /// A set-associative instruction cache with per-line first-time-referenced
 /// bits.
@@ -26,9 +29,13 @@ struct Way {
 /// See the crate-level example for basic use.
 #[derive(Clone, Debug)]
 pub struct ICache {
-    sets: Vec<Vec<Way>>,
+    /// All ways, flat: set `s` owns `ways[s * assoc .. (s + 1) * assoc]`.
+    /// One contiguous allocation (the paper's 8 KB cache is ~6 KB of
+    /// metadata) keeps the per-fetch lookup inside a hot cache line.
+    ways: Vec<Way>,
     assoc: usize,
     set_mask: u64,
+    set_shift: u32,
     tick: u64,
     stats: CacheStats,
 }
@@ -44,16 +51,26 @@ impl ICache {
         config.validate().expect("invalid cache configuration");
         let n_sets = config.num_sets();
         ICache {
-            sets: vec![Vec::with_capacity(config.assoc); n_sets],
+            ways: vec![EMPTY_WAY; n_sets * config.assoc],
             assoc: config.assoc,
             set_mask: n_sets as u64 - 1,
+            set_shift: (n_sets as u64 - 1).count_ones(),
             tick: 0,
             stats: CacheStats::default(),
         }
     }
 
     fn index(&self, line: LineAddr) -> (usize, u64) {
-        ((line.index() & self.set_mask) as usize, line.index() >> self.set_mask.count_ones())
+        ((line.index() & self.set_mask) as usize, line.index() >> self.set_shift)
+    }
+
+    fn set(&self, set: usize) -> &[Way] {
+        &self.ways[set * self.assoc..(set + 1) * self.assoc]
+    }
+
+    fn set_mut(&mut self, set: usize) -> &mut [Way] {
+        let assoc = self.assoc;
+        &mut self.ways[set * assoc..(set + 1) * assoc]
     }
 
     /// A demand access: returns `true` on a hit (refreshing LRU) and
@@ -63,7 +80,7 @@ impl ICache {
         let (set, tag) = self.index(line);
         self.tick += 1;
         let tick = self.tick;
-        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
+        if let Some(w) = self.set_mut(set).iter_mut().find(|w| w.valid && w.tag == tag) {
             w.lru = tick;
             true
         } else {
@@ -75,7 +92,7 @@ impl ICache {
     /// Is `line` resident? (No statistics, no LRU update.)
     pub fn contains(&self, line: LineAddr) -> bool {
         let (set, tag) = self.index(line);
-        self.sets[set].iter().any(|w| w.tag == tag)
+        self.set(set).iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Installs `line`, evicting the set's LRU victim if needed, and sets
@@ -86,17 +103,20 @@ impl ICache {
         let (set, tag) = self.index(line);
         self.tick += 1;
         let tick = self.tick;
-        let ways = &mut self.sets[set];
-        if let Some(w) = ways.iter_mut().find(|w| w.tag == tag) {
+        let ways = self.set_mut(set);
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
             // Refill of a resident line (can happen when a stale wrong-path
             // fill lands after the same line was demand-filled).
             w.lru = tick;
             w.first_ref = true;
             return;
         }
-        let way = Way { tag, first_ref: true, lru: tick };
-        if ways.len() < self.assoc {
-            ways.push(way);
+        let way = Way { tag, valid: true, first_ref: true, lru: tick };
+        // Invalid slots fill left to right, so insertion order matches the
+        // old grow-then-evict behaviour; LRU ties are impossible (the tick
+        // is unique per fill/access).
+        if let Some(w) = ways.iter_mut().find(|w| !w.valid) {
+            *w = way;
         } else {
             let victim = ways.iter_mut().min_by_key(|w| w.lru).expect("full set is non-empty");
             *victim = way;
@@ -107,14 +127,14 @@ impl ICache {
     /// Returns `false` for non-resident lines.
     pub fn first_ref_set(&self, line: LineAddr) -> bool {
         let (set, tag) = self.index(line);
-        self.sets[set].iter().any(|w| w.tag == tag && w.first_ref)
+        self.set(set).iter().any(|w| w.valid && w.tag == tag && w.first_ref)
     }
 
     /// Clears the first-time-referenced bit (done when a next-line
     /// prefetch is triggered from the line). No-op if not resident.
     pub fn clear_first_ref(&mut self, line: LineAddr) {
         let (set, tag) = self.index(line);
-        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
+        if let Some(w) = self.set_mut(set).iter_mut().find(|w| w.valid && w.tag == tag) {
             w.first_ref = false;
         }
     }
@@ -126,7 +146,7 @@ impl ICache {
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.ways.iter().filter(|w| w.valid).count()
     }
 }
 

@@ -171,7 +171,10 @@ mod tests {
         assert!(!c.first_ref_set(LineAddr::new(1)));
         assert_eq!(b.prefetch_count(), 1);
         // Second access: bit clear, no re-trigger.
-        assert_eq!(pf.trigger(1, LineAddr::new(1), &mut c, &mut b, 5), PrefetchDecision::NotTriggered);
+        assert_eq!(
+            pf.trigger(1, LineAddr::new(1), &mut c, &mut b, 5),
+            PrefetchDecision::NotTriggered
+        );
     }
 
     #[test]

@@ -20,9 +20,12 @@
 //! [`FetchPolicy`].
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use specfetch_bpred::{BranchUnit, GhrUpdate};
-use specfetch_cache::{Bus, ICache, NextLinePrefetcher, Purpose, ResumeBuffer, StreamBuffer, TargetPrefetcher};
+use specfetch_cache::{
+    Bus, ICache, NextLinePrefetcher, Purpose, ResumeBuffer, StreamBuffer, TargetPrefetcher,
+};
 use specfetch_isa::{Addr, DynInstr, InstrKind, LineAddr, Program};
 use specfetch_trace::PathSource;
 
@@ -119,7 +122,10 @@ enum Cause {
 pub(crate) struct Engine<'s, S: PathSource> {
     cfg: SimConfig,
     source: &'s mut S,
-    program: Program,
+    /// Shared with the source (and every sibling engine in a sweep):
+    /// holding the handle instead of a deep copy keeps per-run setup O(1)
+    /// in the image size.
+    program: Arc<Program>,
     unit: BranchUnit,
     icache: ICache,
     shadow: Option<ICache>,
@@ -149,6 +155,11 @@ pub(crate) struct Engine<'s, S: PathSource> {
     /// misfetched branch — so the gate floor is this cycle plus the
     /// decode latency.
     last_fetch_cycle: Option<u64>,
+    /// Earliest cycle at which any in-flight branch has an unfired
+    /// decode/resolve event (`u64::MAX` when none). Lets
+    /// [`Engine::process_events`] skip its scan on event-free cycles; may
+    /// run stale-early after a squash, which only costs a wasted scan.
+    next_event_at: u64,
 
     // Results.
     correct_instrs: u64,
@@ -168,7 +179,7 @@ pub(crate) struct Engine<'s, S: PathSource> {
 impl<'s, S: PathSource> Engine<'s, S> {
     pub(crate) fn new(cfg: SimConfig, source: &'s mut S) -> Self {
         cfg.validate().expect("invalid simulator configuration");
-        let program = source.program().clone();
+        let program = source.shared_program();
         let next_correct = source.next_instr();
         Engine {
             unit: BranchUnit::new(&cfg.bpred),
@@ -188,6 +199,7 @@ impl<'s, S: PathSource> Engine<'s, S> {
             orphan_fills: std::collections::HashSet::new(),
             last_blocked: None,
             last_fetch_cycle: None,
+            next_event_at: u64::MAX,
             correct_instrs: 0,
             lost: IspiBreakdown::default(),
             pht_mispredict_slots: 0,
@@ -213,8 +225,11 @@ impl<'s, S: PathSource> Engine<'s, S> {
             self.process_bus();
             self.stream_tick();
             self.process_events();
-            self.fetch_phase();
+            let stall = self.fetch_phase();
             self.cycle += 1;
+            if let Some(cause) = stall {
+                self.fast_forward_stall(cause);
+            }
             if self.correct_instrs != last_progress.0 {
                 last_progress = (self.correct_instrs, self.cycle);
             } else {
@@ -263,6 +278,47 @@ impl<'s, S: PathSource> Engine<'s, S> {
     }
 
     // ---- per-cycle phases -------------------------------------------------
+
+    /// Fast-forwards over a run of fully-stalled cycles.
+    ///
+    /// Called after a cycle whose fetch phase issued nothing and charged
+    /// all `issue_width` slots to `cause`. Until the next cycle at which
+    /// *anything* can happen — a bus completion, an in-flight branch's
+    /// decode/resolve event, or a ForceWait gate opening — every cycle
+    /// would repeat exactly that charge and mutate nothing, so the engine
+    /// books them in bulk and jumps. This is a pure wall-clock
+    /// optimisation: simulated cycle counts and every statistic are
+    /// identical to stepping cycle by cycle.
+    fn fast_forward_stall(&mut self, cause: Cause) {
+        // The stall must be one that provably repeats until an external
+        // event: an outstanding pending miss, a halted wrong-path walk, or
+        // a full branch window. (A miss satisfied within its own cycle
+        // blocks one slot-group without leaving any of these behind.)
+        let persists = self.pending.is_some()
+            || matches!(self.mode, Mode::Wrong { walk: None, .. })
+            || cause == Cause::BranchFull;
+        if !persists {
+            return;
+        }
+        // A stream buffer with a free bus slot issues one prefetch per
+        // cycle, so those cycles are not idle; step them normally.
+        if self.cfg.stream_buffer && self.bus.is_free() && self.stream.want_fetch().is_some() {
+            return;
+        }
+        let mut wake = self.next_event_at;
+        if let Some(c) = self.bus.earliest_completion() {
+            wake = wake.min(c);
+        }
+        if let Some(PendingMiss { state: MissState::ForceWait { until }, .. }) = self.pending {
+            wake = wake.min(until);
+        }
+        if wake == u64::MAX || wake <= self.cycle {
+            return;
+        }
+        let skipped = wake - self.cycle;
+        self.lose(skipped * self.cfg.issue_width as u64, cause);
+        self.cycle = wake;
+    }
 
     /// Keeps the stream buffer's pipeline of sequential prefetches fed
     /// (one per free bus slot, up to the FIFO depth).
@@ -340,9 +396,9 @@ impl<'s, S: PathSource> Engine<'s, S> {
                     // straight to the cache; otherwise park it in the
                     // resume buffer (or the cache when the single-line
                     // buffer is occupied — pipelined-bus case).
-                    let waiting = self.pending.is_some_and(|p| {
-                        p.line == tx.line && p.state == MissState::PrefetchWait
-                    });
+                    let waiting = self
+                        .pending
+                        .is_some_and(|p| p.line == tx.line && p.state == MissState::PrefetchWait);
                     if waiting {
                         self.icache.fill(tx.line);
                         self.pending = None;
@@ -365,6 +421,10 @@ impl<'s, S: PathSource> Engine<'s, S> {
     }
 
     fn process_events(&mut self) {
+        // Nothing can fire before the watermark; skip the scan entirely.
+        if self.cycle < self.next_event_at {
+            return;
+        }
         // Events fire oldest-first; a redirect squashes everything younger,
         // so restart the scan after each one.
         'outer: loop {
@@ -405,12 +465,16 @@ impl<'s, S: PathSource> Engine<'s, S> {
                     }
                     if f.on_correct {
                         if f.is_cond {
-                            self.unit.resolve_cond(f.pc, f.ghr_snapshot, f.actual_taken, f.pred_taken);
+                            self.unit.resolve_cond(
+                                f.pc,
+                                f.ghr_snapshot,
+                                f.actual_taken,
+                                f.pred_taken,
+                            );
                             if self.cfg.bpred.ghr_update == GhrUpdate::Speculative
                                 && f.pred_taken != f.actual_taken
                             {
-                                self.unit
-                                    .repair_ghr((f.ghr_snapshot << 1) | f.actual_taken as u32);
+                                self.unit.repair_ghr((f.ghr_snapshot << 1) | f.actual_taken as u32);
                             }
                         } else if f.kind.is_return() {
                             self.unit.note_return_resolved(f.resolve_redirect.is_none());
@@ -442,6 +506,17 @@ impl<'s, S: PathSource> Engine<'s, S> {
                 break;
             }
         }
+        // Re-establish the watermark over the surviving records.
+        let mut next = u64::MAX;
+        for f in &self.inflight {
+            if !f.decode_done {
+                next = next.min(f.decode_at);
+            }
+            if !f.resolved && self.needs_resolution(f.kind) {
+                next = next.min(f.resolve_at);
+            }
+        }
+        self.next_event_at = next;
     }
 
     fn needs_resolution(&self, kind: InstrKind) -> bool {
@@ -517,29 +592,32 @@ impl<'s, S: PathSource> Engine<'s, S> {
 
     // ---- fetch ------------------------------------------------------------
 
-    fn fetch_phase(&mut self) {
+    /// Runs one cycle's fetch slots. Returns the charge cause when the
+    /// *whole* cycle stalled without issuing a slot — the precondition for
+    /// [`Engine::fast_forward_stall`] — and `None` otherwise.
+    fn fetch_phase(&mut self) -> Option<Cause> {
         let width = self.cfg.issue_width as u64;
         let mut slot = 0u64;
         while slot < width {
             if self.pending.is_some() && !self.advance_pending() {
                 let cause = self.stall_cause();
                 self.lose(width - slot, cause);
-                return;
+                return (slot == 0).then_some(cause);
             }
             match self.mode {
                 Mode::Correct => {
                     let Some(d) = self.next_correct else {
                         self.unused_end_slots += width - slot;
-                        return;
+                        return None;
                     };
                     if d.kind.is_conditional() && self.cond_in_flight >= self.cfg.max_unresolved {
                         self.lose(width - slot, Cause::BranchFull);
-                        return;
+                        return (slot == 0).then_some(Cause::BranchFull);
                     }
                     if !self.access(d.pc, true) {
                         let cause = self.stall_cause();
                         self.lose(width - slot, cause);
-                        return;
+                        return (slot == 0).then_some(cause);
                     }
                     self.next_correct = self.source.next_instr();
                     self.correct_instrs += 1;
@@ -551,7 +629,7 @@ impl<'s, S: PathSource> Engine<'s, S> {
                 }
                 Mode::Wrong { walk: None, trigger } => {
                     self.lose(width - slot, Cause::Branch(trigger));
-                    return;
+                    return (slot == 0).then_some(Cause::Branch(trigger));
                 }
                 Mode::Wrong { walk: Some(pc), trigger } => {
                     let Some(kind) = self.program.fetch(pc) else {
@@ -563,12 +641,12 @@ impl<'s, S: PathSource> Engine<'s, S> {
                     };
                     if kind.is_conditional() && self.cond_in_flight >= self.cfg.max_unresolved {
                         self.lose(width - slot, Cause::Branch(trigger));
-                        return;
+                        return (slot == 0).then_some(Cause::Branch(trigger));
                     }
                     if !self.access(pc, false) {
                         let cause = self.stall_cause();
                         self.lose(width - slot, cause);
-                        return;
+                        return (slot == 0).then_some(cause);
                     }
                     self.lose(1, Cause::Branch(trigger));
                     self.last_fetch_cycle = Some(self.cycle);
@@ -581,6 +659,7 @@ impl<'s, S: PathSource> Engine<'s, S> {
                 }
             }
         }
+        None
     }
 
     fn lose(&mut self, slots: u64, cause: Cause) {
@@ -852,8 +931,7 @@ impl<'s, S: PathSource> Engine<'s, S> {
         }
         if self.bus.is_free() {
             let wrong_issue = matches!(self.mode, Mode::Wrong { .. });
-            let purpose =
-                if wrong_issue { Purpose::DemandWrong } else { Purpose::DemandCorrect };
+            let purpose = if wrong_issue { Purpose::DemandWrong } else { Purpose::DemandCorrect };
             self.bus.start(self.cycle, line, self.cfg.miss_penalty, purpose);
             self.pending = Some(PendingMiss { line, state: MissState::InFlight { wrong_issue } });
         } else {
@@ -914,6 +992,10 @@ impl<'s, S: PathSource> Engine<'s, S> {
         if record.is_cond {
             self.cond_in_flight += 1;
         }
+        self.next_event_at = self.next_event_at.min(record.decode_at);
+        if self.needs_resolution(record.kind) {
+            self.next_event_at = self.next_event_at.min(record.resolve_at);
+        }
         self.inflight.push_back(record);
     }
 
@@ -962,9 +1044,7 @@ impl<'s, S: PathSource> Engine<'s, S> {
         };
 
         let decode_pred: Option<Addr> = match kind {
-            InstrKind::CondBranch { target } => {
-                Some(if pred_taken { target } else { pc.next() })
-            }
+            InstrKind::CondBranch { target } => Some(if pred_taken { target } else { pc.next() }),
             InstrKind::Jump { target } | InstrKind::Call { target } => Some(target),
             InstrKind::Return => ras_pred,
             InstrKind::IndirectJump | InstrKind::IndirectCall => btb.map(|h| h.target),

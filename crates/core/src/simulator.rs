@@ -147,7 +147,7 @@ mod tests {
         // Entry block: 8 instrs on line 0, then the branch.
         b.push_seq(7);
         let branch_pc = b.push(InstrKind::CondBranch { target: Addr::new(0) }); // patched
-        // Wrong path (fall-through): lines 1..3.
+                                                                                // Wrong path (fall-through): lines 1..3.
         b.push_seq(24);
         // Correct path target.
         let target = b.next_addr();
@@ -157,12 +157,7 @@ mod tests {
         let p = b.finish().unwrap();
 
         let mut path: Vec<DynInstr> = (0..7).map(|i| DynInstr::seq(Addr::from_word(i))).collect();
-        path.push(DynInstr::branch(
-            branch_pc,
-            InstrKind::CondBranch { target },
-            true,
-            target,
-        ));
+        path.push(DynInstr::branch(branch_pc, InstrKind::CondBranch { target }, true, target));
         for i in 0..64u64 {
             path.push(DynInstr::seq(Addr::new(target.raw() + 4 * i)));
         }
@@ -256,9 +251,7 @@ mod tests {
         // Footnote 3: Pessimistic and Oracle generate the same misses;
         // Optimistic and Resume generate the same misses.
         let w = Workload::generate(&WorkloadSpec::c_like("pairs", 9)).unwrap();
-        let run = |policy| {
-            Simulator::new(cfg(policy)).run(w.executor(5).take_instrs(40_000))
-        };
+        let run = |policy| Simulator::new(cfg(policy)).run(w.executor(5).take_instrs(40_000));
         let oracle = run(FetchPolicy::Oracle);
         let pess = run(FetchPolicy::Pessimistic);
         let opt = run(FetchPolicy::Optimistic);
@@ -325,12 +318,7 @@ mod tests {
         // Steady state: without prefetch a line costs 2 fetch + 5 stall
         // cycles (ISPI 2.5); with next-line prefetch the 5-cycle fill
         // overlaps the 2 fetch cycles, leaving 3 stall cycles (ISPI 1.5).
-        assert!(
-            r1.ispi() < r0.ispi() * 0.7,
-            "prefetch ISPI {} vs base {}",
-            r1.ispi(),
-            r0.ispi()
-        );
+        assert!(r1.ispi() < r0.ispi() * 0.7, "prefetch ISPI {} vs base {}", r1.ispi(), r0.ispi());
         base.prefetch = false; // silence unused-mut lint paranoia
         let _ = base;
     }
@@ -463,9 +451,8 @@ mod tests {
     #[test]
     fn oracle_is_best_or_tied_on_average() {
         let w = Workload::generate(&WorkloadSpec::cpp_like("orc", 17)).unwrap();
-        let run = |policy| {
-            Simulator::new(cfg(policy)).run(w.executor(6).take_instrs(60_000)).ispi()
-        };
+        let run =
+            |policy| Simulator::new(cfg(policy)).run(w.executor(6).take_instrs(60_000)).ispi();
         let oracle = run(FetchPolicy::Oracle);
         // Oracle can in principle lose to Optimistic/Resume thanks to the
         // wrong-path prefetch effect, but it must dominate the
@@ -477,7 +464,8 @@ mod tests {
     #[test]
     fn results_are_deterministic() {
         let w = Workload::generate(&WorkloadSpec::c_like("det", 23)).unwrap();
-        let run = || Simulator::new(cfg(FetchPolicy::Resume)).run(w.executor(9).take_instrs(20_000));
+        let run =
+            || Simulator::new(cfg(FetchPolicy::Resume)).run(w.executor(9).take_instrs(20_000));
         let a = run();
         let b = run();
         assert_eq!(a, b);

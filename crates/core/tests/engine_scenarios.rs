@@ -99,8 +99,7 @@ fn resume_buffer_serves_subsequent_correct_miss() {
     b.set_entry(Addr::new(0));
     let p = b.finish().unwrap();
 
-    let mut path: Vec<DynInstr> =
-        (0..7).map(|i| DynInstr::seq(Addr::from_word(i))).collect();
+    let mut path: Vec<DynInstr> = (0..7).map(|i| DynInstr::seq(Addr::from_word(i))).collect();
     path.push(DynInstr::branch(bcond, InstrKind::CondBranch { target }, true, target));
     for k in 0..7u64 {
         path.push(DynInstr::seq(Addr::new(target.raw() + 4 * k)));
@@ -121,10 +120,7 @@ fn resume_buffer_serves_subsequent_correct_miss() {
     assert_eq!(r.mispredicts, 1);
     assert_eq!(r.misfetches, 1, "{r}");
     assert_eq!(r.traffic_demand_wrong, 2, "{r}");
-    assert_eq!(
-        r.traffic_demand_correct, 2,
-        "line 1 must be reused from the resume buffer: {r}"
-    );
+    assert_eq!(r.traffic_demand_correct, 2, "line 1 must be reused from the resume buffer: {r}");
     assert_eq!(r.lost.wrong_icache, 0);
     assert!(r.lost.bus > 0, "the correct-path miss waits behind the orphaned fill");
 }
@@ -145,8 +141,7 @@ fn optimistic_blocks_but_keeps_the_wrong_line() {
     b.set_entry(Addr::new(0));
     let p = b.finish().unwrap();
 
-    let mut path: Vec<DynInstr> =
-        (0..7).map(|i| DynInstr::seq(Addr::from_word(i))).collect();
+    let mut path: Vec<DynInstr> = (0..7).map(|i| DynInstr::seq(Addr::from_word(i))).collect();
     path.push(DynInstr::branch(bcond, InstrKind::CondBranch { target }, true, target));
     for k in 0..7u64 {
         path.push(DynInstr::seq(Addr::new(target.raw() + 4 * k)));

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! specfetch-repro [--experiment <id>|all] [--instrs N] [--format plain|markdown|csv]
-//!                 [--sequential] [--list]
+//!                 [--sequential] [--no-trace-cache] [--list]
 //! ```
 
 use std::process::ExitCode;
 
-use specfetch_experiments::{run_experiment, Format, RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS};
+use specfetch_experiments::{
+    run_experiment, Format, RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
+};
 
 struct Args {
     experiment: String,
@@ -41,11 +43,15 @@ fn parse_args() -> Result<Args, String> {
                 format = Format::parse(&v).ok_or(format!("unknown format {v:?}"))?;
             }
             "--sequential" => opts.parallel = false,
+            // Re-interpret the workload per run (the pre-sharing
+            // behaviour); output is identical, only slower. Kept for
+            // equivalence checks and speedup measurements.
+            "--no-trace-cache" => opts.share_traces = false,
             "--list" => list = true,
             "--help" | "-h" => {
                 println!(
                     "usage: specfetch-repro [--experiment <id>|all] [--instrs N] \
-                     [--format plain|markdown|csv] [--sequential] [--list]"
+                     [--format plain|markdown|csv] [--sequential] [--no-trace-cache] [--list]"
                 );
                 println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
                 println!("extras:      extras {}", EXTRA_EXPERIMENT_IDS.join(" "));

@@ -18,8 +18,7 @@ use crate::{par_map, ExperimentReport, RunOptions, Table};
 // ---------------------------------------------------------------------------
 
 /// Prefetch configurations compared by [`prefetch_data`].
-pub const PREFETCH_VARIANTS: [&str; 5] =
-    ["none", "next-line", "target", "both-path", "stream"];
+pub const PREFETCH_VARIANTS: [&str; 5] = ["none", "next-line", "target", "both-path", "stream"];
 
 /// ISPI and traffic per prefetch variant for one benchmark (Resume
 /// policy, baseline machine).
@@ -36,7 +35,7 @@ pub struct PrefetchRow {
 /// Gathers the prefetch-variant sweep.
 pub fn prefetch_data(opts: &RunOptions) -> Vec<PrefetchRow> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(benches, opts.parallel, |b| {
         let mut ispi = [0.0; 5];
         let mut traffic = [0u64; 5];
@@ -54,7 +53,7 @@ pub fn prefetch_data(opts: &RunOptions) -> Vec<PrefetchRow> {
             cfg.prefetch = next;
             cfg.target_prefetch = target;
             cfg.stream_buffer = stream;
-            let r = simulate_benchmark(b, cfg, instrs);
+            let r = simulate_benchmark(b, cfg, opts);
             ispi[i] = r.ispi();
             traffic[i] = r.total_traffic();
         }
@@ -104,15 +103,13 @@ pub fn run_prefetch(opts: &RunOptions) -> ExperimentReport {
                 (Smith & Hsu) / both-path (Pierce & Mudge)"
             .into(),
         table,
-        notes: vec![
-            "Pierce & Mudge report next-line provides 70-80% of the combined gain; \
+        notes: vec!["Pierce & Mudge report next-line provides 70-80% of the combined gain; \
              expect 'both-path' to edge out 'next-line' at extra traffic. The \
              four-entry Jouppi stream buffer covers sequential misses like next-line \
              but restarts on every non-sequential miss — on this shared blocking bus \
              it loses on branchy codes (Jouppi assumed a separate fill path), an \
              amplified case of the paper's bandwidth caution."
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -138,7 +135,7 @@ pub struct BpredRow {
 /// Gathers the branch-architecture sweep (Resume policy).
 pub fn bpred_data(opts: &RunOptions) -> Vec<BpredRow> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(benches, opts.parallel, |b| {
         let mut ispi = [0.0; 6];
         let mut accuracy = [0.0; 6];
@@ -153,7 +150,7 @@ pub fn bpred_data(opts: &RunOptions) -> Vec<BpredRow> {
                 "resolve-idx" => cfg.bpred.pht_train = PhtTrain::ResolveIndex,
                 other => unreachable!("unknown variant {other}"),
             }
-            let r = simulate_benchmark(b, cfg, instrs);
+            let r = simulate_benchmark(b, cfg, opts);
             ispi[i] = r.ispi();
             accuracy[i] = r.bpred.cond_accuracy();
         }
@@ -189,14 +186,12 @@ pub fn run_bpred(opts: &RunOptions) -> ExperimentReport {
                 paper's choice)"
             .into(),
         table,
-        notes: vec![
-            "Expected: coupled BTBs lose accuracy on BTB misses (Calder & Grunwald \
+        notes: vec!["Expected: coupled BTBs lose accuracy on BTB misses (Calder & Grunwald \
              '94); static not-taken is the floor. Caveat: on these synthetic \
              workloads bimodal can beat gshare-512 — i.i.d.-biased conditionals give \
              the global history little signal while its entropy scatters each branch \
              across the small table (the PHT ISPI nevertheless matches Table 3)."
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -221,14 +216,14 @@ pub struct AssocRow {
 /// Gathers the associativity sweep.
 pub fn assoc_data(opts: &RunOptions) -> Vec<AssocRow> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(benches, opts.parallel, |b| {
         let mut miss = [0.0; 3];
         let mut ispi = [0.0; 3];
         for (i, assoc) in ASSOCIATIVITIES.into_iter().enumerate() {
             let mut cfg = baseline(FetchPolicy::Resume);
             cfg.icache.assoc = assoc;
-            let r = simulate_benchmark(b, cfg, instrs);
+            let r = simulate_benchmark(b, cfg, opts);
             miss[i] = r.miss_rate_pct();
             ispi[i] = r.ispi();
         }
@@ -239,12 +234,7 @@ pub fn assoc_data(opts: &RunOptions) -> Vec<AssocRow> {
 /// Renders the associativity report.
 pub fn run_assoc(opts: &RunOptions) -> ExperimentReport {
     let rows = assoc_data(opts);
-    let mut table = Table::new([
-        "bench",
-        "DM miss%/ISPI",
-        "2-way miss%/ISPI",
-        "4-way miss%/ISPI",
-    ]);
+    let mut table = Table::new(["bench", "DM miss%/ISPI", "2-way miss%/ISPI", "4-way miss%/ISPI"]);
     for r in &rows {
         table.row(vec![
             r.benchmark.name.to_owned(),
@@ -268,12 +258,10 @@ pub fn run_assoc(opts: &RunOptions) -> ExperimentReport {
                 only)"
             .into(),
         table,
-        notes: vec![
-            "Associativity removes conflict misses; the residual at 4-way is \
+        notes: vec!["Associativity removes conflict misses; the residual at 4-way is \
              capacity — how much of each benchmark's 8K miss rate was conflict \
              pressure."
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -301,14 +289,14 @@ pub struct PenaltyRow {
 /// locating the crossover the paper's summary describes ("when the miss
 /// penalty is high, Pessimistic performs as well as Resume on average").
 pub fn penalty_data(opts: &RunOptions) -> Vec<PenaltyRow> {
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     let work: Vec<u64> = PENALTIES.to_vec();
     par_map(work, opts.parallel, |penalty| {
         let avg = |cfg_of: &dyn Fn() -> specfetch_core::SimConfig| {
             mean(Benchmark::all().iter().map(|b| {
                 let mut cfg = cfg_of();
                 cfg.miss_penalty = penalty;
-                simulate_benchmark(b, cfg, instrs).ispi()
+                simulate_benchmark(b, cfg, opts).ispi()
             }))
         };
         PenaltyRow {
@@ -343,12 +331,10 @@ pub fn run_penalty(opts: &RunOptions) -> ExperimentReport {
                 summary / §5.2.1)"
             .into(),
         table,
-        notes: vec![
-            "Expected shape: Pessimistic/Resume ratio falls toward (and past) 1.0 as \
+        notes: vec!["Expected shape: Pessimistic/Resume ratio falls toward (and past) 1.0 as \
              the penalty grows; Resume+Pref's advantage over plain Resume shrinks and \
              inverts at high penalties."
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -375,7 +361,7 @@ pub struct BusRow {
 /// next-line prefetching at the 20-cycle penalty (where Figure 4 shows it
 /// hurting)?
 pub fn bus_data(opts: &RunOptions) -> Vec<BusRow> {
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(BUS_SLOTS.to_vec(), opts.parallel, |slots| {
         let avg = |prefetch: bool| {
             mean(Benchmark::all().iter().map(|b| {
@@ -383,7 +369,7 @@ pub fn bus_data(opts: &RunOptions) -> Vec<BusRow> {
                 cfg.miss_penalty = 20;
                 cfg.bus_slots = slots;
                 cfg.prefetch = prefetch;
-                simulate_benchmark(b, cfg, instrs).ispi()
+                simulate_benchmark(b, cfg, opts).ispi()
             }))
         };
         BusRow { slots, plain: avg(false), prefetch: avg(true) }
@@ -404,15 +390,12 @@ pub fn run_bus(opts: &RunOptions) -> ExperimentReport {
     }
     ExperimentReport {
         id: "ablation-bus",
-        title: "Pipelined miss requests at the 20-cycle penalty (paper §6 future work)"
-            .into(),
+        title: "Pipelined miss requests at the 20-cycle penalty (paper §6 future work)".into(),
         table,
-        notes: vec![
-            "Expected shape: with one slot, prefetching at the long penalty is a \
+        notes: vec!["Expected shape: with one slot, prefetching at the long penalty is a \
              wash or a loss (Figure 4); extra slots let prefetches overlap demand \
              fills, restoring the prefetch gain."
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -514,10 +497,7 @@ mod tests {
         let ratio = |r: &PenaltyRow| r.pessimistic / r.resume;
         let first = ratio(&rows[0]);
         let last = ratio(&rows[rows.len() - 1]);
-        assert!(
-            last < first,
-            "Pess/Res ratio should fall with penalty: {first:.3} -> {last:.3}"
-        );
+        assert!(last < first, "Pess/Res ratio should fall with penalty: {first:.3} -> {last:.3}");
     }
 
     #[test]

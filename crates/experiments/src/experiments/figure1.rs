@@ -32,11 +32,11 @@ pub(crate) fn bars(
             work.push((b, policy));
         }
     }
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(work, opts.parallel, |(b, policy)| Bar {
         benchmark: b,
         policy,
-        result: simulate_benchmark(b, cfg_for(policy), instrs),
+        result: simulate_benchmark(b, cfg_for(policy), opts),
     })
 }
 
@@ -87,12 +87,10 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
     breakdown_report(
         "figure1",
         "ISPI breakdown, baseline (8K, 5-cycle penalty, depth 4) — paper Figure 1".into(),
-        vec![
-            "Expected shape: Optimistic < Pessimistic; Resume ~ Oracle (best); Decode ~ \
+        vec!["Expected shape: Optimistic < Pessimistic; Resume ~ Oracle (best); Decode ~ \
              Pessimistic; bus nonzero only for Resume; force_resolve only for \
              Pessimistic/Decode."
-                .into(),
-        ],
+            .into()],
         &bars,
     )
 }

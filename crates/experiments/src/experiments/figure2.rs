@@ -22,12 +22,10 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
     breakdown_report(
         "figure2",
         "ISPI breakdown, long latency (8K, 20-cycle penalty, depth 4) — paper Figure 2".into(),
-        vec![
-            "Expected shape: with the large penalty, servicing wrong-path misses gets \
+        vec!["Expected shape: with the large penalty, servicing wrong-path misses gets \
              expensive — Pessimistic beats Optimistic for the C/C++ codes and roughly \
              ties Resume on average."
-                .into(),
-        ],
+            .into()],
         &bars,
     )
 }

@@ -40,12 +40,12 @@ pub(crate) fn bars(
             }
         }
     }
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(work, opts.parallel, |(b, policy, prefetch)| Bar {
         benchmark: b,
         policy,
         prefetch,
-        result: simulate_benchmark(b, cfg_for(policy, prefetch), instrs),
+        result: simulate_benchmark(b, cfg_for(policy, prefetch), opts),
     })
 }
 
@@ -105,12 +105,10 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
     prefetch_report(
         "figure3",
         "Next-line prefetching, baseline penalty (paper Figure 3)".into(),
-        vec![
-            "Expected shape: prefetching improves every policy and narrows the \
+        vec!["Expected shape: prefetching improves every policy and narrows the \
              Resume-vs-Pessimistic gap; Resume without prefetching is comparable to \
              Pessimistic with it."
-                .into(),
-        ],
+            .into()],
         &bars,
     )
 }

@@ -21,12 +21,10 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
     prefetch_report(
         "figure4",
         "Next-line prefetching, long latency (paper Figure 4)".into(),
-        vec![
-            "Expected shape: with a 20-cycle fill, prefetches monopolise the bus and \
+        vec!["Expected shape: with a 20-cycle fill, prefetches monopolise the bus and \
              can hurt — even Oracle can lose performance, and aggressive fetch \
              activity stops paying off."
-                .into(),
-        ],
+            .into()],
         &bars,
     )
 }
@@ -65,11 +63,7 @@ mod tests {
     #[test]
     fn bus_component_appears_under_prefetching() {
         let bars = data(&RunOptions::smoke().with_instrs(100_000));
-        let bus: u64 = bars
-            .iter()
-            .filter(|b| b.prefetch)
-            .map(|b| b.result.lost.bus)
-            .sum();
+        let bus: u64 = bars.iter().filter(|b| b.prefetch).map(|b| b.result.lost.bus).sum();
         assert!(bus > 0, "prefetching at long latency must cause bus waits");
     }
 }

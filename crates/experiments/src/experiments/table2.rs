@@ -19,25 +19,25 @@ pub struct Row {
 /// pure path characterisation).
 pub fn data(opts: &RunOptions) -> Vec<Row> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let opts = *opts;
     par_map(benches, opts.parallel, |b| {
-        let w = b.workload().expect("calibrated specs generate");
-        let mut src = w.executor(b.path_seed()).take_instrs(opts.instrs_per_benchmark);
-        Row { benchmark: b, stats: TraceStats::from_source(&mut src) }
+        let stats = if opts.share_traces {
+            let mut src = crate::trace_cache::recorded_source(b, opts.instrs_per_benchmark);
+            TraceStats::from_source(&mut src)
+        } else {
+            let w = b.workload().expect("calibrated specs generate");
+            let mut src = w.executor(b.path_seed()).take_instrs(opts.instrs_per_benchmark);
+            TraceStats::from_source(&mut src)
+        };
+        Row { benchmark: b, stats }
     })
 }
 
 /// Renders the report.
 pub fn run(opts: &RunOptions) -> ExperimentReport {
     let rows = data(opts);
-    let mut table = Table::new([
-        "bench",
-        "lang",
-        "instrs",
-        "%br",
-        "%br paper",
-        "taken%",
-        "static KB",
-    ]);
+    let mut table =
+        Table::new(["bench", "lang", "instrs", "%br", "%br paper", "taken%", "static KB"]);
     for r in &rows {
         let w = r.benchmark.workload().expect("generates");
         table.row(vec![
@@ -63,11 +63,9 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
         id: "table2",
         title: "Benchmark inventory (dynamic branch density vs paper Table 2)".into(),
         table,
-        notes: vec![
-            "Instruction counts are the simulated window, not the paper's full runs \
+        notes: vec!["Instruction counts are the simulated window, not the paper's full runs \
              (6M-4.8B); branch density is the calibrated quantity."
-                .into(),
-        ],
+            .into()],
     }
 }
 

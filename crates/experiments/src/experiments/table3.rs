@@ -35,15 +35,15 @@ fn pht_ispi(r: &SimResult) -> f64 {
 /// (8K, depth 1), and (32K, depth 4).
 pub fn data(opts: &RunOptions) -> Vec<Row> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(benches, opts.parallel, |b| {
-        let d4 = simulate_benchmark(b, baseline(FetchPolicy::Oracle), instrs);
+        let d4 = simulate_benchmark(b, baseline(FetchPolicy::Oracle), opts);
         let mut cfg_d1 = baseline(FetchPolicy::Oracle);
         cfg_d1.max_unresolved = 1;
-        let d1 = simulate_benchmark(b, cfg_d1, instrs);
+        let d1 = simulate_benchmark(b, cfg_d1, opts);
         let mut cfg_32 = baseline(FetchPolicy::Oracle);
         cfg_32.icache = CacheConfig::paper_32k();
-        let k32 = simulate_benchmark(b, cfg_32, instrs);
+        let k32 = simulate_benchmark(b, cfg_32, opts);
         Row {
             benchmark: b,
             miss_8k: d4.miss_rate_pct(),

@@ -21,13 +21,12 @@ pub struct Row {
 
 /// Gathers measured rows: one classified Optimistic run per benchmark.
 pub fn data(opts: &RunOptions) -> Vec<Row> {
-    let benches: Vec<(usize, &'static Benchmark)> =
-        Benchmark::all().iter().enumerate().collect();
-    let instrs = opts.instrs_per_benchmark;
+    let benches: Vec<(usize, &'static Benchmark)> = Benchmark::all().iter().enumerate().collect();
+    let opts = *opts;
     par_map(benches, opts.parallel, |(i, b)| {
         let mut cfg = baseline(FetchPolicy::Optimistic);
         cfg.classify = true;
-        let r = simulate_benchmark(b, cfg, instrs);
+        let r = simulate_benchmark(b, cfg, opts);
         Row {
             benchmark: b,
             class: r.classification.expect("classification was enabled"),
@@ -69,12 +68,10 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
         id: "table4",
         title: "Miss classification: Optimistic vs Oracle (paper Table 4)".into(),
         table,
-        notes: vec![
-            "Expected shape: Spec-Prefetch exceeds Spec-Pollute (wrong-path fills help \
+        notes: vec!["Expected shape: Spec-Prefetch exceeds Spec-Pollute (wrong-path fills help \
              more than they pollute), and Wrong-Path misses dominate the traffic-ratio \
              increase."
-                .into(),
-        ],
+            .into()],
     }
 }
 

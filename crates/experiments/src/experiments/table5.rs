@@ -32,13 +32,13 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
             work.push((b, depth));
         }
     }
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(work, opts.parallel, |(b, depth)| {
         let mut ispi = [0.0; 5];
         for (i, policy) in FetchPolicy::ALL.into_iter().enumerate() {
             let mut cfg = baseline(policy);
             cfg.max_unresolved = depth;
-            ispi[i] = simulate_benchmark(b, cfg, instrs).ispi();
+            ispi[i] = simulate_benchmark(b, cfg, opts).ispi();
         }
         Row { benchmark: b, depth, ispi }
     })
@@ -97,12 +97,10 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
         id: "table5",
         title: "Effect of speculation depth on ISPI (paper Table 5)".into(),
         table,
-        notes: vec![
-            "Expected shape: ISPI falls with depth for every policy (branch_full \
+        notes: vec!["Expected shape: ISPI falls with depth for every policy (branch_full \
              stalls vanish); Resume ~ Oracle; Optimistic in between; Pessimistic ~ \
              Decode worst at this small penalty."
-                .into(),
-        ],
+            .into()],
     }
 }
 

@@ -21,13 +21,13 @@ pub struct Row {
 /// Gathers the 32K sweep.
 pub fn data(opts: &RunOptions) -> Vec<Row> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(benches, opts.parallel, |b| {
         let mut ispi = [0.0; 5];
         for (i, policy) in FetchPolicy::ALL.into_iter().enumerate() {
             let mut cfg = baseline(policy);
             cfg.icache = CacheConfig::paper_32k();
-            ispi[i] = simulate_benchmark(b, cfg, instrs).ispi();
+            ispi[i] = simulate_benchmark(b, cfg, opts).ispi();
         }
         Row { benchmark: b, ispi }
     })
@@ -61,11 +61,9 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
         id: "table6",
         title: "Effect of cache size: 32K direct-mapped (paper Table 6)".into(),
         table,
-        notes: vec![
-            "Expected shape: miss rates shrink, so policies converge — the \
+        notes: vec!["Expected shape: miss rates shrink, so policies converge — the \
              Resume-vs-Pessimistic gap narrows relative to the 8K cache."
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -87,11 +85,7 @@ mod tests {
         let k8 = table5::data(&opts);
         let gap = |ispi: &[f64; 5]| (ispi[3] - ispi[2]).max(0.0); // Pess - Res
         let gap32 = mean(k32.iter().map(|r| gap(&r.ispi)));
-        let gap8 =
-            mean(k8.iter().filter(|r| r.depth == 4).map(|r| gap(&r.ispi)));
-        assert!(
-            gap32 < gap8,
-            "32K Pess-Res gap {gap32:.3} should be below the 8K gap {gap8:.3}"
-        );
+        let gap8 = mean(k8.iter().filter(|r| r.depth == 4).map(|r| gap(&r.ispi)));
+        assert!(gap32 < gap8, "32K Pess-Res gap {gap32:.3} should be below the 8K gap {gap8:.3}");
     }
 }

@@ -22,19 +22,18 @@ pub struct Row {
 /// Gathers the traffic ratios.
 pub fn data(opts: &RunOptions) -> Vec<Row> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(benches, opts.parallel, |b| {
-        let base = simulate_benchmark(b, baseline(FetchPolicy::Oracle), instrs);
+        let base = simulate_benchmark(b, baseline(FetchPolicy::Oracle), opts);
         let base_traffic = base.total_traffic().max(1) as f64;
         let mut ratios = [0.0; 3];
-        for (i, policy) in
-            [FetchPolicy::Oracle, FetchPolicy::Resume, FetchPolicy::Pessimistic]
-                .into_iter()
-                .enumerate()
+        for (i, policy) in [FetchPolicy::Oracle, FetchPolicy::Resume, FetchPolicy::Pessimistic]
+            .into_iter()
+            .enumerate()
         {
             let mut cfg = baseline(policy);
             cfg.prefetch = true;
-            let r = simulate_benchmark(b, cfg, instrs);
+            let r = simulate_benchmark(b, cfg, opts);
             ratios[i] = r.total_traffic() as f64 / base_traffic;
         }
         Row { benchmark: b, ratios }
@@ -44,12 +43,8 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
 /// Renders the report.
 pub fn run(opts: &RunOptions) -> ExperimentReport {
     let rows = data(opts);
-    let mut table = Table::new([
-        "bench",
-        "Oracle+Pref (paper)",
-        "Resume+Pref (paper)",
-        "Pess+Pref (paper)",
-    ]);
+    let mut table =
+        Table::new(["bench", "Oracle+Pref (paper)", "Resume+Pref (paper)", "Pess+Pref (paper)"]);
     for (i, r) in rows.iter().enumerate() {
         table.row(vec![
             r.benchmark.name.to_owned(),
@@ -69,12 +64,10 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
         id: "table7",
         title: "Memory traffic of prefetching policies vs plain Oracle (paper Table 7)".into(),
         table,
-        notes: vec![
-            "Expected shape: prefetching costs 20-80% extra traffic everywhere; \
+        notes: vec!["Expected shape: prefetching costs 20-80% extra traffic everywhere; \
              Resume+Pref is the most expensive (wrong-path demand fills plus \
              prefetches); Oracle+Pref and Pessimistic+Pref are close."
-                .into(),
-        ],
+            .into()],
     }
 }
 

@@ -37,6 +37,7 @@ mod parallel;
 mod report;
 mod runner;
 mod table;
+pub mod trace_cache;
 
 pub use options::RunOptions;
 pub use parallel::par_map;
@@ -54,13 +55,8 @@ pub const EXPERIMENT_IDS: [&str; 10] = [
 
 /// The ablation-study identifiers (`--experiment extras`), beyond the
 /// paper's artifacts.
-pub const EXTRA_EXPERIMENT_IDS: [&str; 5] = [
-    "ablation-prefetch",
-    "ablation-bpred",
-    "ablation-assoc",
-    "ablation-penalty",
-    "ablation-bus",
-];
+pub const EXTRA_EXPERIMENT_IDS: [&str; 5] =
+    ["ablation-prefetch", "ablation-bpred", "ablation-assoc", "ablation-penalty", "ablation-bus"];
 
 /// Runs one experiment by id.
 ///

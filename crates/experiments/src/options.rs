@@ -10,22 +10,34 @@ pub struct RunOptions {
     pub instrs_per_benchmark: u64,
     /// Run the 13 benchmarks on worker threads.
     pub parallel: bool,
+    /// Serve every run from the process-wide record-once / replay-many
+    /// trace cache (see [`crate::trace_cache`]) instead of re-running the
+    /// behavioural interpreter per configuration. The output is identical
+    /// either way; `false` exists for equivalence tests and for measuring
+    /// the speedup itself.
+    pub share_traces: bool,
 }
 
 impl RunOptions {
     /// The default reproduction budget.
     pub fn new() -> Self {
-        RunOptions { instrs_per_benchmark: 2_000_000, parallel: true }
+        RunOptions { instrs_per_benchmark: 2_000_000, parallel: true, share_traces: true }
     }
 
     /// A budget for unit tests and smoke checks.
     pub fn smoke() -> Self {
-        RunOptions { instrs_per_benchmark: 40_000, parallel: true }
+        RunOptions { instrs_per_benchmark: 40_000, parallel: true, share_traces: true }
     }
 
     /// Overrides the per-benchmark instruction budget.
     pub fn with_instrs(mut self, instrs: u64) -> Self {
         self.instrs_per_benchmark = instrs;
+        self
+    }
+
+    /// Enables or disables the shared-trace cache.
+    pub fn with_share_traces(mut self, share: bool) -> Self {
+        self.share_traces = share;
         self
     }
 }
@@ -45,5 +57,7 @@ mod tests {
         assert_eq!(RunOptions::default(), RunOptions::new());
         assert_eq!(RunOptions::new().with_instrs(5).instrs_per_benchmark, 5);
         assert!(RunOptions::smoke().instrs_per_benchmark < RunOptions::new().instrs_per_benchmark);
+        assert!(RunOptions::new().share_traces, "sharing is the default");
+        assert!(!RunOptions::new().with_share_traces(false).share_traces);
     }
 }

@@ -53,31 +53,83 @@ pub type PolicyIspi = [f64; 5];
 /// `depth_idx` 0/1/2 for depths 1/2/4.
 pub const TABLE5: [[PolicyIspi; 3]; N_BENCH] = [
     // doduc
-    [[1.19, 1.20, 1.17, 1.46, 1.43], [1.10, 1.12, 1.08, 1.37, 1.35], [1.00, 1.02, 0.97, 1.27, 1.25]],
+    [
+        [1.19, 1.20, 1.17, 1.46, 1.43],
+        [1.10, 1.12, 1.08, 1.37, 1.35],
+        [1.00, 1.02, 0.97, 1.27, 1.25],
+    ],
     // fpppp
-    [[1.64, 1.64, 1.64, 2.24, 2.22], [1.59, 1.60, 1.59, 2.19, 2.18], [1.58, 1.59, 1.58, 2.18, 2.17]],
+    [
+        [1.64, 1.64, 1.64, 2.24, 2.22],
+        [1.59, 1.60, 1.59, 2.19, 2.18],
+        [1.58, 1.59, 1.58, 2.18, 2.17],
+    ],
     // su2cor
-    [[0.46, 0.45, 0.45, 0.58, 0.56], [0.40, 0.39, 0.38, 0.52, 0.49], [0.37, 0.36, 0.36, 0.50, 0.47]],
+    [
+        [0.46, 0.45, 0.45, 0.58, 0.56],
+        [0.40, 0.39, 0.38, 0.52, 0.49],
+        [0.37, 0.36, 0.36, 0.50, 0.47],
+    ],
     // ditroff
-    [[2.02, 2.09, 2.01, 2.35, 2.29], [1.68, 1.80, 1.67, 2.01, 1.96], [1.52, 1.68, 1.52, 1.84, 1.84]],
+    [
+        [2.02, 2.09, 2.01, 2.35, 2.29],
+        [1.68, 1.80, 1.67, 2.01, 1.96],
+        [1.52, 1.68, 1.52, 1.84, 1.84],
+    ],
     // gcc
-    [[2.33, 2.46, 2.34, 2.73, 2.71], [1.99, 2.19, 2.01, 2.40, 2.39], [1.87, 2.11, 1.88, 2.28, 2.30]],
+    [
+        [2.33, 2.46, 2.34, 2.73, 2.71],
+        [1.99, 2.19, 2.01, 2.40, 2.39],
+        [1.87, 2.11, 1.88, 2.28, 2.30],
+    ],
     // li
-    [[2.04, 2.10, 2.01, 2.35, 2.31], [1.65, 1.72, 1.62, 1.98, 1.91], [1.54, 1.73, 1.54, 1.88, 1.86]],
+    [
+        [2.04, 2.10, 2.01, 2.35, 2.31],
+        [1.65, 1.72, 1.62, 1.98, 1.91],
+        [1.54, 1.73, 1.54, 1.88, 1.86],
+    ],
     // tex
-    [[1.28, 1.34, 1.28, 1.55, 1.52], [1.11, 1.19, 1.12, 1.38, 1.36], [1.07, 1.18, 1.07, 1.34, 1.33]],
+    [
+        [1.28, 1.34, 1.28, 1.55, 1.52],
+        [1.11, 1.19, 1.12, 1.38, 1.36],
+        [1.07, 1.18, 1.07, 1.34, 1.33],
+    ],
     // cfront
-    [[2.68, 2.88, 2.69, 3.32, 3.30], [2.45, 2.73, 2.46, 3.09, 3.10], [2.40, 2.73, 2.41, 3.06, 3.09]],
+    [
+        [2.68, 2.88, 2.69, 3.32, 3.30],
+        [2.45, 2.73, 2.46, 3.09, 3.10],
+        [2.40, 2.73, 2.41, 3.06, 3.09],
+    ],
     // db++
-    [[1.43, 1.50, 1.46, 1.58, 1.56], [1.00, 1.09, 1.03, 1.15, 1.15], [0.87, 0.98, 0.90, 1.02, 1.09]],
+    [
+        [1.43, 1.50, 1.46, 1.58, 1.56],
+        [1.00, 1.09, 1.03, 1.15, 1.15],
+        [0.87, 0.98, 0.90, 1.02, 1.09],
+    ],
     // groff
-    [[2.53, 2.75, 2.59, 3.02, 2.99], [2.18, 2.47, 2.24, 2.67, 2.66], [2.09, 2.43, 2.15, 2.58, 2.60]],
+    [
+        [2.53, 2.75, 2.59, 3.02, 2.99],
+        [2.18, 2.47, 2.24, 2.67, 2.66],
+        [2.09, 2.43, 2.15, 2.58, 2.60],
+    ],
     // idl
-    [[1.74, 1.79, 1.74, 1.94, 1.93], [1.30, 1.35, 1.29, 1.51, 1.49], [1.09, 1.15, 1.07, 1.30, 1.28]],
+    [
+        [1.74, 1.79, 1.74, 1.94, 1.93],
+        [1.30, 1.35, 1.29, 1.51, 1.49],
+        [1.09, 1.15, 1.07, 1.30, 1.28],
+    ],
     // lic
-    [[2.13, 2.22, 2.10, 2.48, 2.46], [1.77, 1.89, 1.72, 2.13, 2.11], [1.63, 1.78, 1.57, 2.00, 2.01]],
+    [
+        [2.13, 2.22, 2.10, 2.48, 2.46],
+        [1.77, 1.89, 1.72, 2.13, 2.11],
+        [1.63, 1.78, 1.57, 2.00, 2.01],
+    ],
     // porky
-    [[2.00, 2.11, 2.02, 2.24, 2.23], [1.49, 1.61, 1.50, 1.74, 1.72], [1.25, 1.40, 1.26, 1.50, 1.51]],
+    [
+        [2.00, 2.11, 2.02, 2.24, 2.23],
+        [1.49, 1.61, 1.50, 1.74, 1.72],
+        [1.25, 1.40, 1.26, 1.50, 1.51],
+    ],
 ];
 
 /// Paper Table 6: ISPI per policy, 32K direct-mapped cache, 5-cycle

@@ -1,8 +1,28 @@
 //! A tiny scoped-thread parallel map (no external dependencies).
 
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A claimable unit of work: the starting output index plus the items,
+/// moved out exactly once by whichever worker wins the cursor.
+type Chunk<T> = Mutex<Option<(usize, Vec<T>)>>;
+
 /// Maps `f` over `items` on up to `available_parallelism` worker threads,
 /// preserving order. Falls back to sequential mapping when `parallel` is
 /// false or only one CPU is available.
+///
+/// Work distribution is chunked work-stealing: the items are cut into more
+/// chunks than workers, and idle workers claim the next chunk through a
+/// single atomic cursor — there is no per-item lock, and a slow item only
+/// delays its own chunk. Results flow back through per-worker buffers, so
+/// workers never contend on shared output state.
+///
+/// # Panics
+///
+/// If `f` panics on any item, the panic is re-raised on the calling thread
+/// (after the remaining workers drain) rather than deadlocking or
+/// poisoning shared state.
 ///
 /// # Examples
 ///
@@ -21,24 +41,72 @@ where
     } else {
         1
     };
-    if workers <= 1 || items.len() <= 1 {
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
+    let workers = workers.min(n);
 
-    let n = items.len();
+    // More chunks than workers, so the tail of the run load-balances: a
+    // worker stuck on an expensive item doesn't strand a static share of
+    // the remaining work behind it.
+    let chunk_len = (n / (workers * 4)).max(1);
+    let mut chunks: Vec<Chunk<T>> = Vec::new();
+    {
+        let mut items = items.into_iter();
+        let mut base = 0;
+        loop {
+            let c: Vec<T> = items.by_ref().take(chunk_len).collect();
+            if c.is_empty() {
+                break;
+            }
+            base += c.len();
+            chunks.push(Mutex::new(Some((base - c.len(), c))));
+        }
+    }
+
+    let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(work);
-    let results = std::sync::Mutex::new(&mut slots);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|| loop {
-                let item = queue.lock().expect("queue lock").pop();
-                let Some((idx, item)) = item else { break };
-                let r = f(item);
-                results.lock().expect("results lock")[idx] = Some(r);
-            });
+        let (cursor, chunks, f) = (&cursor, &chunks, &f);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = chunks.get(ci) else { break };
+                        // Uncontended: the cursor hands each chunk to
+                        // exactly one worker; the mutex only moves
+                        // ownership out (and is released before `f` runs).
+                        let (base, chunk) = slot
+                            .lock()
+                            .expect("only a panicked claimant could poison this")
+                            .take()
+                            .expect("the cursor claims each chunk once");
+                        for (off, item) in chunk.into_iter().enumerate() {
+                            local.push((base + off, f(item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+
+        let mut panicked = None;
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (idx, r) in local {
+                        slots[idx] = Some(r);
+                    }
+                }
+                Err(payload) => panicked = Some(payload),
+            }
+        }
+        if let Some(payload) = panicked {
+            panic::resume_unwind(payload);
         }
     });
 
@@ -56,6 +124,18 @@ mod tests {
     }
 
     #[test]
+    fn preserves_order_under_uneven_load() {
+        let out = par_map((0..64).collect(), true, |x: u64| {
+            // Early items are the slow ones, inverting completion order.
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * x
+        });
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn sequential_mode_matches() {
         let a = par_map(vec!["a", "bb", "ccc"], false, |s| s.len());
         assert_eq!(a, vec![1, 2, 3]);
@@ -65,5 +145,22 @@ mod tests {
     fn empty_and_singleton() {
         assert_eq!(par_map(Vec::<i32>::new(), true, |x| x), Vec::<i32>::new());
         assert_eq!(par_map(vec![7], true, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map((0..32).collect(), true, |x: i32| {
+                assert!(x != 13, "boom on 13");
+                x
+            })
+        });
+        let payload = caught.expect_err("the item panic must surface");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("panic payload should be a message");
+        assert!(msg.contains("boom on 13"), "unexpected payload: {msg}");
     }
 }

@@ -15,15 +15,25 @@ pub struct BenchResult {
     pub result: SimResult,
 }
 
-/// Simulates one benchmark under `cfg` for `instrs` dynamic instructions.
+/// Simulates one benchmark under `cfg` for `opts.instrs_per_benchmark`
+/// dynamic instructions.
 ///
 /// The correct path is fixed per benchmark (same generator seed, same
 /// path seed), so different configurations replay the *same* execution —
-/// the property every policy comparison in the paper relies on.
-pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, instrs: u64) -> SimResult {
-    let workload = bench.workload().expect("calibrated specs always generate");
-    let source = workload.executor(bench.path_seed()).take_instrs(instrs);
-    Simulator::new(cfg).run(source)
+/// the property every policy comparison in the paper relies on. With
+/// `opts.share_traces` (the default) that path comes from the process-wide
+/// [`crate::trace_cache`], so the workload is interpreted at most once per
+/// (benchmark, window) no matter how many configurations replay it; the
+/// legacy path re-interprets per call and produces the identical stream.
+pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -> SimResult {
+    if opts.share_traces {
+        let source = crate::trace_cache::recorded_source(bench, opts.instrs_per_benchmark);
+        Simulator::new(cfg).run(source)
+    } else {
+        let workload = bench.workload().expect("calibrated specs always generate");
+        let source = workload.executor(bench.path_seed()).take_instrs(opts.instrs_per_benchmark);
+        Simulator::new(cfg).run(source)
+    }
 }
 
 /// Runs the full 13-benchmark suite under the configuration produced by
@@ -33,10 +43,10 @@ pub fn suite_results(
     cfg_for: impl Fn(&Benchmark) -> SimConfig + Sync,
 ) -> Vec<BenchResult> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let instrs = opts.instrs_per_benchmark;
+    let opts = *opts;
     par_map(benches, opts.parallel, |b| BenchResult {
         benchmark: b,
-        result: simulate_benchmark(b, cfg_for(b), instrs),
+        result: simulate_benchmark(b, cfg_for(b), opts),
     })
 }
 
@@ -63,9 +73,20 @@ mod tests {
     fn simulate_benchmark_is_deterministic() {
         let b = Benchmark::by_name("li").unwrap();
         let cfg = SimConfig::paper_baseline();
-        let a = simulate_benchmark(b, cfg, 20_000);
-        let c = simulate_benchmark(b, cfg, 20_000);
+        let opts = RunOptions::smoke().with_instrs(20_000);
+        let a = simulate_benchmark(b, cfg, opts);
+        let c = simulate_benchmark(b, cfg, opts);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn shared_and_legacy_paths_agree() {
+        let b = Benchmark::by_name("gcc").unwrap();
+        let cfg = SimConfig::paper_baseline();
+        let opts = RunOptions::smoke().with_instrs(10_000);
+        let shared = simulate_benchmark(b, cfg, opts);
+        let legacy = simulate_benchmark(b, cfg, opts.with_share_traces(false));
+        assert_eq!(shared, legacy);
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Addr {
     /// Debug builds panic if `line_bytes` is not a power of two.
     pub fn line(self, line_bytes: u64) -> LineAddr {
         debug_assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        LineAddr(self.0 / line_bytes)
+        // A shift, not a division: `line_bytes` is a runtime value, so the
+        // compiler cannot strength-reduce the quotient itself, and this
+        // sits on the per-fetch hot path.
+        LineAddr(self.0 >> line_bytes.trailing_zeros())
     }
 }
 

@@ -97,7 +97,12 @@ mod tests {
     #[test]
     fn not_taken_branch_falls_through() {
         let pc = Addr::new(0x20);
-        let d = DynInstr::branch(pc, InstrKind::CondBranch { target: Addr::new(0x80) }, false, pc.next());
+        let d = DynInstr::branch(
+            pc,
+            InstrKind::CondBranch { target: Addr::new(0x80) },
+            false,
+            pc.next(),
+        );
         assert!(d.is_branch());
         assert_eq!(d.next_pc, Addr::new(0x24));
     }

@@ -144,7 +144,9 @@ mod tests {
         let jump = InstrKind::Jump { target: T };
         let call = InstrKind::Call { target: T };
 
-        for k in [cond, jump, call, InstrKind::Return, InstrKind::IndirectJump, InstrKind::IndirectCall] {
+        for k in
+            [cond, jump, call, InstrKind::Return, InstrKind::IndirectJump, InstrKind::IndirectCall]
+        {
             assert!(k.is_branch(), "{k} should be a branch");
         }
         assert!(cond.is_conditional());

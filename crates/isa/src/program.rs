@@ -280,7 +280,10 @@ mod tests {
     fn fetch_in_and_out_of_range() {
         let p = tiny();
         assert_eq!(p.fetch(Addr::new(0x1000)), Some(InstrKind::Seq));
-        assert_eq!(p.fetch(Addr::new(0x100c)), Some(InstrKind::CondBranch { target: Addr::new(0x1000) }));
+        assert_eq!(
+            p.fetch(Addr::new(0x100c)),
+            Some(InstrKind::CondBranch { target: Addr::new(0x1000) })
+        );
         assert_eq!(p.fetch(Addr::new(0x1010)), None);
         assert_eq!(p.fetch(Addr::new(0xffc)), None);
     }

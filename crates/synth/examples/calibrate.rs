@@ -71,9 +71,7 @@ fn mutations() -> Vec<Mutation> {
     }
     vec![
         ("hot+", |s| s.hot_functions = (s.hot_functions + 1).min(s.n_functions)),
-        ("hot++", |s| {
-            s.hot_functions = scale_usize(s.hot_functions, 1.5, 1).min(s.n_functions)
-        }),
+        ("hot++", |s| s.hot_functions = scale_usize(s.hot_functions, 1.5, 1).min(s.n_functions)),
         ("hot-", |s| s.hot_functions = s.hot_functions.saturating_sub(1).max(1)),
         ("hot--", |s| s.hot_functions = scale_usize(s.hot_functions, 0.67, 1)),
         ("n+", |s| s.n_functions = scale_usize(s.n_functions, 1.3, 4)),
@@ -87,11 +85,15 @@ fn mutations() -> Vec<Mutation> {
         ("cold-", |s| s.cold_call_prob = (s.cold_call_prob * 0.67).max(0.0)),
         ("blk+", |s| s.block_len = (s.block_len.0, s.block_len.1 + 1)),
         ("blk-", |s| {
-            s.block_len = (s.block_len.0.max(2) - 1, (s.block_len.1 - 1).max(s.block_len.0.max(2) - 1).max(1))
+            s.block_len =
+                (s.block_len.0.max(2) - 1, (s.block_len.1 - 1).max(s.block_len.0.max(2) - 1).max(1))
         }),
         ("trip+", |s| s.loop_trip = (s.loop_trip.0, (s.loop_trip.1 as f64 * 1.4) as u32 + 1)),
         ("trip-", |s| {
-            s.loop_trip = (s.loop_trip.0.min(2), ((s.loop_trip.1 as f64 * 0.7) as u32).max(s.loop_trip.0.min(2)))
+            s.loop_trip = (
+                s.loop_trip.0.min(2),
+                ((s.loop_trip.1 as f64 * 0.7) as u32).max(s.loop_trip.0.min(2)),
+            )
         }),
         ("jump+", |s| s.call_jump += 2),
         ("jump-", |s| s.call_jump = s.call_jump.saturating_sub(2).max(1)),

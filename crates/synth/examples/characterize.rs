@@ -13,7 +13,17 @@ const N: u64 = 1_000_000;
 fn main() {
     println!(
         "{:<8} {:>7} {:>6}/{:<6} {:>5} {:>6}/{:<6} {:>6}/{:<6} {:>6} {:>8}",
-        "bench", "static", "%br", "paper", "taken", "8K", "paper", "32K", "paper", "footKB", "iterlen"
+        "bench",
+        "static",
+        "%br",
+        "paper",
+        "taken",
+        "8K",
+        "paper",
+        "32K",
+        "paper",
+        "footKB",
+        "iterlen"
     );
     for b in Benchmark::all() {
         let w = b.workload().unwrap();

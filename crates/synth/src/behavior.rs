@@ -96,11 +96,7 @@ impl DispatchTable {
 
     /// Picks a target for a uniform sample `u` in `[0, 1)`.
     pub fn pick(&self, u: f64) -> Addr {
-        let i = self
-            .cumulative
-            .iter()
-            .position(|&c| u < c)
-            .unwrap_or(self.targets.len() - 1);
+        let i = self.cumulative.iter().position(|&c| u < c).unwrap_or(self.targets.len() - 1);
         self.targets[i]
     }
 

@@ -10,12 +10,9 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use specfetch_isa::{Addr, InstrKind, ProgramBuilder};
 
-use crate::{BranchBehavior, DispatchTable, SpecError, Workload, WorkloadSpec};
+use crate::{BranchBehavior, DispatchTable, SpecError, SynthRng, Workload, WorkloadSpec};
 
 /// Where generated code images start (arbitrary, nonzero to catch
 /// zero-confusion bugs).
@@ -37,7 +34,7 @@ enum Stmt {
 
 struct Gen<'s> {
     spec: &'s WorkloadSpec,
-    rng: StdRng,
+    rng: SynthRng,
     /// Call sites emitted so far in the function being generated
     /// (bounded by `spec.max_calls_per_fn`).
     calls_in_fn: usize,
@@ -95,7 +92,7 @@ impl Gen<'_> {
         const MAX_NEST: usize = 4;
         let spec = self.spec;
         let callees = fn_idx + 1..spec.n_functions;
-        let r: f64 = self.rng.gen();
+        let r = self.rng.gen_f64();
         let mut threshold = spec.p_loop;
         if r < threshold && loop_depth < spec.max_loop_depth && depth < MAX_NEST {
             let trip = self.rng.gen_range(spec.loop_trip.0..=spec.loop_trip.1);
@@ -213,7 +210,7 @@ impl Emitter {
 /// Returns [`SpecError`] if the spec fails validation.
 pub fn generate(spec: &WorkloadSpec) -> Result<Workload, SpecError> {
     spec.validate()?;
-    let mut g = Gen { spec, rng: StdRng::seed_from_u64(spec.seed), calls_in_fn: 0 };
+    let mut g = Gen { spec, rng: SynthRng::seed_from_u64(spec.seed), calls_in_fn: 0 };
 
     // Function bodies (ASTs) first, so emission order is free to follow
     // index order while all randomness stays in one deterministic stream.
@@ -309,10 +306,7 @@ mod tests {
         let w = generate(&WorkloadSpec::cpp_like("beh", 5)).unwrap();
         for (pc, kind) in w.program().iter() {
             if kind.is_conditional() {
-                assert!(
-                    w.behavior_at(pc).is_some(),
-                    "conditional at {pc} lacks a behavior"
-                );
+                assert!(w.behavior_at(pc).is_some(), "conditional at {pc} lacks a behavior");
             }
             if matches!(kind, InstrKind::IndirectCall | InstrKind::IndirectJump) {
                 assert!(w.dispatch_at(pc).is_some(), "indirect at {pc} lacks a table");
@@ -333,11 +327,7 @@ mod tests {
     #[test]
     fn cpp_preset_has_indirection() {
         let w = generate(&WorkloadSpec::cpp_like("cpp", 3)).unwrap();
-        let n = w
-            .program()
-            .iter()
-            .filter(|(_, k)| matches!(k, InstrKind::IndirectCall))
-            .count();
+        let n = w.program().iter().filter(|(_, k)| matches!(k, InstrKind::IndirectCall)).count();
         assert!(n > 0, "cpp-like workloads should contain indirect calls");
     }
 
@@ -345,9 +335,8 @@ mod tests {
     fn block_length_shapes_branch_density() {
         let long = generate(&WorkloadSpec::fortran_like("f", 7)).unwrap();
         let short = generate(&WorkloadSpec::c_like("c", 7)).unwrap();
-        let density = |w: &Workload| {
-            w.program().static_branch_count() as f64 / w.program().len() as f64
-        };
+        let density =
+            |w: &Workload| w.program().static_branch_count() as f64 / w.program().len() as f64;
         assert!(
             density(&long) < density(&short),
             "fortran-like images must be less branchy than c-like"

@@ -48,11 +48,13 @@
 
 mod behavior;
 mod generator;
+mod rng;
 mod spec;
 pub mod suite;
 mod workload;
 
 pub use behavior::{BranchBehavior, DispatchTable};
 pub use generator::generate;
+pub use rng::{SynthRng, UniformRange};
 pub use spec::{SpecError, WorkloadSpec};
 pub use workload::{Executor, Workload};

@@ -1,0 +1,194 @@
+//! A small, dependency-free deterministic PRNG.
+//!
+//! The generator and the behavioural interpreter both need a seedable,
+//! reproducible stream of uniform numbers. This is xoshiro256** (Blackman
+//! & Vigna) seeded through SplitMix64 — the standard pairing — implemented
+//! in-repo so the workspace builds with no external crates. The same seed
+//! always yields the same stream on every platform, which is what the
+//! calibrated benchmark suite and every policy comparison rely on.
+
+use std::ops::RangeInclusive;
+
+/// A seedable xoshiro256** generator.
+///
+/// # Examples
+///
+/// ```
+/// use specfetch_synth::SynthRng;
+///
+/// let mut a = SynthRng::seed_from_u64(7);
+/// let mut b = SynthRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_range(1usize..=6);
+/// assert!((1..=6).contains(&x));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SynthRng {
+    s: [u64; 4],
+}
+
+impl SynthRng {
+    /// Expands a 64-bit seed into a full generator state via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SynthRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform draw from an inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (`start > end`).
+    pub fn gen_range<T: UniformRange>(&mut self, range: RangeInclusive<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+/// Types [`SynthRng::gen_range`] can sample uniformly.
+pub trait UniformRange: Copy + PartialOrd {
+    /// Draws a uniform value from `range`.
+    fn sample(rng: &mut SynthRng, range: RangeInclusive<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            fn sample(rng: &mut SynthRng, range: RangeInclusive<Self>) -> Self {
+                let (lo, hi) = (*range.start(), *range.end());
+                assert!(lo <= hi, "gen_range called with an empty range");
+                // Spans here are tiny (knob ranges), so plain modulo is
+                // fine: the bias is ~span/2^64.
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every u64 is valid.
+                    return rng.next_u64() as Self;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as Self)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u32, u64, usize);
+
+impl UniformRange for f64 {
+    fn sample(rng: &mut SynthRng, range: RangeInclusive<Self>) -> Self {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "gen_range called with an empty range");
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SynthRng::seed_from_u64(42);
+        let mut b = SynthRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SynthRng::seed_from_u64(1);
+        let mut b = SynthRng::seed_from_u64(2);
+        assert!((0..10).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = SynthRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_half() {
+        let mut r = SynthRng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_frequency_tracks_p() {
+        let mut r = SynthRng::seed_from_u64(5);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.gen_bool(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn int_range_covers_and_respects_bounds() {
+        let mut r = SynthRng::seed_from_u64(6);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let x = r.gen_range(1usize..=6);
+            assert!((1..=6).contains(&x));
+            seen[x - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all faces should appear: {seen:?}");
+    }
+
+    #[test]
+    fn singleton_range_is_constant() {
+        let mut r = SynthRng::seed_from_u64(7);
+        assert_eq!(r.gen_range(9u32..=9), 9);
+        assert_eq!(r.gen_range(0.25f64..=0.25), 0.25);
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut r = SynthRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let x = r.gen_range(0.85f64..=0.97);
+            assert!((0.85..=0.97).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    #[allow(clippy::reversed_empty_ranges)] // the empty range IS the test
+    fn empty_range_panics() {
+        let mut r = SynthRng::seed_from_u64(9);
+        let _ = r.gen_range(5usize..=4);
+    }
+}

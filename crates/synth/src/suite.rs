@@ -316,7 +316,6 @@ static SUITE: [Benchmark; 13] = [
     },
 ];
 
-
 /// The tunable generator parameters of one benchmark, as found by the
 /// calibration search (`cargo run --release -p specfetch-synth --example
 /// calibrate`). Kept as plain data so re-calibration is a mechanical
@@ -358,32 +357,175 @@ impl Knobs {
 
 /// Calibrated knob values, in [`SUITE`] order.
 static KNOBS: [Knobs; 13] = [
-// doduc
-    Knobs { block_len: (3, 11), n_functions: 120, stmts_per_fn: (7, 14), hot_functions: 14, cold_call_prob: 0.1850, p_loop: 0.0392, loop_trip: (2, 5), weak_branch_frac: 0.22, max_loop_depth: 2, call_jump: 12 },
+    // doduc
+    Knobs {
+        block_len: (3, 11),
+        n_functions: 120,
+        stmts_per_fn: (7, 14),
+        hot_functions: 14,
+        cold_call_prob: 0.1850,
+        p_loop: 0.0392,
+        loop_trip: (2, 5),
+        weak_branch_frac: 0.22,
+        max_loop_depth: 2,
+        call_jump: 12,
+    },
     // fpppp
-    Knobs { block_len: (15, 36), n_functions: 17, stmts_per_fn: (11, 18), hot_functions: 13, cold_call_prob: 0.4020, p_loop: 0.0619, loop_trip: (2, 4), weak_branch_frac: 0.10, max_loop_depth: 1, call_jump: 12 },
+    Knobs {
+        block_len: (15, 36),
+        n_functions: 17,
+        stmts_per_fn: (11, 18),
+        hot_functions: 13,
+        cold_call_prob: 0.4020,
+        p_loop: 0.0619,
+        loop_trip: (2, 4),
+        weak_branch_frac: 0.10,
+        max_loop_depth: 1,
+        call_jump: 12,
+    },
     // su2cor
-    Knobs { block_len: (3, 18), n_functions: 57, stmts_per_fn: (6, 11), hot_functions: 38, cold_call_prob: 0.0292, p_loop: 0.0700, loop_trip: (3, 10), weak_branch_frac: 0.10, max_loop_depth: 2, call_jump: 10 },
+    Knobs {
+        block_len: (3, 18),
+        n_functions: 57,
+        stmts_per_fn: (6, 11),
+        hot_functions: 38,
+        cold_call_prob: 0.0292,
+        p_loop: 0.0700,
+        loop_trip: (3, 10),
+        weak_branch_frac: 0.10,
+        max_loop_depth: 2,
+        call_jump: 10,
+    },
     // ditroff
-    Knobs { block_len: (1, 6), n_functions: 91, stmts_per_fn: (6, 11), hot_functions: 5, cold_call_prob: 0.0950, p_loop: 0.1570, loop_trip: (2, 2), weak_branch_frac: 0.32, max_loop_depth: 2, call_jump: 12 },
+    Knobs {
+        block_len: (1, 6),
+        n_functions: 91,
+        stmts_per_fn: (6, 11),
+        hot_functions: 5,
+        cold_call_prob: 0.0950,
+        p_loop: 0.1570,
+        loop_trip: (2, 2),
+        weak_branch_frac: 0.32,
+        max_loop_depth: 2,
+        call_jump: 12,
+    },
     // gcc
-    Knobs { block_len: (2, 5), n_functions: 372, stmts_per_fn: (5, 11), hot_functions: 28, cold_call_prob: 0.1078, p_loop: 0.0600, loop_trip: (2, 10), weak_branch_frac: 0.38, max_loop_depth: 2, call_jump: 12 },
+    Knobs {
+        block_len: (2, 5),
+        n_functions: 372,
+        stmts_per_fn: (5, 11),
+        hot_functions: 28,
+        cold_call_prob: 0.1078,
+        p_loop: 0.0600,
+        loop_trip: (2, 10),
+        weak_branch_frac: 0.38,
+        max_loop_depth: 2,
+        call_jump: 12,
+    },
     // li
-    Knobs { block_len: (1, 6), n_functions: 52, stmts_per_fn: (5, 9), hot_functions: 10, cold_call_prob: 0.0014, p_loop: 0.0980, loop_trip: (2, 6), weak_branch_frac: 0.30, max_loop_depth: 2, call_jump: 14 },
+    Knobs {
+        block_len: (1, 6),
+        n_functions: 52,
+        stmts_per_fn: (5, 9),
+        hot_functions: 10,
+        cold_call_prob: 0.0014,
+        p_loop: 0.0980,
+        loop_trip: (2, 6),
+        weak_branch_frac: 0.30,
+        max_loop_depth: 2,
+        call_jump: 14,
+    },
     // tex
-    Knobs { block_len: (2, 9), n_functions: 169, stmts_per_fn: (5, 9), hot_functions: 5, cold_call_prob: 0.0900, p_loop: 0.1000, loop_trip: (2, 10), weak_branch_frac: 0.26, max_loop_depth: 2, call_jump: 12 },
+    Knobs {
+        block_len: (2, 9),
+        n_functions: 169,
+        stmts_per_fn: (5, 9),
+        hot_functions: 5,
+        cold_call_prob: 0.0900,
+        p_loop: 0.1000,
+        loop_trip: (2, 10),
+        weak_branch_frac: 0.26,
+        max_loop_depth: 2,
+        call_jump: 12,
+    },
     // cfront
-    Knobs { block_len: (1, 7), n_functions: 507, stmts_per_fn: (3, 7), hot_functions: 24, cold_call_prob: 0.3050, p_loop: 0.0137, loop_trip: (2, 8), weak_branch_frac: 0.34, max_loop_depth: 2, call_jump: 12 },
+    Knobs {
+        block_len: (1, 7),
+        n_functions: 507,
+        stmts_per_fn: (3, 7),
+        hot_functions: 24,
+        cold_call_prob: 0.3050,
+        p_loop: 0.0137,
+        loop_trip: (2, 8),
+        weak_branch_frac: 0.34,
+        max_loop_depth: 2,
+        call_jump: 12,
+    },
     // db++
-    Knobs { block_len: (2, 7), n_functions: 143, stmts_per_fn: (3, 6), hot_functions: 31, cold_call_prob: 0.1475, p_loop: 0.1266, loop_trip: (2, 8), weak_branch_frac: 0.32, max_loop_depth: 2, call_jump: 14 },
+    Knobs {
+        block_len: (2, 7),
+        n_functions: 143,
+        stmts_per_fn: (3, 6),
+        hot_functions: 31,
+        cold_call_prob: 0.1475,
+        p_loop: 0.1266,
+        loop_trip: (2, 8),
+        weak_branch_frac: 0.32,
+        max_loop_depth: 2,
+        call_jump: 14,
+    },
     // groff
-    Knobs { block_len: (2, 6), n_functions: 507, stmts_per_fn: (3, 7), hot_functions: 3, cold_call_prob: 0.1800, p_loop: 0.0343, loop_trip: (2, 8), weak_branch_frac: 0.36, max_loop_depth: 2, call_jump: 12 },
+    Knobs {
+        block_len: (2, 6),
+        n_functions: 507,
+        stmts_per_fn: (3, 7),
+        hot_functions: 3,
+        cold_call_prob: 0.1800,
+        p_loop: 0.0343,
+        loop_trip: (2, 8),
+        weak_branch_frac: 0.36,
+        max_loop_depth: 2,
+        call_jump: 12,
+    },
     // idl
-    Knobs { block_len: (1, 7), n_functions: 195, stmts_per_fn: (6, 12), hot_functions: 5, cold_call_prob: 0.0800, p_loop: 0.1200, loop_trip: (2, 8), weak_branch_frac: 0.30, max_loop_depth: 2, call_jump: 12 },
+    Knobs {
+        block_len: (1, 7),
+        n_functions: 195,
+        stmts_per_fn: (6, 12),
+        hot_functions: 5,
+        cold_call_prob: 0.0800,
+        p_loop: 0.1200,
+        loop_trip: (2, 8),
+        weak_branch_frac: 0.30,
+        max_loop_depth: 2,
+        call_jump: 12,
+    },
     // lic
-    Knobs { block_len: (1, 6), n_functions: 439, stmts_per_fn: (3, 6), hot_functions: 10, cold_call_prob: 0.0718, p_loop: 0.0900, loop_trip: (2, 3), weak_branch_frac: 0.30, max_loop_depth: 2, call_jump: 10 },
+    Knobs {
+        block_len: (1, 6),
+        n_functions: 439,
+        stmts_per_fn: (3, 6),
+        hot_functions: 10,
+        cold_call_prob: 0.0718,
+        p_loop: 0.0900,
+        loop_trip: (2, 3),
+        weak_branch_frac: 0.30,
+        max_loop_depth: 2,
+        call_jump: 10,
+    },
     // porky
-    Knobs { block_len: (1, 4), n_functions: 160, stmts_per_fn: (4, 8), hot_functions: 8, cold_call_prob: 0.0233, p_loop: 0.1220, loop_trip: (2, 12), weak_branch_frac: 0.30, max_loop_depth: 2, call_jump: 12 },
+    Knobs {
+        block_len: (1, 4),
+        n_functions: 160,
+        stmts_per_fn: (4, 8),
+        hot_functions: 8,
+        cold_call_prob: 0.0233,
+        p_loop: 0.1220,
+        loop_trip: (2, 12),
+        weak_branch_frac: 0.30,
+        max_loop_depth: 2,
+        call_jump: 12,
+    },
 ];
 
 #[cfg(test)]

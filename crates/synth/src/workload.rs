@@ -2,14 +2,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 use specfetch_isa::{Addr, DynInstr, InstrKind, Program};
 use specfetch_trace::PathSource;
 
-use crate::{generate, BranchBehavior, DispatchTable, SpecError, WorkloadSpec};
+use crate::{generate, BranchBehavior, DispatchTable, SpecError, SynthRng, WorkloadSpec};
 
 /// A generated synthetic program: a static image plus the dynamic
 /// behaviours of its data-dependent branch sites.
@@ -23,7 +21,9 @@ use crate::{generate, BranchBehavior, DispatchTable, SpecError, WorkloadSpec};
 #[derive(Clone, PartialEq, Debug)]
 pub struct Workload {
     name: String,
-    program: Program,
+    /// Shared so every executor (and the engine behind it) can hold the
+    /// image without deep-copying it.
+    program: Arc<Program>,
     /// Keyed by `pc.word_index()`.
     behaviors: HashMap<u64, BranchBehavior>,
     dispatch: HashMap<u64, DispatchTable>,
@@ -45,7 +45,7 @@ impl Workload {
         behaviors: HashMap<u64, BranchBehavior>,
         dispatch: HashMap<u64, DispatchTable>,
     ) -> Self {
-        Workload { name, program, behaviors, dispatch }
+        Workload { name, program: Arc::new(program), behaviors, dispatch }
     }
 
     /// The workload's name.
@@ -56,6 +56,11 @@ impl Workload {
     /// The static code image.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The static code image as a cheaply clonable shared handle.
+    pub fn shared_program(&self) -> Arc<Program> {
+        Arc::clone(&self.program)
     }
 
     /// The behaviour of the conditional branch at `pc`, if one is there.
@@ -75,7 +80,7 @@ impl Workload {
     pub fn executor(&self, seed: u64) -> Executor<'_> {
         Executor {
             workload: self,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SynthRng::seed_from_u64(seed),
             pc: self.program.entry(),
             call_stack: Vec::with_capacity(64),
             loop_counters: HashMap::new(),
@@ -103,7 +108,7 @@ impl fmt::Display for Workload {
 #[derive(Clone, Debug)]
 pub struct Executor<'w> {
     workload: &'w Workload,
-    rng: StdRng,
+    rng: SynthRng,
     pc: Addr,
     call_stack: Vec<Addr>,
     loop_counters: HashMap<u64, u32>,
@@ -123,6 +128,10 @@ impl Executor<'_> {
 impl PathSource for Executor<'_> {
     fn program(&self) -> &Program {
         &self.workload.program
+    }
+
+    fn shared_program(&self) -> Arc<Program> {
+        self.workload.shared_program()
     }
 
     fn next_instr(&mut self) -> Option<DynInstr> {
@@ -181,7 +190,7 @@ impl PathSource for Executor<'_> {
                     .workload
                     .dispatch_at(pc)
                     .expect("generator attaches a table to every indirect site");
-                let target = table.pick(self.rng.gen::<f64>());
+                let target = table.pick(self.rng.gen_f64());
                 self.call_stack.push(pc.next());
                 DynInstr::branch(pc, kind, true, target)
             }
@@ -190,7 +199,7 @@ impl PathSource for Executor<'_> {
                     .workload
                     .dispatch_at(pc)
                     .expect("generator attaches a table to every indirect site");
-                let target = table.pick(self.rng.gen::<f64>());
+                let target = table.pick(self.rng.gen_f64());
                 DynInstr::branch(pc, kind, true, target)
             }
         };

@@ -39,11 +39,7 @@ fn store(trace: &Trace, path: &Path) -> Result<(), String> {
     let r = match path.extension().and_then(|e| e.to_str()) {
         Some("sft") => write_trace_text(trace, &mut writer),
         Some("sftb") => write_trace_binary(trace, &mut writer),
-        other => {
-            return Err(format!(
-                "unknown trace extension {other:?} (expected .sft or .sftb)"
-            ))
-        }
+        other => return Err(format!("unknown trace extension {other:?} (expected .sft or .sftb)")),
     };
     r.map_err(|e| format!("write {}: {e}", path.display()))
 }
@@ -77,10 +73,7 @@ fn cmd_stats(path: &Path) -> Result<(), String> {
         stats.returns,
         stats.indirects
     );
-    println!(
-        "footprint:    {} KB touched (32-byte lines)",
-        stats.dynamic_footprint_bytes() / 1024
-    );
+    println!("footprint:    {} KB touched (32-byte lines)", stats.dynamic_footprint_bytes() / 1024);
     Ok(())
 }
 

@@ -107,7 +107,10 @@ impl<R: Read> Cursor<R> {
         let at = self.offset;
         let raw = self.u64()?;
         if raw % INSTR_BYTES != 0 {
-            return Err(TraceError::Malformed { at, detail: format!("misaligned address {raw:#x}") });
+            return Err(TraceError::Malformed {
+                at,
+                detail: format!("misaligned address {raw:#x}"),
+            });
         }
         Ok(Addr::new(raw))
     }
@@ -188,11 +191,8 @@ mod tests {
         b.push(InstrKind::IndirectJump);
         b.push(InstrKind::IndirectCall);
         b.set_entry(entry);
-        let outcomes = vec![
-            Outcome::taken(),
-            Outcome::not_taken(),
-            Outcome::indirect(Addr::new(0x2004)),
-        ];
+        let outcomes =
+            vec![Outcome::taken(), Outcome::not_taken(), Outcome::indirect(Addr::new(0x2004))];
         Trace::new(b.finish().unwrap(), outcomes)
     }
 

@@ -15,6 +15,10 @@
 //!   [`read_trace_binary`] / [`write_trace_binary`]: the portable `.sft`
 //!   trace file formats (human-readable text and compact binary), so traces
 //!   captured by external tools can be fed to the simulator.
+//! - [`RecordedTrace`] / [`RecordedSource`]: record-once / replay-many
+//!   sharing — one compact struct-of-arrays recording of a path that any
+//!   number of simulations replay concurrently without re-interpreting the
+//!   workload (see the [`recorded`](RecordedTrace) module docs).
 //! - [`TraceStats`]: the workload-characterisation numbers of the paper's
 //!   Table 2 (instruction count, branch mix, taken ratio).
 //!
@@ -51,6 +55,7 @@
 mod binary;
 mod error;
 mod outcome;
+mod recorded;
 mod replay;
 mod source;
 mod stats;
@@ -59,6 +64,7 @@ mod text;
 pub use binary::{read_trace_binary, write_trace_binary};
 pub use error::TraceError;
 pub use outcome::Outcome;
+pub use recorded::{RecordedSource, RecordedTrace};
 pub use replay::Replay;
 pub use source::{PathSource, Take, VecSource};
 pub use stats::TraceStats;

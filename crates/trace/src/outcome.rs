@@ -112,16 +112,31 @@ mod tests {
     fn from_dyn_filters_static_flow() {
         let pc = Addr::new(0x10);
         assert_eq!(Outcome::from_dyn(&DynInstr::seq(pc)), None);
-        let jump = DynInstr::branch(pc, InstrKind::Jump { target: Addr::new(0x40) }, true, Addr::new(0x40));
+        let jump = DynInstr::branch(
+            pc,
+            InstrKind::Jump { target: Addr::new(0x40) },
+            true,
+            Addr::new(0x40),
+        );
         assert_eq!(Outcome::from_dyn(&jump), None);
-        let call = DynInstr::branch(pc, InstrKind::Call { target: Addr::new(0x40) }, true, Addr::new(0x40));
+        let call = DynInstr::branch(
+            pc,
+            InstrKind::Call { target: Addr::new(0x40) },
+            true,
+            Addr::new(0x40),
+        );
         assert_eq!(Outcome::from_dyn(&call), None);
     }
 
     #[test]
     fn from_dyn_captures_data_dependence() {
         let pc = Addr::new(0x10);
-        let cond = DynInstr::branch(pc, InstrKind::CondBranch { target: Addr::new(0x40) }, false, pc.next());
+        let cond = DynInstr::branch(
+            pc,
+            InstrKind::CondBranch { target: Addr::new(0x40) },
+            false,
+            pc.next(),
+        );
         assert_eq!(Outcome::from_dyn(&cond), Some(Outcome::not_taken()));
         let ret = DynInstr::branch(pc, InstrKind::Return, true, Addr::new(0x100));
         assert_eq!(Outcome::from_dyn(&ret), Some(Outcome::indirect(Addr::new(0x100))));

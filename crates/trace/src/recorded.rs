@@ -1,0 +1,340 @@
+//! Record-once / replay-many trace sharing.
+//!
+//! The paper's evaluation is a large cross-product: 13 benchmarks × 5
+//! policies × several sweep axes. Every cell of that cross-product consumes
+//! the *same* correct-path instruction stream — only the front-end
+//! configuration changes — so re-running the behavioural interpreter per
+//! cell repeats identical work dozens of times. [`RecordedTrace`] captures
+//! one interpretation as a compact struct-of-arrays recording that any
+//! number of [`RecordedSource`]s can replay concurrently, each handing the
+//! engine the same shared [`Program`] image.
+//!
+//! # Layout
+//!
+//! Retired streams are *successor-consistent*: `next_pc` of instruction
+//! `i` equals `pc` of instruction `i + 1` (the engine's redirect logic
+//! depends on this, and the interpreter guarantees it). That makes the
+//! stream fully reconstructible from:
+//!
+//! - one `u32` word index per instruction (`pc_words`) — the fetch address;
+//! - one taken bit per instruction (`taken`, packed 64 per word) — only
+//!   meaningful for control transfers, always set for unconditional ones;
+//! - the `next_pc` of the final instruction (`tail_next`), which has no
+//!   successor to infer it from;
+//! - the shared [`Program`], from which each instruction's kind (and a
+//!   conditional's fall-through address) is re-fetched in O(1).
+//!
+//! At 4 bytes + 1 bit per instruction the recording is ~24× smaller than
+//! the equivalent `Vec<DynInstr>`, so multi-million-instruction windows
+//! stay cache- and memory-friendly.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use specfetch_isa::{Addr, DynInstr, InstrKind, ProgramBuilder};
+//! use specfetch_trace::{PathSource, RecordedTrace, VecSource};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new(Addr::new(0));
+//! let top = b.push(InstrKind::Seq);
+//! b.push(InstrKind::CondBranch { target: top });
+//! b.set_entry(top);
+//! let program = b.finish()?;
+//!
+//! let path = vec![
+//!     DynInstr::seq(Addr::new(0)),
+//!     DynInstr::branch(Addr::new(4), InstrKind::CondBranch { target: top }, true, top),
+//!     DynInstr::seq(Addr::new(0)),
+//! ];
+//! let mut live = VecSource::new(program, path.clone());
+//! let recording = Arc::new(RecordedTrace::record(&mut live, u64::MAX));
+//!
+//! // Replays (any number, on any thread) reproduce the stream exactly.
+//! let mut replay = RecordedTrace::source(&recording);
+//! for want in &path {
+//!     assert_eq!(replay.next_instr().as_ref(), Some(want));
+//! }
+//! assert!(replay.next_instr().is_none());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use specfetch_isa::{Addr, DynInstr, InstrKind, Program, INSTR_BYTES};
+
+use crate::PathSource;
+
+/// A struct-of-arrays recording of one correct execution path.
+///
+/// Created by [`RecordedTrace::record`]; replayed by any number of
+/// [`RecordedSource`]s (see [`RecordedTrace::source`]). See the
+/// [module docs](self) for the layout and the reconstruction argument.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RecordedTrace {
+    program: Arc<Program>,
+    /// Word index (`pc / 4`) of each retired instruction, in order.
+    pc_words: Vec<u32>,
+    /// One taken bit per instruction, packed 64 per word; bit `i % 64` of
+    /// word `i / 64`. Zero for `Seq`, always one for unconditional
+    /// transfers, the recorded direction for conditionals.
+    taken: Vec<u64>,
+    /// `next_pc` of the final instruction (the only one with no successor
+    /// in `pc_words` to infer it from).
+    tail_next: Addr,
+}
+
+impl RecordedTrace {
+    /// Drains `source` (at most `max_instrs` instructions) into a compact
+    /// recording that replays the identical [`DynInstr`] stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a retired PC's word index exceeds `u32::MAX` (images here
+    /// are megabytes, not tens of gigabytes).
+    pub fn record<S: PathSource>(source: &mut S, max_instrs: u64) -> Self {
+        let program = source.shared_program();
+        let mut pc_words = Vec::new();
+        let mut taken = Vec::new();
+        let mut tail_next = program.entry();
+        let mut n = 0u64;
+        while n < max_instrs {
+            let Some(d) = source.next_instr() else { break };
+            let word = d.pc.word_index();
+            let word32 = u32::try_from(word).expect("image exceeds u32 word indices");
+            if n.is_multiple_of(64) {
+                taken.push(0);
+            }
+            if d.taken {
+                *taken.last_mut().expect("pushed above") |= 1 << (n % 64);
+            }
+            pc_words.push(word32);
+            tail_next = d.next_pc;
+            n += 1;
+        }
+        pc_words.shrink_to_fit();
+        taken.shrink_to_fit();
+        RecordedTrace { program, pc_words, taken, tail_next }
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> usize {
+        self.pc_words.len()
+    }
+
+    /// Whether the recording is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pc_words.is_empty()
+    }
+
+    /// The shared static image.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Approximate heap footprint of the recording itself (excluding the
+    /// shared program image).
+    pub fn heap_bytes(&self) -> usize {
+        self.pc_words.capacity() * std::mem::size_of::<u32>()
+            + self.taken.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// A fresh replay cursor over a shared recording.
+    ///
+    /// Each source is independent; cloning the `Arc` is the only cost, so
+    /// a parallel sweep hands one to every engine.
+    pub fn source(trace: &Arc<RecordedTrace>) -> RecordedSource {
+        RecordedSource { trace: Arc::clone(trace), idx: 0 }
+    }
+
+    /// Reconstructs the `idx`-th retired instruction.
+    fn instr_at(&self, idx: usize) -> DynInstr {
+        let pc = Addr::new(u64::from(self.pc_words[idx]) * INSTR_BYTES);
+        let kind = self.program.fetch(pc).expect("recorded PCs always lie inside the shared image");
+        if matches!(kind, InstrKind::Seq) {
+            return DynInstr::seq(pc);
+        }
+        let taken = self.taken[idx / 64] >> (idx % 64) & 1 == 1;
+        let next_pc = match self.pc_words.get(idx + 1) {
+            Some(&w) => Addr::new(u64::from(w) * INSTR_BYTES),
+            None => self.tail_next,
+        };
+        DynInstr::branch(pc, kind, taken, next_pc)
+    }
+}
+
+/// A replay cursor over a shared [`RecordedTrace`].
+///
+/// Implements [`PathSource`], so engines consume it exactly like the live
+/// interpreter — but `shared_program` is a refcount bump and `next_instr`
+/// is an array walk, with no interpreter state to re-derive.
+#[derive(Clone, Debug)]
+pub struct RecordedSource {
+    trace: Arc<RecordedTrace>,
+    idx: usize,
+}
+
+impl RecordedSource {
+    /// The recording this cursor walks.
+    pub fn trace(&self) -> &Arc<RecordedTrace> {
+        &self.trace
+    }
+}
+
+impl PathSource for RecordedSource {
+    fn program(&self) -> &Program {
+        self.trace.program()
+    }
+
+    fn shared_program(&self) -> Arc<Program> {
+        Arc::clone(self.trace.program())
+    }
+
+    fn next_instr(&mut self) -> Option<DynInstr> {
+        if self.idx >= self.trace.len() {
+            return None;
+        }
+        let d = self.trace.instr_at(self.idx);
+        self.idx += 1;
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfetch_isa::ProgramBuilder;
+
+    /// entry: seq; call f; seq; bcond->entry; jump entry; (f): seq; ret
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new(Addr::new(0x1000));
+        let entry = b.push(InstrKind::Seq);
+        let call = b.push(InstrKind::Call { target: Addr::new(0x1000) });
+        b.push(InstrKind::Seq);
+        b.push(InstrKind::CondBranch { target: entry });
+        b.push(InstrKind::Jump { target: entry });
+        let f = b.push(InstrKind::Seq);
+        b.push(InstrKind::Return);
+        b.patch_target(call, f);
+        b.set_entry(entry);
+        b.finish().unwrap()
+    }
+
+    /// A successor-consistent path exercising every transfer kind.
+    fn path(p: &Program) -> Vec<DynInstr> {
+        let a = |w: u64| Addr::new(0x1000 + w * 4);
+        vec![
+            DynInstr::seq(a(0)),
+            DynInstr::branch(a(1), p.fetch(a(1)).unwrap(), true, a(5)), // call f
+            DynInstr::seq(a(5)),
+            DynInstr::branch(a(6), p.fetch(a(6)).unwrap(), true, a(2)), // ret
+            DynInstr::seq(a(2)),
+            DynInstr::branch(a(3), p.fetch(a(3)).unwrap(), true, a(0)), // bcond taken
+            DynInstr::seq(a(0)),
+            DynInstr::branch(a(1), p.fetch(a(1)).unwrap(), true, a(5)),
+            DynInstr::seq(a(5)),
+            DynInstr::branch(a(6), p.fetch(a(6)).unwrap(), true, a(2)),
+            DynInstr::seq(a(2)),
+            DynInstr::branch(a(3), p.fetch(a(3)).unwrap(), false, a(4)), // bcond not taken
+            DynInstr::branch(a(4), p.fetch(a(4)).unwrap(), true, a(0)),  // jump
+        ]
+    }
+
+    fn record(p: &Program, max: u64) -> Arc<RecordedTrace> {
+        let mut live = crate::VecSource::new(p.clone(), path(p));
+        Arc::new(RecordedTrace::record(&mut live, max))
+    }
+
+    #[test]
+    fn replay_is_byte_identical_to_the_live_stream() {
+        let p = program();
+        let want = path(&p);
+        let rec = record(&p, u64::MAX);
+        assert_eq!(rec.len(), want.len());
+        let mut s = RecordedTrace::source(&rec);
+        for d in &want {
+            assert_eq!(s.next_instr().as_ref(), Some(d));
+        }
+        assert!(s.next_instr().is_none());
+        assert!(s.next_instr().is_none());
+    }
+
+    #[test]
+    fn truncated_recording_keeps_the_tail_next_pc() {
+        let p = program();
+        let want = path(&p);
+        // Cut mid-stream right after a taken transfer: the last recorded
+        // instruction's next_pc must survive via tail_next.
+        let rec = record(&p, 4);
+        assert_eq!(rec.len(), 4);
+        let mut s = RecordedTrace::source(&rec);
+        let mut got = Vec::new();
+        while let Some(d) = s.next_instr() {
+            got.push(d);
+        }
+        assert_eq!(got, want[..4]);
+        assert_eq!(got.last().unwrap().next_pc, want[3].next_pc);
+    }
+
+    #[test]
+    fn sources_are_independent_cursors() {
+        let p = program();
+        let rec = record(&p, u64::MAX);
+        let mut a = RecordedTrace::source(&rec);
+        let mut b = RecordedTrace::source(&rec);
+        a.next_instr();
+        a.next_instr();
+        // `b` still starts at the beginning.
+        assert_eq!(b.next_instr().unwrap().pc, Addr::new(0x1000));
+    }
+
+    #[test]
+    fn program_handle_is_shared_not_copied() {
+        let p = program();
+        let rec = record(&p, u64::MAX);
+        let s = RecordedTrace::source(&rec);
+        assert!(Arc::ptr_eq(rec.program(), &s.shared_program()));
+    }
+
+    #[test]
+    fn empty_recording_yields_nothing() {
+        let p = program();
+        let rec = record(&p, 0);
+        assert!(rec.is_empty());
+        let mut s = RecordedTrace::source(&rec);
+        assert!(s.next_instr().is_none());
+    }
+
+    #[test]
+    fn heap_bytes_tracks_length() {
+        let p = program();
+        let rec = record(&p, u64::MAX);
+        let bytes = rec.heap_bytes();
+        assert!(bytes >= rec.len() * 4, "{bytes} bytes for {} instrs", rec.len());
+        // Far below the 48-byte DynInstr equivalent.
+        assert!(bytes < rec.len() * 16, "{bytes} bytes for {} instrs", rec.len());
+    }
+
+    #[test]
+    fn taken_bits_pack_across_word_boundaries() {
+        // > 64 instructions so the bitset spans words.
+        let mut b = ProgramBuilder::new(Addr::new(0));
+        let top = b.push(InstrKind::Seq);
+        b.push(InstrKind::CondBranch { target: top });
+        b.set_entry(top);
+        let p = b.finish().unwrap();
+        let kind = p.fetch(Addr::new(4)).unwrap();
+        let mut want = Vec::new();
+        for _ in 0..100 {
+            want.push(DynInstr::seq(Addr::new(0)));
+            want.push(DynInstr::branch(Addr::new(4), kind, true, Addr::new(0)));
+        }
+        let mut live = crate::VecSource::new(p.clone(), want.clone());
+        let rec = Arc::new(RecordedTrace::record(&mut live, u64::MAX));
+        let mut s = RecordedTrace::source(&rec);
+        for d in &want {
+            assert_eq!(s.next_instr().as_ref(), Some(d));
+        }
+    }
+}

@@ -187,7 +187,8 @@ mod tests {
     #[test]
     fn owned_replay_matches_borrowed() {
         let (p, _, after_call) = program_with_call();
-        let outcomes = vec![Outcome::indirect(after_call), Outcome::taken(), Outcome::indirect(after_call)];
+        let outcomes =
+            vec![Outcome::indirect(after_call), Outcome::taken(), Outcome::indirect(after_call)];
         let mut borrowed = Replay::new(&p, outcomes.clone().into_iter());
         let mut owned = Replay::from_owned(p.clone(), outcomes.into_iter());
         loop {

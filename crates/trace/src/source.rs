@@ -1,5 +1,7 @@
 //! The `PathSource` abstraction the simulator consumes.
 
+use std::sync::Arc;
+
 use specfetch_isa::{DynInstr, Program};
 
 /// A supplier of one correct execution path through a static program.
@@ -12,6 +14,17 @@ use specfetch_isa::{DynInstr, Program};
 pub trait PathSource {
     /// The static image this path executes within.
     fn program(&self) -> &Program;
+
+    /// The static image as a cheaply clonable shared handle.
+    ///
+    /// Engines keep a `Program` alive for wrong-path walks; sharing one
+    /// allocation across every engine in a sweep avoids deep-copying the
+    /// image per run. The default clones once per call — sources that
+    /// already hold their image behind an `Arc` override this to hand out
+    /// the existing handle.
+    fn shared_program(&self) -> Arc<Program> {
+        Arc::new(self.program().clone())
+    }
 
     /// The next retired correct-path instruction, or `None` when the trace
     /// is exhausted.
@@ -72,6 +85,10 @@ impl<S: PathSource> PathSource for Take<S> {
         self.inner.program()
     }
 
+    fn shared_program(&self) -> Arc<Program> {
+        self.inner.shared_program()
+    }
+
     fn next_instr(&mut self) -> Option<DynInstr> {
         if self.remaining == 0 {
             return None;
@@ -87,13 +104,18 @@ impl<S: PathSource> PathSource for Take<S> {
 /// Mostly useful in tests and for tiny hand-written scenarios.
 #[derive(Clone, Debug)]
 pub struct VecSource {
-    program: Program,
+    program: Arc<Program>,
     path: std::vec::IntoIter<DynInstr>,
 }
 
 impl VecSource {
     /// Wraps a program and an explicit dynamic path.
     pub fn new(program: Program, path: Vec<DynInstr>) -> Self {
+        Self::shared(Arc::new(program), path)
+    }
+
+    /// Like [`VecSource::new`], but reuses an existing shared image.
+    pub fn shared(program: Arc<Program>, path: Vec<DynInstr>) -> Self {
         VecSource { program, path: path.into_iter() }
     }
 }
@@ -101,6 +123,10 @@ impl VecSource {
 impl PathSource for VecSource {
     fn program(&self) -> &Program {
         &self.program
+    }
+
+    fn shared_program(&self) -> Arc<Program> {
+        Arc::clone(&self.program)
     }
 
     fn next_instr(&mut self) -> Option<DynInstr> {
@@ -121,11 +147,7 @@ mod tests {
     }
 
     fn path3() -> Vec<DynInstr> {
-        vec![
-            DynInstr::seq(Addr::new(0)),
-            DynInstr::seq(Addr::new(4)),
-            DynInstr::seq(Addr::new(8)),
-        ]
+        vec![DynInstr::seq(Addr::new(0)), DynInstr::seq(Addr::new(4)), DynInstr::seq(Addr::new(8))]
     }
 
     #[test]

@@ -125,9 +125,8 @@ fn expect_kv(line: (u64, &str), key: &str) -> Result<Addr, TraceError> {
 pub fn read_trace_text<R: BufRead>(reader: R) -> Result<Trace, TraceError> {
     let mut lines = Lines { reader, line_no: 0, buf: String::new() };
 
-    let (at, header) = lines
-        .next_line()?
-        .ok_or_else(|| TraceError::BadHeader { detail: "empty file".into() })?;
+    let (at, header) =
+        lines.next_line()?.ok_or_else(|| TraceError::BadHeader { detail: "empty file".into() })?;
     if header != "SFT1 text" {
         return Err(TraceError::BadHeader { detail: format!("line {at}: got {header:?}") });
     }
@@ -239,10 +238,8 @@ mod tests {
         let mut buf = Vec::new();
         write_trace_text(&sample_trace(), &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let noisy = text
-            .lines()
-            .map(|l| format!("{l}  # trailing comment\n\n"))
-            .collect::<String>();
+        let noisy =
+            text.lines().map(|l| format!("{l}  # trailing comment\n\n")).collect::<String>();
         let t = read_trace_text(Cursor::new(noisy)).unwrap();
         assert_eq!(t, sample_trace());
     }

@@ -22,10 +22,7 @@ fn sample_trace() -> Trace {
     b.push(InstrKind::CondBranch { target: top });
     b.push(InstrKind::Return);
     b.set_entry(top);
-    Trace::new(
-        b.finish().unwrap(),
-        vec![Outcome::taken(), Outcome::taken(), Outcome::not_taken()],
-    )
+    Trace::new(b.finish().unwrap(), vec![Outcome::taken(), Outcome::taken(), Outcome::not_taken()])
 }
 
 #[test]

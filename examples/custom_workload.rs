@@ -13,9 +13,7 @@ const INSTRS: u64 = 300_000;
 fn run(workload: &Workload, policy: FetchPolicy) -> f64 {
     let mut cfg = SimConfig::paper_baseline();
     cfg.policy = policy;
-    Simulator::new(cfg)
-        .run(workload.executor(1).take_instrs(INSTRS))
-        .ispi()
+    Simulator::new(cfg).run(workload.executor(1).take_instrs(INSTRS)).ispi()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

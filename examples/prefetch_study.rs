@@ -27,12 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.policy = FetchPolicy::Resume;
         cfg.miss_penalty = penalty;
 
-        let plain = Simulator::new(cfg)
-            .run(workload.executor(bench.path_seed()).take_instrs(INSTRS));
+        let plain =
+            Simulator::new(cfg).run(workload.executor(bench.path_seed()).take_instrs(INSTRS));
 
         cfg.prefetch = true;
-        let pref = Simulator::new(cfg)
-            .run(workload.executor(bench.path_seed()).take_instrs(INSTRS));
+        let pref =
+            Simulator::new(cfg).run(workload.executor(bench.path_seed()).take_instrs(INSTRS));
 
         let gain = 100.0 * (plain.ispi() - pref.ispi()) / plain.ispi();
         let traffic = pref.total_traffic() as f64 / plain.total_traffic().max(1) as f64;

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_trace_binary(&trace, &mut std::fs::File::create(&bin_path)?)?;
     let text_len = std::fs::metadata(&text_path)?.len();
     let bin_len = std::fs::metadata(&bin_path)?.len();
-    println!("wrote {} ({text_len} bytes) and {} ({bin_len} bytes)", text_path.display(), bin_path.display());
+    println!(
+        "wrote {} ({text_len} bytes) and {} ({bin_len} bytes)",
+        text_path.display(),
+        bin_path.display()
+    );
 
     // 3. Read back and verify both formats agree.
     let from_text = read_trace_text(BufReader::new(std::fs::File::open(&text_path)?))?;

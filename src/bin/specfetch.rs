@@ -33,12 +33,8 @@ fn parse_policy(s: &str) -> Option<FetchPolicy> {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        trace: None,
-        bench: None,
-        instrs: 1_000_000,
-        cfg: SimConfig::paper_baseline(),
-    };
+    let mut args =
+        Args { trace: None, bench: None, instrs: 1_000_000, cfg: SimConfig::paper_baseline() };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = || it.next().ok_or(format!("{arg} needs a value"));
@@ -50,8 +46,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--policy" => {
                 let v = value()?;
-                args.cfg.policy =
-                    parse_policy(&v).ok_or(format!("unknown policy {v:?}"))?;
+                args.cfg.policy = parse_policy(&v).ok_or(format!("unknown policy {v:?}"))?;
             }
             "--penalty" => {
                 args.cfg.miss_penalty = value()?.parse().map_err(|_| "bad --penalty")?;

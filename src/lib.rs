@@ -66,7 +66,9 @@ pub use specfetch_trace as trace;
 
 /// Convenience re-exports of the types almost every user touches.
 pub mod prelude {
-    pub use specfetch_core::{FetchPolicy, IspiBreakdown, MissClass, SimConfig, SimResult, Simulator};
+    pub use specfetch_core::{
+        FetchPolicy, IspiBreakdown, MissClass, SimConfig, SimResult, Simulator,
+    };
     pub use specfetch_synth::suite::Benchmark;
     pub use specfetch_synth::{Workload, WorkloadSpec};
     pub use specfetch_trace::{PathSource, Trace};

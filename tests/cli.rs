@@ -69,10 +69,8 @@ fn stream_buffer_flag_runs() {
 
 #[test]
 fn bad_policy_fails() {
-    let out = specfetch()
-        .args(["--bench", "li", "--policy", "yolo"])
-        .output()
-        .expect("binary runs");
+    let out =
+        specfetch().args(["--bench", "li", "--policy", "yolo"]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
 }

@@ -1,12 +1,13 @@
-//! Property tests of the whole fetch engine over randomly generated
+//! Property-style tests of the whole fetch engine over randomly generated
 //! (valid) workloads: for any program, path, policy, and machine
 //! configuration, the engine must terminate, balance its slot accounting,
 //! and respect each policy's structural guarantees.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the in-repo [`SynthRng`] under a fixed seed, so the
+//! sweep is deterministic and any failure names its reproducing case.
 
 use specfetch::core::{FetchPolicy, SimConfig, Simulator};
-use specfetch::synth::{Workload, WorkloadSpec};
+use specfetch::synth::{SynthRng, Workload, WorkloadSpec};
 use specfetch::trace::PathSource;
 
 #[derive(Clone, Debug)]
@@ -21,46 +22,33 @@ struct Scenario {
     small_cache: bool,
 }
 
-fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    (
-        0u64..1000,                      // generator seed
-        0u64..1000,                      // path seed
-        0usize..5,                       // policy index
-        prop_oneof![Just(2u64), Just(5), Just(13), Just(20)],
-        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        0usize..3, // workload family
-    )
-        .prop_map(
-            |(gen_seed, path_seed, policy, penalty, depth, prefetch, target, small, family)| {
-                let spec = match family {
-                    0 => WorkloadSpec::fortran_like("prop", gen_seed),
-                    1 => WorkloadSpec::c_like("prop", gen_seed),
-                    _ => WorkloadSpec::cpp_like("prop", gen_seed),
-                };
-                Scenario {
-                    spec,
-                    path_seed,
-                    policy: FetchPolicy::ALL[policy],
-                    miss_penalty: penalty,
-                    max_unresolved: depth,
-                    prefetch,
-                    target_prefetch: target,
-                    small_cache: small,
-                }
-            },
-        )
+fn scenario(rng: &mut SynthRng) -> Scenario {
+    let gen_seed = rng.gen_range(0u64..=999);
+    let spec = match rng.gen_range(0usize..=2) {
+        0 => WorkloadSpec::fortran_like("prop", gen_seed),
+        1 => WorkloadSpec::c_like("prop", gen_seed),
+        _ => WorkloadSpec::cpp_like("prop", gen_seed),
+    };
+    Scenario {
+        spec,
+        path_seed: rng.gen_range(0u64..=999),
+        policy: FetchPolicy::ALL[rng.gen_range(0usize..=4)],
+        miss_penalty: [2u64, 5, 13, 20][rng.gen_range(0usize..=3)],
+        max_unresolved: [1usize, 2, 4, 8][rng.gen_range(0usize..=3)],
+        prefetch: rng.gen_bool(0.5),
+        target_prefetch: rng.gen_bool(0.5),
+        small_cache: rng.gen_bool(0.5),
+    }
 }
 
 const INSTRS: u64 = 6_000;
+const CASES: usize = 48;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn engine_invariants_hold_for_any_scenario(sc in arb_scenario()) {
+#[test]
+fn engine_invariants_hold_for_any_scenario() {
+    let mut rng = SynthRng::seed_from_u64(0xE16E);
+    for case in 0..CASES {
+        let sc = scenario(&mut rng);
         let workload = Workload::generate(&sc.spec).expect("presets are valid");
         let mut cfg = SimConfig::paper_baseline();
         cfg.policy = sc.policy;
@@ -73,65 +61,67 @@ proptest! {
             cfg.icache.size_bytes = 1024; // stress conflicts and eviction
         }
 
-        let r = Simulator::new(cfg)
-            .run(workload.executor(sc.path_seed).take_instrs(INSTRS));
+        let r = Simulator::new(cfg).run(workload.executor(sc.path_seed).take_instrs(INSTRS));
 
         // Termination with the full path consumed.
-        prop_assert_eq!(r.correct_instrs, INSTRS);
+        assert_eq!(r.correct_instrs, INSTRS, "case {case}: {sc:?}");
 
         // Slot accounting: cycles x width == issued + lost (+ final
         // partial group).
         let total = r.cycles * r.issue_width as u64;
         let used = r.correct_instrs + r.lost.total();
-        prop_assert!(total >= used && total - used < r.issue_width as u64,
-            "slots {} vs used {}", total, used);
+        assert!(
+            total >= used && total - used < r.issue_width as u64,
+            "case {case}: slots {total} vs used {used} ({sc:?})"
+        );
 
         // Branch-slot decomposition is exact.
-        prop_assert_eq!(
+        assert_eq!(
             r.lost.branch,
-            r.pht_mispredict_slots + r.btb_misfetch_slots + r.btb_mispredict_slots
+            r.pht_mispredict_slots + r.btb_misfetch_slots + r.btb_mispredict_slots,
+            "case {case}: {sc:?}"
         );
 
         // Structural zeroes per policy (prefetching may add `bus` to any
         // policy, so only the stronger invariants are asserted).
         match sc.policy {
             FetchPolicy::Oracle | FetchPolicy::Pessimistic => {
-                prop_assert_eq!(r.traffic_demand_wrong, 0);
-                prop_assert_eq!(r.lost.wrong_icache, 0);
+                assert_eq!(r.traffic_demand_wrong, 0, "case {case}: {sc:?}");
+                assert_eq!(r.lost.wrong_icache, 0, "case {case}: {sc:?}");
             }
             FetchPolicy::Resume => {
-                prop_assert_eq!(r.lost.wrong_icache, 0);
-                prop_assert_eq!(r.lost.force_resolve, 0);
+                assert_eq!(r.lost.wrong_icache, 0, "case {case}: {sc:?}");
+                assert_eq!(r.lost.force_resolve, 0, "case {case}: {sc:?}");
             }
             FetchPolicy::Optimistic => {
-                prop_assert_eq!(r.lost.force_resolve, 0);
+                assert_eq!(r.lost.force_resolve, 0, "case {case}: {sc:?}");
             }
             FetchPolicy::Decode => {}
         }
 
         // Classification is internally consistent.
         let cls = r.classification.expect("classification enabled");
-        prop_assert_eq!(cls.correct_accesses, r.correct_instrs);
-        prop_assert_eq!(cls.both_miss + cls.spec_pollute, r.cache_correct.misses);
+        assert_eq!(cls.correct_accesses, r.correct_instrs, "case {case}: {sc:?}");
+        assert_eq!(cls.both_miss + cls.spec_pollute, r.cache_correct.misses, "case {case}: {sc:?}");
 
         // Traffic counters cover exactly the bus transactions.
-        prop_assert_eq!(
+        assert_eq!(
             r.total_traffic(),
             r.traffic_demand_correct
                 + r.traffic_demand_wrong
                 + r.traffic_prefetch
-                + r.traffic_target_prefetch
+                + r.traffic_target_prefetch,
+            "case {case}: {sc:?}"
         );
         if !sc.prefetch {
-            prop_assert_eq!(r.traffic_prefetch, 0);
+            assert_eq!(r.traffic_prefetch, 0, "case {case}: {sc:?}");
         }
         if !sc.target_prefetch {
-            prop_assert_eq!(r.traffic_target_prefetch, 0);
+            assert_eq!(r.traffic_target_prefetch, 0, "case {case}: {sc:?}");
         }
 
         // Determinism: the same scenario replays identically.
-        let again = Simulator::new(cfg)
-            .run(workload.executor(sc.path_seed).take_instrs(INSTRS));
-        prop_assert_eq!(r, again);
+        let again = Simulator::new(cfg).run(workload.executor(sc.path_seed).take_instrs(INSTRS));
+        assert_eq!(r, again, "case {case}: {sc:?}");
     }
 }

@@ -45,8 +45,7 @@ fn resume_tracks_oracle() {
 fn depth_effect_matches_paper() {
     let rows = table5::data(&opts());
     let avg = |depth: usize, p: usize| {
-        let xs: Vec<f64> =
-            rows.iter().filter(|r| r.depth == depth).map(|r| r.ispi[p]).collect();
+        let xs: Vec<f64> = rows.iter().filter(|r| r.depth == depth).map(|r| r.ispi[p]).collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     };
     for p in 0..5 {

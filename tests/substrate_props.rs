@@ -1,13 +1,17 @@
-//! Property tests on the hardware substrates: caches against a reference
-//! model, saturating counters, the RAS, and the gshare PHT.
+//! Property-style tests on the hardware substrates: caches against a
+//! reference model, saturating counters, the RAS, and the gshare PHT.
+//!
+//! Random interleavings come from the in-repo [`SynthRng`] under fixed
+//! seeds, so every run exercises the same reproducible cases.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use specfetch::bpred::{Btb, Counter2, Ras};
 use specfetch::cache::{CacheConfig, ICache};
 use specfetch::isa::{Addr, InstrKind, LineAddr};
+use specfetch::synth::SynthRng;
+
+const CASES: usize = 48;
 
 /// A reference LRU set-associative cache model (slow but obviously
 /// correct).
@@ -63,95 +67,100 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The I-cache agrees with the reference LRU model on every access of
-    /// arbitrary access/fill interleavings, for several geometries.
-    #[test]
-    fn icache_matches_reference_model(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..400),
-        geometry in 0usize..3,
-    ) {
-        let cfg = match geometry {
+/// The I-cache agrees with the reference LRU model on every access of
+/// arbitrary access/fill interleavings, for several geometries.
+#[test]
+fn icache_matches_reference_model() {
+    let mut rng = SynthRng::seed_from_u64(0xCAC4E);
+    for case in 0..CASES {
+        let cfg = match rng.gen_range(0usize..=2) {
             0 => CacheConfig { size_bytes: 512, line_bytes: 32, assoc: 1 },
             1 => CacheConfig { size_bytes: 512, line_bytes: 32, assoc: 2 },
             _ => CacheConfig { size_bytes: 512, line_bytes: 32, assoc: 4 },
         };
         let mut dut = ICache::new(&cfg);
         let mut reference = RefCache::new(cfg.num_sets(), cfg.assoc);
-        for (is_fill, line) in ops {
-            if is_fill {
+        let n_ops = rng.gen_range(1usize..=400);
+        for _ in 0..n_ops {
+            let line = rng.gen_range(0u64..=63);
+            if rng.gen_bool(0.5) {
                 dut.fill(LineAddr::new(line));
                 reference.fill(line);
             } else {
                 let got = dut.access(LineAddr::new(line));
                 let want = reference.access(line);
-                prop_assert_eq!(got, want, "access divergence on line {}", line);
+                assert_eq!(got, want, "case {case}: access divergence on line {line}");
             }
         }
     }
+}
 
-    /// A 2-bit counter never leaves its 0..=3 lattice and always predicts
-    /// the direction it last saturated toward.
-    #[test]
-    fn counter2_lattice(updates in proptest::collection::vec(any::<bool>(), 1..64)) {
+/// A 2-bit counter never leaves its 0..=3 lattice and always predicts
+/// the direction it last saturated toward.
+#[test]
+fn counter2_lattice() {
+    let mut rng = SynthRng::seed_from_u64(0xC027);
+    for case in 0..CASES {
         let mut c = Counter2::default();
-        for &taken in &updates {
-            c.update(taken);
-            prop_assert!(c.state() <= 3);
+        let n = rng.gen_range(1usize..=63);
+        let mut last = false;
+        for _ in 0..n {
+            last = rng.gen_bool(0.5);
+            c.update(last);
+            assert!(c.state() <= 3, "case {case}");
         }
         // Two identical updates force the prediction.
-        let last = updates[updates.len() - 1];
         c.update(last);
         c.update(last);
-        prop_assert_eq!(c.predict_taken(), last);
+        assert_eq!(c.predict_taken(), last, "case {case}");
     }
+}
 
-    /// The RAS behaves as a bounded stack: with fewer than `depth` live
-    /// entries it is exactly LIFO.
-    #[test]
-    fn ras_is_lifo_within_capacity(ops in proptest::collection::vec(any::<Option<u8>>(), 1..64)) {
+/// The RAS behaves as a bounded stack: with fewer than `depth` live
+/// entries it is exactly LIFO.
+#[test]
+fn ras_is_lifo_within_capacity() {
+    let mut rng = SynthRng::seed_from_u64(0x2A5);
+    for case in 0..CASES {
         let mut ras = Ras::new(64); // deeper than any test sequence
         let mut model: Vec<Addr> = Vec::new();
-        for op in ops {
-            match op {
-                Some(x) => {
-                    let a = Addr::new(4 * x as u64);
-                    ras.push(a);
-                    model.push(a);
-                }
-                None => {
-                    prop_assert_eq!(ras.pop(), model.pop());
-                }
+        let n = rng.gen_range(1usize..=63);
+        for _ in 0..n {
+            if rng.gen_bool(0.5) {
+                let a = Addr::new(4 * rng.gen_range(0u64..=255));
+                ras.push(a);
+                model.push(a);
+            } else {
+                assert_eq!(ras.pop(), model.pop(), "case {case}");
             }
         }
-        prop_assert_eq!(ras.depth(), model.len());
+        assert_eq!(ras.depth(), model.len(), "case {case}");
     }
+}
 
-    /// The BTB never invents entries: a lookup hit always returns the
-    /// most recent insert for that exact PC.
-    #[test]
-    fn btb_returns_latest_insert(
-        ops in proptest::collection::vec((0u64..128, 0u64..32), 1..300),
-    ) {
+/// The BTB never invents entries: a lookup hit always returns the
+/// most recent insert for that exact PC.
+#[test]
+fn btb_returns_latest_insert() {
+    let mut rng = SynthRng::seed_from_u64(0xB7B);
+    for case in 0..CASES {
         let mut btb = Btb::new(16, 4);
         let mut latest: HashMap<u64, Addr> = HashMap::new();
-        for (pc_word, target_word) in ops {
+        let n = rng.gen_range(1usize..=300);
+        for _ in 0..n {
+            let pc_word = rng.gen_range(0u64..=127);
+            let target_word = rng.gen_range(0u64..=31);
             let pc = Addr::from_word(pc_word);
             let target = Addr::from_word(target_word);
             btb.insert(pc, target, InstrKind::Jump { target });
             latest.insert(pc_word, target);
-            if let Some(hit) = btb.lookup(pc) {
-                prop_assert_eq!(hit.target, latest[&pc_word]);
-            } else {
-                prop_assert!(false, "an entry just inserted must hit");
-            }
+            let hit = btb.lookup(pc).expect("an entry just inserted must hit");
+            assert_eq!(hit.target, latest[&pc_word], "case {case}");
         }
         // Any surviving entry must match the latest insert for its PC.
         for (&pc_word, &target) in &latest {
             if let Some(hit) = btb.peek(Addr::from_word(pc_word)) {
-                prop_assert_eq!(hit.target, target);
+                assert_eq!(hit.target, target, "case {case}");
             }
         }
     }

@@ -1,89 +1,92 @@
-//! Property tests: the `.sft` trace formats and the record/replay pair
-//! are lossless for arbitrary valid programs and outcome streams.
-
-use proptest::prelude::*;
+//! Property-style tests: the `.sft` trace formats and the record/replay
+//! pair are lossless for arbitrary valid programs and outcome streams.
+//!
+//! Cases are drawn from the in-repo [`SynthRng`] under fixed seeds, so the
+//! sweep is deterministic and reproducible.
 
 use specfetch::isa::{Addr, InstrKind, Program, ProgramBuilder};
+use specfetch::synth::SynthRng;
 use specfetch::trace::{
-    outcomes_of, read_trace_binary, read_trace_text, write_trace_binary, write_trace_text,
-    Outcome, PathSource, Trace,
+    outcomes_of, read_trace_binary, read_trace_text, write_trace_binary, write_trace_text, Outcome,
+    PathSource, Trace,
 };
 
-/// A strategy for valid programs: 4..=96 instructions with in-image
-/// targets.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (4usize..=96).prop_flat_map(|n| {
-        let instr = (0u8..7, 0..n).prop_map(move |(op, t)| (op, t));
-        (proptest::collection::vec(instr, n), 0..n).prop_map(move |(instrs, entry)| {
-            let mut b = ProgramBuilder::new(Addr::new(0x4000));
-            let addr_of = |i: usize| Addr::new(0x4000 + 4 * i as u64);
-            for &(op, t) in &instrs {
-                let target = addr_of(t);
-                b.push(match op {
-                    0 | 1 => InstrKind::Seq,
-                    2 => InstrKind::CondBranch { target },
-                    3 => InstrKind::Jump { target },
-                    4 => InstrKind::Call { target },
-                    5 => InstrKind::Return,
-                    _ => InstrKind::IndirectCall,
-                });
-            }
-            b.set_entry(addr_of(entry));
-            b.finish().expect("targets are in-image by construction")
-        })
-    })
+const CASES: usize = 64;
+
+/// A random valid program: 4..=96 instructions with in-image targets.
+fn random_program(rng: &mut SynthRng) -> Program {
+    let n = rng.gen_range(4usize..=96);
+    let mut b = ProgramBuilder::new(Addr::new(0x4000));
+    let addr_of = |i: usize| Addr::new(0x4000 + 4 * i as u64);
+    for _ in 0..n {
+        let target = addr_of(rng.gen_range(0usize..=n - 1));
+        b.push(match rng.gen_range(0u32..=6) {
+            0 | 1 => InstrKind::Seq,
+            2 => InstrKind::CondBranch { target },
+            3 => InstrKind::Jump { target },
+            4 => InstrKind::Call { target },
+            5 => InstrKind::Return,
+            _ => InstrKind::IndirectCall,
+        });
+    }
+    b.set_entry(addr_of(rng.gen_range(0usize..=n - 1)));
+    b.finish().expect("targets are in-image by construction")
 }
 
-fn arb_outcomes(program: &Program) -> impl Strategy<Value = Vec<Outcome>> {
+fn random_outcomes(rng: &mut SynthRng, program: &Program) -> Vec<Outcome> {
     let len = program.len();
-    let outcome = (0u8..3, 0..len).prop_map(move |(tag, t)| match tag {
-        0 => Outcome::not_taken(),
-        1 => Outcome::taken(),
-        _ => Outcome::indirect(Addr::new(0x4000 + 4 * t as u64)),
-    });
-    proptest::collection::vec(outcome, 0..200)
+    let n = rng.gen_range(0usize..=199);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..=2) {
+            0 => Outcome::not_taken(),
+            1 => Outcome::taken(),
+            _ => Outcome::indirect(Addr::new(0x4000 + 4 * rng.gen_range(0usize..=len - 1) as u64)),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Text serialisation round-trips any trace exactly.
-    #[test]
-    fn text_round_trip((program, outcomes) in arb_program().prop_flat_map(|p| {
-        let o = arb_outcomes(&p);
-        (Just(p), o)
-    })) {
+/// Text serialisation round-trips any trace exactly.
+#[test]
+fn text_round_trip() {
+    let mut rng = SynthRng::seed_from_u64(0x7E87);
+    for case in 0..CASES {
+        let program = random_program(&mut rng);
+        let outcomes = random_outcomes(&mut rng, &program);
         let trace = Trace::new(program, outcomes);
         let mut buf = Vec::new();
         write_trace_text(&trace, &mut buf).unwrap();
         let back = read_trace_text(std::io::Cursor::new(buf)).unwrap();
-        prop_assert_eq!(back, trace);
+        assert_eq!(back, trace, "case {case}");
     }
+}
 
-    /// Binary serialisation round-trips any trace exactly.
-    #[test]
-    fn binary_round_trip((program, outcomes) in arb_program().prop_flat_map(|p| {
-        let o = arb_outcomes(&p);
-        (Just(p), o)
-    })) {
+/// Binary serialisation round-trips any trace exactly.
+#[test]
+fn binary_round_trip() {
+    let mut rng = SynthRng::seed_from_u64(0xB17);
+    for case in 0..CASES {
+        let program = random_program(&mut rng);
+        let outcomes = random_outcomes(&mut rng, &program);
         let trace = Trace::new(program, outcomes);
         let mut buf = Vec::new();
         write_trace_binary(&trace, &mut buf).unwrap();
         let back = read_trace_binary(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, trace);
+        assert_eq!(back, trace, "case {case}");
     }
+}
 
-    /// Truncating a binary trace never panics and never parses.
-    #[test]
-    fn binary_truncation_is_rejected((program, outcomes, frac) in arb_program().prop_flat_map(|p| {
-        let o = arb_outcomes(&p);
-        (Just(p), o, 0.0f64..1.0)
-    })) {
+/// Truncating a binary trace never panics and never parses.
+#[test]
+fn binary_truncation_is_rejected() {
+    let mut rng = SynthRng::seed_from_u64(0x72C);
+    for case in 0..CASES {
+        let program = random_program(&mut rng);
+        let outcomes = random_outcomes(&mut rng, &program);
         let trace = Trace::new(program, outcomes);
         let mut buf = Vec::new();
         write_trace_binary(&trace, &mut buf).unwrap();
-        let cut = ((buf.len() as f64) * frac) as usize;
-        prop_assert!(read_trace_binary(&buf[..cut]).is_err());
+        let cut = ((buf.len() as f64) * rng.gen_f64()) as usize;
+        assert!(read_trace_binary(&buf[..cut]).is_err(), "case {case}: cut at {cut}");
     }
 }
 
