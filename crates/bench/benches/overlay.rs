@@ -1,0 +1,76 @@
+//! Overlay economics: what the pre-decoded `PredictedTrace` costs to
+//! build, and what it saves per configuration — cursor throughput and
+//! end-to-end engine replay, recorded vs overlay (the engine's batched
+//! fetch fast path keys off the overlay).
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use specfetch_bench::{Runner, THROUGHPUT_INSTRS};
+use specfetch_core::{FetchPolicy, SimConfig, Simulator};
+use specfetch_synth::suite::Benchmark;
+use specfetch_trace::{PathSource, PredictedTrace, RecordedTrace};
+
+/// How many configurations the sweep-shaped benches replay the same path
+/// under (the reproduction replays each benchmark far more often).
+const REPLAYS: usize = 8;
+
+fn main() {
+    let mut r = Runner::from_args("overlay");
+    let bench = Benchmark::by_name("gcc").unwrap();
+    let workload = bench.workload().unwrap();
+    let mut live = workload.executor(bench.path_seed());
+    let trace = Arc::new(RecordedTrace::record(&mut live, THROUGHPUT_INSTRS));
+    let overlay = Arc::new(PredictedTrace::build(&trace));
+
+    // The one-off construction cost, paid once per (benchmark, window)
+    // and amortised over every configuration that replays it.
+    r.bench("build/overlay", 10, || black_box(PredictedTrace::build(&trace)));
+
+    // Raw cursor throughput: walking the recording re-decodes each
+    // instruction against the image; the overlay cursor reads the
+    // pre-decoded arrays.
+    r.bench("stream/recorded", 10, || {
+        let mut s = RecordedTrace::source(&trace);
+        let mut n = 0u64;
+        while s.next_instr().is_some() {
+            n += 1;
+        }
+        black_box(n)
+    });
+    r.bench("stream/predicted", 10, || {
+        let mut s = PredictedTrace::source(&overlay);
+        let mut n = 0u64;
+        while s.next_instr().is_some() {
+            n += 1;
+        }
+        black_box(n)
+    });
+
+    // Per-config replay cost through the engine, separated from the
+    // build: the same N-config sweep fed by the recording vs the overlay.
+    for policy in [FetchPolicy::Oracle, FetchPolicy::Resume] {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.policy = policy;
+        r.bench(&format!("engine/recorded/{policy}"), 5, || {
+            for _ in 0..REPLAYS {
+                black_box(Simulator::new(cfg).run(RecordedTrace::source(&trace)));
+            }
+        });
+        r.bench(&format!("engine/overlay/{policy}"), 5, || {
+            for _ in 0..REPLAYS {
+                black_box(Simulator::new(cfg).run(PredictedTrace::source(&overlay)));
+            }
+        });
+    }
+
+    // Build + single replay, the worst case for the overlay (nothing to
+    // amortise over).
+    let cfg = SimConfig::paper_baseline();
+    r.bench("engine/overlay_build_plus_one_replay", 5, || {
+        let overlay = Arc::new(PredictedTrace::build(&trace));
+        black_box(Simulator::new(cfg).run(PredictedTrace::source(&overlay)));
+    });
+
+    r.finish();
+}

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Which direction predictor backs the PHT.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum DirectionKind {
     /// McFarling's gshare: PHT indexed by `GHR XOR branch address`
     /// (the paper's configuration).
@@ -17,7 +17,7 @@ pub enum DirectionKind {
 }
 
 /// Whether direction prediction is available independently of the BTB.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum BtbCoupling {
     /// PHT consulted for every conditional branch, BTB only supplies
     /// targets (PowerPC 604 style; the paper's configuration).
@@ -29,7 +29,7 @@ pub enum BtbCoupling {
 }
 
 /// When the global history register learns an outcome.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum GhrUpdate {
     /// At branch resolution — the paper's "simple PHT architecture".
     /// Predictions made under deep speculation see stale history, which is
@@ -42,7 +42,7 @@ pub enum GhrUpdate {
 }
 
 /// Which GHR value indexes the PHT when a resolved branch trains it.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum PhtTrain {
     /// Train the entry that was *read* at prediction time (the branch
     /// carries its index down the pipe — what real front ends do).
@@ -71,7 +71,7 @@ pub enum PhtTrain {
 /// assert_eq!(c.btb_assoc, 4);
 /// assert_eq!(c.pht_entries, 512);
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct BpredConfig {
     /// Total BTB entries (must be a multiple of `btb_assoc`).
     pub btb_entries: usize,
@@ -150,7 +150,7 @@ impl Default for BpredConfig {
 }
 
 /// A constraint violation in a [`BpredConfig`].
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum BpredConfigError {
     /// BTB entries or associativity is zero.
     ZeroSize,

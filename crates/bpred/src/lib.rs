@@ -43,6 +43,7 @@ mod config;
 mod counter;
 mod direction;
 mod ras;
+mod replay;
 mod stats;
 mod unit;
 
@@ -51,5 +52,6 @@ pub use config::{BpredConfig, BpredConfigError, BtbCoupling, DirectionKind, GhrU
 pub use counter::Counter2;
 pub use direction::{Bimodal, DirectionPredictor, Gshare, StaticNotTaken};
 pub use ras::Ras;
+pub use replay::OutcomeReplay;
 pub use stats::BpredStats;
 pub use unit::BranchUnit;

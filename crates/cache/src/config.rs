@@ -18,7 +18,7 @@ use std::fmt;
 /// assert_eq!(c.num_lines(), 256);
 /// assert_eq!(c.num_sets(), 256);
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -87,7 +87,7 @@ impl Default for CacheConfig {
 }
 
 /// A constraint violation in a [`CacheConfig`].
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum CacheConfigError {
     /// A zero size, line size, or associativity.
     ZeroSize,

@@ -25,7 +25,7 @@ use crate::FetchPolicy;
 /// cfg.miss_penalty = 20; // the paper's "long latency" point
 /// assert!(cfg.validate().is_ok());
 /// ```
-#[derive(Copy, Clone, PartialEq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct SimConfig {
     /// The fetch policy under test.
     pub policy: FetchPolicy,
@@ -124,7 +124,7 @@ impl Default for SimConfig {
 }
 
 /// A constraint violation in a [`SimConfig`].
-#[derive(Copy, Clone, PartialEq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum SimConfigError {
     /// Issue width of zero.
     ZeroWidth,

@@ -22,12 +22,12 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use specfetch_bpred::{BranchUnit, GhrUpdate};
+use specfetch_bpred::{BranchUnit, GhrUpdate, OutcomeReplay};
 use specfetch_cache::{
     Bus, ICache, NextLinePrefetcher, Purpose, ResumeBuffer, StreamBuffer, TargetPrefetcher,
 };
 use specfetch_isa::{Addr, DynInstr, InstrKind, LineAddr, Program};
-use specfetch_trace::PathSource;
+use specfetch_trace::{PathSource, PredictedTrace};
 
 use crate::{FetchPolicy, IspiBreakdown, MissClass, SimConfig, SimResult};
 
@@ -108,6 +108,36 @@ struct PendingMiss {
     state: MissState,
 }
 
+/// The engine's cursor into a shared pre-decoded overlay.
+///
+/// When the source replays a [`PredictedTrace`], the engine owns the walk
+/// itself: `idx` points at `next_correct`, and `branch_ord` counts the
+/// transfers already consumed (the overlay's per-transfer arrays are
+/// indexed by ordinal, not by instruction index). Reading the overlay's
+/// run lengths lets the fetch phase issue whole sequential runs per step
+/// instead of materialising one [`DynInstr`] per slot.
+#[derive(Clone, Debug)]
+struct OverlayCursor {
+    trace: Arc<PredictedTrace>,
+    idx: usize,
+    branch_ord: usize,
+}
+
+impl OverlayCursor {
+    fn materialize(&self) -> Option<DynInstr> {
+        (self.idx < self.trace.len()).then(|| self.trace.instr_at(self.idx, self.branch_ord))
+    }
+}
+
+/// Debug-build cross-check of the live predictor history against the
+/// overlay's resolve-order outcome stream (see `specfetch_bpred::replay`):
+/// at every correct-path conditional resolution the live GHR must equal
+/// the replayed one. Absent in release builds and without an overlay.
+struct GhrCheck {
+    trace: Arc<PredictedTrace>,
+    replay: OutcomeReplay,
+}
+
 /// What a stalled slot is charged to.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 enum Cause {
@@ -134,6 +164,16 @@ pub(crate) struct Engine<'s, S: PathSource> {
     prefetcher: NextLinePrefetcher,
     target_pf: TargetPrefetcher,
     stream: StreamBuffer,
+
+    /// Cursor into the shared overlay when the source advertises one;
+    /// while set, the engine never calls `source.next_instr`.
+    overlay: Option<OverlayCursor>,
+    /// Overlay batching is byte-identical only while per-access side
+    /// effects are limited to the cache itself (no prefetch triggers).
+    batch_ok: bool,
+    /// `words_per_line - 1`: in-line word offset mask for run batching.
+    line_word_mask: u64,
+    ghr_check: Option<GhrCheck>,
 
     cycle: u64,
     mode: Mode,
@@ -180,7 +220,24 @@ impl<'s, S: PathSource> Engine<'s, S> {
     pub(crate) fn new(cfg: SimConfig, source: &'s mut S) -> Self {
         cfg.validate().expect("invalid simulator configuration");
         let program = source.shared_program();
-        let next_correct = source.next_instr();
+        let overlay = source.predicted().map(|trace| OverlayCursor {
+            trace: Arc::clone(trace),
+            idx: 0,
+            branch_ord: 0,
+        });
+        let next_correct = match &overlay {
+            Some(c) => c.materialize(),
+            None => source.next_instr(),
+        };
+        let batch_ok = !cfg.prefetch && !cfg.target_prefetch && !cfg.stream_buffer;
+        let ghr_check = if cfg!(debug_assertions) && OutcomeReplay::models(cfg.bpred.ghr_update) {
+            overlay.as_ref().map(|c| GhrCheck {
+                trace: Arc::clone(&c.trace),
+                replay: OutcomeReplay::new(cfg.bpred.ghr_bits),
+            })
+        } else {
+            None
+        };
         Engine {
             unit: BranchUnit::new(&cfg.bpred),
             icache: ICache::new(&cfg.icache),
@@ -190,6 +247,10 @@ impl<'s, S: PathSource> Engine<'s, S> {
             prefetcher: NextLinePrefetcher::new(),
             target_pf: TargetPrefetcher::new(TARGET_PREFETCH_ENTRIES),
             stream: StreamBuffer::new(STREAM_BUFFER_DEPTH),
+            overlay,
+            batch_ok,
+            line_word_mask: cfg.icache.line_bytes / specfetch_isa::INSTR_BYTES - 1,
+            ghr_check,
             cycle: 0,
             mode: Mode::Correct,
             next_correct,
@@ -476,6 +537,23 @@ impl<'s, S: PathSource> Engine<'s, S> {
                             {
                                 self.unit.repair_ghr((f.ghr_snapshot << 1) | f.actual_taken as u32);
                             }
+                            // Correct-path conditionals resolve in trace
+                            // order, so the live history must track the
+                            // overlay's shared outcome stream bit-for-bit.
+                            if let Some(chk) = &mut self.ghr_check {
+                                let k = chk.replay.count() as usize;
+                                let taken = chk.trace.cond_taken(k);
+                                debug_assert_eq!(
+                                    taken, f.actual_taken,
+                                    "overlay outcome stream out of sync at conditional {k}"
+                                );
+                                let ghr = chk.replay.push(taken);
+                                debug_assert_eq!(
+                                    ghr,
+                                    self.unit.ghr(),
+                                    "live history diverged from overlay replay at conditional {k}"
+                                );
+                            }
                         } else if f.kind.is_return() {
                             self.unit.note_return_resolved(f.resolve_redirect.is_none());
                         } else if matches!(
@@ -610,6 +688,42 @@ impl<'s, S: PathSource> Engine<'s, S> {
                         self.unused_end_slots += width - slot;
                         return None;
                     };
+                    // Overlay batch: a run of non-transfer instructions
+                    // within one cache line needs a single access and no
+                    // branch machinery — issue it as a block. This is
+                    // byte-identical to slot-at-a-time stepping: the
+                    // follow-on fetches are guaranteed hits on the line
+                    // just touched, and repeated same-line accesses change
+                    // neither the cross-line LRU order nor any reported
+                    // statistic. (Prefetchers retrigger per access, so
+                    // `batch_ok` excludes them.)
+                    let batch = match (&self.overlay, self.batch_ok) {
+                        (Some(c), true) => {
+                            let run = u64::from(c.trace.seq_run(c.idx));
+                            let in_line =
+                                self.line_word_mask + 1 - (d.pc.word_index() & self.line_word_mask);
+                            run.min(in_line).min(width - slot)
+                        }
+                        _ => 0,
+                    };
+                    if batch >= 2 {
+                        if !self.access(d.pc, true) {
+                            let cause = self.stall_cause();
+                            self.lose(width - slot, cause);
+                            return (slot == 0).then_some(cause);
+                        }
+                        self.cache_correct.accesses += batch - 1;
+                        if self.shadow.is_some() {
+                            self.classification.correct_accesses += batch - 1;
+                        }
+                        self.correct_instrs += batch;
+                        self.last_fetch_cycle = Some(self.cycle);
+                        slot += batch;
+                        let c = self.overlay.as_mut().expect("batch implies an overlay");
+                        c.idx += batch as usize;
+                        self.next_correct = c.materialize();
+                        continue;
+                    }
                     if d.kind.is_conditional() && self.cond_in_flight >= self.cfg.max_unresolved {
                         self.lose(width - slot, Cause::BranchFull);
                         return (slot == 0).then_some(Cause::BranchFull);
@@ -619,7 +733,7 @@ impl<'s, S: PathSource> Engine<'s, S> {
                         self.lose(width - slot, cause);
                         return (slot == 0).then_some(cause);
                     }
-                    self.next_correct = self.source.next_instr();
+                    self.advance_correct(&d);
                     self.correct_instrs += 1;
                     self.last_fetch_cycle = Some(self.cycle);
                     slot += 1;
@@ -660,6 +774,21 @@ impl<'s, S: PathSource> Engine<'s, S> {
             }
         }
         None
+    }
+
+    /// Steps past the just-issued correct-path instruction `d` and
+    /// refreshes `next_correct` — from the overlay cursor when one is
+    /// active, from the source otherwise.
+    fn advance_correct(&mut self, d: &DynInstr) {
+        if let Some(c) = &mut self.overlay {
+            c.idx += 1;
+            if d.kind.is_branch() {
+                c.branch_ord += 1;
+            }
+            self.next_correct = c.materialize();
+        } else {
+            self.next_correct = self.source.next_instr();
+        }
     }
 
     fn lose(&mut self, slots: u64, cause: Cause) {

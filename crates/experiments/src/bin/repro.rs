@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! specfetch-repro [--experiment <id>|all] [--instrs N] [--format plain|markdown|csv]
-//!                 [--sequential] [--no-trace-cache] [--list]
+//!                 [--sequential] [--no-trace-cache] [--no-predict-cache] [--list]
 //! ```
 
 use std::process::ExitCode;
@@ -47,11 +47,17 @@ fn parse_args() -> Result<Args, String> {
             // behaviour); output is identical, only slower. Kept for
             // equivalence checks and speedup measurements.
             "--no-trace-cache" => opts.share_traces = false,
+            // Replay the shared recording without the pre-decoded
+            // overlay or the per-(benchmark, config) result memo; same
+            // deal — identical output, kept for equivalence checks and
+            // speedup measurements.
+            "--no-predict-cache" => opts.predict_cache = false,
             "--list" => list = true,
             "--help" | "-h" => {
                 println!(
                     "usage: specfetch-repro [--experiment <id>|all] [--instrs N] \
-                     [--format plain|markdown|csv] [--sequential] [--no-trace-cache] [--list]"
+                     [--format plain|markdown|csv] [--sequential] [--no-trace-cache] \
+                     [--no-predict-cache] [--list]"
                 );
                 println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
                 println!("extras:      extras {}", EXTRA_EXPERIMENT_IDS.join(" "));

@@ -5,8 +5,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::baseline;
 use crate::paper::FIGURE_BENCHMARKS;
-use crate::runner::simulate_benchmark;
-use crate::{par_map, ExperimentReport, RunOptions, Table};
+use crate::runner::{run_grid, GridPoint};
+use crate::{ExperimentReport, RunOptions, Table};
 
 /// One bar of the figure: a `(benchmark, policy)` breakdown.
 #[derive(Clone, PartialEq, Debug)]
@@ -21,23 +21,21 @@ pub struct Bar {
 
 /// Collects the figure's bars for an arbitrary config generator (shared
 /// with Figure 2, which only changes the miss penalty).
-pub(crate) fn bars(
-    opts: &RunOptions,
-    cfg_for: impl Fn(FetchPolicy) -> SimConfig + Sync,
-) -> Vec<Bar> {
-    let mut work = Vec::new();
+pub(crate) fn bars(opts: &RunOptions, cfg_for: impl Fn(FetchPolicy) -> SimConfig) -> Vec<Bar> {
+    let mut keys = Vec::new();
+    let mut points = Vec::new();
     for name in FIGURE_BENCHMARKS {
         let b = Benchmark::by_name(name).expect("figure benchmarks exist");
         for policy in FetchPolicy::ALL {
-            work.push((b, policy));
+            keys.push((b, policy));
+            points.push(GridPoint::new(b, cfg_for(policy)));
         }
     }
-    let opts = *opts;
-    par_map(work, opts.parallel, |(b, policy)| Bar {
-        benchmark: b,
-        policy,
-        result: simulate_benchmark(b, cfg_for(policy), opts),
-    })
+    run_grid(&points, opts)
+        .into_iter()
+        .zip(keys)
+        .map(|(result, (benchmark, policy))| Bar { benchmark, policy, result })
+        .collect()
 }
 
 /// Renders a breakdown table shared by Figures 1 and 2.

@@ -5,8 +5,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::baseline;
 use crate::paper::FIGURE_BENCHMARKS;
-use crate::runner::simulate_benchmark;
-use crate::{par_map, ExperimentReport, RunOptions, Table};
+use crate::runner::{run_grid, GridPoint};
+use crate::{ExperimentReport, RunOptions, Table};
 
 /// The three policies the paper's prefetch figures compare.
 pub const PREFETCH_POLICIES: [FetchPolicy; 3] =
@@ -29,24 +29,24 @@ pub struct Bar {
 /// Figure 4).
 pub(crate) fn bars(
     opts: &RunOptions,
-    cfg_for: impl Fn(FetchPolicy, bool) -> SimConfig + Sync,
+    cfg_for: impl Fn(FetchPolicy, bool) -> SimConfig,
 ) -> Vec<Bar> {
-    let mut work = Vec::new();
+    let mut keys = Vec::new();
+    let mut points = Vec::new();
     for name in FIGURE_BENCHMARKS {
         let b = Benchmark::by_name(name).expect("figure benchmarks exist");
         for policy in PREFETCH_POLICIES {
             for prefetch in [false, true] {
-                work.push((b, policy, prefetch));
+                keys.push((b, policy, prefetch));
+                points.push(GridPoint::new(b, cfg_for(policy, prefetch)));
             }
         }
     }
-    let opts = *opts;
-    par_map(work, opts.parallel, |(b, policy, prefetch)| Bar {
-        benchmark: b,
-        policy,
-        prefetch,
-        result: simulate_benchmark(b, cfg_for(policy, prefetch), opts),
-    })
+    run_grid(&points, opts)
+        .into_iter()
+        .zip(keys)
+        .map(|(result, (benchmark, policy, prefetch))| Bar { benchmark, policy, prefetch, result })
+        .collect()
 }
 
 /// Renders a breakdown table shared by Figures 3 and 4.

@@ -5,8 +5,8 @@ use specfetch_core::{FetchPolicy, SimResult};
 use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::{baseline, vs};
-use crate::runner::{mean, simulate_benchmark};
-use crate::{par_map, ExperimentReport, RunOptions, Table};
+use crate::runner::{mean, run_grid, GridPoint};
+use crate::{ExperimentReport, RunOptions, Table};
 
 /// Measured Table 3 quantities for one benchmark.
 #[derive(Clone, PartialEq, Debug)]
@@ -35,25 +35,33 @@ fn pht_ispi(r: &SimResult) -> f64 {
 /// (8K, depth 1), and (32K, depth 4).
 pub fn data(opts: &RunOptions) -> Vec<Row> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let opts = *opts;
-    par_map(benches, opts.parallel, |b| {
-        let d4 = simulate_benchmark(b, baseline(FetchPolicy::Oracle), opts);
-        let mut cfg_d1 = baseline(FetchPolicy::Oracle);
-        cfg_d1.max_unresolved = 1;
-        let d1 = simulate_benchmark(b, cfg_d1, opts);
-        let mut cfg_32 = baseline(FetchPolicy::Oracle);
-        cfg_32.icache = CacheConfig::paper_32k();
-        let k32 = simulate_benchmark(b, cfg_32, opts);
-        Row {
-            benchmark: b,
-            miss_8k: d4.miss_rate_pct(),
-            miss_32k: k32.miss_rate_pct(),
-            pht_b1: pht_ispi(&d1),
-            pht_b4: pht_ispi(&d4),
-            btb_misfetch: d4.ispi_component(d4.btb_misfetch_slots),
-            btb_mispredict: d4.ispi_component(d4.btb_mispredict_slots),
+    let mut cfg_d1 = baseline(FetchPolicy::Oracle);
+    cfg_d1.max_unresolved = 1;
+    let mut cfg_32 = baseline(FetchPolicy::Oracle);
+    cfg_32.icache = CacheConfig::paper_32k();
+    let mut points = Vec::new();
+    for &b in &benches {
+        for cfg in [baseline(FetchPolicy::Oracle), cfg_d1, cfg_32] {
+            points.push(GridPoint::new(b, cfg));
         }
-    })
+    }
+    let results = run_grid(&points, opts);
+    benches
+        .iter()
+        .zip(results.chunks_exact(3))
+        .map(|(&b, runs)| {
+            let (d4, d1, k32) = (&runs[0], &runs[1], &runs[2]);
+            Row {
+                benchmark: b,
+                miss_8k: d4.miss_rate_pct(),
+                miss_32k: k32.miss_rate_pct(),
+                pht_b1: pht_ispi(d1),
+                pht_b4: pht_ispi(d4),
+                btb_misfetch: d4.ispi_component(d4.btb_misfetch_slots),
+                btb_mispredict: d4.ispi_component(d4.btb_mispredict_slots),
+            }
+        })
+        .collect()
 }
 
 /// Renders the report.

@@ -5,8 +5,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::{baseline, vs};
 use crate::paper::{Table4Row, TABLE4};
-use crate::runner::{mean, simulate_benchmark};
-use crate::{par_map, ExperimentReport, RunOptions, Table};
+use crate::runner::{mean, run_grid, GridPoint};
+use crate::{ExperimentReport, RunOptions, Table};
 
 /// Measured classification for one benchmark.
 #[derive(Clone, PartialEq, Debug)]
@@ -21,18 +21,18 @@ pub struct Row {
 
 /// Gathers measured rows: one classified Optimistic run per benchmark.
 pub fn data(opts: &RunOptions) -> Vec<Row> {
-    let benches: Vec<(usize, &'static Benchmark)> = Benchmark::all().iter().enumerate().collect();
-    let opts = *opts;
-    par_map(benches, opts.parallel, |(i, b)| {
-        let mut cfg = baseline(FetchPolicy::Optimistic);
-        cfg.classify = true;
-        let r = simulate_benchmark(b, cfg, opts);
-        Row {
-            benchmark: b,
+    let mut cfg = baseline(FetchPolicy::Optimistic);
+    cfg.classify = true;
+    let points: Vec<GridPoint> = Benchmark::all().iter().map(|b| GridPoint::new(b, cfg)).collect();
+    run_grid(&points, opts)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| Row {
+            benchmark: points[i].benchmark,
             class: r.classification.expect("classification was enabled"),
             paper: TABLE4[i],
-        }
-    })
+        })
+        .collect()
 }
 
 /// Renders the report.

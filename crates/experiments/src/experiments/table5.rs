@@ -6,8 +6,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::{baseline, vs};
 use crate::paper::TABLE5;
-use crate::runner::{mean, simulate_benchmark};
-use crate::{par_map, ExperimentReport, RunOptions, Table};
+use crate::runner::{mean, run_grid, GridPoint};
+use crate::{ExperimentReport, RunOptions, Table};
 
 /// The depths the paper sweeps.
 pub const DEPTHS: [usize; 3] = [1, 2, 4];
@@ -26,22 +26,29 @@ pub struct Row {
 
 /// Gathers the full sweep: 13 benchmarks × 3 depths × 5 policies.
 pub fn data(opts: &RunOptions) -> Vec<Row> {
-    let mut work = Vec::new();
+    let mut keys = Vec::new();
+    let mut points = Vec::new();
     for b in Benchmark::all() {
         for depth in DEPTHS {
-            work.push((b, depth));
+            keys.push((b, depth));
+            for policy in FetchPolicy::ALL {
+                let mut cfg = baseline(policy);
+                cfg.max_unresolved = depth;
+                points.push(GridPoint::new(b, cfg));
+            }
         }
     }
-    let opts = *opts;
-    par_map(work, opts.parallel, |(b, depth)| {
-        let mut ispi = [0.0; 5];
-        for (i, policy) in FetchPolicy::ALL.into_iter().enumerate() {
-            let mut cfg = baseline(policy);
-            cfg.max_unresolved = depth;
-            ispi[i] = simulate_benchmark(b, cfg, opts).ispi();
-        }
-        Row { benchmark: b, depth, ispi }
-    })
+    let results = run_grid(&points, opts);
+    keys.into_iter()
+        .zip(results.chunks_exact(5))
+        .map(|((benchmark, depth), runs)| {
+            let mut ispi = [0.0; 5];
+            for (slot, r) in ispi.iter_mut().zip(runs) {
+                *slot = r.ispi();
+            }
+            Row { benchmark, depth, ispi }
+        })
+        .collect()
 }
 
 fn depth_idx(depth: usize) -> usize {

@@ -6,8 +6,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::{baseline, vs};
 use crate::paper::TABLE6;
-use crate::runner::{mean, simulate_benchmark};
-use crate::{par_map, ExperimentReport, RunOptions, Table};
+use crate::runner::{mean, run_grid, GridPoint};
+use crate::{ExperimentReport, RunOptions, Table};
 
 /// ISPI of all five policies for one benchmark with a 32K cache.
 #[derive(Clone, PartialEq, Debug)]
@@ -21,16 +21,26 @@ pub struct Row {
 /// Gathers the 32K sweep.
 pub fn data(opts: &RunOptions) -> Vec<Row> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let opts = *opts;
-    par_map(benches, opts.parallel, |b| {
-        let mut ispi = [0.0; 5];
-        for (i, policy) in FetchPolicy::ALL.into_iter().enumerate() {
+    let mut points = Vec::new();
+    for &b in &benches {
+        for policy in FetchPolicy::ALL {
             let mut cfg = baseline(policy);
             cfg.icache = CacheConfig::paper_32k();
-            ispi[i] = simulate_benchmark(b, cfg, opts).ispi();
+            points.push(GridPoint::new(b, cfg));
         }
-        Row { benchmark: b, ispi }
-    })
+    }
+    let results = run_grid(&points, opts);
+    benches
+        .into_iter()
+        .zip(results.chunks_exact(5))
+        .map(|(benchmark, runs)| {
+            let mut ispi = [0.0; 5];
+            for (slot, r) in ispi.iter_mut().zip(runs) {
+                *slot = r.ispi();
+            }
+            Row { benchmark, ispi }
+        })
+        .collect()
 }
 
 /// Renders the report.

@@ -5,8 +5,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::{baseline, vs};
 use crate::paper::TABLE7;
-use crate::runner::{mean, simulate_benchmark};
-use crate::{par_map, ExperimentReport, RunOptions, Table};
+use crate::runner::{mean, run_grid, GridPoint};
+use crate::{ExperimentReport, RunOptions, Table};
 
 /// Traffic ratios for one benchmark: policy-with-prefetch over plain
 /// Oracle.
@@ -22,22 +22,28 @@ pub struct Row {
 /// Gathers the traffic ratios.
 pub fn data(opts: &RunOptions) -> Vec<Row> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let opts = *opts;
-    par_map(benches, opts.parallel, |b| {
-        let base = simulate_benchmark(b, baseline(FetchPolicy::Oracle), opts);
-        let base_traffic = base.total_traffic().max(1) as f64;
-        let mut ratios = [0.0; 3];
-        for (i, policy) in [FetchPolicy::Oracle, FetchPolicy::Resume, FetchPolicy::Pessimistic]
-            .into_iter()
-            .enumerate()
-        {
+    let mut points = Vec::new();
+    for &b in &benches {
+        points.push(GridPoint::new(b, baseline(FetchPolicy::Oracle)));
+        for policy in [FetchPolicy::Oracle, FetchPolicy::Resume, FetchPolicy::Pessimistic] {
             let mut cfg = baseline(policy);
             cfg.prefetch = true;
-            let r = simulate_benchmark(b, cfg, opts);
-            ratios[i] = r.total_traffic() as f64 / base_traffic;
+            points.push(GridPoint::new(b, cfg));
         }
-        Row { benchmark: b, ratios }
-    })
+    }
+    let results = run_grid(&points, opts);
+    benches
+        .into_iter()
+        .zip(results.chunks_exact(4))
+        .map(|(benchmark, runs)| {
+            let base_traffic = runs[0].total_traffic().max(1) as f64;
+            let mut ratios = [0.0; 3];
+            for (slot, r) in ratios.iter_mut().zip(&runs[1..]) {
+                *slot = r.total_traffic() as f64 / base_traffic;
+            }
+            Row { benchmark, ratios }
+        })
+        .collect()
 }
 
 /// Renders the report.

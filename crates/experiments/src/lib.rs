@@ -42,7 +42,7 @@ pub mod trace_cache;
 pub use options::RunOptions;
 pub use parallel::par_map;
 pub use report::ExperimentReport;
-pub use runner::{simulate_benchmark, suite_results, BenchResult};
+pub use runner::{run_grid, simulate_benchmark, suite_results, BenchResult, GridPoint};
 pub use table::{Format, Table};
 
 use std::fmt;

@@ -16,17 +16,35 @@ pub struct RunOptions {
     /// either way; `false` exists for equivalence tests and for measuring
     /// the speedup itself.
     pub share_traces: bool,
+    /// Replay through the pre-decoded [`specfetch_trace::PredictedTrace`]
+    /// overlay (built once per shared trace) and memoise finished
+    /// `SimResult`s per `(benchmark, window, config)` so duplicate grid
+    /// points across experiments are simulated once. Requires
+    /// `share_traces` (the overlay is built over the shared recording);
+    /// output is byte-identical either way — `false` exists for
+    /// equivalence tests and for measuring the speedup itself.
+    pub predict_cache: bool,
 }
 
 impl RunOptions {
     /// The default reproduction budget.
     pub fn new() -> Self {
-        RunOptions { instrs_per_benchmark: 2_000_000, parallel: true, share_traces: true }
+        RunOptions {
+            instrs_per_benchmark: 2_000_000,
+            parallel: true,
+            share_traces: true,
+            predict_cache: true,
+        }
     }
 
     /// A budget for unit tests and smoke checks.
     pub fn smoke() -> Self {
-        RunOptions { instrs_per_benchmark: 40_000, parallel: true, share_traces: true }
+        RunOptions {
+            instrs_per_benchmark: 40_000,
+            parallel: true,
+            share_traces: true,
+            predict_cache: true,
+        }
     }
 
     /// Overrides the per-benchmark instruction budget.
@@ -39,6 +57,19 @@ impl RunOptions {
     pub fn with_share_traces(mut self, share: bool) -> Self {
         self.share_traces = share;
         self
+    }
+
+    /// Enables or disables the predicted-trace overlay and the result
+    /// memo.
+    pub fn with_predict_cache(mut self, predict: bool) -> Self {
+        self.predict_cache = predict;
+        self
+    }
+
+    /// Whether runs should go through the overlay + memo fast path
+    /// (both caches enabled).
+    pub(crate) fn use_overlay(&self) -> bool {
+        self.share_traces && self.predict_cache
     }
 }
 
@@ -59,5 +90,14 @@ mod tests {
         assert!(RunOptions::smoke().instrs_per_benchmark < RunOptions::new().instrs_per_benchmark);
         assert!(RunOptions::new().share_traces, "sharing is the default");
         assert!(!RunOptions::new().with_share_traces(false).share_traces);
+        assert!(RunOptions::new().predict_cache, "overlay replay is the default");
+        assert!(!RunOptions::new().with_predict_cache(false).predict_cache);
+    }
+
+    #[test]
+    fn overlay_requires_both_caches() {
+        assert!(RunOptions::new().use_overlay());
+        assert!(!RunOptions::new().with_predict_cache(false).use_overlay());
+        assert!(!RunOptions::new().with_share_traces(false).use_overlay());
     }
 }

@@ -1,4 +1,4 @@
-//! Shared simulation driving: one benchmark × one configuration.
+//! Shared simulation driving: single runs and batched experiment grids.
 
 use specfetch_core::{SimConfig, SimResult, Simulator};
 use specfetch_synth::suite::Benchmark;
@@ -15,18 +15,46 @@ pub struct BenchResult {
     pub result: SimResult,
 }
 
+/// One cell of an experiment grid: a benchmark under a configuration.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct GridPoint {
+    /// Which benchmark's path to replay.
+    pub benchmark: &'static Benchmark,
+    /// The front-end configuration to replay it under.
+    pub cfg: SimConfig,
+}
+
+impl GridPoint {
+    /// A grid cell.
+    pub fn new(benchmark: &'static Benchmark, cfg: SimConfig) -> Self {
+        GridPoint { benchmark, cfg }
+    }
+}
+
 /// Simulates one benchmark under `cfg` for `opts.instrs_per_benchmark`
 /// dynamic instructions.
 ///
 /// The correct path is fixed per benchmark (same generator seed, same
 /// path seed), so different configurations replay the *same* execution —
-/// the property every policy comparison in the paper relies on. With
-/// `opts.share_traces` (the default) that path comes from the process-wide
-/// [`crate::trace_cache`], so the workload is interpreted at most once per
-/// (benchmark, window) no matter how many configurations replay it; the
-/// legacy path re-interprets per call and produces the identical stream.
+/// the property every policy comparison in the paper relies on. Three
+/// replay paths produce byte-identical results:
+///
+/// - default (`share_traces` + `predict_cache`): the engine replays the
+///   pre-decoded [`specfetch_trace::PredictedTrace`] overlay from the
+///   process-wide [`crate::trace_cache`] (enabling its batched fetch fast
+///   path), and the finished result is memoised per
+///   `(benchmark, window, config)`;
+/// - `--no-predict-cache`: replays the shared recording without the
+///   overlay or memo;
+/// - `--no-trace-cache`: re-interprets the workload per run (the
+///   pre-sharing behaviour).
 pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -> SimResult {
-    if opts.share_traces {
+    if opts.use_overlay() {
+        crate::trace_cache::memoized_result(bench, opts.instrs_per_benchmark, cfg, || {
+            let source = crate::trace_cache::predicted_source(bench, opts.instrs_per_benchmark);
+            Simulator::new(cfg).run(source)
+        })
+    } else if opts.share_traces {
         let source = crate::trace_cache::recorded_source(bench, opts.instrs_per_benchmark);
         Simulator::new(cfg).run(source)
     } else {
@@ -34,6 +62,37 @@ pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -
         let source = workload.executor(bench.path_seed()).take_instrs(opts.instrs_per_benchmark);
         Simulator::new(cfg).run(source)
     }
+}
+
+/// Simulates every grid point, returning results in input order.
+///
+/// This is the batched multi-config replay the experiments are built on:
+/// points are scheduled **grouped by benchmark**, so all configurations
+/// that replay the same trace run back-to-back on one worker — the
+/// recording and its overlay are materialised once and stay hot across
+/// the whole batch, and the result memo collapses grid points that
+/// recur across experiments (every table re-runs the shared baselines).
+/// Groups, not points, are the parallel unit; point order within the
+/// result is the input order regardless of grouping.
+pub fn run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<SimResult> {
+    let mut groups: Vec<(&'static Benchmark, Vec<usize>)> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        match groups.iter_mut().find(|(b, _)| std::ptr::eq(*b, p.benchmark)) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((p.benchmark, vec![i])),
+        }
+    }
+    let opts_by_val = *opts;
+    let done = par_map(groups, opts.parallel, |(b, idxs)| {
+        idxs.into_iter()
+            .map(|i| (i, simulate_benchmark(b, points[i].cfg, opts_by_val)))
+            .collect::<Vec<(usize, SimResult)>>()
+    });
+    let mut out: Vec<Option<SimResult>> = vec![None; points.len()];
+    for (i, r) in done.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("every grid point is simulated")).collect()
 }
 
 /// Runs the full 13-benchmark suite under the configuration produced by
@@ -87,6 +146,55 @@ mod tests {
         let shared = simulate_benchmark(b, cfg, opts);
         let legacy = simulate_benchmark(b, cfg, opts.with_share_traces(false));
         assert_eq!(shared, legacy);
+    }
+
+    #[test]
+    fn overlay_and_plain_shared_paths_agree() {
+        let b = Benchmark::by_name("doduc").unwrap();
+        let opts = RunOptions::smoke().with_instrs(10_000);
+        for policy in FetchPolicy::ALL {
+            let mut cfg = SimConfig::paper_baseline();
+            cfg.policy = policy;
+            let overlay = simulate_benchmark(b, cfg, opts);
+            let plain = simulate_benchmark(b, cfg, opts.with_predict_cache(false));
+            assert_eq!(overlay, plain, "{policy}: overlay replay diverged");
+        }
+    }
+
+    #[test]
+    fn run_grid_matches_pointwise_runs_in_order() {
+        let opts = RunOptions::smoke().with_instrs(8_000);
+        let mut points = Vec::new();
+        // Deliberately interleave benchmarks so grouping must scatter
+        // results back to input order.
+        for policy in [FetchPolicy::Oracle, FetchPolicy::Pessimistic] {
+            for name in ["li", "gcc", "li", "cfront"] {
+                let mut cfg = SimConfig::paper_baseline();
+                cfg.policy = policy;
+                points.push(GridPoint::new(Benchmark::by_name(name).unwrap(), cfg));
+            }
+        }
+        let grid = run_grid(&points, &opts);
+        assert_eq!(grid.len(), points.len());
+        for (p, r) in points.iter().zip(&grid) {
+            assert_eq!(*r, simulate_benchmark(p.benchmark, p.cfg, opts));
+            assert_eq!(r.policy, p.cfg.policy);
+        }
+    }
+
+    #[test]
+    fn run_grid_agrees_without_any_caches() {
+        let opts = RunOptions::smoke().with_instrs(6_000);
+        let raw = opts.with_share_traces(false).with_predict_cache(false);
+        let points: Vec<GridPoint> = FetchPolicy::ALL
+            .into_iter()
+            .map(|policy| {
+                let mut cfg = SimConfig::paper_baseline();
+                cfg.policy = policy;
+                GridPoint::new(Benchmark::by_name("su2cor").unwrap(), cfg)
+            })
+            .collect();
+        assert_eq!(run_grid(&points, &opts), run_grid(&points, &raw));
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   sharing — one compact struct-of-arrays recording of a path that any
 //!   number of simulations replay concurrently without re-interpreting the
 //!   workload (see the [`recorded`](RecordedTrace) module docs).
+//! - [`PredictedTrace`] / [`PredictedSource`]: a pre-decoded overlay over a
+//!   recording — instruction classes, sequential-run lengths, static
+//!   targets, and the resolve-order conditional outcome stream — built
+//!   once per trace and shared by every configuration that replays it (see
+//!   the [`predicted`](PredictedTrace) module docs).
 //! - [`TraceStats`]: the workload-characterisation numbers of the paper's
 //!   Table 2 (instruction count, branch mix, taken ratio).
 //!
@@ -55,6 +60,7 @@
 mod binary;
 mod error;
 mod outcome;
+mod predicted;
 mod recorded;
 mod replay;
 mod source;
@@ -64,6 +70,7 @@ mod text;
 pub use binary::{read_trace_binary, write_trace_binary};
 pub use error::TraceError;
 pub use outcome::Outcome;
+pub use predicted::{PredictedSource, PredictedTrace};
 pub use recorded::{RecordedSource, RecordedTrace};
 pub use replay::Replay;
 pub use source::{PathSource, Take, VecSource};

@@ -148,6 +148,24 @@ impl RecordedTrace {
         RecordedSource { trace: Arc::clone(trace), idx: 0 }
     }
 
+    /// Word index (`pc / 4`) of the `idx`-th retired instruction.
+    pub(crate) fn pc_word(&self, idx: usize) -> u32 {
+        self.pc_words[idx]
+    }
+
+    /// Recorded direction bit of the `idx`-th retired instruction.
+    pub(crate) fn taken_bit(&self, idx: usize) -> bool {
+        self.taken[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Actual successor PC of the `idx`-th retired instruction.
+    pub(crate) fn next_pc_of(&self, idx: usize) -> Addr {
+        match self.pc_words.get(idx + 1) {
+            Some(&w) => Addr::from_word(u64::from(w)),
+            None => self.tail_next,
+        }
+    }
+
     /// Reconstructs the `idx`-th retired instruction.
     fn instr_at(&self, idx: usize) -> DynInstr {
         let pc = Addr::new(u64::from(self.pc_words[idx]) * INSTR_BYTES);
