@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! bench-snapshot [--out BENCH_2.json] [--instrs 500000] [--all-instrs 2000000]
-//!                [--skip-all] [--quick]
+//!                [--skip-all] [--quick] [--baseline BENCH_2.json] [--tolerance 2.0]
 //! ```
 //!
 //! Schema 2 compares the **predicted-trace overlay + result memo** (the
@@ -21,6 +21,13 @@
 //! `--quick` shrinks the probe for CI smoke runs (table4 at 60k
 //! instructions, `all` skipped) — it checks the harness, not the
 //! speedup.
+//!
+//! `--baseline <snapshot.json>` compares the new fast-path
+//! (`overlay_wall_s`) times against a previous snapshot and exits
+//! nonzero when any measurement with a matching `(experiment, instrs)`
+//! entry regressed by more than `--tolerance` percent (default 2) —
+//! the guard that keeps robustness plumbing off the hot path. Only
+//! meaningful on the machine that recorded the baseline.
 //!
 //! Both paths replay the same shared recordings (the §5c layer this
 //! comparison sits on top of), so each measurement pre-records its
@@ -75,6 +82,57 @@ fn measure(name: &'static str, ids: &[&str], instrs: u64) -> Measurement {
     m
 }
 
+/// A prior snapshot's measurement, as read back from its JSON.
+struct BaselineEntry {
+    name: String,
+    instrs: u64,
+    overlay_s: f64,
+}
+
+/// Pulls `"key": value` off a single line of snapshot JSON. The parser
+/// only has to read the one-measurement-per-line format `main` writes.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let rest = line[line.find(&pat)? + pat.len()..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BaselineEntry {
+                name: json_field(line, "experiment")?.to_owned(),
+                instrs: json_field(line, "instrs")?.parse().ok()?,
+                overlay_s: json_field(line, "overlay_wall_s")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Compares fast-path wall times against `baseline`, returning the
+/// worst regression in percent over the matching measurements (negative
+/// means we got faster). `None` when nothing matched.
+fn guard_against(baseline: &[BaselineEntry], measurements: &[Measurement]) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for m in measurements {
+        match baseline.iter().find(|b| b.name == m.name && b.instrs == m.instrs) {
+            Some(b) => {
+                let pct = (m.overlay_s / b.overlay_s - 1.0) * 100.0;
+                eprintln!(
+                    "[guard {}: overlay {:.3}s vs baseline {:.3}s ({pct:+.1}%)]",
+                    m.name, m.overlay_s, b.overlay_s
+                );
+                worst = Some(worst.map_or(pct, |w: f64| w.max(pct)));
+            }
+            None => {
+                eprintln!("[guard {}: no baseline entry at {} instrs, skipped]", m.name, m.instrs)
+            }
+        }
+    }
+    worst
+}
+
 fn git_sha() -> String {
     let git = |args: &[&str]| {
         std::process::Command::new("git")
@@ -94,10 +152,16 @@ fn main() {
     let mut table4_instrs = 500_000u64;
     let mut all_instrs = 2_000_000u64;
     let mut skip_all = false;
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 2.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = it.next().expect("--out needs a value"),
+            "--baseline" => baseline = Some(it.next().expect("--baseline needs a value")),
+            "--tolerance" => {
+                tolerance = it.next().and_then(|v| v.parse().ok()).expect("bad --tolerance")
+            }
             "--instrs" => {
                 table4_instrs = it.next().and_then(|v| v.parse().ok()).expect("bad --instrs")
             }
@@ -150,4 +214,19 @@ fn main() {
     std::fs::write(&out, &json).expect("writable output path");
     println!("{json}");
     eprintln!("[wrote {out}]");
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path).expect("readable --baseline snapshot");
+        match guard_against(&parse_baseline(&text), &measurements) {
+            Some(worst) if worst > tolerance => {
+                eprintln!(
+                    "error: fast path regressed {worst:+.1}% vs {path} \
+                     (tolerance {tolerance}%)"
+                );
+                std::process::exit(1);
+            }
+            Some(worst) => eprintln!("[guard ok: worst delta {worst:+.1}% <= {tolerance}%]"),
+            None => eprintln!("[guard: nothing comparable in {path}]"),
+        }
+    }
 }

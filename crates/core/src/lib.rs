@@ -56,12 +56,14 @@
 mod classify;
 mod config;
 mod engine;
+mod error;
 mod metrics;
 mod policy;
 mod simulator;
 
 pub use classify::MissClass;
 pub use config::{SimConfig, SimConfigError};
+pub use error::SpecfetchError;
 pub use metrics::{IspiBreakdown, SimResult};
 pub use policy::FetchPolicy;
 pub use simulator::Simulator;

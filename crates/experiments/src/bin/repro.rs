@@ -2,14 +2,24 @@
 //!
 //! ```text
 //! specfetch-repro [--experiment <id>|all] [--instrs N] [--format plain|markdown|csv]
-//!                 [--sequential] [--no-trace-cache] [--no-predict-cache] [--list]
+//!                 [--sequential] [--no-trace-cache] [--no-predict-cache]
+//!                 [--trace-dir <dir>] [--inject <spec>] [--list]
 //! ```
+//!
+//! Exit codes: `0` success, `1` one or more grid points or experiments
+//! failed (everything else still ran and rendered), `2` usage error
+//! (rejected before any experiment runs).
 
 use std::process::ExitCode;
 
+use specfetch_experiments::fault::FaultPlan;
 use specfetch_experiments::{
-    run_experiment, Format, RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
+    disk_cache, fault, is_known_experiment, run_experiment, Format, RunOptions, EXPERIMENT_IDS,
+    EXTRA_EXPERIMENT_IDS,
 };
+
+/// Usage problems abort before any experiment runs.
+const EXIT_USAGE: u8 = 2;
 
 struct Args {
     experiment: String,
@@ -52,15 +62,31 @@ fn parse_args() -> Result<Args, String> {
             // deal — identical output, kept for equivalence checks and
             // speedup measurements.
             "--no-predict-cache" => opts.predict_cache = false,
+            "--trace-dir" => {
+                let v = it.next().ok_or("--trace-dir needs a value")?;
+                disk_cache::set_dir(v.into())?;
+            }
+            // Deterministic fault injection, e.g.
+            //   --inject point=table3:2,panic
+            //   --inject 'point=table4:1,err;chaos=50@7,panic'
+            "--inject" => {
+                let v = it.next().ok_or("--inject needs a value")?;
+                let plan = FaultPlan::parse(&v)?;
+                fault::install(plan)?;
+            }
             "--list" => list = true,
             "--help" | "-h" => {
                 println!(
                     "usage: specfetch-repro [--experiment <id>|all] [--instrs N] \
                      [--format plain|markdown|csv] [--sequential] [--no-trace-cache] \
-                     [--no-predict-cache] [--list]"
+                     [--no-predict-cache] [--trace-dir <dir>] [--inject <spec>] [--list]"
                 );
                 println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
                 println!("extras:      extras {}", EXTRA_EXPERIMENT_IDS.join(" "));
+                println!(
+                    "inject spec: point=<experiment>:<n>,<panic|err|slow> or \
+                     chaos=<permille>@<seed>,<action>; ';'-separated"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -74,7 +100,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
 
@@ -91,18 +117,41 @@ fn main() -> ExitCode {
         other => vec![other],
     };
 
+    // Reject unknown ids up front — a typo should fail fast, not after
+    // an hour of simulation.
+    if let Some(bad) = ids.iter().find(|id| !is_known_experiment(id)) {
+        eprintln!("error: unknown experiment {bad:?}");
+        eprintln!("valid ids: all extras {}", EXPERIMENT_IDS.join(" "));
+        eprintln!("           {}", EXTRA_EXPERIMENT_IDS.join(" "));
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    // Failures no longer stop the run: every experiment executes, failed
+    // grid points render as FAILED(...) cells, and the exit code
+    // summarises at the end.
+    let mut failed_cells = 0usize;
+    let mut failed_experiments = 0usize;
     for id in ids {
         let started = std::time::Instant::now();
         match run_experiment(id, &args.opts) {
             Ok(report) => {
+                failed_cells += report.failed_cells();
                 println!("{}", report.render(args.format));
                 eprintln!("[{id} done in {:.1}s]\n", started.elapsed().as_secs_f64());
             }
             Err(e) => {
+                failed_experiments += 1;
                 eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("[{id} FAILED in {:.1}s]\n", started.elapsed().as_secs_f64());
             }
         }
+    }
+    if failed_cells > 0 || failed_experiments > 0 {
+        eprintln!(
+            "specfetch-repro: {failed_cells} failed cell(s), \
+             {failed_experiments} failed experiment(s)"
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

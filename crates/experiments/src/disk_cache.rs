@@ -1,0 +1,287 @@
+//! Self-healing on-disk cache of benchmark recordings.
+//!
+//! Recording a multi-million-instruction window from the synthetic model
+//! is the most expensive cold step of a run; `--trace-dir <dir>` persists
+//! each recording as a checksummed `.sftb` file
+//! (`<dir>/<bench>-<instrs>.sftb`) so later processes replay it straight
+//! from disk.
+//!
+//! A cache must never be able to wedge the run it accelerates. Every load
+//! is verified end to end — SFTB magic, format version, FNV-1a footer
+//! checksum, and the replayed instruction count — and any failure
+//! **self-heals**: the bad file is quarantined (renamed to
+//! `*.quarantined` for post-mortems), a warning goes to stderr, and the
+//! recording is regenerated from the synthetic model and rewritten. A
+//! corrupt or truncated cache file therefore costs one warning and one
+//! re-record, never a failed grid cell.
+//!
+//! Failure to *write* the cache (read-only directory, disk full) is also
+//! only a warning: persistence is an optimisation, and the in-memory
+//! recording is already in hand.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+use specfetch_core::SpecfetchError;
+use specfetch_synth::suite::Benchmark;
+use specfetch_trace::{read_trace_binary, write_trace_binary, RecordedTrace, Trace};
+
+use crate::trace_cache::record_fresh;
+
+static DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Enables the on-disk cache, rooted at `dir` (created on first store).
+/// Called once by the CLI (`--trace-dir`) before any experiment runs.
+///
+/// # Errors
+///
+/// Returns an error if a cache directory is already configured.
+pub fn set_dir(dir: PathBuf) -> Result<(), String> {
+    DIR.set(dir).map_err(|d| format!("trace cache directory already set to {}", d.display()))
+}
+
+fn cache_path(dir: &Path, bench: &str, instrs: u64) -> PathBuf {
+    dir.join(format!("{bench}-{instrs}.sftb"))
+}
+
+/// The recording of `bench` capped at `instrs`: from the on-disk cache
+/// when configured and intact, regenerated (and re-persisted) otherwise.
+pub(crate) fn load_or_record(
+    bench: &Benchmark,
+    instrs: u64,
+) -> Result<Arc<RecordedTrace>, SpecfetchError> {
+    let Some(dir) = DIR.get() else { return record_fresh(bench, instrs) };
+    load_or_record_in(dir, bench, instrs)
+}
+
+/// [`load_or_record`] with an explicit root, so tests drive the disk
+/// paths without touching the process-wide configuration.
+fn load_or_record_in(
+    dir: &Path,
+    bench: &Benchmark,
+    instrs: u64,
+) -> Result<Arc<RecordedTrace>, SpecfetchError> {
+    let path = cache_path(dir, bench.name, instrs);
+    if path.exists() {
+        match load(&path, instrs) {
+            Ok(rec) => return Ok(rec),
+            Err(e) => quarantine(&path, &e.to_string()),
+        }
+    }
+    let rec = record_fresh(bench, instrs)?;
+    if let Err(e) = store(&path, &rec) {
+        eprintln!(
+            "specfetch: warning: could not persist trace cache {}: {e} (continuing uncached)",
+            path.display()
+        );
+    }
+    Ok(rec)
+}
+
+/// Reads and fully verifies one cache file. Any structural problem —
+/// unreadable file, bad header, checksum mismatch, or a replay shorter
+/// than the window it claims to cover — is a [`SpecfetchError::CorruptTrace`].
+fn load(path: &Path, instrs: u64) -> Result<Arc<RecordedTrace>, SpecfetchError> {
+    let file = File::open(path).map_err(|source| SpecfetchError::Io {
+        context: format!("opening trace cache {}", path.display()),
+        source,
+    })?;
+    let trace = read_trace_binary(BufReader::new(file)).map_err(|e| {
+        SpecfetchError::CorruptTrace { path: path.to_path_buf(), detail: e.to_string() }
+    })?;
+    let mut source = trace.into_source();
+    let rec = RecordedTrace::record(&mut source, instrs);
+    if rec.len() as u64 != instrs {
+        return Err(SpecfetchError::CorruptTrace {
+            path: path.to_path_buf(),
+            detail: format!("replays {} instructions, expected {instrs}", rec.len()),
+        });
+    }
+    Ok(Arc::new(rec))
+}
+
+/// Persists a recording as a checksummed SFTB file.
+fn store(path: &Path, rec: &Arc<RecordedTrace>) -> Result<(), SpecfetchError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|source| SpecfetchError::Io {
+            context: format!("creating trace cache directory {}", parent.display()),
+            source,
+        })?;
+    }
+    let trace = Trace::record(&mut RecordedTrace::source(rec), u64::MAX);
+    let file = File::create(path).map_err(|source| SpecfetchError::Io {
+        context: format!("creating trace cache {}", path.display()),
+        source,
+    })?;
+    let mut w = BufWriter::new(file);
+    write_trace_binary(&trace, &mut w).map_err(|e| SpecfetchError::CorruptTrace {
+        path: path.to_path_buf(),
+        detail: format!("while writing: {e}"),
+    })
+}
+
+/// Moves a bad cache file out of the way (to `<file>.quarantined`) so the
+/// caller can regenerate, keeping the corpse for post-mortems.
+fn quarantine(path: &Path, detail: &str) {
+    let parked = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".quarantined");
+        PathBuf::from(os)
+    };
+    let outcome = match std::fs::rename(path, &parked) {
+        Ok(()) => format!("quarantined to {}", parked.display()),
+        // Rename can fail across filesystems or on permissions; removal
+        // is enough to unblock regeneration.
+        Err(_) => match std::fs::remove_file(path) {
+            Ok(()) => "removed".to_owned(),
+            Err(e) => format!("could not be moved aside ({e})"),
+        },
+    };
+    eprintln!(
+        "specfetch: warning: trace cache {} failed verification ({detail}); {outcome}; \
+         regenerating from the synthetic model",
+        path.display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfetch_trace::PathSource;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique per-test scratch directory under the system temp dir
+    /// (std-only; no tempfile crate).
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("specfetch-disk-cache-{}-{tag}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn assert_same_stream(a: &Arc<RecordedTrace>, b: &Arc<RecordedTrace>) {
+        let mut x = RecordedTrace::source(a);
+        let mut y = RecordedTrace::source(b);
+        loop {
+            let (i, j) = (x.next_instr(), y.next_instr());
+            assert_eq!(i, j);
+            if i.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cold_miss_records_and_persists() {
+        let dir = scratch("cold");
+        let b = Benchmark::by_name("li").unwrap();
+        let rec = load_or_record_in(&dir, b, 2_000).unwrap();
+        assert_eq!(rec.len(), 2_000);
+        assert!(cache_path(&dir, "li", 2_000).exists(), "cold miss must write the cache file");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_hit_replays_the_persisted_file() {
+        let dir = scratch("warm");
+        let b = Benchmark::by_name("tex").unwrap();
+        let first = load_or_record_in(&dir, b, 1_500).unwrap();
+        let again = load_or_record_in(&dir, b, 1_500).unwrap();
+        assert!(!Arc::ptr_eq(&first, &again), "second call must come from disk, not memory");
+        assert_same_stream(&first, &again);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_quarantined_and_regenerated() {
+        let dir = scratch("trunc");
+        let b = Benchmark::by_name("groff").unwrap();
+        let first = load_or_record_in(&dir, b, 1_000).unwrap();
+
+        let path = cache_path(&dir, "groff", 1_000);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let healed = load_or_record_in(&dir, b, 1_000).unwrap();
+        assert_same_stream(&first, &healed);
+        let parked = {
+            let mut os = path.as_os_str().to_owned();
+            os.push(".quarantined");
+            PathBuf::from(os)
+        };
+        assert!(parked.exists(), "the bad file must be kept for post-mortems");
+        assert_eq!(
+            std::fs::read(&parked).unwrap().len(),
+            bytes.len() / 2,
+            "quarantine preserves the corrupt bytes"
+        );
+        assert!(path.exists(), "regeneration must rewrite the cache file");
+        let rewritten = load(&path, 1_000).unwrap();
+        assert_same_stream(&first, &rewritten);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_is_caught_by_the_checksum_and_healed() {
+        let dir = scratch("flip");
+        let b = Benchmark::by_name("idl").unwrap();
+        let first = load_or_record_in(&dir, b, 1_200).unwrap();
+
+        let path = cache_path(&dir, "idl", 1_200);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = load(&path, 1_200).unwrap_err();
+        assert!(
+            matches!(err, SpecfetchError::CorruptTrace { .. }),
+            "flipped byte must surface as corruption, got: {err}"
+        );
+
+        let healed = load_or_record_in(&dir, b, 1_200).unwrap();
+        assert_same_stream(&first, &healed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_window_length_is_corruption() {
+        let dir = scratch("len");
+        let b = Benchmark::by_name("cfront").unwrap();
+        load_or_record_in(&dir, b, 800).unwrap();
+
+        // A file valid for an 800-instruction window, presented as 900:
+        // structurally perfect, but it cannot cover the claimed window.
+        let short = cache_path(&dir, "cfront", 800);
+        let long = cache_path(&dir, "cfront", 900);
+        std::fs::copy(&short, &long).unwrap();
+        let err = load(&long, 900).unwrap_err();
+        assert!(
+            matches!(&err, SpecfetchError::CorruptTrace { detail, .. } if detail.contains("expected 900")),
+            "length mismatch must surface as corruption, got: {err}"
+        );
+
+        // And the composite path heals it into a correct 900 recording.
+        let healed = load_or_record_in(&dir, b, 900).unwrap();
+        assert_eq!(healed.len(), 900);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unpersistable_cache_still_returns_the_recording() {
+        // A file where the directory should be: create_dir_all fails, the
+        // store is skipped with a warning, and the recording still comes
+        // back usable.
+        let dir = scratch("rofs");
+        let blocking = dir.join("blocked");
+        std::fs::write(&blocking, b"not a directory").unwrap();
+        let b = Benchmark::by_name("ditroff").unwrap();
+        let rec = load_or_record_in(&blocking.join("sub"), b, 600).unwrap();
+        assert_eq!(rec.len(), 600);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

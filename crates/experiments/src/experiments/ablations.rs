@@ -6,11 +6,11 @@
 //! set-associative caches it leaves unexplored.
 
 use specfetch_bpred::{BtbCoupling, DirectionKind, GhrUpdate, PhtTrain};
-use specfetch_core::FetchPolicy;
+use specfetch_core::{FetchPolicy, SpecfetchError};
 use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::baseline;
-use crate::runner::{mean, simulate_benchmark};
+use crate::runner::{isolated_map, mean, simulate_benchmark, try_simulate_benchmark};
 use crate::{par_map, ExperimentReport, RunOptions, Table};
 
 // ---------------------------------------------------------------------------
@@ -32,38 +32,47 @@ pub struct PrefetchRow {
     pub traffic: [u64; 5],
 }
 
+/// One benchmark's prefetch-variant sweep, with trace failures typed.
+fn try_prefetch_row(
+    b: &'static Benchmark,
+    opts: RunOptions,
+) -> Result<PrefetchRow, SpecfetchError> {
+    let mut ispi = [0.0; 5];
+    let mut traffic = [0u64; 5];
+    for (i, &(next, target, stream)) in [
+        (false, false, false),
+        (true, false, false),
+        (false, true, false),
+        (true, true, false),
+        (false, false, true),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut cfg = baseline(FetchPolicy::Resume);
+        cfg.prefetch = next;
+        cfg.target_prefetch = target;
+        cfg.stream_buffer = stream;
+        let r = try_simulate_benchmark(b, cfg, opts)?;
+        ispi[i] = r.ispi();
+        traffic[i] = r.total_traffic();
+    }
+    Ok(PrefetchRow { benchmark: b, ispi, traffic })
+}
+
 /// Gathers the prefetch-variant sweep.
 pub fn prefetch_data(opts: &RunOptions) -> Vec<PrefetchRow> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
     let opts = *opts;
     par_map(benches, opts.parallel, |b| {
-        let mut ispi = [0.0; 5];
-        let mut traffic = [0u64; 5];
-        for (i, &(next, target, stream)) in [
-            (false, false, false),
-            (true, false, false),
-            (false, true, false),
-            (true, true, false),
-            (false, false, true),
-        ]
-        .iter()
-        .enumerate()
-        {
-            let mut cfg = baseline(FetchPolicy::Resume);
-            cfg.prefetch = next;
-            cfg.target_prefetch = target;
-            cfg.stream_buffer = stream;
-            let r = simulate_benchmark(b, cfg, opts);
-            ispi[i] = r.ispi();
-            traffic[i] = r.total_traffic();
-        }
-        PrefetchRow { benchmark: b, ispi, traffic }
+        try_prefetch_row(b, opts).unwrap_or_else(|e| panic!("sweeping {}: {e}", b.name))
     })
 }
 
 /// Renders the prefetch-variant report.
 pub fn run_prefetch(opts: &RunOptions) -> ExperimentReport {
-    let rows = prefetch_data(opts);
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let rows = isolated_map(benches.clone(), opts, |b| try_prefetch_row(b, *opts));
     let mut table = Table::new([
         "bench",
         "none",
@@ -73,27 +82,28 @@ pub fn run_prefetch(opts: &RunOptions) -> ExperimentReport {
         "stream",
         "traffic x (nl/t/both/sb)",
     ]);
-    for r in &rows {
-        let base = r.traffic[0].max(1) as f64;
-        table.row(vec![
-            r.benchmark.name.to_owned(),
-            format!("{:.3}", r.ispi[0]),
-            format!("{:.3}", r.ispi[1]),
-            format!("{:.3}", r.ispi[2]),
-            format!("{:.3}", r.ispi[3]),
-            format!("{:.3}", r.ispi[4]),
-            format!(
-                "{:.2}/{:.2}/{:.2}/{:.2}",
-                r.traffic[1] as f64 / base,
-                r.traffic[2] as f64 / base,
-                r.traffic[3] as f64 / base,
-                r.traffic[4] as f64 / base
-            ),
-        ]);
+    for (b, row) in benches.iter().zip(&rows) {
+        let mut cells = vec![b.name.to_owned()];
+        match row {
+            Ok(r) => {
+                let base = r.traffic[0].max(1) as f64;
+                cells.extend(r.ispi.iter().map(|i| format!("{i:.3}")));
+                cells.push(format!(
+                    "{:.2}/{:.2}/{:.2}/{:.2}",
+                    r.traffic[1] as f64 / base,
+                    r.traffic[2] as f64 / base,
+                    r.traffic[3] as f64 / base,
+                    r.traffic[4] as f64 / base
+                ));
+            }
+            Err(e) => cells.extend((0..6).map(|_| e.cell())),
+        }
+        table.row(cells);
     }
+    let ok = |i: usize| mean(rows.iter().filter_map(|r| r.as_ref().ok()).map(|r| r.ispi[i]));
     let mut avg = vec!["Average".to_owned()];
     for i in 0..5 {
-        avg.push(format!("{:.3}", mean(rows.iter().map(|r| r.ispi[i]))));
+        avg.push(format!("{:.3}", ok(i)));
     }
     avg.push("-".into());
     table.row(avg);
@@ -132,51 +142,63 @@ pub struct BpredRow {
     pub accuracy: [f64; 6],
 }
 
+/// One benchmark's branch-architecture sweep, with trace failures typed.
+fn try_bpred_row(b: &'static Benchmark, opts: RunOptions) -> Result<BpredRow, SpecfetchError> {
+    let mut ispi = [0.0; 6];
+    let mut accuracy = [0.0; 6];
+    for (i, variant) in BPRED_VARIANTS.iter().enumerate() {
+        let mut cfg = baseline(FetchPolicy::Resume);
+        match *variant {
+            "paper" => {}
+            "coupled-btb" => cfg.bpred.coupling = BtbCoupling::Coupled,
+            "bimodal" => cfg.bpred.direction = DirectionKind::Bimodal,
+            "static-nt" => cfg.bpred.direction = DirectionKind::StaticNotTaken,
+            "spec-ghr" => cfg.bpred.ghr_update = GhrUpdate::Speculative,
+            "resolve-idx" => cfg.bpred.pht_train = PhtTrain::ResolveIndex,
+            other => unreachable!("unknown variant {other}"),
+        }
+        let r = try_simulate_benchmark(b, cfg, opts)?;
+        ispi[i] = r.ispi();
+        accuracy[i] = r.bpred.cond_accuracy();
+    }
+    Ok(BpredRow { benchmark: b, ispi, accuracy })
+}
+
 /// Gathers the branch-architecture sweep (Resume policy).
 pub fn bpred_data(opts: &RunOptions) -> Vec<BpredRow> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
     let opts = *opts;
     par_map(benches, opts.parallel, |b| {
-        let mut ispi = [0.0; 6];
-        let mut accuracy = [0.0; 6];
-        for (i, variant) in BPRED_VARIANTS.iter().enumerate() {
-            let mut cfg = baseline(FetchPolicy::Resume);
-            match *variant {
-                "paper" => {}
-                "coupled-btb" => cfg.bpred.coupling = BtbCoupling::Coupled,
-                "bimodal" => cfg.bpred.direction = DirectionKind::Bimodal,
-                "static-nt" => cfg.bpred.direction = DirectionKind::StaticNotTaken,
-                "spec-ghr" => cfg.bpred.ghr_update = GhrUpdate::Speculative,
-                "resolve-idx" => cfg.bpred.pht_train = PhtTrain::ResolveIndex,
-                other => unreachable!("unknown variant {other}"),
-            }
-            let r = simulate_benchmark(b, cfg, opts);
-            ispi[i] = r.ispi();
-            accuracy[i] = r.bpred.cond_accuracy();
-        }
-        BpredRow { benchmark: b, ispi, accuracy }
+        try_bpred_row(b, opts).unwrap_or_else(|e| panic!("sweeping {}: {e}", b.name))
     })
 }
 
 /// Renders the branch-architecture report.
 pub fn run_bpred(opts: &RunOptions) -> ExperimentReport {
-    let rows = bpred_data(opts);
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let rows = isolated_map(benches.clone(), opts, |b| try_bpred_row(b, *opts));
     let mut headers = vec!["bench".to_owned()];
     headers.extend(BPRED_VARIANTS.iter().map(|v| format!("{v} (acc%)")));
     let mut table = Table::new(headers);
-    for r in &rows {
-        let mut cells = vec![r.benchmark.name.to_owned()];
-        for i in 0..BPRED_VARIANTS.len() {
-            cells.push(format!("{:.3} ({:.1})", r.ispi[i], 100.0 * r.accuracy[i]));
+    for (b, row) in benches.iter().zip(&rows) {
+        let mut cells = vec![b.name.to_owned()];
+        match row {
+            Ok(r) => {
+                for i in 0..BPRED_VARIANTS.len() {
+                    cells.push(format!("{:.3} ({:.1})", r.ispi[i], 100.0 * r.accuracy[i]));
+                }
+            }
+            Err(e) => cells.extend((0..BPRED_VARIANTS.len()).map(|_| e.cell())),
         }
         table.row(cells);
     }
+    let ok_rows = || rows.iter().filter_map(|r| r.as_ref().ok());
     let mut avg = vec!["Average".to_owned()];
     for i in 0..BPRED_VARIANTS.len() {
         avg.push(format!(
             "{:.3} ({:.1})",
-            mean(rows.iter().map(|r| r.ispi[i])),
-            100.0 * mean(rows.iter().map(|r| r.accuracy[i]))
+            mean(ok_rows().map(|r| r.ispi[i])),
+            100.0 * mean(ok_rows().map(|r| r.accuracy[i]))
         ));
     }
     table.row(avg);
@@ -213,42 +235,49 @@ pub struct AssocRow {
     pub ispi: [f64; 3],
 }
 
+/// One benchmark's associativity sweep, with trace failures typed.
+fn try_assoc_row(b: &'static Benchmark, opts: RunOptions) -> Result<AssocRow, SpecfetchError> {
+    let mut miss = [0.0; 3];
+    let mut ispi = [0.0; 3];
+    for (i, assoc) in ASSOCIATIVITIES.into_iter().enumerate() {
+        let mut cfg = baseline(FetchPolicy::Resume);
+        cfg.icache.assoc = assoc;
+        let r = try_simulate_benchmark(b, cfg, opts)?;
+        miss[i] = r.miss_rate_pct();
+        ispi[i] = r.ispi();
+    }
+    Ok(AssocRow { benchmark: b, miss, ispi })
+}
+
 /// Gathers the associativity sweep.
 pub fn assoc_data(opts: &RunOptions) -> Vec<AssocRow> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
     let opts = *opts;
     par_map(benches, opts.parallel, |b| {
-        let mut miss = [0.0; 3];
-        let mut ispi = [0.0; 3];
-        for (i, assoc) in ASSOCIATIVITIES.into_iter().enumerate() {
-            let mut cfg = baseline(FetchPolicy::Resume);
-            cfg.icache.assoc = assoc;
-            let r = simulate_benchmark(b, cfg, opts);
-            miss[i] = r.miss_rate_pct();
-            ispi[i] = r.ispi();
-        }
-        AssocRow { benchmark: b, miss, ispi }
+        try_assoc_row(b, opts).unwrap_or_else(|e| panic!("sweeping {}: {e}", b.name))
     })
 }
 
 /// Renders the associativity report.
 pub fn run_assoc(opts: &RunOptions) -> ExperimentReport {
-    let rows = assoc_data(opts);
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let rows = isolated_map(benches.clone(), opts, |b| try_assoc_row(b, *opts));
     let mut table = Table::new(["bench", "DM miss%/ISPI", "2-way miss%/ISPI", "4-way miss%/ISPI"]);
-    for r in &rows {
-        table.row(vec![
-            r.benchmark.name.to_owned(),
-            format!("{:.2}/{:.3}", r.miss[0], r.ispi[0]),
-            format!("{:.2}/{:.3}", r.miss[1], r.ispi[1]),
-            format!("{:.2}/{:.3}", r.miss[2], r.ispi[2]),
-        ]);
+    for (b, row) in benches.iter().zip(&rows) {
+        let mut cells = vec![b.name.to_owned()];
+        match row {
+            Ok(r) => cells.extend((0..3).map(|i| format!("{:.2}/{:.3}", r.miss[i], r.ispi[i]))),
+            Err(e) => cells.extend((0..3).map(|_| e.cell())),
+        }
+        table.row(cells);
     }
+    let ok_rows = || rows.iter().filter_map(|r| r.as_ref().ok());
     let mut avg = vec!["Average".to_owned()];
     for i in 0..3 {
         avg.push(format!(
             "{:.2}/{:.3}",
-            mean(rows.iter().map(|r| r.miss[i])),
-            mean(rows.iter().map(|r| r.ispi[i]))
+            mean(ok_rows().map(|r| r.miss[i])),
+            mean(ok_rows().map(|r| r.ispi[i]))
         ));
     }
     table.row(avg);
@@ -291,39 +320,48 @@ pub struct PenaltyRow {
 pub fn penalty_data(opts: &RunOptions) -> Vec<PenaltyRow> {
     let opts = *opts;
     let work: Vec<u64> = PENALTIES.to_vec();
-    par_map(work, opts.parallel, |penalty| {
-        let avg = |cfg_of: &dyn Fn() -> specfetch_core::SimConfig| {
-            mean(Benchmark::all().iter().map(|b| {
-                let mut cfg = cfg_of();
-                cfg.miss_penalty = penalty;
-                simulate_benchmark(b, cfg, opts).ispi()
-            }))
-        };
-        PenaltyRow {
-            penalty,
-            resume: avg(&|| baseline(FetchPolicy::Resume)),
-            pessimistic: avg(&|| baseline(FetchPolicy::Pessimistic)),
-            resume_pref: avg(&|| {
-                let mut c = baseline(FetchPolicy::Resume);
-                c.prefetch = true;
-                c
-            }),
-        }
-    })
+    par_map(work, opts.parallel, |penalty| penalty_row(penalty, opts))
+}
+
+/// One penalty point: suite averages for the three configurations. Uses
+/// the panicking simulator; the isolated report path captures panics per
+/// row.
+fn penalty_row(penalty: u64, opts: RunOptions) -> PenaltyRow {
+    let avg = |cfg_of: &dyn Fn() -> specfetch_core::SimConfig| {
+        mean(Benchmark::all().iter().map(|b| {
+            let mut cfg = cfg_of();
+            cfg.miss_penalty = penalty;
+            simulate_benchmark(b, cfg, opts).ispi()
+        }))
+    };
+    PenaltyRow {
+        penalty,
+        resume: avg(&|| baseline(FetchPolicy::Resume)),
+        pessimistic: avg(&|| baseline(FetchPolicy::Pessimistic)),
+        resume_pref: avg(&|| {
+            let mut c = baseline(FetchPolicy::Resume);
+            c.prefetch = true;
+            c
+        }),
+    }
 }
 
 /// Renders the penalty-sweep report.
 pub fn run_penalty(opts: &RunOptions) -> ExperimentReport {
-    let rows = penalty_data(opts);
+    let rows = isolated_map(PENALTIES.to_vec(), opts, |penalty| Ok(penalty_row(penalty, *opts)));
     let mut table = Table::new(["penalty", "Resume", "Pessimistic", "Pess/Res", "Resume+Pref"]);
-    for r in &rows {
-        table.row(vec![
-            r.penalty.to_string(),
-            format!("{:.3}", r.resume),
-            format!("{:.3}", r.pessimistic),
-            format!("{:.2}", r.pessimistic / r.resume.max(1e-9)),
-            format!("{:.3}", r.resume_pref),
-        ]);
+    for (penalty, row) in PENALTIES.into_iter().zip(&rows) {
+        let mut cells = vec![penalty.to_string()];
+        match row {
+            Ok(r) => cells.extend([
+                format!("{:.3}", r.resume),
+                format!("{:.3}", r.pessimistic),
+                format!("{:.2}", r.pessimistic / r.resume.max(1e-9)),
+                format!("{:.3}", r.resume_pref),
+            ]),
+            Err(e) => cells.extend((0..4).map(|_| e.cell())),
+        }
+        table.row(cells);
     }
     ExperimentReport {
         id: "ablation-penalty",
@@ -362,31 +400,38 @@ pub struct BusRow {
 /// hurting)?
 pub fn bus_data(opts: &RunOptions) -> Vec<BusRow> {
     let opts = *opts;
-    par_map(BUS_SLOTS.to_vec(), opts.parallel, |slots| {
-        let avg = |prefetch: bool| {
-            mean(Benchmark::all().iter().map(|b| {
-                let mut cfg = baseline(FetchPolicy::Resume);
-                cfg.miss_penalty = 20;
-                cfg.bus_slots = slots;
-                cfg.prefetch = prefetch;
-                simulate_benchmark(b, cfg, opts).ispi()
-            }))
-        };
-        BusRow { slots, plain: avg(false), prefetch: avg(true) }
-    })
+    par_map(BUS_SLOTS.to_vec(), opts.parallel, |slots| bus_row(slots, opts))
+}
+
+/// One bus configuration: suite averages with and without prefetching.
+fn bus_row(slots: usize, opts: RunOptions) -> BusRow {
+    let avg = |prefetch: bool| {
+        mean(Benchmark::all().iter().map(|b| {
+            let mut cfg = baseline(FetchPolicy::Resume);
+            cfg.miss_penalty = 20;
+            cfg.bus_slots = slots;
+            cfg.prefetch = prefetch;
+            simulate_benchmark(b, cfg, opts).ispi()
+        }))
+    };
+    BusRow { slots, plain: avg(false), prefetch: avg(true) }
 }
 
 /// Renders the pipelined-bus report.
 pub fn run_bus(opts: &RunOptions) -> ExperimentReport {
-    let rows = bus_data(opts);
+    let rows = isolated_map(BUS_SLOTS.to_vec(), opts, |slots| Ok(bus_row(slots, *opts)));
     let mut table = Table::new(["bus slots", "Resume", "Resume+Pref", "prefetch gain%"]);
-    for r in &rows {
-        table.row(vec![
-            r.slots.to_string(),
-            format!("{:.3}", r.plain),
-            format!("{:.3}", r.prefetch),
-            format!("{:.1}", 100.0 * (r.plain - r.prefetch) / r.plain.max(1e-9)),
-        ]);
+    for (slots, row) in BUS_SLOTS.into_iter().zip(&rows) {
+        let mut cells = vec![slots.to_string()];
+        match row {
+            Ok(r) => cells.extend([
+                format!("{:.3}", r.plain),
+                format!("{:.3}", r.prefetch),
+                format!("{:.1}", 100.0 * (r.plain - r.prefetch) / r.plain.max(1e-9)),
+            ]),
+            Err(e) => cells.extend((0..3).map(|_| e.cell())),
+        }
+        table.row(cells);
     }
     ExperimentReport {
         id: "ablation-bus",

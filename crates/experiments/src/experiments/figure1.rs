@@ -1,11 +1,11 @@
 //! Paper Figure 1: ISPI penalty breakdown per policy, baseline machine.
 
-use specfetch_core::{FetchPolicy, SimConfig, SimResult};
+use specfetch_core::{FetchPolicy, SimConfig};
 use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::baseline;
 use crate::paper::FIGURE_BENCHMARKS;
-use crate::runner::{run_grid, GridPoint};
+use crate::runner::{try_run_grid, GridCell, GridPoint};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// One bar of the figure: a `(benchmark, policy)` breakdown.
@@ -15,8 +15,9 @@ pub struct Bar {
     pub benchmark: &'static Benchmark,
     /// The policy.
     pub policy: FetchPolicy,
-    /// The full run result (components are read from `result.lost`).
-    pub result: SimResult,
+    /// The full run result (components are read from `result.lost`), or
+    /// the failure of this bar's grid point.
+    pub result: GridCell,
 }
 
 /// Collects the figure's bars for an arbitrary config generator (shared
@@ -31,7 +32,7 @@ pub(crate) fn bars(opts: &RunOptions, cfg_for: impl Fn(FetchPolicy) -> SimConfig
             points.push(GridPoint::new(b, cfg_for(policy)));
         }
     }
-    run_grid(&points, opts)
+    try_run_grid(&points, opts)
         .into_iter()
         .zip(keys)
         .map(|(result, (benchmark, policy))| Bar { benchmark, policy, result })
@@ -57,19 +58,23 @@ pub(crate) fn breakdown_report(
         "total ISPI",
     ]);
     for bar in bars {
-        let r = &bar.result;
-        let c = |slots: u64| format!("{:.3}", r.ispi_component(slots));
-        table.row(vec![
-            bar.benchmark.name.to_owned(),
-            bar.policy.short_name().to_owned(),
-            c(r.lost.branch_full),
-            c(r.lost.branch),
-            c(r.lost.force_resolve),
-            c(r.lost.rt_icache),
-            c(r.lost.wrong_icache),
-            c(r.lost.bus),
-            format!("{:.3}", r.ispi()),
-        ]);
+        let head = [bar.benchmark.name.to_owned(), bar.policy.short_name().to_owned()];
+        let row = match &bar.result {
+            Ok(r) => {
+                let c = |slots: u64| format!("{:.3}", r.ispi_component(slots));
+                [
+                    c(r.lost.branch_full),
+                    c(r.lost.branch),
+                    c(r.lost.force_resolve),
+                    c(r.lost.rt_icache),
+                    c(r.lost.wrong_icache),
+                    c(r.lost.bus),
+                    format!("{:.3}", r.ispi()),
+                ]
+            }
+            Err(e) => std::array::from_fn(|_| e.cell()),
+        };
+        table.row(head.into_iter().chain(row));
     }
     ExperimentReport { id, title, table, notes }
 }
@@ -104,7 +109,7 @@ mod tests {
     #[test]
     fn components_respect_policy_structure() {
         for bar in data(&opts()) {
-            let l = &bar.result.lost;
+            let l = &bar.result.as_ref().unwrap().lost;
             match bar.policy {
                 FetchPolicy::Oracle => {
                     assert_eq!(l.force_resolve, 0);
@@ -137,7 +142,7 @@ mod tests {
             let ispi = |p: FetchPolicy| {
                 bars.iter()
                     .find(|b| b.benchmark.name == name && b.policy == p)
-                    .map(|b| b.result.ispi())
+                    .map(|b| b.result.as_ref().unwrap().ispi())
                     .expect("bar exists")
             };
             assert!(

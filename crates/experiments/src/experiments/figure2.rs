@@ -45,7 +45,7 @@ mod tests {
             mean(
                 bars.iter()
                     .filter(|b| b.policy == policy && b.benchmark.name != "doduc")
-                    .map(|b| b.result.ispi()),
+                    .map(|b| b.result.as_ref().unwrap().ispi()),
             )
         };
         let opt = avg(FetchPolicy::Optimistic);
@@ -63,7 +63,7 @@ mod tests {
         let sum = |bars: &[Bar]| -> u64 {
             bars.iter()
                 .filter(|b| b.policy == FetchPolicy::Optimistic)
-                .map(|b| b.result.lost.wrong_icache)
+                .map(|b| b.result.as_ref().unwrap().lost.wrong_icache)
                 .sum()
         };
         assert!(sum(&large) > sum(&small));

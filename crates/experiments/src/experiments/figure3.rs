@@ -1,11 +1,11 @@
 //! Paper Figure 3: next-line prefetching at the baseline penalty.
 
-use specfetch_core::{FetchPolicy, SimConfig, SimResult};
+use specfetch_core::{FetchPolicy, SimConfig};
 use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::baseline;
 use crate::paper::FIGURE_BENCHMARKS;
-use crate::runner::{run_grid, GridPoint};
+use crate::runner::{try_run_grid, GridCell, GridPoint};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// The three policies the paper's prefetch figures compare.
@@ -21,8 +21,8 @@ pub struct Bar {
     pub policy: FetchPolicy,
     /// Whether next-line prefetching was on.
     pub prefetch: bool,
-    /// The run result.
-    pub result: SimResult,
+    /// The run result, or the failure of this bar's grid point.
+    pub result: GridCell,
 }
 
 /// Collects prefetch-comparison bars for a config generator (shared with
@@ -42,7 +42,7 @@ pub(crate) fn bars(
             }
         }
     }
-    run_grid(&points, opts)
+    try_run_grid(&points, opts)
         .into_iter()
         .zip(keys)
         .map(|(result, (benchmark, policy, prefetch))| Bar { benchmark, policy, prefetch, result })
@@ -68,24 +68,28 @@ pub(crate) fn prefetch_report(
         "total ISPI",
     ]);
     for bar in bars {
-        let r = &bar.result;
-        let c = |slots: u64| format!("{:.3}", r.ispi_component(slots));
         let label = if bar.prefetch {
             format!("{}+Pref", bar.policy.short_name())
         } else {
             bar.policy.short_name().to_owned()
         };
-        table.row(vec![
-            bar.benchmark.name.to_owned(),
-            label,
-            c(r.lost.branch_full),
-            c(r.lost.branch),
-            c(r.lost.force_resolve),
-            c(r.lost.rt_icache),
-            c(r.lost.wrong_icache),
-            c(r.lost.bus),
-            format!("{:.3}", r.ispi()),
-        ]);
+        let head = [bar.benchmark.name.to_owned(), label];
+        let row = match &bar.result {
+            Ok(r) => {
+                let c = |slots: u64| format!("{:.3}", r.ispi_component(slots));
+                [
+                    c(r.lost.branch_full),
+                    c(r.lost.branch),
+                    c(r.lost.force_resolve),
+                    c(r.lost.rt_icache),
+                    c(r.lost.wrong_icache),
+                    c(r.lost.bus),
+                    format!("{:.3}", r.ispi()),
+                ]
+            }
+            Err(e) => std::array::from_fn(|_| e.cell()),
+        };
+        table.row(head.into_iter().chain(row));
     }
     ExperimentReport { id, title, table, notes }
 }
@@ -130,7 +134,7 @@ mod tests {
                 mean(
                     bars.iter()
                         .filter(|b| b.policy == policy && b.prefetch == pref)
-                        .map(|b| b.result.ispi()),
+                        .map(|b| b.result.as_ref().unwrap().ispi()),
                 )
             };
             assert!(
@@ -149,7 +153,7 @@ mod tests {
             mean(
                 bars.iter()
                     .filter(|b| b.policy == policy && b.prefetch == pref)
-                    .map(|b| b.result.ispi()),
+                    .map(|b| b.result.as_ref().unwrap().ispi()),
             )
         };
         let gap_plain = avg(FetchPolicy::Pessimistic, false) - avg(FetchPolicy::Resume, false);

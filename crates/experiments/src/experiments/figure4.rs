@@ -45,7 +45,7 @@ mod tests {
                 mean(
                     bars.iter()
                         .filter(|b| b.policy == policy && b.prefetch == pref)
-                        .map(|b| b.result.ispi()),
+                        .map(|b| b.result.as_ref().unwrap().ispi()),
                 )
             };
             (avg(false) - avg(true)) / avg(false).max(1e-9)
@@ -63,7 +63,8 @@ mod tests {
     #[test]
     fn bus_component_appears_under_prefetching() {
         let bars = data(&RunOptions::smoke().with_instrs(100_000));
-        let bus: u64 = bars.iter().filter(|b| b.prefetch).map(|b| b.result.lost.bus).sum();
+        let bus: u64 =
+            bars.iter().filter(|b| b.prefetch).map(|b| b.result.as_ref().unwrap().lost.bus).sum();
         assert!(bus > 0, "prefetching at long latency must cause bus waits");
     }
 }

@@ -12,7 +12,9 @@ pub mod table5;
 pub mod table6;
 pub mod table7;
 
-use specfetch_core::{FetchPolicy, SimConfig};
+use specfetch_core::{FetchPolicy, SimConfig, SimResult};
+
+use crate::runner::{GridCell, Measured};
 
 /// Baseline config of §5.1 for a given policy: 8K direct-mapped cache,
 /// 5-cycle penalty, depth 4, no prefetch.
@@ -25,4 +27,23 @@ pub(crate) fn baseline(policy: FetchPolicy) -> SimConfig {
 /// Formats "measured (paper)" cells.
 pub(crate) fn vs(measured: f64, paper: f64) -> String {
     format!("{measured:.2} ({paper:.2})")
+}
+
+/// Formats "measured (paper)" cells from an isolated measurement —
+/// `FAILED(<reason>)` when the backing grid point did not complete.
+pub(crate) fn vs_cell(measured: &Measured<f64>, paper: f64) -> String {
+    match measured {
+        Ok(v) => vs(*v, paper),
+        Err(f) => f.cell(),
+    }
+}
+
+/// Projects a quantity out of one isolated grid cell, propagating the
+/// cell's failure (so every column derived from a failed point renders
+/// `FAILED(...)`).
+pub(crate) fn measured<T>(cell: &GridCell, f: impl FnOnce(&SimResult) -> T) -> Measured<T> {
+    match cell {
+        Ok(r) => Ok(f(r)),
+        Err(e) => Err(e.clone()),
+    }
 }

@@ -1,9 +1,10 @@
 //! Paper Table 2: benchmark inventory and dynamic branch density.
 
+use specfetch_core::SpecfetchError;
 use specfetch_synth::suite::Benchmark;
 use specfetch_trace::{PathSource, TraceStats};
 
-use crate::runner::mean;
+use crate::runner::{isolated_map, mean};
 use crate::{par_map, ExperimentReport, RunOptions, Table};
 
 /// Measured workload characteristics for one benchmark.
@@ -13,6 +14,29 @@ pub struct Row {
     pub benchmark: &'static Benchmark,
     /// Dynamic path statistics over the simulated window.
     pub stats: TraceStats,
+    /// Static code footprint, kilobytes.
+    pub static_kb: u64,
+}
+
+/// Characterises one benchmark, reporting workload/trace failures as
+/// typed errors instead of panicking.
+fn try_row(b: &'static Benchmark, opts: RunOptions) -> Result<Row, SpecfetchError> {
+    let workload = |b: &Benchmark| {
+        b.workload().map_err(|e| SpecfetchError::Workload {
+            bench: b.name.to_owned(),
+            detail: e.to_string(),
+        })
+    };
+    let stats = if opts.share_traces {
+        let mut src = crate::trace_cache::try_recorded_source(b, opts.instrs_per_benchmark)?;
+        TraceStats::from_source(&mut src)
+    } else {
+        let w = workload(b)?;
+        let mut src = w.executor(b.path_seed()).take_instrs(opts.instrs_per_benchmark);
+        TraceStats::from_source(&mut src)
+    };
+    let static_kb = workload(b)?.program().footprint_bytes() / 1024;
+    Ok(Row { benchmark: b, stats, static_kb })
 }
 
 /// Gathers the measured rows (no timing simulation needed — Table 2 is
@@ -21,41 +45,50 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
     let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
     let opts = *opts;
     par_map(benches, opts.parallel, |b| {
-        let stats = if opts.share_traces {
-            let mut src = crate::trace_cache::recorded_source(b, opts.instrs_per_benchmark);
-            TraceStats::from_source(&mut src)
-        } else {
-            let w = b.workload().expect("calibrated specs generate");
-            let mut src = w.executor(b.path_seed()).take_instrs(opts.instrs_per_benchmark);
-            TraceStats::from_source(&mut src)
-        };
-        Row { benchmark: b, stats }
+        try_row(b, opts).unwrap_or_else(|e| panic!("characterising {}: {e}", b.name))
     })
 }
 
-/// Renders the report.
+/// Renders the report. Rows run isolated: a benchmark whose workload
+/// fails renders `FAILED(...)` in its measured columns while the static
+/// columns (language, paper density) and every other row still appear.
 pub fn run(opts: &RunOptions) -> ExperimentReport {
-    let rows = data(opts);
+    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    let rows = isolated_map(benches.clone(), opts, |b| try_row(b, *opts));
     let mut table =
         Table::new(["bench", "lang", "instrs", "%br", "%br paper", "taken%", "static KB"]);
-    for r in &rows {
-        let w = r.benchmark.workload().expect("generates");
-        table.row(vec![
-            r.benchmark.name.to_owned(),
-            r.benchmark.lang.to_string(),
-            r.stats.instrs.to_string(),
-            format!("{:.1}", r.stats.branch_pct()),
-            format!("{:.1}", r.benchmark.paper.branch_pct),
-            format!("{:.0}", 100.0 * r.stats.taken_ratio()),
-            (w.program().footprint_bytes() / 1024).to_string(),
-        ]);
+    for (b, row) in benches.iter().zip(&rows) {
+        let paper = format!("{:.1}", b.paper.branch_pct);
+        match row {
+            Ok(r) => table.row(vec![
+                b.name.to_owned(),
+                b.lang.to_string(),
+                r.stats.instrs.to_string(),
+                format!("{:.1}", r.stats.branch_pct()),
+                paper,
+                format!("{:.0}", 100.0 * r.stats.taken_ratio()),
+                r.static_kb.to_string(),
+            ]),
+            Err(e) => table.row(vec![
+                b.name.to_owned(),
+                b.lang.to_string(),
+                e.cell(),
+                e.cell(),
+                paper,
+                e.cell(),
+                e.cell(),
+            ]),
+        }
     }
     table.row(vec![
         "Average".into(),
         "-".into(),
         "-".into(),
-        format!("{:.1}", mean(rows.iter().map(|r| r.stats.branch_pct()))),
-        format!("{:.1}", mean(rows.iter().map(|r| r.benchmark.paper.branch_pct))),
+        format!(
+            "{:.1}",
+            mean(rows.iter().filter_map(|r| r.as_ref().ok()).map(|r| r.stats.branch_pct()))
+        ),
+        format!("{:.1}", mean(benches.iter().map(|b| b.paper.branch_pct))),
         "-".into(),
         "-".into(),
     ]);
@@ -79,6 +112,7 @@ mod tests {
         assert_eq!(rows.len(), 13);
         for r in &rows {
             assert_eq!(r.stats.instrs, RunOptions::smoke().instrs_per_benchmark);
+            assert!(r.static_kb > 0, "{}: zero footprint", r.benchmark.name);
             let measured = r.stats.branch_pct();
             let paper = r.benchmark.paper.branch_pct;
             assert!(

@@ -4,27 +4,28 @@ use specfetch_cache::CacheConfig;
 use specfetch_core::{FetchPolicy, SimResult};
 use specfetch_synth::suite::Benchmark;
 
-use crate::experiments::{baseline, vs};
-use crate::runner::{mean, run_grid, GridPoint};
+use crate::experiments::{baseline, measured, vs, vs_cell};
+use crate::runner::{mean_ok, try_run_grid, GridPoint, Measured};
 use crate::{ExperimentReport, RunOptions, Table};
 
-/// Measured Table 3 quantities for one benchmark.
+/// Measured Table 3 quantities for one benchmark. Each field carries the
+/// measurement or the failure of the grid point it derives from.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Row {
     /// The benchmark.
     pub benchmark: &'static Benchmark,
     /// 8K direct-mapped miss rate, percent.
-    pub miss_8k: f64,
+    pub miss_8k: Measured<f64>,
     /// 32K direct-mapped miss rate, percent.
-    pub miss_32k: f64,
+    pub miss_32k: Measured<f64>,
     /// PHT-mispredict ISPI at depth 1.
-    pub pht_b1: f64,
+    pub pht_b1: Measured<f64>,
     /// PHT-mispredict ISPI at depth 4.
-    pub pht_b4: f64,
+    pub pht_b4: Measured<f64>,
     /// BTB-misfetch ISPI (depth 4).
-    pub btb_misfetch: f64,
+    pub btb_misfetch: Measured<f64>,
     /// BTB target-mispredict ISPI (depth 4).
-    pub btb_mispredict: f64,
+    pub btb_mispredict: Measured<f64>,
 }
 
 fn pht_ispi(r: &SimResult) -> f64 {
@@ -45,7 +46,7 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
             points.push(GridPoint::new(b, cfg));
         }
     }
-    let results = run_grid(&points, opts);
+    let results = try_run_grid(&points, opts);
     benches
         .iter()
         .zip(results.chunks_exact(3))
@@ -53,12 +54,12 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
             let (d4, d1, k32) = (&runs[0], &runs[1], &runs[2]);
             Row {
                 benchmark: b,
-                miss_8k: d4.miss_rate_pct(),
-                miss_32k: k32.miss_rate_pct(),
-                pht_b1: pht_ispi(d1),
-                pht_b4: pht_ispi(d4),
-                btb_misfetch: d4.ispi_component(d4.btb_misfetch_slots),
-                btb_mispredict: d4.ispi_component(d4.btb_mispredict_slots),
+                miss_8k: measured(d4, SimResult::miss_rate_pct),
+                miss_32k: measured(k32, SimResult::miss_rate_pct),
+                pht_b1: measured(d1, pht_ispi),
+                pht_b4: measured(d4, pht_ispi),
+                btb_misfetch: measured(d4, |r| r.ispi_component(r.btb_misfetch_slots)),
+                btb_mispredict: measured(d4, |r| r.ispi_component(r.btb_mispredict_slots)),
             }
         })
         .collect()
@@ -80,22 +81,22 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
         let p = &r.benchmark.paper;
         table.row(vec![
             r.benchmark.name.to_owned(),
-            vs(r.miss_8k, p.miss_8k),
-            vs(r.miss_32k, p.miss_32k),
-            vs(r.pht_b1, p.pht_ispi_b1),
-            vs(r.pht_b4, p.pht_ispi_b4),
-            vs(r.btb_misfetch, p.btb_misfetch_ispi),
-            vs(r.btb_mispredict, p.btb_mispredict_ispi),
+            vs_cell(&r.miss_8k, p.miss_8k),
+            vs_cell(&r.miss_32k, p.miss_32k),
+            vs_cell(&r.pht_b1, p.pht_ispi_b1),
+            vs_cell(&r.pht_b4, p.pht_ispi_b4),
+            vs_cell(&r.btb_misfetch, p.btb_misfetch_ispi),
+            vs_cell(&r.btb_mispredict, p.btb_mispredict_ispi),
         ]);
     }
     table.row(vec![
         "Average".into(),
-        vs(mean(rows.iter().map(|r| r.miss_8k)), 3.70),
-        vs(mean(rows.iter().map(|r| r.miss_32k)), 0.97),
-        vs(mean(rows.iter().map(|r| r.pht_b1)), 0.32),
-        vs(mean(rows.iter().map(|r| r.pht_b4)), 0.45),
-        vs(mean(rows.iter().map(|r| r.btb_misfetch)), 0.18),
-        vs(mean(rows.iter().map(|r| r.btb_mispredict)), 0.03),
+        vs(mean_ok(rows.iter().map(|r| &r.miss_8k)), 3.70),
+        vs(mean_ok(rows.iter().map(|r| &r.miss_32k)), 0.97),
+        vs(mean_ok(rows.iter().map(|r| &r.pht_b1)), 0.32),
+        vs(mean_ok(rows.iter().map(|r| &r.pht_b4)), 0.45),
+        vs(mean_ok(rows.iter().map(|r| &r.btb_misfetch)), 0.18),
+        vs(mean_ok(rows.iter().map(|r| &r.btb_mispredict)), 0.03),
     ]);
     ExperimentReport {
         id: "table3",
@@ -125,8 +126,8 @@ mod tests {
     fn pht_does_not_improve_with_depth_on_average() {
         let opts = RunOptions::smoke().with_instrs(60_000);
         let rows = data(&opts);
-        let b1 = mean(rows.iter().map(|r| r.pht_b1));
-        let b4 = mean(rows.iter().map(|r| r.pht_b4));
+        let b1 = mean_ok(rows.iter().map(|r| &r.pht_b1));
+        let b4 = mean_ok(rows.iter().map(|r| &r.pht_b4));
         assert!(b4 >= b1 - 0.02, "PHT ISPI improved with depth: B1 {b1:.3} -> B4 {b4:.3}");
     }
 
@@ -134,13 +135,8 @@ mod tests {
     fn bigger_cache_misses_less() {
         let opts = RunOptions::smoke().with_instrs(60_000);
         for r in data(&opts) {
-            assert!(
-                r.miss_32k <= r.miss_8k + 1e-9,
-                "{}: 32K {:.2}% > 8K {:.2}%",
-                r.benchmark.name,
-                r.miss_32k,
-                r.miss_8k
-            );
+            let (m32, m8) = (r.miss_32k.clone().unwrap(), r.miss_8k.clone().unwrap());
+            assert!(m32 <= m8 + 1e-9, "{}: 32K {m32:.2}% > 8K {m8:.2}%", r.benchmark.name,);
         }
     }
 

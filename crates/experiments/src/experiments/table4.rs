@@ -3,9 +3,9 @@
 use specfetch_core::{FetchPolicy, MissClass};
 use specfetch_synth::suite::Benchmark;
 
-use crate::experiments::{baseline, vs};
+use crate::experiments::{baseline, measured, vs};
 use crate::paper::{Table4Row, TABLE4};
-use crate::runner::{mean, run_grid, GridPoint};
+use crate::runner::{mean, try_run_grid, GridPoint, Measured};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// Measured classification for one benchmark.
@@ -13,8 +13,9 @@ use crate::{ExperimentReport, RunOptions, Table};
 pub struct Row {
     /// The benchmark.
     pub benchmark: &'static Benchmark,
-    /// The shadow-cache classification.
-    pub class: MissClass,
+    /// The shadow-cache classification, or the failure of the run that
+    /// was meant to produce it.
+    pub class: Measured<MissClass>,
     /// The paper's published row.
     pub paper: Table4Row,
 }
@@ -24,12 +25,12 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
     let mut cfg = baseline(FetchPolicy::Optimistic);
     cfg.classify = true;
     let points: Vec<GridPoint> = Benchmark::all().iter().map(|b| GridPoint::new(b, cfg)).collect();
-    run_grid(&points, opts)
-        .into_iter()
+    try_run_grid(&points, opts)
+        .iter()
         .enumerate()
-        .map(|(i, r)| Row {
+        .map(|(i, cell)| Row {
             benchmark: points[i].benchmark,
-            class: r.classification.expect("classification was enabled"),
+            class: measured(cell, |r| r.classification.expect("classification was enabled")),
             paper: TABLE4[i],
         })
         .collect()
@@ -47,22 +48,28 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
         "TR (paper)",
     ]);
     for r in &rows {
+        let col = |f: fn(&MissClass) -> f64, paper: f64| match &r.class {
+            Ok(c) => vs(f(c), paper),
+            Err(e) => e.cell(),
+        };
         table.row(vec![
             r.benchmark.name.to_owned(),
-            vs(r.class.both_miss_pct(), r.paper.bm),
-            vs(r.class.spec_pollute_pct(), r.paper.spo),
-            vs(r.class.spec_prefetch_pct(), r.paper.spr),
-            vs(r.class.wrong_path_pct(), r.paper.wp),
-            vs(r.class.traffic_ratio(), r.paper.tr),
+            col(MissClass::both_miss_pct, r.paper.bm),
+            col(MissClass::spec_pollute_pct, r.paper.spo),
+            col(MissClass::spec_prefetch_pct, r.paper.spr),
+            col(MissClass::wrong_path_pct, r.paper.wp),
+            col(MissClass::traffic_ratio, r.paper.tr),
         ]);
     }
+    let ok =
+        |f: fn(&MissClass) -> f64| mean(rows.iter().filter_map(|r| r.class.as_ref().ok()).map(f));
     table.row(vec![
         "Average".into(),
-        vs(mean(rows.iter().map(|r| r.class.both_miss_pct())), 2.87),
-        vs(mean(rows.iter().map(|r| r.class.spec_pollute_pct())), 0.32),
-        vs(mean(rows.iter().map(|r| r.class.spec_prefetch_pct())), 0.83),
-        vs(mean(rows.iter().map(|r| r.class.wrong_path_pct())), 1.87),
-        vs(mean(rows.iter().map(|r| r.class.traffic_ratio())), 1.36),
+        vs(ok(MissClass::both_miss_pct), 2.87),
+        vs(ok(MissClass::spec_pollute_pct), 0.32),
+        vs(ok(MissClass::spec_prefetch_pct), 0.83),
+        vs(ok(MissClass::wrong_path_pct), 1.87),
+        vs(ok(MissClass::traffic_ratio), 1.36),
     ]);
     ExperimentReport {
         id: "table4",
@@ -82,19 +89,20 @@ mod tests {
     #[test]
     fn prefetch_beats_pollution_on_average() {
         let rows = data(&RunOptions::smoke().with_instrs(80_000));
-        let spr = mean(rows.iter().map(|r| r.class.spec_prefetch_pct()));
-        let spo = mean(rows.iter().map(|r| r.class.spec_pollute_pct()));
+        let spr = mean(rows.iter().map(|r| r.class.as_ref().unwrap().spec_prefetch_pct()));
+        let spo = mean(rows.iter().map(|r| r.class.as_ref().unwrap().spec_pollute_pct()));
         assert!(spr > spo, "SPr {spr:.2} should exceed SPo {spo:.2}");
     }
 
     #[test]
     fn traffic_ratio_is_at_least_one() {
         for r in data(&RunOptions::smoke()) {
+            let class = r.class.as_ref().unwrap();
             assert!(
-                r.class.traffic_ratio() >= 1.0 - 1e-9,
+                class.traffic_ratio() >= 1.0 - 1e-9,
                 "{}: TR {:.2}",
                 r.benchmark.name,
-                r.class.traffic_ratio()
+                class.traffic_ratio()
             );
         }
     }

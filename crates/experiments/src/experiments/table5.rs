@@ -1,12 +1,12 @@
 //! Paper Table 5: effect of speculation depth (1, 2, 4 unresolved
 //! branches) on every policy's ISPI.
 
-use specfetch_core::FetchPolicy;
+use specfetch_core::{FetchPolicy, SimResult};
 use specfetch_synth::suite::Benchmark;
 
-use crate::experiments::{baseline, vs};
+use crate::experiments::{baseline, measured, vs, vs_cell};
 use crate::paper::TABLE5;
-use crate::runner::{mean, run_grid, GridPoint};
+use crate::runner::{mean_ok, try_run_grid, GridPoint, Measured};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// The depths the paper sweeps.
@@ -20,8 +20,8 @@ pub struct Row {
     /// Speculation depth (1, 2, or 4).
     pub depth: usize,
     /// ISPI in policy order (Oracle, Optimistic, Resume, Pessimistic,
-    /// Decode).
-    pub ispi: [f64; 5],
+    /// Decode); each slot is the measurement or its point's failure.
+    pub ispi: [Measured<f64>; 5],
 }
 
 /// Gathers the full sweep: 13 benchmarks × 3 depths × 5 policies.
@@ -38,14 +38,11 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
             }
         }
     }
-    let results = run_grid(&points, opts);
+    let results = try_run_grid(&points, opts);
     keys.into_iter()
         .zip(results.chunks_exact(5))
         .map(|((benchmark, depth), runs)| {
-            let mut ispi = [0.0; 5];
-            for (slot, r) in ispi.iter_mut().zip(runs) {
-                *slot = r.ispi();
-            }
+            let ispi = std::array::from_fn(|i| measured(&runs[i], SimResult::ispi));
             Row { benchmark, depth, ispi }
         })
         .collect()
@@ -79,8 +76,8 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
             .expect("benchmark in suite");
         let paper = TABLE5[bench_idx][depth_idx(r.depth)];
         let mut cells = vec![r.benchmark.name.to_owned(), r.depth.to_string()];
-        for (&measured, &published) in r.ispi.iter().zip(paper.iter()) {
-            cells.push(vs(measured, published));
+        for (m, &published) in r.ispi.iter().zip(paper.iter()) {
+            cells.push(vs_cell(m, published));
         }
         table.row(cells);
     }
@@ -95,7 +92,7 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
         let _ = paper_avg;
         let mut cells = vec!["Average".to_owned(), depth.to_string()];
         for (p, &published) in paper_rows[depth_idx(depth)].iter().enumerate() {
-            let m = mean(rows.iter().filter(|r| r.depth == depth).map(|r| r.ispi[p]));
+            let m = mean_ok(rows.iter().filter(|r| r.depth == depth).map(|r| &r.ispi[p]));
             cells.push(vs(m, published));
         }
         table.row(cells);
@@ -119,7 +116,7 @@ mod tests {
     fn deeper_speculation_helps_every_policy_on_average() {
         let rows = data(&RunOptions::smoke().with_instrs(60_000));
         for p in 0..5 {
-            let at = |d: usize| mean(rows.iter().filter(|r| r.depth == d).map(|r| r.ispi[p]));
+            let at = |d: usize| mean_ok(rows.iter().filter(|r| r.depth == d).map(|r| &r.ispi[p]));
             assert!(
                 at(4) < at(1),
                 "policy {p}: depth-4 average {:.3} !< depth-1 average {:.3}",

@@ -1,12 +1,12 @@
 //! Paper Table 6: effect of cache size (32K) on policy ISPI.
 
 use specfetch_cache::CacheConfig;
-use specfetch_core::FetchPolicy;
+use specfetch_core::{FetchPolicy, SimResult};
 use specfetch_synth::suite::Benchmark;
 
-use crate::experiments::{baseline, vs};
+use crate::experiments::{baseline, measured, vs, vs_cell};
 use crate::paper::TABLE6;
-use crate::runner::{mean, run_grid, GridPoint};
+use crate::runner::{mean_ok, try_run_grid, GridPoint, Measured};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// ISPI of all five policies for one benchmark with a 32K cache.
@@ -14,8 +14,9 @@ use crate::{ExperimentReport, RunOptions, Table};
 pub struct Row {
     /// The benchmark.
     pub benchmark: &'static Benchmark,
-    /// ISPI in policy order.
-    pub ispi: [f64; 5],
+    /// ISPI in policy order; each slot is the measurement or its point's
+    /// failure.
+    pub ispi: [Measured<f64>; 5],
 }
 
 /// Gathers the 32K sweep.
@@ -29,15 +30,12 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
             points.push(GridPoint::new(b, cfg));
         }
     }
-    let results = run_grid(&points, opts);
+    let results = try_run_grid(&points, opts);
     benches
         .into_iter()
         .zip(results.chunks_exact(5))
         .map(|(benchmark, runs)| {
-            let mut ispi = [0.0; 5];
-            for (slot, r) in ispi.iter_mut().zip(runs) {
-                *slot = r.ispi();
-            }
+            let ispi = std::array::from_fn(|i| measured(&runs[i], SimResult::ispi));
             Row { benchmark, ispi }
         })
         .collect()
@@ -56,15 +54,15 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
     ]);
     for (i, r) in rows.iter().enumerate() {
         let mut cells = vec![r.benchmark.name.to_owned()];
-        for (&measured, &published) in r.ispi.iter().zip(TABLE6[i].iter()) {
-            cells.push(vs(measured, published));
+        for (m, &published) in r.ispi.iter().zip(TABLE6[i].iter()) {
+            cells.push(vs_cell(m, published));
         }
         table.row(cells);
     }
     let paper_avg = [0.87, 0.94, 0.87, 0.97, 0.98];
     let mut cells = vec!["Average".to_owned()];
     for (p, &published) in paper_avg.iter().enumerate() {
-        cells.push(vs(mean(rows.iter().map(|r| r.ispi[p])), published));
+        cells.push(vs(mean_ok(rows.iter().map(|r| &r.ispi[p])), published));
     }
     table.row(cells);
     ExperimentReport {
@@ -81,6 +79,7 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
 mod tests {
     use super::*;
     use crate::experiments::table5;
+    use crate::runner::mean;
 
     #[test]
     fn thirteen_rows() {
@@ -93,7 +92,10 @@ mod tests {
         let opts = RunOptions::smoke().with_instrs(60_000);
         let k32 = data(&opts);
         let k8 = table5::data(&opts);
-        let gap = |ispi: &[f64; 5]| (ispi[3] - ispi[2]).max(0.0); // Pess - Res
+        // Pess - Res, from cells that must all be Ok in a clean run.
+        let gap = |ispi: &[Measured<f64>; 5]| {
+            (*ispi[3].as_ref().unwrap() - *ispi[2].as_ref().unwrap()).max(0.0)
+        };
         let gap32 = mean(k32.iter().map(|r| gap(&r.ispi)));
         let gap8 = mean(k8.iter().filter(|r| r.depth == 4).map(|r| gap(&r.ispi)));
         assert!(gap32 < gap8, "32K Pess-Res gap {gap32:.3} should be below the 8K gap {gap8:.3}");

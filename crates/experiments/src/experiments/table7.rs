@@ -3,9 +3,9 @@
 use specfetch_core::FetchPolicy;
 use specfetch_synth::suite::Benchmark;
 
-use crate::experiments::{baseline, vs};
+use crate::experiments::{baseline, vs, vs_cell};
 use crate::paper::TABLE7;
-use crate::runner::{mean, run_grid, GridPoint};
+use crate::runner::{mean_ok, try_run_grid, GridPoint, Measured};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// Traffic ratios for one benchmark: policy-with-prefetch over plain
@@ -15,8 +15,9 @@ pub struct Row {
     /// The benchmark.
     pub benchmark: &'static Benchmark,
     /// Ratios for Oracle, Resume, Pessimistic (each with prefetching)
-    /// relative to Oracle without prefetching.
-    pub ratios: [f64; 3],
+    /// relative to Oracle without prefetching. A ratio fails if either
+    /// the prefetch point or the shared base point failed.
+    pub ratios: [Measured<f64>; 3],
 }
 
 /// Gathers the traffic ratios.
@@ -31,16 +32,19 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
             points.push(GridPoint::new(b, cfg));
         }
     }
-    let results = run_grid(&points, opts);
+    let results = try_run_grid(&points, opts);
     benches
         .into_iter()
         .zip(results.chunks_exact(4))
         .map(|(benchmark, runs)| {
-            let base_traffic = runs[0].total_traffic().max(1) as f64;
-            let mut ratios = [0.0; 3];
-            for (slot, r) in ratios.iter_mut().zip(&runs[1..]) {
-                *slot = r.total_traffic() as f64 / base_traffic;
-            }
+            // The base point's failure poisons all three ratios; a
+            // prefetch point's failure poisons only its own.
+            let ratios = std::array::from_fn(|i| match (&runs[0], &runs[i + 1]) {
+                (Ok(base), Ok(r)) => {
+                    Ok(r.total_traffic() as f64 / base.total_traffic().max(1) as f64)
+                }
+                (Err(e), _) | (_, Err(e)) => Err(e.clone()),
+            });
             Row { benchmark, ratios }
         })
         .collect()
@@ -54,17 +58,17 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
     for (i, r) in rows.iter().enumerate() {
         table.row(vec![
             r.benchmark.name.to_owned(),
-            vs(r.ratios[0], TABLE7[i][0]),
-            vs(r.ratios[1], TABLE7[i][1]),
-            vs(r.ratios[2], TABLE7[i][2]),
+            vs_cell(&r.ratios[0], TABLE7[i][0]),
+            vs_cell(&r.ratios[1], TABLE7[i][1]),
+            vs_cell(&r.ratios[2], TABLE7[i][2]),
         ]);
     }
     let paper_avg = [1.35, 1.56, 1.38];
     table.row(vec![
         "Average".into(),
-        vs(mean(rows.iter().map(|r| r.ratios[0])), paper_avg[0]),
-        vs(mean(rows.iter().map(|r| r.ratios[1])), paper_avg[1]),
-        vs(mean(rows.iter().map(|r| r.ratios[2])), paper_avg[2]),
+        vs(mean_ok(rows.iter().map(|r| &r.ratios[0])), paper_avg[0]),
+        vs(mean_ok(rows.iter().map(|r| &r.ratios[1])), paper_avg[1]),
+        vs(mean_ok(rows.iter().map(|r| &r.ratios[2])), paper_avg[2]),
     ]);
     ExperimentReport {
         id: "table7",
@@ -85,6 +89,7 @@ mod tests {
     fn prefetching_always_costs_traffic() {
         for r in data(&RunOptions::smoke().with_instrs(60_000)) {
             for (i, ratio) in r.ratios.iter().enumerate() {
+                let ratio = ratio.as_ref().unwrap();
                 assert!(
                     *ratio >= 0.99,
                     "{} ratio[{i}] = {ratio:.2} should not be below 1",
@@ -97,7 +102,7 @@ mod tests {
     #[test]
     fn resume_pref_is_most_expensive_on_average() {
         let rows = data(&RunOptions::smoke().with_instrs(60_000));
-        let avg = |i: usize| mean(rows.iter().map(|r| r.ratios[i]));
+        let avg = |i: usize| mean_ok(rows.iter().map(|r| &r.ratios[i]));
         assert!(avg(1) >= avg(0), "Resume {:.2} !>= Oracle {:.2}", avg(1), avg(0));
         assert!(avg(1) >= avg(2), "Resume {:.2} !>= Pess {:.2}", avg(1), avg(2));
     }

@@ -1,0 +1,310 @@
+//! Deterministic fault injection for the experiment runner.
+//!
+//! The reproduction is a long unattended sweep; its failure handling is
+//! only trustworthy if every recovery path can be exercised on demand.
+//! This module injects faults at named grid points so tests and CI can
+//! prove that one poisoned point costs one `FAILED(...)` cell — never
+//! the run.
+//!
+//! # Grammar
+//!
+//! `--inject` takes one or more `;`-separated specs:
+//!
+//! ```text
+//! point=<experiment>:<n>,<action>   fire at the n-th grid point (0-based,
+//!                                   input order) of <experiment>
+//! chaos=<permille>@<seed>,<action>  fire at each grid point with
+//!                                   probability permille/1000, decided by
+//!                                   a seeded hash of (experiment, point)
+//! ```
+//!
+//! where `<action>` is one of:
+//!
+//! - `panic` — panic inside the grid point (exercises the capture path);
+//! - `err` — return a typed [`SpecfetchError::Injected`] error;
+//! - `slow` — sleep [`SLOW_MILLIS`] before simulating (the point still
+//!   succeeds; exercises scheduling under stragglers).
+//!
+//! # Determinism
+//!
+//! Grid points are numbered in **input order** as each experiment
+//! enqueues them — the numbering is assigned before any worker runs, so
+//! it is independent of thread scheduling. `chaos` decisions hash
+//! `(seed, experiment, point)`: the same seed always fails the same
+//! cells, on any machine, at any parallelism.
+//!
+//! The plan is installed once per process ([`install`], called by the
+//! `specfetch-repro` CLI); with no plan installed, the per-point check is
+//! a single relaxed atomic-free `OnceLock` read.
+
+use std::sync::{Mutex, OnceLock};
+
+use specfetch_core::SpecfetchError;
+
+/// How long an injected `slow` fault stalls a grid point.
+pub const SLOW_MILLIS: u64 = 250;
+
+/// What an injected fault does to its grid point.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FaultAction {
+    /// Panic inside the point (captured and rendered `FAILED(injected
+    /// panic)`).
+    Panic,
+    /// Return a typed error (rendered `FAILED(injected err)`).
+    Err,
+    /// Sleep [`SLOW_MILLIS`] and then run normally.
+    Slow,
+}
+
+impl FaultAction {
+    fn parse(s: &str) -> Result<FaultAction, String> {
+        match s {
+            "panic" => Ok(FaultAction::Panic),
+            "err" => Ok(FaultAction::Err),
+            "slow" => Ok(FaultAction::Slow),
+            other => Err(format!("unknown fault action {other:?} (expected panic|err|slow)")),
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct PointRule {
+    experiment: String,
+    point: u64,
+    action: FaultAction,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+struct ChaosRule {
+    permille: u32,
+    seed: u64,
+    action: FaultAction,
+}
+
+/// A parsed `--inject` plan: which grid points fail, and how.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    points: Vec<PointRule>,
+    chaos: Option<ChaosRule>,
+}
+
+impl FaultPlan {
+    /// Parses the `--inject` grammar (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for any spec that does not match
+    /// the grammar.
+    pub fn parse(input: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for spec in input.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            let (kind, rest) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad fault spec {spec:?} (expected key=value)"))?;
+            let (target, action) = rest
+                .rsplit_once(',')
+                .ok_or_else(|| format!("bad fault spec {spec:?} (missing ,action)"))?;
+            let action = FaultAction::parse(action)?;
+            match kind {
+                "point" => {
+                    let (experiment, n) = target.split_once(':').ok_or_else(|| {
+                        format!("bad point target {target:?} (expected experiment:n)")
+                    })?;
+                    let point =
+                        n.parse().map_err(|_| format!("bad point index {n:?} in {spec:?}"))?;
+                    plan.points.push(PointRule {
+                        experiment: experiment.to_owned(),
+                        point,
+                        action,
+                    });
+                }
+                "chaos" => {
+                    let (permille, seed) = target.split_once('@').ok_or_else(|| {
+                        format!("bad chaos target {target:?} (expected permille@seed)")
+                    })?;
+                    let permille: u32 =
+                        permille.parse().map_err(|_| format!("bad chaos permille {permille:?}"))?;
+                    if permille > 1000 {
+                        return Err(format!("chaos permille {permille} exceeds 1000"));
+                    }
+                    let seed = seed.parse().map_err(|_| format!("bad chaos seed {seed:?}"))?;
+                    plan.chaos = Some(ChaosRule { permille, seed, action });
+                }
+                other => return Err(format!("unknown fault kind {other:?} in {spec:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty() && self.chaos.is_none()
+    }
+
+    /// The action (if any) this plan fires at `point` of `experiment`.
+    /// Pure and deterministic — identical inputs always produce the
+    /// identical decision.
+    pub fn action_at(&self, experiment: &str, point: u64) -> Option<FaultAction> {
+        if let Some(rule) =
+            self.points.iter().find(|r| r.experiment == experiment && r.point == point)
+        {
+            return Some(rule.action);
+        }
+        let chaos = self.chaos?;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&chaos.seed.to_le_bytes());
+        eat(experiment.as_bytes());
+        eat(&point.to_le_bytes());
+        (h % 1000 < u64::from(chaos.permille)).then_some(chaos.action)
+    }
+}
+
+/// Per-process injection state: the installed plan plus the point
+/// counter of the experiment currently running.
+struct Counter {
+    experiment: String,
+    next_point: u64,
+}
+
+static PLAN: OnceLock<FaultPlan> = OnceLock::new();
+
+fn counter() -> &'static Mutex<Counter> {
+    static COUNTER: OnceLock<Mutex<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| Mutex::new(Counter { experiment: String::new(), next_point: 0 }))
+}
+
+/// Installs the process-wide fault plan. Called once by the CLI before
+/// any experiment runs; a second call is rejected.
+///
+/// # Errors
+///
+/// Returns an error if a plan is already installed.
+pub fn install(plan: FaultPlan) -> Result<(), String> {
+    PLAN.set(plan).map_err(|_| "a fault plan is already installed".to_owned())
+}
+
+/// Resets the point counter for a new experiment. Called by
+/// [`crate::run_experiment`] so `point=<exp>:<n>` indices restart at 0
+/// per experiment.
+pub(crate) fn begin_experiment(id: &str) {
+    if PLAN.get().is_none() {
+        return;
+    }
+    let mut c = counter().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    c.experiment = id.to_owned();
+    c.next_point = 0;
+}
+
+/// Claims `n` consecutive point indices for a batch about to run,
+/// returning the base index. Indices are handed out in batch-submission
+/// order (single-threaded experiment code), so they are deterministic
+/// regardless of worker scheduling.
+pub(crate) fn reserve(n: usize) -> u64 {
+    if PLAN.get().is_none() {
+        return 0;
+    }
+    let mut c = counter().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let base = c.next_point;
+    c.next_point += n as u64;
+    base
+}
+
+/// Fires the installed plan's action for point `idx` of the current
+/// experiment, if any: panics for `panic`, sleeps for `slow`, returns a
+/// typed error for `err`. A no-op when no plan is installed.
+pub(crate) fn guard(idx: u64) -> Result<(), SpecfetchError> {
+    let Some(plan) = PLAN.get() else { return Ok(()) };
+    let experiment = {
+        let c = counter().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        c.experiment.clone()
+    };
+    match plan.action_at(&experiment, idx) {
+        None => Ok(()),
+        Some(FaultAction::Panic) => panic!("injected panic"),
+        Some(FaultAction::Err) => Err(SpecfetchError::Injected { action: "err" }),
+        Some(FaultAction::Slow) => {
+            std::thread::sleep(std::time::Duration::from_millis(SLOW_MILLIS));
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_point_specs() {
+        let p = FaultPlan::parse("point=table4:1,panic").unwrap();
+        assert_eq!(p.action_at("table4", 1), Some(FaultAction::Panic));
+        assert_eq!(p.action_at("table4", 0), None);
+        assert_eq!(p.action_at("table3", 1), None);
+    }
+
+    #[test]
+    fn parses_multiple_specs_and_actions() {
+        let p = FaultPlan::parse("point=table3:2,err; point=figure1:0,slow").unwrap();
+        assert_eq!(p.action_at("table3", 2), Some(FaultAction::Err));
+        assert_eq!(p.action_at("figure1", 0), Some(FaultAction::Slow));
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(!FaultPlan::parse("point=a:0,panic").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_grammar() {
+        for bad in [
+            "nonsense",
+            "point=table4,panic",
+            "point=table4:x,panic",
+            "point=table4:1,explode",
+            "chaos=10,panic",
+            "chaos=xx@1,err",
+            "chaos=2000@1,err",
+            "rate=1@2,err",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_seeded() {
+        let a = FaultPlan::parse("chaos=200@42,err").unwrap();
+        let b = FaultPlan::parse("chaos=200@42,err").unwrap();
+        let c = FaultPlan::parse("chaos=200@43,err").unwrap();
+        let hits = |p: &FaultPlan| {
+            (0..500).filter(|&i| p.action_at("table5", i).is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(hits(&a), hits(&b), "same seed must fail the same points");
+        assert_ne!(hits(&a), hits(&c), "different seeds should differ");
+        // ~20% of 500 points; generous bounds, determinism is the claim.
+        let n = hits(&a).len();
+        assert!((50..200).contains(&n), "chaos rate wildly off: {n}/500");
+    }
+
+    #[test]
+    fn chaos_rate_zero_never_fires_and_1000_always_fires() {
+        let never = FaultPlan::parse("chaos=0@7,panic").unwrap();
+        let always = FaultPlan::parse("chaos=1000@7,panic").unwrap();
+        for i in 0..100 {
+            assert_eq!(never.action_at("x", i), None);
+            assert_eq!(always.action_at("x", i), Some(FaultAction::Panic));
+        }
+    }
+
+    #[test]
+    fn point_rules_take_precedence_over_chaos() {
+        let p = FaultPlan::parse("point=t:3,slow;chaos=1000@1,panic").unwrap();
+        assert_eq!(p.action_at("t", 3), Some(FaultAction::Slow));
+        assert_eq!(p.action_at("t", 4), Some(FaultAction::Panic));
+    }
+}

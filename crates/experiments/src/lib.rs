@@ -30,7 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disk_cache;
 pub mod experiments;
+pub mod fault;
 mod options;
 pub mod paper;
 mod parallel;
@@ -40,12 +42,14 @@ mod table;
 pub mod trace_cache;
 
 pub use options::RunOptions;
-pub use parallel::par_map;
+pub use parallel::{par_map, try_par_map};
 pub use report::ExperimentReport;
-pub use runner::{run_grid, simulate_benchmark, suite_results, BenchResult, GridPoint};
+pub use runner::{
+    run_grid, simulate_benchmark, suite_results, try_run_grid, try_simulate_benchmark, BenchResult,
+    CellFailure, GridCell, GridPoint, Measured,
+};
+pub use specfetch_core::SpecfetchError;
 pub use table::{Format, Table};
-
-use std::fmt;
 
 /// The paper-artifact experiment identifiers (`--experiment all`).
 pub const EXPERIMENT_IDS: [&str; 10] = [
@@ -58,47 +62,56 @@ pub const EXPERIMENT_IDS: [&str; 10] = [
 pub const EXTRA_EXPERIMENT_IDS: [&str; 5] =
     ["ablation-prefetch", "ablation-bpred", "ablation-assoc", "ablation-penalty", "ablation-bus"];
 
-/// Runs one experiment by id.
+/// Whether `id` names an experiment [`run_experiment`] can dispatch
+/// (paper artifact or ablation).
+pub fn is_known_experiment(id: &str) -> bool {
+    EXPERIMENT_IDS.contains(&id) || EXTRA_EXPERIMENT_IDS.contains(&id)
+}
+
+/// Runs one experiment by id, isolated: grid-point failures render as
+/// `FAILED(...)` cells inside the report, and even a panic that escapes
+/// an experiment's own aggregation logic is caught here and returned as
+/// a typed error instead of unwinding through the caller.
 ///
 /// # Errors
 ///
-/// Returns [`UnknownExperiment`] if `id` is not one of
-/// [`EXPERIMENT_IDS`].
-pub fn run_experiment(id: &str, opts: &RunOptions) -> Result<ExperimentReport, UnknownExperiment> {
+/// [`SpecfetchError::UnknownExperiment`] if `id` is not one of
+/// [`EXPERIMENT_IDS`] / [`EXTRA_EXPERIMENT_IDS`];
+/// [`SpecfetchError::ExperimentPanic`] if the experiment itself
+/// panicked.
+pub fn run_experiment(id: &str, opts: &RunOptions) -> Result<ExperimentReport, SpecfetchError> {
+    if !is_known_experiment(id) {
+        return Err(SpecfetchError::UnknownExperiment { id: id.to_owned() });
+    }
+    fault::begin_experiment(id);
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(id, opts))).map_err(
+        |payload| SpecfetchError::ExperimentPanic {
+            id: id.to_owned(),
+            reason: parallel::panic_message(payload.as_ref()),
+        },
+    )
+}
+
+fn dispatch(id: &str, opts: &RunOptions) -> ExperimentReport {
     match id {
-        "table2" => Ok(experiments::table2::run(opts)),
-        "table3" => Ok(experiments::table3::run(opts)),
-        "table4" => Ok(experiments::table4::run(opts)),
-        "figure1" => Ok(experiments::figure1::run(opts)),
-        "figure2" => Ok(experiments::figure2::run(opts)),
-        "table5" => Ok(experiments::table5::run(opts)),
-        "table6" => Ok(experiments::table6::run(opts)),
-        "figure3" => Ok(experiments::figure3::run(opts)),
-        "figure4" => Ok(experiments::figure4::run(opts)),
-        "table7" => Ok(experiments::table7::run(opts)),
-        "ablation-prefetch" => Ok(experiments::ablations::run_prefetch(opts)),
-        "ablation-bpred" => Ok(experiments::ablations::run_bpred(opts)),
-        "ablation-assoc" => Ok(experiments::ablations::run_assoc(opts)),
-        "ablation-penalty" => Ok(experiments::ablations::run_penalty(opts)),
-        "ablation-bus" => Ok(experiments::ablations::run_bus(opts)),
-        other => Err(UnknownExperiment { id: other.to_owned() }),
+        "table2" => experiments::table2::run(opts),
+        "table3" => experiments::table3::run(opts),
+        "table4" => experiments::table4::run(opts),
+        "figure1" => experiments::figure1::run(opts),
+        "figure2" => experiments::figure2::run(opts),
+        "table5" => experiments::table5::run(opts),
+        "table6" => experiments::table6::run(opts),
+        "figure3" => experiments::figure3::run(opts),
+        "figure4" => experiments::figure4::run(opts),
+        "table7" => experiments::table7::run(opts),
+        "ablation-prefetch" => experiments::ablations::run_prefetch(opts),
+        "ablation-bpred" => experiments::ablations::run_bpred(opts),
+        "ablation-assoc" => experiments::ablations::run_assoc(opts),
+        "ablation-penalty" => experiments::ablations::run_penalty(opts),
+        "ablation-bus" => experiments::ablations::run_bus(opts),
+        other => unreachable!("is_known_experiment admitted {other}"),
     }
 }
-
-/// Returned by [`run_experiment`] for an unrecognised id.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct UnknownExperiment {
-    /// The unrecognised identifier.
-    pub id: String,
-}
-
-impl fmt::Display for UnknownExperiment {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown experiment {:?} (expected one of {:?})", self.id, EXPERIMENT_IDS)
-    }
-}
-
-impl std::error::Error for UnknownExperiment {}
 
 #[cfg(test)]
 mod tests {
@@ -108,7 +121,17 @@ mod tests {
     fn unknown_experiment_is_reported() {
         let opts = RunOptions::smoke();
         let e = run_experiment("table99", &opts).unwrap_err();
+        assert!(matches!(&e, SpecfetchError::UnknownExperiment { id } if id == "table99"));
         assert!(e.to_string().contains("table99"));
+    }
+
+    #[test]
+    fn known_ids_are_known() {
+        for id in EXPERIMENT_IDS.iter().chain(&EXTRA_EXPERIMENT_IDS) {
+            assert!(is_known_experiment(id), "{id} should be known");
+        }
+        assert!(!is_known_experiment("table99"));
+        assert!(!is_known_experiment(""));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! A tiny scoped-thread parallel map (no external dependencies).
 
-use std::panic;
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -113,6 +114,53 @@ where
     slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
 }
 
+/// Renders a captured panic payload as text.
+///
+/// Panic payloads are `&str` or `String` in practice (`panic!` with a
+/// message); anything else gets a placeholder rather than being dropped.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// Like [`par_map`], but captures a per-item panic as that item's error
+/// instead of re-raising it: one poisoned item yields one `Err` slot
+/// (carrying the rendered panic message) while every other item still
+/// maps to `Ok`.
+///
+/// This is the isolation primitive the experiment grid is built on — a
+/// single panicking grid point must cost one flagged cell, not the whole
+/// `--experiment all` run.
+///
+/// # Examples
+///
+/// ```
+/// let out = specfetch_experiments::try_par_map(vec![1, 2, 3], true, |x| {
+///     assert!(x != 2, "boom");
+///     x * 10
+/// });
+/// assert_eq!(out[0], Ok(10));
+/// assert_eq!(out[1], Err("boom".to_owned()));
+/// assert_eq!(out[2], Ok(30));
+/// ```
+pub fn try_par_map<T, R, F>(items: Vec<T>, parallel: bool, f: F) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    // `AssertUnwindSafe` is sound here: `f` is `Fn` over owned items, and
+    // the shared caches it may touch recover from poisoning (see
+    // `trace_cache::lock_recovering`), so observing post-panic state is
+    // safe.
+    par_map(items, parallel, |item| {
+        panic::catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| panic_message(p.as_ref()))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +193,42 @@ mod tests {
     fn empty_and_singleton() {
         assert_eq!(par_map(Vec::<i32>::new(), true, |x| x), Vec::<i32>::new());
         assert_eq!(par_map(vec![7], true, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_per_item() {
+        let out = try_par_map((0..32).collect(), true, |x: i32| {
+            if x == 13 {
+                panic!("boom on {x}");
+            }
+            x * 2
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                assert_eq!(r.as_ref().unwrap_err(), "boom on 13");
+            } else {
+                assert_eq!(*r, Ok(i as i32 * 2), "item {i} lost to a neighbour's panic");
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_sequential_mode_isolates_too() {
+        let out = try_par_map(vec![1, 2], false, |x: i32| {
+            assert!(x != 2, "late boom");
+            x
+        });
+        assert_eq!(out, vec![Ok(1), Err("late boom".to_owned())]);
+    }
+
+    #[test]
+    fn panic_message_renders_str_and_string() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("static");
+        assert_eq!(panic_message(p.as_ref()), "static");
+        let p: Box<dyn std::any::Any + Send> = Box::new("owned".to_owned());
+        assert_eq!(panic_message(p.as_ref()), "owned");
+        let p: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -17,6 +17,12 @@ pub struct ExperimentReport {
 }
 
 impl ExperimentReport {
+    /// Number of `FAILED(...)` cells in the report's table — zero for a
+    /// fully successful run.
+    pub fn failed_cells(&self) -> usize {
+        self.table.failed_cells()
+    }
+
     /// Renders the full report (title, table, notes).
     pub fn render(&self, format: Format) -> String {
         let mut out = String::new();

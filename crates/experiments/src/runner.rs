@@ -1,10 +1,23 @@
 //! Shared simulation driving: single runs and batched experiment grids.
+//!
+//! Two layers of the same machinery:
+//!
+//! - the `try_*` functions are the fault-isolated substrate every
+//!   rendered report runs on — a grid point that fails (a typed
+//!   [`SpecfetchError`] or a panic) costs exactly one [`CellFailure`]
+//!   cell while every other point completes;
+//! - the infallible wrappers ([`simulate_benchmark`], [`run_grid`],
+//!   [`suite_results`]) keep the original panic-on-failure contract for
+//!   tests, benches, and examples, where a failure is a bug.
 
-use specfetch_core::{SimConfig, SimResult, Simulator};
+use std::panic::{self, AssertUnwindSafe};
+
+use specfetch_core::{SimConfig, SimResult, Simulator, SpecfetchError};
 use specfetch_synth::suite::Benchmark;
 use specfetch_trace::PathSource;
 
-use crate::{par_map, RunOptions};
+use crate::parallel::panic_message;
+use crate::{fault, par_map, try_par_map, RunOptions};
 
 /// One benchmark's simulation outcome.
 #[derive(Clone, PartialEq, Debug)]
@@ -31,8 +44,39 @@ impl GridPoint {
     }
 }
 
+/// Why one grid point produced no measurement: the compact reason
+/// rendered as `FAILED(<reason>)` in the report cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellFailure {
+    /// Human-readable cause (a panic message or an error summary).
+    pub reason: String,
+}
+
+impl CellFailure {
+    /// A failure from a typed error.
+    pub fn from_error(e: &SpecfetchError) -> Self {
+        CellFailure { reason: e.cell_reason() }
+    }
+
+    /// A failure from a captured panic payload.
+    fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        CellFailure { reason: panic_message(payload) }
+    }
+
+    /// The `FAILED(<reason>)` table cell.
+    pub fn cell(&self) -> String {
+        format!("FAILED({})", self.reason)
+    }
+}
+
+/// A per-cell measured value: the measurement, or why it is missing.
+pub type Measured<T> = Result<T, CellFailure>;
+
+/// One grid point's simulation outcome under isolation.
+pub type GridCell = Measured<SimResult>;
+
 /// Simulates one benchmark under `cfg` for `opts.instrs_per_benchmark`
-/// dynamic instructions.
+/// dynamic instructions, reporting trace/workload problems as errors.
 ///
 /// The correct path is fixed per benchmark (same generator seed, same
 /// path seed), so different configurations replay the *same* execution —
@@ -48,23 +92,48 @@ impl GridPoint {
 ///   overlay or memo;
 /// - `--no-trace-cache`: re-interprets the workload per run (the
 ///   pre-sharing behaviour).
-pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -> SimResult {
+///
+/// # Errors
+///
+/// Returns [`SpecfetchError::Workload`] if the spec fails to generate
+/// (replay sources are acquired *before* the memo fill, so acquisition
+/// failures surface here instead of panicking inside a cache cell).
+pub fn try_simulate_benchmark(
+    bench: &Benchmark,
+    cfg: SimConfig,
+    opts: RunOptions,
+) -> Result<SimResult, SpecfetchError> {
     if opts.use_overlay() {
-        crate::trace_cache::memoized_result(bench, opts.instrs_per_benchmark, cfg, || {
-            let source = crate::trace_cache::predicted_source(bench, opts.instrs_per_benchmark);
+        let source = crate::trace_cache::try_predicted_source(bench, opts.instrs_per_benchmark)?;
+        Ok(crate::trace_cache::memoized_result(bench, opts.instrs_per_benchmark, cfg, || {
             Simulator::new(cfg).run(source)
-        })
+        }))
     } else if opts.share_traces {
-        let source = crate::trace_cache::recorded_source(bench, opts.instrs_per_benchmark);
-        Simulator::new(cfg).run(source)
+        let source = crate::trace_cache::try_recorded_source(bench, opts.instrs_per_benchmark)?;
+        Ok(Simulator::new(cfg).run(source))
     } else {
-        let workload = bench.workload().expect("calibrated specs always generate");
+        let workload = bench.workload().map_err(|e| SpecfetchError::Workload {
+            bench: bench.name.to_owned(),
+            detail: e.to_string(),
+        })?;
         let source = workload.executor(bench.path_seed()).take_instrs(opts.instrs_per_benchmark);
-        Simulator::new(cfg).run(source)
+        Ok(Simulator::new(cfg).run(source))
     }
 }
 
-/// Simulates every grid point, returning results in input order.
+/// Infallible convenience over [`try_simulate_benchmark`].
+///
+/// # Panics
+///
+/// Panics on trace/workload failure (never expected for the calibrated
+/// suite; the isolated grid captures such a panic per point).
+pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -> SimResult {
+    try_simulate_benchmark(bench, cfg, opts)
+        .unwrap_or_else(|e| panic!("simulating {}: {e}", bench.name))
+}
+
+/// Simulates every grid point under per-point isolation, returning one
+/// [`GridCell`] per point in input order.
 ///
 /// This is the batched multi-config replay the experiments are built on:
 /// points are scheduled **grouped by benchmark**, so all configurations
@@ -74,7 +143,15 @@ pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -
 /// recur across experiments (every table re-runs the shared baselines).
 /// Groups, not points, are the parallel unit; point order within the
 /// result is the input order regardless of grouping.
-pub fn run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<SimResult> {
+///
+/// Isolation: each point runs under `catch_unwind`, with the
+/// fault-injection [`fault::guard`] fired first (points are numbered in
+/// input order via [`fault::reserve`], so `--inject point=<exp>:<n>,...`
+/// is deterministic at any parallelism). A panic or typed error in one
+/// point yields that point's `Err(CellFailure)`; every other point still
+/// simulates.
+pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
+    let base = fault::reserve(points.len());
     let mut groups: Vec<(&'static Benchmark, Vec<usize>)> = Vec::new();
     for (i, p) in points.iter().enumerate() {
         match groups.iter_mut().find(|(b, _)| std::ptr::eq(*b, p.benchmark)) {
@@ -85,14 +162,65 @@ pub fn run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<SimResult> {
     let opts_by_val = *opts;
     let done = par_map(groups, opts.parallel, |(b, idxs)| {
         idxs.into_iter()
-            .map(|i| (i, simulate_benchmark(b, points[i].cfg, opts_by_val)))
-            .collect::<Vec<(usize, SimResult)>>()
+            .map(|i| {
+                let cell = panic::catch_unwind(AssertUnwindSafe(|| {
+                    fault::guard(base + i as u64)?;
+                    try_simulate_benchmark(b, points[i].cfg, opts_by_val)
+                }));
+                let cell = match cell {
+                    Ok(Ok(r)) => Ok(r),
+                    Ok(Err(e)) => Err(CellFailure::from_error(&e)),
+                    Err(payload) => Err(CellFailure::from_panic(payload.as_ref())),
+                };
+                (i, cell)
+            })
+            .collect::<Vec<(usize, GridCell)>>()
     });
-    let mut out: Vec<Option<SimResult>> = vec![None; points.len()];
+    let mut out: Vec<Option<GridCell>> = (0..points.len()).map(|_| None).collect();
     for (i, r) in done.into_iter().flatten() {
         out[i] = Some(r);
     }
     out.into_iter().map(|r| r.expect("every grid point is simulated")).collect()
+}
+
+/// Infallible convenience over [`try_run_grid`].
+///
+/// # Panics
+///
+/// Panics if any grid point fails (tests and examples treat a failed
+/// point as a bug; rendered reports use [`try_run_grid`] and flag the
+/// cell instead).
+pub fn run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<SimResult> {
+    try_run_grid(points, opts)
+        .into_iter()
+        .map(|cell| cell.unwrap_or_else(|f| panic!("grid point failed: {}", f.reason)))
+        .collect()
+}
+
+/// Maps `f` over `items` with full per-item isolation and deterministic
+/// fault-point numbering — the row-granular counterpart of
+/// [`try_run_grid`] for experiments whose unit of work is not a single
+/// grid point (Table 2's characterisation rows, the ablation sweeps).
+pub(crate) fn isolated_map<T, R, F>(items: Vec<T>, opts: &RunOptions, f: F) -> Vec<Measured<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Result<R, SpecfetchError> + Sync,
+{
+    let base = fault::reserve(items.len());
+    let indexed: Vec<(u64, T)> =
+        items.into_iter().enumerate().map(|(i, t)| (base + i as u64, t)).collect();
+    try_par_map(indexed, opts.parallel, |(idx, item)| {
+        fault::guard(idx)?;
+        f(item)
+    })
+    .into_iter()
+    .map(|r| match r {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(CellFailure::from_error(&e)),
+        Err(reason) => Err(CellFailure { reason }),
+    })
+    .collect()
 }
 
 /// Runs the full 13-benchmark suite under the configuration produced by
@@ -121,6 +249,12 @@ pub(crate) fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
     } else {
         sum / n as f64
     }
+}
+
+/// The arithmetic mean of the `Ok` values of `xs` — failed cells are
+/// excluded from report averages rather than zeroing them.
+pub(crate) fn mean_ok<'a>(xs: impl IntoIterator<Item = &'a Measured<f64>>) -> f64 {
+    mean(xs.into_iter().filter_map(|m| m.as_ref().ok().copied()))
 }
 
 #[cfg(test)]
@@ -198,6 +332,43 @@ mod tests {
     }
 
     #[test]
+    fn try_run_grid_cells_match_the_infallible_grid() {
+        let opts = RunOptions::smoke().with_instrs(6_000);
+        let points: Vec<GridPoint> = ["li", "gcc"]
+            .into_iter()
+            .map(|n| GridPoint::new(Benchmark::by_name(n).unwrap(), SimConfig::paper_baseline()))
+            .collect();
+        let cells = try_run_grid(&points, &opts);
+        let plain = run_grid(&points, &opts);
+        assert_eq!(cells.len(), plain.len());
+        for (c, r) in cells.iter().zip(&plain) {
+            assert_eq!(c.as_ref().unwrap(), r, "isolated cell diverged from the plain grid");
+        }
+    }
+
+    #[test]
+    fn isolated_map_captures_both_error_kinds() {
+        let opts = RunOptions::smoke();
+        let out = isolated_map(vec![0u32, 1, 2, 3], &opts, |x| match x {
+            1 => Err(SpecfetchError::Injected { action: "err" }),
+            2 => panic!("kaboom {x}"),
+            other => Ok(other * 10),
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1].as_ref().unwrap_err().reason, "injected err");
+        assert_eq!(out[2].as_ref().unwrap_err().reason, "kaboom 2");
+        assert_eq!(out[3], Ok(30));
+    }
+
+    #[test]
+    fn cell_failure_renders() {
+        let f = CellFailure { reason: "injected panic".into() };
+        assert_eq!(f.cell(), "FAILED(injected panic)");
+        let e = SpecfetchError::Injected { action: "err" };
+        assert_eq!(CellFailure::from_error(&e).cell(), "FAILED(injected err)");
+    }
+
+    #[test]
     fn suite_results_covers_all_benchmarks_in_order() {
         let opts = RunOptions::smoke().with_instrs(5_000);
         let rs = suite_results(&opts, |_| SimConfig::paper_baseline());
@@ -214,5 +385,8 @@ mod tests {
     fn helpers() {
         assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
         assert_eq!(mean([]), 0.0);
+        let cells: Vec<Measured<f64>> =
+            vec![Ok(1.0), Err(CellFailure { reason: "x".into() }), Ok(3.0)];
+        assert!((mean_ok(cells.iter()) - 2.0).abs() < 1e-12, "failed cells are skipped");
     }
 }

@@ -84,6 +84,12 @@ impl Table {
         self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
     }
 
+    /// Number of cells rendered as `FAILED(...)` — the isolated runner's
+    /// marker for a grid point that did not complete.
+    pub fn failed_cells(&self) -> usize {
+        self.rows.iter().flatten().filter(|c| c.starts_with("FAILED(")).count()
+    }
+
     /// Renders in the requested format.
     pub fn render(&self, format: Format) -> String {
         match format {
@@ -202,6 +208,15 @@ mod tests {
         assert_eq!(t.cell(9, 0), None);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn failed_cells_are_counted() {
+        let mut t = sample();
+        assert_eq!(t.failed_cells(), 0);
+        t.row(vec!["tex".into(), "FAILED(injected panic)".into(), "1.54".into()]);
+        t.row(vec!["db++".into(), "FAILED(x)".into(), "FAILED(y)".into()]);
+        assert_eq!(t.failed_cells(), 3);
     }
 
     #[test]

@@ -24,18 +24,48 @@
 //! lookup; each entry is a [`OnceLock`], so parallel workers that race on
 //! a cold entry block on the single computation instead of duplicating
 //! it.
+//!
+//! Failure: grid points are allowed to panic (see
+//! [`try_par_map`](crate::try_par_map)), so the caches must outlive a
+//! panicking neighbour. [`lock_recovering`] clears mutex poisoning and
+//! evicts entries whose initialisation was in flight when the panic hit;
+//! the `try_*` variants report trace and workload failures as
+//! [`SpecfetchError`] values instead of unwinding, and never cache an
+//! error — the next request retries.
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
-use specfetch_core::{SimConfig, SimResult};
+use specfetch_core::{SimConfig, SimResult, SpecfetchError};
 use specfetch_synth::suite::Benchmark;
 use specfetch_trace::{PredictedSource, PredictedTrace, RecordedSource, RecordedTrace};
 
 type Key = (&'static str, u64);
 type Cell<T> = Arc<OnceLock<T>>;
 type Map<K, T> = Mutex<HashMap<K, Cell<T>>>;
+
+/// Locks a cache map, recovering if a previous holder panicked.
+///
+/// The guard is held only for key lookup, so poisoning requires a panic
+/// inside that critical section — which no current code path does — but
+/// the experiment runner's contract is that one panicking grid point
+/// costs one cell, so the caches must not amplify an unexpected panic
+/// into a process-wide wedge. Recovery clears the poison flag and evicts
+/// entries whose [`OnceLock`] is still unset: their initialisation may
+/// have been unwound mid-flight, and eviction makes the next request
+/// rebuild them from scratch.
+fn lock_recovering<K: Eq + Hash, T>(map: &Map<K, T>) -> MutexGuard<'_, HashMap<K, Cell<T>>> {
+    match map.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            map.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.retain(|_, cell| cell.get().is_some());
+            guard
+        }
+    }
+}
 
 /// Fetches (creating if absent) the once-cell for `key`, then fills it
 /// with `compute` — run at most once per key process-wide.
@@ -45,10 +75,33 @@ fn get_or_init<K: Eq + Hash + Clone, T: Clone>(
     compute: impl FnOnce() -> T,
 ) -> T {
     let cell = {
-        let mut map = map.lock().expect("no code panics while holding the cache lock");
+        let mut map = lock_recovering(map);
         Arc::clone(map.entry(key).or_default())
     };
     cell.get_or_init(compute).clone()
+}
+
+/// Fallible twin of [`get_or_init`]: an `Err` from `compute` is returned
+/// to the caller but **not** cached, so the next request retries.
+///
+/// The value is computed before the cell is filled; if two threads race
+/// on a cold key, the loser's duplicate is discarded by
+/// [`OnceLock::get_or_init`] and both return the winner's value, so all
+/// callers still converge on one shared entry.
+fn try_get_or_init<K: Eq + Hash + Clone, T: Clone>(
+    map: &Map<K, T>,
+    key: K,
+    compute: impl FnOnce() -> Result<T, SpecfetchError>,
+) -> Result<T, SpecfetchError> {
+    let cell = {
+        let mut map = lock_recovering(map);
+        Arc::clone(map.entry(key).or_default())
+    };
+    if let Some(v) = cell.get() {
+        return Ok(v.clone());
+    }
+    let v = compute()?;
+    Ok(cell.get_or_init(|| v).clone())
 }
 
 fn trace_map() -> &'static Map<Key, Arc<RecordedTrace>> {
@@ -66,30 +119,103 @@ fn result_map() -> &'static Map<(Key, SimConfig), SimResult> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Records `bench`'s correct path from the calibrated synthetic model —
+/// the ground-truth producer both the in-memory cache and the on-disk
+/// cache ([`crate::disk_cache`]) regenerate from.
+pub(crate) fn record_fresh(
+    bench: &Benchmark,
+    instrs: u64,
+) -> Result<Arc<RecordedTrace>, SpecfetchError> {
+    let workload = bench.workload().map_err(|e| SpecfetchError::Workload {
+        bench: bench.name.to_owned(),
+        detail: e.to_string(),
+    })?;
+    let mut live = workload.executor(bench.path_seed());
+    Ok(Arc::new(RecordedTrace::record(&mut live, instrs)))
+}
+
 /// The shared recording of `bench`'s correct path, capped at `instrs`
-/// instructions — recorded on first request, replayed from memory after.
-pub fn shared_trace(bench: &Benchmark, instrs: u64) -> Arc<RecordedTrace> {
-    get_or_init(trace_map(), (bench.name, instrs), || {
-        let workload = bench.workload().expect("calibrated specs always generate");
-        let mut live = workload.executor(bench.path_seed());
-        Arc::new(RecordedTrace::record(&mut live, instrs))
+/// instructions — loaded from the on-disk cache (if one is configured)
+/// or recorded on first request, replayed from memory after.
+///
+/// # Errors
+///
+/// Returns [`SpecfetchError::Workload`] if the calibrated spec fails to
+/// generate (on-disk cache corruption self-heals and is not an error).
+pub fn try_shared_trace(
+    bench: &Benchmark,
+    instrs: u64,
+) -> Result<Arc<RecordedTrace>, SpecfetchError> {
+    try_get_or_init(trace_map(), (bench.name, instrs), || {
+        crate::disk_cache::load_or_record(bench, instrs)
     })
 }
 
+/// Infallible convenience over [`try_shared_trace`].
+///
+/// # Panics
+///
+/// Panics if the recording cannot be produced (calibrated specs always
+/// generate; a panic here is captured per grid point by the runner).
+pub fn shared_trace(bench: &Benchmark, instrs: u64) -> Arc<RecordedTrace> {
+    try_shared_trace(bench, instrs)
+        .unwrap_or_else(|e| panic!("recording {}/{instrs}: {e}", bench.name))
+}
+
 /// A fresh replay cursor over [`shared_trace`]'s recording.
+///
+/// # Errors
+///
+/// Propagates [`try_shared_trace`]'s errors.
+pub fn try_recorded_source(
+    bench: &Benchmark,
+    instrs: u64,
+) -> Result<RecordedSource, SpecfetchError> {
+    Ok(RecordedTrace::source(&try_shared_trace(bench, instrs)?))
+}
+
+/// Infallible convenience over [`try_recorded_source`]; panics like
+/// [`shared_trace`].
 pub fn recorded_source(bench: &Benchmark, instrs: u64) -> RecordedSource {
     RecordedTrace::source(&shared_trace(bench, instrs))
 }
 
 /// The shared pre-decoded overlay over [`shared_trace`]'s recording —
 /// built on first request, an `Arc` bump after.
-pub fn predicted_trace(bench: &Benchmark, instrs: u64) -> Arc<PredictedTrace> {
-    get_or_init(predicted_map(), (bench.name, instrs), || {
-        Arc::new(PredictedTrace::build(&shared_trace(bench, instrs)))
+///
+/// # Errors
+///
+/// Propagates [`try_shared_trace`]'s errors.
+pub fn try_predicted_trace(
+    bench: &Benchmark,
+    instrs: u64,
+) -> Result<Arc<PredictedTrace>, SpecfetchError> {
+    try_get_or_init(predicted_map(), (bench.name, instrs), || {
+        Ok(Arc::new(PredictedTrace::build(&try_shared_trace(bench, instrs)?)))
     })
 }
 
+/// Infallible convenience over [`try_predicted_trace`]; panics like
+/// [`shared_trace`].
+pub fn predicted_trace(bench: &Benchmark, instrs: u64) -> Arc<PredictedTrace> {
+    try_predicted_trace(bench, instrs)
+        .unwrap_or_else(|e| panic!("overlay for {}/{instrs}: {e}", bench.name))
+}
+
 /// A fresh replay cursor over [`predicted_trace`]'s overlay.
+///
+/// # Errors
+///
+/// Propagates [`try_shared_trace`]'s errors.
+pub fn try_predicted_source(
+    bench: &Benchmark,
+    instrs: u64,
+) -> Result<PredictedSource, SpecfetchError> {
+    Ok(PredictedTrace::source(&try_predicted_trace(bench, instrs)?))
+}
+
+/// Infallible convenience over [`try_predicted_source`]; panics like
+/// [`shared_trace`].
 pub fn predicted_source(bench: &Benchmark, instrs: u64) -> PredictedSource {
     PredictedTrace::source(&predicted_trace(bench, instrs))
 }
@@ -97,6 +223,11 @@ pub fn predicted_source(bench: &Benchmark, instrs: u64) -> PredictedSource {
 /// The finished result of simulating `bench` for `instrs` instructions
 /// under `cfg` — computed by `run` at most once process-wide (the engine
 /// is deterministic, so every revisit of the same grid point is a clone).
+///
+/// `run` must be infallible: acquire the replay source *before* calling
+/// this (via [`try_predicted_source`] / [`try_recorded_source`]) so
+/// trace failures propagate as errors instead of panicking inside the
+/// memo cell.
 pub fn memoized_result(
     bench: &Benchmark,
     instrs: u64,
@@ -128,6 +259,16 @@ mod tests {
         let c = shared_trace(b, 2_222);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(c.len(), 2_222);
+    }
+
+    #[test]
+    fn fallible_and_infallible_paths_share_one_entry() {
+        let b = Benchmark::by_name("gcc").unwrap();
+        let a = try_shared_trace(b, 1_357).unwrap();
+        let c = shared_trace(b, 1_357);
+        assert!(Arc::ptr_eq(&a, &c));
+        let p = try_predicted_trace(b, 1_357).unwrap();
+        assert!(Arc::ptr_eq(&p, &predicted_trace(b, 1_357)));
     }
 
     #[test]
@@ -198,5 +339,52 @@ mod tests {
             Simulator::new(cfg2).run(predicted_source(b, 6_000))
         });
         assert_ne!(a.cycles, d.cycles, "longer penalty must cost cycles");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_evicts_inflight_cells() {
+        let map: Map<&'static str, u32> = Mutex::new(HashMap::new());
+
+        // One finished entry, one whose initialisation is "in flight"
+        // (cell present but unset) when the poisoning panic hits.
+        {
+            let mut g = map.lock().unwrap();
+            let done: Cell<u32> = Arc::default();
+            done.set(7).unwrap();
+            g.insert("done", done);
+            g.insert("inflight", Arc::default());
+        }
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = map.lock().unwrap();
+            panic!("poison the cache lock");
+        }));
+        assert!(map.is_poisoned(), "the panic above must have poisoned the lock");
+
+        let g = lock_recovering(&map);
+        assert_eq!(
+            g.get("done").and_then(|c| c.get().copied()),
+            Some(7),
+            "finished entries survive"
+        );
+        assert!(!g.contains_key("inflight"), "in-flight entries are evicted for rebuild");
+        drop(g);
+        assert!(!map.is_poisoned(), "recovery clears the poison flag");
+
+        // The evicted key rebuilds cleanly on the next request.
+        assert_eq!(get_or_init(&map, "inflight", || 42), 42);
+        assert_eq!(get_or_init(&map, "done", || unreachable!("cached")), 7);
+    }
+
+    #[test]
+    fn errors_are_not_cached_and_later_success_is() {
+        let map: Map<&'static str, u32> = Mutex::new(HashMap::new());
+        let e = try_get_or_init(&map, "k", || Err(SpecfetchError::Injected { action: "err" }))
+            .unwrap_err();
+        assert!(matches!(e, SpecfetchError::Injected { .. }));
+
+        // The failure did not wedge the cell: the retry computes, and the
+        // third call is a cache hit.
+        assert_eq!(try_get_or_init(&map, "k", || Ok(9)).unwrap(), 9);
+        assert_eq!(try_get_or_init(&map, "k", || unreachable!("cached")).unwrap(), 9);
     }
 }

@@ -1,0 +1,159 @@
+//! End-to-end tests of the `specfetch-repro` binary: argument
+//! validation, exit codes, fault injection, and the on-disk trace cache.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_specfetch-repro"))
+        .args(args)
+        .output()
+        .expect("spawning specfetch-repro")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("specfetch-repro-cli-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn unknown_experiment_is_rejected_up_front_with_the_valid_ids() {
+    let out = repro(&["--experiment", "table99"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = stderr(&out);
+    assert!(err.contains("unknown experiment \"table99\""), "stderr: {err}");
+    assert!(err.contains("valid ids:"), "stderr: {err}");
+    for id in ["table2", "table7", "figure4", "ablation-bus"] {
+        assert!(err.contains(id), "stderr must list {id}: {err}");
+    }
+    assert!(stdout(&out).is_empty(), "nothing may run before validation");
+}
+
+#[test]
+fn unknown_argument_and_bad_inject_grammar_exit_2() {
+    let out = repro(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown argument"));
+
+    for bad in
+        ["point=table3", "point=table3:x,panic", "point=table3:1,explode", "chaos=2000@1,err"]
+    {
+        let out = repro(&["--experiment", "table3", "--inject", bad]);
+        assert_eq!(out.status.code(), Some(2), "--inject {bad:?} must be a usage error");
+        assert!(stdout(&out).is_empty(), "--inject {bad:?} must not run anything");
+    }
+}
+
+#[test]
+fn injected_panic_fails_one_cell_and_the_exit_code_while_the_rest_renders() {
+    // table3 point 2 is doduc's 32K run: exactly one derived column.
+    let out =
+        repro(&["--experiment", "table3", "--instrs", "2000", "--inject", "point=table3:2,panic"]);
+    assert_eq!(out.status.code(), Some(1), "failed cells exit 1, at the end");
+    let text = stdout(&out);
+    assert_eq!(text.matches("FAILED(injected panic)").count(), 1, "exactly one cell fails: {text}");
+    assert!(text.contains("Average"), "the rest of the table still renders: {text}");
+    assert!(text.contains("doduc") && text.contains("porky"), "all rows render: {text}");
+    assert!(stderr(&out).contains("1 failed cell(s)"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn injected_error_is_typed_and_isolated() {
+    let out =
+        repro(&["--experiment", "table3", "--instrs", "2000", "--inject", "point=table3:0,err"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    // Point 0 is doduc's depth-4 baseline, which feeds four columns.
+    assert_eq!(text.matches("FAILED(injected err)").count(), 4, "{text}");
+    assert!(text.contains("porky"), "other rows still render");
+}
+
+#[test]
+fn injected_slowdown_does_not_fail_anything() {
+    let out =
+        repro(&["--experiment", "table2", "--instrs", "2000", "--inject", "point=table2:0,slow"]);
+    assert_eq!(out.status.code(), Some(0), "slow is not a failure: {}", stderr(&out));
+    assert!(!stdout(&out).contains("FAILED"));
+}
+
+#[test]
+fn injection_into_one_experiment_leaves_the_others_alone() {
+    let out = repro(&[
+        "--experiment",
+        "extras",
+        "--instrs",
+        "1000",
+        "--inject",
+        "point=ablation-assoc:1,panic",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert_eq!(text.matches("FAILED(injected panic)").count(), 3, "one assoc row = 3 cells");
+    for id in ["ablation-prefetch", "ablation-bpred", "ablation-penalty", "ablation-bus"] {
+        assert!(text.contains(&format!("== {id}")), "{id} must still render");
+    }
+}
+
+#[test]
+fn trace_dir_round_trips_and_a_corrupt_file_self_heals() {
+    let dir = scratch("heal");
+    let dir_s = dir.to_str().unwrap();
+    let run = |extra: &[&str]| {
+        let mut args = vec!["--experiment", "table2", "--instrs", "1500", "--trace-dir", dir_s];
+        args.extend_from_slice(extra);
+        repro(&args)
+    };
+
+    let cold = run(&[]);
+    assert_eq!(cold.status.code(), Some(0), "{}", stderr(&cold));
+    let cached: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sftb"))
+        .collect();
+    assert_eq!(cached.len(), 13, "one cache file per benchmark");
+
+    let warm = run(&[]);
+    assert_eq!(warm.status.code(), Some(0));
+    assert_eq!(stdout(&warm), stdout(&cold), "cached replay must not change the report");
+
+    // Corrupt one cache file; the run warns, quarantines, regenerates,
+    // and still succeeds with identical output.
+    let victim = &cached[0];
+    let bytes = std::fs::read(victim).unwrap();
+    std::fs::write(victim, &bytes[..bytes.len() / 3]).unwrap();
+    let healed = run(&[]);
+    assert_eq!(healed.status.code(), Some(0), "{}", stderr(&healed));
+    assert_eq!(stdout(&healed), stdout(&cold));
+    assert!(stderr(&healed).contains("failed verification"), "{}", stderr(&healed));
+    assert!(
+        victim.with_extension("sftb.quarantined").exists()
+            || std::fs::read(victim).unwrap().len() > bytes.len() / 3,
+        "bad file must be replaced"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn list_and_help_exit_cleanly() {
+    let out = repro(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("table2") && text.contains("ablation-bus"));
+
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("--inject"));
+}

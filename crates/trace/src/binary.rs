@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic  "SFTB"              4 bytes
-//! version u16 = 1
+//! version u16 = 2
 //! base    u64
 //! entry   u64
 //! n_image u64
@@ -15,7 +15,16 @@
 //! path records:
 //!     tag u8      0=not-taken 1=taken 2=indirect
 //!     target u64  (tag 2 only)
+//! checksum u64    (version >= 2: FNV-1a 64 over every preceding byte)
 //! ```
+//!
+//! The checksum footer (new in version 2) lets readers distinguish a
+//! structurally-plausible-but-corrupted file from a valid one: bit flips
+//! that survive the structural checks (a perturbed aligned target, a
+//! flipped taken bit) still fail verification, and truncation is caught
+//! by the missing footer. Version-1 files (no footer) are still read;
+//! versions from the future are rejected with a typed error so an old
+//! build never misinterprets a newer layout.
 
 use std::io::{Read, Write};
 
@@ -24,14 +33,63 @@ use specfetch_isa::{Addr, InstrKind, ProgramBuilder, INSTR_BYTES};
 use crate::{Outcome, Trace, TraceError};
 
 const MAGIC: &[u8; 4] = b"SFTB";
-const VERSION: u16 = 1;
+/// The version this build writes.
+const VERSION: u16 = 2;
+/// The newest version this build can read.
+const MAX_READ_VERSION: u16 = 2;
 
-/// Serialises a trace in the binary format.
+/// Running FNV-1a 64-bit hash — the checksum of the `.sftb` footer.
+/// In-repo (no external deps), byte-order independent, and cheap enough
+/// to fold into streaming reads and writes.
+#[derive(Copy, Clone, Debug)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// A writer that folds everything written through it into a checksum.
+struct HashWriter<W> {
+    inner: W,
+    hash: Fnv64,
+}
+
+impl<W: Write> Write for HashWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Serialises a trace in the binary format (version 2: with a checksum
+/// footer).
 ///
 /// # Errors
 ///
 /// Returns [`TraceError::Io`] on write failure.
 pub fn write_trace_binary<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceError> {
+    let mut w = HashWriter { inner: w, hash: Fnv64::new() };
     let p = trace.program();
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
@@ -69,12 +127,16 @@ pub fn write_trace_binary<W: Write>(trace: &Trace, w: &mut W) -> Result<(), Trac
             }
         }
     }
+    // The footer is the hash of everything before it, written raw.
+    let sum = w.hash.finish();
+    w.inner.write_all(&sum.to_le_bytes())?;
     Ok(())
 }
 
 struct Cursor<R> {
     reader: R,
     offset: u64,
+    hash: Fnv64,
 }
 
 impl<R: Read> Cursor<R> {
@@ -88,6 +150,7 @@ impl<R: Read> Cursor<R> {
             }
         })?;
         self.offset += N as u64;
+        self.hash.update(&buf);
         Ok(buf)
     }
 
@@ -114,24 +177,51 @@ impl<R: Read> Cursor<R> {
         }
         Ok(Addr::new(raw))
     }
+
+    /// Reads the raw (unhashed) checksum footer and verifies it against
+    /// the running hash of everything read so far.
+    fn verify_footer(&mut self) -> Result<(), TraceError> {
+        let expected = self.hash.finish();
+        let mut buf = [0u8; 8];
+        self.reader.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Malformed { at: self.offset, detail: "missing checksum footer".into() }
+            } else {
+                TraceError::Io(e)
+            }
+        })?;
+        let found = u64::from_le_bytes(buf);
+        if found != expected {
+            return Err(TraceError::Checksum { expected, found });
+        }
+        Ok(())
+    }
 }
 
 /// Parses a trace in the binary format.
 ///
+/// Accepts version 1 (no checksum footer, the original layout) and
+/// version 2 (checksum-verified); rejects newer versions with
+/// [`TraceError::BadHeader`] rather than guessing at their layout.
+///
 /// # Errors
 ///
 /// Returns [`TraceError`] on I/O failure, a bad magic/version, a truncated
-/// or malformed record, or an invalid embedded image.
+/// or malformed record, a checksum mismatch, or an invalid embedded image.
 pub fn read_trace_binary<R: Read>(reader: R) -> Result<Trace, TraceError> {
-    let mut c = Cursor { reader, offset: 0 };
+    let mut c = Cursor { reader, offset: 0, hash: Fnv64::new() };
 
     let magic: [u8; 4] = c.bytes()?;
     if &magic != MAGIC {
         return Err(TraceError::BadHeader { detail: format!("bad magic {magic:?}") });
     }
     let version = c.u16()?;
-    if version != VERSION {
-        return Err(TraceError::BadHeader { detail: format!("unsupported version {version}") });
+    if version == 0 || version > MAX_READ_VERSION {
+        return Err(TraceError::BadHeader {
+            detail: format!(
+                "unsupported trace version {version} (this build reads 1..={MAX_READ_VERSION})"
+            ),
+        });
     }
 
     let base = c.addr()?;
@@ -173,6 +263,10 @@ pub fn read_trace_binary<R: Read>(reader: R) -> Result<Trace, TraceError> {
         outcomes.push(o);
     }
 
+    if version >= 2 {
+        c.verify_footer()?;
+    }
+
     Ok(Trace::new(program, outcomes))
 }
 
@@ -194,6 +288,12 @@ mod tests {
         let outcomes =
             vec![Outcome::taken(), Outcome::not_taken(), Outcome::indirect(Addr::new(0x2004))];
         Trace::new(b.finish().unwrap(), outcomes)
+    }
+
+    fn encoded() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace_binary(&sample_trace(), &mut buf).unwrap();
+        buf
     }
 
     #[test]
@@ -222,24 +322,70 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_version() {
+    fn rejects_version_from_the_future() {
         let mut buf = Vec::new();
         buf.extend_from_slice(b"SFTB");
         buf.extend_from_slice(&9u16.to_le_bytes());
         let e = read_trace_binary(buf.as_slice()).unwrap_err();
-        assert!(matches!(e, TraceError::BadHeader { .. }));
+        let TraceError::BadHeader { detail } = &e else { panic!("wrong variant: {e}") };
+        assert!(detail.contains("version 9"), "{detail}");
+    }
+
+    #[test]
+    fn rejects_version_zero() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SFTB");
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(read_trace_binary(buf.as_slice()), Err(TraceError::BadHeader { .. })));
+    }
+
+    #[test]
+    fn reads_legacy_version_1_without_footer() {
+        // A minimal v1 file, as the pre-checksum writer produced it:
+        // one Seq instruction, no outcomes, no footer.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SFTB");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // base
+        buf.extend_from_slice(&0u64.to_le_bytes()); // entry
+        buf.extend_from_slice(&1u64.to_le_bytes()); // n_image
+        buf.push(0); // Seq
+        buf.extend_from_slice(&0u64.to_le_bytes()); // n_path
+        let t = read_trace_binary(buf.as_slice()).unwrap();
+        assert_eq!(t.program().len(), 1);
+        assert!(t.outcomes().is_empty());
     }
 
     #[test]
     fn rejects_truncation_at_every_prefix() {
-        let t = sample_trace();
-        let mut buf = Vec::new();
-        write_trace_binary(&t, &mut buf).unwrap();
-        // Any strict prefix must fail (never panic, never succeed).
+        let buf = encoded();
+        // Any strict prefix must fail (never panic, never succeed) —
+        // including the prefix that is only missing the checksum footer.
         for cut in 0..buf.len() {
             let r = read_trace_binary(&buf[..cut]);
             assert!(r.is_err(), "prefix of {cut} bytes unexpectedly parsed");
         }
+    }
+
+    #[test]
+    fn rejects_flipped_checksum_byte() {
+        let mut buf = encoded();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let e = read_trace_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::Checksum { .. }), "wrong variant: {e}");
+    }
+
+    #[test]
+    fn rejects_structurally_valid_payload_corruption() {
+        // Flip bit 3 (+8) in a target address: stays 4-aligned, so the
+        // structural checks pass and only the checksum catches it.
+        let mut buf = encoded();
+        // First CondBranch target starts after magic(4)+ver(2)+base(8)+
+        // entry(8)+n_image(8)+opcode(1)+opcode(1) = 32.
+        buf[32] ^= 0x08;
+        let e = read_trace_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(e, TraceError::Checksum { .. }), "wrong variant: {e}");
     }
 
     #[test]

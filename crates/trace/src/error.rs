@@ -22,6 +22,14 @@ pub enum TraceError {
         /// Human-readable detail.
         detail: String,
     },
+    /// The binary trace's checksum footer did not match its contents —
+    /// the file was corrupted after it was written.
+    Checksum {
+        /// The checksum computed over the bytes actually read.
+        expected: u64,
+        /// The checksum stored in the file's footer.
+        found: u64,
+    },
     /// The program image embedded in the trace failed validation.
     BadImage(specfetch_isa::ProgramBuildError),
     /// Replay walked to a PC outside the program image.
@@ -43,6 +51,11 @@ impl fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
             TraceError::BadHeader { detail } => write!(f, "bad trace header: {detail}"),
             TraceError::Malformed { at, detail } => write!(f, "malformed trace at {at}: {detail}"),
+            TraceError::Checksum { expected, found } => write!(
+                f,
+                "trace checksum mismatch: contents hash to {expected:#018x} but footer says \
+                 {found:#018x} (file corrupted?)"
+            ),
             TraceError::BadImage(e) => write!(f, "invalid program image in trace: {e}"),
             TraceError::WalkedOffImage { pc } => {
                 write!(f, "replay walked off the program image at {pc}")
@@ -86,6 +99,7 @@ mod tests {
             TraceError::Io(io::Error::other("boom")),
             TraceError::BadHeader { detail: "nope".into() },
             TraceError::Malformed { at: 3, detail: "bad token".into() },
+            TraceError::Checksum { expected: 1, found: 2 },
             TraceError::BadImage(specfetch_isa::ProgramBuildError::Empty),
             TraceError::WalkedOffImage { pc: Addr::new(4) },
             TraceError::OutcomeMismatch { pc: Addr::new(8) },

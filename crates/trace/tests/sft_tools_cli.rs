@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::process::Command;
 
 use specfetch_isa::{Addr, InstrKind, ProgramBuilder};
-use specfetch_trace::{write_trace_text, Outcome, Trace};
+use specfetch_trace::{write_trace_binary, write_trace_text, Outcome, Trace};
 
 fn sft_tools() -> Command {
     Command::new(env!("CARGO_BIN_EXE_sft_tools"))
@@ -97,6 +97,79 @@ fn rejects_unknown_extension_and_missing_file() {
     let out = sft_tools().args(["stats", "/tmp/whatever.xyz"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("extension"));
+}
+
+/// Writes a valid binary trace into its own scratch directory (the
+/// shared `temp_dir` races with tests that remove it) and returns its
+/// path + bytes.
+fn binary_fixture(dir: &std::path::Path, name: &str) -> (PathBuf, Vec<u8>) {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    write_trace_binary(&sample_trace(), &mut f).unwrap();
+    drop(f);
+    let bytes = std::fs::read(&path).unwrap();
+    (path, bytes)
+}
+
+fn stats_stderr(path: &std::path::Path) -> (bool, String) {
+    let out = sft_tools().args(["stats", path.to_str().unwrap()]).output().unwrap();
+    (out.status.success(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+#[test]
+fn truncated_binary_is_a_typed_parse_error() {
+    let dir = std::env::temp_dir().join(format!("sft-tools-corrupt-{}-trunc", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (path, bytes) = binary_fixture(&dir, "trunc.sftb");
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+    let (ok, err) = stats_stderr(&path);
+    assert!(!ok, "truncated file must fail");
+    assert!(err.contains("parse"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let dir = std::env::temp_dir().join(format!("sft-tools-corrupt-{}-magic", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (path, mut bytes) = binary_fixture(&dir, "magic.sftb");
+    bytes[0] = b'X';
+    std::fs::write(&path, &bytes).unwrap();
+    let (ok, err) = stats_stderr(&path);
+    assert!(!ok);
+    assert!(err.contains("bad trace header"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_payload_byte_is_caught_by_the_checksum() {
+    let dir = std::env::temp_dir().join(format!("sft-tools-corrupt-{}-flip", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (path, mut bytes) = binary_fixture(&dir, "flip.sftb");
+    // Flip a bit inside the 8-byte FNV footer: the body parses cleanly,
+    // so only the checksum comparison can catch it.
+    let n = bytes.len();
+    bytes[n - 3] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+    let (ok, err) = stats_stderr(&path);
+    assert!(!ok);
+    assert!(err.contains("checksum"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_from_the_future_is_rejected() {
+    let dir = std::env::temp_dir().join(format!("sft-tools-corrupt-{}-future", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (path, mut bytes) = binary_fixture(&dir, "future.sftb");
+    // The u16 version follows the 4-byte magic, little-endian.
+    bytes[4] = 0xEE;
+    bytes[5] = 0x03;
+    std::fs::write(&path, &bytes).unwrap();
+    let (ok, err) = stats_stderr(&path);
+    assert!(!ok);
+    assert!(err.contains("unsupported trace version 1006"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -18,7 +18,7 @@ fn optimistic_beats_pessimistic_at_small_penalty() {
     let d4: Vec<_> = rows.iter().filter(|r| r.depth == 4).collect();
     let mut wins = 0;
     for r in &d4 {
-        if r.ispi[1] < r.ispi[3] {
+        if r.ispi[1].as_ref().unwrap() < r.ispi[3].as_ref().unwrap() {
             wins += 1;
         }
     }
@@ -30,7 +30,7 @@ fn optimistic_beats_pessimistic_at_small_penalty() {
 fn resume_tracks_oracle() {
     let rows = table5::data(&opts());
     for r in rows.iter().filter(|r| r.depth == 4) {
-        let (oracle, resume) = (r.ispi[0], r.ispi[2]);
+        let (oracle, resume) = (*r.ispi[0].as_ref().unwrap(), *r.ispi[2].as_ref().unwrap());
         assert!(
             resume <= oracle * 1.05 + 0.02,
             "{}: Resume {resume:.3} strays from Oracle {oracle:.3}",
@@ -45,7 +45,11 @@ fn resume_tracks_oracle() {
 fn depth_effect_matches_paper() {
     let rows = table5::data(&opts());
     let avg = |depth: usize, p: usize| {
-        let xs: Vec<f64> = rows.iter().filter(|r| r.depth == depth).map(|r| r.ispi[p]).collect();
+        let xs: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.depth == depth)
+            .map(|r| *r.ispi[p].as_ref().unwrap())
+            .collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     };
     for p in 0..5 {
@@ -64,19 +68,21 @@ fn depth_effect_matches_paper() {
 fn classification_shape() {
     let rows = table4::data(&opts());
     let avg_spr: f64 =
-        rows.iter().map(|r| r.class.spec_prefetch_pct()).sum::<f64>() / rows.len() as f64;
+        rows.iter().map(|r| r.class.as_ref().unwrap().spec_prefetch_pct()).sum::<f64>()
+            / rows.len() as f64;
     let avg_spo: f64 =
-        rows.iter().map(|r| r.class.spec_pollute_pct()).sum::<f64>() / rows.len() as f64;
+        rows.iter().map(|r| r.class.as_ref().unwrap().spec_pollute_pct()).sum::<f64>()
+            / rows.len() as f64;
     assert!(avg_spr > avg_spo, "SPr {avg_spr:.2} must exceed SPo {avg_spo:.2}");
 
     // Fortran codes: both speculation effects are minimal (paper: "both
     // effects are minimal").
     for r in rows.iter().take(3) {
         assert!(
-            r.class.spec_pollute_pct() < 0.5,
+            r.class.as_ref().unwrap().spec_pollute_pct() < 0.5,
             "{}: Fortran pollution {:.2}% too high",
             r.benchmark.name,
-            r.class.spec_pollute_pct()
+            r.class.as_ref().unwrap().spec_pollute_pct()
         );
     }
 }
@@ -91,7 +97,7 @@ fn prefetch_helps_at_small_penalty() {
             let xs: Vec<f64> = bars
                 .iter()
                 .filter(|b| b.policy == policy && b.prefetch == pref)
-                .map(|b| b.result.ispi())
+                .map(|b| b.result.as_ref().unwrap().ispi())
                 .collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
@@ -103,7 +109,7 @@ fn prefetch_helps_at_small_penalty() {
         let xs: Vec<f64> = bars
             .iter()
             .filter(|b| b.policy == policy && b.prefetch == pref)
-            .map(|b| b.result.ispi())
+            .map(|b| b.result.as_ref().unwrap().ispi())
             .collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     };
