@@ -1,0 +1,271 @@
+//! The miss-gate stage: what to do with a demand I-cache miss taken
+//! during speculative execution.
+//!
+//! Each of the paper's Table 1 policies is one [`MissGate`]
+//! implementation; the engine consults the gate exactly once per demand
+//! miss that no buffer could satisfy. A gate sees only the
+//! machine-visible speculation state through a [`GateView`] — the one
+//! exception is [`OracleGate`], whose whole point is perfect (and
+//! unrealisable) path knowledge.
+
+use std::collections::VecDeque;
+
+use super::{needs_resolution, Inflight};
+use crate::FetchPolicy;
+
+/// A gate's verdict on one demand miss.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum GateDecision {
+    /// Service the miss now: issue the fill as soon as the bus frees.
+    Proceed,
+    /// Hold the fill until the given cycle, then re-evaluate (the line
+    /// may have arrived through a prefetch or resume buffer meanwhile,
+    /// and a machine-visible redirect discards the gated miss outright).
+    ForceWait {
+        /// First cycle at which the fill may issue.
+        until: u64,
+    },
+    /// Never service this miss: the wrong-path walk halts and the machine
+    /// idles out the branch penalty (Oracle on a wrong path).
+    Squash,
+}
+
+/// Machine state a gate may consult when deciding on a miss.
+///
+/// Constructed by the engine per decision; the accessors compute the two
+/// wait horizons the paper's conservative policies use.
+pub struct GateView<'a> {
+    cycle: u64,
+    on_wrong_path: bool,
+    unresolved_conds: usize,
+    decode_latency: u64,
+    last_fetch_cycle: Option<u64>,
+    inflight: &'a VecDeque<Inflight>,
+}
+
+impl<'a> GateView<'a> {
+    pub(super) fn new(
+        cycle: u64,
+        on_wrong_path: bool,
+        unresolved_conds: usize,
+        decode_latency: u64,
+        last_fetch_cycle: Option<u64>,
+        inflight: &'a VecDeque<Inflight>,
+    ) -> Self {
+        GateView {
+            cycle,
+            on_wrong_path,
+            unresolved_conds,
+            decode_latency,
+            last_fetch_cycle,
+            inflight,
+        }
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Ground truth: is fetch currently on a wrong path? Only the Oracle
+    /// gate may consult this — real hardware cannot.
+    pub fn on_wrong_path(&self) -> bool {
+        self.on_wrong_path
+    }
+
+    /// Unresolved conditional branches currently in flight (the
+    /// speculation depth the machine can observe).
+    pub fn unresolved_conds(&self) -> usize {
+        self.unresolved_conds
+    }
+
+    /// Decode gate: the first cycle by which every previously fetched
+    /// instruction has decoded (misfetch guard only). Any instruction
+    /// fetched within the last `decode_latency` cycles — branch or not,
+    /// the machine cannot tell yet — holds the gate.
+    pub fn decode_gate(&self) -> u64 {
+        let mut until = self.cycle;
+        if let Some(last) = self.last_fetch_cycle {
+            until = until.max(last + self.decode_latency);
+        }
+        for f in self.inflight {
+            if !f.decode_done {
+                until = until.max(f.decode_at);
+            }
+        }
+        until
+    }
+
+    /// Resolve gate: every outstanding branch resolved, every previous
+    /// instruction decoded (the Pessimistic policy's full wait).
+    pub fn resolve_gate(&self) -> u64 {
+        let mut until = self.decode_gate();
+        for f in self.inflight {
+            if !f.resolved && needs_resolution(f.kind) {
+                until = until.max(f.resolve_at);
+            }
+        }
+        until
+    }
+}
+
+/// A fetch policy's miss gate: decides, per demand miss, whether the fill
+/// proceeds, waits, or is squashed.
+///
+/// The five paper policies are provided; [`crate::FrontEnd::with_gate`]
+/// accepts any implementation, so new policies need no engine changes.
+pub trait MissGate: Send + Sync {
+    /// Decide what happens to the miss described by `view`.
+    fn decide(&self, view: &GateView<'_>) -> GateDecision;
+
+    /// After a machine-visible redirect, does an in-flight demand fill
+    /// detach into the resume buffer (freeing the fetch engine) rather
+    /// than keep blocking fetch until it completes? True for Resume-style
+    /// policies only.
+    fn detaches_redirected_fill(&self) -> bool {
+        false
+    }
+}
+
+/// Oracle: service only right-path misses (unrealisable yardstick).
+pub struct OracleGate;
+
+impl MissGate for OracleGate {
+    fn decide(&self, view: &GateView<'_>) -> GateDecision {
+        if view.on_wrong_path() {
+            GateDecision::Squash
+        } else {
+            GateDecision::Proceed
+        }
+    }
+}
+
+/// Optimistic: service every miss immediately; the blocking fill stalls
+/// the machine even across a redirect.
+pub struct OptimisticGate;
+
+impl MissGate for OptimisticGate {
+    fn decide(&self, _view: &GateView<'_>) -> GateDecision {
+        GateDecision::Proceed
+    }
+}
+
+/// Resume: service every miss immediately, but a redirect detaches the
+/// outstanding fill into the resume buffer and fetch continues.
+pub struct ResumeGate;
+
+impl MissGate for ResumeGate {
+    fn decide(&self, _view: &GateView<'_>) -> GateDecision {
+        GateDecision::Proceed
+    }
+
+    fn detaches_redirected_fill(&self) -> bool {
+        true
+    }
+}
+
+/// Pessimistic: hold every fill until all outstanding branches resolve
+/// and all previous instructions decode.
+pub struct PessimisticGate;
+
+impl MissGate for PessimisticGate {
+    fn decide(&self, view: &GateView<'_>) -> GateDecision {
+        GateDecision::ForceWait { until: view.resolve_gate() }
+    }
+}
+
+/// Decode: hold every fill until all previous instructions decode
+/// (guards misfetches only).
+pub struct DecodeGate;
+
+impl MissGate for DecodeGate {
+    fn decide(&self, view: &GateView<'_>) -> GateDecision {
+        GateDecision::ForceWait { until: view.decode_gate() }
+    }
+}
+
+/// The first non-paper policy: Resume while speculation is shallow,
+/// Pessimistic once the branch window holds `threshold` or more
+/// unresolved conditionals — exactly when a miss is most likely to sit on
+/// a wrong path. Unlike Oracle it reads only machine-visible state.
+pub struct DynamicGate {
+    /// Unresolved-conditional count at which the gate turns conservative.
+    pub threshold: usize,
+}
+
+impl Default for DynamicGate {
+    /// Half the paper baseline's four-deep branch window.
+    fn default() -> Self {
+        DynamicGate { threshold: 2 }
+    }
+}
+
+impl MissGate for DynamicGate {
+    fn decide(&self, view: &GateView<'_>) -> GateDecision {
+        if view.unresolved_conds() >= self.threshold {
+            GateDecision::ForceWait { until: view.resolve_gate() }
+        } else {
+            GateDecision::Proceed
+        }
+    }
+
+    fn detaches_redirected_fill(&self) -> bool {
+        true
+    }
+}
+
+/// The gate implementing a named policy.
+pub fn for_policy(policy: FetchPolicy) -> Box<dyn MissGate> {
+    match policy {
+        FetchPolicy::Oracle => Box::new(OracleGate),
+        FetchPolicy::Optimistic => Box::new(OptimisticGate),
+        FetchPolicy::Resume => Box::new(ResumeGate),
+        FetchPolicy::Pessimistic => Box::new(PessimisticGate),
+        FetchPolicy::Decode => Box::new(DecodeGate),
+        FetchPolicy::Dynamic => Box::new(DynamicGate::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(queue: &VecDeque<Inflight>, conds: usize, wrong: bool) -> GateView<'_> {
+        GateView::new(100, wrong, conds, 2, Some(99), queue)
+    }
+
+    #[test]
+    fn oracle_squashes_only_wrong_path_misses() {
+        let q = VecDeque::new();
+        assert_eq!(OracleGate.decide(&view(&q, 0, true)), GateDecision::Squash);
+        assert_eq!(OracleGate.decide(&view(&q, 0, false)), GateDecision::Proceed);
+    }
+
+    #[test]
+    fn conservative_gates_wait_on_the_right_horizon() {
+        let q = VecDeque::new();
+        // No in-flight branches: the decode horizon is still held open by
+        // the instruction fetched last cycle.
+        let v = view(&q, 0, false);
+        assert_eq!(DecodeGate.decide(&v), GateDecision::ForceWait { until: 101 });
+        assert_eq!(PessimisticGate.decide(&v), GateDecision::ForceWait { until: 101 });
+    }
+
+    #[test]
+    fn dynamic_switches_on_window_occupancy() {
+        let q = VecDeque::new();
+        assert_eq!(DynamicGate::default().decide(&view(&q, 1, false)), GateDecision::Proceed);
+        assert!(matches!(
+            DynamicGate::default().decide(&view(&q, 2, false)),
+            GateDecision::ForceWait { .. }
+        ));
+        assert!(DynamicGate::default().detaches_redirected_fill());
+    }
+
+    #[test]
+    fn detach_contract_matches_policies() {
+        for p in FetchPolicy::ALL {
+            assert_eq!(for_policy(p).detaches_redirected_fill(), p == FetchPolicy::Resume, "{p}");
+        }
+    }
+}

@@ -57,13 +57,19 @@ mod classify;
 mod config;
 mod engine;
 mod error;
+mod frontend;
 mod metrics;
 mod policy;
 mod simulator;
 
 pub use classify::MissClass;
 pub use config::{SimConfig, SimConfigError};
+pub use engine::gate::{
+    DecodeGate, DynamicGate, GateDecision, GateView, MissGate, OptimisticGate, OracleGate,
+    PessimisticGate, ResumeGate,
+};
 pub use error::SpecfetchError;
+pub use frontend::FrontEnd;
 pub use metrics::{IspiBreakdown, SimResult};
 pub use policy::FetchPolicy;
 pub use simulator::Simulator;

@@ -27,10 +27,17 @@ pub enum FetchPolicy {
     /// and fetch if the miss was not caused by a misfetch. Cheaper tax
     /// than Pessimistic, but still fetches down mispredicted paths.
     Decode,
+    /// Non-paper bonus policy: behave like Resume while speculation is
+    /// shallow, like Pessimistic once the machine is deep into unresolved
+    /// conditionals (where a miss is most likely wrong-path). Realisable
+    /// hardware — the heuristic reads only the branch-window occupancy.
+    Dynamic,
 }
 
 impl FetchPolicy {
-    /// All five policies, in the paper's presentation order.
+    /// The five *paper* policies, in the paper's presentation order.
+    /// [`FetchPolicy::Dynamic`] is deliberately absent: every paper table
+    /// iterates this array and must keep its published shape.
     pub const ALL: [FetchPolicy; 5] = [
         FetchPolicy::Oracle,
         FetchPolicy::Optimistic,
@@ -47,6 +54,7 @@ impl FetchPolicy {
             FetchPolicy::Resume => "Res",
             FetchPolicy::Pessimistic => "Pess",
             FetchPolicy::Decode => "Dec",
+            FetchPolicy::Dynamic => "Dyn",
         }
     }
 
@@ -55,9 +63,27 @@ impl FetchPolicy {
         match self {
             FetchPolicy::Oracle | FetchPolicy::Pessimistic => false,
             // Decode fetches down mispredicted (though not misfetched)
-            // paths.
-            FetchPolicy::Optimistic | FetchPolicy::Resume | FetchPolicy::Decode => true,
+            // paths; Dynamic fills freely while speculation is shallow.
+            FetchPolicy::Optimistic
+            | FetchPolicy::Resume
+            | FetchPolicy::Decode
+            | FetchPolicy::Dynamic => true,
         }
+    }
+
+    /// Parses a policy from its short or full name, case-insensitively.
+    pub fn parse(s: &str) -> Option<FetchPolicy> {
+        let all = [
+            FetchPolicy::Oracle,
+            FetchPolicy::Optimistic,
+            FetchPolicy::Resume,
+            FetchPolicy::Pessimistic,
+            FetchPolicy::Decode,
+            FetchPolicy::Dynamic,
+        ];
+        all.into_iter().find(|p| {
+            s.eq_ignore_ascii_case(p.short_name()) || s.eq_ignore_ascii_case(&p.to_string())
+        })
     }
 }
 
@@ -69,6 +95,7 @@ impl fmt::Display for FetchPolicy {
             FetchPolicy::Resume => write!(f, "Resume"),
             FetchPolicy::Pessimistic => write!(f, "Pessimistic"),
             FetchPolicy::Decode => write!(f, "Decode"),
+            FetchPolicy::Dynamic => write!(f, "Dynamic"),
         }
     }
 }
@@ -100,6 +127,25 @@ mod tests {
         for p in FetchPolicy::ALL {
             assert!(!p.to_string().is_empty());
             assert!(!p.short_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn dynamic_stays_out_of_the_paper_set() {
+        assert!(!FetchPolicy::ALL.contains(&FetchPolicy::Dynamic));
+        assert!(FetchPolicy::Dynamic.fills_wrong_path());
+    }
+
+    #[test]
+    fn parse_accepts_short_and_full_names() {
+        assert_eq!(FetchPolicy::parse("Res"), Some(FetchPolicy::Resume));
+        assert_eq!(FetchPolicy::parse("resume"), Some(FetchPolicy::Resume));
+        assert_eq!(FetchPolicy::parse("PESS"), Some(FetchPolicy::Pessimistic));
+        assert_eq!(FetchPolicy::parse("Dyn"), Some(FetchPolicy::Dynamic));
+        assert_eq!(FetchPolicy::parse("Rez"), None);
+        for p in FetchPolicy::ALL {
+            assert_eq!(FetchPolicy::parse(p.short_name()), Some(p));
+            assert_eq!(FetchPolicy::parse(&p.to_string()), Some(p));
         }
     }
 }

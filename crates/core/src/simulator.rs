@@ -2,7 +2,7 @@
 
 use specfetch_trace::PathSource;
 
-use crate::engine::Engine;
+use crate::engine::{gate, Engine};
 use crate::{SimConfig, SimResult};
 
 /// Runs the fetch engine over a path source.
@@ -39,7 +39,7 @@ impl Simulator {
 
     /// Simulates until `source` is exhausted and returns the measurements.
     pub fn run<S: PathSource>(&self, mut source: S) -> SimResult {
-        Engine::new(self.config, &mut source).run()
+        Engine::new(self.config, gate::for_policy(self.config.policy), &mut source).run()
     }
 }
 

@@ -1,10 +1,14 @@
-//! `specfetch-repro`: regenerate the paper's tables and figures.
+//! `specfetch-repro`: regenerate the paper's tables and figures, or run
+//! a user-defined sweep through the same pipeline.
 //!
 //! ```text
-//! specfetch-repro [--experiment <id>|all] [--instrs N] [--format plain|markdown|csv]
-//!                 [--sequential] [--no-trace-cache] [--no-predict-cache]
-//!                 [--trace-dir <dir>] [--inject <spec>] [--list]
+//! specfetch-repro [--experiment <id>|all] [--sweep <spec>] [--instrs N]
+//!                 [--format plain|markdown|csv] [--sequential] [--no-trace-cache]
+//!                 [--no-predict-cache] [--trace-dir <dir>] [--inject <spec>] [--list]
 //! ```
+//!
+//! A sweep spec is whitespace-separated `axis=value[,value...]` terms,
+//! e.g. `--sweep 'policy=Res,Pess cache=8K,32K penalty=5,20 metric=ispi'`.
 //!
 //! Exit codes: `0` success, `1` one or more grid points or experiments
 //! failed (everything else still ran and rendered), `2` usage error
@@ -13,9 +17,10 @@
 use std::process::ExitCode;
 
 use specfetch_experiments::fault::FaultPlan;
+use specfetch_experiments::sweep::AXES;
 use specfetch_experiments::{
-    disk_cache, fault, is_known_experiment, run_experiment, Format, RunOptions, EXPERIMENT_IDS,
-    EXTRA_EXPERIMENT_IDS,
+    disk_cache, fault, is_known_experiment, parse_sweep, run_experiment, run_scenario, Format,
+    RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
 };
 
 /// Usage problems abort before any experiment runs.
@@ -23,13 +28,15 @@ const EXIT_USAGE: u8 = 2;
 
 struct Args {
     experiment: String,
+    sweep: Option<String>,
     format: Format,
     opts: RunOptions,
     list: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut experiment = "all".to_owned();
+    let mut experiment: Option<String> = None;
+    let mut sweep: Option<String> = None;
     let mut format = Format::Plain;
     let mut opts = RunOptions::new();
     let mut list = false;
@@ -38,7 +45,10 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--experiment" | "-e" => {
-                experiment = it.next().ok_or("--experiment needs a value")?;
+                experiment = Some(it.next().ok_or("--experiment needs a value")?);
+            }
+            "--sweep" | "-s" => {
+                sweep = Some(it.next().ok_or("--sweep needs a spec")?);
             }
             "--instrs" | "-n" => {
                 let v = it.next().ok_or("--instrs needs a value")?;
@@ -77,12 +87,21 @@ fn parse_args() -> Result<Args, String> {
             "--list" => list = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: specfetch-repro [--experiment <id>|all] [--instrs N] \
-                     [--format plain|markdown|csv] [--sequential] [--no-trace-cache] \
-                     [--no-predict-cache] [--trace-dir <dir>] [--inject <spec>] [--list]"
+                    "usage: specfetch-repro [--experiment <id>|all] [--sweep <spec>] \
+                     [--instrs N] [--format plain|markdown|csv] [--sequential] \
+                     [--no-trace-cache] [--no-predict-cache] [--trace-dir <dir>] \
+                     [--inject <spec>] [--list]"
                 );
                 println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
                 println!("extras:      extras {}", EXTRA_EXPERIMENT_IDS.join(" "));
+                println!(
+                    "sweep spec:  whitespace-separated axis=value[,value...] terms; the \
+                     configuration axes cross-multiply"
+                );
+                for (name, values) in AXES {
+                    println!("  {name:<10} {values}");
+                }
+                println!("  {:<10} projection: ispi, miss, traffic, cycles, ipc", "metric");
                 println!(
                     "inject spec: point=<experiment>:<n>,<panic|err|slow> or \
                      chaos=<permille>@<seed>,<action>; ';'-separated"
@@ -92,7 +111,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Args { experiment, format, opts, list })
+    if sweep.is_some() && experiment.is_some() {
+        return Err("--sweep and --experiment are mutually exclusive".into());
+    }
+    Ok(Args {
+        experiment: experiment.unwrap_or_else(|| "all".to_owned()),
+        sweep,
+        format,
+        opts,
+        list,
+    })
 }
 
 fn main() -> ExitCode {
@@ -107,6 +135,30 @@ fn main() -> ExitCode {
     if args.list {
         for id in EXPERIMENT_IDS.iter().chain(EXTRA_EXPERIMENT_IDS.iter()) {
             println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // A user-defined sweep runs through the same scenario pipeline as
+    // the paper experiments: shared trace cache, result memo, per-point
+    // fault isolation, and the same `--inject point=sweep:N` numbering.
+    if let Some(spec) = &args.sweep {
+        let scenario = match parse_sweep(spec) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        fault::begin_experiment("sweep");
+        let started = std::time::Instant::now();
+        let report = run_scenario(scenario, &args.opts).render();
+        let failed_cells = report.failed_cells();
+        println!("{}", report.render(args.format));
+        eprintln!("[sweep done in {:.1}s]\n", started.elapsed().as_secs_f64());
+        if failed_cells > 0 {
+            eprintln!("specfetch-repro: {failed_cells} failed cell(s), 0 failed experiment(s)");
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }

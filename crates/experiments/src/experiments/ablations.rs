@@ -4,14 +4,36 @@
 //! These quantify the design decisions the paper takes as given (its
 //! §2 cites the papers these mechanisms come from) plus the
 //! set-associative caches it leaves unexplored.
+//!
+//! Each ablation declares its grid as a [`Scenario`] and runs through
+//! the shared [`run_scenario`] pipeline (per-point fault isolation,
+//! process-wide trace cache, result memo); only the rendering stays
+//! bespoke. The row-level failure model matches the pre-scenario code:
+//! a benchmark's row reports the first failing point in it.
 
 use specfetch_bpred::{BtbCoupling, DirectionKind, GhrUpdate, PhtTrain};
-use specfetch_core::{FetchPolicy, SpecfetchError};
+use specfetch_core::{FetchPolicy, SimResult};
 use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::baseline;
-use crate::runner::{isolated_map, mean, simulate_benchmark, try_simulate_benchmark};
-use crate::{par_map, ExperimentReport, RunOptions, Table};
+use crate::runner::{mean, CellFailure, Measured};
+use crate::scenario::{run_scenario, ConfigPoint, Scenario, ScenarioGrid};
+use crate::{ExperimentReport, RunOptions, Table};
+
+/// All of one benchmark's cells, or the first failure among them.
+fn row_results(grid: &ScenarioGrid, bi: usize) -> Result<Vec<&SimResult>, &CellFailure> {
+    grid.bench_cells(bi).iter().map(|c| c.as_ref()).collect()
+}
+
+/// Suite-average ISPI of one grid column, or its first failing cell.
+/// Benchmarks are averaged in suite order, so the mean is bit-identical
+/// to a hand-rolled loop over [`Benchmark::all`].
+fn col_ispi(grid: &ScenarioGrid, pi: usize) -> Measured<f64> {
+    let vals: Vec<f64> = (0..grid.scenario.benches.len())
+        .map(|bi| grid.cell(bi, pi).as_ref().map(SimResult::ispi).map_err(Clone::clone))
+        .collect::<Result<_, _>>()?;
+    Ok(mean(vals))
+}
 
 // ---------------------------------------------------------------------------
 // Prefetch variants
@@ -19,6 +41,15 @@ use crate::{par_map, ExperimentReport, RunOptions, Table};
 
 /// Prefetch configurations compared by [`prefetch_data`].
 pub const PREFETCH_VARIANTS: [&str; 5] = ["none", "next-line", "target", "both-path", "stream"];
+
+/// `(next_line, target, stream_buffer)` per variant, same order.
+const PREFETCH_FLAGS: [(bool, bool, bool); 5] = [
+    (false, false, false),
+    (true, false, false),
+    (false, true, false),
+    (true, true, false),
+    (false, false, true),
+];
 
 /// ISPI and traffic per prefetch variant for one benchmark (Resume
 /// policy, baseline machine).
@@ -32,47 +63,56 @@ pub struct PrefetchRow {
     pub traffic: [u64; 5],
 }
 
-/// One benchmark's prefetch-variant sweep, with trace failures typed.
-fn try_prefetch_row(
-    b: &'static Benchmark,
-    opts: RunOptions,
-) -> Result<PrefetchRow, SpecfetchError> {
-    let mut ispi = [0.0; 5];
-    let mut traffic = [0u64; 5];
-    for (i, &(next, target, stream)) in [
-        (false, false, false),
-        (true, false, false),
-        (false, true, false),
-        (true, true, false),
-        (false, false, true),
-    ]
-    .iter()
-    .enumerate()
-    {
-        let mut cfg = baseline(FetchPolicy::Resume);
-        cfg.prefetch = next;
-        cfg.target_prefetch = target;
-        cfg.stream_buffer = stream;
-        let r = try_simulate_benchmark(b, cfg, opts)?;
-        ispi[i] = r.ispi();
-        traffic[i] = r.total_traffic();
-    }
-    Ok(PrefetchRow { benchmark: b, ispi, traffic })
+/// The declarative grid: the five prefetch variants under Resume.
+pub(crate) fn prefetch_scenario() -> Scenario {
+    let points = PREFETCH_VARIANTS
+        .iter()
+        .zip(PREFETCH_FLAGS)
+        .map(|(&label, (next, target, stream))| {
+            let mut cfg = baseline(FetchPolicy::Resume);
+            cfg.prefetch = next;
+            cfg.target_prefetch = target;
+            cfg.stream_buffer = stream;
+            ConfigPoint::new(label, cfg)
+        })
+        .collect();
+    Scenario::suite(
+        "ablation-prefetch",
+        "Prefetch variants under Resume: none / next-line (paper) / target \
+         (Smith & Hsu) / both-path (Pierce & Mudge)",
+        points,
+    )
+}
+
+/// Re-chunks an evaluated prefetch grid into per-benchmark rows.
+fn prefetch_rows(grid: &ScenarioGrid) -> Vec<Measured<PrefetchRow>> {
+    grid.scenario
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(bi, &benchmark)| {
+            let runs = row_results(grid, bi).map_err(Clone::clone)?;
+            Ok(PrefetchRow {
+                benchmark,
+                ispi: std::array::from_fn(|i| runs[i].ispi()),
+                traffic: std::array::from_fn(|i| runs[i].total_traffic()),
+            })
+        })
+        .collect()
 }
 
 /// Gathers the prefetch-variant sweep.
 pub fn prefetch_data(opts: &RunOptions) -> Vec<PrefetchRow> {
-    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let opts = *opts;
-    par_map(benches, opts.parallel, |b| {
-        try_prefetch_row(b, opts).unwrap_or_else(|e| panic!("sweeping {}: {e}", b.name))
-    })
+    prefetch_rows(&run_scenario(prefetch_scenario(), opts))
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("prefetch sweep: {}", e.reason)))
+        .collect()
 }
 
 /// Renders the prefetch-variant report.
 pub fn run_prefetch(opts: &RunOptions) -> ExperimentReport {
-    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let rows = isolated_map(benches.clone(), opts, |b| try_prefetch_row(b, *opts));
+    let grid = run_scenario(prefetch_scenario(), opts);
+    let rows = prefetch_rows(&grid);
     let mut table = Table::new([
         "bench",
         "none",
@@ -82,7 +122,7 @@ pub fn run_prefetch(opts: &RunOptions) -> ExperimentReport {
         "stream",
         "traffic x (nl/t/both/sb)",
     ]);
-    for (b, row) in benches.iter().zip(&rows) {
+    for (b, row) in grid.scenario.benches.iter().zip(&rows) {
         let mut cells = vec![b.name.to_owned()];
         match row {
             Ok(r) => {
@@ -142,45 +182,67 @@ pub struct BpredRow {
     pub accuracy: [f64; 6],
 }
 
-/// One benchmark's branch-architecture sweep, with trace failures typed.
-fn try_bpred_row(b: &'static Benchmark, opts: RunOptions) -> Result<BpredRow, SpecfetchError> {
-    let mut ispi = [0.0; 6];
-    let mut accuracy = [0.0; 6];
-    for (i, variant) in BPRED_VARIANTS.iter().enumerate() {
-        let mut cfg = baseline(FetchPolicy::Resume);
-        match *variant {
-            "paper" => {}
-            "coupled-btb" => cfg.bpred.coupling = BtbCoupling::Coupled,
-            "bimodal" => cfg.bpred.direction = DirectionKind::Bimodal,
-            "static-nt" => cfg.bpred.direction = DirectionKind::StaticNotTaken,
-            "spec-ghr" => cfg.bpred.ghr_update = GhrUpdate::Speculative,
-            "resolve-idx" => cfg.bpred.pht_train = PhtTrain::ResolveIndex,
-            other => unreachable!("unknown variant {other}"),
-        }
-        let r = try_simulate_benchmark(b, cfg, opts)?;
-        ispi[i] = r.ispi();
-        accuracy[i] = r.bpred.cond_accuracy();
-    }
-    Ok(BpredRow { benchmark: b, ispi, accuracy })
+/// The declarative grid: the six branch-architecture variants under
+/// Resume.
+pub(crate) fn bpred_scenario() -> Scenario {
+    let points = BPRED_VARIANTS
+        .iter()
+        .map(|&variant| {
+            let mut cfg = baseline(FetchPolicy::Resume);
+            match variant {
+                "paper" => {}
+                "coupled-btb" => cfg.bpred.coupling = BtbCoupling::Coupled,
+                "bimodal" => cfg.bpred.direction = DirectionKind::Bimodal,
+                "static-nt" => cfg.bpred.direction = DirectionKind::StaticNotTaken,
+                "spec-ghr" => cfg.bpred.ghr_update = GhrUpdate::Speculative,
+                "resolve-idx" => cfg.bpred.pht_train = PhtTrain::ResolveIndex,
+                other => unreachable!("unknown variant {other}"),
+            }
+            ConfigPoint::new(variant, cfg)
+        })
+        .collect();
+    Scenario::suite(
+        "ablation-bpred",
+        "Branch-architecture ablations under Resume (decoupled gshare is the \
+         paper's choice)",
+        points,
+    )
+}
+
+/// Re-chunks an evaluated branch-architecture grid into per-benchmark
+/// rows.
+fn bpred_rows(grid: &ScenarioGrid) -> Vec<Measured<BpredRow>> {
+    grid.scenario
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(bi, &benchmark)| {
+            let runs = row_results(grid, bi).map_err(Clone::clone)?;
+            Ok(BpredRow {
+                benchmark,
+                ispi: std::array::from_fn(|i| runs[i].ispi()),
+                accuracy: std::array::from_fn(|i| runs[i].bpred.cond_accuracy()),
+            })
+        })
+        .collect()
 }
 
 /// Gathers the branch-architecture sweep (Resume policy).
 pub fn bpred_data(opts: &RunOptions) -> Vec<BpredRow> {
-    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let opts = *opts;
-    par_map(benches, opts.parallel, |b| {
-        try_bpred_row(b, opts).unwrap_or_else(|e| panic!("sweeping {}: {e}", b.name))
-    })
+    bpred_rows(&run_scenario(bpred_scenario(), opts))
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("bpred sweep: {}", e.reason)))
+        .collect()
 }
 
 /// Renders the branch-architecture report.
 pub fn run_bpred(opts: &RunOptions) -> ExperimentReport {
-    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let rows = isolated_map(benches.clone(), opts, |b| try_bpred_row(b, *opts));
+    let grid = run_scenario(bpred_scenario(), opts);
+    let rows = bpred_rows(&grid);
     let mut headers = vec!["bench".to_owned()];
     headers.extend(BPRED_VARIANTS.iter().map(|v| format!("{v} (acc%)")));
     let mut table = Table::new(headers);
-    for (b, row) in benches.iter().zip(&rows) {
+    for (b, row) in grid.scenario.benches.iter().zip(&rows) {
         let mut cells = vec![b.name.to_owned()];
         match row {
             Ok(r) => {
@@ -235,35 +297,55 @@ pub struct AssocRow {
     pub ispi: [f64; 3],
 }
 
-/// One benchmark's associativity sweep, with trace failures typed.
-fn try_assoc_row(b: &'static Benchmark, opts: RunOptions) -> Result<AssocRow, SpecfetchError> {
-    let mut miss = [0.0; 3];
-    let mut ispi = [0.0; 3];
-    for (i, assoc) in ASSOCIATIVITIES.into_iter().enumerate() {
-        let mut cfg = baseline(FetchPolicy::Resume);
-        cfg.icache.assoc = assoc;
-        let r = try_simulate_benchmark(b, cfg, opts)?;
-        miss[i] = r.miss_rate_pct();
-        ispi[i] = r.ispi();
-    }
-    Ok(AssocRow { benchmark: b, miss, ispi })
+/// The declarative grid: three associativities at 8K under Resume.
+pub(crate) fn assoc_scenario() -> Scenario {
+    let points = ASSOCIATIVITIES
+        .into_iter()
+        .map(|assoc| {
+            let mut cfg = baseline(FetchPolicy::Resume);
+            cfg.icache.assoc = assoc;
+            ConfigPoint::new(format!("{assoc}-way"), cfg)
+        })
+        .collect();
+    Scenario::suite(
+        "ablation-assoc",
+        "8K I-cache associativity under Resume (the paper models direct-mapped \
+         only)",
+        points,
+    )
+}
+
+/// Re-chunks an evaluated associativity grid into per-benchmark rows.
+fn assoc_rows(grid: &ScenarioGrid) -> Vec<Measured<AssocRow>> {
+    grid.scenario
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(bi, &benchmark)| {
+            let runs = row_results(grid, bi).map_err(Clone::clone)?;
+            Ok(AssocRow {
+                benchmark,
+                miss: std::array::from_fn(|i| runs[i].miss_rate_pct()),
+                ispi: std::array::from_fn(|i| runs[i].ispi()),
+            })
+        })
+        .collect()
 }
 
 /// Gathers the associativity sweep.
 pub fn assoc_data(opts: &RunOptions) -> Vec<AssocRow> {
-    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let opts = *opts;
-    par_map(benches, opts.parallel, |b| {
-        try_assoc_row(b, opts).unwrap_or_else(|e| panic!("sweeping {}: {e}", b.name))
-    })
+    assoc_rows(&run_scenario(assoc_scenario(), opts))
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("associativity sweep: {}", e.reason)))
+        .collect()
 }
 
 /// Renders the associativity report.
 pub fn run_assoc(opts: &RunOptions) -> ExperimentReport {
-    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let rows = isolated_map(benches.clone(), opts, |b| try_assoc_row(b, *opts));
+    let grid = run_scenario(assoc_scenario(), opts);
+    let rows = assoc_rows(&grid);
     let mut table = Table::new(["bench", "DM miss%/ISPI", "2-way miss%/ISPI", "4-way miss%/ISPI"]);
-    for (b, row) in benches.iter().zip(&rows) {
+    for (b, row) in grid.scenario.benches.iter().zip(&rows) {
         let mut cells = vec![b.name.to_owned()];
         match row {
             Ok(r) => cells.extend((0..3).map(|i| format!("{:.2}/{:.3}", r.miss[i], r.ispi[i]))),
@@ -314,41 +396,59 @@ pub struct PenaltyRow {
     pub resume_pref: f64,
 }
 
-/// Sweeps the miss penalty for Resume, Pessimistic, and Resume+prefetch,
-/// locating the crossover the paper's summary describes ("when the miss
-/// penalty is high, Pessimistic performs as well as Resume on average").
-pub fn penalty_data(opts: &RunOptions) -> Vec<PenaltyRow> {
-    let opts = *opts;
-    let work: Vec<u64> = PENALTIES.to_vec();
-    par_map(work, opts.parallel, |penalty| penalty_row(penalty, opts))
+/// The declarative grid: `penalty × (Resume, Pessimistic, Resume+Pref)`,
+/// penalty-major — three columns per [`PENALTIES`] entry.
+pub(crate) fn penalty_scenario() -> Scenario {
+    let mut points = Vec::new();
+    for penalty in PENALTIES {
+        for (label, policy, prefetch) in [
+            ("Res", FetchPolicy::Resume, false),
+            ("Pess", FetchPolicy::Pessimistic, false),
+            ("Res+Pref", FetchPolicy::Resume, true),
+        ] {
+            let mut cfg = baseline(policy);
+            cfg.miss_penalty = penalty;
+            cfg.prefetch = prefetch;
+            points.push(ConfigPoint::new(format!("p{penalty}/{label}"), cfg));
+        }
+    }
+    Scenario::suite(
+        "ablation-penalty",
+        "Miss-penalty sweep: where the conservative policy catches up (paper \
+         summary / §5.2.1)",
+        points,
+    )
 }
 
-/// One penalty point: suite averages for the three configurations. Uses
-/// the panicking simulator; the isolated report path captures panics per
-/// row.
-fn penalty_row(penalty: u64, opts: RunOptions) -> PenaltyRow {
-    let avg = |cfg_of: &dyn Fn() -> specfetch_core::SimConfig| {
-        mean(Benchmark::all().iter().map(|b| {
-            let mut cfg = cfg_of();
-            cfg.miss_penalty = penalty;
-            simulate_benchmark(b, cfg, opts).ispi()
-        }))
-    };
-    PenaltyRow {
-        penalty,
-        resume: avg(&|| baseline(FetchPolicy::Resume)),
-        pessimistic: avg(&|| baseline(FetchPolicy::Pessimistic)),
-        resume_pref: avg(&|| {
-            let mut c = baseline(FetchPolicy::Resume);
-            c.prefetch = true;
-            c
-        }),
-    }
+/// Projects an evaluated penalty grid into suite-average rows, locating
+/// the crossover the paper's summary describes ("when the miss penalty
+/// is high, Pessimistic performs as well as Resume on average").
+fn penalty_rows(grid: &ScenarioGrid) -> Vec<Measured<PenaltyRow>> {
+    PENALTIES
+        .iter()
+        .enumerate()
+        .map(|(i, &penalty)| {
+            Ok(PenaltyRow {
+                penalty,
+                resume: col_ispi(grid, 3 * i)?,
+                pessimistic: col_ispi(grid, 3 * i + 1)?,
+                resume_pref: col_ispi(grid, 3 * i + 2)?,
+            })
+        })
+        .collect()
+}
+
+/// Gathers the miss-penalty sweep.
+pub fn penalty_data(opts: &RunOptions) -> Vec<PenaltyRow> {
+    penalty_rows(&run_scenario(penalty_scenario(), opts))
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("penalty sweep: {}", e.reason)))
+        .collect()
 }
 
 /// Renders the penalty-sweep report.
 pub fn run_penalty(opts: &RunOptions) -> ExperimentReport {
-    let rows = isolated_map(PENALTIES.to_vec(), opts, |penalty| Ok(penalty_row(penalty, *opts)));
+    let rows = penalty_rows(&run_scenario(penalty_scenario(), opts));
     let mut table = Table::new(["penalty", "Resume", "Pessimistic", "Pess/Res", "Resume+Pref"]);
     for (penalty, row) in PENALTIES.into_iter().zip(&rows) {
         let mut cells = vec![penalty.to_string()];
@@ -395,31 +495,56 @@ pub struct BusRow {
     pub prefetch: f64,
 }
 
-/// Tests the paper's §6 hypothesis: does pipelining miss requests rescue
-/// next-line prefetching at the 20-cycle penalty (where Figure 4 shows it
-/// hurting)?
-pub fn bus_data(opts: &RunOptions) -> Vec<BusRow> {
-    let opts = *opts;
-    par_map(BUS_SLOTS.to_vec(), opts.parallel, |slots| bus_row(slots, opts))
-}
-
-/// One bus configuration: suite averages with and without prefetching.
-fn bus_row(slots: usize, opts: RunOptions) -> BusRow {
-    let avg = |prefetch: bool| {
-        mean(Benchmark::all().iter().map(|b| {
+/// The declarative grid: `bus slots × (plain, prefetch)` under Resume at
+/// the 20-cycle penalty, slot-major — two columns per [`BUS_SLOTS`]
+/// entry. Tests the paper's §6 hypothesis: does pipelining miss requests
+/// rescue next-line prefetching where Figure 4 shows it hurting?
+pub(crate) fn bus_scenario() -> Scenario {
+    let mut points = Vec::new();
+    for slots in BUS_SLOTS {
+        for prefetch in [false, true] {
             let mut cfg = baseline(FetchPolicy::Resume);
             cfg.miss_penalty = 20;
             cfg.bus_slots = slots;
             cfg.prefetch = prefetch;
-            simulate_benchmark(b, cfg, opts).ispi()
-        }))
-    };
-    BusRow { slots, plain: avg(false), prefetch: avg(true) }
+            let label =
+                if prefetch { format!("b{slots}/Res+Pref") } else { format!("b{slots}/Res") };
+            points.push(ConfigPoint::new(label, cfg));
+        }
+    }
+    Scenario::suite(
+        "ablation-bus",
+        "Pipelined miss requests at the 20-cycle penalty (paper §6 future work)",
+        points,
+    )
+}
+
+/// Projects an evaluated bus grid into suite-average rows.
+fn bus_rows(grid: &ScenarioGrid) -> Vec<Measured<BusRow>> {
+    BUS_SLOTS
+        .iter()
+        .enumerate()
+        .map(|(i, &slots)| {
+            Ok(BusRow {
+                slots,
+                plain: col_ispi(grid, 2 * i)?,
+                prefetch: col_ispi(grid, 2 * i + 1)?,
+            })
+        })
+        .collect()
+}
+
+/// Gathers the pipelined-bus sweep.
+pub fn bus_data(opts: &RunOptions) -> Vec<BusRow> {
+    bus_rows(&run_scenario(bus_scenario(), opts))
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("bus sweep: {}", e.reason)))
+        .collect()
 }
 
 /// Renders the pipelined-bus report.
 pub fn run_bus(opts: &RunOptions) -> ExperimentReport {
-    let rows = isolated_map(BUS_SLOTS.to_vec(), opts, |slots| Ok(bus_row(slots, *opts)));
+    let rows = bus_rows(&run_scenario(bus_scenario(), opts));
     let mut table = Table::new(["bus slots", "Resume", "Resume+Pref", "prefetch gain%"]);
     for (slots, row) in BUS_SLOTS.into_iter().zip(&rows) {
         let mut cells = vec![slots.to_string()];

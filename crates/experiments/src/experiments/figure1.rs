@@ -4,8 +4,9 @@ use specfetch_core::{FetchPolicy, SimConfig};
 use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::baseline;
-use crate::paper::FIGURE_BENCHMARKS;
-use crate::runner::{try_run_grid, GridCell, GridPoint};
+use crate::paper::figure_benches;
+use crate::runner::GridCell;
+use crate::scenario::{run_scenario, ConfigPoint, Scenario, ScenarioGrid};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// One bar of the figure: a `(benchmark, policy)` breakdown.
@@ -20,23 +21,35 @@ pub struct Bar {
     pub result: GridCell,
 }
 
-/// Collects the figure's bars for an arbitrary config generator (shared
+/// One [`ConfigPoint`] per paper policy, labelled by short name (shared
 /// with Figure 2, which only changes the miss penalty).
-pub(crate) fn bars(opts: &RunOptions, cfg_for: impl Fn(FetchPolicy) -> SimConfig) -> Vec<Bar> {
-    let mut keys = Vec::new();
-    let mut points = Vec::new();
-    for name in FIGURE_BENCHMARKS {
-        let b = Benchmark::by_name(name).expect("figure benchmarks exist");
-        for policy in FetchPolicy::ALL {
-            keys.push((b, policy));
-            points.push(GridPoint::new(b, cfg_for(policy)));
+pub(crate) fn policy_points(cfg_for: impl Fn(FetchPolicy) -> SimConfig) -> Vec<ConfigPoint> {
+    FetchPolicy::ALL
+        .into_iter()
+        .map(|policy| ConfigPoint::new(policy.short_name(), cfg_for(policy)))
+        .collect()
+}
+
+/// The declarative grid: figure benchmarks × the five paper policies.
+pub(crate) fn scenario() -> Scenario {
+    Scenario::suite(
+        "figure1",
+        "ISPI breakdown, baseline (8K, 5-cycle penalty, depth 4) — paper Figure 1",
+        policy_points(baseline),
+    )
+    .with_benches(figure_benches())
+}
+
+/// Flattens an evaluated policy grid back into per-`(bench, policy)`
+/// bars, in the figure's row order.
+pub(crate) fn bars_of(grid: &ScenarioGrid) -> Vec<Bar> {
+    let mut bars = Vec::new();
+    for (bi, &benchmark) in grid.scenario.benches.iter().enumerate() {
+        for (pi, policy) in FetchPolicy::ALL.into_iter().enumerate() {
+            bars.push(Bar { benchmark, policy, result: grid.cell(bi, pi).clone() });
         }
     }
-    try_run_grid(&points, opts)
-        .into_iter()
-        .zip(keys)
-        .map(|(result, (benchmark, policy))| Bar { benchmark, policy, result })
-        .collect()
+    bars
 }
 
 /// Renders a breakdown table shared by Figures 1 and 2.
@@ -81,7 +94,7 @@ pub(crate) fn breakdown_report(
 
 /// Gathers the figure's data at the baseline configuration.
 pub fn data(opts: &RunOptions) -> Vec<Bar> {
-    bars(opts, baseline)
+    bars_of(&run_scenario(scenario(), opts))
 }
 
 /// Renders the report.
@@ -101,6 +114,7 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::paper::FIGURE_BENCHMARKS;
 
     fn opts() -> RunOptions {
         RunOptions::smoke().with_instrs(80_000)
@@ -131,6 +145,10 @@ mod tests {
                 FetchPolicy::Decode => {
                     assert_eq!(l.bus, 0);
                 }
+                // Dynamic mixes the Resume and Pessimistic mechanisms,
+                // so any component may appear (and it is not a figure
+                // policy anyway).
+                FetchPolicy::Dynamic => {}
             }
         }
     }

@@ -1,19 +1,32 @@
 //! Paper Figure 2: ISPI breakdown with a long (20-cycle) miss penalty.
 
 use crate::experiments::baseline;
-use crate::experiments::figure1::{bars, breakdown_report, Bar};
+use crate::experiments::figure1::{bars_of, breakdown_report, policy_points, Bar};
+use crate::paper::figure_benches;
+use crate::scenario::{run_scenario, Scenario};
 use crate::{ExperimentReport, RunOptions};
 
 /// The long-latency penalty the paper uses.
 pub const LONG_PENALTY: u64 = 20;
 
+/// The declarative grid: figure benchmarks × the five policies at the
+/// 20-cycle penalty.
+pub(crate) fn scenario() -> Scenario {
+    Scenario::suite(
+        "figure2",
+        "ISPI breakdown, long latency (8K, 20-cycle penalty, depth 4) — paper Figure 2",
+        policy_points(|policy| {
+            let mut cfg = baseline(policy);
+            cfg.miss_penalty = LONG_PENALTY;
+            cfg
+        }),
+    )
+    .with_benches(figure_benches())
+}
+
 /// Gathers the figure's data at the 20-cycle penalty.
 pub fn data(opts: &RunOptions) -> Vec<Bar> {
-    bars(opts, |policy| {
-        let mut cfg = baseline(policy);
-        cfg.miss_penalty = LONG_PENALTY;
-        cfg
-    })
+    bars_of(&run_scenario(scenario(), opts))
 }
 
 /// Renders the report.

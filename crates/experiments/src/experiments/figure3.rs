@@ -4,8 +4,9 @@ use specfetch_core::{FetchPolicy, SimConfig};
 use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::baseline;
-use crate::paper::FIGURE_BENCHMARKS;
-use crate::runner::{try_run_grid, GridCell, GridPoint};
+use crate::paper::figure_benches;
+use crate::runner::GridCell;
+use crate::scenario::{run_scenario, ConfigPoint, Scenario, ScenarioGrid};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// The three policies the paper's prefetch figures compare.
@@ -25,28 +26,52 @@ pub struct Bar {
     pub result: GridCell,
 }
 
-/// Collects prefetch-comparison bars for a config generator (shared with
-/// Figure 4).
-pub(crate) fn bars(
-    opts: &RunOptions,
+/// One [`ConfigPoint`] per `(policy, prefetch?)` combination (shared
+/// with Figure 4, which only changes the miss penalty).
+pub(crate) fn prefetch_points(
     cfg_for: impl Fn(FetchPolicy, bool) -> SimConfig,
-) -> Vec<Bar> {
-    let mut keys = Vec::new();
+) -> Vec<ConfigPoint> {
     let mut points = Vec::new();
-    for name in FIGURE_BENCHMARKS {
-        let b = Benchmark::by_name(name).expect("figure benchmarks exist");
+    for policy in PREFETCH_POLICIES {
+        for prefetch in [false, true] {
+            let label = if prefetch {
+                format!("{}+Pref", policy.short_name())
+            } else {
+                policy.short_name().to_owned()
+            };
+            points.push(ConfigPoint::new(label, cfg_for(policy, prefetch)));
+        }
+    }
+    points
+}
+
+/// The declarative grid: figure benchmarks × `(policy, prefetch?)`.
+pub(crate) fn scenario() -> Scenario {
+    Scenario::suite(
+        "figure3",
+        "Next-line prefetching, baseline penalty (paper Figure 3)",
+        prefetch_points(|policy, prefetch| {
+            let mut cfg = baseline(policy);
+            cfg.prefetch = prefetch;
+            cfg
+        }),
+    )
+    .with_benches(figure_benches())
+}
+
+/// Flattens an evaluated prefetch grid back into per-bar rows.
+pub(crate) fn bars_of(grid: &ScenarioGrid) -> Vec<Bar> {
+    let mut bars = Vec::new();
+    for (bi, &benchmark) in grid.scenario.benches.iter().enumerate() {
+        let mut pi = 0;
         for policy in PREFETCH_POLICIES {
             for prefetch in [false, true] {
-                keys.push((b, policy, prefetch));
-                points.push(GridPoint::new(b, cfg_for(policy, prefetch)));
+                bars.push(Bar { benchmark, policy, prefetch, result: grid.cell(bi, pi).clone() });
+                pi += 1;
             }
         }
     }
-    try_run_grid(&points, opts)
-        .into_iter()
-        .zip(keys)
-        .map(|(result, (benchmark, policy, prefetch))| Bar { benchmark, policy, prefetch, result })
-        .collect()
+    bars
 }
 
 /// Renders a breakdown table shared by Figures 3 and 4.
@@ -96,11 +121,7 @@ pub(crate) fn prefetch_report(
 
 /// Gathers Figure 3's bars (baseline penalty).
 pub fn data(opts: &RunOptions) -> Vec<Bar> {
-    bars(opts, |policy, prefetch| {
-        let mut cfg = baseline(policy);
-        cfg.prefetch = prefetch;
-        cfg
-    })
+    bars_of(&run_scenario(scenario(), opts))
 }
 
 /// Renders the report.

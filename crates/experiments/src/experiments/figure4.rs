@@ -2,17 +2,30 @@
 
 use crate::experiments::baseline;
 use crate::experiments::figure2::LONG_PENALTY;
-use crate::experiments::figure3::{bars, prefetch_report, Bar};
+use crate::experiments::figure3::{bars_of, prefetch_points, prefetch_report, Bar};
+use crate::paper::figure_benches;
+use crate::scenario::{run_scenario, Scenario};
 use crate::{ExperimentReport, RunOptions};
+
+/// The declarative grid: figure benchmarks × `(policy, prefetch?)` at
+/// the 20-cycle penalty.
+pub(crate) fn scenario() -> Scenario {
+    Scenario::suite(
+        "figure4",
+        "Next-line prefetching, long latency (paper Figure 4)",
+        prefetch_points(|policy, prefetch| {
+            let mut cfg = baseline(policy);
+            cfg.miss_penalty = LONG_PENALTY;
+            cfg.prefetch = prefetch;
+            cfg
+        }),
+    )
+    .with_benches(figure_benches())
+}
 
 /// Gathers Figure 4's bars (20-cycle penalty).
 pub fn data(opts: &RunOptions) -> Vec<Bar> {
-    bars(opts, |policy, prefetch| {
-        let mut cfg = baseline(policy);
-        cfg.miss_penalty = LONG_PENALTY;
-        cfg.prefetch = prefetch;
-        cfg
-    })
+    bars_of(&run_scenario(scenario(), opts))
 }
 
 /// Renders the report.

@@ -5,7 +5,8 @@ use specfetch_core::{FetchPolicy, SimResult};
 use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::{baseline, measured, vs, vs_cell};
-use crate::runner::{mean_ok, try_run_grid, GridPoint, Measured};
+use crate::runner::{mean_ok, Measured};
+use crate::scenario::{run_scenario, ConfigPoint, Metric, Scenario};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// Measured Table 3 quantities for one benchmark. Each field carries the
@@ -32,25 +33,35 @@ fn pht_ispi(r: &SimResult) -> f64 {
     r.ispi_component(r.pht_mispredict_slots)
 }
 
-/// Gathers the measured rows: per benchmark, Oracle runs at (8K, depth 4),
-/// (8K, depth 1), and (32K, depth 4).
-pub fn data(opts: &RunOptions) -> Vec<Row> {
-    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+/// The declarative grid: per benchmark, Oracle runs at (8K, depth 4),
+/// (8K, depth 1), and (32K, depth 4). Point order is load-bearing for
+/// `--inject` numbering (CI pins `table3:2`).
+pub(crate) fn scenario() -> Scenario {
     let mut cfg_d1 = baseline(FetchPolicy::Oracle);
     cfg_d1.max_unresolved = 1;
     let mut cfg_32 = baseline(FetchPolicy::Oracle);
     cfg_32.icache = CacheConfig::paper_32k();
-    let mut points = Vec::new();
-    for &b in &benches {
-        for cfg in [baseline(FetchPolicy::Oracle), cfg_d1, cfg_32] {
-            points.push(GridPoint::new(b, cfg));
-        }
-    }
-    let results = try_run_grid(&points, opts);
-    benches
+    Scenario::suite(
+        "table3",
+        "I-cache miss rates and PHT/BTB ISPI (paper Table 3)",
+        vec![
+            ConfigPoint::new("8K/d4", baseline(FetchPolicy::Oracle)),
+            ConfigPoint::new("8K/d1", cfg_d1),
+            ConfigPoint::new("32K/d4", cfg_32),
+        ],
+    )
+    .with_metric(Metric::MissPct)
+}
+
+/// Gathers the measured rows.
+pub fn data(opts: &RunOptions) -> Vec<Row> {
+    let grid = run_scenario(scenario(), opts);
+    grid.scenario
+        .benches
         .iter()
-        .zip(results.chunks_exact(3))
-        .map(|(&b, runs)| {
+        .enumerate()
+        .map(|(bi, &b)| {
+            let runs = grid.bench_cells(bi);
             let (d4, d1, k32) = (&runs[0], &runs[1], &runs[2]);
             Row {
                 benchmark: b,

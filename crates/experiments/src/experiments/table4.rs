@@ -3,9 +3,10 @@
 use specfetch_core::{FetchPolicy, MissClass};
 use specfetch_synth::suite::Benchmark;
 
-use crate::experiments::{baseline, measured, vs};
+use crate::experiments::{baseline, vs};
 use crate::paper::{Table4Row, TABLE4};
-use crate::runner::{mean, try_run_grid, GridPoint, Measured};
+use crate::runner::{mean, CellFailure, Measured};
+use crate::scenario::{run_scenario, ConfigPoint, Scenario};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// Measured classification for one benchmark.
@@ -20,17 +21,35 @@ pub struct Row {
     pub paper: Table4Row,
 }
 
-/// Gathers measured rows: one classified Optimistic run per benchmark.
-pub fn data(opts: &RunOptions) -> Vec<Row> {
+/// The declarative grid: one classified Optimistic point over the suite.
+pub(crate) fn scenario() -> Scenario {
     let mut cfg = baseline(FetchPolicy::Optimistic);
     cfg.classify = true;
-    let points: Vec<GridPoint> = Benchmark::all().iter().map(|b| GridPoint::new(b, cfg)).collect();
-    try_run_grid(&points, opts)
+    Scenario::suite(
+        "table4",
+        "Miss classification: Optimistic vs Oracle (paper Table 4)",
+        vec![ConfigPoint::new("Opt+classify", cfg)],
+    )
+}
+
+/// Gathers measured rows: one classified Optimistic run per benchmark.
+/// A run that comes back without its classification (despite
+/// `cfg.classify`) is reported as that cell's failure instead of
+/// panicking past the grid's isolation layer.
+pub fn data(opts: &RunOptions) -> Vec<Row> {
+    let grid = run_scenario(scenario(), opts);
+    grid.scenario
+        .benches
         .iter()
         .enumerate()
-        .map(|(i, cell)| Row {
-            benchmark: points[i].benchmark,
-            class: measured(cell, |r| r.classification.expect("classification was enabled")),
+        .map(|(i, &benchmark)| Row {
+            benchmark,
+            class: match grid.cell(i, 0) {
+                Ok(r) => r
+                    .classification
+                    .ok_or_else(|| CellFailure { reason: "classification missing".to_owned() }),
+                Err(e) => Err(e.clone()),
+            },
             paper: TABLE4[i],
         })
         .collect()

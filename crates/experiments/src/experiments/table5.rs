@@ -6,7 +6,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::{baseline, measured, vs, vs_cell};
 use crate::paper::TABLE5;
-use crate::runner::{mean_ok, try_run_grid, GridPoint, Measured};
+use crate::runner::{mean_ok, Measured};
+use crate::scenario::{run_scenario, ConfigPoint, Scenario};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// The depths the paper sweeps.
@@ -24,28 +25,31 @@ pub struct Row {
     pub ispi: [Measured<f64>; 5],
 }
 
-/// Gathers the full sweep: 13 benchmarks × 3 depths × 5 policies.
-pub fn data(opts: &RunOptions) -> Vec<Row> {
-    let mut keys = Vec::new();
+/// The declarative grid: per benchmark, `depth × policy` in depth-major
+/// order (15 points), matching the paper's row layout.
+pub(crate) fn scenario() -> Scenario {
     let mut points = Vec::new();
-    for b in Benchmark::all() {
-        for depth in DEPTHS {
-            keys.push((b, depth));
-            for policy in FetchPolicy::ALL {
-                let mut cfg = baseline(policy);
-                cfg.max_unresolved = depth;
-                points.push(GridPoint::new(b, cfg));
-            }
+    for depth in DEPTHS {
+        for policy in FetchPolicy::ALL {
+            let mut cfg = baseline(policy);
+            cfg.max_unresolved = depth;
+            points.push(ConfigPoint::new(format!("d{depth}/{}", policy.short_name()), cfg));
         }
     }
-    let results = try_run_grid(&points, opts);
-    keys.into_iter()
-        .zip(results.chunks_exact(5))
-        .map(|((benchmark, depth), runs)| {
+    Scenario::suite("table5", "Effect of speculation depth on ISPI (paper Table 5)", points)
+}
+
+/// Gathers the full sweep: 13 benchmarks × 3 depths × 5 policies.
+pub fn data(opts: &RunOptions) -> Vec<Row> {
+    let grid = run_scenario(scenario(), opts);
+    let mut rows = Vec::new();
+    for (bi, &benchmark) in grid.scenario.benches.iter().enumerate() {
+        for (di, runs) in grid.bench_cells(bi).chunks_exact(5).enumerate() {
             let ispi = std::array::from_fn(|i| measured(&runs[i], SimResult::ispi));
-            Row { benchmark, depth, ispi }
-        })
-        .collect()
+            rows.push(Row { benchmark, depth: DEPTHS[di], ispi });
+        }
+    }
+    rows
 }
 
 fn depth_idx(depth: usize) -> usize {
@@ -69,12 +73,9 @@ pub fn run(opts: &RunOptions) -> ExperimentReport {
         "Pess (paper)",
         "Dec (paper)",
     ]);
-    for r in &rows {
-        let bench_idx = Benchmark::all()
-            .iter()
-            .position(|b| b.name == r.benchmark.name)
-            .expect("benchmark in suite");
-        let paper = TABLE5[bench_idx][depth_idx(r.depth)];
+    // Rows are benchmark-major with one row per depth, in suite order.
+    for (i, r) in rows.iter().enumerate() {
+        let paper = TABLE5[i / DEPTHS.len()][depth_idx(r.depth)];
         let mut cells = vec![r.benchmark.name.to_owned(), r.depth.to_string()];
         for (m, &published) in r.ispi.iter().zip(paper.iter()) {
             cells.push(vs_cell(m, published));

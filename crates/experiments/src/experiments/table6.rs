@@ -6,7 +6,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::{baseline, measured, vs, vs_cell};
 use crate::paper::TABLE6;
-use crate::runner::{mean_ok, try_run_grid, GridPoint, Measured};
+use crate::runner::{mean_ok, Measured};
+use crate::scenario::{run_scenario, ConfigPoint, Scenario};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// ISPI of all five policies for one benchmark with a 32K cache.
@@ -19,22 +20,28 @@ pub struct Row {
     pub ispi: [Measured<f64>; 5],
 }
 
-/// Gathers the 32K sweep.
-pub fn data(opts: &RunOptions) -> Vec<Row> {
-    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let mut points = Vec::new();
-    for &b in &benches {
-        for policy in FetchPolicy::ALL {
+/// The declarative grid: all five policies at the 32K cache.
+pub(crate) fn scenario() -> Scenario {
+    let points = FetchPolicy::ALL
+        .into_iter()
+        .map(|policy| {
             let mut cfg = baseline(policy);
             cfg.icache = CacheConfig::paper_32k();
-            points.push(GridPoint::new(b, cfg));
-        }
-    }
-    let results = try_run_grid(&points, opts);
-    benches
-        .into_iter()
-        .zip(results.chunks_exact(5))
-        .map(|(benchmark, runs)| {
+            ConfigPoint::new(policy.short_name(), cfg)
+        })
+        .collect();
+    Scenario::suite("table6", "Effect of cache size: 32K direct-mapped (paper Table 6)", points)
+}
+
+/// Gathers the 32K sweep.
+pub fn data(opts: &RunOptions) -> Vec<Row> {
+    let grid = run_scenario(scenario(), opts);
+    grid.scenario
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(bi, &benchmark)| {
+            let runs = grid.bench_cells(bi);
             let ispi = std::array::from_fn(|i| measured(&runs[i], SimResult::ispi));
             Row { benchmark, ispi }
         })

@@ -5,7 +5,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::experiments::{baseline, vs, vs_cell};
 use crate::paper::TABLE7;
-use crate::runner::{mean_ok, try_run_grid, GridPoint, Measured};
+use crate::runner::{mean_ok, Measured};
+use crate::scenario::{run_scenario, ConfigPoint, Metric, Scenario};
 use crate::{ExperimentReport, RunOptions, Table};
 
 /// Traffic ratios for one benchmark: policy-with-prefetch over plain
@@ -20,23 +21,32 @@ pub struct Row {
     pub ratios: [Measured<f64>; 3],
 }
 
+/// The declarative grid: plain Oracle (the traffic base) plus the three
+/// prefetching policies.
+pub(crate) fn scenario() -> Scenario {
+    let mut points = vec![ConfigPoint::new("Oracle", baseline(FetchPolicy::Oracle))];
+    for policy in [FetchPolicy::Oracle, FetchPolicy::Resume, FetchPolicy::Pessimistic] {
+        let mut cfg = baseline(policy);
+        cfg.prefetch = true;
+        points.push(ConfigPoint::new(format!("{}+Pref", policy.short_name()), cfg));
+    }
+    Scenario::suite(
+        "table7",
+        "Memory traffic of prefetching policies vs plain Oracle (paper Table 7)",
+        points,
+    )
+    .with_metric(Metric::Traffic)
+}
+
 /// Gathers the traffic ratios.
 pub fn data(opts: &RunOptions) -> Vec<Row> {
-    let benches: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let mut points = Vec::new();
-    for &b in &benches {
-        points.push(GridPoint::new(b, baseline(FetchPolicy::Oracle)));
-        for policy in [FetchPolicy::Oracle, FetchPolicy::Resume, FetchPolicy::Pessimistic] {
-            let mut cfg = baseline(policy);
-            cfg.prefetch = true;
-            points.push(GridPoint::new(b, cfg));
-        }
-    }
-    let results = try_run_grid(&points, opts);
-    benches
-        .into_iter()
-        .zip(results.chunks_exact(4))
-        .map(|(benchmark, runs)| {
+    let grid = run_scenario(scenario(), opts);
+    grid.scenario
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(bi, &benchmark)| {
+            let runs = grid.bench_cells(bi);
             // The base point's failure poisons all three ratios; a
             // prefetch point's failure poisons only its own.
             let ratios = std::array::from_fn(|i| match (&runs[0], &runs[i + 1]) {

@@ -190,9 +190,9 @@ pub fn install(plan: FaultPlan) -> Result<(), String> {
 }
 
 /// Resets the point counter for a new experiment. Called by
-/// [`crate::run_experiment`] so `point=<exp>:<n>` indices restart at 0
-/// per experiment.
-pub(crate) fn begin_experiment(id: &str) {
+/// [`crate::run_experiment`] (and by the CLI before a user-defined
+/// sweep) so `point=<exp>:<n>` indices restart at 0 per experiment.
+pub fn begin_experiment(id: &str) {
     if PLAN.get().is_none() {
         return;
     }

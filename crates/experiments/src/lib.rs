@@ -36,19 +36,25 @@ pub mod fault;
 mod options;
 pub mod paper;
 mod parallel;
+pub mod registry;
 mod report;
 mod runner;
+pub mod scenario;
+pub mod sweep;
 mod table;
 pub mod trace_cache;
 
 pub use options::RunOptions;
 pub use parallel::{par_map, try_par_map};
+pub use registry::{ExperimentEntry, REGISTRY};
 pub use report::ExperimentReport;
 pub use runner::{
     run_grid, simulate_benchmark, suite_results, try_run_grid, try_simulate_benchmark, BenchResult,
     CellFailure, GridCell, GridPoint, Measured,
 };
+pub use scenario::{run_scenario, ConfigPoint, Metric, Scenario, ScenarioGrid};
 pub use specfetch_core::SpecfetchError;
+pub use sweep::{parse_sweep, SweepError};
 pub use table::{Format, Table};
 
 /// The paper-artifact experiment identifiers (`--experiment all`).
@@ -65,7 +71,7 @@ pub const EXTRA_EXPERIMENT_IDS: [&str; 5] =
 /// Whether `id` names an experiment [`run_experiment`] can dispatch
 /// (paper artifact or ablation).
 pub fn is_known_experiment(id: &str) -> bool {
-    EXPERIMENT_IDS.contains(&id) || EXTRA_EXPERIMENT_IDS.contains(&id)
+    registry::find(id).is_some()
 }
 
 /// Runs one experiment by id, isolated: grid-point failures render as
@@ -93,24 +99,9 @@ pub fn run_experiment(id: &str, opts: &RunOptions) -> Result<ExperimentReport, S
 }
 
 fn dispatch(id: &str, opts: &RunOptions) -> ExperimentReport {
-    match id {
-        "table2" => experiments::table2::run(opts),
-        "table3" => experiments::table3::run(opts),
-        "table4" => experiments::table4::run(opts),
-        "figure1" => experiments::figure1::run(opts),
-        "figure2" => experiments::figure2::run(opts),
-        "table5" => experiments::table5::run(opts),
-        "table6" => experiments::table6::run(opts),
-        "figure3" => experiments::figure3::run(opts),
-        "figure4" => experiments::figure4::run(opts),
-        "table7" => experiments::table7::run(opts),
-        "ablation-prefetch" => experiments::ablations::run_prefetch(opts),
-        "ablation-bpred" => experiments::ablations::run_bpred(opts),
-        "ablation-assoc" => experiments::ablations::run_assoc(opts),
-        "ablation-penalty" => experiments::ablations::run_penalty(opts),
-        "ablation-bus" => experiments::ablations::run_bus(opts),
-        other => unreachable!("is_known_experiment admitted {other}"),
-    }
+    let entry =
+        registry::find(id).unwrap_or_else(|| unreachable!("is_known_experiment admitted {id}"));
+    (entry.run)(opts)
 }
 
 #[cfg(test)]
@@ -132,6 +123,18 @@ mod tests {
         }
         assert!(!is_known_experiment("table99"));
         assert!(!is_known_experiment(""));
+    }
+
+    /// The const id arrays (kept for the bench harness and CLI help) must
+    /// partition the registry exactly, in registry order.
+    #[test]
+    fn id_arrays_mirror_the_registry() {
+        let papers: Vec<&str> =
+            REGISTRY.iter().filter(|e| e.paper_artifact).map(|e| e.id).collect();
+        let extras: Vec<&str> =
+            REGISTRY.iter().filter(|e| !e.paper_artifact).map(|e| e.id).collect();
+        assert_eq!(papers, EXPERIMENT_IDS);
+        assert_eq!(extras, EXTRA_EXPERIMENT_IDS);
     }
 
     #[test]

@@ -173,6 +173,17 @@ pub const TABLE7: [[f64; 3]; N_BENCH] = [
 /// Fortran / C / C++ groups).
 pub const FIGURE_BENCHMARKS: [&str; 5] = ["doduc", "gcc", "li", "groff", "lic"];
 
+/// [`FIGURE_BENCHMARKS`] resolved against the calibrated suite, in
+/// figure order.
+pub fn figure_benches() -> Vec<&'static specfetch_synth::suite::Benchmark> {
+    let resolved: Vec<_> = FIGURE_BENCHMARKS
+        .iter()
+        .filter_map(|n| specfetch_synth::suite::Benchmark::all().iter().find(|b| b.name == *n))
+        .collect();
+    debug_assert_eq!(resolved.len(), FIGURE_BENCHMARKS.len(), "figure benchmarks exist");
+    resolved
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

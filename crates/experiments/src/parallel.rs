@@ -81,11 +81,14 @@ where
                         // Uncontended: the cursor hands each chunk to
                         // exactly one worker; the mutex only moves
                         // ownership out (and is released before `f` runs).
-                        let (base, chunk) = slot
-                            .lock()
-                            .expect("only a panicked claimant could poison this")
-                            .take()
-                            .expect("the cursor claims each chunk once");
+                        // A poisoned lock means a claimant panicked mid-take
+                        // — the chunk state is still a plain Option, so
+                        // recover it rather than propagate the poison.
+                        let Some((base, chunk)) =
+                            slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+                        else {
+                            continue;
+                        };
                         for (off, item) in chunk.into_iter().enumerate() {
                             local.push((base + off, f(item)));
                         }

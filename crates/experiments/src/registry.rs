@@ -1,0 +1,174 @@
+//! The experiment registry: every canonical experiment id mapped to its
+//! report runner and — when its grid is declarative — the [`Scenario`]
+//! behind it.
+//!
+//! The registry is the single source of truth for what `--experiment`
+//! accepts: [`crate::run_experiment`] dispatches through it, the id
+//! lists ([`crate::EXPERIMENT_IDS`], [`crate::EXTRA_EXPERIMENT_IDS`])
+//! are asserted against it, and tooling can introspect an experiment's
+//! grid without running it.
+
+use crate::scenario::Scenario;
+use crate::{experiments, ExperimentReport, RunOptions};
+
+/// One registered experiment.
+#[derive(Clone, Copy)]
+pub struct ExperimentEntry {
+    /// The canonical id (`--experiment <id>`).
+    pub id: &'static str,
+    /// One-line summary of what the experiment reproduces.
+    pub summary: &'static str,
+    /// `true` for a paper artifact (run by `--experiment all`), `false`
+    /// for an extra ablation (run by `--experiment extras`).
+    pub paper_artifact: bool,
+    /// The declarative benchmark × configuration grid the experiment
+    /// evaluates, when it has one. `table2` characterises the traces
+    /// themselves and is the only experiment without a grid.
+    pub scenario: Option<fn() -> Scenario>,
+    /// Renders the experiment's full bespoke report.
+    pub run: fn(&RunOptions) -> ExperimentReport,
+}
+
+/// Every experiment: paper artifacts first, in paper order, then the
+/// ablations.
+pub const REGISTRY: [ExperimentEntry; 15] = [
+    ExperimentEntry {
+        id: "table2",
+        summary: "workload inventory: instruction counts, % branches",
+        paper_artifact: true,
+        scenario: None,
+        run: experiments::table2::run,
+    },
+    ExperimentEntry {
+        id: "table3",
+        summary: "miss rates (8K/32K) + PHT/BTB ISPI at depths 1 and 4",
+        paper_artifact: true,
+        scenario: Some(experiments::table3::scenario),
+        run: experiments::table3::run,
+    },
+    ExperimentEntry {
+        id: "table4",
+        summary: "miss classification BM/SPo/SPr/WP + traffic ratio",
+        paper_artifact: true,
+        scenario: Some(experiments::table4::scenario),
+        run: experiments::table4::run,
+    },
+    ExperimentEntry {
+        id: "figure1",
+        summary: "ISPI breakdown per policy, baseline (5-cycle penalty)",
+        paper_artifact: true,
+        scenario: Some(experiments::figure1::scenario),
+        run: experiments::figure1::run,
+    },
+    ExperimentEntry {
+        id: "figure2",
+        summary: "ISPI breakdown per policy, 20-cycle penalty",
+        paper_artifact: true,
+        scenario: Some(experiments::figure2::scenario),
+        run: experiments::figure2::run,
+    },
+    ExperimentEntry {
+        id: "table5",
+        summary: "ISPI x speculation depth (1/2/4) x policy",
+        paper_artifact: true,
+        scenario: Some(experiments::table5::scenario),
+        run: experiments::table5::run,
+    },
+    ExperimentEntry {
+        id: "table6",
+        summary: "ISPI per policy with a 32K cache",
+        paper_artifact: true,
+        scenario: Some(experiments::table6::scenario),
+        run: experiments::table6::run,
+    },
+    ExperimentEntry {
+        id: "figure3",
+        summary: "next-line prefetching at the baseline penalty",
+        paper_artifact: true,
+        scenario: Some(experiments::figure3::scenario),
+        run: experiments::figure3::run,
+    },
+    ExperimentEntry {
+        id: "figure4",
+        summary: "next-line prefetching at the 20-cycle penalty",
+        paper_artifact: true,
+        scenario: Some(experiments::figure4::scenario),
+        run: experiments::figure4::run,
+    },
+    ExperimentEntry {
+        id: "table7",
+        summary: "memory-traffic ratios with prefetching",
+        paper_artifact: true,
+        scenario: Some(experiments::table7::scenario),
+        run: experiments::table7::run,
+    },
+    ExperimentEntry {
+        id: "ablation-prefetch",
+        summary: "prefetch variants under Resume: next-line/target/both-path/stream",
+        paper_artifact: false,
+        scenario: Some(experiments::ablations::prefetch_scenario),
+        run: experiments::ablations::run_prefetch,
+    },
+    ExperimentEntry {
+        id: "ablation-bpred",
+        summary: "branch-architecture ablations under Resume",
+        paper_artifact: false,
+        scenario: Some(experiments::ablations::bpred_scenario),
+        run: experiments::ablations::run_bpred,
+    },
+    ExperimentEntry {
+        id: "ablation-assoc",
+        summary: "8K I-cache associativity under Resume",
+        paper_artifact: false,
+        scenario: Some(experiments::ablations::assoc_scenario),
+        run: experiments::ablations::run_assoc,
+    },
+    ExperimentEntry {
+        id: "ablation-penalty",
+        summary: "miss-penalty sweep: where Pessimistic catches Resume",
+        paper_artifact: false,
+        scenario: Some(experiments::ablations::penalty_scenario),
+        run: experiments::ablations::run_penalty,
+    },
+    ExperimentEntry {
+        id: "ablation-bus",
+        summary: "pipelined miss requests at the 20-cycle penalty",
+        paper_artifact: false,
+        scenario: Some(experiments::ablations::bus_scenario),
+        run: experiments::ablations::run_bus,
+    },
+];
+
+/// Looks up one experiment by id.
+pub fn find(id: &str) -> Option<&'static ExperimentEntry> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        for (i, e) in REGISTRY.iter().enumerate() {
+            assert!(REGISTRY[i + 1..].iter().all(|o| o.id != e.id), "duplicate id {}", e.id);
+        }
+    }
+
+    #[test]
+    fn every_scenario_id_matches_its_registry_id_and_shape() {
+        for e in &REGISTRY {
+            if let Some(scenario) = e.scenario {
+                let s = scenario();
+                assert_eq!(s.id, e.id);
+                assert!(!s.points.is_empty(), "{}: empty grid", e.id);
+                assert!(!s.benches.is_empty(), "{}: no benchmarks", e.id);
+                for p in &s.points {
+                    p.cfg.validate().unwrap_or_else(|err| {
+                        panic!("{}: point {:?} invalid: {err}", e.id, p.label)
+                    });
+                }
+            }
+        }
+    }
+}

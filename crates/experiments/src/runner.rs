@@ -180,7 +180,15 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     for (i, r) in done.into_iter().flatten() {
         out[i] = Some(r);
     }
-    out.into_iter().map(|r| r.expect("every grid point is simulated")).collect()
+    // Every index is filled by construction; degrade an impossible gap
+    // to a failed cell instead of unwinding past the isolation layer.
+    out.into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(CellFailure { reason: "grid point was never simulated".to_owned() })
+            })
+        })
+        .collect()
 }
 
 /// Infallible convenience over [`try_run_grid`].

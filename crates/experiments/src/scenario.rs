@@ -1,0 +1,346 @@
+//! Declarative scenarios: a benchmark set crossed with a labelled
+//! configuration grid, evaluated by one generic pipeline.
+//!
+//! Every reproduction artifact used to hand-roll the same shape — build
+//! `GridPoint`s benchmark-major, run them isolated, re-chunk the cells
+//! per benchmark, render. A [`Scenario`] names that shape once:
+//!
+//! - **axes** — which benchmarks (rows) × which [`ConfigPoint`]s
+//!   (columns, each a labelled [`SimConfig`]);
+//! - **projection** — the [`Metric`] read out of each cell;
+//! - **comparison** — optional per-cell paper baselines rendered as
+//!   `measured (paper)`.
+//!
+//! [`run_scenario`] evaluates the grid through the exact machinery the
+//! paper tables use — [`crate::try_run_grid`] with its per-point fault
+//! isolation, the process-wide trace cache, and the result memo — so a
+//! user-defined sweep (`specfetch-repro --sweep ...`) shares caches with
+//! (and is exactly as crash-tolerant as) the canonical experiments. The
+//! paper experiments themselves declare their grids as scenarios in the
+//! [`crate::registry`] and keep only their bespoke rendering.
+
+use specfetch_core::{SimConfig, SimResult};
+use specfetch_synth::suite::Benchmark;
+
+use crate::runner::{mean_ok, try_run_grid, GridCell, GridPoint, Measured};
+use crate::{ExperimentReport, RunOptions, Table};
+
+/// One labelled column of a scenario grid: a complete front-end
+/// configuration plus the label it renders under.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConfigPoint {
+    /// Column label (e.g. `"Res/8K/p20"`).
+    pub label: String,
+    /// The configuration simulated for this column.
+    pub cfg: SimConfig,
+}
+
+impl ConfigPoint {
+    /// A labelled configuration point.
+    pub fn new(label: impl Into<String>, cfg: SimConfig) -> Self {
+        ConfigPoint { label: label.into(), cfg }
+    }
+}
+
+/// The quantity a scenario projects out of each cell's [`SimResult`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Metric {
+    /// Issue slots lost per correct-path instruction (the paper's primary
+    /// metric).
+    #[default]
+    Ispi,
+    /// Correct-path I-cache miss rate, percent.
+    MissPct,
+    /// Total bus transactions (demand + prefetch, both paths).
+    Traffic,
+    /// Simulated cycles.
+    Cycles,
+    /// Instructions per cycle over the correct path.
+    Ipc,
+}
+
+impl Metric {
+    /// Every metric a sweep can project, with its spec name.
+    pub const ALL: [(&'static str, Metric); 5] = [
+        ("ispi", Metric::Ispi),
+        ("miss", Metric::MissPct),
+        ("traffic", Metric::Traffic),
+        ("cycles", Metric::Cycles),
+        ("ipc", Metric::Ipc),
+    ];
+
+    /// Parses a spec name (`ispi`, `miss`, `traffic`, `cycles`, `ipc`).
+    pub fn parse(s: &str) -> Option<Metric> {
+        Metric::ALL.iter().find(|(name, _)| *name == s).map(|&(_, m)| m)
+    }
+
+    /// The spec name.
+    pub fn name(&self) -> &'static str {
+        Metric::ALL.iter().find(|(_, m)| m == self).map(|&(name, _)| name).unwrap_or("ispi")
+    }
+
+    /// Projects the metric out of one result.
+    pub fn project(&self, r: &SimResult) -> f64 {
+        match self {
+            Metric::Ispi => r.ispi(),
+            Metric::MissPct => r.miss_rate_pct(),
+            Metric::Traffic => r.total_traffic() as f64,
+            Metric::Cycles => r.cycles as f64,
+            Metric::Ipc => {
+                if r.cycles == 0 {
+                    0.0
+                } else {
+                    r.correct_instrs as f64 / r.cycles as f64
+                }
+            }
+        }
+    }
+
+    /// Formats a projected value for a table cell.
+    pub fn format(&self, v: f64) -> String {
+        match self {
+            Metric::Ispi | Metric::Ipc => format!("{v:.3}"),
+            Metric::MissPct => format!("{v:.2}"),
+            Metric::Traffic | Metric::Cycles => format!("{v:.0}"),
+        }
+    }
+}
+
+/// A declarative experiment: benchmarks × configuration points, a metric
+/// projection, and optional paper baselines.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Scenario {
+    /// Identifier (report id; `"sweep"` for user-defined grids).
+    pub id: String,
+    /// Human title rendered above the table.
+    pub title: String,
+    /// Footnotes rendered below the table.
+    pub notes: Vec<String>,
+    /// The row axis: which benchmarks to replay.
+    pub benches: Vec<&'static Benchmark>,
+    /// The column axis: which configurations to replay each benchmark
+    /// under.
+    pub points: Vec<ConfigPoint>,
+    /// The projection rendered per cell.
+    pub metric: Metric,
+    /// Optional comparison baselines, `benches.len() × points.len()`
+    /// row-major — rendered as `measured (paper)` when present.
+    pub paper: Option<Vec<f64>>,
+}
+
+impl Scenario {
+    /// A scenario over the full calibrated suite.
+    pub fn suite(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        points: Vec<ConfigPoint>,
+    ) -> Self {
+        Scenario {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            benches: Benchmark::all().iter().collect(),
+            points,
+            metric: Metric::Ispi,
+            paper: None,
+        }
+    }
+
+    /// Restricts the row axis to the named benchmarks (names must be
+    /// resolvable; unknown names are skipped by the resolver used at the
+    /// call site, so validate beforehand).
+    pub fn with_benches(mut self, benches: Vec<&'static Benchmark>) -> Self {
+        self.benches = benches;
+        self
+    }
+
+    /// Sets the projected metric.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Attaches paper baselines (row-major, one per cell).
+    pub fn with_paper(mut self, paper: Vec<f64>) -> Self {
+        debug_assert_eq!(paper.len(), self.benches.len() * self.points.len());
+        self.paper = Some(paper);
+        self
+    }
+
+    /// Attaches a footnote.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The benchmark-major grid this scenario evaluates, in the exact
+    /// order [`run_scenario`] numbers fault-injection points.
+    pub fn grid_points(&self) -> Vec<GridPoint> {
+        let mut points = Vec::with_capacity(self.benches.len() * self.points.len());
+        for &b in &self.benches {
+            for p in &self.points {
+                points.push(GridPoint::new(b, p.cfg));
+            }
+        }
+        points
+    }
+}
+
+/// The evaluated cells of a scenario, benchmark-major.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScenarioGrid {
+    /// The scenario that produced the grid.
+    pub scenario: Scenario,
+    cells: Vec<GridCell>,
+}
+
+impl ScenarioGrid {
+    /// The cell for `(bench index, point index)`.
+    pub fn cell(&self, bench: usize, point: usize) -> &GridCell {
+        &self.cells[bench * self.scenario.points.len() + point]
+    }
+
+    /// All of one benchmark's cells, in point order.
+    pub fn bench_cells(&self, bench: usize) -> &[GridCell] {
+        let w = self.scenario.points.len();
+        &self.cells[bench * w..(bench + 1) * w]
+    }
+
+    /// Every cell, benchmark-major (the `try_run_grid` order).
+    pub fn cells(&self) -> &[GridCell] {
+        &self.cells
+    }
+
+    /// One point's metric projection for one benchmark.
+    pub fn value(&self, bench: usize, point: usize) -> Measured<f64> {
+        self.cell(bench, point)
+            .as_ref()
+            .map(|r| self.scenario.metric.project(r))
+            .map_err(Clone::clone)
+    }
+
+    /// Renders the generic scenario report: one row per benchmark, one
+    /// metric column per configuration point, plus a column-mean
+    /// `Average` row (failed cells excluded from the mean).
+    pub fn render(&self) -> ExperimentReport {
+        let s = &self.scenario;
+        let mut headers = vec!["bench".to_owned()];
+        for p in &s.points {
+            headers.push(match &s.paper {
+                Some(_) => format!("{} (paper)", p.label),
+                None => p.label.clone(),
+            });
+        }
+        let mut table = Table::new(headers);
+        let mut columns: Vec<Vec<Measured<f64>>> = vec![Vec::new(); s.points.len()];
+        for (bi, b) in s.benches.iter().enumerate() {
+            let mut row = vec![b.name.to_owned()];
+            for (pi, _) in s.points.iter().enumerate() {
+                let v = self.value(bi, pi);
+                row.push(match (&v, &s.paper) {
+                    (Ok(m), Some(paper)) => format!(
+                        "{} ({})",
+                        s.metric.format(*m),
+                        s.metric.format(paper[bi * s.points.len() + pi])
+                    ),
+                    (Ok(m), None) => s.metric.format(*m),
+                    (Err(f), _) => f.cell(),
+                });
+                columns[pi].push(v);
+            }
+            table.row(row);
+        }
+        if s.benches.len() > 1 {
+            let mut avg = vec!["Average".to_owned()];
+            for col in &columns {
+                avg.push(s.metric.format(mean_ok(col.iter())));
+            }
+            table.row(avg);
+        }
+        ExperimentReport { id: "sweep", title: s.title.clone(), table, notes: s.notes.clone() }
+    }
+}
+
+/// Evaluates a scenario through the shared pipeline: the benchmark-major
+/// grid goes through [`try_run_grid`] — per-point `catch_unwind`
+/// isolation, deterministic `--inject` point numbering, the process-wide
+/// trace cache, and the `(benchmark, window, config)` result memo — and
+/// the cells come back attached to the scenario for projection or
+/// bespoke rendering.
+pub fn run_scenario(scenario: Scenario, opts: &RunOptions) -> ScenarioGrid {
+    let cells = try_run_grid(&scenario.grid_points(), opts);
+    ScenarioGrid { scenario, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfetch_core::FetchPolicy;
+
+    fn two_policy_scenario() -> Scenario {
+        let points = [FetchPolicy::Resume, FetchPolicy::Pessimistic]
+            .into_iter()
+            .map(|p| {
+                let mut cfg = SimConfig::paper_baseline();
+                cfg.policy = p;
+                ConfigPoint::new(p.short_name(), cfg)
+            })
+            .collect();
+        let benches = vec![Benchmark::by_name("li").unwrap(), Benchmark::by_name("gcc").unwrap()];
+        Scenario::suite("sweep", "two policies", points).with_benches(benches)
+    }
+
+    #[test]
+    fn grid_matches_manual_construction() {
+        let s = two_policy_scenario();
+        let opts = RunOptions::smoke().with_instrs(6_000);
+        let grid = run_scenario(s.clone(), &opts);
+        let manual = try_run_grid(&s.grid_points(), &opts);
+        assert_eq!(grid.cells(), &manual[..]);
+        // Cell addressing is bench-major.
+        assert_eq!(grid.cell(1, 1), &manual[3]);
+        assert_eq!(grid.bench_cells(1), &manual[2..4]);
+    }
+
+    #[test]
+    fn render_shapes_rows_and_average() {
+        let grid = run_scenario(two_policy_scenario(), &RunOptions::smoke().with_instrs(6_000));
+        let rep = grid.render();
+        assert_eq!(rep.table.len(), 3, "2 benches + Average");
+        assert_eq!(rep.table.cell(0, 0), Some("li"));
+        assert_eq!(rep.table.cell(2, 0), Some("Average"));
+        assert_eq!(rep.table.failed_cells(), 0);
+    }
+
+    #[test]
+    fn paper_columns_render_comparisons() {
+        let s = two_policy_scenario().with_paper(vec![1.0, 2.0, 3.0, 4.0]);
+        let grid = run_scenario(s, &RunOptions::smoke().with_instrs(6_000));
+        let rep = grid.render();
+        let cell = rep.table.cell(0, 1).unwrap();
+        assert!(cell.contains("(1.000)"), "cell {cell:?} should carry the paper value");
+    }
+
+    #[test]
+    fn metric_projection_and_names_round_trip() {
+        for (name, m) in Metric::ALL {
+            assert_eq!(Metric::parse(name), Some(m));
+            assert_eq!(m.name(), name);
+        }
+        assert_eq!(Metric::parse("nope"), None);
+    }
+
+    #[test]
+    fn dynamic_policy_runs_through_the_shared_pipeline() {
+        // The acceptance-criterion path: a non-paper configuration (the
+        // Dynamic gate) through run_scenario with caches and isolation.
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.policy = FetchPolicy::Dynamic;
+        let s = Scenario::suite("sweep", "dynamic", vec![ConfigPoint::new("Dyn", cfg)])
+            .with_benches(vec![Benchmark::by_name("li").unwrap()]);
+        let grid = run_scenario(s, &RunOptions::smoke().with_instrs(10_000));
+        let r = grid.cell(0, 0).as_ref().unwrap();
+        assert_eq!(r.policy, FetchPolicy::Dynamic);
+        assert_eq!(r.correct_instrs, 10_000);
+    }
+}

@@ -147,6 +147,53 @@ fn trace_dir_round_trips_and_a_corrupt_file_self_heals() {
 }
 
 #[test]
+fn sweep_runs_a_user_defined_grid() {
+    let out =
+        repro(&["--sweep", "policy=Res,Pess depth=1,4 bench=li metric=ispi", "--instrs", "2000"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    for label in ["Res/1", "Res/4", "Pess/1", "Pess/4"] {
+        assert!(text.contains(label), "column {label} must render: {text}");
+    }
+    assert!(text.contains("li"), "{text}");
+}
+
+#[test]
+fn sweep_typos_exit_2_with_a_hint_before_anything_runs() {
+    let out = repro(&["--sweep", "polcy=Res"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert!(stderr(&out).contains("did you mean \"policy\"?"), "{}", stderr(&out));
+    assert!(stdout(&out).is_empty(), "nothing may run before validation");
+
+    let out = repro(&["--sweep", "policy=Rez"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("did you mean \"Res\"?"), "{}", stderr(&out));
+}
+
+#[test]
+fn sweep_and_experiment_are_mutually_exclusive() {
+    let out = repro(&["--sweep", "depth=1", "--experiment", "table3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("mutually exclusive"), "{}", stderr(&out));
+}
+
+#[test]
+fn sweep_cells_are_fault_isolated() {
+    let out = repro(&[
+        "--sweep",
+        "depth=1,2 bench=li,gcc",
+        "--instrs",
+        "2000",
+        "--inject",
+        "point=sweep:1,panic",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "failed cells exit 1");
+    let text = stdout(&out);
+    assert_eq!(text.matches("FAILED(injected panic)").count(), 1, "{text}");
+    assert!(text.contains("gcc"), "other rows still render: {text}");
+}
+
+#[test]
 fn list_and_help_exit_cleanly() {
     let out = repro(&["--list"]);
     assert_eq!(out.status.code(), Some(0));

@@ -1,0 +1,76 @@
+//! Golden regression: each `MissGate` must reproduce the pre-refactor
+//! engine's per-benchmark `SimResult` exactly.
+//!
+//! The fixture was generated at commit d88d115 — the last revision where
+//! the five paper policies were `match` arms inside `Engine::on_miss` —
+//! by running this same harness with `SPECFETCH_REGEN_FIXTURE=1`. Any
+//! digest drift means the extracted gates changed simulated behaviour,
+//! which the refactor explicitly must not do.
+
+use std::fmt::Write as _;
+
+use specfetch::core::{FetchPolicy, SimConfig, SimResult, Simulator};
+use specfetch::synth::suite::Benchmark;
+use specfetch::trace::PathSource;
+
+const INSTRS: u64 = 30_000;
+const FIXTURE: &str = include_str!("fixtures/gate_results.txt");
+
+fn digest(r: &SimResult) -> String {
+    format!(
+        "cycles={} instrs={} lost={}/{}/{}/{}/{}/{} pht={} btbmf={} btbmp={} \
+         mf={} mp={} tmp={} traffic={}/{}/{}/{} pf={}/{}",
+        r.cycles,
+        r.correct_instrs,
+        r.lost.branch_full,
+        r.lost.branch,
+        r.lost.force_resolve,
+        r.lost.rt_icache,
+        r.lost.wrong_icache,
+        r.lost.bus,
+        r.pht_mispredict_slots,
+        r.btb_misfetch_slots,
+        r.btb_mispredict_slots,
+        r.misfetches,
+        r.mispredicts,
+        r.target_mispredicts,
+        r.traffic_demand_correct,
+        r.traffic_demand_wrong,
+        r.traffic_prefetch,
+        r.traffic_target_prefetch,
+        r.prefetches_issued,
+        r.prefetch_hits,
+    )
+}
+
+fn current() -> String {
+    let mut out = String::new();
+    for bench in Benchmark::all() {
+        let w = bench.workload().expect("calibrated specs generate");
+        for policy in FetchPolicy::ALL {
+            let mut cfg = SimConfig::paper_baseline();
+            cfg.policy = policy;
+            let r = Simulator::new(cfg).run(w.executor(bench.path_seed()).take_instrs(INSTRS));
+            writeln!(out, "{} {} {}", bench.name, policy.short_name(), digest(&r)).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn gates_reproduce_pre_refactor_results() {
+    let now = current();
+    if std::env::var_os("SPECFETCH_REGEN_FIXTURE").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/gate_results.txt");
+        std::fs::write(path, &now).expect("write fixture");
+        return;
+    }
+    for (got, want) in now.lines().zip(FIXTURE.lines()) {
+        assert_eq!(got, want, "SimResult digest drifted from the pre-refactor engine");
+    }
+    assert_eq!(
+        now.lines().count(),
+        FIXTURE.lines().count(),
+        "fixture row count changed — regenerate deliberately, never casually"
+    );
+}
