@@ -112,8 +112,9 @@ impl Btb {
         let entry = Entry { tag, target, kind, lru: tick };
         if ways.len() < self.assoc {
             ways.push(entry);
-        } else {
-            let victim = ways.iter_mut().min_by_key(|e| e.lru).expect("full set is non-empty");
+        } else if let Some(victim) = ways.iter_mut().min_by_key(|e| e.lru) {
+            // A full set always has a strict LRU minimum (ticks are
+            // unique per insert/refresh).
             *victim = entry;
         }
     }

@@ -114,12 +114,11 @@ impl ICache {
         let way = Way { tag, valid: true, first_ref: true, lru: tick };
         // Invalid slots fill left to right, so insertion order matches the
         // old grow-then-evict behaviour; LRU ties are impossible (the tick
-        // is unique per fill/access).
-        if let Some(w) = ways.iter_mut().find(|w| !w.valid) {
+        // is unique per fill/access). Keying on (valid, lru) picks the
+        // first invalid slot when one exists, the LRU victim otherwise —
+        // and a set is never empty, so the fill always lands.
+        if let Some(w) = ways.iter_mut().min_by_key(|w| (w.valid, w.lru)) {
             *w = way;
-        } else {
-            let victim = ways.iter_mut().min_by_key(|w| w.lru).expect("full set is non-empty");
-            *victim = way;
         }
     }
 

@@ -13,6 +13,7 @@ use std::fmt;
 use std::io;
 use std::path::PathBuf;
 
+use specfetch_isa::CfgReport;
 use specfetch_trace::TraceError;
 
 /// Any failure surfaced by the simulation or experiment layers.
@@ -30,6 +31,20 @@ pub enum SpecfetchError {
         /// The benchmark whose spec failed.
         bench: String,
         /// Human-readable detail from the generator.
+        detail: String,
+    },
+    /// A generated program failed static CFG verification (the
+    /// `--analyze` pass or the pre-simulation preflight).
+    Analysis {
+        /// The benchmark whose image failed.
+        bench: String,
+        /// The full typed verification report.
+        report: CfgReport,
+    },
+    /// A user-supplied specification (CLI flag grammar, cache directory,
+    /// fault plan) was rejected before anything ran.
+    InvalidSpec {
+        /// What was wrong with it.
         detail: String,
     },
     /// An on-disk cached trace was unusable (corrupt, truncated, or
@@ -84,6 +99,8 @@ impl SpecfetchError {
         match self {
             SpecfetchError::Trace(e) => format!("trace: {e}"),
             SpecfetchError::Workload { bench, .. } => format!("workload {bench}"),
+            SpecfetchError::Analysis { report, .. } => format!("analysis: {}", report.headline()),
+            SpecfetchError::InvalidSpec { .. } => "invalid spec".to_owned(),
             SpecfetchError::CorruptTrace { .. } => "corrupt trace".to_owned(),
             SpecfetchError::Io { context, .. } => format!("io: {context}"),
             SpecfetchError::PointPanic { reason } => reason.clone(),
@@ -101,6 +118,10 @@ impl fmt::Display for SpecfetchError {
             SpecfetchError::Workload { bench, detail } => {
                 write!(f, "workload generation failed for {bench:?}: {detail}")
             }
+            SpecfetchError::Analysis { bench, report } => {
+                write!(f, "static analysis failed for {bench:?}: {report}")
+            }
+            SpecfetchError::InvalidSpec { detail } => write!(f, "{detail}"),
             SpecfetchError::CorruptTrace { path, detail } => {
                 write!(f, "corrupt cached trace {}: {detail}", path.display())
             }
@@ -141,6 +162,19 @@ mod tests {
         vec![
             SpecfetchError::Trace(TraceError::BadHeader { detail: "nope".into() }),
             SpecfetchError::Workload { bench: "li".into(), detail: "spec".into() },
+            SpecfetchError::Analysis {
+                bench: "li".into(),
+                report: CfgReport {
+                    instrs: 1,
+                    reachable: 1,
+                    conditionals: 0,
+                    wrong_path_visited: 0,
+                    issues: vec![specfetch_isa::CfgIssue::EntryOutOfImage {
+                        entry: specfetch_isa::Addr::new(4),
+                    }],
+                },
+            },
+            SpecfetchError::InvalidSpec { detail: "bad --inject".into() },
             SpecfetchError::CorruptTrace { path: "x.sftb".into(), detail: "short".into() },
             SpecfetchError::Io { context: "create dir".into(), source: io::Error::other("d") },
             SpecfetchError::PointPanic { reason: "injected panic".into() },

@@ -19,9 +19,10 @@ use std::process::ExitCode;
 use specfetch_experiments::fault::FaultPlan;
 use specfetch_experiments::sweep::AXES;
 use specfetch_experiments::{
-    disk_cache, fault, is_known_experiment, parse_sweep, run_experiment, run_scenario, Format,
-    RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
+    analysis, disk_cache, fault, is_known_experiment, parse_sweep, run_experiment, run_scenario,
+    Format, RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
 };
+use specfetch_synth::suite::Benchmark;
 
 /// Usage problems abort before any experiment runs.
 const EXIT_USAGE: u8 = 2;
@@ -32,6 +33,8 @@ struct Args {
     format: Format,
     opts: RunOptions,
     list: bool,
+    analyze: bool,
+    benchmark: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
     let mut format = Format::Plain;
     let mut opts = RunOptions::new();
     let mut list = false;
+    let mut analyze = false;
+    let mut benchmark: Option<String> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -74,23 +79,39 @@ fn parse_args() -> Result<Args, String> {
             "--no-predict-cache" => opts.predict_cache = false,
             "--trace-dir" => {
                 let v = it.next().ok_or("--trace-dir needs a value")?;
-                disk_cache::set_dir(v.into())?;
+                disk_cache::set_dir(v.into()).map_err(|e| e.to_string())?;
             }
             // Deterministic fault injection, e.g.
             //   --inject point=table3:2,panic
             //   --inject 'point=table4:1,err;chaos=50@7,panic'
             "--inject" => {
                 let v = it.next().ok_or("--inject needs a value")?;
-                let plan = FaultPlan::parse(&v)?;
-                fault::install(plan)?;
+                let plan = FaultPlan::parse(&v).map_err(|e| e.to_string())?;
+                fault::install(plan).map_err(|e| e.to_string())?;
+            }
+            // Static CFG analysis of the generated programs, no
+            // simulation: exit 0 when every image verifies clean, 1 with
+            // typed diagnostics otherwise.
+            "--analyze" => analyze = true,
+            "--benchmark" | "-b" => {
+                benchmark = Some(it.next().ok_or("--benchmark needs a name")?);
+            }
+            // Deliberately corrupt one branch target of the named
+            // benchmark's image before analysis — exercises the failure
+            // paths (typed diagnostics, FAILED(analysis: ...) cells) end
+            // to end.
+            "--corrupt-target" => {
+                let v = it.next().ok_or("--corrupt-target needs a benchmark name")?;
+                analysis::set_corrupt_target(&v).map_err(|e| e.to_string())?;
             }
             "--list" => list = true,
             "--help" | "-h" => {
                 println!(
                     "usage: specfetch-repro [--experiment <id>|all] [--sweep <spec>] \
-                     [--instrs N] [--format plain|markdown|csv] [--sequential] \
+                     [--analyze [--benchmark <name>]] [--instrs N] \
+                     [--format plain|markdown|csv] [--sequential] \
                      [--no-trace-cache] [--no-predict-cache] [--trace-dir <dir>] \
-                     [--inject <spec>] [--list]"
+                     [--inject <spec>] [--corrupt-target <name>] [--list]"
                 );
                 println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
                 println!("extras:      extras {}", EXTRA_EXPERIMENT_IDS.join(" "));
@@ -114,12 +135,26 @@ fn parse_args() -> Result<Args, String> {
     if sweep.is_some() && experiment.is_some() {
         return Err("--sweep and --experiment are mutually exclusive".into());
     }
+    if analyze && (sweep.is_some() || experiment.is_some()) {
+        return Err("--analyze and --experiment/--sweep are mutually exclusive".into());
+    }
+    if let Some(name) = &benchmark {
+        if !analyze {
+            return Err("--benchmark only applies to --analyze".into());
+        }
+        if Benchmark::by_name(name).is_none() {
+            let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name).collect();
+            return Err(format!("unknown benchmark {name:?} (valid names: {})", names.join(" ")));
+        }
+    }
     Ok(Args {
         experiment: experiment.unwrap_or_else(|| "all".to_owned()),
         sweep,
         format,
         opts,
         list,
+        analyze,
+        benchmark,
     })
 }
 
@@ -135,6 +170,40 @@ fn main() -> ExitCode {
     if args.list {
         for id in EXPERIMENT_IDS.iter().chain(EXTRA_EXPERIMENT_IDS.iter()) {
             println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Static analysis mode: verify the generated images and print one
+    // row per benchmark — no simulation runs at all.
+    if args.analyze {
+        let results = match args.benchmark.as_deref().and_then(Benchmark::by_name) {
+            Some(b) => vec![(b, analysis::analyze_benchmark(b))],
+            None => analysis::analyze_all(),
+        };
+        println!("{}", analysis::render_analysis(&results, args.format));
+        let mut failed = 0usize;
+        for (b, outcome) in &results {
+            match outcome {
+                Ok(r) if r.is_ok() => {}
+                Ok(r) => {
+                    failed += 1;
+                    for issue in r.issues.iter().take(8) {
+                        eprintln!("error: {}: {issue}", b.name);
+                    }
+                    if r.issues.len() > 8 {
+                        eprintln!("error: {}: ... and {} more", b.name, r.issues.len() - 8);
+                    }
+                }
+                Err(e) => {
+                    failed += 1;
+                    eprintln!("error: {e}");
+                }
+            }
+        }
+        if failed > 0 {
+            eprintln!("specfetch-repro: {failed} benchmark(s) failed static analysis");
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }

@@ -37,9 +37,12 @@ static DIR: OnceLock<PathBuf> = OnceLock::new();
 ///
 /// # Errors
 ///
-/// Returns an error if a cache directory is already configured.
-pub fn set_dir(dir: PathBuf) -> Result<(), String> {
-    DIR.set(dir).map_err(|d| format!("trace cache directory already set to {}", d.display()))
+/// [`SpecfetchError::InvalidSpec`] if a cache directory is already
+/// configured.
+pub fn set_dir(dir: PathBuf) -> Result<(), SpecfetchError> {
+    DIR.set(dir).map_err(|d| SpecfetchError::InvalidSpec {
+        detail: format!("trace cache directory already set to {}", d.display()),
+    })
 }
 
 fn cache_path(dir: &Path, bench: &str, instrs: u64) -> PathBuf {

@@ -57,14 +57,21 @@ pub enum FaultAction {
 }
 
 impl FaultAction {
-    fn parse(s: &str) -> Result<FaultAction, String> {
+    fn parse(s: &str) -> Result<FaultAction, SpecfetchError> {
         match s {
             "panic" => Ok(FaultAction::Panic),
             "err" => Ok(FaultAction::Err),
             "slow" => Ok(FaultAction::Slow),
-            other => Err(format!("unknown fault action {other:?} (expected panic|err|slow)")),
+            other => {
+                Err(bad_spec(format!("unknown fault action {other:?} (expected panic|err|slow)")))
+            }
         }
     }
+}
+
+/// Shorthand for the typed rejection every grammar error maps to.
+fn bad_spec(detail: String) -> SpecfetchError {
+    SpecfetchError::InvalidSpec { detail }
 }
 
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -93,25 +100,26 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message for any spec that does not match
-    /// the grammar.
-    pub fn parse(input: &str) -> Result<FaultPlan, String> {
+    /// [`SpecfetchError::InvalidSpec`] (with a human-readable detail) for
+    /// any spec that does not match the grammar.
+    pub fn parse(input: &str) -> Result<FaultPlan, SpecfetchError> {
         let mut plan = FaultPlan::default();
         for spec in input.split(';').map(str::trim).filter(|s| !s.is_empty()) {
             let (kind, rest) = spec
                 .split_once('=')
-                .ok_or_else(|| format!("bad fault spec {spec:?} (expected key=value)"))?;
+                .ok_or_else(|| bad_spec(format!("bad fault spec {spec:?} (expected key=value)")))?;
             let (target, action) = rest
                 .rsplit_once(',')
-                .ok_or_else(|| format!("bad fault spec {spec:?} (missing ,action)"))?;
+                .ok_or_else(|| bad_spec(format!("bad fault spec {spec:?} (missing ,action)")))?;
             let action = FaultAction::parse(action)?;
             match kind {
                 "point" => {
                     let (experiment, n) = target.split_once(':').ok_or_else(|| {
-                        format!("bad point target {target:?} (expected experiment:n)")
+                        bad_spec(format!("bad point target {target:?} (expected experiment:n)"))
                     })?;
-                    let point =
-                        n.parse().map_err(|_| format!("bad point index {n:?} in {spec:?}"))?;
+                    let point = n
+                        .parse()
+                        .map_err(|_| bad_spec(format!("bad point index {n:?} in {spec:?}")))?;
                     plan.points.push(PointRule {
                         experiment: experiment.to_owned(),
                         point,
@@ -120,17 +128,19 @@ impl FaultPlan {
                 }
                 "chaos" => {
                     let (permille, seed) = target.split_once('@').ok_or_else(|| {
-                        format!("bad chaos target {target:?} (expected permille@seed)")
+                        bad_spec(format!("bad chaos target {target:?} (expected permille@seed)"))
                     })?;
-                    let permille: u32 =
-                        permille.parse().map_err(|_| format!("bad chaos permille {permille:?}"))?;
+                    let permille: u32 = permille
+                        .parse()
+                        .map_err(|_| bad_spec(format!("bad chaos permille {permille:?}")))?;
                     if permille > 1000 {
-                        return Err(format!("chaos permille {permille} exceeds 1000"));
+                        return Err(bad_spec(format!("chaos permille {permille} exceeds 1000")));
                     }
-                    let seed = seed.parse().map_err(|_| format!("bad chaos seed {seed:?}"))?;
+                    let seed =
+                        seed.parse().map_err(|_| bad_spec(format!("bad chaos seed {seed:?}")))?;
                     plan.chaos = Some(ChaosRule { permille, seed, action });
                 }
-                other => return Err(format!("unknown fault kind {other:?} in {spec:?}")),
+                other => return Err(bad_spec(format!("unknown fault kind {other:?} in {spec:?}"))),
             }
         }
         Ok(plan)
@@ -184,9 +194,9 @@ fn counter() -> &'static Mutex<Counter> {
 ///
 /// # Errors
 ///
-/// Returns an error if a plan is already installed.
-pub fn install(plan: FaultPlan) -> Result<(), String> {
-    PLAN.set(plan).map_err(|_| "a fault plan is already installed".to_owned())
+/// [`SpecfetchError::InvalidSpec`] if a plan is already installed.
+pub fn install(plan: FaultPlan) -> Result<(), SpecfetchError> {
+    PLAN.set(plan).map_err(|_| bad_spec("a fault plan is already installed".to_owned()))
 }
 
 /// Resets the point counter for a new experiment. Called by

@@ -5,6 +5,8 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use specfetch_core::SpecfetchError;
+
 /// A claimable unit of work: the starting output index plus the items,
 /// moved out exactly once by whichever worker wins the cursor.
 type Chunk<T> = Mutex<Option<(usize, Vec<T>)>>;
@@ -114,7 +116,15 @@ where
         }
     });
 
-    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Some(r) => r,
+            // The cursor hands out every chunk exactly once and all
+            // workers have joined, so every slot holds a result.
+            None => unreachable!("worker filled every slot"),
+        })
+        .collect()
 }
 
 /// Renders a captured panic payload as text.
@@ -131,8 +141,8 @@ pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
 
 /// Like [`par_map`], but captures a per-item panic as that item's error
 /// instead of re-raising it: one poisoned item yields one `Err` slot
-/// (carrying the rendered panic message) while every other item still
-/// maps to `Ok`.
+/// (a [`SpecfetchError::PointPanic`] carrying the rendered panic
+/// message) while every other item still maps to `Ok`.
 ///
 /// This is the isolation primitive the experiment grid is built on — a
 /// single panicking grid point must cost one flagged cell, not the whole
@@ -141,15 +151,17 @@ pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
 /// # Examples
 ///
 /// ```
+/// use specfetch_experiments::SpecfetchError;
+///
 /// let out = specfetch_experiments::try_par_map(vec![1, 2, 3], true, |x| {
 ///     assert!(x != 2, "boom");
 ///     x * 10
 /// });
-/// assert_eq!(out[0], Ok(10));
-/// assert_eq!(out[1], Err("boom".to_owned()));
-/// assert_eq!(out[2], Ok(30));
+/// assert_eq!(out[0].as_ref().unwrap(), &10);
+/// assert!(matches!(&out[1], Err(SpecfetchError::PointPanic { reason }) if reason == "boom"));
+/// assert_eq!(out[2].as_ref().unwrap(), &30);
 /// ```
-pub fn try_par_map<T, R, F>(items: Vec<T>, parallel: bool, f: F) -> Vec<Result<R, String>>
+pub fn try_par_map<T, R, F>(items: Vec<T>, parallel: bool, f: F) -> Vec<Result<R, SpecfetchError>>
 where
     T: Send,
     R: Send,
@@ -160,7 +172,8 @@ where
     // `trace_cache::lock_recovering`), so observing post-panic state is
     // safe.
     par_map(items, parallel, |item| {
-        panic::catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| panic_message(p.as_ref()))
+        panic::catch_unwind(AssertUnwindSafe(|| f(item)))
+            .map_err(|p| SpecfetchError::PointPanic { reason: panic_message(p.as_ref()) })
     })
 }
 
@@ -208,9 +221,16 @@ mod tests {
         });
         for (i, r) in out.iter().enumerate() {
             if i == 13 {
-                assert_eq!(r.as_ref().unwrap_err(), "boom on 13");
+                assert!(
+                    matches!(r, Err(SpecfetchError::PointPanic { reason }) if reason == "boom on 13"),
+                    "unexpected error for item 13: {r:?}"
+                );
             } else {
-                assert_eq!(*r, Ok(i as i32 * 2), "item {i} lost to a neighbour's panic");
+                assert_eq!(
+                    r.as_ref().unwrap(),
+                    &(i as i32 * 2),
+                    "item {i} lost to a neighbour's panic"
+                );
             }
         }
     }
@@ -221,7 +241,12 @@ mod tests {
             assert!(x != 2, "late boom");
             x
         });
-        assert_eq!(out, vec![Ok(1), Err("late boom".to_owned())]);
+        assert_eq!(out[0].as_ref().unwrap(), &1);
+        assert!(
+            matches!(&out[1], Err(SpecfetchError::PointPanic { reason }) if reason == "late boom"),
+            "unexpected error: {:?}",
+            out[1]
+        );
     }
 
     #[test]

@@ -97,12 +97,20 @@ pub type GridCell = Measured<SimResult>;
 ///
 /// Returns [`SpecfetchError::Workload`] if the spec fails to generate
 /// (replay sources are acquired *before* the memo fill, so acquisition
-/// failures surface here instead of panicking inside a cache cell).
+/// failures surface here instead of panicking inside a cache cell), and
+/// [`SpecfetchError::Analysis`] if the generated image fails the static
+/// CFG preflight ([`crate::analysis::preflight`]) — rendered as a
+/// `FAILED(analysis: …)` cell by the isolated grid.
 pub fn try_simulate_benchmark(
     bench: &Benchmark,
     cfg: SimConfig,
     opts: RunOptions,
 ) -> Result<SimResult, SpecfetchError> {
+    // Static preflight: a structurally broken image must never reach the
+    // engine (its wrong-path walks would silently skew the very cache
+    // statistics being measured). Memoized per process, so this is one
+    // verifier walk per benchmark — not per grid point.
+    crate::analysis::preflight(bench)?;
     if opts.use_overlay() {
         let source = crate::trace_cache::try_predicted_source(bench, opts.instrs_per_benchmark)?;
         Ok(crate::trace_cache::memoized_result(bench, opts.instrs_per_benchmark, cfg, || {
@@ -226,7 +234,9 @@ where
     .map(|r| match r {
         Ok(Ok(v)) => Ok(v),
         Ok(Err(e)) => Err(CellFailure::from_error(&e)),
-        Err(reason) => Err(CellFailure { reason }),
+        // A captured panic arrives as `PointPanic`; its cell reason is
+        // the raw panic message, matching the pre-typed rendering.
+        Err(e) => Err(CellFailure::from_error(&e)),
     })
     .collect()
 }

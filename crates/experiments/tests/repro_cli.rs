@@ -194,6 +194,74 @@ fn sweep_cells_are_fault_isolated() {
 }
 
 #[test]
+fn analyze_verifies_every_benchmark_and_matches_the_golden_table() {
+    let out = repro(&["--analyze"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    let golden = include_str!("golden/analyze.txt");
+    assert_eq!(text.trim_end(), golden.trim_end(), "analyze table drifted from the golden");
+    assert!(!text.contains("FAILED"), "{text}");
+    assert!(stderr(&out).is_empty(), "clean analysis must not write to stderr");
+}
+
+#[test]
+fn analyze_single_benchmark_prints_one_row() {
+    let out = repro(&["--analyze", "--benchmark", "li"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("li"), "{text}");
+    assert!(!text.contains("gcc"), "only the requested benchmark may appear: {text}");
+}
+
+#[test]
+fn analyze_corrupt_target_exits_1_with_typed_diagnostics() {
+    let out = repro(&["--analyze", "--corrupt-target", "li", "--benchmark", "li"]);
+    assert_eq!(out.status.code(), Some(1), "a failing image must exit 1");
+    let text = stdout(&out);
+    assert!(text.contains("FAILED(transfer at"), "verdict carries the diagnostic: {text}");
+    let err = stderr(&out);
+    assert!(err.contains("error: li:"), "per-issue diagnostics on stderr: {err}");
+    assert!(err.contains("failed static analysis"), "{err}");
+}
+
+#[test]
+fn analyze_usage_errors_exit_2_before_anything_runs() {
+    let out = repro(&["--analyze", "--benchmark", "nonesuch"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown benchmark"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("li"), "valid names are listed: {}", stderr(&out));
+
+    let out = repro(&["--analyze", "--experiment", "table3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("mutually exclusive"), "{}", stderr(&out));
+
+    let out = repro(&["--benchmark", "li"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("only applies to --analyze"), "{}", stderr(&out));
+
+    let out = repro(&["--analyze", "--corrupt-target", "nonesuch"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown benchmark"), "{}", stderr(&out));
+}
+
+#[test]
+fn corrupted_benchmark_renders_a_failed_analysis_cell_in_a_sweep() {
+    let out = repro(&[
+        "--sweep",
+        "policy=Res bench=li,gcc metric=ispi",
+        "--instrs",
+        "2000",
+        "--corrupt-target",
+        "li",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "an analysis failure is a failed cell");
+    let text = stdout(&out);
+    assert!(text.contains("FAILED(analysis:"), "li's cell fails preflight: {text}");
+    assert!(text.contains("gcc"), "gcc still simulates: {text}");
+    assert!(!stdout(&out).contains("gcc	FAILED"), "gcc must not fail: {text}");
+}
+
+#[test]
 fn list_and_help_exit_cleanly() {
     let out = repro(&["--list"]);
     assert_eq!(out.status.code(), Some(0));

@@ -45,8 +45,10 @@ mod addr;
 mod dynamic;
 mod instr;
 mod program;
+mod verify;
 
 pub use addr::{Addr, LineAddr, INSTR_BYTES};
 pub use dynamic::DynInstr;
 pub use instr::InstrKind;
 pub use program::{Program, ProgramBuildError, ProgramBuilder};
+pub use verify::{verify_cfg, CfgIssue, CfgReport};

@@ -94,6 +94,25 @@ impl Program {
     pub fn static_branch_count(&self) -> usize {
         self.instrs.iter().filter(|k| k.is_branch()).count()
     }
+
+    /// A copy of the image with the instruction at `at` replaced,
+    /// bypassing [`ProgramBuilder::finish`] validation, or `None` if `at`
+    /// lies outside the image.
+    ///
+    /// This deliberately skips the target-containment checks so the
+    /// static CFG verifier (and its tests, and the `repro
+    /// --corrupt-target` diagnostics hook) can construct structurally
+    /// broken images on purpose. Simulation code must never call it.
+    #[must_use]
+    pub fn with_instr_unchecked(&self, at: Addr, kind: InstrKind) -> Option<Program> {
+        if at < self.base {
+            return None;
+        }
+        let idx = ((at.raw() - self.base.raw()) / INSTR_BYTES) as usize;
+        let mut instrs = self.instrs.clone();
+        *instrs.get_mut(idx)? = kind;
+        Some(Program { base: self.base, entry: self.entry, instrs })
+    }
 }
 
 impl fmt::Debug for Program {
@@ -365,6 +384,19 @@ mod tests {
         let mut b = ProgramBuilder::new(Addr::new(0));
         let s = b.push(InstrKind::Seq);
         b.patch_target(s, Addr::new(0));
+    }
+
+    #[test]
+    fn with_instr_unchecked_replaces_without_validation() {
+        let p = tiny();
+        let bad = Addr::new(0xdead_0000);
+        let q = p.with_instr_unchecked(Addr::new(0x1004), InstrKind::Jump { target: bad }).unwrap();
+        assert_eq!(q.fetch(Addr::new(0x1004)), Some(InstrKind::Jump { target: bad }));
+        // The rest of the image and the entry are untouched.
+        assert_eq!(q.entry(), p.entry());
+        assert_eq!(q.fetch(Addr::new(0x1000)), p.fetch(Addr::new(0x1000)));
+        assert!(p.with_instr_unchecked(Addr::new(0x2000), InstrKind::Seq).is_none());
+        assert!(p.with_instr_unchecked(Addr::new(0x0ffc), InstrKind::Seq).is_none());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use specfetch_isa::{Addr, DynInstr, InstrKind, Program};
+use specfetch_isa::{Addr, CfgIssue, CfgReport, DynInstr, InstrKind, Program};
 use specfetch_trace::PathSource;
 
 use crate::{generate, BranchBehavior, DispatchTable, SpecError, SynthRng, WorkloadSpec};
@@ -71,6 +71,50 @@ impl Workload {
     /// The dispatch table of the indirect site at `pc`, if one is there.
     pub fn dispatch_at(&self, pc: Addr) -> Option<&DispatchTable> {
         self.dispatch.get(&pc.word_index())
+    }
+
+    /// Statically verifies the generated image together with its
+    /// behavioural annotations.
+    ///
+    /// Runs [`specfetch_isa::verify_cfg`] with this workload's dispatch
+    /// tables as the indirect-target oracle, then additionally checks the
+    /// executor's contract that every conditional carries a
+    /// [`BranchBehavior`] (reported as [`CfgIssue::MissingBehavior`]).
+    /// A clean report means every correct *and* wrong-path walk the fetch
+    /// engine can take stays inside the image — the precondition for the
+    /// speculative policies to be comparable at all.
+    pub fn analyze(&self) -> CfgReport {
+        let mut report = specfetch_isa::verify_cfg(self.program(), |at| {
+            self.dispatch_at(at).map(|t| t.targets().to_vec())
+        });
+        for (at, kind) in self.program().iter() {
+            if kind.is_conditional() && self.behavior_at(at).is_none() {
+                report.issues.push(CfgIssue::MissingBehavior { at });
+            }
+        }
+        report
+    }
+
+    /// A copy of this workload whose first conditional branch is
+    /// redirected to an address past the image end — a deliberately
+    /// broken workload for exercising the analysis failure paths end to
+    /// end (the `repro --corrupt-target` hook and the mutation tests).
+    ///
+    /// Returns the corrupted workload plus the branch site and bogus
+    /// target (so callers can assert the diagnostic is precise), or
+    /// `None` if the image has no conditional branch.
+    pub fn corrupt_first_branch_target(&self) -> Option<(Workload, Addr, Addr)> {
+        let (at, _) = self.program.iter().find(|(_, k)| k.is_conditional())?;
+        let bogus = Addr::new(self.program.end().raw() + 0x40);
+        let program =
+            self.program.with_instr_unchecked(at, InstrKind::CondBranch { target: bogus })?;
+        let corrupted = Workload::from_parts(
+            self.name.clone(),
+            program,
+            self.behaviors.clone(),
+            self.dispatch.clone(),
+        );
+        Some((corrupted, at, bogus))
     }
 
     /// A deterministic execution path: the same `(workload, seed)` always

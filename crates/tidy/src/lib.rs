@@ -1,0 +1,611 @@
+//! In-repo source lints enforcing specfetch workspace invariants, in the
+//! style of rustc's `tidy`.
+//!
+//! Four rules, each a pure function over a tree root so the self-tests
+//! can run them against synthetic trees:
+//!
+//! 1. **Panic audit** ([`panic_audit`]) — library code (every
+//!    `crates/*/src` and the root `src/`, minus `bin/` directories and
+//!    `#[cfg(test)]` modules) must not call the panicking `Option`/
+//!    `Result` extractors. Existing sites live in a committed allowlist
+//!    ([`ALLOWLIST_FILE`]) that may only shrink: new sites fail, and a
+//!    burned-down site whose entry was not updated fails as stale.
+//! 2. **Oracle capability** ([`oracle_capability`]) — the oracle's
+//!    wrong-path knowledge must stay confined to the miss-gate: its
+//!    identifying tokens may appear only in the gate module and the
+//!    crate-root re-export. Any other occurrence means simulation code
+//!    grew access to ground truth it must not have.
+//! 3. **Crate layering** ([`layering`]) — inter-crate dependencies
+//!    (both `Cargo.toml` edges and `specfetch_*` source references) must
+//!    respect the workspace DAG; a back-edge fails.
+//! 4. **Error hygiene** ([`error_hygiene`]) — public fallible APIs in
+//!    `crates/core` and `crates/experiments` return typed errors
+//!    (`SpecfetchError`), never `Result<_, String>`.
+//!
+//! The enforcement tests in `tests/tidy.rs` run all four against the
+//! real workspace; CI runs them via `cargo test -p tidy`.
+//!
+//! The scanner is deliberately textual (line-based, no parsing crates —
+//! the crate has zero dependencies): it skips comment lines and
+//! `#[cfg(test)]` items by brace counting, and its own patterns are
+//! assembled from split literals so it never flags itself.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Repo-relative path of the panic-audit allowlist.
+pub const ALLOWLIST_FILE: &str = "crates/tidy/panic_allowlist.txt";
+
+// The scanned-for tokens, split so this file never matches its own
+// patterns.
+const UNWRAP: &str = concat!(".unw", "rap()");
+const EXPECT: &str = concat!(".exp", "ect(");
+const EXPECT_ERR: &str = concat!(".exp", "ect_err(");
+const ORACLE_TYPE: &str = concat!("Oracle", "Gate");
+const ORACLE_PROBE: &str = concat!("on_wrong", "_path");
+const CRATE_PREFIX_SRC: &str = concat!("spec", "fetch_");
+const CRATE_PREFIX_TOML: &str = concat!("spec", "fetch-");
+
+/// Files allowed to name the oracle tokens: the gate itself and the
+/// crate root that re-exports it.
+const ORACLE_ALLOWED: [&str; 2] = ["crates/core/src/engine/gate.rs", "crates/core/src/lib.rs"];
+
+/// The workspace dependency DAG: crate directory name, allowed
+/// `[dependencies]`, allowed extra `[dev-dependencies]`. A `Cargo.toml`
+/// or source edge outside these sets is a layering violation.
+const LAYERS: [(&str, &[&str], &[&str]); 9] = [
+    ("isa", &[], &[]),
+    ("trace", &["isa"], &[]),
+    ("bpred", &["isa"], &[]),
+    ("cache", &["isa"], &[]),
+    ("synth", &["isa", "trace"], &[]),
+    ("core", &["isa", "trace", "bpred", "cache"], &["synth"]),
+    ("experiments", &["isa", "trace", "bpred", "cache", "synth", "core"], &[]),
+    ("bench", &["isa", "trace", "bpred", "cache", "synth", "core", "experiments"], &[]),
+    ("tidy", &[], &[]),
+];
+
+/// Crates whose public fallible APIs must return `SpecfetchError`.
+const TYPED_ERROR_CRATES: [&str; 2] = ["core", "experiments"];
+
+/// One broken invariant: which rule, where, and what.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The rule that fired (`panic-audit`, `oracle-capability`,
+    /// `layering`, `error-hygiene`, or `io` for an unreadable input).
+    pub rule: &'static str,
+    /// Repo-relative file path (slash-separated).
+    pub file: String,
+    /// 1-based line, or 0 when the finding is file-granular.
+    pub line: usize,
+    /// What is wrong and how to fix it.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}: {}", self.rule, self.file, self.detail)
+        } else {
+            write!(f, "{}: {}:{}: {}", self.rule, self.file, self.line, self.detail)
+        }
+    }
+}
+
+/// Runs every rule against the tree at `root`, with `allowlist` as the
+/// panic-audit ratchet (normally the contents of [`ALLOWLIST_FILE`]).
+pub fn check_all(root: &Path, allowlist: &str) -> Vec<Violation> {
+    let mut v = panic_audit(root, allowlist);
+    v.extend(oracle_capability(root));
+    v.extend(layering(root));
+    v.extend(error_hygiene(root));
+    v
+}
+
+/// Rule 1: no `unwrap`/`expect` in library code outside the allowlist.
+///
+/// `allowlist` lines are `path: count` (repo-relative, `#` comments);
+/// each listed file may contain exactly `count` sites. More is a
+/// regression, fewer is a stale entry that must be ratcheted down, and
+/// any site in an unlisted file is reported individually.
+pub fn panic_audit(root: &Path, allowlist: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (allowed, mut parse_errors) = parse_allowlist(allowlist);
+    violations.append(&mut parse_errors);
+
+    let mut counts: Vec<(String, Vec<usize>)> = Vec::new();
+    for (rel, path) in library_sources(root, &mut violations) {
+        let Some(text) = read(&path, &rel, &mut violations) else { continue };
+        let mut lines = Vec::new();
+        scan_code_lines(&text, |line_no, line| {
+            if has_panic_call(line) {
+                lines.push(line_no);
+            }
+        });
+        if !lines.is_empty() {
+            counts.push((rel, lines));
+        }
+    }
+
+    for (rel, lines) in &counts {
+        match allowed.iter().find(|(p, _)| p == rel) {
+            None => {
+                for &line in lines {
+                    violations.push(Violation {
+                        rule: "panic-audit",
+                        file: rel.clone(),
+                        line,
+                        detail: format!(
+                            "{UNWRAP} / {EXPECT} in library code; return a typed error \
+                             or restructure (the allowlist only ratchets down)"
+                        ),
+                    });
+                }
+            }
+            Some(&(_, listed)) if lines.len() > listed => violations.push(Violation {
+                rule: "panic-audit",
+                file: rel.clone(),
+                line: 0,
+                detail: format!(
+                    "{} panicking extractor(s), allowlist permits {listed}; \
+                     new sites are not allowed",
+                    lines.len()
+                ),
+            }),
+            Some(&(_, listed)) if lines.len() < listed => violations.push(Violation {
+                rule: "panic-audit",
+                file: rel.clone(),
+                line: 0,
+                detail: format!(
+                    "stale allowlist entry: {listed} listed but only {} found — \
+                     ratchet {ALLOWLIST_FILE} down",
+                    lines.len()
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (p, listed) in &allowed {
+        if !counts.iter().any(|(rel, _)| rel == p) {
+            violations.push(Violation {
+                rule: "panic-audit",
+                file: p.clone(),
+                line: 0,
+                detail: format!(
+                    "stale allowlist entry: {listed} listed but the file has none — \
+                     remove it from {ALLOWLIST_FILE}"
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// Rule 2: oracle wrong-path capability stays confined to the gate.
+pub fn oracle_capability(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (rel, path) in library_sources(root, &mut violations) {
+        if ORACLE_ALLOWED.contains(&rel.as_str()) {
+            continue;
+        }
+        let Some(text) = read(&path, &rel, &mut violations) else { continue };
+        scan_code_lines(&text, |line_no, line| {
+            for token in [ORACLE_TYPE, ORACLE_PROBE] {
+                if line.contains(token) {
+                    violations.push(Violation {
+                        rule: "oracle-capability",
+                        file: rel.clone(),
+                        line: line_no,
+                        detail: format!(
+                            "`{token}` outside the miss-gate: wrong-path ground truth \
+                             is only available to {}",
+                            ORACLE_ALLOWED[0]
+                        ),
+                    });
+                }
+            }
+        });
+    }
+    violations
+}
+
+/// Rule 3: the crate DAG has no back-edges — in `Cargo.toml` or in
+/// `specfetch_*` source references.
+pub fn layering(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (name, deps, dev) in LAYERS {
+        let dir = root.join("crates").join(name);
+        if !dir.is_dir() {
+            continue;
+        }
+        let manifest = dir.join("Cargo.toml");
+        let rel_manifest = format!("crates/{name}/Cargo.toml");
+        if let Some(text) = read(&manifest, &rel_manifest, &mut violations) {
+            check_manifest_edges(name, deps, dev, &text, &rel_manifest, &mut violations);
+        }
+
+        // Source references: anything a file names must be a declared
+        // dependency (dev-deps included — `#[cfg(test)]` code may use
+        // them; comment lines, and with them doctests, are skipped).
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src, root, &mut files, &mut violations);
+        for (rel, path) in files {
+            let Some(text) = read(&path, &rel, &mut violations) else { continue };
+            scan_code_lines(&text, |line_no, line| {
+                let mut rest = line;
+                while let Some(pos) = rest.find(CRATE_PREFIX_SRC) {
+                    let after = &rest[pos + CRATE_PREFIX_SRC.len()..];
+                    let referenced: String =
+                        after.chars().take_while(|c| c.is_ascii_lowercase()).collect();
+                    if !referenced.is_empty()
+                        && referenced != name
+                        && !deps.contains(&referenced.as_str())
+                        && !dev.contains(&referenced.as_str())
+                    {
+                        violations.push(Violation {
+                            rule: "layering",
+                            file: rel.clone(),
+                            line: line_no,
+                            detail: format!(
+                                "crate `{name}` references `{CRATE_PREFIX_SRC}{referenced}` \
+                                 but does not (and must not) depend on it"
+                            ),
+                        });
+                    }
+                    rest = after;
+                }
+            });
+        }
+    }
+    violations
+}
+
+/// Rule 4: public fallible APIs in the typed-error crates return
+/// `SpecfetchError`, never `Result<_, String>`.
+pub fn error_hygiene(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for name in TYPED_ERROR_CRATES {
+        let src = root.join("crates").join(name).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src, root, &mut files, &mut violations);
+        for (rel, path) in files {
+            if rel.contains("/bin/") {
+                continue;
+            }
+            let Some(text) = read(&path, &rel, &mut violations) else { continue };
+            let mut in_sig = false;
+            let mut sig_start = 0usize;
+            let mut sig = String::new();
+            scan_code_lines(&text, |line_no, line| {
+                let trimmed = line.trim();
+                if !in_sig && is_pub_fn(trimmed) {
+                    in_sig = true;
+                    sig_start = line_no;
+                    sig.clear();
+                }
+                if in_sig {
+                    sig.push(' ');
+                    sig.push_str(trimmed);
+                    if trimmed.contains('{') || trimmed.ends_with(';') {
+                        if string_error_return(&sig) {
+                            violations.push(Violation {
+                                rule: "error-hygiene",
+                                file: rel.clone(),
+                                line: sig_start,
+                                detail: "public fallible API returns Result<_, String>; \
+                                         use SpecfetchError"
+                                    .to_owned(),
+                            });
+                        }
+                        in_sig = false;
+                    }
+                }
+            });
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------
+// Scanning machinery
+// ---------------------------------------------------------------------
+
+/// Whether `line` (already comment-stripped by the caller) calls a
+/// panicking extractor. `expect_err` is a test-side assertion helper,
+/// not a hidden panic path, and is excluded.
+fn has_panic_call(line: &str) -> bool {
+    if line.contains(UNWRAP) {
+        return true;
+    }
+    let mut rest = line;
+    while let Some(pos) = rest.find(EXPECT) {
+        if !rest[pos..].starts_with(EXPECT_ERR) {
+            return true;
+        }
+        rest = &rest[pos + EXPECT.len()..];
+    }
+    false
+}
+
+fn is_pub_fn(trimmed: &str) -> bool {
+    ["pub fn ", "pub const fn ", "pub async fn "].iter().any(|p| trimmed.starts_with(p))
+}
+
+/// Does a collected `pub fn` signature return `Result<_, String>`?
+/// Parses the return type's generic arguments at top level, so
+/// `Result<String, E>` and nested `Vec<Result<_, String>>` are both
+/// classified correctly.
+fn string_error_return(sig: &str) -> bool {
+    let Some(arrow) = sig.find("->") else { return false };
+    let ret = &sig[arrow + 2..];
+    let Some(start) = ret.find("Result<") else { return false };
+    let args = &ret[start + "Result<".len()..];
+    let mut depth = 0usize;
+    let mut second = None;
+    for (i, ch) in args.char_indices() {
+        match ch {
+            '<' | '(' | '[' => depth += 1,
+            '>' if depth == 0 => break,
+            '>' | ')' | ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                second = Some(&args[i + 1..]);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(rest) = second else { return false };
+    let mut depth = 0usize;
+    let mut err_ty = rest;
+    for (i, ch) in rest.char_indices() {
+        match ch {
+            '<' | '(' | '[' => depth += 1,
+            '>' if depth == 0 => {
+                err_ty = &rest[..i];
+                break;
+            }
+            '>' | ')' | ']' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    err_ty.trim() == "String"
+}
+
+/// Feeds `f` every line that is *code*: comment lines and the bodies of
+/// `#[cfg(test)]` items (tracked by brace counting) are skipped.
+/// Line numbers are 1-based.
+fn scan_code_lines(text: &str, mut f: impl FnMut(usize, &str)) {
+    let mut pending_test_attr = false;
+    let mut skip_depth = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if skip_depth > 0 {
+            skip_depth += count(line, '{');
+            skip_depth = skip_depth.saturating_sub(count(line, '}'));
+            continue;
+        }
+        if pending_test_attr {
+            if line.starts_with("#[") {
+                continue;
+            }
+            let opens = count(line, '{');
+            let closes = count(line, '}');
+            if opens > closes {
+                skip_depth = opens - closes;
+            }
+            pending_test_attr = false;
+            continue;
+        }
+        if line.starts_with("#[cfg(test)]") {
+            pending_test_attr = true;
+            continue;
+        }
+        if line.starts_with("//") {
+            continue;
+        }
+        f(i + 1, raw);
+    }
+}
+
+fn count(line: &str, ch: char) -> usize {
+    line.chars().filter(|&c| c == ch).count()
+}
+
+/// Parses the `path: count` allowlist. Malformed lines surface as
+/// violations rather than being ignored.
+fn parse_allowlist(text: &str) -> (Vec<(String, usize)>, Vec<Violation>) {
+    let mut entries = Vec::new();
+    let mut violations = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.rsplit_once(':') {
+            Some((path, count)) => match count.trim().parse::<usize>() {
+                Ok(n) if n > 0 => entries.push((path.trim().to_owned(), n)),
+                _ => violations.push(Violation {
+                    rule: "panic-audit",
+                    file: ALLOWLIST_FILE.to_owned(),
+                    line: i + 1,
+                    detail: format!("bad allowlist count in {line:?} (want a positive integer)"),
+                }),
+            },
+            None => violations.push(Violation {
+                rule: "panic-audit",
+                file: ALLOWLIST_FILE.to_owned(),
+                line: i + 1,
+                detail: format!("bad allowlist line {line:?} (want `path: count`)"),
+            }),
+        }
+    }
+    (entries, violations)
+}
+
+/// Parses a crate manifest's `[dependencies]` / `[dev-dependencies]`
+/// sections and checks every `specfetch-*` edge against the DAG.
+fn check_manifest_edges(
+    name: &str,
+    deps: &[&str],
+    dev: &[&str],
+    text: &str,
+    rel: &str,
+    violations: &mut Vec<Violation>,
+) {
+    let mut section = "";
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line;
+            continue;
+        }
+        let in_deps = section == "[dependencies]";
+        let in_dev = section == "[dev-dependencies]";
+        if !in_deps && !in_dev {
+            continue;
+        }
+        let Some(after) = line.strip_prefix(CRATE_PREFIX_TOML) else { continue };
+        let dep: String = after.chars().take_while(|c| c.is_ascii_lowercase()).collect();
+        let allowed = deps.contains(&dep.as_str()) || (in_dev && dev.contains(&dep.as_str()));
+        if !allowed {
+            violations.push(Violation {
+                rule: "layering",
+                file: rel.to_owned(),
+                line: i + 1,
+                detail: format!(
+                    "crate `{name}` must not depend on `{CRATE_PREFIX_TOML}{dep}` \
+                     (workspace DAG back-edge)"
+                ),
+            });
+        }
+    }
+}
+
+/// Every library source file: all `crates/*/src` trees plus the root
+/// `src/`, minus `bin/` directories. Returns (repo-relative, absolute)
+/// pairs, sorted for deterministic reports.
+fn library_sources(root: &Path, violations: &mut Vec<Violation>) -> Vec<(String, PathBuf)> {
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            roots.push(entry.path().join("src"));
+        }
+    }
+    let mut files = Vec::new();
+    for src in roots {
+        if src.is_dir() {
+            collect_rs(&src, root, &mut files, violations);
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Recursively collects `.rs` files under `dir` (skipping `bin/`
+/// directories), as (repo-relative, absolute) pairs.
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    out: &mut Vec<(String, PathBuf)>,
+    violations: &mut Vec<Violation>,
+) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            violations.push(Violation {
+                rule: "io",
+                file: rel_path(dir, root),
+                line: 0,
+                detail: format!("unreadable directory: {e}"),
+            });
+            return;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs(&p, root, out, violations);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push((rel_path(&p, root), p));
+        }
+    }
+}
+
+fn rel_path(p: &Path, root: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+fn read(path: &Path, rel: &str, violations: &mut Vec<Violation>) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            violations.push(Violation {
+                rule: "io",
+                file: rel.to_owned(),
+                line: 0,
+                detail: format!("unreadable file: {e}"),
+            });
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_call_detection_excludes_expect_err() {
+        assert!(has_panic_call(&format!("let x = v{UNWRAP};")));
+        assert!(has_panic_call(&format!("let x = v{EXPECT}\"m\");")));
+        assert!(!has_panic_call(&format!("let e = r{EXPECT_ERR}\"m\");")));
+        assert!(has_panic_call(&format!("r{EXPECT_ERR}\"m\"); v{EXPECT}\"m\");")));
+        assert!(!has_panic_call("let x = v.unwrap_or_default();"));
+    }
+
+    #[test]
+    fn string_error_return_parses_generics_at_top_level() {
+        assert!(string_error_return("pub fn f() -> Result<FaultPlan, String> {"));
+        assert!(string_error_return("pub fn f() -> Vec<Result<u8, String>> {"));
+        assert!(!string_error_return("pub fn f() -> Result<String, SpecfetchError> {"));
+        assert!(!string_error_return("pub fn f(x: Result<u8, String>) -> u8 {"));
+        assert!(!string_error_return("pub fn f() -> Result<Vec<(usize, String)>, Error> {"));
+        assert!(!string_error_return("pub fn f() -> u8 {"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped_by_brace_counting() {
+        let text = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {\n    }\n}\nfn c() {}\n";
+        let mut seen = Vec::new();
+        scan_code_lines(text, |n, _| seen.push(n));
+        assert_eq!(seen, vec![1, 7]);
+    }
+
+    #[test]
+    fn comment_lines_and_attr_runs_are_skipped() {
+        let text =
+            "// no\n/// doc\n#[cfg(test)]\n#[allow(dead_code)]\nfn t() { body(); }\nlive();\n";
+        let mut seen = Vec::new();
+        scan_code_lines(text, |n, _| seen.push(n));
+        assert_eq!(seen, vec![6]);
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let (entries, errs) = parse_allowlist("# c\n\na/b.rs: 2\nbad line\nc.rs: x\n");
+        assert_eq!(entries, vec![("a/b.rs".to_owned(), 2)]);
+        assert_eq!(errs.len(), 2);
+    }
+}

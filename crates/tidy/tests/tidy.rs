@@ -1,0 +1,256 @@
+//! Enforcement of the workspace invariants against the real tree, plus
+//! self-tests that seed one violation per rule class in synthetic trees
+//! and assert the scanner catches exactly it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tidy::{
+    check_all, error_hygiene, layering, oracle_capability, panic_audit, Violation, ALLOWLIST_FILE,
+};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn committed_allowlist(root: &Path) -> String {
+    fs::read_to_string(root.join(ALLOWLIST_FILE)).expect("committed allowlist is readable")
+}
+
+fn render(v: &[Violation]) -> String {
+    v.iter().map(|x| format!("  {x}\n")).collect()
+}
+
+// ---------------------------------------------------------------------
+// Enforcement on the real workspace
+// ---------------------------------------------------------------------
+
+#[test]
+fn workspace_passes_every_tidy_rule() {
+    let root = workspace_root();
+    let allowlist = committed_allowlist(&root);
+    let v = check_all(&root, &allowlist);
+    assert!(v.is_empty(), "tidy violations:\n{}", render(&v));
+}
+
+#[test]
+fn the_scanner_actually_saw_the_workspace() {
+    // Guard against a silently wrong root: the rules must run over a
+    // tree that contains the known library sources, or "no violations"
+    // would be vacuous.
+    let root = workspace_root();
+    assert!(root.join("crates/core/src/engine/gate.rs").is_file());
+    assert!(root.join("crates/experiments/src/runner.rs").is_file());
+    assert!(root.join("src/lib.rs").is_file());
+}
+
+// ---------------------------------------------------------------------
+// Self-tests on synthetic trees
+// ---------------------------------------------------------------------
+
+/// A unique per-test scratch tree under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("specfetch-tidy-{}-{tag}-{n}", std::process::id()));
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn seed(root: &Path, rel: &str, content: &str) {
+    let path = root.join(rel);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("seed parent dir");
+    }
+    fs::write(&path, content).expect("seed file");
+}
+
+#[test]
+fn seeded_unwrap_in_library_code_is_flagged_with_its_line() {
+    let root = scratch("panic");
+    seed(&root, "crates/cache/src/lib.rs", "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n");
+    let v = panic_audit(&root, "");
+    assert_eq!(v.len(), 1, "{}", render(&v));
+    assert_eq!(
+        (v[0].rule, v[0].file.as_str(), v[0].line),
+        ("panic-audit", "crates/cache/src/lib.rs", 2)
+    );
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn allowlisted_sites_pass_and_the_ratchet_only_shrinks() {
+    let root = scratch("ratchet");
+    seed(
+        &root,
+        "crates/trace/src/x.rs",
+        "pub fn f(v: Option<u8>) -> u8 {\n    v.expect(\"m\")\n}\n",
+    );
+    // Exact count: clean.
+    assert!(panic_audit(&root, "crates/trace/src/x.rs: 1").is_empty());
+    // Understated count: the new site is a regression.
+    let v = panic_audit(&root, "# none yet\n");
+    assert_eq!(v.len(), 1);
+    // Overstated count: the entry is stale and must ratchet down.
+    let v = panic_audit(&root, "crates/trace/src/x.rs: 2");
+    assert_eq!(v.len(), 1, "{}", render(&v));
+    assert!(v[0].detail.contains("stale"), "{}", v[0]);
+    // Entry for a file with no sites at all: also stale.
+    let v = panic_audit(&root, "crates/trace/src/x.rs: 1\ncrates/trace/src/gone.rs: 3");
+    assert_eq!(v.len(), 1, "{}", render(&v));
+    assert!(v[0].detail.contains("stale"), "{}", v[0]);
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn unwrap_inside_cfg_test_modules_and_bins_is_exempt() {
+    let root = scratch("exempt");
+    seed(
+        &root,
+        "crates/cache/src/lib.rs",
+        "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+         Some(1).unwrap();\n    }\n}\n",
+    );
+    seed(&root, "crates/experiments/src/bin/tool.rs", "fn main() {\n    Some(1).unwrap();\n}\n");
+    seed(&root, "crates/cache/src/doc.rs", "// a comment saying .unwrap() is bad\npub fn g() {}\n");
+    let v = panic_audit(&root, "");
+    assert!(v.is_empty(), "{}", render(&v));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn oracle_tokens_outside_the_gate_are_flagged_and_inside_are_not() {
+    let root = scratch("oracle");
+    let token = concat!("Oracle", "Gate");
+    seed(&root, "crates/core/src/engine/gate.rs", &format!("pub struct {token};\n"));
+    seed(&root, "crates/core/src/lib.rs", &format!("pub use engine::{token};\n"));
+    assert!(oracle_capability(&root).is_empty());
+
+    let probe = concat!("on_wrong", "_path");
+    seed(
+        &root,
+        "crates/trace/src/peek.rs",
+        &format!("pub fn sneak(g: &{token}) -> bool {{\n    g.{probe}()\n}}\n"),
+    );
+    let v = oracle_capability(&root);
+    assert_eq!(v.len(), 2, "one per token occurrence:\n{}", render(&v));
+    assert!(v
+        .iter()
+        .all(|x| x.rule == "oracle-capability" && x.file == "crates/trace/src/peek.rs"));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn layering_back_edges_are_flagged_in_manifests_and_sources() {
+    let root = scratch("layers");
+    // Manifest back-edge: isa must depend on nothing.
+    seed(
+        &root,
+        "crates/isa/Cargo.toml",
+        "[package]\nname = \"specfetch-isa\"\n\n[dependencies]\nspecfetch-core.workspace = true\n",
+    );
+    // Source back-edge: trace reaching into experiments.
+    seed(&root, "crates/trace/Cargo.toml", "[package]\nname = \"specfetch-trace\"\n");
+    seed(
+        &root,
+        "crates/trace/src/lib.rs",
+        "use specfetch_experiments::RunOptions;\npub fn f(_: RunOptions) {}\n",
+    );
+    let v = layering(&root);
+    assert_eq!(v.len(), 2, "{}", render(&v));
+    assert!(v.iter().any(|x| x.file == "crates/isa/Cargo.toml" && x.detail.contains("core")));
+    assert!(v
+        .iter()
+        .any(|x| x.file == "crates/trace/src/lib.rs" && x.detail.contains("experiments")));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn forward_edges_and_dev_dependencies_are_allowed() {
+    let root = scratch("dag-ok");
+    seed(
+        &root,
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"specfetch-core\"\n\n[dependencies]\nspecfetch-isa.workspace = true\n\
+         specfetch-cache.workspace = true\n\n[dev-dependencies]\nspecfetch-synth.workspace = true\n",
+    );
+    seed(
+        &root,
+        "crates/core/src/lib.rs",
+        "use specfetch_isa::Addr;\nuse specfetch_synth::Workload;\npub fn f(_: Addr, _: Workload) {}\n",
+    );
+    assert!(layering(&root).is_empty(), "{}", render(&layering(&root)));
+
+    // But synth as a *runtime* dependency of core is a back-edge.
+    seed(
+        &root,
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"specfetch-core\"\n\n[dependencies]\nspecfetch-synth.workspace = true\n",
+    );
+    let v = layering(&root);
+    assert_eq!(v.len(), 1, "{}", render(&v));
+    assert!(v[0].detail.contains("synth"));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn string_error_apis_in_typed_crates_are_flagged() {
+    let root = scratch("hygiene");
+    seed(
+        &root,
+        "crates/core/src/api.rs",
+        "pub fn parse(s: &str) -> Result<u8, String> {\n    s.parse().map_err(|_| \"no\".into())\n}\n",
+    );
+    // Multi-line signatures are accumulated to the opening brace.
+    seed(
+        &root,
+        "crates/experiments/src/multi.rs",
+        "pub fn long(\n    input: &str,\n) -> Result<Vec<u8>, String>\n{\n    Err(input.into())\n}\n",
+    );
+    // Exempt: a String *payload* (not error), a private fn, and bin/.
+    seed(
+        &root,
+        "crates/core/src/fine.rs",
+        "pub fn name() -> Result<String, u8> {\n    Ok(String::new())\n}\n\
+         fn private() -> Result<u8, String> {\n    Ok(0)\n}\n",
+    );
+    seed(
+        &root,
+        "crates/experiments/src/bin/tool.rs",
+        "fn parse() -> Result<u8, String> {\n    Ok(1)\n}\nfn main() {}\n",
+    );
+    let v = error_hygiene(&root);
+    assert_eq!(v.len(), 2, "{}", render(&v));
+    assert!(v.iter().any(|x| x.file == "crates/core/src/api.rs" && x.line == 1));
+    assert!(v.iter().any(|x| x.file == "crates/experiments/src/multi.rs" && x.line == 1));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn check_all_aggregates_every_rule_class() {
+    let root = scratch("all");
+    seed(&root, "crates/cache/src/lib.rs", "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n");
+    seed(
+        &root,
+        "crates/isa/Cargo.toml",
+        "[package]\nname = \"specfetch-isa\"\n\n[dependencies]\nspecfetch-trace.workspace = true\n",
+    );
+    seed(
+        &root,
+        "crates/core/src/api.rs",
+        &format!(
+            "pub fn bad(g: &{}) -> Result<u8, String> {{\n    Err(String::new())\n}}\n",
+            concat!("Oracle", "Gate")
+        ),
+    );
+    let v = check_all(&root, "");
+    let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
+    for rule in ["panic-audit", "oracle-capability", "layering", "error-hygiene"] {
+        assert!(rules.contains(&rule), "missing {rule} in: {}", render(&v));
+    }
+    fs::remove_dir_all(&root).expect("cleanup");
+}

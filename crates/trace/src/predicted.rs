@@ -131,7 +131,10 @@ impl PredictedTrace {
                             cond_taken.push(0);
                         }
                         if d.taken {
-                            *cond_taken.last_mut().expect("pushed above") |= 1 << (n_conds % 64);
+                            // The push above guarantees a current word.
+                            if let Some(w) = cond_taken.last_mut() {
+                                *w |= 1 << (n_conds % 64);
+                            }
                         }
                         n_conds += 1;
                     }
@@ -249,7 +252,9 @@ impl PredictedTrace {
 }
 
 fn word32(target: Addr) -> u32 {
-    u32::try_from(target.word_index()).expect("image exceeds u32 word indices")
+    let word = target.word_index();
+    assert!(word <= u64::from(u32::MAX), "image exceeds u32 word indices");
+    word as u32
 }
 
 /// A replay cursor over a shared [`PredictedTrace`].

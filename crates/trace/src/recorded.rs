@@ -102,12 +102,16 @@ impl RecordedTrace {
         while n < max_instrs {
             let Some(d) = source.next_instr() else { break };
             let word = d.pc.word_index();
-            let word32 = u32::try_from(word).expect("image exceeds u32 word indices");
+            assert!(word <= u64::from(u32::MAX), "image exceeds u32 word indices");
+            let word32 = word as u32;
             if n.is_multiple_of(64) {
                 taken.push(0);
             }
             if d.taken {
-                *taken.last_mut().expect("pushed above") |= 1 << (n % 64);
+                // The push above guarantees a current word exists.
+                if let Some(w) = taken.last_mut() {
+                    *w |= 1 << (n % 64);
+                }
             }
             pc_words.push(word32);
             tail_next = d.next_pc;
@@ -169,7 +173,9 @@ impl RecordedTrace {
     /// Reconstructs the `idx`-th retired instruction.
     fn instr_at(&self, idx: usize) -> DynInstr {
         let pc = Addr::new(u64::from(self.pc_words[idx]) * INSTR_BYTES);
-        let kind = self.program.fetch(pc).expect("recorded PCs always lie inside the shared image");
+        let Some(kind) = self.program.fetch(pc) else {
+            unreachable!("recorded PCs always lie inside the shared image");
+        };
         if matches!(kind, InstrKind::Seq) {
             return DynInstr::seq(pc);
         }

@@ -150,7 +150,9 @@ pub fn read_trace_text<R: BufRead>(reader: R) -> Result<Trace, TraceError> {
     for _ in 0..count {
         let (at, s) = lines.next_line()?.ok_or_else(|| malformed(0, "truncated image"))?;
         let mut parts = s.split_whitespace();
-        let op = parts.next().expect("non-empty line has a token");
+        let Some(op) = parts.next() else {
+            return Err(malformed(at, "blank instruction record"));
+        };
         let arg = parts.next();
         if parts.next().is_some() {
             return Err(malformed(at, format!("trailing tokens in {s:?}")));
