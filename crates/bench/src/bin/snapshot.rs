@@ -20,7 +20,9 @@
 //!
 //! `--quick` shrinks the probe for CI smoke runs (table4 at 60k
 //! instructions, `all` skipped) — it checks the harness, not the
-//! speedup.
+//! speedup. Full runs *also* record the quick probe, so a committed
+//! snapshot always has a matching `(experiment, instrs)` entry for the
+//! CI guard's quick-mode measurement.
 //!
 //! `--baseline <snapshot.json>` compares the new fast-path
 //! (`overlay_wall_s`) times against a previous snapshot and exits
@@ -147,6 +149,9 @@ fn git_sha() -> String {
     format!("{}{}", sha.trim(), if dirty { "-dirty" } else { "" })
 }
 
+/// The `--quick` probe size — what the CI guard measures.
+const QUICK_INSTRS: u64 = 60_000;
+
 fn main() {
     let mut out = "BENCH_2.json".to_owned();
     let mut table4_instrs = 500_000u64;
@@ -170,7 +175,7 @@ fn main() {
             }
             "--skip-all" => skip_all = true,
             "--quick" => {
-                table4_instrs = 60_000;
+                table4_instrs = QUICK_INSTRS;
                 skip_all = true;
             }
             other => {
@@ -180,7 +185,24 @@ fn main() {
         }
     }
 
-    let mut measurements = vec![measure("table4", &["table4"], table4_instrs)];
+    let sha = git_sha();
+    if sha.ends_with("-dirty") || sha == "unknown" {
+        // A trajectory point must pin an exact revision: BENCH_2.json's
+        // `-dirty` sha cannot be reproduced by any checkout.
+        eprintln!(
+            "warning: recording from a {} tree — commit first so the snapshot's \
+             git_sha names a revision that can be checked out and re-measured",
+            if sha == "unknown" { "non-git" } else { "dirty" }
+        );
+    }
+
+    let mut measurements = Vec::new();
+    // Full runs carry the quick probe too, so the CI guard's quick-mode
+    // measurement always finds a matching baseline entry.
+    if table4_instrs != QUICK_INSTRS {
+        measurements.push(measure("table4", &["table4"], QUICK_INSTRS));
+    }
+    measurements.push(measure("table4", &["table4"], table4_instrs));
     if !skip_all {
         measurements.push(measure("all", &EXPERIMENT_IDS, all_instrs));
     }
@@ -191,7 +213,7 @@ fn main() {
     let threads = host_cores;
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"specfetch-bench-snapshot/2\",");
-    let _ = writeln!(json, "  \"git_sha\": \"{}\",", git_sha());
+    let _ = writeln!(json, "  \"git_sha\": \"{sha}\",");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"measurements\": [");

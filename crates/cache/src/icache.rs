@@ -38,6 +38,14 @@ pub struct ICache {
     set_shift: u32,
     tick: u64,
     stats: CacheStats,
+    /// One-entry memo of the most recently *hit* line. Fetch touches the
+    /// same line several cycles in a row, and a re-access of the line
+    /// that just hit must hit again — and, being the cache's newest
+    /// stamp, re-stamping it cannot change any set's relative LRU order
+    /// — so the way scan and stamp write can be skipped wholesale. The
+    /// access is still counted. Cleared on every fill: the fill may
+    /// evict the memoised line, or claim the newest stamp in its set.
+    last_hit: Option<LineAddr>,
 }
 
 impl ICache {
@@ -57,6 +65,7 @@ impl ICache {
             set_shift: (n_sets as u64 - 1).count_ones(),
             tick: 0,
             stats: CacheStats::default(),
+            last_hit: None,
         }
     }
 
@@ -77,11 +86,15 @@ impl ICache {
     /// counts the access in [`ICache::stats`].
     pub fn access(&mut self, line: LineAddr) -> bool {
         self.stats.accesses += 1;
+        if self.last_hit == Some(line) {
+            return true;
+        }
         let (set, tag) = self.index(line);
         self.tick += 1;
         let tick = self.tick;
         if let Some(w) = self.set_mut(set).iter_mut().find(|w| w.valid && w.tag == tag) {
             w.lru = tick;
+            self.last_hit = Some(line);
             true
         } else {
             self.stats.misses += 1;
@@ -100,6 +113,7 @@ impl ICache {
     /// line is loaded, by demand or prefetch).
     pub fn fill(&mut self, line: LineAddr) {
         self.stats.fills += 1;
+        self.last_hit = None;
         let (set, tag) = self.index(line);
         self.tick += 1;
         let tick = self.tick;
@@ -206,6 +220,30 @@ mod tests {
         c.fill(line(10));
         assert!(c.contains(line(0)));
         assert!(!c.contains(line(1)));
+    }
+
+    #[test]
+    fn repeated_same_line_hits_count_and_keep_lru_order() {
+        let cfg = CacheConfig { size_bytes: 128, line_bytes: 32, assoc: 4 };
+        let mut c = ICache::new(&cfg); // 1 set, 4 ways
+        for i in 0..4 {
+            c.fill(line(i));
+        }
+        // Re-hits through the one-entry memo still count as accesses...
+        assert!(c.access(line(0)));
+        assert!(c.access(line(0)));
+        assert!(c.access(line(0)));
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 0);
+        // ...and the LRU victim is unchanged by the memoised touches:
+        // line 1 is the oldest stamp (lines 2, 3 were filled later).
+        c.fill(line(10));
+        assert!(c.contains(line(0)));
+        assert!(!c.contains(line(1)));
+        // The fill cleared the memo: a conflicting eviction of the
+        // memoised line must be seen as a miss, not served stale.
+        c.fill(line(4)); // same set; evicts LRU (line 2)
+        assert!(!c.access(line(2)));
     }
 
     #[test]

@@ -129,6 +129,14 @@ impl StreamBuffer {
         self.in_flight == Some(line)
     }
 
+    /// Is *any* stream prefetch currently on the bus? The stream tracks a
+    /// single outstanding transaction, so issuers must not start a second
+    /// one: [`StreamBuffer::note_issued`] would overwrite the first and
+    /// its completion would be dropped as stale.
+    pub fn prefetch_in_flight(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
     /// Lines currently buffered.
     pub fn len(&self) -> usize {
         self.queue.len()

@@ -5,7 +5,7 @@ use specfetch_trace::PathSource;
 
 use super::{Cause, Engine, MissState, Mode, Trigger};
 
-impl<S: PathSource> Engine<'_, S> {
+impl<S: PathSource> Engine<S> {
     pub(super) fn lose(&mut self, slots: u64, cause: Cause) {
         match cause {
             Cause::BranchFull => self.lost.branch_full += slots,

@@ -7,18 +7,30 @@ use specfetch_trace::PathSource;
 
 use super::{needs_resolution, Engine, MissState, Mode};
 
-impl<S: PathSource> Engine<'_, S> {
+impl<S: PathSource> Engine<S> {
     pub(super) fn process_events(&mut self) {
         // Nothing can fire before the watermark; skip the scan entirely.
         if self.cycle < self.next_event_at {
             return;
         }
+        let as_of = self.cycle;
         // Events fire oldest-first; a redirect squashes everything younger,
         // so restart the scan after each one.
         'outer: loop {
             for i in 0..self.inflight.len() {
+                // Cheap dueness probe before copying the record out: most
+                // scan iterations fire nothing, and the full record is
+                // several cache lines of `Option<Addr>`s.
+                let due = {
+                    let f = &self.inflight[i];
+                    (!f.decode_done && as_of >= f.decode_at)
+                        || (!f.resolved && needs_resolution(f.kind) && as_of >= f.resolve_at)
+                };
+                if !due {
+                    continue;
+                }
                 let f = self.inflight[i];
-                if !f.decode_done && self.cycle >= f.decode_at {
+                if !f.decode_done && as_of >= f.decode_at {
                     self.inflight[i].decode_done = true;
                     if let Some(t) = f.insert_target {
                         self.unit.btb_insert(f.pc, t, f.kind);
@@ -46,7 +58,7 @@ impl<S: PathSource> Engine<'_, S> {
                     }
                 }
                 let f = self.inflight[i];
-                if !f.resolved && needs_resolution(f.kind) && self.cycle >= f.resolve_at {
+                if !f.resolved && needs_resolution(f.kind) && as_of >= f.resolve_at {
                     self.inflight[i].resolved = true;
                     if f.is_cond {
                         self.cond_in_flight -= 1;

@@ -6,7 +6,7 @@ use specfetch_trace::PathSource;
 
 use super::{needs_resolution, Cause, Engine, Inflight, Mode, Trigger};
 
-impl<S: PathSource> Engine<'_, S> {
+impl<S: PathSource> Engine<S> {
     /// Runs one cycle's fetch slots. Returns the charge cause when the
     /// *whole* cycle stalled without issuing a slot — the precondition for
     /// [`Engine::fast_forward_stall`] — and `None` otherwise.
@@ -58,7 +58,7 @@ impl<S: PathSource> Engine<'_, S> {
                         slot += batch;
                         if let Some(c) = self.overlay.as_mut() {
                             c.idx += batch as usize;
-                            self.next_correct = c.materialize();
+                            self.next_correct = c.materialize_in(self.decode_window.as_ref());
                         }
                         continue;
                     }
@@ -123,7 +123,7 @@ impl<S: PathSource> Engine<'_, S> {
             if d.kind.is_branch() {
                 c.branch_ord += 1;
             }
-            self.next_correct = c.materialize();
+            self.next_correct = c.materialize_in(self.decode_window.as_ref());
         } else {
             self.next_correct = self.source.next_instr();
         }

@@ -9,7 +9,7 @@ use super::gate::{GateDecision, GateView};
 use super::prefetch::MissOutcome;
 use super::{Engine, MissState, Mode, PendingMiss};
 
-impl<S: PathSource> Engine<'_, S> {
+impl<S: PathSource> Engine<S> {
     /// Keeps the prefetch stages' pipelines fed (the stream buffer issues
     /// one sequential prefetch per free bus slot, up to the FIFO depth).
     pub(super) fn prefetch_tick(&mut self) {
@@ -20,10 +20,17 @@ impl<S: PathSource> Engine<'_, S> {
     }
 
     pub(super) fn process_bus(&mut self) {
+        // Nothing can complete before the cached watermark; skip the poll.
+        // Prefetch stages start transactions without the engine seeing
+        // them, so the watermark is only trusted when none are configured.
+        if self.batch_ok && self.cycle < self.next_bus_at {
+            return;
+        }
         // A pipelined bus can deliver several fills in one cycle.
         while let Some(tx) = self.bus.take_completed(self.cycle) {
             self.deliver(tx);
         }
+        self.next_bus_at = self.bus.earliest_completion().unwrap_or(u64::MAX);
     }
 
     fn deliver(&mut self, tx: specfetch_cache::Transaction) {
@@ -248,7 +255,8 @@ impl<S: PathSource> Engine<'_, S> {
         if self.bus.is_free() {
             let wrong_issue = matches!(self.mode, Mode::Wrong { .. });
             let purpose = if wrong_issue { Purpose::DemandWrong } else { Purpose::DemandCorrect };
-            self.bus.start(self.cycle, line, self.cfg.miss_penalty, purpose);
+            let done = self.bus.start(self.cycle, line, self.cfg.miss_penalty, purpose);
+            self.next_bus_at = self.next_bus_at.min(done);
             self.pending = Some(PendingMiss { line, state: MissState::InFlight { wrong_issue } });
         } else {
             self.pending = Some(PendingMiss { line, state: MissState::BusWait });

@@ -45,7 +45,7 @@ use std::sync::Arc;
 use specfetch_bpred::{BranchUnit, OutcomeReplay};
 use specfetch_cache::{Bus, ICache, ResumeBuffer};
 use specfetch_isa::{Addr, DynInstr, InstrKind, LineAddr, Program};
-use specfetch_trace::{PathSource, PredictedTrace};
+use specfetch_trace::{DecodeWindow, PathSource, PredictedTrace};
 
 use crate::{IspiBreakdown, MissClass, SimConfig, SimResult};
 use gate::MissGate;
@@ -158,6 +158,20 @@ impl OverlayCursor {
     fn materialize(&self) -> Option<DynInstr> {
         (self.idx < self.trace.len()).then(|| self.trace.instr_at(self.idx, self.branch_ord))
     }
+
+    /// Like [`OverlayCursor::materialize`], but serves the instruction
+    /// from a shared pre-materialised [`DecodeWindow`] when it covers the
+    /// cursor — the lockstep executor decodes each window once and every
+    /// lane copies from it instead of re-deriving the `DynInstr`.
+    fn materialize_in(&self, window: Option<&Arc<DecodeWindow>>) -> Option<DynInstr> {
+        if let Some(w) = window {
+            if let Some(d) = w.get(self.idx) {
+                debug_assert_eq!(Some(*d), self.materialize(), "decode window out of sync");
+                return Some(*d);
+            }
+        }
+        self.materialize()
+    }
 }
 
 /// Debug-build cross-check of the live predictor history against the
@@ -180,9 +194,9 @@ enum Cause {
     Bus,
 }
 
-pub(crate) struct Engine<'s, S: PathSource> {
+pub(crate) struct Engine<S: PathSource> {
     cfg: SimConfig,
-    source: &'s mut S,
+    source: S,
     /// Shared with the source (and every sibling engine in a sweep):
     /// holding the handle instead of a deep copy keeps per-run setup O(1)
     /// in the image size.
@@ -200,6 +214,11 @@ pub(crate) struct Engine<'s, S: PathSource> {
     /// Cursor into the shared overlay when the source advertises one;
     /// while set, the engine never calls `source.next_instr`.
     overlay: Option<OverlayCursor>,
+    /// Shared pre-materialised decode window (lockstep batches only):
+    /// one decode pass feeds every lane in the batch. Byte-identical to
+    /// per-lane materialisation — the window holds exactly what
+    /// [`OverlayCursor::materialize`] would produce.
+    decode_window: Option<Arc<DecodeWindow>>,
     /// Overlay batching is byte-identical only while per-access side
     /// effects are limited to the cache itself (no prefetch triggers).
     batch_ok: bool,
@@ -233,6 +252,15 @@ pub(crate) struct Engine<'s, S: PathSource> {
     /// [`Engine::process_events`] skip its scan on event-free cycles; may
     /// run stale-early after a squash, which only costs a wasted scan.
     next_event_at: u64,
+    /// Earliest in-flight bus completion (`u64::MAX` when the bus is
+    /// idle). Lets [`Engine::process_bus`] skip polling on completion-free
+    /// cycles. Only maintained while no prefetch stage is configured
+    /// (stages issue transactions behind the engine's back), so the skip
+    /// is gated on `batch_ok`.
+    next_bus_at: u64,
+    /// Deadlock safety valve: `(instrs, cycle)` at the last forward
+    /// progress.
+    progress: (u64, u64),
 
     // Results.
     correct_instrs: u64,
@@ -249,8 +277,8 @@ pub(crate) struct Engine<'s, S: PathSource> {
     unused_end_slots: u64,
 }
 
-impl<'s, S: PathSource> Engine<'s, S> {
-    pub(crate) fn new(cfg: SimConfig, gate: Box<dyn MissGate>, source: &'s mut S) -> Self {
+impl<S: PathSource> Engine<S> {
+    pub(crate) fn new(cfg: SimConfig, gate: Box<dyn MissGate>, mut source: S) -> Self {
         debug_assert!(cfg.validate().is_ok(), "callers validate the configuration");
         let program = source.shared_program();
         let overlay = source.predicted().map(|trace| OverlayCursor {
@@ -290,6 +318,7 @@ impl<'s, S: PathSource> Engine<'s, S> {
             gate,
             prefetchers,
             overlay,
+            decode_window: None,
             batch_ok,
             line_word_mask: cfg.icache.line_bytes / specfetch_isa::INSTR_BYTES - 1,
             ghr_check,
@@ -303,6 +332,8 @@ impl<'s, S: PathSource> Engine<'s, S> {
             last_blocked: None,
             last_fetch_cycle: None,
             next_event_at: u64::MAX,
+            next_bus_at: u64::MAX,
+            progress: (0, 0),
             correct_instrs: 0,
             lost: IspiBreakdown::default(),
             pht_mispredict_slots: 0,
@@ -322,30 +353,70 @@ impl<'s, S: PathSource> Engine<'s, S> {
     }
 
     pub(crate) fn run(mut self) -> SimResult {
-        // Safety valve: a deadlocked engine is a bug, not a long run.
-        let mut last_progress = (0u64, 0u64);
         while self.next_correct.is_some() {
-            self.process_bus();
-            self.prefetch_tick();
-            self.process_events();
-            let stall = self.fetch_phase();
-            self.cycle += 1;
-            if let Some(cause) = stall {
-                self.fast_forward_stall(cause);
-            }
-            if self.correct_instrs != last_progress.0 {
-                last_progress = (self.correct_instrs, self.cycle);
-            } else {
-                assert!(
-                    self.cycle - last_progress.1 < 1_000_000,
-                    "engine stalled: cycle {}, {} instrs, mode {:?}, pending {:?}",
-                    self.cycle,
-                    self.correct_instrs,
-                    self.mode,
-                    self.pending
-                );
-            }
+            self.step_cycle();
         }
+        self.into_result()
+    }
+
+    /// One simulated cycle: bus completions, prefetch pipelines, branch
+    /// events, then the fetch slots (plus the bulk stall fast-forward).
+    #[inline]
+    fn step_cycle(&mut self) {
+        self.process_bus();
+        self.prefetch_tick();
+        self.process_events();
+        let stall = self.fetch_phase();
+        self.cycle += 1;
+        if let Some(cause) = stall {
+            self.fast_forward_stall(cause);
+        }
+        // Safety valve: a deadlocked engine is a bug, not a long run.
+        if self.correct_instrs != self.progress.0 {
+            self.progress = (self.correct_instrs, self.cycle);
+        } else {
+            assert!(
+                self.cycle - self.progress.1 < 1_000_000,
+                "engine stalled: cycle {}, {} instrs, mode {:?}, pending {:?}",
+                self.cycle,
+                self.correct_instrs,
+                self.mode,
+                self.pending
+            );
+        }
+    }
+
+    /// Has the correct-path stream been exhausted?
+    pub(crate) fn finished(&self) -> bool {
+        self.next_correct.is_none()
+    }
+
+    /// The engine's position in its shared overlay (0 without one): the
+    /// index of the next correct-path instruction to fetch. The lockstep
+    /// scheduler advances lanes in bounded windows of this position.
+    pub(crate) fn trace_idx(&self) -> usize {
+        self.overlay.as_ref().map_or(0, |c| c.idx)
+    }
+
+    /// Installs the shared pre-materialised decode window for the current
+    /// lockstep round (see [`DecodeWindow`]).
+    pub(crate) fn set_decode_window(&mut self, window: Arc<DecodeWindow>) {
+        self.decode_window = Some(window);
+    }
+
+    /// Steps cycles until the overlay cursor reaches `idx_limit` or the
+    /// stream ends. Interleaving lanes at this granularity is behaviour-
+    /// preserving: each engine is self-contained, so cycles of different
+    /// lanes are independent — only wall-clock locality changes.
+    pub(crate) fn advance_to(&mut self, idx_limit: usize) {
+        while self.next_correct.is_some() && self.trace_idx() < idx_limit {
+            self.step_cycle();
+        }
+    }
+
+    /// Final accounting; consumes the engine.
+    pub(crate) fn into_result(self) -> SimResult {
+        debug_assert!(self.finished(), "into_result before the stream ended");
         debug_assert_eq!(
             self.cycle * self.cfg.issue_width as u64,
             self.correct_instrs + self.lost.total() + self.unused_end_slots,

@@ -103,6 +103,16 @@ impl PrefetchStage for StreamStage {
                 self.buf.skip(line);
                 continue;
             }
+            // One outstanding stream prefetch at a time: the FIFO tracks
+            // a single in-flight line, so issuing a second on a pipelined
+            // bus would orphan the first (note_issued overwrites it, its
+            // completion is dropped as stale, the FIFO never fills, and
+            // the slot churn starves any pending demand fill forever).
+            // On a one-slot bus this check is redundant — the in-flight
+            // prefetch already occupies the only slot.
+            if self.buf.prefetch_in_flight() {
+                break;
+            }
             if bus.is_free() {
                 bus.start(cycle, line, penalty, Purpose::Prefetch);
                 self.buf.note_issued(line);
@@ -112,7 +122,7 @@ impl PrefetchStage for StreamStage {
     }
 
     fn wants_bus(&self) -> bool {
-        self.buf.want_fetch().is_some()
+        self.buf.want_fetch().is_some() && !self.buf.prefetch_in_flight()
     }
 
     fn complete(&mut self, line: LineAddr, pending: Option<LineAddr>, icache: &mut ICache) -> bool {

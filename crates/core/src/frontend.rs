@@ -63,8 +63,14 @@ impl FrontEnd {
     }
 
     /// Simulates until `source` is exhausted and returns the measurements.
-    pub fn run<S: PathSource>(self, mut source: S) -> SimResult {
-        Engine::new(self.cfg, self.gate, &mut source).run()
+    pub fn run<S: PathSource>(self, source: S) -> SimResult {
+        Engine::new(self.cfg, self.gate, source).run()
+    }
+
+    /// Decomposes the assembled front end (the lockstep executor builds
+    /// one engine per lane from these parts).
+    pub(crate) fn into_parts(self) -> (SimConfig, Box<dyn MissGate>) {
+        (self.cfg, self.gate)
     }
 }
 

@@ -58,6 +58,7 @@ mod config;
 mod engine;
 mod error;
 mod frontend;
+mod lockstep;
 mod metrics;
 mod policy;
 mod simulator;
@@ -70,6 +71,7 @@ pub use engine::gate::{
 };
 pub use error::SpecfetchError;
 pub use frontend::FrontEnd;
+pub use lockstep::{run_lockstep, LaneOutcome, LanePanic};
 pub use metrics::{IspiBreakdown, SimResult};
 pub use policy::FetchPolicy;
 pub use simulator::Simulator;

@@ -38,8 +38,8 @@ impl Simulator {
     }
 
     /// Simulates until `source` is exhausted and returns the measurements.
-    pub fn run<S: PathSource>(&self, mut source: S) -> SimResult {
-        Engine::new(self.config, gate::for_policy(self.config.policy), &mut source).run()
+    pub fn run<S: PathSource>(&self, source: S) -> SimResult {
+        Engine::new(self.config, gate::for_policy(self.config.policy), source).run()
     }
 }
 

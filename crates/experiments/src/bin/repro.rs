@@ -4,7 +4,8 @@
 //! ```text
 //! specfetch-repro [--experiment <id>|all] [--sweep <spec>] [--instrs N]
 //!                 [--format plain|markdown|csv] [--sequential] [--no-trace-cache]
-//!                 [--no-predict-cache] [--trace-dir <dir>] [--inject <spec>] [--list]
+//!                 [--no-predict-cache] [--no-lockstep] [--trace-dir <dir>]
+//!                 [--inject <spec>] [--list]
 //! ```
 //!
 //! A sweep spec is whitespace-separated `axis=value[,value...]` terms,
@@ -77,6 +78,11 @@ fn parse_args() -> Result<Args, String> {
             // deal — identical output, kept for equivalence checks and
             // speedup measurements.
             "--no-predict-cache" => opts.predict_cache = false,
+            // Replay each grid point sequentially instead of advancing
+            // the whole configuration batch in lockstep over one trace
+            // pass; same deal — identical output, kept for equivalence
+            // checks and speedup measurements.
+            "--no-lockstep" => opts.lockstep = false,
             "--trace-dir" => {
                 let v = it.next().ok_or("--trace-dir needs a value")?;
                 disk_cache::set_dir(v.into()).map_err(|e| e.to_string())?;
@@ -110,8 +116,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: specfetch-repro [--experiment <id>|all] [--sweep <spec>] \
                      [--analyze [--benchmark <name>]] [--instrs N] \
                      [--format plain|markdown|csv] [--sequential] \
-                     [--no-trace-cache] [--no-predict-cache] [--trace-dir <dir>] \
-                     [--inject <spec>] [--corrupt-target <name>] [--list]"
+                     [--no-trace-cache] [--no-predict-cache] [--no-lockstep] \
+                     [--trace-dir <dir>] [--inject <spec>] [--corrupt-target <name>] [--list]"
                 );
                 println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
                 println!("extras:      extras {}", EXTRA_EXPERIMENT_IDS.join(" "));

@@ -24,6 +24,14 @@ pub struct RunOptions {
     /// output is byte-identical either way — `false` exists for
     /// equivalence tests and for measuring the speedup itself.
     pub predict_cache: bool,
+    /// Run each benchmark's grid points as one config-lockstep batch: a
+    /// single pass over the shared overlay advances every configuration's
+    /// lane together, decoding each fetch window once and fanning it out
+    /// (see [`specfetch_core::run_lockstep`] and DESIGN §5h). Requires the
+    /// overlay path (`share_traces && predict_cache`); output is
+    /// byte-identical either way — `false` exists for equivalence tests
+    /// and for measuring the speedup itself.
+    pub lockstep: bool,
 }
 
 impl RunOptions {
@@ -34,6 +42,7 @@ impl RunOptions {
             parallel: true,
             share_traces: true,
             predict_cache: true,
+            lockstep: true,
         }
     }
 
@@ -44,6 +53,7 @@ impl RunOptions {
             parallel: true,
             share_traces: true,
             predict_cache: true,
+            lockstep: true,
         }
     }
 
@@ -66,10 +76,22 @@ impl RunOptions {
         self
     }
 
+    /// Enables or disables config-lockstep batched simulation.
+    pub fn with_lockstep(mut self, lockstep: bool) -> Self {
+        self.lockstep = lockstep;
+        self
+    }
+
     /// Whether runs should go through the overlay + memo fast path
     /// (both caches enabled).
     pub(crate) fn use_overlay(&self) -> bool {
         self.share_traces && self.predict_cache
+    }
+
+    /// Whether grids should run through the config-lockstep batch
+    /// executor (needs the overlay the lanes share).
+    pub(crate) fn use_lockstep(&self) -> bool {
+        self.lockstep && self.use_overlay()
     }
 }
 
@@ -92,6 +114,8 @@ mod tests {
         assert!(!RunOptions::new().with_share_traces(false).share_traces);
         assert!(RunOptions::new().predict_cache, "overlay replay is the default");
         assert!(!RunOptions::new().with_predict_cache(false).predict_cache);
+        assert!(RunOptions::new().lockstep, "lockstep batching is the default");
+        assert!(!RunOptions::new().with_lockstep(false).lockstep);
     }
 
     #[test]
@@ -99,5 +123,13 @@ mod tests {
         assert!(RunOptions::new().use_overlay());
         assert!(!RunOptions::new().with_predict_cache(false).use_overlay());
         assert!(!RunOptions::new().with_share_traces(false).use_overlay());
+    }
+
+    #[test]
+    fn lockstep_requires_the_overlay() {
+        assert!(RunOptions::new().use_lockstep());
+        assert!(!RunOptions::new().with_lockstep(false).use_lockstep());
+        assert!(!RunOptions::new().with_predict_cache(false).use_lockstep());
+        assert!(!RunOptions::new().with_share_traces(false).use_lockstep());
     }
 }

@@ -12,7 +12,7 @@
 
 use std::panic::{self, AssertUnwindSafe};
 
-use specfetch_core::{SimConfig, SimResult, Simulator, SpecfetchError};
+use specfetch_core::{run_lockstep, FrontEnd, SimConfig, SimResult, Simulator, SpecfetchError};
 use specfetch_synth::suite::Benchmark;
 use specfetch_trace::PathSource;
 
@@ -152,12 +152,20 @@ pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -
 /// Groups, not points, are the parallel unit; point order within the
 /// result is the input order regardless of grouping.
 ///
+/// With [`RunOptions::lockstep`] (the default on the overlay path) each
+/// group runs as **one config-lockstep batch**: a single pass over the
+/// shared overlay advances a lane per distinct configuration, decoding
+/// each fetch window once and fanning it out to every lane (see
+/// [`run_lockstep`] and DESIGN §5h). `--no-lockstep` falls back to one
+/// sequential replay per point; the cells are byte-identical either way.
+///
 /// Isolation: each point runs under `catch_unwind`, with the
 /// fault-injection [`fault::guard`] fired first (points are numbered in
 /// input order via [`fault::reserve`], so `--inject point=<exp>:<n>,...`
 /// is deterministic at any parallelism). A panic or typed error in one
 /// point yields that point's `Err(CellFailure)`; every other point still
-/// simulates.
+/// simulates — in lockstep form, a panicking lane costs the points of
+/// that configuration while sibling lanes complete.
 pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     let base = fault::reserve(points.len());
     let mut groups: Vec<(&'static Benchmark, Vec<usize>)> = Vec::new();
@@ -169,6 +177,9 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     }
     let opts_by_val = *opts;
     let done = par_map(groups, opts.parallel, |(b, idxs)| {
+        if opts_by_val.use_lockstep() {
+            return run_group_lockstep(b, idxs, points, base, opts_by_val);
+        }
         idxs.into_iter()
             .map(|i| {
                 let cell = panic::catch_unwind(AssertUnwindSafe(|| {
@@ -195,6 +206,122 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
             r.unwrap_or_else(|| {
                 Err(CellFailure { reason: "grid point was never simulated".to_owned() })
             })
+        })
+        .collect()
+}
+
+/// Runs one benchmark group's grid points as a config-lockstep batch:
+/// one pass over the shared overlay advances a lane per distinct
+/// configuration (see [`run_lockstep`]).
+///
+/// Per-point semantics match the sequential arm exactly:
+///
+/// - the fault-injection guard and the static preflight fire per point,
+///   in input order, so `--inject` numbering is unchanged;
+/// - memo-hit configurations are served from the result cache without
+///   occupying a lane, and finished lanes fill the memo;
+/// - a panicking lane yields `FAILED(...)` for that configuration's
+///   points while sibling lanes complete (sequentially, each such point
+///   would deterministically re-panic on its own);
+/// - a configuration the front end rejects falls back to the sequential
+///   per-point path, which runs it unvalidated exactly as [`Simulator`]
+///   does.
+fn run_group_lockstep(
+    b: &'static Benchmark,
+    idxs: Vec<usize>,
+    points: &[GridPoint],
+    base: u64,
+    opts: RunOptions,
+) -> Vec<(usize, GridCell)> {
+    let instrs = opts.instrs_per_benchmark;
+    // Per-point guard + preflight; a failure here costs only that cell.
+    let cells: Vec<(usize, Option<GridCell>)> = idxs
+        .into_iter()
+        .map(|i| {
+            let pre = panic::catch_unwind(AssertUnwindSafe(|| {
+                fault::guard(base + i as u64)?;
+                crate::analysis::preflight(b)
+            }));
+            let early = match pre {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(Err(CellFailure::from_error(&e))),
+                Err(payload) => Some(Err(CellFailure::from_panic(payload.as_ref()))),
+            };
+            (i, early)
+        })
+        .collect();
+
+    // One shared overlay for the whole batch; failing to build it fails
+    // every point that survived its own guard (the sequential arm would
+    // hit the same error per point).
+    let overlay = match crate::trace_cache::try_predicted_trace(b, instrs) {
+        Ok(ov) => ov,
+        Err(e) => {
+            let fail: GridCell = Err(CellFailure::from_error(&e));
+            return cells
+                .into_iter()
+                .map(|(i, early)| (i, early.unwrap_or_else(|| fail.clone())))
+                .collect();
+        }
+    };
+
+    // Deduplicate configurations: memo hits resolve immediately, the
+    // rest get one lane each.
+    let mut resolved: Vec<(SimConfig, GridCell)> = Vec::new();
+    let mut fronts: Vec<FrontEnd> = Vec::new();
+    for &(i, ref early) in &cells {
+        let cfg = points[i].cfg;
+        if early.is_some()
+            || resolved.iter().any(|(c, _)| *c == cfg)
+            || fronts.iter().any(|f| *f.config() == cfg)
+        {
+            continue;
+        }
+        if let Some(r) = crate::trace_cache::cached_result(b, instrs, cfg) {
+            resolved.push((cfg, Ok(r)));
+        } else {
+            match FrontEnd::build(cfg) {
+                Ok(fe) => fronts.push(fe),
+                Err(_) => {
+                    let cell = panic::catch_unwind(AssertUnwindSafe(|| {
+                        try_simulate_benchmark(b, cfg, opts)
+                    }));
+                    let cell = match cell {
+                        Ok(Ok(r)) => Ok(r),
+                        Ok(Err(e)) => Err(CellFailure::from_error(&e)),
+                        Err(payload) => Err(CellFailure::from_panic(payload.as_ref())),
+                    };
+                    resolved.push((cfg, cell));
+                }
+            }
+        }
+    }
+
+    let lane_cfgs: Vec<SimConfig> = fronts.iter().map(|f| *f.config()).collect();
+    for (cfg, outcome) in lane_cfgs.into_iter().zip(run_lockstep(&overlay, fronts)) {
+        let cell = match outcome {
+            Ok(r) => {
+                crate::trace_cache::store_result(b, instrs, cfg, r.clone());
+                Ok(r)
+            }
+            Err(payload) => Err(CellFailure::from_panic(payload.as_ref())),
+        };
+        resolved.push((cfg, cell));
+    }
+
+    cells
+        .into_iter()
+        .map(|(i, early)| {
+            let cell = early.unwrap_or_else(|| {
+                resolved
+                    .iter()
+                    .find(|(c, _)| *c == points[i].cfg)
+                    .map(|(_, r)| r.clone())
+                    .unwrap_or_else(|| {
+                        Err(CellFailure { reason: "grid point was never simulated".to_owned() })
+                    })
+            });
+            (i, cell)
         })
         .collect()
 }

@@ -237,6 +237,22 @@ pub fn memoized_result(
     get_or_init(result_map(), ((bench.name, instrs), cfg), run)
 }
 
+/// Peeks the result memo without computing: `Some` iff the grid point has
+/// already finished process-wide. The lockstep scheduler uses this to
+/// skip memo-hit configurations before assembling a batch.
+pub(crate) fn cached_result(bench: &Benchmark, instrs: u64, cfg: SimConfig) -> Option<SimResult> {
+    let map = lock_recovering(result_map());
+    map.get(&((bench.name, instrs), cfg)).and_then(|cell| cell.get().cloned())
+}
+
+/// Stores a finished result into the memo (the lockstep batch computes
+/// results outside [`memoized_result`]'s closure). If another thread
+/// finished the same point first, the engine's determinism makes both
+/// values equal and the existing entry wins.
+pub(crate) fn store_result(bench: &Benchmark, instrs: u64, cfg: SimConfig, result: SimResult) {
+    get_or_init(result_map(), ((bench.name, instrs), cfg), move || result);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

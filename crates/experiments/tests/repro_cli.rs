@@ -194,6 +194,24 @@ fn sweep_cells_are_fault_isolated() {
 }
 
 #[test]
+fn injected_panic_is_isolated_identically_with_and_without_lockstep() {
+    // The lockstep scheduler must preserve fault isolation exactly: one
+    // panicking point costs one FAILED cell, sibling lanes complete, and
+    // the rendered report is byte-identical to the sequential scheduler's
+    // (which re-runs every point on its own).
+    let args = ["--experiment", "table3", "--instrs", "2000", "--inject", "point=table3:2,panic"];
+    let lockstep = repro(&args);
+    let sequential = repro(&[&args[..], &["--no-lockstep"]].concat());
+    assert_eq!(lockstep.status.code(), Some(1), "failed cells exit 1 under lockstep");
+    assert_eq!(sequential.status.code(), Some(1), "failed cells exit 1 sequentially");
+    let fast = stdout(&lockstep);
+    let slow = stdout(&sequential);
+    assert_eq!(fast, slow, "fault-isolated reports must match across schedulers");
+    assert_eq!(fast.matches("FAILED(injected panic)").count(), 1, "exactly one cell: {fast}");
+    assert!(fast.contains("porky"), "sibling lanes still render: {fast}");
+}
+
+#[test]
 fn analyze_verifies_every_benchmark_and_matches_the_golden_table() {
     let out = repro(&["--analyze"]);
     assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));

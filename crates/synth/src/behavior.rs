@@ -90,7 +90,11 @@ impl DispatchTable {
             acc += w / total;
             cumulative.push(acc);
         }
-        *cumulative.last_mut().expect("non-empty") = 1.0;
+        // `entries` is non-empty (asserted above), so the loop pushed at
+        // least once; pin the tail to exactly 1.0 against float drift.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
         DispatchTable { targets: entries.iter().map(|&(t, _)| t).collect(), cumulative }
     }
 

@@ -109,8 +109,16 @@ impl Benchmark {
 
     /// The calibrated generator parameters for this benchmark.
     pub fn spec(&self) -> WorkloadSpec {
-        let idx = SUITE.iter().position(|b| b.name == self.name).expect("benchmark is in SUITE");
-        KNOBS[idx].apply(self.name, self.lang, gen_seed(self.name))
+        // SUITE and KNOBS are parallel arrays. Every `Benchmark` this
+        // module hands out is one of SUITE's, so the name always matches;
+        // a hand-built one falls back to the first calibration rather
+        // than panicking mid-sweep.
+        let knobs = SUITE
+            .iter()
+            .zip(KNOBS.iter())
+            .find_map(|(b, k)| (b.name == self.name).then_some(k))
+            .unwrap_or(&KNOBS[0]);
+        knobs.apply(self.name, self.lang, gen_seed(self.name))
     }
 
     /// Generates the calibrated workload.

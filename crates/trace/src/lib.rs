@@ -70,7 +70,7 @@ mod text;
 pub use binary::{read_trace_binary, write_trace_binary};
 pub use error::TraceError;
 pub use outcome::Outcome;
-pub use predicted::{PredictedSource, PredictedTrace};
+pub use predicted::{DecodeWindow, PredictedSource, PredictedTrace};
 pub use recorded::{RecordedSource, RecordedTrace};
 pub use replay::Replay;
 pub use source::{PathSource, Take, VecSource};

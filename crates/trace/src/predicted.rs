@@ -226,6 +226,37 @@ impl PredictedTrace {
         PredictedSource { trace: Arc::clone(overlay), idx: 0, branch_ord: 0 }
     }
 
+    /// Number of transfers in `start..end` — lets a caller advance a
+    /// branch ordinal from window to window in O(window) instead of
+    /// re-counting from the trace head.
+    pub fn branches_in(&self, start: usize, end: usize) -> usize {
+        let end = end.min(self.len());
+        if start >= end {
+            return 0;
+        }
+        self.seq_run[start..end].iter().filter(|&&r| r == 0).count()
+    }
+
+    /// Materialises instructions `start..end` into a [`DecodeWindow`]:
+    /// one decode pass whose result fans out to any number of lockstep
+    /// lanes. `start_ord` must be [`PredictedTrace::branches_before`]
+    /// `(start)` (callers advance it incrementally via
+    /// [`PredictedTrace::branches_in`]).
+    pub fn decode_window(&self, start: usize, end: usize, start_ord: usize) -> DecodeWindow {
+        debug_assert_eq!(start_ord, self.branches_before(start), "window ordinal out of sync");
+        let end = end.min(self.len());
+        let mut instrs = Vec::with_capacity(end.saturating_sub(start));
+        let mut ord = start_ord;
+        for idx in start..end {
+            let d = self.instr_at(idx, ord);
+            if d.kind.is_branch() {
+                ord += 1;
+            }
+            instrs.push(d);
+        }
+        DecodeWindow { start, instrs }
+    }
+
     /// Reconstructs the `idx`-th retired instruction without touching the
     /// `Program` image. `branch_ord` must be the number of transfers
     /// strictly before `idx` (cursors track it incrementally; see
@@ -273,6 +304,54 @@ impl PredictedSource {
     /// The overlay this cursor walks.
     pub fn trace(&self) -> &Arc<PredictedTrace> {
         &self.trace
+    }
+
+    /// Fans this cursor out into `n` independent lanes at the same
+    /// position — the entry point of config-lockstep batching: the trace
+    /// is walked (and decoded) once, while each lane keeps private fetch
+    /// state. Cursors are an `Arc` bump plus two indices, so fan-out is
+    /// O(n) regardless of trace length.
+    pub fn fan_out(&self, n: usize) -> Vec<PredictedSource> {
+        (0..n).map(|_| self.clone()).collect()
+    }
+}
+
+/// A contiguous pre-materialised window of a [`PredictedTrace`]: the
+/// instructions of `start..start + len`, decoded once and shared by every
+/// lane of a lockstep batch. Holds exactly what
+/// [`PredictedTrace::instr_at`] would produce, so serving a cursor from
+/// the window is byte-identical to per-lane decoding.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DecodeWindow {
+    start: usize,
+    instrs: Vec<DynInstr>,
+}
+
+impl DecodeWindow {
+    /// The instruction at trace index `idx`, if the window covers it.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<&DynInstr> {
+        self.instrs.get(idx.wrapping_sub(self.start))
+    }
+
+    /// First trace index covered.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last trace index covered.
+    pub fn end(&self) -> usize {
+        self.start + self.instrs.len()
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the window covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
     }
 }
 

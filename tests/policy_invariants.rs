@@ -169,3 +169,22 @@ fn determinism_end_to_end() {
     cfg.classify = true;
     assert_eq!(run(bench, cfg), run(bench, cfg));
 }
+
+/// A stream buffer on a pipelined bus must not starve demand fills.
+///
+/// Regression test: the stream tracks one in-flight prefetch, and with
+/// `bus_slots > 1` the tick stage used to issue a second prefetch into
+/// the freed slot every cycle — orphaning the first (its completion was
+/// dropped as stale), so the FIFO never filled and an outstanding demand
+/// miss waited on a free slot forever (the engine's stall valve fired).
+#[test]
+fn stream_buffer_on_pipelined_bus_makes_progress() {
+    for policy in [FetchPolicy::Resume, FetchPolicy::Optimistic] {
+        let mut cfg = baseline(policy);
+        cfg.stream_buffer = true;
+        cfg.bus_slots = 2;
+        cfg.miss_penalty = 5;
+        let r = run(Benchmark::by_name("li").unwrap(), cfg);
+        assert_eq!(r.correct_instrs, INSTRS, "{policy}: run must complete");
+    }
+}
