@@ -2,8 +2,9 @@
 //! machine-readable snapshot to extend the perf trajectory.
 //!
 //! ```text
-//! bench-snapshot [--out BENCH_2.json] [--instrs 500000] [--all-instrs 2000000]
-//!                [--skip-all] [--quick] [--baseline BENCH_2.json] [--tolerance 2.0]
+//! bench-snapshot [--out BENCH_4.json] [--instrs 500000] [--all-instrs 2000000]
+//!                [--skip-all] [--quick] [--baseline BENCH_3.json] [--tolerance 2.0]
+//!                [--warm-min-speedup 5]
 //! ```
 //!
 //! Schema 2 compares the **predicted-trace overlay + result memo** (the
@@ -18,11 +19,11 @@
 //!   budget — the tentpole's ≥1.25× acceptance measurement (skippable
 //!   with `--skip-all` when iterating).
 //!
-//! `--quick` shrinks the probe for CI smoke runs (table4 at 60k
-//! instructions, `all` skipped) — it checks the harness, not the
-//! speedup. Full runs *also* record the quick probe, so a committed
-//! snapshot always has a matching `(experiment, instrs)` entry for the
-//! CI guard's quick-mode measurement.
+//! `--quick` shrinks the probes for CI smoke runs (table4 and `all`
+//! at 60k instructions, the full-budget `all` skipped) — it checks the
+//! harness, not the speedup. Full runs *also* record the quick probes,
+//! so a committed snapshot always has a matching `(experiment, instrs)`
+//! entry for the CI guard's quick-mode measurements.
 //!
 //! `--baseline <snapshot.json>` compares the new fast-path
 //! (`overlay_wall_s`) times against a previous snapshot and exits
@@ -35,8 +36,17 @@
 //! comparison sits on top of), so each measurement pre-records its
 //! window before timing either pass; within the timed region the
 //! overlay pass still pays for building its overlays and runs first.
+//!
+//! Schema 3 adds the persistent result store (§5i): each measurement
+//! also spawns the `specfetch-repro` binary twice against a scratch
+//! `--result-dir` — a cold child that computes and persists every grid
+//! point, then a warm child that replays the finished rows straight
+//! from disk — and records the walls as `store_cold_wall_s` /
+//! `warm_wall_s`. `--warm-min-speedup X` turns the pair into a CI
+//! guard: exit 1 unless warm is at least `X`× faster than cold.
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use specfetch_experiments::{run_experiment, RunOptions, EXPERIMENT_IDS};
@@ -46,12 +56,70 @@ struct Measurement {
     instrs: u64,
     shared_s: f64,
     overlay_s: f64,
+    /// Cross-process result-store probe: (cold wall, warm wall), when
+    /// the sibling `specfetch-repro` binary was available to spawn.
+    store: Option<(f64, f64)>,
 }
 
 impl Measurement {
     fn speedup(&self) -> f64 {
         self.shared_s / self.overlay_s
     }
+
+    fn warm_speedup(&self) -> Option<f64> {
+        self.store.map(|(cold, warm)| cold / warm)
+    }
+}
+
+/// The `specfetch-repro` binary next to this one in the target dir, if
+/// it has been built.
+fn repro_bin() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe.parent()?.join(format!("specfetch-repro{}", std::env::consts::EXE_SUFFIX));
+    bin.exists().then_some(bin)
+}
+
+/// Times one `specfetch-repro` child against `dir` and returns its
+/// wall clock plus captured stdout.
+fn spawn_repro(bin: &Path, experiment: &str, instrs: u64, dir: &Path) -> (f64, Vec<u8>) {
+    let t = Instant::now();
+    let out = std::process::Command::new(bin)
+        .args(["--experiment", experiment, "--instrs", &instrs.to_string()])
+        .args(["--result-dir", dir.to_str().expect("utf-8 scratch path")])
+        .output()
+        .expect("spawning specfetch-repro");
+    let wall = t.elapsed().as_secs_f64();
+    assert!(out.status.success(), "specfetch-repro --experiment {experiment} failed: {out:?}");
+    (wall, out.stdout)
+}
+
+/// Cold-vs-warm wall clock through the on-disk result store, measured
+/// across processes: the cold child starts from an empty store and
+/// persists every grid point; the warm child replays them from disk
+/// without touching the simulation engine. `None` (with a warning)
+/// when `specfetch-repro` is not built.
+fn store_probe(experiment: &'static str, instrs: u64) -> Option<(f64, f64)> {
+    let Some(bin) = repro_bin() else {
+        eprintln!(
+            "warning: specfetch-repro is not built next to bench-snapshot; \
+             skipping the result-store probe (cargo build --release first)"
+        );
+        return None;
+    };
+    let dir = std::env::temp_dir()
+        .join(format!("specfetch-store-probe-{}-{experiment}-{instrs}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clearing stale probe dir");
+    }
+    let (cold_s, cold_out) = spawn_repro(&bin, experiment, instrs, &dir);
+    let (warm_s, warm_out) = spawn_repro(&bin, experiment, instrs, &dir);
+    assert_eq!(cold_out, warm_out, "warm replay must render the cold run byte for byte");
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "[{experiment} store: cold {cold_s:.2}s, warm {warm_s:.2}s, {:.1}x]",
+        cold_s / warm_s
+    );
+    Some((cold_s, warm_s))
 }
 
 fn run_ids(ids: &[&str], opts: &RunOptions) -> f64 {
@@ -71,11 +139,15 @@ fn measure(name: &'static str, ids: &[&str], instrs: u64) -> Measurement {
     for b in specfetch_synth::suite::Benchmark::all() {
         std::hint::black_box(specfetch_experiments::trace_cache::shared_trace(b, instrs));
     }
-    let overlay = RunOptions::new().with_instrs(instrs);
+    // `--overlay-min 0` keeps the timed pass on the overlay path even
+    // for probe windows below the default size heuristic — this
+    // measurement tracks the overlay itself, not the heuristic.
+    let overlay = RunOptions::new().with_instrs(instrs).with_overlay_min(0);
     let shared = overlay.with_predict_cache(false);
     let overlay_s = run_ids(ids, &overlay);
     let shared_s = run_ids(ids, &shared);
-    let m = Measurement { name, instrs, shared_s, overlay_s };
+    let store = store_probe(name, instrs);
+    let m = Measurement { name, instrs, shared_s, overlay_s, store };
     eprintln!(
         "[{name}: shared {shared_s:.2}s, overlay {:.2}s, speedup {:.2}x]",
         m.overlay_s,
@@ -153,12 +225,13 @@ fn git_sha() -> String {
 const QUICK_INSTRS: u64 = 60_000;
 
 fn main() {
-    let mut out = "BENCH_2.json".to_owned();
+    let mut out = "BENCH_4.json".to_owned();
     let mut table4_instrs = 500_000u64;
     let mut all_instrs = 2_000_000u64;
     let mut skip_all = false;
     let mut baseline: Option<String> = None;
     let mut tolerance = 2.0f64;
+    let mut warm_min: Option<f64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -166,6 +239,10 @@ fn main() {
             "--baseline" => baseline = Some(it.next().expect("--baseline needs a value")),
             "--tolerance" => {
                 tolerance = it.next().and_then(|v| v.parse().ok()).expect("bad --tolerance")
+            }
+            "--warm-min-speedup" => {
+                warm_min =
+                    Some(it.next().and_then(|v| v.parse().ok()).expect("bad --warm-min-speedup"))
             }
             "--instrs" => {
                 table4_instrs = it.next().and_then(|v| v.parse().ok()).expect("bad --instrs")
@@ -197,12 +274,16 @@ fn main() {
     }
 
     let mut measurements = Vec::new();
-    // Full runs carry the quick probe too, so the CI guard's quick-mode
-    // measurement always finds a matching baseline entry.
+    // Full runs carry the quick probes too, so the CI guard's quick-mode
+    // measurements always find a matching baseline entry.
     if table4_instrs != QUICK_INSTRS {
         measurements.push(measure("table4", &["table4"], QUICK_INSTRS));
     }
     measurements.push(measure("table4", &["table4"], table4_instrs));
+    // The all-experiments sweep is probed at the quick window in every
+    // mode — it is what the warm-store CI guard measures — and at the
+    // full reproduction budget unless skipped.
+    measurements.push(measure("all", &EXPERIMENT_IDS, QUICK_INSTRS));
     if !skip_all {
         measurements.push(measure("all", &EXPERIMENT_IDS, all_instrs));
     }
@@ -212,17 +293,26 @@ fn main() {
     // `opts.parallel` is set (the default used above).
     let threads = host_cores;
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"specfetch-bench-snapshot/2\",");
+    let _ = writeln!(json, "  \"schema\": \"specfetch-bench-snapshot/3\",");
     let _ = writeln!(json, "  \"git_sha\": \"{sha}\",");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"measurements\": [");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let mut store_fields = String::new();
+        if let Some((cold, warm)) = m.store {
+            let _ = write!(
+                store_fields,
+                ", \"store_cold_wall_s\": {cold:.3}, \"warm_wall_s\": {warm:.3}, \
+                 \"warm_speedup\": {:.2}",
+                cold / warm
+            );
+        }
         let _ = writeln!(
             json,
             "    {{\"experiment\": \"{}\", \"instrs\": {}, \"shared_wall_s\": {:.3}, \
-             \"overlay_wall_s\": {:.3}, \"speedup\": {:.2}}}{comma}",
+             \"overlay_wall_s\": {:.3}, \"speedup\": {:.2}{store_fields}}}{comma}",
             m.name,
             m.instrs,
             m.shared_s,
@@ -249,6 +339,29 @@ fn main() {
             }
             Some(worst) => eprintln!("[guard ok: worst delta {worst:+.1}% <= {tolerance}%]"),
             None => eprintln!("[guard: nothing comparable in {path}]"),
+        }
+    }
+
+    if let Some(min) = warm_min {
+        // The guard reads the all-experiments rows only: single-table
+        // probes are dominated by process startup, not replayed work.
+        let probed: Vec<&Measurement> =
+            measurements.iter().filter(|m| m.name == "all" && m.store.is_some()).collect();
+        if probed.is_empty() {
+            eprintln!("error: --warm-min-speedup set but no all-experiments store probe ran");
+            std::process::exit(1);
+        }
+        for m in probed {
+            let speedup = m.warm_speedup().expect("probed measurement");
+            if speedup < min {
+                eprintln!(
+                    "error: warm store replay of {} at {} instrs is only {speedup:.2}x \
+                     faster than cold (minimum {min}x)",
+                    m.name, m.instrs
+                );
+                std::process::exit(1);
+            }
+            eprintln!("[warm guard ok: {} {speedup:.2}x >= {min}x]", m.name);
         }
     }
 }

@@ -1,0 +1,371 @@
+//! Canonical, process-stable encoding and hashing of [`SimConfig`].
+//!
+//! The on-disk result store and the multi-process sweep runner both need
+//! a configuration identity that is stable **across processes and
+//! machines** — `std::hash::Hash` is neither (SipHash keys are
+//! randomised per process), and `Debug` output is not a format contract.
+//!
+//! [`SimConfig::canonical_string`] renders every field (including the
+//! nested cache and branch-architecture configurations) as a single
+//! deterministic `key=value` line; [`SimConfig::from_canonical_string`]
+//! parses it back, and [`SimConfig::canonical_hash`] is the FNV-1a of
+//! the canonical bytes. Two invariants keep the identity honest:
+//!
+//! - the field walk is a plain struct literal, so adding a field to any
+//!   configuration struct is a **compile error** here until the codec
+//!   learns it — a new knob can never silently alias old store entries;
+//! - enums encode by *name*, matched exhaustively in both directions, so
+//!   reordering variants cannot change an encoding.
+
+use std::fmt::Write as _;
+
+use specfetch_bpred::{BpredConfig, BtbCoupling, DirectionKind, GhrUpdate, PhtTrain};
+use specfetch_cache::CacheConfig;
+
+use crate::{FetchPolicy, SimConfig, SpecfetchError};
+
+/// Version of the canonical encoding itself. Bumped whenever a field is
+/// added, removed, or re-encoded, so stores keyed by the hash can never
+/// confuse two generations of the format.
+pub const CANON_VERSION: u32 = 1;
+
+fn bad(detail: String) -> SpecfetchError {
+    SpecfetchError::InvalidSpec { detail }
+}
+
+fn direction_name(d: DirectionKind) -> &'static str {
+    match d {
+        DirectionKind::Gshare => "gshare",
+        DirectionKind::Bimodal => "bimodal",
+        DirectionKind::StaticNotTaken => "static-nt",
+    }
+}
+
+fn parse_direction(s: &str) -> Option<DirectionKind> {
+    [DirectionKind::Gshare, DirectionKind::Bimodal, DirectionKind::StaticNotTaken]
+        .into_iter()
+        .find(|&d| direction_name(d) == s)
+}
+
+fn coupling_name(c: BtbCoupling) -> &'static str {
+    match c {
+        BtbCoupling::Decoupled => "decoupled",
+        BtbCoupling::Coupled => "coupled",
+    }
+}
+
+fn parse_coupling(s: &str) -> Option<BtbCoupling> {
+    [BtbCoupling::Decoupled, BtbCoupling::Coupled].into_iter().find(|&c| coupling_name(c) == s)
+}
+
+fn ghr_update_name(g: GhrUpdate) -> &'static str {
+    match g {
+        GhrUpdate::AtResolve => "at-resolve",
+        GhrUpdate::Speculative => "speculative",
+    }
+}
+
+fn parse_ghr_update(s: &str) -> Option<GhrUpdate> {
+    [GhrUpdate::AtResolve, GhrUpdate::Speculative].into_iter().find(|&g| ghr_update_name(g) == s)
+}
+
+fn pht_train_name(t: PhtTrain) -> &'static str {
+    match t {
+        PhtTrain::PredictIndex => "predict-index",
+        PhtTrain::ResolveIndex => "resolve-index",
+    }
+}
+
+fn parse_pht_train(s: &str) -> Option<PhtTrain> {
+    [PhtTrain::PredictIndex, PhtTrain::ResolveIndex].into_iter().find(|&t| pht_train_name(t) == s)
+}
+
+/// FNV-1a over `bytes` — the same zero-dependency hash the SFTB trace
+/// format uses for its footer checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SimConfig {
+    /// Renders the full configuration as one deterministic
+    /// space-separated `key=value` line (no quotes, no escapes — every
+    /// value is an integer, a `0`/`1` flag, or a lowercase token).
+    ///
+    /// The encoding is a format contract: it starts with
+    /// `v=`[`CANON_VERSION`] and enumerates every field of the config and
+    /// its nested structs via struct-literal destructuring, so a future
+    /// field fails to compile here until it is encoded.
+    pub fn canonical_string(&self) -> String {
+        // Exhaustive destructuring: adding a field anywhere below is a
+        // compile error until the codec handles it.
+        let SimConfig {
+            policy,
+            icache: CacheConfig { size_bytes, line_bytes, assoc },
+            miss_penalty,
+            max_unresolved,
+            issue_width,
+            decode_latency,
+            resolve_latency,
+            prefetch,
+            target_prefetch,
+            stream_buffer,
+            bus_slots,
+            bpred:
+                BpredConfig {
+                    btb_entries,
+                    btb_assoc,
+                    pht_entries,
+                    ghr_bits,
+                    direction,
+                    coupling,
+                    ghr_update,
+                    pht_train,
+                    ras_depth,
+                },
+            classify,
+        } = *self;
+        let mut s = String::with_capacity(256);
+        let _ = write!(s, "v={CANON_VERSION}");
+        let _ = write!(s, " policy={}", policy.short_name());
+        let _ = write!(s, " cache.size={size_bytes} cache.line={line_bytes} cache.assoc={assoc}");
+        let _ = write!(s, " penalty={miss_penalty} depth={max_unresolved} width={issue_width}");
+        let _ = write!(s, " decode={decode_latency} resolve={resolve_latency}");
+        let _ = write!(
+            s,
+            " prefetch={} target_prefetch={} stream_buffer={} bus_slots={bus_slots}",
+            u8::from(prefetch),
+            u8::from(target_prefetch),
+            u8::from(stream_buffer)
+        );
+        let _ = write!(
+            s,
+            " btb.entries={btb_entries} btb.assoc={btb_assoc} pht.entries={pht_entries} \
+             ghr.bits={ghr_bits}"
+        );
+        let _ = write!(
+            s,
+            " direction={} coupling={} ghr.update={} pht.train={} ras.depth={ras_depth}",
+            direction_name(direction),
+            coupling_name(coupling),
+            ghr_update_name(ghr_update),
+            pht_train_name(pht_train)
+        );
+        let _ = write!(s, " classify={}", u8::from(classify));
+        s
+    }
+
+    /// The FNV-1a hash of [`SimConfig::canonical_string`] — the
+    /// process-stable identity the on-disk result store keys entries by.
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a(self.canonical_string().as_bytes())
+    }
+
+    /// Parses a [`SimConfig::canonical_string`] back into a config.
+    ///
+    /// Strict in both directions: every field must be present exactly
+    /// once, no unknown keys, and the version must match
+    /// [`CANON_VERSION`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecfetchError::InvalidSpec`] with a human-readable detail for
+    /// any malformed, incomplete, or wrong-version encoding.
+    pub fn from_canonical_string(s: &str) -> Result<SimConfig, SpecfetchError> {
+        let mut cfg = SimConfig::paper_baseline();
+        let mut seen: Vec<&str> = Vec::new();
+        for term in s.split_ascii_whitespace() {
+            let (key, value) = term
+                .split_once('=')
+                .ok_or_else(|| bad(format!("bad canonical term {term:?} (expected key=value)")))?;
+            if seen.contains(&key) {
+                return Err(bad(format!("duplicate canonical key {key:?}")));
+            }
+            let int = |v: &str| {
+                v.parse::<u64>().map_err(|_| bad(format!("bad integer {v:?} for key {key:?}")))
+            };
+            let flag = |v: &str| match v {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                other => Err(bad(format!("bad flag {other:?} for key {key:?}"))),
+            };
+            match key {
+                "v" => {
+                    if int(value)? != u64::from(CANON_VERSION) {
+                        return Err(bad(format!(
+                            "canonical config version {value} (this build speaks {CANON_VERSION})"
+                        )));
+                    }
+                }
+                "policy" => {
+                    cfg.policy = FetchPolicy::parse(value)
+                        .ok_or_else(|| bad(format!("unknown policy {value:?}")))?;
+                }
+                "cache.size" => cfg.icache.size_bytes = int(value)?,
+                "cache.line" => cfg.icache.line_bytes = int(value)?,
+                "cache.assoc" => cfg.icache.assoc = int(value)? as usize,
+                "penalty" => cfg.miss_penalty = int(value)?,
+                "depth" => cfg.max_unresolved = int(value)? as usize,
+                "width" => cfg.issue_width = int(value)? as u32,
+                "decode" => cfg.decode_latency = int(value)?,
+                "resolve" => cfg.resolve_latency = int(value)?,
+                "prefetch" => cfg.prefetch = flag(value)?,
+                "target_prefetch" => cfg.target_prefetch = flag(value)?,
+                "stream_buffer" => cfg.stream_buffer = flag(value)?,
+                "bus_slots" => cfg.bus_slots = int(value)? as usize,
+                "btb.entries" => cfg.bpred.btb_entries = int(value)? as usize,
+                "btb.assoc" => cfg.bpred.btb_assoc = int(value)? as usize,
+                "pht.entries" => cfg.bpred.pht_entries = int(value)? as usize,
+                "ghr.bits" => cfg.bpred.ghr_bits = int(value)? as u32,
+                "direction" => {
+                    cfg.bpred.direction = parse_direction(value)
+                        .ok_or_else(|| bad(format!("unknown direction {value:?}")))?;
+                }
+                "coupling" => {
+                    cfg.bpred.coupling = parse_coupling(value)
+                        .ok_or_else(|| bad(format!("unknown coupling {value:?}")))?;
+                }
+                "ghr.update" => {
+                    cfg.bpred.ghr_update = parse_ghr_update(value)
+                        .ok_or_else(|| bad(format!("unknown ghr.update {value:?}")))?;
+                }
+                "pht.train" => {
+                    cfg.bpred.pht_train = parse_pht_train(value)
+                        .ok_or_else(|| bad(format!("unknown pht.train {value:?}")))?;
+                }
+                "ras.depth" => cfg.bpred.ras_depth = int(value)? as usize,
+                "classify" => cfg.classify = flag(value)?,
+                other => return Err(bad(format!("unknown canonical key {other:?}"))),
+            }
+            seen.push(key);
+        }
+        // Completeness: round-tripping the parsed config must reproduce
+        // the canonical term count, so a missing key cannot default
+        // silently.
+        let expected = cfg.canonical_string().split_ascii_whitespace().count();
+        if seen.len() != expected {
+            return Err(bad(format!(
+                "canonical config has {} terms, expected {expected}",
+                seen.len()
+            )));
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn varied_configs() -> Vec<SimConfig> {
+        let mut out = vec![SimConfig::paper_baseline()];
+        for policy in [
+            FetchPolicy::Oracle,
+            FetchPolicy::Optimistic,
+            FetchPolicy::Resume,
+            FetchPolicy::Pessimistic,
+            FetchPolicy::Decode,
+            FetchPolicy::Dynamic,
+        ] {
+            let mut c = SimConfig::paper_baseline();
+            c.policy = policy;
+            c.miss_penalty = 20;
+            out.push(c);
+        }
+        let mut c = SimConfig::paper_baseline();
+        c.icache = CacheConfig::paper_32k();
+        c.prefetch = true;
+        c.target_prefetch = true;
+        c.bus_slots = 2;
+        c.classify = true;
+        out.push(c);
+        let mut c = SimConfig::paper_baseline();
+        c.stream_buffer = true;
+        c.bpred.direction = DirectionKind::Bimodal;
+        c.bpred.coupling = BtbCoupling::Coupled;
+        c.bpred.ghr_update = GhrUpdate::Speculative;
+        c.bpred.pht_train = PhtTrain::ResolveIndex;
+        c.bpred.ras_depth = 0;
+        out.push(c);
+        out
+    }
+
+    #[test]
+    fn round_trips_every_varied_config() {
+        for cfg in varied_configs() {
+            let s = cfg.canonical_string();
+            let back = SimConfig::from_canonical_string(&s).unwrap();
+            assert_eq!(back, cfg, "round trip diverged for {s:?}");
+            assert_eq!(back.canonical_hash(), cfg.canonical_hash());
+        }
+    }
+
+    #[test]
+    fn distinct_configs_hash_distinctly() {
+        let configs = varied_configs();
+        for (i, a) in configs.iter().enumerate() {
+            for b in &configs[i + 1..] {
+                if a != b {
+                    assert_ne!(
+                        a.canonical_hash(),
+                        b.canonical_hash(),
+                        "{} vs {}",
+                        a.canonical_string(),
+                        b.canonical_string()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_encoding_is_pinned() {
+        // The canonical string is an on-disk format contract: changing it
+        // invalidates every persisted result, so any change here must be
+        // deliberate and come with a CANON_VERSION bump.
+        assert_eq!(
+            SimConfig::paper_baseline().canonical_string(),
+            "v=1 policy=Res cache.size=8192 cache.line=32 cache.assoc=1 penalty=5 depth=4 \
+             width=4 decode=2 resolve=4 prefetch=0 target_prefetch=0 stream_buffer=0 \
+             bus_slots=1 btb.entries=64 btb.assoc=4 pht.entries=512 ghr.bits=9 \
+             direction=gshare coupling=decoupled ghr.update=at-resolve \
+             pht.train=predict-index ras.depth=16 classify=0"
+        );
+    }
+
+    #[test]
+    fn hash_is_stable_across_calls_and_matches_fnv() {
+        let cfg = SimConfig::paper_baseline();
+        assert_eq!(cfg.canonical_hash(), cfg.canonical_hash());
+        assert_eq!(cfg.canonical_hash(), fnv1a(cfg.canonical_string().as_bytes()));
+    }
+
+    #[test]
+    fn rejects_malformed_encodings() {
+        for bad in [
+            "",                          // no version
+            "v=2 policy=Res",            // wrong version
+            "v=1 policy=Zap",            // unknown token
+            "v=1 nonsense",              // not key=value
+            "v=1 policy=Res policy=Res", // duplicate
+            "v=1 policy=Res bogus=3",    // unknown key
+            "v=1 policy=Res",            // incomplete
+            "v=1 prefetch=2",            // bad flag
+            "v=1 penalty=abc",           // bad integer
+        ] {
+            assert!(SimConfig::from_canonical_string(bad).is_err(), "{bad:?} unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod classify;
 mod config;
 mod engine;
@@ -63,6 +64,7 @@ mod metrics;
 mod policy;
 mod simulator;
 
+pub use canon::{fnv1a, CANON_VERSION};
 pub use classify::MissClass;
 pub use config::{SimConfig, SimConfigError};
 pub use engine::gate::{

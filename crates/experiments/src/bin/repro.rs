@@ -5,7 +5,8 @@
 //! specfetch-repro [--experiment <id>|all] [--sweep <spec>] [--instrs N]
 //!                 [--format plain|markdown|csv] [--sequential] [--no-trace-cache]
 //!                 [--no-predict-cache] [--no-lockstep] [--trace-dir <dir>]
-//!                 [--inject <spec>] [--list]
+//!                 [--result-dir <dir>] [--no-result-store] [--workers N]
+//!                 [--stream] [--overlay-min N] [--inject <spec>] [--list]
 //! ```
 //!
 //! A sweep spec is whitespace-separated `axis=value[,value...]` terms,
@@ -20,8 +21,8 @@ use std::process::ExitCode;
 use specfetch_experiments::fault::FaultPlan;
 use specfetch_experiments::sweep::AXES;
 use specfetch_experiments::{
-    analysis, disk_cache, fault, is_known_experiment, parse_sweep, run_experiment, run_scenario,
-    Format, RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
+    analysis, disk_cache, fault, is_known_experiment, parse_sweep, result_store, run_experiment,
+    run_scenario, worker, Format, RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
 };
 use specfetch_synth::suite::Benchmark;
 
@@ -36,6 +37,7 @@ struct Args {
     list: bool,
     analyze: bool,
     benchmark: Option<String>,
+    worker: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
     let mut list = false;
     let mut analyze = false;
     let mut benchmark: Option<String> = None;
+    let mut worker = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -87,6 +90,35 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--trace-dir needs a value")?;
                 disk_cache::set_dir(v.into()).map_err(|e| e.to_string())?;
             }
+            // Persist finished grid-point results across processes (see
+            // DESIGN §5i): a second run over the same store renders from
+            // disk, and an interrupted sweep resumes where it stopped.
+            "--result-dir" => {
+                let v = it.next().ok_or("--result-dir needs a value")?;
+                result_store::set_dir(v.into()).map_err(|e| e.to_string())?;
+            }
+            // Ignore a configured result store: recompute every point
+            // and write nothing (byte-identical output).
+            "--no-result-store" => opts.result_store = false,
+            // Shard grid execution across N child worker processes.
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --workers value {v:?}"))?;
+                opts = opts.with_workers(n);
+            }
+            // Child-process protocol mode (spawned by --workers; not for
+            // interactive use).
+            "--worker" => worker = true,
+            // Print one [row] line to stderr per grid point as it
+            // finishes; stdout is unchanged.
+            "--stream" => opts = opts.with_stream(true),
+            // Smallest window worth pre-decoding into the overlay
+            // (advanced; see RunOptions::overlay_min_instrs).
+            "--overlay-min" => {
+                let v = it.next().ok_or("--overlay-min needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --overlay-min value {v:?}"))?;
+                opts = opts.with_overlay_min(n);
+            }
             // Deterministic fault injection, e.g.
             //   --inject point=table3:2,panic
             //   --inject 'point=table4:1,err;chaos=50@7,panic'
@@ -117,7 +149,9 @@ fn parse_args() -> Result<Args, String> {
                      [--analyze [--benchmark <name>]] [--instrs N] \
                      [--format plain|markdown|csv] [--sequential] \
                      [--no-trace-cache] [--no-predict-cache] [--no-lockstep] \
-                     [--trace-dir <dir>] [--inject <spec>] [--corrupt-target <name>] [--list]"
+                     [--trace-dir <dir>] [--result-dir <dir>] [--no-result-store] \
+                     [--workers N] [--stream] [--overlay-min N] \
+                     [--inject <spec>] [--corrupt-target <name>] [--list]"
                 );
                 println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
                 println!("extras:      extras {}", EXTRA_EXPERIMENT_IDS.join(" "));
@@ -130,7 +164,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 println!("  {:<10} projection: ispi, miss, traffic, cycles, ipc", "metric");
                 println!(
-                    "inject spec: point=<experiment>:<n>,<panic|err|slow> or \
+                    "inject spec: point=<experiment>:<n>,<panic|err|slow|abort> or \
                      chaos=<permille>@<seed>,<action>; ';'-separated"
                 );
                 std::process::exit(0);
@@ -153,6 +187,9 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("unknown benchmark {name:?} (valid names: {})", names.join(" ")));
         }
     }
+    if worker && (sweep.is_some() || experiment.is_some() || analyze || list) {
+        return Err("--worker is a child-process mode and takes no experiment selection".into());
+    }
     Ok(Args {
         experiment: experiment.unwrap_or_else(|| "all".to_owned()),
         sweep,
@@ -161,7 +198,17 @@ fn parse_args() -> Result<Args, String> {
         list,
         analyze,
         benchmark,
+        worker,
     })
+}
+
+/// Prints the result-store hit/store counters once per process (stderr),
+/// so resume tests — and humans — can see how much work the store saved.
+fn report_store_stats() {
+    if result_store::dir().is_some() {
+        let (hits, stores) = result_store::stats();
+        eprintln!("[result-store] hits={hits} stores={stores}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -172,6 +219,12 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
+
+    // Worker protocol mode: serve grid groups over stdin/stdout until
+    // the parent closes the pipe. Never prints reports.
+    if args.worker {
+        return worker::child_loop(args.opts);
+    }
 
     if args.list {
         for id in EXPERIMENT_IDS.iter().chain(EXTRA_EXPERIMENT_IDS.iter()) {
@@ -231,6 +284,7 @@ fn main() -> ExitCode {
         let failed_cells = report.failed_cells();
         println!("{}", report.render(args.format));
         eprintln!("[sweep done in {:.1}s]\n", started.elapsed().as_secs_f64());
+        report_store_stats();
         if failed_cells > 0 {
             eprintln!("specfetch-repro: {failed_cells} failed cell(s), 0 failed experiment(s)");
             return ExitCode::FAILURE;
@@ -273,6 +327,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    report_store_stats();
     if failed_cells > 0 || failed_experiments > 0 {
         eprintln!(
             "specfetch-repro: {failed_cells} failed cell(s), \

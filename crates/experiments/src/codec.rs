@@ -1,0 +1,434 @@
+//! Wire and store encodings shared by the on-disk result store and the
+//! multi-process worker protocol — zero-dependency, deterministic, and
+//! strict in both directions.
+//!
+//! Two layers:
+//!
+//! - [`encode_result`]/[`decode_result`] render a full [`SimResult`] as
+//!   one space-separated `key=value` line (every value an integer or a
+//!   policy token — no quoting needed). The field walk destructures the
+//!   struct exhaustively, so adding a measurement field is a compile
+//!   error here until the codec learns it; decoding requires every field
+//!   exactly once, so a truncated or stale line can never half-fill a
+//!   result.
+//! - [`json_escape`]/[`json_string_field`]/[`json_u64_field`] are the
+//!   minimal flat-JSON helpers the worker protocol's one-object-per-line
+//!   pipe format needs (arbitrary panic messages cross the pipe, so
+//!   strings are properly escaped both ways).
+
+use specfetch_bpred::BpredStats;
+use specfetch_cache::CacheStats;
+use specfetch_core::{FetchPolicy, IspiBreakdown, MissClass, SimResult, SpecfetchError};
+
+fn bad(detail: String) -> SpecfetchError {
+    SpecfetchError::InvalidSpec { detail }
+}
+
+/// Renders a [`SimResult`] as one deterministic `key=value` line.
+pub fn encode_result(r: &SimResult) -> String {
+    // Exhaustive destructuring: a new field anywhere below fails to
+    // compile until both directions of the codec handle it.
+    let SimResult {
+        policy,
+        correct_instrs,
+        cycles,
+        issue_width,
+        lost: IspiBreakdown { branch_full, branch, force_resolve, rt_icache, wrong_icache, bus },
+        pht_mispredict_slots,
+        btb_misfetch_slots,
+        btb_mispredict_slots,
+        misfetches,
+        mispredicts,
+        target_mispredicts,
+        cache_correct,
+        cache_wrong,
+        bpred:
+            BpredStats {
+                cond_resolved,
+                cond_mispredicted,
+                btb_lookups,
+                btb_hits,
+                returns_resolved,
+                returns_mispredicted,
+                indirects_resolved,
+                indirects_mispredicted,
+            },
+        traffic_demand_correct,
+        traffic_demand_wrong,
+        traffic_prefetch,
+        traffic_target_prefetch,
+        classification,
+        prefetches_issued,
+        prefetch_hits,
+    } = r;
+    let cache = |tag: &str, s: &CacheStats| {
+        format!("{tag}.acc={} {tag}.miss={} {tag}.fill={}", s.accesses, s.misses, s.fills)
+    };
+    let mut out = format!(
+        "policy={} instrs={correct_instrs} cycles={cycles} width={issue_width} \
+         lost.bfull={branch_full} lost.branch={branch} lost.fres={force_resolve} \
+         lost.rti={rt_icache} lost.wi={wrong_icache} lost.bus={bus} \
+         pht.slots={pht_mispredict_slots} btbmf.slots={btb_misfetch_slots} \
+         btbmp.slots={btb_mispredict_slots} misfetches={misfetches} \
+         mispredicts={mispredicts} tgt.mispredicts={target_mispredicts} \
+         {} {} \
+         bp.cres={cond_resolved} bp.cmis={cond_mispredicted} bp.blook={btb_lookups} \
+         bp.bhit={btb_hits} bp.rres={returns_resolved} bp.rmis={returns_mispredicted} \
+         bp.ires={indirects_resolved} bp.imis={indirects_mispredicted} \
+         tr.dc={traffic_demand_correct} tr.dw={traffic_demand_wrong} \
+         tr.pf={traffic_prefetch} tr.tpf={traffic_target_prefetch} \
+         pf.issued={prefetches_issued} pf.hits={prefetch_hits}",
+        policy.short_name(),
+        cache("cc", cache_correct),
+        cache("cw", cache_wrong),
+    );
+    match classification {
+        None => out.push_str(" class=0"),
+        Some(MissClass {
+            both_miss,
+            spec_pollute,
+            spec_prefetch,
+            wrong_path,
+            correct_accesses,
+        }) => {
+            out.push_str(&format!(
+                " class=1 cl.bm={both_miss} cl.spo={spec_pollute} cl.spr={spec_prefetch} \
+                 cl.wp={wrong_path} cl.acc={correct_accesses}"
+            ));
+        }
+    }
+    out
+}
+
+/// Parses an [`encode_result`] line back into a [`SimResult`].
+///
+/// # Errors
+///
+/// [`SpecfetchError::InvalidSpec`] for any malformed term, unknown or
+/// duplicate key, or a line missing any field of the result.
+pub fn decode_result(s: &str) -> Result<SimResult, SpecfetchError> {
+    let mut policy: Option<FetchPolicy> = None;
+    let mut ints: Vec<(&str, u64)> = Vec::with_capacity(40);
+    let mut classify_present: Option<bool> = None;
+    for term in s.split_ascii_whitespace() {
+        let (key, value) = term
+            .split_once('=')
+            .ok_or_else(|| bad(format!("bad result term {term:?} (expected key=value)")))?;
+        match key {
+            "policy" => {
+                if policy.is_some() {
+                    return Err(bad("duplicate result key \"policy\"".to_owned()));
+                }
+                policy = Some(
+                    FetchPolicy::parse(value)
+                        .ok_or_else(|| bad(format!("unknown policy {value:?}")))?,
+                );
+            }
+            "class" => {
+                if classify_present.is_some() {
+                    return Err(bad("duplicate result key \"class\"".to_owned()));
+                }
+                classify_present = Some(match value {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(bad(format!("bad class flag {other:?}"))),
+                });
+            }
+            _ => {
+                if ints.iter().any(|&(k, _)| k == key) {
+                    return Err(bad(format!("duplicate result key {key:?}")));
+                }
+                let v = value
+                    .parse::<u64>()
+                    .map_err(|_| bad(format!("bad integer {value:?} for key {key:?}")))?;
+                ints.push((key, v));
+            }
+        }
+    }
+    let mut taken = 0usize;
+    let mut take = |key: &str| -> Result<u64, SpecfetchError> {
+        match ints.iter().find(|&&(k, _)| k == key) {
+            Some(&(_, v)) => {
+                taken += 1;
+                Ok(v)
+            }
+            None => Err(bad(format!("result line is missing key {key:?}"))),
+        }
+    };
+    let classification = match classify_present {
+        None => return Err(bad("result line is missing key \"class\"".to_owned())),
+        Some(false) => None,
+        Some(true) => Some(MissClass {
+            both_miss: take("cl.bm")?,
+            spec_pollute: take("cl.spo")?,
+            spec_prefetch: take("cl.spr")?,
+            wrong_path: take("cl.wp")?,
+            correct_accesses: take("cl.acc")?,
+        }),
+    };
+    let result = SimResult {
+        policy: policy.ok_or_else(|| bad("result line is missing key \"policy\"".to_owned()))?,
+        correct_instrs: take("instrs")?,
+        cycles: take("cycles")?,
+        issue_width: take("width")? as u32,
+        lost: IspiBreakdown {
+            branch_full: take("lost.bfull")?,
+            branch: take("lost.branch")?,
+            force_resolve: take("lost.fres")?,
+            rt_icache: take("lost.rti")?,
+            wrong_icache: take("lost.wi")?,
+            bus: take("lost.bus")?,
+        },
+        pht_mispredict_slots: take("pht.slots")?,
+        btb_misfetch_slots: take("btbmf.slots")?,
+        btb_mispredict_slots: take("btbmp.slots")?,
+        misfetches: take("misfetches")?,
+        mispredicts: take("mispredicts")?,
+        target_mispredicts: take("tgt.mispredicts")?,
+        cache_correct: CacheStats {
+            accesses: take("cc.acc")?,
+            misses: take("cc.miss")?,
+            fills: take("cc.fill")?,
+        },
+        cache_wrong: CacheStats {
+            accesses: take("cw.acc")?,
+            misses: take("cw.miss")?,
+            fills: take("cw.fill")?,
+        },
+        bpred: BpredStats {
+            cond_resolved: take("bp.cres")?,
+            cond_mispredicted: take("bp.cmis")?,
+            btb_lookups: take("bp.blook")?,
+            btb_hits: take("bp.bhit")?,
+            returns_resolved: take("bp.rres")?,
+            returns_mispredicted: take("bp.rmis")?,
+            indirects_resolved: take("bp.ires")?,
+            indirects_mispredicted: take("bp.imis")?,
+        },
+        traffic_demand_correct: take("tr.dc")?,
+        traffic_demand_wrong: take("tr.dw")?,
+        traffic_prefetch: take("tr.pf")?,
+        traffic_target_prefetch: take("tr.tpf")?,
+        classification,
+        prefetches_issued: take("pf.issued")?,
+        prefetch_hits: take("pf.hits")?,
+    };
+    // Strictness both ways: no unknown integer keys either.
+    if taken != ints.len() {
+        let unknown: Vec<&str> = ints
+            .iter()
+            .map(|&(k, _)| k)
+            .filter(|k| {
+                // Re-run the known-key check cheaply: a key is unknown if
+                // a decode of just that key would fail. The classification
+                // keys are known only when class=1 consumed them.
+                !KNOWN_INT_KEYS.contains(k) || (classification.is_none() && k.starts_with("cl."))
+            })
+            .collect();
+        return Err(bad(format!("result line has unknown keys {unknown:?}")));
+    }
+    Ok(result)
+}
+
+/// Every integer key [`decode_result`] understands (the classification
+/// keys are consumed only when `class=1`).
+const KNOWN_INT_KEYS: [&str; 38] = [
+    "instrs",
+    "cycles",
+    "width",
+    "lost.bfull",
+    "lost.branch",
+    "lost.fres",
+    "lost.rti",
+    "lost.wi",
+    "lost.bus",
+    "pht.slots",
+    "btbmf.slots",
+    "btbmp.slots",
+    "misfetches",
+    "mispredicts",
+    "tgt.mispredicts",
+    "cc.acc",
+    "cc.miss",
+    "cc.fill",
+    "cw.acc",
+    "cw.miss",
+    "cw.fill",
+    "bp.cres",
+    "bp.cmis",
+    "bp.blook",
+    "bp.bhit",
+    "bp.rres",
+    "bp.rmis",
+    "bp.ires",
+    "bp.imis",
+    "tr.dc",
+    "tr.dw",
+    "tr.pf",
+    "tr.tpf",
+    "pf.issued",
+    "pf.hits",
+    "cl.bm",
+    "cl.spo",
+    "cl.spr",
+];
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Extracts string field `key` from one flat JSON object line, handling
+/// escapes. Only speaks the protocol's own one-object-per-line format.
+pub fn json_string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    // Find the closing quote, skipping escaped characters.
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    json_unescape(&rest[..end?])
+}
+
+/// Extracts unsigned-integer field `key` from one flat JSON object line.
+pub fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = line[line.find(&pat)? + pat.len()..].trim_start();
+    let end = rest.find([',', '}', ' ']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfetch_core::{SimConfig, Simulator};
+    use specfetch_synth::suite::Benchmark;
+    use specfetch_trace::PathSource;
+
+    fn real_result(classify: bool) -> SimResult {
+        let b = Benchmark::by_name("li").unwrap();
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.classify = classify;
+        cfg.prefetch = classify; // vary more fields through the codec
+        let w = b.workload().unwrap();
+        Simulator::new(cfg).run(w.executor(b.path_seed()).take_instrs(5_000))
+    }
+
+    #[test]
+    fn result_round_trips_with_and_without_classification() {
+        for classify in [false, true] {
+            let r = real_result(classify);
+            assert_eq!(r.classification.is_some(), classify);
+            let line = encode_result(&r);
+            let back = decode_result(&line).unwrap();
+            assert_eq!(back, r, "round trip diverged for {line:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_missing_and_unknown_keys() {
+        let line = encode_result(&real_result(false));
+        // Drop one field.
+        let missing: String = line
+            .split_ascii_whitespace()
+            .filter(|t| !t.starts_with("cycles="))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(decode_result(&missing).is_err());
+        // Add an unknown field.
+        let unknown = format!("{line} bogus=7");
+        assert!(decode_result(&unknown).is_err());
+        // Duplicate a field.
+        let dup = format!("{line} cycles=1");
+        assert!(decode_result(&dup).is_err());
+        // Classification keys without class=1 are unknown.
+        let stray = format!("{line} cl.bm=1");
+        assert!(decode_result(&stray).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_terms() {
+        for bad in ["x", "policy=Zap", "cycles=abc", "class=7"] {
+            assert!(decode_result(bad).is_err(), "{bad:?} unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn json_escape_round_trips_hostile_strings() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\nand\ttab",
+            "control\u{1}char",
+            "unicode ☃ snowman",
+            "",
+        ] {
+            let line = format!("{{\"msg\":\"{}\"}}", json_escape(s));
+            assert_eq!(json_string_field(&line, "msg").as_deref(), Some(s), "via {line:?}");
+        }
+    }
+
+    #[test]
+    fn json_field_extraction() {
+        let line = "{\"kind\":\"point\",\"gid\":12,\"idx\":3,\"cfg\":\"v=1 policy=Res\"}";
+        assert_eq!(json_string_field(line, "kind").as_deref(), Some("point"));
+        assert_eq!(json_u64_field(line, "gid"), Some(12));
+        assert_eq!(json_u64_field(line, "idx"), Some(3));
+        assert_eq!(json_string_field(line, "cfg").as_deref(), Some("v=1 policy=Res"));
+        assert_eq!(json_string_field(line, "nope"), None);
+        assert_eq!(json_u64_field(line, "kind"), None);
+    }
+}

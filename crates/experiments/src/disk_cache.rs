@@ -45,6 +45,12 @@ pub fn set_dir(dir: PathBuf) -> Result<(), SpecfetchError> {
     })
 }
 
+/// The configured cache root, if `--trace-dir` was given (worker child
+/// processes are spawned with the same root so they share the cache).
+pub fn dir() -> Option<&'static Path> {
+    DIR.get().map(PathBuf::as_path)
+}
+
 fn cache_path(dir: &Path, bench: &str, instrs: u64) -> PathBuf {
     dir.join(format!("{bench}-{instrs}.sftb"))
 }

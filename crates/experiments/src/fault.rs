@@ -23,7 +23,13 @@
 //! - `panic` — panic inside the grid point (exercises the capture path);
 //! - `err` — return a typed [`SpecfetchError::Injected`] error;
 //! - `slow` — sleep [`SLOW_MILLIS`] before simulating (the point still
-//!   succeeds; exercises scheduling under stragglers).
+//!   succeeds; exercises scheduling under stragglers);
+//! - `abort` — kill the **process** executing the point with
+//!   [`std::process::abort`]. In-process this crashes the run (it is a
+//!   crash-test primitive, not an isolation test); under `--workers N`
+//!   the parent forwards it to the child handling the point, exercising
+//!   worker-death recovery (the child's points render `FAILED(...)`,
+//!   sibling workers complete).
 //!
 //! # Determinism
 //!
@@ -54,6 +60,8 @@ pub enum FaultAction {
     Err,
     /// Sleep [`SLOW_MILLIS`] and then run normally.
     Slow,
+    /// Abort the process executing the point (worker-death testing).
+    Abort,
 }
 
 impl FaultAction {
@@ -62,9 +70,10 @@ impl FaultAction {
             "panic" => Ok(FaultAction::Panic),
             "err" => Ok(FaultAction::Err),
             "slow" => Ok(FaultAction::Slow),
-            other => {
-                Err(bad_spec(format!("unknown fault action {other:?} (expected panic|err|slow)")))
-            }
+            "abort" => Ok(FaultAction::Abort),
+            other => Err(bad_spec(format!(
+                "unknown fault action {other:?} (expected panic|err|slow|abort)"
+            ))),
         }
     }
 }
@@ -225,16 +234,25 @@ pub(crate) fn reserve(n: usize) -> u64 {
     base
 }
 
-/// Fires the installed plan's action for point `idx` of the current
-/// experiment, if any: panics for `panic`, sleeps for `slow`, returns a
-/// typed error for `err`. A no-op when no plan is installed.
-pub(crate) fn guard(idx: u64) -> Result<(), SpecfetchError> {
-    let Some(plan) = PLAN.get() else { return Ok(()) };
+/// The installed plan's action for point `idx` of the current
+/// experiment, without firing it. The worker dispatcher uses this to
+/// route `abort` to the child process that will run the point instead
+/// of killing the parent.
+pub(crate) fn peek(idx: u64) -> Option<FaultAction> {
+    let plan = PLAN.get()?;
     let experiment = {
         let c = counter().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         c.experiment.clone()
     };
-    match plan.action_at(&experiment, idx) {
+    plan.action_at(&experiment, idx)
+}
+
+/// Fires the installed plan's action for point `idx` of the current
+/// experiment, if any: panics for `panic`, sleeps for `slow`, returns a
+/// typed error for `err`, aborts the process for `abort`. A no-op when
+/// no plan is installed.
+pub(crate) fn guard(idx: u64) -> Result<(), SpecfetchError> {
+    match peek(idx) {
         None => Ok(()),
         Some(FaultAction::Panic) => panic!("injected panic"),
         Some(FaultAction::Err) => Err(SpecfetchError::Injected { action: "err" }),
@@ -242,7 +260,15 @@ pub(crate) fn guard(idx: u64) -> Result<(), SpecfetchError> {
             std::thread::sleep(std::time::Duration::from_millis(SLOW_MILLIS));
             Ok(())
         }
+        Some(FaultAction::Abort) => abort_process(),
     }
+}
+
+/// Hard-kills the current process. The only non-`bin` abort site in the
+/// workspace (the tidy exit-confinement rule pins it here): worker child
+/// processes call this when the parent forwards them an `abort` fault.
+pub(crate) fn abort_process() -> ! {
+    std::process::abort()
 }
 
 #[cfg(test)]
@@ -259,9 +285,11 @@ mod tests {
 
     #[test]
     fn parses_multiple_specs_and_actions() {
-        let p = FaultPlan::parse("point=table3:2,err; point=figure1:0,slow").unwrap();
+        let p = FaultPlan::parse("point=table3:2,err; point=figure1:0,slow; point=sweep:1,abort")
+            .unwrap();
         assert_eq!(p.action_at("table3", 2), Some(FaultAction::Err));
         assert_eq!(p.action_at("figure1", 0), Some(FaultAction::Slow));
+        assert_eq!(p.action_at("sweep", 1), Some(FaultAction::Abort));
     }
 
     #[test]

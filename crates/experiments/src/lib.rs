@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod codec;
 pub mod disk_cache;
 pub mod experiments;
 pub mod fault;
@@ -39,11 +40,13 @@ pub mod paper;
 mod parallel;
 pub mod registry;
 mod report;
+pub mod result_store;
 mod runner;
 pub mod scenario;
 pub mod sweep;
 mod table;
 pub mod trace_cache;
+pub mod worker;
 
 pub use options::RunOptions;
 pub use parallel::{par_map, try_par_map};

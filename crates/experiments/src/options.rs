@@ -32,6 +32,27 @@ pub struct RunOptions {
     /// byte-identical either way — `false` exists for equivalence tests
     /// and for measuring the speedup itself.
     pub lockstep: bool,
+    /// Smallest instruction window worth pre-decoding: below this the
+    /// overlay (and therefore lockstep) is skipped and runs replay the
+    /// shared recording directly. Building the `PredictedTrace` costs a
+    /// full decode pass, which BENCH_3 showed is a net loss on small
+    /// windows (table4 @60k: 0.119s with the overlay vs 0.046s without);
+    /// output is byte-identical on both sides of the threshold. `0`
+    /// (the test default) always builds the overlay.
+    pub overlay_min_instrs: u64,
+    /// Look up / persist finished results in the on-disk result store
+    /// (when one is configured via [`crate::result_store::set_dir`]).
+    /// `false` (`--no-result-store`) recomputes everything and writes
+    /// nothing, byte-identically.
+    pub result_store: bool,
+    /// Shard grid execution across this many `specfetch-repro --worker`
+    /// child processes (see [`crate::worker`]); `0` simulates in-process.
+    /// Output is byte-identical at any worker count.
+    pub workers: usize,
+    /// Print one `[row] ...` line to **stderr** per finished grid point,
+    /// as it finishes — stdout (and therefore the golden output) is
+    /// unchanged.
+    pub stream: bool,
 }
 
 impl RunOptions {
@@ -43,10 +64,16 @@ impl RunOptions {
             share_traces: true,
             predict_cache: true,
             lockstep: true,
+            overlay_min_instrs: 200_000,
+            result_store: true,
+            workers: 0,
+            stream: false,
         }
     }
 
-    /// A budget for unit tests and smoke checks.
+    /// A budget for unit tests and smoke checks. The overlay threshold is
+    /// `0` here so the overlay/lockstep machinery stays exercised at test
+    /// window sizes.
     pub fn smoke() -> Self {
         RunOptions {
             instrs_per_benchmark: 40_000,
@@ -54,6 +81,10 @@ impl RunOptions {
             share_traces: true,
             predict_cache: true,
             lockstep: true,
+            overlay_min_instrs: 0,
+            result_store: true,
+            workers: 0,
+            stream: false,
         }
     }
 
@@ -82,10 +113,44 @@ impl RunOptions {
         self
     }
 
-    /// Whether runs should go through the overlay + memo fast path
-    /// (both caches enabled).
-    pub(crate) fn use_overlay(&self) -> bool {
+    /// Overrides the smallest window worth pre-decoding into an overlay.
+    pub fn with_overlay_min(mut self, instrs: u64) -> Self {
+        self.overlay_min_instrs = instrs;
+        self
+    }
+
+    /// Enables or disables the on-disk result store.
+    pub fn with_result_store(mut self, store: bool) -> Self {
+        self.result_store = store;
+        self
+    }
+
+    /// Sets the number of worker child processes (`0` = in-process).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables per-row streaming to stderr.
+    pub fn with_stream(mut self, stream: bool) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Whether finished results may be served from / filled into the
+    /// process-wide memo and the on-disk store. Results are identical on
+    /// every replay path, but the memo rides the same opt-outs as the
+    /// overlay so `--no-predict-cache` stays a true "recompute
+    /// everything" mode.
+    pub(crate) fn use_memo(&self) -> bool {
         self.share_traces && self.predict_cache
+    }
+
+    /// Whether runs should go through the overlay fast path: both caches
+    /// enabled and a window big enough that the decode pass pays for
+    /// itself.
+    pub(crate) fn use_overlay(&self) -> bool {
+        self.use_memo() && self.instrs_per_benchmark >= self.overlay_min_instrs
     }
 
     /// Whether grids should run through the config-lockstep batch
@@ -116,6 +181,13 @@ mod tests {
         assert!(!RunOptions::new().with_predict_cache(false).predict_cache);
         assert!(RunOptions::new().lockstep, "lockstep batching is the default");
         assert!(!RunOptions::new().with_lockstep(false).lockstep);
+        assert!(RunOptions::new().result_store, "a configured store is used by default");
+        assert!(!RunOptions::new().with_result_store(false).result_store);
+        assert_eq!(RunOptions::new().workers, 0, "in-process execution is the default");
+        assert_eq!(RunOptions::new().with_workers(3).workers, 3);
+        assert!(!RunOptions::new().stream, "streaming is opt-in");
+        assert!(RunOptions::new().with_stream(true).stream);
+        assert_eq!(RunOptions::new().with_overlay_min(7).overlay_min_instrs, 7);
     }
 
     #[test]
@@ -126,10 +198,24 @@ mod tests {
     }
 
     #[test]
+    fn overlay_respects_the_size_threshold() {
+        let opts = RunOptions::new(); // 2M window, 200k threshold
+        assert!(opts.use_overlay());
+        assert!(!opts.with_instrs(60_000).use_overlay(), "small windows skip the overlay");
+        assert!(opts.with_instrs(60_000).use_memo(), "...but still memoise results");
+        assert!(opts.with_instrs(60_000).with_overlay_min(0).use_overlay());
+        assert!(
+            RunOptions::smoke().use_overlay(),
+            "smoke options must keep the overlay path under test"
+        );
+    }
+
+    #[test]
     fn lockstep_requires_the_overlay() {
         assert!(RunOptions::new().use_lockstep());
         assert!(!RunOptions::new().with_lockstep(false).use_lockstep());
         assert!(!RunOptions::new().with_predict_cache(false).use_lockstep());
         assert!(!RunOptions::new().with_share_traces(false).use_lockstep());
+        assert!(!RunOptions::new().with_instrs(60_000).use_lockstep());
     }
 }

@@ -111,11 +111,29 @@ pub fn try_simulate_benchmark(
     // statistics being measured). Memoized per process, so this is one
     // verifier walk per benchmark — not per grid point.
     crate::analysis::preflight(bench)?;
-    if opts.use_overlay() {
-        let source = crate::trace_cache::try_predicted_source(bench, opts.instrs_per_benchmark)?;
-        Ok(crate::trace_cache::memoized_result(bench, opts.instrs_per_benchmark, cfg, || {
-            Simulator::new(cfg).run(source)
-        }))
+    let instrs = opts.instrs_per_benchmark;
+    if opts.use_memo() {
+        // Memo / result-store check BEFORE any trace work: a warm run
+        // (every point already stored) never records, decodes, or loads
+        // a trace at all — it is render-only.
+        if let Some(r) = resolve_stored(bench, instrs, cfg, &opts) {
+            return Ok(r);
+        }
+        let r = if opts.use_overlay() {
+            let source = crate::trace_cache::try_predicted_source(bench, instrs)?;
+            crate::trace_cache::memoized_result(bench, instrs, cfg, || {
+                Simulator::new(cfg).run(source)
+            })
+        } else {
+            // Below the overlay threshold: replay the shared recording
+            // directly (byte-identical, no decode pass) but keep the memo.
+            let source = crate::trace_cache::try_recorded_source(bench, instrs)?;
+            crate::trace_cache::memoized_result(bench, instrs, cfg, || {
+                Simulator::new(cfg).run(source)
+            })
+        };
+        persist(bench, instrs, cfg, &r, &opts);
+        Ok(r)
     } else if opts.share_traces {
         let source = crate::trace_cache::try_recorded_source(bench, opts.instrs_per_benchmark)?;
         Ok(Simulator::new(cfg).run(source))
@@ -126,6 +144,71 @@ pub fn try_simulate_benchmark(
         })?;
         let source = workload.executor(bench.path_seed()).take_instrs(opts.instrs_per_benchmark);
         Ok(Simulator::new(cfg).run(source))
+    }
+}
+
+/// Resolves a grid point from the layers that already hold its result:
+/// the process-wide memo first, then the on-disk result store (a disk
+/// hit back-fills the memo so the next lookup is RAM-only). `None`
+/// means the point must actually simulate.
+pub(crate) fn resolve_stored(
+    bench: &Benchmark,
+    instrs: u64,
+    cfg: SimConfig,
+    opts: &RunOptions,
+) -> Option<SimResult> {
+    if !opts.use_memo() {
+        return None;
+    }
+    if let Some(r) = crate::trace_cache::cached_result(bench, instrs, cfg) {
+        return Some(r);
+    }
+    if opts.result_store {
+        if let Some(r) = crate::result_store::get(bench.name, instrs, &cfg) {
+            crate::trace_cache::store_result(bench, instrs, cfg, r.clone());
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// Persists a freshly simulated result to the on-disk store (no-op when
+/// the store is unconfigured or disabled).
+pub(crate) fn persist(
+    bench: &Benchmark,
+    instrs: u64,
+    cfg: SimConfig,
+    r: &SimResult,
+    opts: &RunOptions,
+) {
+    if opts.use_memo() && opts.result_store {
+        crate::result_store::put(bench.name, instrs, &cfg, r);
+    }
+}
+
+/// Streams one finished batch of cells to stderr (`--stream`): one
+/// `[row] ...` line per grid point, in completion order. Stdout — and
+/// therefore the golden byte-identity — is untouched.
+pub(crate) fn stream_cells(points: &[GridPoint], cells: &[(usize, GridCell)], opts: &RunOptions) {
+    if !opts.stream {
+        return;
+    }
+    for (i, cell) in cells {
+        let p = &points[*i];
+        match cell {
+            Ok(r) => eprintln!(
+                "[row] {} cfg={:016x} ispi={:.4}",
+                p.benchmark.name,
+                p.cfg.canonical_hash(),
+                r.ispi()
+            ),
+            Err(f) => eprintln!(
+                "[row] {} cfg={:016x} {}",
+                p.benchmark.name,
+                p.cfg.canonical_hash(),
+                f.cell()
+            ),
+        }
     }
 }
 
@@ -168,6 +251,14 @@ pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -
 /// that configuration while sibling lanes complete.
 pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     let base = fault::reserve(points.len());
+    if opts.workers > 0 {
+        if let Some(cells) = crate::worker::try_run_grid_sharded(points, base, opts) {
+            return cells;
+        }
+        // The worker pool could not start (e.g. the executable cannot
+        // re-spawn itself); a warning has been printed and the grid runs
+        // in-process instead.
+    }
     let mut groups: Vec<(&'static Benchmark, Vec<usize>)> = Vec::new();
     for (i, p) in points.iter().enumerate() {
         match groups.iter_mut().find(|(b, _)| std::ptr::eq(*b, p.benchmark)) {
@@ -177,23 +268,26 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     }
     let opts_by_val = *opts;
     let done = par_map(groups, opts.parallel, |(b, idxs)| {
-        if opts_by_val.use_lockstep() {
-            return run_group_lockstep(b, idxs, points, base, opts_by_val);
-        }
-        idxs.into_iter()
-            .map(|i| {
-                let cell = panic::catch_unwind(AssertUnwindSafe(|| {
-                    fault::guard(base + i as u64)?;
-                    try_simulate_benchmark(b, points[i].cfg, opts_by_val)
-                }));
-                let cell = match cell {
-                    Ok(Ok(r)) => Ok(r),
-                    Ok(Err(e)) => Err(CellFailure::from_error(&e)),
-                    Err(payload) => Err(CellFailure::from_panic(payload.as_ref())),
-                };
-                (i, cell)
-            })
-            .collect::<Vec<(usize, GridCell)>>()
+        let cells = if opts_by_val.use_lockstep() {
+            run_group_lockstep(b, idxs, points, base, opts_by_val)
+        } else {
+            idxs.into_iter()
+                .map(|i| {
+                    let cell = panic::catch_unwind(AssertUnwindSafe(|| {
+                        fault::guard(base + i as u64)?;
+                        try_simulate_benchmark(b, points[i].cfg, opts_by_val)
+                    }));
+                    let cell = match cell {
+                        Ok(Ok(r)) => Ok(r),
+                        Ok(Err(e)) => Err(CellFailure::from_error(&e)),
+                        Err(payload) => Err(CellFailure::from_panic(payload.as_ref())),
+                    };
+                    (i, cell)
+                })
+                .collect::<Vec<(usize, GridCell)>>()
+        };
+        stream_cells(points, &cells, &opts_by_val);
+        cells
     });
     let mut out: Vec<Option<GridCell>> = (0..points.len()).map(|_| None).collect();
     for (i, r) in done.into_iter().flatten() {
@@ -251,62 +345,63 @@ fn run_group_lockstep(
         })
         .collect();
 
-    // One shared overlay for the whole batch; failing to build it fails
-    // every point that survived its own guard (the sequential arm would
-    // hit the same error per point).
-    let overlay = match crate::trace_cache::try_predicted_trace(b, instrs) {
-        Ok(ov) => ov,
-        Err(e) => {
-            let fail: GridCell = Err(CellFailure::from_error(&e));
-            return cells
-                .into_iter()
-                .map(|(i, early)| (i, early.unwrap_or_else(|| fail.clone())))
-                .collect();
-        }
-    };
-
-    // Deduplicate configurations: memo hits resolve immediately, the
-    // rest get one lane each.
+    // Deduplicate configurations and resolve memo / result-store hits
+    // BEFORE touching the trace layer: a fully warm batch returns here
+    // without recording or decoding anything.
     let mut resolved: Vec<(SimConfig, GridCell)> = Vec::new();
-    let mut fronts: Vec<FrontEnd> = Vec::new();
+    let mut pending: Vec<SimConfig> = Vec::new();
     for &(i, ref early) in &cells {
         let cfg = points[i].cfg;
-        if early.is_some()
-            || resolved.iter().any(|(c, _)| *c == cfg)
-            || fronts.iter().any(|f| *f.config() == cfg)
-        {
+        if early.is_some() || resolved.iter().any(|(c, _)| *c == cfg) || pending.contains(&cfg) {
             continue;
         }
-        if let Some(r) = crate::trace_cache::cached_result(b, instrs, cfg) {
-            resolved.push((cfg, Ok(r)));
-        } else {
-            match FrontEnd::build(cfg) {
-                Ok(fe) => fronts.push(fe),
-                Err(_) => {
-                    let cell = panic::catch_unwind(AssertUnwindSafe(|| {
-                        try_simulate_benchmark(b, cfg, opts)
-                    }));
-                    let cell = match cell {
-                        Ok(Ok(r)) => Ok(r),
-                        Ok(Err(e)) => Err(CellFailure::from_error(&e)),
+        match resolve_stored(b, instrs, cfg, &opts) {
+            Some(r) => resolved.push((cfg, Ok(r))),
+            None => pending.push(cfg),
+        }
+    }
+
+    if !pending.is_empty() {
+        // One shared overlay for the whole batch; failing to build it
+        // fails every unresolved point (the sequential arm would hit the
+        // same error per point), while stored points still render.
+        match crate::trace_cache::try_predicted_trace(b, instrs) {
+            Err(e) => {
+                let fail: GridCell = Err(CellFailure::from_error(&e));
+                resolved.extend(pending.into_iter().map(|cfg| (cfg, fail.clone())));
+            }
+            Ok(overlay) => {
+                let mut fronts: Vec<FrontEnd> = Vec::new();
+                for cfg in pending {
+                    match FrontEnd::build(cfg) {
+                        Ok(fe) => fronts.push(fe),
+                        Err(_) => {
+                            let cell = panic::catch_unwind(AssertUnwindSafe(|| {
+                                try_simulate_benchmark(b, cfg, opts)
+                            }));
+                            let cell = match cell {
+                                Ok(Ok(r)) => Ok(r),
+                                Ok(Err(e)) => Err(CellFailure::from_error(&e)),
+                                Err(payload) => Err(CellFailure::from_panic(payload.as_ref())),
+                            };
+                            resolved.push((cfg, cell));
+                        }
+                    }
+                }
+                let lane_cfgs: Vec<SimConfig> = fronts.iter().map(|f| *f.config()).collect();
+                for (cfg, outcome) in lane_cfgs.into_iter().zip(run_lockstep(&overlay, fronts)) {
+                    let cell = match outcome {
+                        Ok(r) => {
+                            crate::trace_cache::store_result(b, instrs, cfg, r.clone());
+                            persist(b, instrs, cfg, &r, &opts);
+                            Ok(r)
+                        }
                         Err(payload) => Err(CellFailure::from_panic(payload.as_ref())),
                     };
                     resolved.push((cfg, cell));
                 }
             }
         }
-    }
-
-    let lane_cfgs: Vec<SimConfig> = fronts.iter().map(|f| *f.config()).collect();
-    for (cfg, outcome) in lane_cfgs.into_iter().zip(run_lockstep(&overlay, fronts)) {
-        let cell = match outcome {
-            Ok(r) => {
-                crate::trace_cache::store_result(b, instrs, cfg, r.clone());
-                Ok(r)
-            }
-            Err(payload) => Err(CellFailure::from_panic(payload.as_ref())),
-        };
-        resolved.push((cfg, cell));
     }
 
     cells

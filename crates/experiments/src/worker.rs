@@ -1,0 +1,497 @@
+//! Sharded multi-process grid execution: `--workers N`.
+//!
+//! One simulation process is single-core-bound on the hot per-branch /
+//! per-access work (DESIGN §5h), so the next multiplier is scale-out.
+//! The parent keeps the whole pipeline it already has — input-order
+//! fault numbering, static preflight, memo and result-store resolution —
+//! and ships only the *unresolved, config-deduplicated* points of each
+//! benchmark group to a pool of `specfetch-repro --worker` child
+//! processes over a JSON-lines pipe protocol:
+//!
+//! ```text
+//! parent → child   {"kind":"group","bench":"li","instrs":2000000,"points":2}
+//!                  {"kind":"point","idx":0,"abort":0,"cfg":"v=1 policy=Res ..."}
+//!                  {"kind":"point","idx":1,"abort":0,"cfg":"v=1 policy=Pess ..."}
+//! child → parent   {"kind":"cell","idx":0,"ok":1,"result":"policy=Res instrs=..."}
+//!                  {"kind":"cell","idx":1,"ok":0,"reason":"..."}
+//!                  {"kind":"done"}
+//! ```
+//!
+//! Configs cross the pipe in the canonical encoding of
+//! `specfetch_core::canon` and results in the [`crate::codec`] line
+//! format — both strict, versioned, and byte-exact (every measurement is
+//! an integer), so a sharded run is **byte-identical** to an in-process
+//! run. The work unit is the benchmark *group*, which preserves
+//! config-lockstep batching inside each child and gives `--stream` a
+//! natural row granularity.
+//!
+//! Children are spawned once (process-wide pool, first grid that asks)
+//! with the parent's own cache flags, `--trace-dir`, and `--result-dir`,
+//! so all processes share one trace cache and one result store. Faults:
+//! the parent fires `panic`/`err`/`slow` guards itself before dispatch
+//! (identical numbering and rendering to the in-process path) and
+//! forwards `abort` to the child that will run the point — the child
+//! dies mid-group, the parent renders that group's in-flight points as
+//! `FAILED(worker ...)` cells, respawns the worker, and sibling workers
+//! drain the rest of the queue. A pool that cannot start at all (the
+//! executable cannot re-spawn itself) falls back to in-process execution
+//! with a warning.
+
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{self, AssertUnwindSafe};
+use std::process::{Child, Command, Stdio};
+use std::sync::{mpsc, Mutex, OnceLock};
+
+use specfetch_core::{SimConfig, SimResult};
+use specfetch_synth::suite::Benchmark;
+
+use crate::codec::{decode_result, encode_result, json_escape, json_string_field, json_u64_field};
+use crate::fault::{self, FaultAction};
+use crate::runner::{resolve_stored, stream_cells, CellFailure, GridCell, GridPoint};
+use crate::RunOptions;
+
+/// One group of unresolved points bound for a child process.
+struct Job {
+    bench: &'static Benchmark,
+    instrs: u64,
+    /// Deduplicated configs to simulate, with their abort-fault flags.
+    cfgs: Vec<(SimConfig, bool)>,
+    /// Position of this group in the calling grid.
+    group: usize,
+    reply: mpsc::Sender<(usize, Vec<Result<SimResult, CellFailure>>)>,
+}
+
+struct WorkerPool {
+    jobs: mpsc::Sender<Job>,
+}
+
+static POOL: OnceLock<Option<WorkerPool>> = OnceLock::new();
+
+/// The argv a child worker is spawned with: `--worker` plus the parent's
+/// cache/store configuration, so parent and children agree on every
+/// replay knob. `--instrs` travels per group in the protocol instead.
+fn child_args(opts: &RunOptions) -> Vec<String> {
+    let mut a = vec!["--worker".to_owned()];
+    if !opts.parallel {
+        a.push("--sequential".to_owned());
+    }
+    if !opts.share_traces {
+        a.push("--no-trace-cache".to_owned());
+    }
+    if !opts.predict_cache {
+        a.push("--no-predict-cache".to_owned());
+    }
+    if !opts.lockstep {
+        a.push("--no-lockstep".to_owned());
+    }
+    if !opts.result_store {
+        a.push("--no-result-store".to_owned());
+    }
+    a.push("--overlay-min".to_owned());
+    a.push(opts.overlay_min_instrs.to_string());
+    if let Some(d) = crate::disk_cache::dir() {
+        a.push("--trace-dir".to_owned());
+        a.push(d.display().to_string());
+    }
+    if let Some(d) = crate::result_store::dir() {
+        a.push("--result-dir".to_owned());
+        a.push(d.display().to_string());
+    }
+    a
+}
+
+fn spawn_child(args: &[String]) -> std::io::Result<(Child, BufReader<std::process::ChildStdout>)> {
+    let exe = std::env::current_exe()?;
+    let mut child =
+        Command::new(exe).args(args).stdin(Stdio::piped()).stdout(Stdio::piped()).spawn()?;
+    let stdout = child.stdout.take().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::BrokenPipe, "worker has no stdout")
+    })?;
+    Ok((child, BufReader::new(stdout)))
+}
+
+/// Runs one job on `child`, filling `out` (pre-initialised to
+/// worker-death failures) as cell lines arrive. `Ok(())` means the child
+/// completed the group; `Err` means it died mid-group and must be
+/// replaced.
+fn drive_child(
+    child: &mut Child,
+    reader: &mut BufReader<std::process::ChildStdout>,
+    job: &Job,
+    out: &mut [Result<SimResult, CellFailure>],
+) -> std::io::Result<()> {
+    let proto = |detail: String| std::io::Error::new(std::io::ErrorKind::InvalidData, detail);
+    let stdin = child.stdin.as_mut().ok_or_else(|| proto("worker stdin closed".to_owned()))?;
+    let mut msg = format!(
+        "{{\"kind\":\"group\",\"bench\":\"{}\",\"instrs\":{},\"points\":{}}}\n",
+        job.bench.name,
+        job.instrs,
+        job.cfgs.len()
+    );
+    for (i, (cfg, abort)) in job.cfgs.iter().enumerate() {
+        msg.push_str(&format!(
+            "{{\"kind\":\"point\",\"idx\":{i},\"abort\":{},\"cfg\":\"{}\"}}\n",
+            u8::from(*abort),
+            json_escape(&cfg.canonical_string())
+        ));
+    }
+    stdin.write_all(msg.as_bytes())?;
+    stdin.flush()?;
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(proto("no reply before EOF".to_owned()));
+        }
+        match json_string_field(&line, "kind").as_deref() {
+            Some("done") => return Ok(()),
+            Some("cell") => {
+                let idx = json_u64_field(&line, "idx")
+                    .ok_or_else(|| proto(format!("cell without idx: {line:?}")))?
+                    as usize;
+                if idx >= out.len() {
+                    return Err(proto(format!("cell idx {idx} out of range")));
+                }
+                out[idx] = match json_u64_field(&line, "ok") {
+                    Some(1) => {
+                        let enc = json_string_field(&line, "result")
+                            .ok_or_else(|| proto(format!("ok cell without result: {line:?}")))?;
+                        decode_result(&enc).map_err(|e| CellFailure {
+                            reason: format!("worker returned an undecodable result: {e}"),
+                        })
+                    }
+                    Some(0) => Err(CellFailure {
+                        reason: json_string_field(&line, "reason")
+                            .unwrap_or_else(|| "worker reported an unnamed failure".to_owned()),
+                    }),
+                    _ => return Err(proto(format!("cell without ok flag: {line:?}"))),
+                };
+            }
+            _ => return Err(proto(format!("unexpected worker message {line:?}"))),
+        }
+    }
+}
+
+/// One pool worker thread: owns one child process, pulls jobs from the
+/// shared queue, and replaces its child whenever it dies (each death
+/// costs exactly the in-flight group's unfinished points).
+fn worker_thread(args: Vec<String>, rx: &Mutex<mpsc::Receiver<Job>>) {
+    let mut slot = spawn_child(&args).ok();
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        let mut out: Vec<Result<SimResult, CellFailure>> = job
+            .cfgs
+            .iter()
+            .map(|_| Err(CellFailure { reason: "worker died before this point".to_owned() }))
+            .collect();
+        if slot.is_none() {
+            slot = spawn_child(&args).ok();
+        }
+        match &mut slot {
+            None => {
+                for cell in &mut out {
+                    *cell =
+                        Err(CellFailure { reason: "could not spawn worker process".to_owned() });
+                }
+            }
+            Some((child, reader)) => {
+                if let Err(e) = drive_child(child, reader, &job, &mut out) {
+                    for cell in &mut out {
+                        if let Err(f) = cell {
+                            if f.reason == "worker died before this point" {
+                                f.reason = format!("worker exited: {e}");
+                            }
+                        }
+                    }
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    slot = None;
+                }
+            }
+        }
+        let _ = job.reply.send((job.group, out));
+    }
+}
+
+/// Starts the process-wide pool on first use; `None` if no child could
+/// be spawned at all (the caller falls back to in-process execution).
+fn pool(opts: &RunOptions) -> Option<&'static WorkerPool> {
+    POOL.get_or_init(|| {
+        let args = child_args(opts);
+        // Prove the executable can re-spawn itself before committing.
+        match spawn_child(&args) {
+            Ok((mut probe, _)) => {
+                // The probe child sees EOF on stdin and exits cleanly.
+                drop(probe.stdin.take());
+                let _ = probe.wait();
+            }
+            Err(e) => {
+                eprintln!(
+                    "specfetch: warning: cannot spawn worker processes ({e}); \
+                     running the grid in-process"
+                );
+                return None;
+            }
+        }
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx: &'static Mutex<mpsc::Receiver<Job>> = Box::leak(Box::new(Mutex::new(rx)));
+        for _ in 0..opts.workers.max(1) {
+            let args = args.clone();
+            std::thread::spawn(move || worker_thread(args, rx));
+        }
+        Some(WorkerPool { jobs: tx })
+    })
+    .as_ref()
+}
+
+/// Runs a grid by sharding its benchmark groups across the worker pool.
+/// Returns `None` when the pool is unavailable, in which case the caller
+/// runs the grid in-process. Cells come back in input order and are
+/// byte-identical to the in-process path.
+pub(crate) fn try_run_grid_sharded(
+    points: &[GridPoint],
+    base: u64,
+    opts: &RunOptions,
+) -> Option<Vec<GridCell>> {
+    let pool = pool(opts)?;
+    let mut groups: Vec<(&'static Benchmark, Vec<usize>)> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        match groups.iter_mut().find(|(b, _)| std::ptr::eq(*b, p.benchmark)) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((p.benchmark, vec![i])),
+        }
+    }
+
+    let instrs = opts.instrs_per_benchmark;
+    let mut out: Vec<Option<GridCell>> = (0..points.len()).map(|_| None).collect();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    // Per dispatched group: the point indices and configs awaiting reply.
+    let mut dispatched: Vec<Option<(Vec<usize>, Vec<SimConfig>)>> = Vec::new();
+
+    for (b, idxs) in groups {
+        // Parent-side pre-filter, identical to the in-process path: fire
+        // the fault guard (abort is routed to the child instead) and the
+        // static preflight per point, then resolve memo/store hits.
+        let mut early: Vec<(usize, Option<GridCell>)> = Vec::new();
+        let mut aborts: Vec<usize> = Vec::new();
+        for &i in &idxs {
+            let fidx = base + i as u64;
+            if fault::peek(fidx) == Some(FaultAction::Abort) {
+                aborts.push(i);
+                early.push((i, None));
+                continue;
+            }
+            let pre = panic::catch_unwind(AssertUnwindSafe(|| {
+                fault::guard(fidx)?;
+                crate::analysis::preflight(b)
+            }));
+            let cell = match pre {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(Err(CellFailure::from_error(&e))),
+                Err(payload) => Some(Err(CellFailure {
+                    reason: crate::parallel::panic_message(payload.as_ref()),
+                })),
+            };
+            early.push((i, cell));
+        }
+
+        // Deduplicate configs among surviving points; resolve memo/store
+        // hits locally (a disk hit back-fills the memo, so duplicates of
+        // a resolved config hit RAM on their own lookup below).
+        let mut cfgs: Vec<(SimConfig, bool)> = Vec::new();
+        for (i, cell) in &mut early {
+            if cell.is_some() {
+                continue;
+            }
+            let cfg = points[*i].cfg;
+            let abort = aborts.contains(i);
+            match cfgs.iter_mut().find(|(c, _)| *c == cfg) {
+                Some((_, flagged)) => *flagged |= abort,
+                None => {
+                    if !abort {
+                        if let Some(r) = resolve_stored(b, instrs, cfg, opts) {
+                            *cell = Some(Ok(r));
+                            continue;
+                        }
+                    }
+                    cfgs.push((cfg, abort));
+                }
+            }
+        }
+
+        // Locally decided cells render (and stream) now; the rest wait.
+        let decided: Vec<(usize, GridCell)> =
+            early.iter().filter_map(|(i, c)| c.clone().map(|c| (*i, c))).collect();
+        stream_cells(points, &decided, opts);
+        for (i, c) in decided {
+            out[i] = Some(c);
+        }
+
+        let group_id = dispatched.len();
+        if cfgs.is_empty() {
+            dispatched.push(None);
+            continue;
+        }
+        let waiting: Vec<usize> =
+            early.iter().filter(|(_, c)| c.is_none()).map(|(i, _)| *i).collect();
+        let cfg_list: Vec<SimConfig> = cfgs.iter().map(|(c, _)| *c).collect();
+        dispatched.push(Some((waiting, cfg_list)));
+        let job = Job { bench: b, instrs, cfgs, group: group_id, reply: reply_tx.clone() };
+        if pool.jobs.send(job).is_err() {
+            // Pool wedged: fail this group's waiting points.
+            if let Some((waiting, _)) = dispatched[group_id].take() {
+                for i in waiting {
+                    out[i] = Some(Err(CellFailure {
+                        reason: "worker pool is not accepting jobs".to_owned(),
+                    }));
+                }
+            }
+        }
+    }
+    drop(reply_tx);
+
+    let mut awaiting = dispatched.iter().filter(|d| d.is_some()).count();
+    while awaiting > 0 {
+        let Ok((group_id, results)) = reply_rx.recv() else { break };
+        awaiting -= 1;
+        let Some((waiting, cfg_list)) = dispatched.get_mut(group_id).and_then(Option::take) else {
+            continue;
+        };
+        let b = points[waiting.first().copied().unwrap_or(0)].benchmark;
+        // Merge child results into the parent memo (and render cells).
+        for (cfg, res) in cfg_list.iter().zip(&results) {
+            if let Ok(r) = res {
+                crate::trace_cache::store_result(b, instrs, *cfg, r.clone());
+            }
+        }
+        let mut cells: Vec<(usize, GridCell)> = Vec::new();
+        for i in waiting {
+            let cfg = points[i].cfg;
+            let cell = match cfg_list.iter().position(|c| *c == cfg) {
+                Some(k) => results[k].clone(),
+                None => Err(CellFailure { reason: "grid point was never simulated".to_owned() }),
+            };
+            cells.push((i, cell));
+        }
+        stream_cells(points, &cells, opts);
+        for (i, c) in cells {
+            out[i] = Some(c);
+        }
+    }
+    // Any group whose reply never arrived (pool death) fails its points.
+    for slot in dispatched.into_iter().flatten() {
+        let (waiting, _) = slot;
+        for i in waiting {
+            out[i] = Some(Err(CellFailure { reason: "worker pool shut down mid-grid".to_owned() }));
+        }
+    }
+
+    Some(
+        out.into_iter()
+            .map(|c| {
+                c.unwrap_or_else(|| {
+                    Err(CellFailure { reason: "grid point was never simulated".to_owned() })
+                })
+            })
+            .collect(),
+    )
+}
+
+/// The `--worker` child loop: serve group requests from stdin until EOF.
+/// Runs each group through the normal in-process grid (lockstep batching,
+/// memo, result store — no fault plan is installed in children, so the
+/// only injected behaviour is the forwarded `abort` flag).
+pub fn child_loop(opts: RunOptions) -> std::process::ExitCode {
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut stdout = std::io::stdout().lock();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match input.read_line(&mut line) {
+            Ok(0) => return std::process::ExitCode::SUCCESS,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("specfetch worker: stdin error: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fail = |detail: String| {
+            eprintln!("specfetch worker: protocol error: {detail}");
+            std::process::ExitCode::FAILURE
+        };
+        if json_string_field(&line, "kind").as_deref() != Some("group") {
+            return fail(format!("expected a group message, got {line:?}"));
+        }
+        let Some(bench_name) = json_string_field(&line, "bench") else {
+            return fail(format!("group without bench: {line:?}"));
+        };
+        let Some(bench) = Benchmark::by_name(&bench_name) else {
+            return fail(format!("unknown benchmark {bench_name:?}"));
+        };
+        let Some(instrs) = json_u64_field(&line, "instrs") else {
+            return fail(format!("group without instrs: {line:?}"));
+        };
+        let Some(n) = json_u64_field(&line, "points") else {
+            return fail(format!("group without points: {line:?}"));
+        };
+
+        let mut cfgs: Vec<SimConfig> = Vec::with_capacity(n as usize);
+        let mut abort_requested = false;
+        for _ in 0..n {
+            line.clear();
+            match input.read_line(&mut line) {
+                Ok(0) => return fail("EOF inside a group".to_owned()),
+                Ok(_) => {}
+                Err(e) => return fail(format!("stdin error: {e}")),
+            }
+            if json_string_field(&line, "kind").as_deref() != Some("point") {
+                return fail(format!("expected a point message, got {line:?}"));
+            }
+            let Some(canon) = json_string_field(&line, "cfg") else {
+                return fail(format!("point without cfg: {line:?}"));
+            };
+            let cfg = match SimConfig::from_canonical_string(&canon) {
+                Ok(c) => c,
+                Err(e) => return fail(format!("bad canonical config: {e}")),
+            };
+            abort_requested |= json_u64_field(&line, "abort") == Some(1);
+            cfgs.push(cfg);
+        }
+        if abort_requested {
+            // Forwarded `abort` fault: die exactly as a crashing worker
+            // would, mid-group, without replying.
+            fault::abort_process();
+        }
+
+        let grid: Vec<GridPoint> = cfgs.iter().map(|&c| GridPoint::new(bench, c)).collect();
+        let gopts = opts.with_instrs(instrs).with_workers(0).with_stream(false);
+        let cells = crate::runner::try_run_grid(&grid, &gopts);
+        let mut reply = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            match cell {
+                Ok(r) => reply.push_str(&format!(
+                    "{{\"kind\":\"cell\",\"idx\":{i},\"ok\":1,\"result\":\"{}\"}}\n",
+                    json_escape(&encode_result(r))
+                )),
+                Err(f) => reply.push_str(&format!(
+                    "{{\"kind\":\"cell\",\"idx\":{i},\"ok\":0,\"reason\":\"{}\"}}\n",
+                    json_escape(&f.reason)
+                )),
+            }
+        }
+        reply.push_str("{\"kind\":\"done\"}\n");
+        if stdout.write_all(reply.as_bytes()).and_then(|()| stdout.flush()).is_err() {
+            // Parent went away; nothing left to serve.
+            return std::process::ExitCode::SUCCESS;
+        }
+    }
+}

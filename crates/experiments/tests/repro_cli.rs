@@ -279,6 +279,202 @@ fn corrupted_benchmark_renders_a_failed_analysis_cell_in_a_sweep() {
     assert!(!stdout(&out).contains("gcc	FAILED"), "gcc must not fail: {text}");
 }
 
+/// Parses the `[result-store] hits=H stores=S` stderr line.
+fn store_stats(err: &str) -> (u64, u64) {
+    let line = err
+        .lines()
+        .find(|l| l.starts_with("[result-store]"))
+        .unwrap_or_else(|| panic!("no [result-store] line in stderr:\n{err}"));
+    let field = |key: &str| {
+        let tail = line.split(&format!("{key}=")).nth(1).unwrap();
+        tail.split_whitespace().next().unwrap().parse::<u64>().unwrap()
+    };
+    (field("hits"), field("stores"))
+}
+
+/// Lists the store's entry files (`*.sr` under `<dir>/v1`).
+fn store_entries(dir: &std::path::Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir.join("v1"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sr"))
+        .collect()
+}
+
+#[test]
+fn worker_stream_and_store_modes_render_byte_identical_reports() {
+    let dir = scratch("modes");
+    let dir_s = dir.to_str().unwrap();
+    let base = ["--experiment", "table4", "--instrs", "2000"];
+    let default = repro(&base);
+    assert_eq!(default.status.code(), Some(0), "{}", stderr(&default));
+    let golden = stdout(&default);
+
+    let workers = repro(&[&base[..], &["--workers", "2"]].concat());
+    assert_eq!(workers.status.code(), Some(0), "{}", stderr(&workers));
+    assert_eq!(stdout(&workers), golden, "--workers 2 must not change the report");
+
+    let stream = repro(&[&base[..], &["--stream"]].concat());
+    assert_eq!(stream.status.code(), Some(0), "{}", stderr(&stream));
+    assert_eq!(stdout(&stream), golden, "--stream must not change the report");
+    assert!(stderr(&stream).contains("[row] "), "rows stream to stderr: {}", stderr(&stream));
+
+    let off = repro(&[&base[..], &["--result-dir", dir_s, "--no-result-store"]].concat());
+    assert_eq!(off.status.code(), Some(0), "{}", stderr(&off));
+    assert_eq!(stdout(&off), golden, "--no-result-store must not change the report");
+    assert_eq!(store_stats(&stderr(&off)), (0, 0), "the bypassed store must stay untouched");
+
+    let cold = repro(&[&base[..], &["--result-dir", dir_s]].concat());
+    assert_eq!(cold.status.code(), Some(0), "{}", stderr(&cold));
+    assert_eq!(stdout(&cold), golden, "a cold store must not change the report");
+    let (hits, stores) = store_stats(&stderr(&cold));
+    assert_eq!(hits, 0, "nothing to hit on a cold store");
+    assert!(stores > 0, "a cold run must populate the store");
+
+    let warm = repro(&[&base[..], &["--result-dir", dir_s]].concat());
+    assert_eq!(stdout(&warm), golden, "a warm store must not change the report");
+    let (hits, re_stores) = store_stats(&stderr(&warm));
+    assert_eq!(hits, stores, "every stored point replays as a hit");
+    assert_eq!(re_stores, 0, "a warm run recomputes nothing");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn an_interrupted_run_resumes_from_the_store_without_recomputing() {
+    let dir = scratch("resume");
+    let dir_s = dir.to_str().unwrap();
+    let base = ["--experiment", "table3", "--instrs", "2000", "--result-dir", dir_s];
+
+    // Kill the run mid-sweep: points before the abort land in the store,
+    // then the process dies without any cleanup pass.
+    let killed = repro(&[&base[..], &["--inject", "point=table3:2,abort"]].concat());
+    assert!(!killed.status.success(), "the injected abort must kill the run");
+    let stored = store_entries(&dir).len() as u64;
+    assert!(stored > 0, "completed points must persist before the crash");
+
+    // The resumed run replays every stored point and computes only the rest.
+    let resumed = repro(&base);
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr(&resumed));
+    let (hits, stores) = store_stats(&stderr(&resumed));
+    assert_eq!(hits, stored, "every surviving entry must resume as a hit");
+    assert!(stores > 0, "the interrupted remainder must be computed and stored");
+
+    let baseline = repro(&["--experiment", "table3", "--instrs", "2000"]);
+    assert_eq!(stdout(&resumed), stdout(&baseline), "resume must not change the report");
+
+    // Fully warm now: a third run recomputes nothing at all.
+    let warm = repro(&base);
+    let (warm_hits, warm_stores) = store_stats(&stderr(&warm));
+    assert_eq!(warm_stores, 0, "no completed point may rerun");
+    assert_eq!(warm_hits, hits + stores);
+    assert_eq!(stdout(&warm), stdout(&baseline));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_crashing_worker_fails_its_cell_while_siblings_complete() {
+    let out = repro(&[
+        "--experiment",
+        "table4",
+        "--instrs",
+        "2000",
+        "--workers",
+        "2",
+        "--inject",
+        "point=table4:2,abort",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "failed cells exit 1: {}", stderr(&out));
+    let text = stdout(&out);
+    // Point 2 is su2cor's single run, which feeds all five derived columns.
+    let failed_rows = text.lines().filter(|l| l.contains("FAILED(worker exited")).count();
+    assert_eq!(failed_rows, 1, "exactly one row fails: {text}");
+    assert_eq!(text.matches("FAILED(worker exited").count(), 5, "one point = 5 cells: {text}");
+    assert!(text.contains("li") && text.contains("gcc"), "sibling rows still render: {text}");
+    assert!(stderr(&out).contains("5 failed cell(s)"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn two_processes_racing_on_one_store_agree_and_leave_it_valid() {
+    let dir = scratch("race");
+    let dir_s = dir.to_str().unwrap();
+    let args = ["--experiment", "table4", "--instrs", "1500", "--result-dir", dir_s];
+    let (a, b) = std::thread::scope(|s| {
+        let a = s.spawn(|| repro(&args));
+        let b = s.spawn(|| repro(&args));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    assert_eq!(a.status.code(), Some(0), "{}", stderr(&a));
+    assert_eq!(b.status.code(), Some(0), "{}", stderr(&b));
+    assert_eq!(stdout(&a), stdout(&b), "racing processes must agree");
+
+    // Atomic publication: no torn temp files, nothing quarantined.
+    let leftovers: Vec<_> = std::fs::read_dir(dir.join("v1"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| !n.ends_with(".sr"))
+        .collect();
+    assert!(leftovers.is_empty(), "only finished entries may remain: {leftovers:?}");
+
+    // Whatever interleaving happened, the store is fully usable afterwards.
+    let warm = repro(&args);
+    let (hits, stores) = store_stats(&stderr(&warm));
+    assert_eq!(stores, 0, "a warm run after the race recomputes nothing");
+    assert!(hits > 0);
+    assert_eq!(stdout(&warm), stdout(&a));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_corrupt_store_entry_is_quarantined_and_recomputed() {
+    let dir = scratch("store-heal");
+    let dir_s = dir.to_str().unwrap();
+    let args = ["--experiment", "table4", "--instrs", "1500", "--result-dir", dir_s];
+    let cold = repro(&args);
+    assert_eq!(cold.status.code(), Some(0), "{}", stderr(&cold));
+    let entries = store_entries(&dir);
+    assert!(!entries.is_empty());
+
+    // Truncate one entry mid-body; the next run must not trust it.
+    let victim = &entries[0];
+    let bytes = std::fs::read(victim).unwrap();
+    std::fs::write(victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    let healed = repro(&args);
+    assert_eq!(healed.status.code(), Some(0), "{}", stderr(&healed));
+    assert_eq!(stdout(&healed), stdout(&cold), "healing must not change the report");
+    let err = stderr(&healed);
+    assert!(err.contains("failed verification"), "corruption is reported: {err}");
+    let mut parked = victim.clone().into_os_string();
+    parked.push(".quarantined");
+    assert!(PathBuf::from(parked).exists(), "the bad entry is parked, not deleted");
+    let (_, stores) = store_stats(&err);
+    assert_eq!(stores, 1, "exactly the corrupted point recomputes");
+    assert_eq!(std::fs::read(victim).unwrap(), bytes, "the entry is rewritten verbatim");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn the_overlay_size_heuristic_never_changes_the_report() {
+    // Below the --overlay-min threshold the runner skips the predicted-trace
+    // overlay (and with it lockstep batching); both fetch paths must render
+    // byte-identical reports either side of the cutoff.
+    let base = ["--experiment", "table4", "--instrs", "2000"];
+    let overlaid = repro(&[&base[..], &["--overlay-min", "0"]].concat());
+    let plain = repro(&[&base[..], &["--overlay-min", "1000000"]].concat());
+    assert_eq!(overlaid.status.code(), Some(0), "{}", stderr(&overlaid));
+    assert_eq!(plain.status.code(), Some(0), "{}", stderr(&plain));
+    assert_eq!(stdout(&overlaid), stdout(&plain), "the heuristic is a pure perf choice");
+}
+
+#[test]
+fn worker_mode_is_internal_and_takes_no_experiment_selection() {
+    for sel in [&["--worker", "--experiment", "table2"][..], &["--worker", "--analyze"][..]] {
+        let out = repro(sel);
+        assert_eq!(out.status.code(), Some(2), "{sel:?} must be a usage error");
+        assert!(stderr(&out).contains("child-process mode"), "{}", stderr(&out));
+    }
+}
+
 #[test]
 fn list_and_help_exit_cleanly() {
     let out = repro(&["--list"]);

@@ -1,7 +1,7 @@
 //! In-repo source lints enforcing specfetch workspace invariants, in the
 //! style of rustc's `tidy`.
 //!
-//! Four rules, each a pure function over a tree root so the self-tests
+//! Five rules, each a pure function over a tree root so the self-tests
 //! can run them against synthetic trees:
 //!
 //! 1. **Panic audit** ([`panic_audit`]) — library code (every
@@ -21,8 +21,14 @@
 //! 4. **Error hygiene** ([`error_hygiene`]) — public fallible APIs in
 //!    `crates/core` and `crates/experiments` return typed errors
 //!    (`SpecfetchError`), never `Result<_, String>`.
+//! 5. **Exit confinement** ([`exit_confinement`]) — terminating the
+//!    process (`process::exit` / `process::abort`) is an entry-point
+//!    decision: library code may not call either. The one exception is
+//!    the fault-injection module, whose injected `abort` action *is*
+//!    a deliberate process crash (it is how tests kill workers and
+//!    interrupt sweeps).
 //!
-//! The enforcement tests in `tests/tidy.rs` run all four against the
+//! The enforcement tests in `tests/tidy.rs` run all five against the
 //! real workspace; CI runs them via `cargo test -p tidy`.
 //!
 //! The scanner is deliberately textual (line-based, no parsing crates —
@@ -50,6 +56,14 @@ const CRATE_PREFIX_TOML: &str = concat!("spec", "fetch-");
 /// crate root that re-exports it.
 const ORACLE_ALLOWED: [&str; 2] = ["crates/core/src/engine/gate.rs", "crates/core/src/lib.rs"];
 
+// Process-termination calls, split like the other scanned-for tokens.
+const EXIT_CALL: &str = concat!("process::", "exit(");
+const ABORT_CALL: &str = concat!("process::", "abort(");
+
+/// The one library file allowed to terminate the process: the fault
+/// plan's injected-crash primitive.
+const EXIT_ALLOWED: [&str; 1] = ["crates/experiments/src/fault.rs"];
+
 /// The workspace dependency DAG: crate directory name, allowed
 /// `[dependencies]`, allowed extra `[dev-dependencies]`. A `Cargo.toml`
 /// or source edge outside these sets is a layering violation.
@@ -72,7 +86,8 @@ const TYPED_ERROR_CRATES: [&str; 2] = ["core", "experiments"];
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Violation {
     /// The rule that fired (`panic-audit`, `oracle-capability`,
-    /// `layering`, `error-hygiene`, or `io` for an unreadable input).
+    /// `layering`, `error-hygiene`, `exit-confinement`, or `io` for an
+    /// unreadable input).
     pub rule: &'static str,
     /// Repo-relative file path (slash-separated).
     pub file: String,
@@ -99,6 +114,7 @@ pub fn check_all(root: &Path, allowlist: &str) -> Vec<Violation> {
     v.extend(oracle_capability(root));
     v.extend(layering(root));
     v.extend(error_hygiene(root));
+    v.extend(exit_confinement(root));
     v
 }
 
@@ -309,6 +325,36 @@ pub fn error_hygiene(root: &Path) -> Vec<Violation> {
                 }
             });
         }
+    }
+    violations
+}
+
+/// Rule 5: process termination stays confined to `bin/` entry points
+/// (which `library_sources` already excludes) and the fault-injection
+/// module, whose injected `abort` action is a deliberate crash.
+pub fn exit_confinement(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (rel, path) in library_sources(root, &mut violations) {
+        if EXIT_ALLOWED.contains(&rel.as_str()) {
+            continue;
+        }
+        let Some(text) = read(&path, &rel, &mut violations) else { continue };
+        scan_code_lines(&text, |line_no, line| {
+            for token in [EXIT_CALL, ABORT_CALL] {
+                if line.contains(token) {
+                    violations.push(Violation {
+                        rule: "exit-confinement",
+                        file: rel.clone(),
+                        line: line_no,
+                        detail: format!(
+                            "`{token}..)` in library code: process termination belongs \
+                             in `bin/` entry points or {} (fault injection)",
+                            EXIT_ALLOWED[0]
+                        ),
+                    });
+                }
+            }
+        });
     }
     violations
 }

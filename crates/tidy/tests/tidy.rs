@@ -7,7 +7,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tidy::{
-    check_all, error_hygiene, layering, oracle_capability, panic_audit, Violation, ALLOWLIST_FILE,
+    check_all, error_hygiene, exit_confinement, layering, oracle_capability, panic_audit,
+    Violation, ALLOWLIST_FILE,
 };
 
 fn workspace_root() -> PathBuf {
@@ -231,6 +232,35 @@ fn string_error_apis_in_typed_crates_are_flagged() {
 }
 
 #[test]
+fn process_termination_outside_bins_and_the_fault_module_is_flagged() {
+    let root = scratch("exit");
+    let exit = concat!("std::process::", "exit(2)");
+    let abort = concat!("std::process::", "abort()");
+    // Allowed: a bin entry point and the fault-injection module.
+    seed(&root, "crates/experiments/src/bin/tool.rs", &format!("fn main() {{\n    {exit};\n}}\n"));
+    seed(
+        &root,
+        "crates/experiments/src/fault.rs",
+        &format!("pub(crate) fn abort_process() -> ! {{\n    {abort}\n}}\n"),
+    );
+    assert!(exit_confinement(&root).is_empty(), "{}", render(&exit_confinement(&root)));
+
+    // Flagged: library code deciding to kill the process on its own.
+    seed(
+        &root,
+        "crates/core/src/engine.rs",
+        &format!("pub fn bail() {{\n    {exit};\n}}\npub fn die() {{\n    {abort}\n}}\n"),
+    );
+    let v = exit_confinement(&root);
+    assert_eq!(v.len(), 2, "{}", render(&v));
+    assert!(v
+        .iter()
+        .all(|x| x.rule == "exit-confinement" && x.file == "crates/core/src/engine.rs"));
+    assert_eq!((v[0].line, v[1].line), (2, 5));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
 fn check_all_aggregates_every_rule_class() {
     let root = scratch("all");
     seed(&root, "crates/cache/src/lib.rs", "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n");
@@ -247,9 +277,16 @@ fn check_all_aggregates_every_rule_class() {
             concat!("Oracle", "Gate")
         ),
     );
+    seed(
+        &root,
+        "crates/synth/src/quit.rs",
+        &format!("pub fn quit() {{\n    {}\n}}\n", concat!("std::process::", "abort()")),
+    );
     let v = check_all(&root, "");
     let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
-    for rule in ["panic-audit", "oracle-capability", "layering", "error-hygiene"] {
+    for rule in
+        ["panic-audit", "oracle-capability", "layering", "error-hygiene", "exit-confinement"]
+    {
         assert!(rules.contains(&rule), "missing {rule} in: {}", render(&v));
     }
     fs::remove_dir_all(&root).expect("cleanup");
