@@ -56,7 +56,9 @@ impl ICache {
     /// Panics if `config` fails [`CacheConfig::validate`]; validate first
     /// if the configuration comes from user input.
     pub fn new(config: &CacheConfig) -> Self {
-        config.validate().expect("invalid cache configuration");
+        if let Err(e) = config.validate() {
+            panic!("invalid cache configuration: {e}");
+        }
         let n_sets = config.num_sets();
         ICache {
             ways: vec![EMPTY_WAY; n_sets * config.assoc],

@@ -74,6 +74,30 @@ pub enum SpecfetchError {
         /// The injected action (`"err"`, `"panic"`, `"slow"`).
         action: &'static str,
     },
+    /// A grid point exceeded its `--point-timeout` deadline. Transient:
+    /// the supervisor retries it (with backoff) before rendering the
+    /// cell as `FAILED(timeout after Ns)`.
+    Timeout {
+        /// The configured per-point deadline, in seconds.
+        seconds: u64,
+    },
+    /// The run was interrupted by a shutdown request (SIGINT/SIGTERM)
+    /// before this point could finish; the point was drained, not
+    /// failed, and a `--resume` rerun will recompute it.
+    Interrupted,
+    /// The parent and a `--worker` child disagreed about the JSON-lines
+    /// protocol version (or the handshake was malformed).
+    WorkerProtocol {
+        /// What was wrong with the handshake.
+        detail: String,
+    },
+    /// A terminal failure replayed from the result store's negative
+    /// cache (see DESIGN §5j); `--retry-failed` opts back into
+    /// recomputing such points.
+    StoredFailure {
+        /// The original failure reason, rendered verbatim in the cell.
+        reason: String,
+    },
     /// An experiment id that the harness does not know.
     UnknownExperiment {
         /// The unrecognised identifier.
@@ -105,6 +129,10 @@ impl SpecfetchError {
             SpecfetchError::Io { context, .. } => format!("io: {context}"),
             SpecfetchError::PointPanic { reason } => reason.clone(),
             SpecfetchError::Injected { action } => format!("injected {action}"),
+            SpecfetchError::Timeout { seconds } => format!("timeout after {seconds}s"),
+            SpecfetchError::Interrupted => "interrupted".to_owned(),
+            SpecfetchError::WorkerProtocol { .. } => "worker protocol mismatch".to_owned(),
+            SpecfetchError::StoredFailure { reason } => reason.clone(),
             SpecfetchError::UnknownExperiment { id } => format!("unknown experiment {id}"),
             SpecfetchError::ExperimentPanic { reason, .. } => reason.clone(),
         }
@@ -130,6 +158,16 @@ impl fmt::Display for SpecfetchError {
                 write!(f, "grid point panicked: {reason}")
             }
             SpecfetchError::Injected { action } => write!(f, "injected fault: {action}"),
+            SpecfetchError::Timeout { seconds } => {
+                write!(f, "grid point exceeded its {seconds}s deadline")
+            }
+            SpecfetchError::Interrupted => write!(f, "interrupted by shutdown request"),
+            SpecfetchError::WorkerProtocol { detail } => {
+                write!(f, "worker protocol handshake failed: {detail}")
+            }
+            SpecfetchError::StoredFailure { reason } => {
+                write!(f, "replayed terminal failure from the result store: {reason}")
+            }
             SpecfetchError::UnknownExperiment { id } => write!(f, "unknown experiment {id:?}"),
             SpecfetchError::ExperimentPanic { id, reason } => {
                 write!(f, "experiment {id} panicked: {reason}")
@@ -179,6 +217,10 @@ mod tests {
             SpecfetchError::Io { context: "create dir".into(), source: io::Error::other("d") },
             SpecfetchError::PointPanic { reason: "injected panic".into() },
             SpecfetchError::Injected { action: "err" },
+            SpecfetchError::Timeout { seconds: 30 },
+            SpecfetchError::Interrupted,
+            SpecfetchError::WorkerProtocol { detail: "proto 1 != 2".into() },
+            SpecfetchError::StoredFailure { reason: "injected panic".into() },
             SpecfetchError::UnknownExperiment { id: "table99".into() },
             SpecfetchError::ExperimentPanic { id: "table3".into(), reason: "boom".into() },
         ]
@@ -198,6 +240,16 @@ mod tests {
         assert_eq!(e.cell_reason(), "injected panic");
         let e = SpecfetchError::Injected { action: "err" };
         assert_eq!(e.cell_reason(), "injected err");
+    }
+
+    #[test]
+    fn supervision_cell_reasons_are_stable() {
+        assert_eq!(SpecfetchError::Timeout { seconds: 30 }.cell_reason(), "timeout after 30s");
+        assert_eq!(SpecfetchError::Interrupted.cell_reason(), "interrupted");
+        let e = SpecfetchError::StoredFailure { reason: "injected panic".into() };
+        assert_eq!(e.cell_reason(), "injected panic", "negative-cache replay is verbatim");
+        let e = SpecfetchError::WorkerProtocol { detail: "proto 1 != 2".into() };
+        assert!(e.to_string().contains("proto 1 != 2"));
     }
 
     #[test]

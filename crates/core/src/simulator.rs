@@ -28,7 +28,9 @@ impl Simulator {
     /// [`SimConfig::validate`] first when the config comes from user
     /// input.
     pub fn new(config: SimConfig) -> Self {
-        config.validate().expect("invalid simulator configuration");
+        if let Err(e) = config.validate() {
+            panic!("invalid simulator configuration: {e}");
+        }
         Simulator { config }
     }
 

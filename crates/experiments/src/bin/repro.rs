@@ -6,6 +6,8 @@
 //!                 [--format plain|markdown|csv] [--sequential] [--no-trace-cache]
 //!                 [--no-predict-cache] [--no-lockstep] [--trace-dir <dir>]
 //!                 [--result-dir <dir>] [--no-result-store] [--workers N]
+//!                 [--retries N] [--point-timeout SECS] [--backoff-ms N]
+//!                 [--heartbeat-ms N] [--resume] [--retry-failed]
 //!                 [--stream] [--overlay-min N] [--inject <spec>] [--list]
 //! ```
 //!
@@ -14,20 +16,60 @@
 //!
 //! Exit codes: `0` success, `1` one or more grid points or experiments
 //! failed (everything else still ran and rendered), `2` usage error
-//! (rejected before any experiment runs).
+//! (rejected before any experiment runs), `130` interrupted — the first
+//! SIGINT/SIGTERM drains in-flight points, flushes the result store and
+//! sweep journal, and prints a partial summary; a second signal aborts
+//! immediately.
 
 use std::process::ExitCode;
 
 use specfetch_experiments::fault::FaultPlan;
 use specfetch_experiments::sweep::AXES;
 use specfetch_experiments::{
-    analysis, disk_cache, fault, is_known_experiment, parse_sweep, result_store, run_experiment,
-    run_scenario, worker, Format, RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
+    analysis, disk_cache, fault, is_known_experiment, journal, parse_sweep, result_store,
+    run_experiment, run_scenario, supervise, worker, Format, RunOptions, EXPERIMENT_IDS,
+    EXTRA_EXPERIMENT_IDS,
 };
 use specfetch_synth::suite::Benchmark;
 
 /// Usage problems abort before any experiment runs.
 const EXIT_USAGE: u8 = 2;
+
+/// The conventional 128+SIGINT exit code for an interrupted run.
+const EXIT_INTERRUPTED: u8 = 130;
+
+/// Graceful-shutdown signal handling. This is the only place in the
+/// workspace allowed to install process signal handlers (tidy rule 6
+/// confines installation to `bin/` crate roots): the first
+/// SIGINT/SIGTERM flips the library's cooperative shutdown flag — the
+/// runner drains in-flight points, skips the rest, and the exit path
+/// flushes store + journal — and the second aborts on the spot.
+#[allow(unsafe_code)]
+mod signals {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    unsafe extern "C" {
+        /// `signal(2)` from the C runtime the binary already links.
+        /// Hand-declared because the workspace carries no libc binding;
+        /// the handler only touches an atomic and `abort` — both
+        /// async-signal-safe.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        if specfetch_experiments::supervise::request_shutdown() >= 2 {
+            std::process::abort();
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
 
 struct Args {
     experiment: String,
@@ -38,6 +80,7 @@ struct Args {
     analyze: bool,
     benchmark: Option<String>,
     worker: bool,
+    resume: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
     let mut analyze = false;
     let mut benchmark: Option<String> = None;
     let mut worker = false;
+    let mut resume = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -109,6 +153,45 @@ fn parse_args() -> Result<Args, String> {
             // Child-process protocol mode (spawned by --workers; not for
             // interactive use).
             "--worker" => worker = true,
+            // Re-dispatch transiently failed points (worker death,
+            // timeout, injected err) up to N more times, with seeded
+            // exponential backoff between passes.
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad --retries value {v:?}"))?;
+                opts = opts.with_retries(n);
+            }
+            // Per-point deadline in seconds (0 = off). A worker group
+            // gets deadline × group-size before its child is killed and
+            // the points retried; in-process runs check it cooperatively.
+            "--point-timeout" => {
+                let v = it.next().ok_or("--point-timeout needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --point-timeout value {v:?}"))?;
+                opts = opts.with_point_timeout(n);
+            }
+            // Base delay of the exponential retry backoff.
+            "--backoff-ms" => {
+                let v = it.next().ok_or("--backoff-ms needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --backoff-ms value {v:?}"))?;
+                opts = opts.with_backoff_ms(n);
+            }
+            // Heartbeat silence tolerated before a worker child is
+            // declared hung, killed, and replaced.
+            "--heartbeat-ms" => {
+                let v = it.next().ok_or("--heartbeat-ms needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --heartbeat-ms value {v:?}"))?;
+                if n == 0 {
+                    return Err("--heartbeat-ms must be positive".into());
+                }
+                opts = opts.with_heartbeat_ms(n);
+            }
+            // Resume an interrupted run: replay the sweep journal (and
+            // result store) instead of truncating it, so completed AND
+            // failed points render without recomputation.
+            "--resume" => resume = true,
+            // Recompute negatively cached points instead of replaying
+            // their stored FAILED(...) cells.
+            "--retry-failed" => opts = opts.with_retry_failed(true),
             // Print one [row] line to stderr per grid point as it
             // finishes; stdout is unchanged.
             "--stream" => opts = opts.with_stream(true),
@@ -150,7 +233,9 @@ fn parse_args() -> Result<Args, String> {
                      [--format plain|markdown|csv] [--sequential] \
                      [--no-trace-cache] [--no-predict-cache] [--no-lockstep] \
                      [--trace-dir <dir>] [--result-dir <dir>] [--no-result-store] \
-                     [--workers N] [--stream] [--overlay-min N] \
+                     [--workers N] [--retries N] [--point-timeout SECS] \
+                     [--backoff-ms N] [--heartbeat-ms N] [--resume] [--retry-failed] \
+                     [--stream] [--overlay-min N] \
                      [--inject <spec>] [--corrupt-target <name>] [--list]"
                 );
                 println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
@@ -164,8 +249,10 @@ fn parse_args() -> Result<Args, String> {
                 }
                 println!("  {:<10} projection: ispi, miss, traffic, cycles, ipc", "metric");
                 println!(
-                    "inject spec: point=<experiment>:<n>,<panic|err|slow|abort> or \
-                     chaos=<permille>@<seed>,<action>; ';'-separated"
+                    "inject spec: point=<experiment>:<n>,<action>[*<k>] or \
+                     chaos=<permille>@<seed>,<action>[*<k>] or soak=<permille>@<seed>; \
+                     ';'-separated; actions: panic err slow abort hang exitcode=<n>; \
+                     *<k> limits the fault to the first k attempts"
                 );
                 std::process::exit(0);
             }
@@ -190,6 +277,14 @@ fn parse_args() -> Result<Args, String> {
     if worker && (sweep.is_some() || experiment.is_some() || analyze || list) {
         return Err("--worker is a child-process mode and takes no experiment selection".into());
     }
+    if resume {
+        if result_store::dir().is_none() {
+            return Err("--resume needs --result-dir (the journal lives in the store)".into());
+        }
+        if !opts.result_store {
+            return Err("--resume conflicts with --no-result-store".into());
+        }
+    }
     Ok(Args {
         experiment: experiment.unwrap_or_else(|| "all".to_owned()),
         sweep,
@@ -199,6 +294,7 @@ fn parse_args() -> Result<Args, String> {
         analyze,
         benchmark,
         worker,
+        resume,
     })
 }
 
@@ -208,6 +304,47 @@ fn report_store_stats() {
     if result_store::dir().is_some() {
         let (hits, stores) = result_store::stats();
         eprintln!("[result-store] hits={hits} stores={stores}");
+    }
+}
+
+/// When a graceful shutdown was requested mid-run: flush the journal,
+/// print the partial-progress summary, and exit 130. `None` otherwise.
+fn interrupted_exit() -> Option<ExitCode> {
+    if !supervise::shutdown_requested() {
+        return None;
+    }
+    journal::flush();
+    let (completed, failed, interrupted) = supervise::outcome_counts();
+    eprintln!(
+        "specfetch-repro: interrupted — {completed} point(s) completed, {failed} failed, \
+         {interrupted} interrupted; finished work is in the result store and journal \
+         (re-run with --resume to pick up where this stopped)"
+    );
+    Some(ExitCode::from(EXIT_INTERRUPTED))
+}
+
+/// Activates the crash-exact sweep journal inside the result store for
+/// this run (keyed by experiment selection + instruction budget), either
+/// fresh or in `--resume` replay mode.
+fn activate_journal(args: &Args) -> Result<(), ExitCode> {
+    if !args.opts.result_store {
+        return Ok(());
+    }
+    let Some(dir) = result_store::dir() else { return Ok(()) };
+    let desc = match &args.sweep {
+        Some(spec) => format!("sweep:{spec}"),
+        None => format!("experiment:{}", args.experiment),
+    };
+    let key = journal::run_key(&desc, args.opts.instrs_per_benchmark);
+    match journal::activate(dir, key, args.resume) {
+        Ok(path) => {
+            eprintln!("[journal] {}", path.display());
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            Err(ExitCode::FAILURE)
+        }
     }
 }
 
@@ -267,6 +404,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // Everything from here on simulates, possibly for a long time:
+    // the first SIGINT/SIGTERM drains instead of killing.
+    signals::install();
+
     // A user-defined sweep runs through the same scenario pipeline as
     // the paper experiments: shared trace cache, result memo, per-point
     // fault isolation, and the same `--inject point=sweep:N` numbering.
@@ -278,6 +419,10 @@ fn main() -> ExitCode {
                 return ExitCode::from(EXIT_USAGE);
             }
         };
+        // The spec parsed; only now touch (or replay) the journal.
+        if let Err(code) = activate_journal(&args) {
+            return code;
+        }
         fault::begin_experiment("sweep");
         let started = std::time::Instant::now();
         let report = run_scenario(scenario, &args.opts).render();
@@ -285,6 +430,9 @@ fn main() -> ExitCode {
         println!("{}", report.render(args.format));
         eprintln!("[sweep done in {:.1}s]\n", started.elapsed().as_secs_f64());
         report_store_stats();
+        if let Some(code) = interrupted_exit() {
+            return code;
+        }
         if failed_cells > 0 {
             eprintln!("specfetch-repro: {failed_cells} failed cell(s), 0 failed experiment(s)");
             return ExitCode::FAILURE;
@@ -306,6 +454,9 @@ fn main() -> ExitCode {
         eprintln!("           {}", EXTRA_EXPERIMENT_IDS.join(" "));
         return ExitCode::from(EXIT_USAGE);
     }
+    if let Err(code) = activate_journal(&args) {
+        return code;
+    }
 
     // Failures no longer stop the run: every experiment executes, failed
     // grid points render as FAILED(...) cells, and the exit code
@@ -313,6 +464,11 @@ fn main() -> ExitCode {
     let mut failed_cells = 0usize;
     let mut failed_experiments = 0usize;
     for id in ids {
+        // Graceful shutdown: the experiment that saw the signal drained
+        // its in-flight points; those after it never start.
+        if supervise::shutdown_requested() {
+            break;
+        }
         let started = std::time::Instant::now();
         match run_experiment(id, &args.opts) {
             Ok(report) => {
@@ -328,6 +484,9 @@ fn main() -> ExitCode {
         }
     }
     report_store_stats();
+    if let Some(code) = interrupted_exit() {
+        return code;
+    }
     if failed_cells > 0 || failed_experiments > 0 {
         eprintln!(
             "specfetch-repro: {failed_cells} failed cell(s), \

@@ -292,7 +292,7 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_unescape(s: &str) -> Option<String> {
+pub(crate) fn json_unescape(s: &str) -> Option<String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

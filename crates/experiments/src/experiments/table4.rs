@@ -45,9 +45,9 @@ pub fn data(opts: &RunOptions) -> Vec<Row> {
         .map(|(i, &benchmark)| Row {
             benchmark,
             class: match grid.cell(i, 0) {
-                Ok(r) => r
-                    .classification
-                    .ok_or_else(|| CellFailure { reason: "classification missing".to_owned() }),
+                Ok(r) => {
+                    r.classification.ok_or_else(|| CellFailure::permanent("classification missing"))
+                }
                 Err(e) => Err(e.clone()),
             },
             paper: TABLE4[i],

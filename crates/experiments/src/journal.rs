@@ -1,0 +1,389 @@
+//! The crash-exact sweep journal: an append-only, checksummed
+//! write-ahead log of grid-point lifecycle events (DESIGN §5j).
+//!
+//! The result store only knows *successes*; the journal complements it
+//! with everything else a resumed sweep needs to replay exactly —
+//! terminal `FAILED(...)` cells (with their attempt counts and verbatim
+//! reasons) and points that were interrupted mid-flight. A killed or
+//! SIGINT'd sweep rerun with `--resume` renders the identical table:
+//! completed points come back as result-store hits, terminal failures
+//! replay from the journal without recomputing, and only interrupted /
+//! never-started points are simulated.
+//!
+//! # File format
+//!
+//! One journal per run at `<result-dir>/journal/run-<key>.wal`, where
+//! `<key>` hashes the run's selection (experiments or sweep spec) and
+//! instruction window — a resume must describe the same run to find the
+//! same journal. Line-oriented text; every line is
+//! `<payload>|<fnv1a(payload):016x>`, so torn tail writes from a crash
+//! are detected and dropped (crash-exactness) while interior corruption
+//! is reported. The first payload is the header
+//! `specfetch-journal/1 run=<key>`; each subsequent payload is one
+//! space-separated event:
+//!
+//! ```text
+//! s <experiment> <idx> <bench> <instrs> <cfg-hash>   scheduled
+//! a <experiment> <idx> <attempt>                     attempt started
+//! c <experiment> <idx>                               completed OK
+//! f <experiment> <idx> <attempts> <reason>           terminal failure
+//! i <experiment> <idx>                               interrupted
+//! ```
+//!
+//! Events append with an explicit flush (write-ahead semantics); the
+//! reason field is JSON-escaped so it stays one line. Indices restart
+//! at 0 per experiment (mirroring `fault`'s input-order numbering), so
+//! replay keys are `(experiment, idx)`.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use specfetch_core::{fnv1a, SpecfetchError};
+
+use crate::codec::{json_escape, json_unescape};
+
+/// Bumped when the line grammar changes incompatibly.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// What a loaded journal says about a grid point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Replayed {
+    /// The point completed; the result store has (or had) its result.
+    Completed,
+    /// The point failed terminally after `attempts` tries.
+    Failed {
+        /// Total attempts made (first run + retries).
+        attempts: u32,
+        /// The verbatim `FAILED(...)` reason.
+        reason: String,
+    },
+    /// The point was scheduled/started but never reached a terminal
+    /// state (crash or shutdown mid-flight).
+    Pending,
+}
+
+struct Active {
+    file: File,
+    /// Terminal outcomes loaded from a `--resume` replay.
+    replay: HashMap<(String, u64), Replayed>,
+    /// The experiment currently being journalled.
+    experiment: String,
+    /// Next point index within `experiment` (input order).
+    next_point: u64,
+}
+
+static STATE: OnceLock<Mutex<Active>> = OnceLock::new();
+
+fn state() -> Option<&'static Mutex<Active>> {
+    STATE.get()
+}
+
+fn io_err(context: &str, source: std::io::Error) -> SpecfetchError {
+    SpecfetchError::Io { context: context.to_owned(), source }
+}
+
+/// One checksummed journal line for `payload`.
+fn sealed(payload: &str) -> String {
+    format!("{payload}|{:016x}\n", fnv1a(payload.as_bytes()))
+}
+
+/// Splits and verifies one journal line; `None` if torn or corrupt.
+fn unseal(line: &str) -> Option<&str> {
+    let (payload, sum) = line.rsplit_once('|')?;
+    (format!("{:016x}", fnv1a(payload.as_bytes())) == sum).then_some(payload)
+}
+
+/// The journal path a run key maps to under `dir`.
+pub fn path_for(dir: &Path, run_key: u64) -> PathBuf {
+    dir.join("journal").join(format!("run-{run_key:016x}.wal"))
+}
+
+/// Hashes a run description (experiment selection or sweep spec, plus
+/// the instruction window) into the journal's run key. A `--resume`
+/// invocation must describe the same run to replay the same journal.
+pub fn run_key(description: &str, instrs: u64) -> u64 {
+    fnv1a(format!("{description}@{instrs}").as_bytes())
+}
+
+/// Parses loaded journal payloads into the replay map.
+fn replay_events(payloads: &[String]) -> HashMap<(String, u64), Replayed> {
+    let mut replay = HashMap::new();
+    for p in payloads {
+        let mut parts = p.splitn(5, ' ');
+        let (Some(event), Some(exp), Some(idx)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        let Ok(idx) = idx.parse::<u64>() else { continue };
+        let key = (exp.to_owned(), idx);
+        match event {
+            "s" | "a" | "i" => {
+                replay.entry(key).or_insert(Replayed::Pending);
+            }
+            "c" => {
+                replay.insert(key, Replayed::Completed);
+            }
+            "f" => {
+                let attempts = parts.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+                let reason = parts
+                    .next()
+                    .and_then(json_unescape)
+                    .unwrap_or_else(|| "unrecorded failure".to_owned());
+                replay.insert(key, Replayed::Failed { attempts, reason });
+            }
+            _ => {}
+        }
+    }
+    replay
+}
+
+/// Reads an existing journal, tolerating a torn final line (the crash
+/// case) but rejecting interior corruption.
+fn load(path: &Path) -> Result<Vec<String>, SpecfetchError> {
+    let file = File::open(path).map_err(|e| io_err("open journal", e))?;
+    let lines: Vec<String> = BufReader::new(file)
+        .lines()
+        .collect::<Result<_, _>>()
+        .map_err(|e| io_err("read journal", e))?;
+    let mut payloads = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match unseal(line) {
+            Some(p) => payloads.push(p.to_owned()),
+            None if i + 1 == lines.len() => {
+                // A torn tail is exactly what a WAL expects after a
+                // crash: the event never fully happened. Drop it.
+                eprintln!("[journal] dropping torn final line of {}", path.display());
+            }
+            None => {
+                return Err(SpecfetchError::InvalidSpec {
+                    detail: format!(
+                        "journal {} is corrupt at line {} (bad checksum)",
+                        path.display(),
+                        i + 1
+                    ),
+                });
+            }
+        }
+    }
+    let header = format!("specfetch-journal/{FORMAT_VERSION}");
+    match payloads.first() {
+        Some(h) if h.starts_with(&header) => Ok(payloads),
+        _ => Err(SpecfetchError::InvalidSpec {
+            detail: format!("journal {} has no valid header", path.display()),
+        }),
+    }
+}
+
+/// Opens (or, with `resume`, replays) the journal for `run_key` under
+/// `dir` and activates journalling for the rest of the process. Called
+/// once by the CLI when a result dir is configured; worker children and
+/// in-process test runs never activate it, so all journal calls below
+/// are no-ops for them.
+///
+/// # Errors
+///
+/// [`SpecfetchError::Io`] when the directory or file cannot be created;
+/// [`SpecfetchError::InvalidSpec`] for interior corruption, a bad
+/// header, or a double activation.
+pub fn activate(dir: &Path, run_key: u64, resume: bool) -> Result<PathBuf, SpecfetchError> {
+    let path = path_for(dir, run_key);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| io_err("create journal dir", e))?;
+    }
+    let mut replay = HashMap::new();
+    if resume && path.exists() {
+        replay = replay_events(&load(&path)?);
+    }
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(resume)
+        .truncate(!resume)
+        .write(true)
+        .open(&path)
+        .map_err(|e| io_err("open journal", e))?;
+    if !resume {
+        let header = format!("specfetch-journal/{FORMAT_VERSION} run={run_key:016x}");
+        file.write_all(sealed(&header).as_bytes()).map_err(|e| io_err("write journal", e))?;
+        file.flush().map_err(|e| io_err("flush journal", e))?;
+    }
+    let active = Active { file, replay, experiment: String::new(), next_point: 0 };
+    STATE
+        .set(Mutex::new(active))
+        .map_err(|_| SpecfetchError::InvalidSpec { detail: "journal already active".to_owned() })?;
+    Ok(path)
+}
+
+/// Whether a journal is active in this process.
+pub fn is_active() -> bool {
+    STATE.get().is_some()
+}
+
+fn with_state<R>(f: impl FnOnce(&mut Active) -> R) -> Option<R> {
+    let s = state()?;
+    let mut s = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    Some(f(&mut s))
+}
+
+fn append(payload: &str) {
+    with_state(|s| {
+        // WAL semantics: the event is on disk before the runner moves
+        // on. Failure to journal is loud but not fatal — the sweep's
+        // results still land in the store.
+        let line = sealed(payload);
+        if let Err(e) = s.file.write_all(line.as_bytes()).and_then(|()| s.file.flush()) {
+            eprintln!("[journal] append failed: {e}");
+        }
+    });
+}
+
+/// Resets the per-experiment point counter (mirrors
+/// [`crate::fault::begin_experiment`]).
+pub fn begin_experiment(id: &str) {
+    with_state(|s| {
+        s.experiment = id.to_owned();
+        s.next_point = 0;
+    });
+}
+
+/// Claims `n` consecutive journal indices for a grid about to run,
+/// returning the base index; `None` when no journal is active.
+pub(crate) fn reserve(n: usize) -> Option<u64> {
+    with_state(|s| {
+        let base = s.next_point;
+        s.next_point += n as u64;
+        base
+    })
+}
+
+/// Journals one scheduled grid point.
+pub(crate) fn record_scheduled(idx: u64, bench: &str, instrs: u64, cfg_hash: u64) {
+    let exp = match with_state(|s| s.experiment.clone()) {
+        Some(e) => e,
+        None => return,
+    };
+    append(&format!("s {exp} {idx} {bench} {instrs} {cfg_hash:016x}"));
+}
+
+/// Journals the start of `attempt` (0-based) on a point.
+pub(crate) fn record_attempt(idx: u64, attempt: u32) {
+    let exp = match with_state(|s| s.experiment.clone()) {
+        Some(e) => e,
+        None => return,
+    };
+    append(&format!("a {exp} {idx} {attempt}"));
+}
+
+/// Journals a completed point.
+pub(crate) fn record_completed(idx: u64) {
+    let exp = match with_state(|s| s.experiment.clone()) {
+        Some(e) => e,
+        None => return,
+    };
+    append(&format!("c {exp} {idx}"));
+}
+
+/// Journals a terminal failure with its total attempt count.
+pub(crate) fn record_failed(idx: u64, attempts: u32, reason: &str) {
+    let exp = match with_state(|s| s.experiment.clone()) {
+        Some(e) => e,
+        None => return,
+    };
+    append(&format!("f {exp} {idx} {attempts} {}", json_escape(reason)));
+}
+
+/// Journals an interrupted point (drained by a shutdown request).
+pub(crate) fn record_interrupted(idx: u64) {
+    let exp = match with_state(|s| s.experiment.clone()) {
+        Some(e) => e,
+        None => return,
+    };
+    append(&format!("i {exp} {idx}"));
+}
+
+/// The replayed terminal outcome (if any) for point `idx` of the
+/// current experiment — only populated on `--resume`.
+pub(crate) fn replayed(idx: u64) -> Option<Replayed> {
+    with_state(|s| {
+        let key = (s.experiment.clone(), idx);
+        match s.replay.get(&key) {
+            Some(Replayed::Completed) => Some(Replayed::Completed),
+            Some(Replayed::Failed { attempts, reason }) => {
+                Some(Replayed::Failed { attempts: *attempts, reason: reason.clone() })
+            }
+            _ => None,
+        }
+    })
+    .flatten()
+}
+
+/// Flushes the journal file (a drain point before exit).
+pub fn flush() {
+    with_state(|s| {
+        let _ = s.file.flush();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_lines_round_trip_and_detect_tampering() {
+        let line = sealed("c sweep 3");
+        assert_eq!(unseal(line.trim_end()), Some("c sweep 3"));
+        let tampered = line.replace("c sweep 3", "c sweep 4");
+        assert_eq!(unseal(tampered.trim_end()), None);
+    }
+
+    #[test]
+    fn run_keys_separate_runs() {
+        assert_eq!(run_key("sweep:x", 100), run_key("sweep:x", 100));
+        assert_ne!(run_key("sweep:x", 100), run_key("sweep:x", 200));
+        assert_ne!(run_key("sweep:x", 100), run_key("sweep:y", 100));
+    }
+
+    #[test]
+    fn replay_takes_the_last_terminal_event() {
+        let payloads: Vec<String> = [
+            "specfetch-journal/1 run=0",
+            "s sweep 0 li 100 00000000000000aa",
+            "a sweep 0 0",
+            "f sweep 0 2 injected\\u0020err", // escaped reason survives
+            "s sweep 1 gcc 100 00000000000000ab",
+            "a sweep 1 0",
+            "c sweep 1",
+            "s sweep 2 doduc 100 00000000000000ac",
+            "i sweep 2",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let replay = replay_events(&payloads);
+        assert_eq!(
+            replay.get(&("sweep".to_owned(), 0)),
+            Some(&Replayed::Failed { attempts: 2, reason: "injected err".to_owned() })
+        );
+        assert_eq!(replay.get(&("sweep".to_owned(), 1)), Some(&Replayed::Completed));
+        assert_eq!(replay.get(&("sweep".to_owned(), 2)), Some(&Replayed::Pending));
+    }
+
+    #[test]
+    fn load_tolerates_a_torn_tail_but_not_interior_corruption() {
+        let dir =
+            std::env::temp_dir().join(format!("specfetch-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.wal");
+        let good = sealed("specfetch-journal/1 run=0000000000000000");
+        let event = sealed("c sweep 0");
+        std::fs::write(&path, format!("{good}{event}c sweep 1|deadbeef")).unwrap();
+        let payloads = load(&path).unwrap();
+        assert_eq!(payloads.len(), 2, "torn tail dropped");
+
+        let interior = format!("{good}c sweep 1|deadbeefdeadbeef\n{event}");
+        std::fs::write(&path, interior).unwrap();
+        assert!(load(&path).is_err(), "interior corruption must be loud");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -35,6 +35,7 @@ pub mod codec;
 pub mod disk_cache;
 pub mod experiments;
 pub mod fault;
+pub mod journal;
 mod options;
 pub mod paper;
 mod parallel;
@@ -43,6 +44,7 @@ mod report;
 pub mod result_store;
 mod runner;
 pub mod scenario;
+pub mod supervise;
 pub mod sweep;
 mod table;
 pub mod trace_cache;
@@ -54,7 +56,7 @@ pub use registry::{ExperimentEntry, REGISTRY};
 pub use report::ExperimentReport;
 pub use runner::{
     run_grid, simulate_benchmark, suite_results, try_run_grid, try_simulate_benchmark, BenchResult,
-    CellFailure, GridCell, GridPoint, Measured,
+    CellFailure, FailKind, GridCell, GridPoint, Measured,
 };
 pub use scenario::{run_scenario, ConfigPoint, Metric, Scenario, ScenarioGrid};
 pub use specfetch_core::SpecfetchError;
@@ -94,6 +96,7 @@ pub fn run_experiment(id: &str, opts: &RunOptions) -> Result<ExperimentReport, S
         return Err(SpecfetchError::UnknownExperiment { id: id.to_owned() });
     }
     fault::begin_experiment(id);
+    journal::begin_experiment(id);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(id, opts))).map_err(
         |payload| SpecfetchError::ExperimentPanic {
             id: id.to_owned(),

@@ -53,6 +53,29 @@ pub struct RunOptions {
     /// as it finishes — stdout (and therefore the golden output) is
     /// unchanged.
     pub stream: bool,
+    /// How many times a *transient* grid-point failure (worker death,
+    /// deadline/heartbeat timeout, injected `err`) is retried before the
+    /// cell renders `FAILED(...)`. `0` (the default) fails immediately,
+    /// preserving pre-supervision behaviour.
+    pub retries: u32,
+    /// Per-point deadline in seconds; `0` (the default) disables the
+    /// deadline. Under `--workers` a whole group gets `deadline ×
+    /// points` before the child is killed; in-process only cooperative
+    /// waits (the injected `hang`) observe it.
+    pub point_timeout_secs: u64,
+    /// How long the parent tolerates silence from a worker child before
+    /// declaring it hung and killing it. Children heartbeat every
+    /// ~100ms, so the 5s default only fires on genuinely wedged
+    /// processes.
+    pub heartbeat_ms: u64,
+    /// Base delay for the seeded exponential backoff between retry
+    /// passes (`delay = backoff_ms << (attempt-1)`, plus deterministic
+    /// jitter).
+    pub backoff_ms: u64,
+    /// Recompute points whose terminal failure is negatively cached in
+    /// the result store / journal instead of replaying the `FAILED`
+    /// cell.
+    pub retry_failed: bool,
 }
 
 impl RunOptions {
@@ -68,6 +91,11 @@ impl RunOptions {
             result_store: true,
             workers: 0,
             stream: false,
+            retries: 0,
+            point_timeout_secs: 0,
+            heartbeat_ms: 5_000,
+            backoff_ms: 100,
+            retry_failed: false,
         }
     }
 
@@ -85,6 +113,11 @@ impl RunOptions {
             result_store: true,
             workers: 0,
             stream: false,
+            retries: 0,
+            point_timeout_secs: 0,
+            heartbeat_ms: 5_000,
+            backoff_ms: 100,
+            retry_failed: false,
         }
     }
 
@@ -134,6 +167,36 @@ impl RunOptions {
     /// Enables or disables per-row streaming to stderr.
     pub fn with_stream(mut self, stream: bool) -> Self {
         self.stream = stream;
+        self
+    }
+
+    /// Sets the transient-failure retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the per-point deadline in seconds (`0` = no deadline).
+    pub fn with_point_timeout(mut self, secs: u64) -> Self {
+        self.point_timeout_secs = secs;
+        self
+    }
+
+    /// Sets the worker heartbeat window in milliseconds.
+    pub fn with_heartbeat_ms(mut self, ms: u64) -> Self {
+        self.heartbeat_ms = ms;
+        self
+    }
+
+    /// Sets the base retry backoff in milliseconds.
+    pub fn with_backoff_ms(mut self, ms: u64) -> Self {
+        self.backoff_ms = ms;
+        self
+    }
+
+    /// Opts back into recomputing negatively-cached terminal failures.
+    pub fn with_retry_failed(mut self, retry: bool) -> Self {
+        self.retry_failed = retry;
         self
     }
 
@@ -188,6 +251,15 @@ mod tests {
         assert!(!RunOptions::new().stream, "streaming is opt-in");
         assert!(RunOptions::new().with_stream(true).stream);
         assert_eq!(RunOptions::new().with_overlay_min(7).overlay_min_instrs, 7);
+        assert_eq!(RunOptions::new().retries, 0, "no retries by default");
+        assert_eq!(RunOptions::new().with_retries(3).retries, 3);
+        assert_eq!(RunOptions::new().point_timeout_secs, 0, "no deadline by default");
+        assert_eq!(RunOptions::new().with_point_timeout(30).point_timeout_secs, 30);
+        assert_eq!(RunOptions::new().heartbeat_ms, 5_000);
+        assert_eq!(RunOptions::new().with_heartbeat_ms(250).heartbeat_ms, 250);
+        assert_eq!(RunOptions::new().with_backoff_ms(5).backoff_ms, 5);
+        assert!(!RunOptions::new().retry_failed, "negative cache is honoured by default");
+        assert!(RunOptions::new().with_retry_failed(true).retry_failed);
     }
 
     #[test]

@@ -32,10 +32,24 @@ use std::sync::OnceLock;
 
 use specfetch_core::{fnv1a, SimConfig, SimResult, SpecfetchError};
 
-use crate::codec::{decode_result, encode_result};
+use crate::codec::{decode_result, encode_result, json_escape, json_unescape};
 
 /// Version of the store's file format (header line + path segment).
 pub const FORMAT_VERSION: u32 = 1;
+
+/// What the store remembers about a grid point: a finished result, or —
+/// the negative cache (DESIGN §5j) — a *terminal* failure whose reason
+/// replays verbatim as `FAILED(...)` so resumed sweeps skip known-bad
+/// points. Interrupted points are never stored; `--retry-failed` makes
+/// readers ignore `Failed` entries (a later success overwrites them).
+#[derive(Clone, PartialEq, Debug)]
+#[allow(clippy::large_enum_variant)] // transient return value, matched immediately
+pub enum StoredOutcome {
+    /// The point completed with this result.
+    Completed(SimResult),
+    /// The point failed terminally (retries exhausted) with this reason.
+    Failed(String),
+}
 
 static DIR: OnceLock<PathBuf> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
@@ -70,10 +84,11 @@ fn entry_path(dir: &Path, bench: &str, instrs: u64, cfg: &SimConfig) -> PathBuf 
         .join(format!("{bench}-{instrs}-{:016x}.sr", cfg.canonical_hash()))
 }
 
-/// Looks up the stored result for one grid point. `None` when the store
-/// is not configured, the entry is absent, or it failed verification
-/// (in which case it has been quarantined and the caller recomputes).
-pub(crate) fn get(bench: &str, instrs: u64, cfg: &SimConfig) -> Option<SimResult> {
+/// Looks up the stored outcome for one grid point. `None` when the
+/// store is not configured, the entry is absent, or it failed
+/// verification (in which case it has been quarantined and the caller
+/// recomputes).
+pub(crate) fn get(bench: &str, instrs: u64, cfg: &SimConfig) -> Option<StoredOutcome> {
     let dir = DIR.get()?;
     get_in(dir, bench, instrs, cfg)
 }
@@ -85,9 +100,17 @@ pub(crate) fn put(bench: &str, instrs: u64, cfg: &SimConfig, result: &SimResult)
     }
 }
 
+/// Persists a terminal failure for one grid point (no-op unless
+/// configured) — the negative cache.
+pub(crate) fn put_failed(bench: &str, instrs: u64, cfg: &SimConfig, reason: &str) {
+    if let Some(dir) = DIR.get() {
+        put_failed_in(dir, bench, instrs, cfg, reason);
+    }
+}
+
 /// [`get`] with an explicit root, so tests drive the disk paths without
 /// touching the process-wide configuration.
-pub fn get_in(dir: &Path, bench: &str, instrs: u64, cfg: &SimConfig) -> Option<SimResult> {
+pub fn get_in(dir: &Path, bench: &str, instrs: u64, cfg: &SimConfig) -> Option<StoredOutcome> {
     let path = entry_path(dir, bench, instrs, cfg);
     if !path.exists() {
         return None;
@@ -106,8 +129,17 @@ pub fn get_in(dir: &Path, bench: &str, instrs: u64, cfg: &SimConfig) -> Option<S
 
 /// [`put`] with an explicit root (see [`get_in`]).
 pub fn put_in(dir: &Path, bench: &str, instrs: u64, cfg: &SimConfig, result: &SimResult) {
+    write_entry(dir, bench, instrs, cfg, &render(cfg, result));
+}
+
+/// [`put_failed`] with an explicit root (see [`get_in`]).
+pub fn put_failed_in(dir: &Path, bench: &str, instrs: u64, cfg: &SimConfig, reason: &str) {
+    write_entry(dir, bench, instrs, cfg, &render_failed(cfg, reason));
+}
+
+fn write_entry(dir: &Path, bench: &str, instrs: u64, cfg: &SimConfig, text: &str) {
     let path = entry_path(dir, bench, instrs, cfg);
-    if let Err(e) = store(&path, cfg, result) {
+    if let Err(e) = store(&path, text) {
         eprintln!(
             "specfetch: warning: could not persist result {}: {e} (continuing unstored)",
             path.display()
@@ -117,13 +149,24 @@ pub fn put_in(dir: &Path, bench: &str, instrs: u64, cfg: &SimConfig, result: &Si
     }
 }
 
+fn seal(body: String) -> String {
+    format!("{body}checksum={:016x}\n", fnv1a(body.as_bytes()))
+}
+
 fn render(cfg: &SimConfig, result: &SimResult) -> String {
-    let body = format!(
+    seal(format!(
         "specfetch-result/{FORMAT_VERSION}\ncfg={}\nresult={}\n",
         cfg.canonical_string(),
         encode_result(result)
-    );
-    format!("{body}checksum={:016x}\n", fnv1a(body.as_bytes()))
+    ))
+}
+
+fn render_failed(cfg: &SimConfig, reason: &str) -> String {
+    seal(format!(
+        "specfetch-result/{FORMAT_VERSION}\ncfg={}\nfailed={}\n",
+        cfg.canonical_string(),
+        json_escape(reason)
+    ))
 }
 
 fn corrupt(path: &Path, detail: impl Into<String>) -> SpecfetchError {
@@ -134,7 +177,7 @@ fn corrupt(path: &Path, detail: impl Into<String>) -> SpecfetchError {
 /// unreadable file, bad header, checksum mismatch, config mismatch
 /// (hash collision or a renamed file), or an undecodable result — is a
 /// [`SpecfetchError::CorruptTrace`].
-fn load(path: &Path, cfg: &SimConfig) -> Result<SimResult, SpecfetchError> {
+fn load(path: &Path, cfg: &SimConfig) -> Result<StoredOutcome, SpecfetchError> {
     let text = std::fs::read_to_string(path).map_err(|source| SpecfetchError::Io {
         context: format!("opening result store entry {}", path.display()),
         source,
@@ -161,21 +204,28 @@ fn load(path: &Path, cfg: &SimConfig) -> Result<SimResult, SpecfetchError> {
     if cfg_line != cfg.canonical_string() {
         return Err(corrupt(path, "stored config does not match the requested grid point"));
     }
-    let result_line = lines
-        .next()
-        .and_then(|l| l.strip_prefix("result="))
-        .ok_or_else(|| corrupt(path, "missing result line"))?;
+    let outcome_line = lines.next().ok_or_else(|| corrupt(path, "missing result line"))?;
     if lines.next().is_some() {
         return Err(corrupt(path, "trailing data after result line"));
     }
-    decode_result(result_line).map_err(|e| corrupt(path, format!("undecodable result: {e}")))
+    if let Some(result_line) = outcome_line.strip_prefix("result=") {
+        return decode_result(result_line)
+            .map(StoredOutcome::Completed)
+            .map_err(|e| corrupt(path, format!("undecodable result: {e}")));
+    }
+    if let Some(reason) = outcome_line.strip_prefix("failed=") {
+        return json_unescape(reason)
+            .map(StoredOutcome::Failed)
+            .ok_or_else(|| corrupt(path, "undecodable failure reason"));
+    }
+    Err(corrupt(path, "missing result line"))
 }
 
 /// Persists one entry atomically: write to a per-process unique temp
 /// file in the same directory, then rename over the final path. Racing
 /// writers both produce complete files; the last rename wins and both
 /// contents are identical for a deterministic simulator.
-fn store(path: &Path, cfg: &SimConfig, result: &SimResult) -> Result<(), SpecfetchError> {
+fn store(path: &Path, text: &str) -> Result<(), SpecfetchError> {
     let parent = path.parent().ok_or_else(|| corrupt(path, "entry path has no parent"))?;
     std::fs::create_dir_all(parent).map_err(|source| SpecfetchError::Io {
         context: format!("creating result store directory {}", parent.display()),
@@ -188,7 +238,7 @@ fn store(path: &Path, cfg: &SimConfig, result: &SimResult) -> Result<(), Specfet
         TMP_SEQ.fetch_add(1, Ordering::Relaxed),
         path.file_name().and_then(|n| n.to_str()).unwrap_or("entry")
     ));
-    std::fs::write(&tmp, render(cfg, result)).map_err(|source| SpecfetchError::Io {
+    std::fs::write(&tmp, text).map_err(|source| SpecfetchError::Io {
         context: format!("writing result store entry {}", tmp.display()),
         source,
     })?;
@@ -255,13 +305,40 @@ mod tests {
         let (cfg, r) = point(true);
         assert_eq!(get_in(&dir, "li", 4_000, &cfg), None, "cold store must miss");
         put_in(&dir, "li", 4_000, &cfg, &r);
-        assert_eq!(get_in(&dir, "li", 4_000, &cfg), Some(r));
+        assert_eq!(get_in(&dir, "li", 4_000, &cfg), Some(StoredOutcome::Completed(r)));
         // Different bench, window, or config: all misses.
         assert_eq!(get_in(&dir, "tex", 4_000, &cfg), None);
         assert_eq!(get_in(&dir, "li", 5_000, &cfg), None);
         let mut other = cfg;
         other.miss_penalty = cfg.miss_penalty + 1;
         assert_eq!(get_in(&dir, "li", 4_000, &other), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_entries_round_trip_and_are_overwritten_by_success() {
+        let dir = scratch("neg");
+        let (cfg, r) = point(true);
+        put_failed_in(&dir, "li", 4_000, &cfg, "timeout after 30s");
+        assert_eq!(
+            get_in(&dir, "li", 4_000, &cfg),
+            Some(StoredOutcome::Failed("timeout after 30s".to_owned())),
+            "negative entries replay their reason verbatim"
+        );
+        // A later success (e.g. under --retry-failed) overwrites the
+        // negative entry.
+        put_in(&dir, "li", 4_000, &cfg, &r);
+        assert_eq!(get_in(&dir, "li", 4_000, &cfg), Some(StoredOutcome::Completed(r)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failure_reasons_survive_escaping() {
+        let dir = scratch("negesc");
+        let (cfg, _) = point(false);
+        let nasty = "panicked:\n \"quote\" \\ tab\t";
+        put_failed_in(&dir, "li", 4_000, &cfg, nasty);
+        assert_eq!(get_in(&dir, "li", 4_000, &cfg), Some(StoredOutcome::Failed(nasty.to_owned())));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -285,7 +362,7 @@ mod tests {
 
         // Self-heal: recompute + re-store lands a fresh valid entry.
         put_in(&dir, "li", 4_000, &cfg, &r);
-        assert_eq!(get_in(&dir, "li", 4_000, &cfg), Some(r));
+        assert_eq!(get_in(&dir, "li", 4_000, &cfg), Some(StoredOutcome::Completed(r)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -348,7 +425,7 @@ mod tests {
                 s.spawn(|| put_in(&dir, "li", 4_000, &cfg, &r));
             }
         });
-        assert_eq!(get_in(&dir, "li", 4_000, &cfg), Some(r));
+        assert_eq!(get_in(&dir, "li", 4_000, &cfg), Some(StoredOutcome::Completed(r)));
         // No temp droppings left behind.
         let leftovers: Vec<_> = std::fs::read_dir(dir.join("v1"))
             .unwrap()

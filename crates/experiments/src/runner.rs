@@ -17,7 +17,7 @@ use specfetch_synth::suite::Benchmark;
 use specfetch_trace::PathSource;
 
 use crate::parallel::panic_message;
-use crate::{fault, par_map, try_par_map, RunOptions};
+use crate::{fault, journal, par_map, supervise, try_par_map, RunOptions};
 
 /// One benchmark's simulation outcome.
 #[derive(Clone, PartialEq, Debug)]
@@ -44,23 +44,80 @@ impl GridPoint {
     }
 }
 
+/// How a failed grid point should be treated by the supervision layer
+/// (DESIGN §5j).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FailKind {
+    /// Deterministic: rerunning would fail identically (panics, analysis
+    /// and workload errors). Rendered immediately and negatively cached.
+    Terminal,
+    /// Environmental: worker death, deadline/heartbeat timeouts, injected
+    /// `err`. Retried up to `--retries` before becoming terminal.
+    Transient,
+    /// Drained by a shutdown request: neither failed nor retried; a
+    /// `--resume` rerun recomputes it.
+    Interrupted,
+}
+
 /// Why one grid point produced no measurement: the compact reason
 /// rendered as `FAILED(<reason>)` in the report cell.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CellFailure {
     /// Human-readable cause (a panic message or an error summary).
     pub reason: String,
+    /// Whether the supervisor may retry this point.
+    pub kind: FailKind,
+    /// Whether this failure was replayed from the negative cache or the
+    /// journal rather than produced by this run — replayed failures are
+    /// never re-persisted (the entry already exists).
+    pub(crate) replayed: bool,
 }
 
 impl CellFailure {
-    /// A failure from a typed error.
+    /// A failure from a typed error. The retry classification follows
+    /// the error: timeouts and injected `err` are transient, a shutdown
+    /// drain is `Interrupted`, everything else rails to `Terminal`.
     pub fn from_error(e: &SpecfetchError) -> Self {
-        CellFailure { reason: e.cell_reason() }
+        let kind = match e {
+            SpecfetchError::Timeout { .. } => FailKind::Transient,
+            SpecfetchError::Injected { action } if *action == "err" => FailKind::Transient,
+            SpecfetchError::Interrupted => FailKind::Interrupted,
+            _ => FailKind::Terminal,
+        };
+        // A `StoredFailure` surfaces a negative-cache entry through the
+        // error channel — it carries the replay provenance with it.
+        let replayed = matches!(e, SpecfetchError::StoredFailure { .. });
+        CellFailure { reason: e.cell_reason(), kind, replayed }
     }
 
-    /// A failure from a captured panic payload.
+    /// A failure from a captured panic payload (deterministic, terminal).
     fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
-        CellFailure { reason: panic_message(payload) }
+        CellFailure { reason: panic_message(payload), kind: FailKind::Terminal, replayed: false }
+    }
+
+    /// A terminal failure with an explicit reason.
+    pub(crate) fn permanent(reason: impl Into<String>) -> Self {
+        CellFailure { reason: reason.into(), kind: FailKind::Terminal, replayed: false }
+    }
+
+    /// A terminal failure replayed verbatim from the negative cache or
+    /// the journal.
+    pub(crate) fn from_replay(reason: impl Into<String>) -> Self {
+        CellFailure { reason: reason.into(), kind: FailKind::Terminal, replayed: true }
+    }
+
+    /// A transient (retryable) failure with an explicit reason.
+    pub(crate) fn transient(reason: impl Into<String>) -> Self {
+        CellFailure { reason: reason.into(), kind: FailKind::Transient, replayed: false }
+    }
+
+    /// A point drained by a shutdown request.
+    pub(crate) fn interrupted() -> Self {
+        CellFailure {
+            reason: "interrupted".to_owned(),
+            kind: FailKind::Interrupted,
+            replayed: false,
+        }
     }
 
     /// The `FAILED(<reason>)` table cell.
@@ -116,8 +173,10 @@ pub fn try_simulate_benchmark(
         // Memo / result-store check BEFORE any trace work: a warm run
         // (every point already stored) never records, decodes, or loads
         // a trace at all — it is render-only.
-        if let Some(r) = resolve_stored(bench, instrs, cfg, &opts) {
-            return Ok(r);
+        match resolve_stored(bench, instrs, cfg, &opts) {
+            Some(Ok(r)) => return Ok(r),
+            Some(Err(f)) => return Err(SpecfetchError::StoredFailure { reason: f.reason }),
+            None => {}
         }
         let r = if opts.use_overlay() {
             let source = crate::trace_cache::try_predicted_source(bench, instrs)?;
@@ -147,26 +206,34 @@ pub fn try_simulate_benchmark(
     }
 }
 
-/// Resolves a grid point from the layers that already hold its result:
+/// Resolves a grid point from the layers that already hold its outcome:
 /// the process-wide memo first, then the on-disk result store (a disk
-/// hit back-fills the memo so the next lookup is RAM-only). `None`
-/// means the point must actually simulate.
+/// hit back-fills the memo so the next lookup is RAM-only). A stored
+/// *negative* entry (terminal failure) resolves to its replayed
+/// `Err(CellFailure)` unless `--retry-failed` opts back into
+/// recomputing. `None` means the point must actually simulate.
 pub(crate) fn resolve_stored(
     bench: &Benchmark,
     instrs: u64,
     cfg: SimConfig,
     opts: &RunOptions,
-) -> Option<SimResult> {
+) -> Option<GridCell> {
     if !opts.use_memo() {
         return None;
     }
     if let Some(r) = crate::trace_cache::cached_result(bench, instrs, cfg) {
-        return Some(r);
+        return Some(Ok(r));
     }
     if opts.result_store {
-        if let Some(r) = crate::result_store::get(bench.name, instrs, &cfg) {
-            crate::trace_cache::store_result(bench, instrs, cfg, r.clone());
-            return Some(r);
+        match crate::result_store::get(bench.name, instrs, &cfg) {
+            Some(crate::result_store::StoredOutcome::Completed(r)) => {
+                crate::trace_cache::store_result(bench, instrs, cfg, r.clone());
+                return Some(Ok(r));
+            }
+            Some(crate::result_store::StoredOutcome::Failed(reason)) if !opts.retry_failed => {
+                return Some(Err(CellFailure::from_replay(reason)));
+            }
+            _ => {}
         }
     }
     None
@@ -251,16 +318,169 @@ pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -
 /// that configuration while sibling lanes complete.
 pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     let base = fault::reserve(points.len());
-    if opts.workers > 0 {
-        if let Some(cells) = crate::worker::try_run_grid_sharded(points, base, opts) {
-            return cells;
+    let jbase = journal::reserve(points.len());
+    if let Some(jb) = jbase {
+        for (i, p) in points.iter().enumerate() {
+            journal::record_scheduled(
+                jb + i as u64,
+                p.benchmark.name,
+                opts.instrs_per_benchmark,
+                p.cfg.canonical_hash(),
+            );
         }
-        // The worker pool could not start (e.g. the executable cannot
-        // re-spawn itself); a warning has been printed and the grid runs
-        // in-process instead.
     }
+    let mut out: Vec<Option<GridCell>> = (0..points.len()).map(|_| None).collect();
+    let mut attempts: Vec<u32> = vec![0; points.len()];
+
+    // A `--resume` replay: terminal FAILED cells come back from the
+    // journal verbatim (attempt counts included) without running;
+    // completed points resolve through the memo/store as usual.
+    if let Some(jb) = jbase {
+        for (i, slot) in out.iter_mut().enumerate() {
+            if let Some(journal::Replayed::Failed { attempts: a, reason }) =
+                journal::replayed(jb + i as u64)
+            {
+                if !opts.retry_failed {
+                    *slot = Some(Err(CellFailure::from_replay(reason)));
+                    attempts[i] = a;
+                }
+            }
+        }
+    }
+
+    let todo: Vec<usize> = (0..points.len()).filter(|&i| out[i].is_none()).collect();
+    run_pass(points, &todo, base, jbase, 0, opts, &mut out, &mut attempts);
+
+    // Bounded retry of transient failures (worker death, timeouts,
+    // injected `err`) with seeded exponential backoff. Terminal and
+    // interrupted cells are left alone.
+    for attempt in 1..=opts.retries {
+        if supervise::shutdown_requested() {
+            break;
+        }
+        let retry: Vec<usize> = (0..points.len())
+            .filter(|&i| matches!(&out[i], Some(Err(f)) if f.kind == FailKind::Transient))
+            .collect();
+        if retry.is_empty() {
+            break;
+        }
+        std::thread::sleep(supervise::backoff_delay(attempt, opts.backoff_ms, points.len() as u64));
+        run_pass(points, &retry, base, jbase, attempt, opts, &mut out, &mut attempts);
+    }
+
+    // Terminal bookkeeping: journal every outcome, negatively cache
+    // terminal failures (never interrupted points), and tally the
+    // partial-summary counters.
+    let (mut completed, mut failed, mut interrupted) = (0u64, 0u64, 0u64);
+    for (i, slot) in out.iter().enumerate() {
+        match slot {
+            Some(Ok(_)) => {
+                completed += 1;
+                if let Some(jb) = jbase {
+                    journal::record_completed(jb + i as u64);
+                }
+            }
+            Some(Err(f)) if f.kind == FailKind::Interrupted => {
+                interrupted += 1;
+                if let Some(jb) = jbase {
+                    journal::record_interrupted(jb + i as u64);
+                }
+            }
+            Some(Err(f)) => {
+                failed += 1;
+                // A replayed failure (negative cache or journal) is
+                // already persisted — re-recording it would pollute the
+                // store counters and grow the WAL on every resume.
+                if !f.replayed {
+                    if let Some(jb) = jbase {
+                        journal::record_failed(jb + i as u64, attempts[i].max(1), &f.reason);
+                    }
+                    if opts.use_memo() && opts.result_store {
+                        let p = &points[i];
+                        crate::result_store::put_failed(
+                            p.benchmark.name,
+                            opts.instrs_per_benchmark,
+                            &p.cfg,
+                            &f.reason,
+                        );
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+    supervise::note_outcomes(completed, failed, interrupted);
+
+    // Every index is filled by construction; degrade an impossible gap
+    // to a failed cell instead of unwinding past the isolation layer.
+    out.into_iter()
+        .map(|r| r.unwrap_or_else(|| Err(CellFailure::permanent("grid point was never simulated"))))
+        .collect()
+}
+
+/// Runs one attempt over the `idxs` subset of `points`, filling `out`.
+/// Attempt 0 is the full grid; retry passes re-run only their transient
+/// failures. Sharded execution (`--workers`) dispatches through the
+/// worker pool; otherwise (or when the pool cannot start) the pass runs
+/// in-process, grouped by benchmark.
+#[allow(clippy::too_many_arguments)]
+fn run_pass(
+    points: &[GridPoint],
+    idxs: &[usize],
+    base: u64,
+    jbase: Option<u64>,
+    attempt: u32,
+    opts: &RunOptions,
+    out: &mut [Option<GridCell>],
+    attempts: &mut [u32],
+) {
+    if idxs.is_empty() {
+        return;
+    }
+    if supervise::shutdown_requested() {
+        for &i in idxs {
+            out[i] = Some(Err(CellFailure::interrupted()));
+        }
+        return;
+    }
+    if let Some(jb) = jbase {
+        for &i in idxs {
+            journal::record_attempt(jb + i as u64, attempt);
+        }
+    }
+    for &i in idxs {
+        attempts[i] = attempt + 1;
+    }
+    let cells = if opts.workers > 0 {
+        match crate::worker::try_run_grid_sharded(points, idxs, base, attempt, opts) {
+            Some(cells) => cells,
+            // The worker pool could not start (e.g. the executable cannot
+            // re-spawn itself); a warning has been printed and the pass
+            // runs in-process instead.
+            None => run_pass_inprocess(points, idxs, base, attempt, opts),
+        }
+    } else {
+        run_pass_inprocess(points, idxs, base, attempt, opts)
+    };
+    for (i, c) in cells {
+        out[i] = Some(c);
+    }
+}
+
+/// The in-process arm of [`run_pass`]: benchmark-grouped, parallel over
+/// groups, lockstep within a group when enabled. A shutdown request
+/// drains at group boundaries — groups not yet started are recorded as
+/// interrupted without simulating.
+fn run_pass_inprocess(
+    points: &[GridPoint],
+    idxs: &[usize],
+    base: u64,
+    attempt: u32,
+    opts: &RunOptions,
+) -> Vec<(usize, GridCell)> {
     let mut groups: Vec<(&'static Benchmark, Vec<usize>)> = Vec::new();
-    for (i, p) in points.iter().enumerate() {
+    for &i in idxs {
+        let p = &points[i];
         match groups.iter_mut().find(|(b, _)| std::ptr::eq(*b, p.benchmark)) {
             Some((_, idxs)) => idxs.push(i),
             None => groups.push((p.benchmark, vec![i])),
@@ -268,13 +488,16 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     }
     let opts_by_val = *opts;
     let done = par_map(groups, opts.parallel, |(b, idxs)| {
+        if supervise::shutdown_requested() {
+            return idxs.into_iter().map(|i| (i, Err(CellFailure::interrupted()))).collect();
+        }
         let cells = if opts_by_val.use_lockstep() {
-            run_group_lockstep(b, idxs, points, base, opts_by_val)
+            run_group_lockstep(b, idxs, points, base, attempt, opts_by_val)
         } else {
             idxs.into_iter()
                 .map(|i| {
                     let cell = panic::catch_unwind(AssertUnwindSafe(|| {
-                        fault::guard(base + i as u64)?;
+                        fault::guard(base + i as u64, attempt, opts_by_val.point_timeout_secs)?;
                         try_simulate_benchmark(b, points[i].cfg, opts_by_val)
                     }));
                     let cell = match cell {
@@ -289,19 +512,7 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
         stream_cells(points, &cells, &opts_by_val);
         cells
     });
-    let mut out: Vec<Option<GridCell>> = (0..points.len()).map(|_| None).collect();
-    for (i, r) in done.into_iter().flatten() {
-        out[i] = Some(r);
-    }
-    // Every index is filled by construction; degrade an impossible gap
-    // to a failed cell instead of unwinding past the isolation layer.
-    out.into_iter()
-        .map(|r| {
-            r.unwrap_or_else(|| {
-                Err(CellFailure { reason: "grid point was never simulated".to_owned() })
-            })
-        })
-        .collect()
+    done.into_iter().flatten().collect()
 }
 
 /// Runs one benchmark group's grid points as a config-lockstep batch:
@@ -325,6 +536,7 @@ fn run_group_lockstep(
     idxs: Vec<usize>,
     points: &[GridPoint],
     base: u64,
+    attempt: u32,
     opts: RunOptions,
 ) -> Vec<(usize, GridCell)> {
     let instrs = opts.instrs_per_benchmark;
@@ -333,7 +545,7 @@ fn run_group_lockstep(
         .into_iter()
         .map(|i| {
             let pre = panic::catch_unwind(AssertUnwindSafe(|| {
-                fault::guard(base + i as u64)?;
+                fault::guard(base + i as u64, attempt, opts.point_timeout_secs)?;
                 crate::analysis::preflight(b)
             }));
             let early = match pre {
@@ -356,7 +568,7 @@ fn run_group_lockstep(
             continue;
         }
         match resolve_stored(b, instrs, cfg, &opts) {
-            Some(r) => resolved.push((cfg, Ok(r))),
+            Some(cell) => resolved.push((cfg, cell)),
             None => pending.push(cfg),
         }
     }
@@ -413,7 +625,7 @@ fn run_group_lockstep(
                     .find(|(c, _)| *c == points[i].cfg)
                     .map(|(_, r)| r.clone())
                     .unwrap_or_else(|| {
-                        Err(CellFailure { reason: "grid point was never simulated".to_owned() })
+                        Err(CellFailure::permanent("grid point was never simulated"))
                     })
             });
             (i, cell)
@@ -449,7 +661,7 @@ where
     let indexed: Vec<(u64, T)> =
         items.into_iter().enumerate().map(|(i, t)| (base + i as u64, t)).collect();
     try_par_map(indexed, opts.parallel, |(idx, item)| {
-        fault::guard(idx)?;
+        fault::guard(idx, 0, opts.point_timeout_secs)?;
         f(item)
     })
     .into_iter()
@@ -602,10 +814,26 @@ mod tests {
 
     #[test]
     fn cell_failure_renders() {
-        let f = CellFailure { reason: "injected panic".into() };
+        let f = CellFailure::permanent("injected panic");
         assert_eq!(f.cell(), "FAILED(injected panic)");
         let e = SpecfetchError::Injected { action: "err" };
         assert_eq!(CellFailure::from_error(&e).cell(), "FAILED(injected err)");
+    }
+
+    #[test]
+    fn failure_kinds_classify_retryability() {
+        let kind = |e: &SpecfetchError| CellFailure::from_error(e).kind;
+        assert_eq!(kind(&SpecfetchError::Timeout { seconds: 1 }), FailKind::Transient);
+        assert_eq!(kind(&SpecfetchError::Injected { action: "err" }), FailKind::Transient);
+        assert_eq!(kind(&SpecfetchError::Interrupted), FailKind::Interrupted);
+        assert_eq!(kind(&SpecfetchError::PointPanic { reason: "b".into() }), FailKind::Terminal);
+        assert_eq!(
+            kind(&SpecfetchError::StoredFailure { reason: "x".into() }),
+            FailKind::Terminal,
+            "negative-cache replays must not re-enter the retry loop"
+        );
+        assert_eq!(CellFailure::interrupted().kind, FailKind::Interrupted);
+        assert_eq!(CellFailure::transient("x").kind, FailKind::Transient);
     }
 
     #[test]
@@ -625,8 +853,7 @@ mod tests {
     fn helpers() {
         assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
         assert_eq!(mean([]), 0.0);
-        let cells: Vec<Measured<f64>> =
-            vec![Ok(1.0), Err(CellFailure { reason: "x".into() }), Ok(3.0)];
+        let cells: Vec<Measured<f64>> = vec![Ok(1.0), Err(CellFailure::permanent("x")), Ok(3.0)];
         assert!((mean_ok(cells.iter()) - 2.0).abs() < 1e-12, "failed cells are skipped");
     }
 }

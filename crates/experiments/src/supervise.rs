@@ -1,0 +1,112 @@
+//! Supervision state shared by the runner, the worker pool, and the
+//! CLI: the graceful-shutdown flag, outcome counters for the partial
+//! summary, and the seeded retry backoff (DESIGN §5j).
+//!
+//! Signal *handlers* live in `bin/repro.rs` (the tidy signal-confinement
+//! rule keeps handler installation out of library code); they call
+//! [`request_shutdown`], and everything under the runner polls
+//! [`shutdown_requested`] at point and group boundaries. The first
+//! request drains: in-flight points finish, pending points are recorded
+//! as `interrupted` (never negatively cached), stores and journal are
+//! flushed, and the CLI exits 130.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How many shutdown requests have been received. `0` = run normally;
+/// `1` = drain and exit 130; the CLI escalates a second request to an
+/// immediate abort before this counter is ever read again.
+static SHUTDOWN_REQUESTS: AtomicU64 = AtomicU64::new(0);
+
+/// Grid cells that finished OK since process start.
+static COMPLETED: AtomicU64 = AtomicU64::new(0);
+/// Grid cells that ended in a terminal `FAILED(...)`.
+static FAILED: AtomicU64 = AtomicU64::new(0);
+/// Grid cells skipped or unwound by a shutdown request.
+static INTERRUPTED: AtomicU64 = AtomicU64::new(0);
+
+/// Records a shutdown request (signal-handler-safe: one atomic store).
+/// Returns the number of requests *including* this one, so the caller
+/// can escalate on the second.
+pub fn request_shutdown() -> u64 {
+    SHUTDOWN_REQUESTS.fetch_add(1, Ordering::SeqCst) + 1
+}
+
+/// Whether a graceful shutdown has been requested. Polled by the runner
+/// at group/point boundaries and by cooperative waits.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTS.load(Ordering::SeqCst) > 0
+}
+
+/// Tallies one grid's outcomes into the process-wide counters the
+/// partial summary prints.
+pub(crate) fn note_outcomes(completed: u64, failed: u64, interrupted: u64) {
+    COMPLETED.fetch_add(completed, Ordering::Relaxed);
+    FAILED.fetch_add(failed, Ordering::Relaxed);
+    INTERRUPTED.fetch_add(interrupted, Ordering::Relaxed);
+}
+
+/// `(completed, failed, interrupted)` cell counts since process start —
+/// the partial summary a drained shutdown prints.
+pub fn outcome_counts() -> (u64, u64, u64) {
+    (
+        COMPLETED.load(Ordering::Relaxed),
+        FAILED.load(Ordering::Relaxed),
+        INTERRUPTED.load(Ordering::Relaxed),
+    )
+}
+
+/// The delay before retry pass `attempt` (1-based): seeded exponential
+/// backoff with deterministic jitter, so reruns reproduce byte-for-byte
+/// *and* sleep the same amount. `base_ms` doubles per attempt
+/// (saturating) and the jitter adds up to 25% more, derived from an
+/// FNV-1a hash of `(attempt, points)` — no wall clock, no RNG state.
+pub(crate) fn backoff_delay(attempt: u32, base_ms: u64, points: u64) -> Duration {
+    if base_ms == 0 {
+        return Duration::ZERO;
+    }
+    let exp = base_ms.saturating_mul(1u64.checked_shl(attempt.saturating_sub(1)).unwrap_or(0));
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in attempt.to_le_bytes().iter().chain(points.to_le_bytes().iter()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let jitter = if exp == 0 { 0 } else { h % (exp / 4).max(1) };
+    Duration::from_millis(exp.saturating_add(jitter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let d1 = backoff_delay(1, 100, 7);
+        let d2 = backoff_delay(2, 100, 7);
+        let d3 = backoff_delay(3, 100, 7);
+        assert_eq!(d1, backoff_delay(1, 100, 7), "same inputs, same delay");
+        assert!(d2 >= d1 && d3 >= d2, "delays must not shrink: {d1:?} {d2:?} {d3:?}");
+        assert!(d1 >= Duration::from_millis(100) && d1 <= Duration::from_millis(125));
+        assert!(d3 >= Duration::from_millis(400) && d3 <= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn zero_base_disables_backoff() {
+        assert_eq!(backoff_delay(5, 0, 3), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_depends_on_the_grid() {
+        let delays: Vec<_> = (0..16).map(|pts| backoff_delay(1, 1000, pts)).collect();
+        let distinct = delays.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(distinct > 1, "jitter should vary with the grid: {delays:?}");
+    }
+
+    #[test]
+    fn outcome_counters_accumulate() {
+        let (c0, f0, i0) = outcome_counts();
+        note_outcomes(2, 1, 3);
+        let (c, f, i) = outcome_counts();
+        assert_eq!((c - c0, f - f0, i - i0), (2, 1, 3));
+    }
+}

@@ -6,58 +6,89 @@
 //! fault numbering, static preflight, memo and result-store resolution —
 //! and ships only the *unresolved, config-deduplicated* points of each
 //! benchmark group to a pool of `specfetch-repro --worker` child
-//! processes over a JSON-lines pipe protocol:
+//! processes over a JSON-lines pipe protocol (version
+//! [`PROTO_VERSION`]):
 //!
 //! ```text
+//! parent → child   {"kind":"hello","proto":2}
+//! child → parent   {"kind":"hello","proto":2}
 //! parent → child   {"kind":"group","bench":"li","instrs":2000000,"points":2}
-//!                  {"kind":"point","idx":0,"abort":0,"cfg":"v=1 policy=Res ..."}
-//!                  {"kind":"point","idx":1,"abort":0,"cfg":"v=1 policy=Pess ..."}
-//! child → parent   {"kind":"cell","idx":0,"ok":1,"result":"policy=Res instrs=..."}
+//!                  {"kind":"point","idx":0,"fault":"none","cfg":"v=1 policy=Res ..."}
+//!                  {"kind":"point","idx":1,"fault":"none","cfg":"v=1 policy=Pess ..."}
+//! child → parent   {"kind":"hb"}                      (every ~100ms, always)
+//!                  {"kind":"cell","idx":0,"ok":1,"result":"policy=Res instrs=..."}
 //!                  {"kind":"cell","idx":1,"ok":0,"reason":"..."}
 //!                  {"kind":"done"}
 //! ```
 //!
-//! Configs cross the pipe in the canonical encoding of
-//! `specfetch_core::canon` and results in the [`crate::codec`] line
-//! format — both strict, versioned, and byte-exact (every measurement is
-//! an integer), so a sharded run is **byte-identical** to an in-process
-//! run. The work unit is the benchmark *group*, which preserves
-//! config-lockstep batching inside each child and gives `--stream` a
-//! natural row granularity.
+//! The **hello handshake** runs once per child: a version mismatch is a
+//! typed [`SpecfetchError::WorkerProtocol`] on either side, never
+//! garbled JSON-lines. Configs cross the pipe in the canonical encoding
+//! of `specfetch_core::canon` and results in the [`crate::codec`] line
+//! format — both strict, versioned, and byte-exact, so a sharded run is
+//! **byte-identical** to an in-process run.
 //!
-//! Children are spawned once (process-wide pool, first grid that asks)
-//! with the parent's own cache flags, `--trace-dir`, and `--result-dir`,
-//! so all processes share one trace cache and one result store. Faults:
-//! the parent fires `panic`/`err`/`slow` guards itself before dispatch
-//! (identical numbering and rendering to the in-process path) and
-//! forwards `abort` to the child that will run the point — the child
-//! dies mid-group, the parent renders that group's in-flight points as
-//! `FAILED(worker ...)` cells, respawns the worker, and sibling workers
-//! drain the rest of the queue. A pool that cannot start at all (the
-//! executable cannot re-spawn itself) falls back to in-process execution
-//! with a warning.
+//! **Supervision** (DESIGN §5j): children heartbeat every ~100ms; the
+//! parent drains each child's pipe on a reader thread and declares the
+//! child hung when the heartbeat window (`--heartbeat-ms`) passes in
+//! silence or the group exceeds its deadline (`--point-timeout` × group
+//! size). A hung child is killed and replaced; its unfinished points
+//! fail *transiently* (`timeout after Ns` / `worker hung`), which the
+//! runner's `--retries` loop re-dispatches.
+//!
+//! Faults: the parent fires `panic`/`err`/`slow` guards itself before
+//! dispatch (identical numbering and rendering to the in-process path)
+//! and forwards process faults — `abort`, `hang`, `exitcode=<n>` — to
+//! the child that will run the point: the child dies or freezes
+//! mid-group, the parent recovers as above, and sibling workers drain
+//! the rest of the queue. A pool that cannot start at all (the
+//! executable cannot re-spawn itself) falls back to in-process
+//! execution with a warning.
 
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{self, AssertUnwindSafe};
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
-use specfetch_core::{SimConfig, SimResult};
+use specfetch_core::{SimConfig, SimResult, SpecfetchError};
 use specfetch_synth::suite::Benchmark;
 
 use crate::codec::{decode_result, encode_result, json_escape, json_string_field, json_u64_field};
 use crate::fault::{self, FaultAction};
 use crate::runner::{resolve_stored, stream_cells, CellFailure, GridCell, GridPoint};
-use crate::RunOptions;
+use crate::{supervise, RunOptions};
+
+/// Version of the parent↔worker JSON-lines protocol. Bumped by the
+/// supervision layer (v2: hello handshake, heartbeats, per-point fault
+/// forwarding replaced the v1 `abort` flag).
+pub const PROTO_VERSION: u64 = 2;
+
+/// How often a worker child emits a heartbeat line.
+const HEARTBEAT_INTERVAL_MS: u64 = 100;
+
+/// How long the parent waits for a child's hello before giving up on it.
+const HANDSHAKE_TIMEOUT_MS: u64 = 10_000;
+
+/// How often the parent's supervision loop re-checks deadlines while
+/// waiting for child output.
+const SUPERVISE_POLL_MS: u64 = 25;
 
 /// One group of unresolved points bound for a child process.
 struct Job {
     bench: &'static Benchmark,
     instrs: u64,
-    /// Deduplicated configs to simulate, with their abort-fault flags.
-    cfgs: Vec<(SimConfig, bool)>,
+    /// Deduplicated configs to simulate, each with its forwarded
+    /// process fault (if any).
+    cfgs: Vec<(SimConfig, Option<FaultAction>)>,
     /// Position of this group in the calling grid.
     group: usize,
+    /// The per-point deadline (0 = none); the whole group gets
+    /// `point_timeout_secs × cfgs.len()` before the child is killed.
+    point_timeout_secs: u64,
+    /// Heartbeat silence tolerated before the child is declared hung.
+    heartbeat_ms: u64,
     reply: mpsc::Sender<(usize, Vec<Result<SimResult, CellFailure>>)>,
 }
 
@@ -65,11 +96,48 @@ struct WorkerPool {
     jobs: mpsc::Sender<Job>,
 }
 
+/// One live child: the process handle plus the reader thread's line
+/// channel (disconnect = child stdout closed = child gone).
+struct Slot {
+    child: Child,
+    lines: mpsc::Receiver<String>,
+}
+
 static POOL: OnceLock<Option<WorkerPool>> = OnceLock::new();
+
+/// Validates one hello line against [`PROTO_VERSION`].
+///
+/// # Errors
+///
+/// [`SpecfetchError::WorkerProtocol`] when the line is not a hello or
+/// carries a different version — the typed error both sides of the pipe
+/// report instead of attempting to parse an incompatible stream.
+pub fn validate_hello(line: &str) -> Result<(), SpecfetchError> {
+    if json_string_field(line, "kind").as_deref() != Some("hello") {
+        return Err(SpecfetchError::WorkerProtocol {
+            detail: format!("expected a hello message, got {:?}", line.trim_end()),
+        });
+    }
+    match json_u64_field(line, "proto") {
+        Some(v) if v == PROTO_VERSION => Ok(()),
+        Some(v) => Err(SpecfetchError::WorkerProtocol {
+            detail: format!("peer speaks protocol v{v}, this build speaks v{PROTO_VERSION}"),
+        }),
+        None => Err(SpecfetchError::WorkerProtocol {
+            detail: "hello message carries no proto version".to_owned(),
+        }),
+    }
+}
+
+/// The hello line either side opens with.
+fn hello_line() -> String {
+    format!("{{\"kind\":\"hello\",\"proto\":{PROTO_VERSION}}}\n")
+}
 
 /// The argv a child worker is spawned with: `--worker` plus the parent's
 /// cache/store configuration, so parent and children agree on every
-/// replay knob. `--instrs` travels per group in the protocol instead.
+/// replay knob. `--instrs` travels per group in the protocol instead;
+/// supervision knobs stay in the parent.
 fn child_args(opts: &RunOptions) -> Vec<String> {
     let mut a = vec!["--worker".to_owned()];
     if !opts.parallel {
@@ -100,82 +168,155 @@ fn child_args(opts: &RunOptions) -> Vec<String> {
     a
 }
 
-fn spawn_child(args: &[String]) -> std::io::Result<(Child, BufReader<std::process::ChildStdout>)> {
+/// Spawns one worker child, wires its stdout to a reader thread, and
+/// completes the hello handshake. A child that answers with the wrong
+/// protocol version (or nothing at all) is killed and reported.
+fn spawn_child(args: &[String]) -> std::io::Result<Slot> {
     let exe = std::env::current_exe()?;
     let mut child =
         Command::new(exe).args(args).stdin(Stdio::piped()).stdout(Stdio::piped()).spawn()?;
     let stdout = child.stdout.take().ok_or_else(|| {
         std::io::Error::new(std::io::ErrorKind::BrokenPipe, "worker has no stdout")
     })?;
-    Ok((child, BufReader::new(stdout)))
+    let (tx, lines) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {
+                    if tx.send(line.clone()).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    });
+    let mut slot = Slot { child, lines };
+    if let Err(e) = handshake(&mut slot) {
+        let _ = slot.child.kill();
+        let _ = slot.child.wait();
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+    }
+    Ok(slot)
 }
 
-/// Runs one job on `child`, filling `out` (pre-initialised to
+fn handshake(slot: &mut Slot) -> Result<(), SpecfetchError> {
+    let proto_io = |detail: String| SpecfetchError::WorkerProtocol { detail };
+    let stdin = slot
+        .child
+        .stdin
+        .as_mut()
+        .ok_or_else(|| proto_io("worker stdin closed before handshake".to_owned()))?;
+    stdin
+        .write_all(hello_line().as_bytes())
+        .and_then(|()| stdin.flush())
+        .map_err(|e| proto_io(format!("could not send hello: {e}")))?;
+    match slot.lines.recv_timeout(Duration::from_millis(HANDSHAKE_TIMEOUT_MS)) {
+        Ok(line) => validate_hello(&line),
+        Err(_) => Err(proto_io("no hello from worker before timeout/EOF".to_owned())),
+    }
+}
+
+/// Why [`drive_child`] gave up on a child mid-group.
+enum DriveFailure {
+    /// The group exceeded its `--point-timeout` budget.
+    Deadline(u64),
+    /// The heartbeat window elapsed in silence.
+    Hung(u64),
+    /// The pipe broke or the protocol desynchronised.
+    Dead(String),
+}
+
+/// Runs one job on `slot`'s child, filling `out` (pre-initialised to
 /// worker-death failures) as cell lines arrive. `Ok(())` means the child
-/// completed the group; `Err` means it died mid-group and must be
-/// replaced.
+/// completed the group; `Err` means it must be killed and replaced.
 fn drive_child(
-    child: &mut Child,
-    reader: &mut BufReader<std::process::ChildStdout>,
+    slot: &mut Slot,
     job: &Job,
     out: &mut [Result<SimResult, CellFailure>],
-) -> std::io::Result<()> {
-    let proto = |detail: String| std::io::Error::new(std::io::ErrorKind::InvalidData, detail);
-    let stdin = child.stdin.as_mut().ok_or_else(|| proto("worker stdin closed".to_owned()))?;
+) -> Result<(), DriveFailure> {
+    let dead = DriveFailure::Dead;
+    let stdin = slot.child.stdin.as_mut().ok_or_else(|| dead("worker stdin closed".to_owned()))?;
     let mut msg = format!(
         "{{\"kind\":\"group\",\"bench\":\"{}\",\"instrs\":{},\"points\":{}}}\n",
         job.bench.name,
         job.instrs,
         job.cfgs.len()
     );
-    for (i, (cfg, abort)) in job.cfgs.iter().enumerate() {
+    for (i, (cfg, fault)) in job.cfgs.iter().enumerate() {
+        let wire = fault.map_or_else(|| "none".to_owned(), FaultAction::wire_name);
         msg.push_str(&format!(
-            "{{\"kind\":\"point\",\"idx\":{i},\"abort\":{},\"cfg\":\"{}\"}}\n",
-            u8::from(*abort),
+            "{{\"kind\":\"point\",\"idx\":{i},\"fault\":\"{wire}\",\"cfg\":\"{}\"}}\n",
             json_escape(&cfg.canonical_string())
         ));
     }
-    stdin.write_all(msg.as_bytes())?;
-    stdin.flush()?;
+    stdin
+        .write_all(msg.as_bytes())
+        .and_then(|()| stdin.flush())
+        .map_err(|e| dead(e.to_string()))?;
 
-    let mut line = String::new();
+    let deadline = (job.point_timeout_secs > 0)
+        .then(|| Duration::from_secs(job.point_timeout_secs * job.cfgs.len() as u64));
+    let started = Instant::now();
+    let mut last_heard = Instant::now();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(proto("no reply before EOF".to_owned()));
+        if let Some(d) = deadline {
+            if started.elapsed() >= d {
+                return Err(DriveFailure::Deadline(job.point_timeout_secs));
+            }
         }
+        if last_heard.elapsed() >= Duration::from_millis(job.heartbeat_ms) {
+            return Err(DriveFailure::Hung(job.heartbeat_ms));
+        }
+        let line = match slot.lines.recv_timeout(Duration::from_millis(SUPERVISE_POLL_MS)) {
+            Ok(line) => line,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(dead("no reply before EOF".to_owned()));
+            }
+        };
+        last_heard = Instant::now();
         match json_string_field(&line, "kind").as_deref() {
+            Some("hb") => {}
             Some("done") => return Ok(()),
             Some("cell") => {
                 let idx = json_u64_field(&line, "idx")
-                    .ok_or_else(|| proto(format!("cell without idx: {line:?}")))?
+                    .ok_or_else(|| dead(format!("cell without idx: {line:?}")))?
                     as usize;
                 if idx >= out.len() {
-                    return Err(proto(format!("cell idx {idx} out of range")));
+                    return Err(dead(format!("cell idx {idx} out of range")));
                 }
                 out[idx] = match json_u64_field(&line, "ok") {
                     Some(1) => {
                         let enc = json_string_field(&line, "result")
-                            .ok_or_else(|| proto(format!("ok cell without result: {line:?}")))?;
-                        decode_result(&enc).map_err(|e| CellFailure {
-                            reason: format!("worker returned an undecodable result: {e}"),
+                            .ok_or_else(|| dead(format!("ok cell without result: {line:?}")))?;
+                        decode_result(&enc).map_err(|e| {
+                            CellFailure::permanent(format!(
+                                "worker returned an undecodable result: {e}"
+                            ))
                         })
                     }
-                    Some(0) => Err(CellFailure {
-                        reason: json_string_field(&line, "reason")
+                    Some(0) => Err(CellFailure::transient(
+                        json_string_field(&line, "reason")
                             .unwrap_or_else(|| "worker reported an unnamed failure".to_owned()),
-                    }),
-                    _ => return Err(proto(format!("cell without ok flag: {line:?}"))),
+                    )),
+                    _ => return Err(dead(format!("cell without ok flag: {line:?}"))),
                 };
             }
-            _ => return Err(proto(format!("unexpected worker message {line:?}"))),
+            _ => return Err(dead(format!("unexpected worker message {line:?}"))),
         }
     }
 }
 
+const PENDING_REASON: &str = "worker died before this point";
+
 /// One pool worker thread: owns one child process, pulls jobs from the
-/// shared queue, and replaces its child whenever it dies (each death
-/// costs exactly the in-flight group's unfinished points).
+/// shared queue, and replaces its child whenever it dies or hangs (each
+/// replacement costs exactly the in-flight group's unfinished points —
+/// transiently, so the runner's retry loop can re-dispatch them).
 fn worker_thread(args: Vec<String>, rx: &Mutex<mpsc::Receiver<Job>>) {
     let mut slot = spawn_child(&args).ok();
     loop {
@@ -184,33 +325,41 @@ fn worker_thread(args: Vec<String>, rx: &Mutex<mpsc::Receiver<Job>>) {
             guard.recv()
         };
         let Ok(job) = job else { return };
-        let mut out: Vec<Result<SimResult, CellFailure>> = job
-            .cfgs
-            .iter()
-            .map(|_| Err(CellFailure { reason: "worker died before this point".to_owned() }))
-            .collect();
+        let mut out: Vec<Result<SimResult, CellFailure>> =
+            job.cfgs.iter().map(|_| Err(CellFailure::transient(PENDING_REASON))).collect();
         if slot.is_none() {
             slot = spawn_child(&args).ok();
         }
         match &mut slot {
             None => {
                 for cell in &mut out {
-                    *cell =
-                        Err(CellFailure { reason: "could not spawn worker process".to_owned() });
+                    *cell = Err(CellFailure::transient("could not spawn worker process"));
                 }
             }
-            Some((child, reader)) => {
-                if let Err(e) = drive_child(child, reader, &job, &mut out) {
+            Some(s) => {
+                if let Err(e) = drive_child(s, &job, &mut out) {
+                    let fill = match e {
+                        DriveFailure::Deadline(secs) => {
+                            CellFailure::from_error(&SpecfetchError::Timeout { seconds: secs })
+                        }
+                        DriveFailure::Hung(ms) => {
+                            CellFailure::transient(format!("worker hung (no heartbeat for {ms}ms)"))
+                        }
+                        DriveFailure::Dead(detail) => {
+                            CellFailure::transient(format!("worker exited: {detail}"))
+                        }
+                    };
                     for cell in &mut out {
                         if let Err(f) = cell {
-                            if f.reason == "worker died before this point" {
-                                f.reason = format!("worker exited: {e}");
+                            if f.reason == PENDING_REASON {
+                                *f = fill.clone();
                             }
                         }
                     }
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    slot = None;
+                    if let Some(mut s) = slot.take() {
+                        let _ = s.child.kill();
+                        let _ = s.child.wait();
+                    }
                 }
             }
         }
@@ -223,12 +372,13 @@ fn worker_thread(args: Vec<String>, rx: &Mutex<mpsc::Receiver<Job>>) {
 fn pool(opts: &RunOptions) -> Option<&'static WorkerPool> {
     POOL.get_or_init(|| {
         let args = child_args(opts);
-        // Prove the executable can re-spawn itself before committing.
+        // Prove the executable can re-spawn itself (and speaks our
+        // protocol) before committing.
         match spawn_child(&args) {
-            Ok((mut probe, _)) => {
+            Ok(mut probe) => {
                 // The probe child sees EOF on stdin and exits cleanly.
-                drop(probe.stdin.take());
-                let _ = probe.wait();
+                drop(probe.child.stdin.take());
+                let _ = probe.child.wait();
             }
             Err(e) => {
                 eprintln!(
@@ -249,18 +399,22 @@ fn pool(opts: &RunOptions) -> Option<&'static WorkerPool> {
     .as_ref()
 }
 
-/// Runs a grid by sharding its benchmark groups across the worker pool.
-/// Returns `None` when the pool is unavailable, in which case the caller
-/// runs the grid in-process. Cells come back in input order and are
+/// Runs one attempt over the `idxs` subset of a grid by sharding its
+/// benchmark groups across the worker pool. Returns `None` when the
+/// pool is unavailable, in which case the caller runs the pass
+/// in-process. Cells come back keyed by their grid index and are
 /// byte-identical to the in-process path.
 pub(crate) fn try_run_grid_sharded(
     points: &[GridPoint],
+    idxs: &[usize],
     base: u64,
+    attempt: u32,
     opts: &RunOptions,
-) -> Option<Vec<GridCell>> {
+) -> Option<Vec<(usize, GridCell)>> {
     let pool = pool(opts)?;
     let mut groups: Vec<(&'static Benchmark, Vec<usize>)> = Vec::new();
-    for (i, p) in points.iter().enumerate() {
+    for &i in idxs {
+        let p = &points[i];
         match groups.iter_mut().find(|(b, _)| std::ptr::eq(*b, p.benchmark)) {
             Some((_, idxs)) => idxs.push(i),
             None => groups.push((p.benchmark, vec![i])),
@@ -274,28 +428,38 @@ pub(crate) fn try_run_grid_sharded(
     let mut dispatched: Vec<Option<(Vec<usize>, Vec<SimConfig>)>> = Vec::new();
 
     for (b, idxs) in groups {
+        // Shutdown drain: groups not yet dispatched are interrupted, not
+        // simulated; in-flight groups below finish normally.
+        if supervise::shutdown_requested() {
+            for i in idxs {
+                out[i] = Some(Err(CellFailure::interrupted()));
+            }
+            dispatched.push(None);
+            continue;
+        }
         // Parent-side pre-filter, identical to the in-process path: fire
-        // the fault guard (abort is routed to the child instead) and the
-        // static preflight per point, then resolve memo/store hits.
+        // the fault guard (process faults are routed to the child
+        // instead) and the static preflight per point, then resolve
+        // memo/store hits.
         let mut early: Vec<(usize, Option<GridCell>)> = Vec::new();
-        let mut aborts: Vec<usize> = Vec::new();
+        let mut routed: Vec<(usize, FaultAction)> = Vec::new();
         for &i in &idxs {
             let fidx = base + i as u64;
-            if fault::peek(fidx) == Some(FaultAction::Abort) {
-                aborts.push(i);
+            if let Some(action) = fault::peek(fidx, attempt).filter(|a| a.is_process_fault()) {
+                routed.push((i, action));
                 early.push((i, None));
                 continue;
             }
             let pre = panic::catch_unwind(AssertUnwindSafe(|| {
-                fault::guard(fidx)?;
+                fault::guard(fidx, attempt, opts.point_timeout_secs)?;
                 crate::analysis::preflight(b)
             }));
             let cell = match pre {
                 Ok(Ok(())) => None,
                 Ok(Err(e)) => Some(Err(CellFailure::from_error(&e))),
-                Err(payload) => Some(Err(CellFailure {
-                    reason: crate::parallel::panic_message(payload.as_ref()),
-                })),
+                Err(payload) => Some(Err(CellFailure::permanent(crate::parallel::panic_message(
+                    payload.as_ref(),
+                )))),
             };
             early.push((i, cell));
         }
@@ -303,23 +467,23 @@ pub(crate) fn try_run_grid_sharded(
         // Deduplicate configs among surviving points; resolve memo/store
         // hits locally (a disk hit back-fills the memo, so duplicates of
         // a resolved config hit RAM on their own lookup below).
-        let mut cfgs: Vec<(SimConfig, bool)> = Vec::new();
+        let mut cfgs: Vec<(SimConfig, Option<FaultAction>)> = Vec::new();
         for (i, cell) in &mut early {
             if cell.is_some() {
                 continue;
             }
             let cfg = points[*i].cfg;
-            let abort = aborts.contains(i);
+            let fault = routed.iter().find(|(j, _)| j == i).map(|(_, a)| *a);
             match cfgs.iter_mut().find(|(c, _)| *c == cfg) {
-                Some((_, flagged)) => *flagged |= abort,
+                Some((_, flagged)) => *flagged = flagged.or(fault),
                 None => {
-                    if !abort {
-                        if let Some(r) = resolve_stored(b, instrs, cfg, opts) {
-                            *cell = Some(Ok(r));
+                    if fault.is_none() {
+                        if let Some(resolved) = resolve_stored(b, instrs, cfg, opts) {
+                            *cell = Some(resolved);
                             continue;
                         }
                     }
-                    cfgs.push((cfg, abort));
+                    cfgs.push((cfg, fault));
                 }
             }
         }
@@ -341,14 +505,20 @@ pub(crate) fn try_run_grid_sharded(
             early.iter().filter(|(_, c)| c.is_none()).map(|(i, _)| *i).collect();
         let cfg_list: Vec<SimConfig> = cfgs.iter().map(|(c, _)| *c).collect();
         dispatched.push(Some((waiting, cfg_list)));
-        let job = Job { bench: b, instrs, cfgs, group: group_id, reply: reply_tx.clone() };
+        let job = Job {
+            bench: b,
+            instrs,
+            cfgs,
+            group: group_id,
+            point_timeout_secs: opts.point_timeout_secs,
+            heartbeat_ms: opts.heartbeat_ms,
+            reply: reply_tx.clone(),
+        };
         if pool.jobs.send(job).is_err() {
             // Pool wedged: fail this group's waiting points.
             if let Some((waiting, _)) = dispatched[group_id].take() {
                 for i in waiting {
-                    out[i] = Some(Err(CellFailure {
-                        reason: "worker pool is not accepting jobs".to_owned(),
-                    }));
+                    out[i] = Some(Err(CellFailure::permanent("worker pool is not accepting jobs")));
                 }
             }
         }
@@ -374,7 +544,7 @@ pub(crate) fn try_run_grid_sharded(
             let cfg = points[i].cfg;
             let cell = match cfg_list.iter().position(|c| *c == cfg) {
                 Some(k) => results[k].clone(),
-                None => Err(CellFailure { reason: "grid point was never simulated".to_owned() }),
+                None => Err(CellFailure::permanent("grid point was never simulated")),
             };
             cells.push((i, cell));
         }
@@ -387,30 +557,72 @@ pub(crate) fn try_run_grid_sharded(
     for slot in dispatched.into_iter().flatten() {
         let (waiting, _) = slot;
         for i in waiting {
-            out[i] = Some(Err(CellFailure { reason: "worker pool shut down mid-grid".to_owned() }));
+            out[i] = Some(Err(CellFailure::permanent("worker pool shut down mid-grid")));
         }
     }
 
     Some(
-        out.into_iter()
-            .map(|c| {
-                c.unwrap_or_else(|| {
-                    Err(CellFailure { reason: "grid point was never simulated".to_owned() })
-                })
+        idxs.iter()
+            .map(|&i| {
+                let cell = out[i].take().unwrap_or_else(|| {
+                    Err(CellFailure::permanent("grid point was never simulated"))
+                });
+                (i, cell)
             })
             .collect(),
     )
 }
 
-/// The `--worker` child loop: serve group requests from stdin until EOF.
-/// Runs each group through the normal in-process grid (lockstep batching,
-/// memo, result store — no fault plan is installed in children, so the
-/// only injected behaviour is the forwarded `abort` flag).
+/// Set when a forwarded `hang` fault freezes this worker: the heartbeat
+/// thread stops beating so the parent's heartbeat window can fire.
+static FROZEN: AtomicBool = AtomicBool::new(false);
+
+/// Writes one line to stdout under the global stdout lock (the serving
+/// loop and the heartbeat thread interleave whole lines, never bytes).
+fn emit(line: &str) -> std::io::Result<()> {
+    let mut so = std::io::stdout().lock();
+    so.write_all(line.as_bytes())?;
+    so.flush()
+}
+
+/// The `--worker` child loop: handshake, then serve group requests from
+/// stdin until EOF, heartbeating every ~100ms throughout. Runs each
+/// group through the normal in-process grid (lockstep batching, memo,
+/// result store — no fault plan is installed in children, so the only
+/// injected behaviour is the forwarded per-point fault).
 pub fn child_loop(opts: RunOptions) -> std::process::ExitCode {
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
-    let mut stdout = std::io::stdout().lock();
     let mut line = String::new();
+
+    let fail = |detail: String| {
+        eprintln!("specfetch worker: protocol error: {detail}");
+        std::process::ExitCode::FAILURE
+    };
+
+    // Handshake first: the parent's hello must arrive (and match) before
+    // anything else crosses either pipe. EOF here is the pool's spawn
+    // probe — exit cleanly.
+    match input.read_line(&mut line) {
+        Ok(0) => return std::process::ExitCode::SUCCESS,
+        Ok(_) => {}
+        Err(e) => return fail(format!("stdin error: {e}")),
+    }
+    if let Err(e) = validate_hello(&line) {
+        eprintln!("specfetch worker: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    if emit(&hello_line()).is_err() {
+        return std::process::ExitCode::SUCCESS;
+    }
+    // Liveness: heartbeat until frozen or the parent goes away.
+    std::thread::spawn(|| loop {
+        std::thread::sleep(Duration::from_millis(HEARTBEAT_INTERVAL_MS));
+        if FROZEN.load(Ordering::SeqCst) || emit("{\"kind\":\"hb\"}\n").is_err() {
+            return;
+        }
+    });
+
     loop {
         line.clear();
         match input.read_line(&mut line) {
@@ -424,10 +636,6 @@ pub fn child_loop(opts: RunOptions) -> std::process::ExitCode {
         if line.trim().is_empty() {
             continue;
         }
-        let fail = |detail: String| {
-            eprintln!("specfetch worker: protocol error: {detail}");
-            std::process::ExitCode::FAILURE
-        };
         if json_string_field(&line, "kind").as_deref() != Some("group") {
             return fail(format!("expected a group message, got {line:?}"));
         }
@@ -445,7 +653,7 @@ pub fn child_loop(opts: RunOptions) -> std::process::ExitCode {
         };
 
         let mut cfgs: Vec<SimConfig> = Vec::with_capacity(n as usize);
-        let mut abort_requested = false;
+        let mut forwarded: Option<FaultAction> = None;
         for _ in 0..n {
             line.clear();
             match input.read_line(&mut line) {
@@ -463,17 +671,33 @@ pub fn child_loop(opts: RunOptions) -> std::process::ExitCode {
                 Ok(c) => c,
                 Err(e) => return fail(format!("bad canonical config: {e}")),
             };
-            abort_requested |= json_u64_field(&line, "abort") == Some(1);
+            if let Some(wire) = json_string_field(&line, "fault") {
+                if wire != "none" {
+                    match FaultAction::parse_wire(&wire) {
+                        Some(a) => forwarded = forwarded.or(Some(a)),
+                        None => return fail(format!("unknown forwarded fault {wire:?}")),
+                    }
+                }
+            }
             cfgs.push(cfg);
         }
-        if abort_requested {
-            // Forwarded `abort` fault: die exactly as a crashing worker
-            // would, mid-group, without replying.
-            fault::abort_process();
+        match forwarded {
+            // Forwarded process faults fire mid-group, without replying:
+            // die hard, die clean, or freeze (heartbeats stop, and the
+            // parent's liveness window does the killing).
+            Some(FaultAction::Abort) => fault::abort_process(),
+            Some(FaultAction::Exit(code)) => crate::fault::exit_process(code),
+            Some(FaultAction::Hang) => {
+                FROZEN.store(true, Ordering::SeqCst);
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+            _ => {}
         }
 
         let grid: Vec<GridPoint> = cfgs.iter().map(|&c| GridPoint::new(bench, c)).collect();
-        let gopts = opts.with_instrs(instrs).with_workers(0).with_stream(false);
+        let gopts = opts.with_instrs(instrs).with_workers(0).with_stream(false).with_retries(0);
         let cells = crate::runner::try_run_grid(&grid, &gopts);
         let mut reply = String::new();
         for (i, cell) in cells.iter().enumerate() {
@@ -489,9 +713,35 @@ pub fn child_loop(opts: RunOptions) -> std::process::ExitCode {
             }
         }
         reply.push_str("{\"kind\":\"done\"}\n");
-        if stdout.write_all(reply.as_bytes()).and_then(|()| stdout.flush()).is_err() {
+        if emit(&reply).is_err() {
             // Parent went away; nothing left to serve.
             return std::process::ExitCode::SUCCESS;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_line_validates_against_itself() {
+        assert!(validate_hello(&hello_line()).is_ok());
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let e = validate_hello("{\"kind\":\"hello\",\"proto\":1}\n").unwrap_err();
+        assert!(matches!(&e, SpecfetchError::WorkerProtocol { detail } if detail.contains("v1")));
+        let e = validate_hello("{\"kind\":\"hello\"}\n").unwrap_err();
+        assert!(matches!(e, SpecfetchError::WorkerProtocol { .. }));
+    }
+
+    #[test]
+    fn non_hello_first_message_is_a_typed_error() {
+        let e = validate_hello("{\"kind\":\"group\",\"bench\":\"li\"}\n").unwrap_err();
+        assert!(
+            matches!(&e, SpecfetchError::WorkerProtocol { detail } if detail.contains("hello"))
+        );
     }
 }

@@ -27,8 +27,14 @@
 //!    the fault-injection module, whose injected `abort` action *is*
 //!    a deliberate process crash (it is how tests kill workers and
 //!    interrupt sweeps).
+//! 6. **Signal confinement** ([`signal_confinement`]) — installing
+//!    process signal handlers (`signal(` / `sigaction`) is likewise an
+//!    entry-point decision: library code must observe the cooperative
+//!    shutdown flag (`supervise::shutdown_requested`), never register
+//!    handlers of its own. Handler installation lives only in `bin/`
+//!    crate roots, which the library scan already excludes.
 //!
-//! The enforcement tests in `tests/tidy.rs` run all five against the
+//! The enforcement tests in `tests/tidy.rs` run all six against the
 //! real workspace; CI runs them via `cargo test -p tidy`.
 //!
 //! The scanner is deliberately textual (line-based, no parsing crates —
@@ -59,6 +65,13 @@ const ORACLE_ALLOWED: [&str; 2] = ["crates/core/src/engine/gate.rs", "crates/cor
 // Process-termination calls, split like the other scanned-for tokens.
 const EXIT_CALL: &str = concat!("process::", "exit(");
 const ABORT_CALL: &str = concat!("process::", "abort(");
+
+// Signal-handler installation tokens, split the same way. `signal(` is
+// deliberately broad (it also matches a declaration of the C function):
+// declaring the binding in library code is as much a violation as
+// calling it.
+const SIGNAL_CALL: &str = concat!("sig", "nal(");
+const SIGACTION: &str = concat!("sig", "action");
 
 /// The one library file allowed to terminate the process: the fault
 /// plan's injected-crash primitive.
@@ -115,6 +128,7 @@ pub fn check_all(root: &Path, allowlist: &str) -> Vec<Violation> {
     v.extend(layering(root));
     v.extend(error_hygiene(root));
     v.extend(exit_confinement(root));
+    v.extend(signal_confinement(root));
     v
 }
 
@@ -350,6 +364,35 @@ pub fn exit_confinement(root: &Path) -> Vec<Violation> {
                             "`{token}..)` in library code: process termination belongs \
                              in `bin/` entry points or {} (fault injection)",
                             EXIT_ALLOWED[0]
+                        ),
+                    });
+                }
+            }
+        });
+    }
+    violations
+}
+
+/// Rule 6: signal-handler installation stays confined to `bin/` entry
+/// points (which `library_sources` already excludes). Library code that
+/// wants to react to SIGINT/SIGTERM must poll the cooperative shutdown
+/// flag instead — a handler registered deep in a library would race the
+/// entry point's graceful-shutdown protocol.
+pub fn signal_confinement(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (rel, path) in library_sources(root, &mut violations) {
+        let Some(text) = read(&path, &rel, &mut violations) else { continue };
+        scan_code_lines(&text, |line_no, line| {
+            for token in [SIGNAL_CALL, SIGACTION] {
+                if line.contains(token) {
+                    violations.push(Violation {
+                        rule: "signal-confinement",
+                        file: rel.clone(),
+                        line: line_no,
+                        detail: format!(
+                            "`{token}..` in library code: signal handlers are installed \
+                             by `bin/` entry points only; poll \
+                             `supervise::shutdown_requested()` instead"
                         ),
                     });
                 }

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use tidy::{
     check_all, error_hygiene, exit_confinement, layering, oracle_capability, panic_audit,
-    Violation, ALLOWLIST_FILE,
+    signal_confinement, Violation, ALLOWLIST_FILE,
 };
 
 fn workspace_root() -> PathBuf {
@@ -261,6 +261,40 @@ fn process_termination_outside_bins_and_the_fault_module_is_flagged() {
 }
 
 #[test]
+fn signal_handlers_outside_bins_are_flagged() {
+    let root = scratch("signals");
+    let call = concat!("sig", "nal(2, handler as usize)");
+    let action = concat!("libc::sig", "action(15, &act, std::ptr::null_mut())");
+    // Allowed: a bin entry point installing the handlers.
+    seed(
+        &root,
+        "crates/experiments/src/bin/tool.rs",
+        &format!("fn main() {{\n    unsafe {{ {call} }};\n}}\n"),
+    );
+    assert!(signal_confinement(&root).is_empty(), "{}", render(&signal_confinement(&root)));
+
+    // Flagged: library code declaring or installing handlers — even a
+    // bare extern declaration of the C binding counts.
+    seed(
+        &root,
+        "crates/experiments/src/supervise.rs",
+        &format!(
+            "extern \"C\" {{\n    fn {};\n}}\npub fn hook() {{\n    unsafe {{ {action} }};\n}}\n",
+            concat!("sig", "nal(signum: i32, handler: usize) -> usize")
+        ),
+    );
+    let v = signal_confinement(&root);
+    assert_eq!(v.len(), 2, "{}", render(&v));
+    assert!(
+        v.iter()
+            .all(|x| x.rule == "signal-confinement"
+                && x.file == "crates/experiments/src/supervise.rs")
+    );
+    assert_eq!((v[0].line, v[1].line), (2, 5));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
 fn check_all_aggregates_every_rule_class() {
     let root = scratch("all");
     seed(&root, "crates/cache/src/lib.rs", "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n");
@@ -282,11 +316,21 @@ fn check_all_aggregates_every_rule_class() {
         "crates/synth/src/quit.rs",
         &format!("pub fn quit() {{\n    {}\n}}\n", concat!("std::process::", "abort()")),
     );
+    seed(
+        &root,
+        "crates/trace/src/hooks.rs",
+        &format!("pub fn hook() {{\n    unsafe {{ {} }};\n}}\n", concat!("sig", "nal(2, 0)")),
+    );
     let v = check_all(&root, "");
     let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
-    for rule in
-        ["panic-audit", "oracle-capability", "layering", "error-hygiene", "exit-confinement"]
-    {
+    for rule in [
+        "panic-audit",
+        "oracle-capability",
+        "layering",
+        "error-hygiene",
+        "exit-confinement",
+        "signal-confinement",
+    ] {
         assert!(rules.contains(&rule), "missing {rule} in: {}", render(&v));
     }
     fs::remove_dir_all(&root).expect("cleanup");
