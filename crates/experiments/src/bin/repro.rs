@@ -176,12 +176,19 @@ fn parse_args() -> Result<Args, String> {
                 opts = opts.with_backoff_ms(n);
             }
             // Heartbeat silence tolerated before a worker child is
-            // declared hung, killed, and replaced.
+            // declared hung, killed, and replaced. Children beat every
+            // ~100ms, so a window below that would declare every healthy
+            // child hung and loop kill/respawn forever.
             "--heartbeat-ms" => {
                 let v = it.next().ok_or("--heartbeat-ms needs a value")?;
                 let n: u64 = v.parse().map_err(|_| format!("bad --heartbeat-ms value {v:?}"))?;
-                if n == 0 {
-                    return Err("--heartbeat-ms must be positive".into());
+                let min = 2 * worker::HEARTBEAT_INTERVAL_MS;
+                if n < min {
+                    return Err(format!(
+                        "--heartbeat-ms must be at least {min} (workers heartbeat every \
+                         {}ms)",
+                        worker::HEARTBEAT_INTERVAL_MS
+                    ));
                 }
                 opts = opts.with_heartbeat_ms(n);
             }
@@ -424,6 +431,7 @@ fn main() -> ExitCode {
             return code;
         }
         fault::begin_experiment("sweep");
+        journal::begin_experiment("sweep");
         let started = std::time::Instant::now();
         let report = run_scenario(scenario, &args.opts).render();
         let failed_cells = report.failed_cells();

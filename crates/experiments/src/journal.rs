@@ -193,7 +193,7 @@ pub fn activate(dir: &Path, run_key: u64, resume: bool) -> Result<PathBuf, Specf
         std::fs::create_dir_all(parent).map_err(|e| io_err("create journal dir", e))?;
     }
     let mut replay = HashMap::new();
-    if resume && path.exists() {
+    if resume && path.metadata().is_ok_and(|m| m.len() > 0) {
         replay = replay_events(&load(&path)?);
     }
     let mut file = OpenOptions::new()
@@ -203,7 +203,11 @@ pub fn activate(dir: &Path, run_key: u64, resume: bool) -> Result<PathBuf, Specf
         .write(true)
         .open(&path)
         .map_err(|e| io_err("open journal", e))?;
-    if !resume {
+    // The header goes into every journal that doesn't have one yet —
+    // a truncated fresh run, but also a first invocation that happened
+    // to pass `--resume` (nothing to replay, but the file must still be
+    // loadable by the next resume).
+    if file.metadata().map_or(true, |m| m.len() == 0) {
         let header = format!("specfetch-journal/{FORMAT_VERSION} run={run_key:016x}");
         file.write_all(sealed(&header).as_bytes()).map_err(|e| io_err("write journal", e))?;
         file.flush().map_err(|e| io_err("flush journal", e))?;

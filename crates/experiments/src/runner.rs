@@ -368,6 +368,24 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
         run_pass(points, &retry, base, jbase, attempt, opts, &mut out, &mut attempts);
     }
 
+    // A shutdown drain leaves merely-interrupted points looking like
+    // transient failures: a terminal SIGINT reaches the handler-less
+    // worker children in the foreground process group, so their
+    // in-flight points come back as `worker exited: ...`, and the retry
+    // loop above breaks instead of re-dispatching them. Reclassify them
+    // before bookkeeping — journaling them as terminal (and negatively
+    // caching them) would make `--resume` replay the interruption
+    // verbatim instead of recomputing.
+    if supervise::shutdown_requested() {
+        for slot in &mut out {
+            if let Some(Err(f)) = slot {
+                if f.kind == FailKind::Transient {
+                    *f = CellFailure::interrupted();
+                }
+            }
+        }
+    }
+
     // Terminal bookkeeping: journal every outcome, negatively cache
     // terminal failures (never interrupted points), and tally the
     // partial-summary counters.

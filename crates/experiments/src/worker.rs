@@ -17,9 +17,16 @@
 //!                  {"kind":"point","idx":1,"fault":"none","cfg":"v=1 policy=Pess ..."}
 //! child → parent   {"kind":"hb"}                      (every ~100ms, always)
 //!                  {"kind":"cell","idx":0,"ok":1,"result":"policy=Res instrs=..."}
-//!                  {"kind":"cell","idx":1,"ok":0,"reason":"..."}
+//!                  {"kind":"cell","idx":1,"ok":0,"fail":"terminal","reason":"..."}
 //!                  {"kind":"done"}
 //! ```
+//!
+//! A failed cell carries its retry class (`fail`: `terminal` |
+//! `transient` | `interrupted`) so the parent treats a deterministic
+//! failure inside a worker — a real panic, an analysis error — exactly
+//! like the in-process path would: terminal, never retried. Anything
+//! unrecognised stays transient, which is also what genuine
+//! worker-death fills (no cell at all) resolve to.
 //!
 //! The **hello handshake** runs once per child: a version mismatch is a
 //! typed [`SpecfetchError::WorkerProtocol`] on either side, never
@@ -57,7 +64,7 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::codec::{decode_result, encode_result, json_escape, json_string_field, json_u64_field};
 use crate::fault::{self, FaultAction};
-use crate::runner::{resolve_stored, stream_cells, CellFailure, GridCell, GridPoint};
+use crate::runner::{resolve_stored, stream_cells, CellFailure, FailKind, GridCell, GridPoint};
 use crate::{supervise, RunOptions};
 
 /// Version of the parent↔worker JSON-lines protocol. Bumped by the
@@ -65,8 +72,10 @@ use crate::{supervise, RunOptions};
 /// forwarding replaced the v1 `abort` flag).
 pub const PROTO_VERSION: u64 = 2;
 
-/// How often a worker child emits a heartbeat line.
-const HEARTBEAT_INTERVAL_MS: u64 = 100;
+/// How often a worker child emits a heartbeat line. The CLI rejects
+/// `--heartbeat-ms` windows below twice this interval — a window shorter
+/// than the beat would declare every healthy child hung.
+pub const HEARTBEAT_INTERVAL_MS: u64 = 100;
 
 /// How long the parent waits for a child's hello before giving up on it.
 const HANDSHAKE_TIMEOUT_MS: u64 = 10_000;
@@ -134,6 +143,28 @@ fn hello_line() -> String {
     format!("{{\"kind\":\"hello\",\"proto\":{PROTO_VERSION}}}\n")
 }
 
+/// The `fail` field a failed cell carries on the wire.
+fn fail_wire(kind: FailKind) -> &'static str {
+    match kind {
+        FailKind::Terminal => "terminal",
+        FailKind::Transient => "transient",
+        FailKind::Interrupted => "interrupted",
+    }
+}
+
+/// Maps a failed cell's wire class back to the parent-side failure, so a
+/// deterministic failure inside a worker is terminal here too (never
+/// retried), matching the in-process path. Anything unrecognised stays
+/// transient — the class genuine worker deaths (no cell at all) fill
+/// with.
+fn cell_failure_from_wire(fail: Option<&str>, reason: String) -> CellFailure {
+    match fail {
+        Some("terminal") => CellFailure::permanent(reason),
+        Some("interrupted") => CellFailure::interrupted(),
+        _ => CellFailure::transient(reason),
+    }
+}
+
 /// The argv a child worker is spawned with: `--worker` plus the parent's
 /// cache/store configuration, so parent and children agree on every
 /// replay knob. `--instrs` travels per group in the protocol instead;
@@ -154,6 +185,11 @@ fn child_args(opts: &RunOptions) -> Vec<String> {
     }
     if !opts.result_store {
         a.push("--no-result-store".to_owned());
+    }
+    // Without this, a child would replay a negative-cache entry the
+    // parent deliberately skipped.
+    if opts.retry_failed {
+        a.push("--retry-failed".to_owned());
     }
     a.push("--overlay-min".to_owned());
     a.push(opts.overlay_min_instrs.to_string());
@@ -299,10 +335,14 @@ fn drive_child(
                             ))
                         })
                     }
-                    Some(0) => Err(CellFailure::transient(
-                        json_string_field(&line, "reason")
-                            .unwrap_or_else(|| "worker reported an unnamed failure".to_owned()),
-                    )),
+                    Some(0) => {
+                        let reason = json_string_field(&line, "reason")
+                            .unwrap_or_else(|| "worker reported an unnamed failure".to_owned());
+                        Err(cell_failure_from_wire(
+                            json_string_field(&line, "fail").as_deref(),
+                            reason,
+                        ))
+                    }
                     _ => return Err(dead(format!("cell without ok flag: {line:?}"))),
                 };
             }
@@ -707,7 +747,8 @@ pub fn child_loop(opts: RunOptions) -> std::process::ExitCode {
                     json_escape(&encode_result(r))
                 )),
                 Err(f) => reply.push_str(&format!(
-                    "{{\"kind\":\"cell\",\"idx\":{i},\"ok\":0,\"reason\":\"{}\"}}\n",
+                    "{{\"kind\":\"cell\",\"idx\":{i},\"ok\":0,\"fail\":\"{}\",\"reason\":\"{}\"}}\n",
+                    fail_wire(f.kind),
                     json_escape(&f.reason)
                 )),
             }
@@ -735,6 +776,16 @@ mod tests {
         assert!(matches!(&e, SpecfetchError::WorkerProtocol { detail } if detail.contains("v1")));
         let e = validate_hello("{\"kind\":\"hello\"}\n").unwrap_err();
         assert!(matches!(e, SpecfetchError::WorkerProtocol { .. }));
+    }
+
+    #[test]
+    fn fail_classes_round_trip_the_wire() {
+        for kind in [FailKind::Terminal, FailKind::Transient, FailKind::Interrupted] {
+            let back = cell_failure_from_wire(Some(fail_wire(kind)), "x".to_owned());
+            assert_eq!(back.kind, kind, "{kind:?} must survive the pipe");
+        }
+        let legacy = cell_failure_from_wire(None, "x".to_owned());
+        assert_eq!(legacy.kind, FailKind::Transient, "an unclassified cell stays retryable");
     }
 
     #[test]

@@ -323,6 +323,111 @@ fn sigint_mid_run_exits_130_and_resume_recomputes_no_completed_point() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// SIGINT while worker children are in flight: interactively, a Ctrl-C
+/// SIGINTs the whole foreground process group, so the handler-less
+/// children die and their unfinished points surface as *transient*
+/// worker failures. Those are interruptions, not failures — the journal
+/// must record them as interrupted (never negatively cache them), and
+/// `--resume` must recompute them instead of replaying
+/// `FAILED(worker hung ...)` cells.
+#[test]
+fn sigint_with_workers_resumes_in_flight_transients_instead_of_replaying_them() {
+    let dir = scratch("sigint-workers");
+    let dir_s = dir.to_str().unwrap();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Point 5 freezes its worker; the generous heartbeat window keeps
+    // that group in flight long after the store shows real progress, so
+    // the SIGINT below lands mid-drive and the eventual heartbeat kill
+    // resolves under an already-requested shutdown.
+    let child = Command::new(env!("CARGO_BIN_EXE_specfetch-repro"))
+        .args([
+            "--experiment",
+            "table3",
+            "--instrs",
+            "2000",
+            "--result-dir",
+            dir_s,
+            "--workers",
+            "2",
+            "--heartbeat-ms",
+            "8000",
+            "--inject",
+            "point=table3:5,hang",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning specfetch-repro");
+
+    let started = Instant::now();
+    while store_entries(&dir) < 1 {
+        assert!(started.elapsed() < Duration::from_secs(60), "no store progress before SIGINT");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("sending SIGINT");
+    assert!(kill.success(), "kill -INT must succeed");
+    let killed = child.wait_with_output().expect("waiting for the interrupted run");
+    assert_eq!(killed.status.code(), Some(130), "graceful interrupt exits 130");
+
+    // No injection this time: if the hung point had been journaled as a
+    // terminal failure, this would replay its FAILED cell (exit 1 and a
+    // different table) instead of recomputing it.
+    let resumed =
+        repro(&["--experiment", "table3", "--instrs", "2000", "--result-dir", dir_s, "--resume"]);
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr(&resumed));
+    let baseline = repro(&["--experiment", "table3", "--instrs", "2000"]);
+    assert_eq!(stdout(&resumed), stdout(&baseline), "interrupted points must recompute");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A first invocation that already passes `--resume` (nothing to replay
+/// yet) must still create a headed journal the next `--resume` can load.
+#[test]
+fn a_first_invocation_with_resume_writes_a_loadable_journal() {
+    let dir = scratch("fresh-resume");
+    let base =
+        ["--experiment", "table3", "--instrs", "2000", "--result-dir", dir.to_str().unwrap()];
+    let first = repro(&[&base[..], &["--resume"]].concat());
+    assert_eq!(first.status.code(), Some(0), "{}", stderr(&first));
+
+    let second = repro(&[&base[..], &["--resume"]].concat());
+    assert_eq!(second.status.code(), Some(0), "the journal must reload: {}", stderr(&second));
+    let (hits, stores) = store_stats(&stderr(&second));
+    assert_eq!(stores, 0, "the resumed rerun recomputes nothing");
+    assert!(hits > 0, "completed points resume as store hits");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Sweep journal events must carry the `sweep` experiment id, exactly
+/// like `run_experiment` journals its id — not an empty field.
+#[test]
+fn sweep_journal_events_carry_the_sweep_experiment_id() {
+    let dir = scratch("sweep-journal");
+    let out = repro(&[
+        "--sweep",
+        "policy=Res,Pess cache=8K metric=ispi",
+        "--instrs",
+        "2000",
+        "--result-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let wal = std::fs::read_dir(dir.join("journal"))
+        .expect("journal dir exists")
+        .flatten()
+        .next()
+        .expect("one journal per run")
+        .path();
+    let text = std::fs::read_to_string(&wal).unwrap();
+    assert!(text.lines().any(|l| l.starts_with("s sweep ")), "scheduled events: {text}");
+    assert!(text.lines().any(|l| l.starts_with("c sweep ")), "completed events: {text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 // ---------------------------------------------------------------------
 // Worker protocol handshake
 // ---------------------------------------------------------------------
@@ -396,6 +501,9 @@ fn bad_supervision_flag_values_exit_2() {
         &["--point-timeout", "-1"][..],
         &["--backoff-ms", "ten"][..],
         &["--heartbeat-ms", "0"][..],
+        // Below the ~100ms child beat interval every healthy worker
+        // would read as hung; the CLI requires at least twice the beat.
+        &["--heartbeat-ms", "199"][..],
     ] {
         let out = repro(&[&["--experiment", "table3"][..], args].concat());
         assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
