@@ -70,7 +70,9 @@ impl BranchUnit {
     /// Panics if `config` fails [`BpredConfig::validate`]; validate first
     /// if the configuration comes from user input.
     pub fn new(config: &BpredConfig) -> Self {
-        config.validate().expect("invalid branch-prediction configuration");
+        if let Err(e) = config.validate() {
+            panic!("invalid branch-prediction configuration: {e}");
+        }
         let dir = match config.direction {
             DirectionKind::Gshare => Direction::Gshare(Gshare::new(config.pht_entries)),
             DirectionKind::Bimodal => Direction::Bimodal(Bimodal::new(config.pht_entries)),

@@ -1,0 +1,88 @@
+//! The diagnostics sink: every status line the execution path emits —
+//! `[result-store] hits=H stores=S`, `[journal] <path>`, per-experiment
+//! timings, warnings — funnels through here instead of calling
+//! `eprintln!` directly, so one switch (`--quiet`) silences them all
+//! and report payloads can never be polluted by counters.
+//!
+//! Two channels:
+//!
+//! - [`line`] — process-wide diagnostics. Stderr-only; suppressed when
+//!   [`set_quiet`] has been called.
+//! - [`row`] — per-grid-point `[row] ...` progress events (the
+//!   `--stream` feed). A job with a registered sink ([`register_row_sink`])
+//!   gets its rows delivered there — that is how the service streams
+//!   chunked progress over HTTP — while unregistered jobs (the CLI)
+//!   fall back to stderr. Rows are *data*, not chatter, so `--quiet`
+//!   does not suppress them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A registered per-job consumer of `[row]` events.
+type RowSink = Box<dyn Fn(&str) + Send + Sync>;
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+fn row_sinks() -> &'static Mutex<HashMap<u64, RowSink>> {
+    static SINKS: OnceLock<Mutex<HashMap<u64, RowSink>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Suppresses (or re-enables) diagnostic [`line`]s — the `--quiet`
+/// switch. Row events are unaffected.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::SeqCst);
+}
+
+/// Emits one diagnostic line to stderr, unless quieted.
+pub fn line(text: &str) {
+    if !QUIET.load(Ordering::SeqCst) {
+        eprintln!("{text}");
+    }
+}
+
+/// Registers `sink` as the consumer of job `job`'s `[row]` events,
+/// replacing any previous sink. The service controller registers one
+/// per running job; the CLI registers none and its rows go to stderr.
+pub fn register_row_sink(job: u64, sink: impl Fn(&str) + Send + Sync + 'static) {
+    let mut sinks = row_sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    sinks.insert(job, Box::new(sink));
+}
+
+/// Unregisters job `job`'s row sink (controller cleanup).
+pub fn clear_row_sink(job: u64) {
+    let mut sinks = row_sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    sinks.remove(&job);
+}
+
+/// Delivers one `[row] ...` event for `job`: to its registered sink if
+/// one exists, to stderr otherwise.
+pub fn row(job: u64, text: &str) {
+    let sinks = row_sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    match sinks.get(&job) {
+        Some(sink) => sink(text),
+        None => eprintln!("{text}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn registered_sinks_capture_rows_and_clearing_restores_stderr() {
+        // Ids chosen to stay clear of other tests: sinks are
+        // process-wide.
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink_seen = Arc::clone(&seen);
+        register_row_sink(0xDEAD_2001, move |r| sink_seen.lock().unwrap().push(r.to_owned()));
+        row(0xDEAD_2001, "[row] li cfg=00 ispi=1.0");
+        row(0xDEAD_2002, "[row] goes to stderr, not the sink");
+        assert_eq!(seen.lock().unwrap().as_slice(), ["[row] li cfg=00 ispi=1.0"]);
+        clear_row_sink(0xDEAD_2001);
+        row(0xDEAD_2001, "[row] after clearing");
+        assert_eq!(seen.lock().unwrap().len(), 1, "cleared sinks see nothing");
+    }
+}

@@ -1,0 +1,264 @@
+//! The driver layer: executes one [`JobSpec`] — an experiment selection
+//! or a parsed sweep — over the supervised execution substrate
+//! (heartbeats, deadlines, retry/backoff, graceful drain), completely
+//! decoupled from argv parsing and process exit codes.
+//!
+//! The CLI is one thin client of this layer (it parses flags, installs
+//! signal handlers, maps the returned [`DriverOutcome`] to an exit
+//! code); the service controller is another (it maps the same outcome
+//! to a job state). Report payloads are delivered through the
+//! [`DriverEvents`] callback — stdout for the CLI, the job's result
+//! buffer for the service — while status chatter goes through the
+//! [`crate::diag`] sink, so the two can never mix.
+
+use std::time::Instant;
+
+use crate::sweep::did_you_mean;
+use crate::{
+    diag, fault, is_known_experiment, journal, parse_sweep, run_experiment, run_scenario,
+    supervise, Format, RunOptions, SpecfetchError, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
+};
+
+/// One unit of drivable work: what the CLI's `--experiment` /
+/// `--sweep` flags select, as a value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JobSpec {
+    /// An experiment selection: an id, `"all"`, or `"extras"`.
+    Experiment(String),
+    /// A sweep spec (the `--sweep` grammar, see [`crate::sweep`]).
+    Sweep(String),
+}
+
+impl JobSpec {
+    /// The run description the journal is keyed by — stable across the
+    /// CLI and the service, so a job submitted over HTTP resumes from
+    /// (and byte-matches) the same journal a CLI run would use.
+    pub fn describe(&self) -> String {
+        match self {
+            JobSpec::Sweep(spec) => format!("sweep:{spec}"),
+            JobSpec::Experiment(sel) => format!("experiment:{sel}"),
+        }
+    }
+
+    /// The experiment ids this spec expands to (empty for sweeps).
+    fn ids(&self) -> Vec<&str> {
+        match self {
+            JobSpec::Sweep(_) => Vec::new(),
+            JobSpec::Experiment(sel) => match sel.as_str() {
+                "all" => EXPERIMENT_IDS.to_vec(),
+                "extras" => EXTRA_EXPERIMENT_IDS.to_vec(),
+                other => vec![other],
+            },
+        }
+    }
+
+    /// Rejects a spec that could not run: a sweep that fails to parse
+    /// or an unknown experiment id, both with a "did you mean" hint.
+    /// Validation runs nothing and touches no journal — it is what a
+    /// submission endpoint calls before accepting a job.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecfetchError::InvalidSpec`], whose `Display` is the
+    /// human-readable rejection — suitable for a usage error or an
+    /// HTTP 400 body.
+    pub fn validate(&self) -> Result<(), SpecfetchError> {
+        match self {
+            JobSpec::Sweep(spec) => parse_sweep(spec)
+                .map(|_| ())
+                .map_err(|e| SpecfetchError::InvalidSpec { detail: e.to_string() }),
+            JobSpec::Experiment(_) => {
+                for id in self.ids() {
+                    if !is_known_experiment(id) {
+                        let known = ["all", "extras"]
+                            .into_iter()
+                            .chain(EXPERIMENT_IDS)
+                            .chain(EXTRA_EXPERIMENT_IDS);
+                        return Err(SpecfetchError::InvalidSpec {
+                            detail: format!("unknown experiment {id:?}{}", did_you_mean(id, known)),
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Where a driver delivers rendered report payloads. Exactly the bytes
+/// the CLI prints to stdout, one call per report, without the trailing
+/// newline `println!` appends.
+pub trait DriverEvents {
+    /// One rendered experiment/sweep report.
+    fn report(&mut self, text: &str);
+}
+
+/// Blanket impl so a closure can serve as the event sink.
+impl<F: FnMut(&str)> DriverEvents for F {
+    fn report(&mut self, text: &str) {
+        self(text)
+    }
+}
+
+/// What running one [`JobSpec`] amounted to. The CLI maps this to an
+/// exit code (`interrupted` → 130, any failure → 1); the controller
+/// maps it to a terminal job state.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct DriverOutcome {
+    /// `FAILED(...)` cells across every rendered report.
+    pub failed_cells: usize,
+    /// Experiments that produced no report at all (panic or unknown
+    /// id at run time).
+    pub failed_experiments: usize,
+    /// Whether the run was drained by a shutdown or cancellation
+    /// before finishing.
+    pub interrupted: bool,
+}
+
+impl DriverOutcome {
+    /// Whether anything at all went wrong.
+    pub fn failed(&self) -> bool {
+        self.failed_cells > 0 || self.failed_experiments > 0
+    }
+}
+
+/// Executes [`JobSpec`]s under fixed options and output format.
+#[derive(Copy, Clone, Debug)]
+pub struct Driver {
+    opts: RunOptions,
+    format: Format,
+}
+
+impl Driver {
+    /// A driver running under `opts`, rendering reports as `format`.
+    pub fn new(opts: RunOptions, format: Format) -> Self {
+        Driver { opts, format }
+    }
+
+    /// The options this driver runs under.
+    pub fn options(&self) -> &RunOptions {
+        &self.opts
+    }
+
+    /// Runs one spec to completion (or drain): sweeps and experiment
+    /// selections go through the exact pipeline the CLI always used —
+    /// shared trace cache, result memo/store, per-point fault
+    /// isolation, supervised workers — and every rendered report is
+    /// delivered through `events` in execution order.
+    ///
+    /// Specs should be [`JobSpec::validate`]d first; a spec that fails
+    /// to parse or names no known experiment counts as one failed
+    /// experiment (with the rejection on the diagnostics sink) rather
+    /// than panicking or exiting.
+    pub fn run(&self, spec: &JobSpec, events: &mut dyn DriverEvents) -> DriverOutcome {
+        match spec {
+            JobSpec::Sweep(raw) => self.run_sweep(raw, events),
+            JobSpec::Experiment(_) => self.run_experiments(spec, events),
+        }
+    }
+
+    fn run_sweep(&self, raw: &str, events: &mut dyn DriverEvents) -> DriverOutcome {
+        let scenario = match parse_sweep(raw) {
+            Ok(s) => s,
+            Err(e) => {
+                diag::line(&format!("error: {e}"));
+                return DriverOutcome { failed_experiments: 1, ..DriverOutcome::default() };
+            }
+        };
+        fault::begin_experiment("sweep");
+        journal::begin_experiment(self.opts.job, "sweep");
+        let started = Instant::now();
+        let report = run_scenario(scenario, &self.opts).render();
+        let failed_cells = report.failed_cells();
+        events.report(&report.render(self.format));
+        diag::line(&format!("[sweep done in {:.1}s]\n", started.elapsed().as_secs_f64()));
+        DriverOutcome {
+            failed_cells,
+            failed_experiments: 0,
+            interrupted: supervise::job_shutdown_requested(self.opts.job),
+        }
+    }
+
+    fn run_experiments(&self, spec: &JobSpec, events: &mut dyn DriverEvents) -> DriverOutcome {
+        let mut outcome = DriverOutcome::default();
+        for id in spec.ids() {
+            // Graceful shutdown: the experiment that saw the request
+            // drained its in-flight points; those after it never start.
+            if supervise::job_shutdown_requested(self.opts.job) {
+                break;
+            }
+            let started = Instant::now();
+            match run_experiment(id, &self.opts) {
+                Ok(report) => {
+                    outcome.failed_cells += report.failed_cells();
+                    events.report(&report.render(self.format));
+                    diag::line(&format!(
+                        "[{id} done in {:.1}s]\n",
+                        started.elapsed().as_secs_f64()
+                    ));
+                }
+                Err(e) => {
+                    outcome.failed_experiments += 1;
+                    diag::line(&format!("error: {e}"));
+                    diag::line(&format!(
+                        "[{id} FAILED in {:.1}s]\n",
+                        started.elapsed().as_secs_f64()
+                    ));
+                }
+            }
+        }
+        outcome.interrupted = supervise::job_shutdown_requested(self.opts.job);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_describe_and_expand() {
+        let sweep = JobSpec::Sweep("policy=Res cache=8K".into());
+        assert_eq!(sweep.describe(), "sweep:policy=Res cache=8K");
+        assert!(sweep.ids().is_empty());
+        let all = JobSpec::Experiment("all".into());
+        assert_eq!(all.describe(), "experiment:all");
+        assert_eq!(all.ids(), EXPERIMENT_IDS.to_vec());
+        assert_eq!(JobSpec::Experiment("extras".into()).ids(), EXTRA_EXPERIMENT_IDS.to_vec());
+        assert_eq!(JobSpec::Experiment("table3".into()).ids(), ["table3"]);
+    }
+
+    #[test]
+    fn validation_hints_at_the_nearest_id() {
+        assert!(JobSpec::Experiment("all".into()).validate().is_ok());
+        assert!(JobSpec::Experiment("table3".into()).validate().is_ok());
+        assert!(JobSpec::Sweep("policy=Res cache=8K".into()).validate().is_ok());
+        let e = JobSpec::Experiment("tabel3".into()).validate().unwrap_err().to_string();
+        assert!(e.contains("unknown experiment \"tabel3\""), "{e}");
+        assert!(e.contains("did you mean \"table3\"?"), "{e}");
+        let e = JobSpec::Sweep("polcy=Res".into()).validate().unwrap_err().to_string();
+        assert!(e.contains("did you mean"), "{e}");
+    }
+
+    #[test]
+    fn a_driven_experiment_matches_run_experiment() {
+        let opts = RunOptions::smoke().with_instrs(8_000);
+        let direct = run_experiment("table2", &opts).unwrap().render(Format::Plain);
+        let mut reports: Vec<String> = Vec::new();
+        let mut sink = |text: &str| reports.push(text.to_owned());
+        let outcome =
+            Driver::new(opts, Format::Plain).run(&JobSpec::Experiment("table2".into()), &mut sink);
+        assert_eq!(reports, [direct], "the driver must render the same bytes");
+        assert_eq!(outcome, DriverOutcome::default());
+        assert!(!outcome.failed());
+    }
+
+    #[test]
+    fn unknown_ids_at_run_time_count_as_failed_experiments() {
+        let mut sink = |_: &str| panic!("no report expected");
+        let outcome = Driver::new(RunOptions::smoke(), Format::Plain)
+            .run(&JobSpec::Experiment("table99".into()), &mut sink);
+        assert_eq!(outcome.failed_experiments, 1);
+        assert!(outcome.failed());
+    }
+}

@@ -73,12 +73,21 @@ struct Active {
     experiment: String,
     /// Next point index within `experiment` (input order).
     next_point: u64,
+    /// Lifecycle counters for [`counters`]: events recorded by *this*
+    /// process run (replayed history is not re-counted).
+    scheduled: u64,
+    completed: u64,
+    failed: u64,
+    interrupted: u64,
 }
 
-static STATE: OnceLock<Mutex<Active>> = OnceLock::new();
+/// Active journals, keyed by job id. Job `0` is the CLI's ambient job;
+/// the service controller activates one journal per submitted job so
+/// concurrent jobs log (and count) independently.
+static STATE: OnceLock<Mutex<HashMap<u64, Active>>> = OnceLock::new();
 
-fn state() -> Option<&'static Mutex<Active>> {
-    STATE.get()
+fn state() -> &'static Mutex<HashMap<u64, Active>> {
+    STATE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 fn io_err(context: &str, source: std::io::Error) -> SpecfetchError {
@@ -154,7 +163,10 @@ fn load(path: &Path) -> Result<Vec<String>, SpecfetchError> {
             None if i + 1 == lines.len() => {
                 // A torn tail is exactly what a WAL expects after a
                 // crash: the event never fully happened. Drop it.
-                eprintln!("[journal] dropping torn final line of {}", path.display());
+                crate::diag::line(&format!(
+                    "[journal] dropping torn final line of {}",
+                    path.display()
+                ));
             }
             None => {
                 return Err(SpecfetchError::InvalidSpec {
@@ -177,10 +189,9 @@ fn load(path: &Path) -> Result<Vec<String>, SpecfetchError> {
 }
 
 /// Opens (or, with `resume`, replays) the journal for `run_key` under
-/// `dir` and activates journalling for the rest of the process. Called
-/// once by the CLI when a result dir is configured; worker children and
-/// in-process test runs never activate it, so all journal calls below
-/// are no-ops for them.
+/// `dir` and activates journalling for the CLI's ambient job (job `0`).
+/// Worker children and in-process test runs never activate it, so all
+/// journal calls below are no-ops for them.
 ///
 /// # Errors
 ///
@@ -188,6 +199,23 @@ fn load(path: &Path) -> Result<Vec<String>, SpecfetchError> {
 /// [`SpecfetchError::InvalidSpec`] for interior corruption, a bad
 /// header, or a double activation.
 pub fn activate(dir: &Path, run_key: u64, resume: bool) -> Result<PathBuf, SpecfetchError> {
+    activate_job(0, dir, run_key, resume)
+}
+
+/// Opens (or, with `resume`, replays) the journal for `run_key` under
+/// `dir` and activates journalling for `job`. Jobs journal
+/// independently: the service controller gives every submitted job its
+/// own id and directory, while the CLI activates job `0` once.
+///
+/// # Errors
+///
+/// Same as [`activate`], plus a double activation *of the same job*.
+pub fn activate_job(
+    job: u64,
+    dir: &Path,
+    run_key: u64,
+    resume: bool,
+) -> Result<PathBuf, SpecfetchError> {
     let path = path_for(dir, run_key);
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).map_err(|e| io_err("create journal dir", e))?;
@@ -212,49 +240,63 @@ pub fn activate(dir: &Path, run_key: u64, resume: bool) -> Result<PathBuf, Specf
         file.write_all(sealed(&header).as_bytes()).map_err(|e| io_err("write journal", e))?;
         file.flush().map_err(|e| io_err("flush journal", e))?;
     }
-    let active = Active { file, replay, experiment: String::new(), next_point: 0 };
-    STATE
-        .set(Mutex::new(active))
-        .map_err(|_| SpecfetchError::InvalidSpec { detail: "journal already active".to_owned() })?;
+    let active = Active {
+        file,
+        replay,
+        experiment: String::new(),
+        next_point: 0,
+        scheduled: 0,
+        completed: 0,
+        failed: 0,
+        interrupted: 0,
+    };
+    let mut jobs = state().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if jobs.contains_key(&job) {
+        return Err(SpecfetchError::InvalidSpec { detail: "journal already active".to_owned() });
+    }
+    jobs.insert(job, active);
     Ok(path)
 }
 
-/// Whether a journal is active in this process.
-pub fn is_active() -> bool {
-    STATE.get().is_some()
+/// Flushes and deactivates `job`'s journal (the controller's cleanup
+/// once a job reaches a terminal state). A no-op for inactive jobs.
+pub fn release(job: u64) {
+    let mut jobs = state().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(mut active) = jobs.remove(&job) {
+        let _ = active.file.flush();
+    }
 }
 
-fn with_state<R>(f: impl FnOnce(&mut Active) -> R) -> Option<R> {
-    let s = state()?;
-    let mut s = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    Some(f(&mut s))
+fn with_job<R>(job: u64, f: impl FnOnce(&mut Active) -> R) -> Option<R> {
+    let mut jobs = state().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    jobs.get_mut(&job).map(f)
 }
 
-fn append(payload: &str) {
-    with_state(|s| {
+fn append(job: u64, payload: &str) {
+    with_job(job, |s| {
         // WAL semantics: the event is on disk before the runner moves
         // on. Failure to journal is loud but not fatal — the sweep's
         // results still land in the store.
         let line = sealed(payload);
         if let Err(e) = s.file.write_all(line.as_bytes()).and_then(|()| s.file.flush()) {
-            eprintln!("[journal] append failed: {e}");
+            crate::diag::line(&format!("[journal] append failed: {e}"));
         }
     });
 }
 
-/// Resets the per-experiment point counter (mirrors
+/// Resets `job`'s per-experiment point counter (mirrors
 /// [`crate::fault::begin_experiment`]).
-pub fn begin_experiment(id: &str) {
-    with_state(|s| {
+pub fn begin_experiment(job: u64, id: &str) {
+    with_job(job, |s| {
         s.experiment = id.to_owned();
         s.next_point = 0;
     });
 }
 
 /// Claims `n` consecutive journal indices for a grid about to run,
-/// returning the base index; `None` when no journal is active.
-pub(crate) fn reserve(n: usize) -> Option<u64> {
-    with_state(|s| {
+/// returning the base index; `None` when `job` has no active journal.
+pub(crate) fn reserve(job: u64, n: usize) -> Option<u64> {
+    with_job(job, |s| {
         let base = s.next_point;
         s.next_point += n as u64;
         base
@@ -262,54 +304,66 @@ pub(crate) fn reserve(n: usize) -> Option<u64> {
 }
 
 /// Journals one scheduled grid point.
-pub(crate) fn record_scheduled(idx: u64, bench: &str, instrs: u64, cfg_hash: u64) {
-    let exp = match with_state(|s| s.experiment.clone()) {
+pub(crate) fn record_scheduled(job: u64, idx: u64, bench: &str, instrs: u64, cfg_hash: u64) {
+    let exp = match with_job(job, |s| {
+        s.scheduled += 1;
+        s.experiment.clone()
+    }) {
         Some(e) => e,
         None => return,
     };
-    append(&format!("s {exp} {idx} {bench} {instrs} {cfg_hash:016x}"));
+    append(job, &format!("s {exp} {idx} {bench} {instrs} {cfg_hash:016x}"));
 }
 
 /// Journals the start of `attempt` (0-based) on a point.
-pub(crate) fn record_attempt(idx: u64, attempt: u32) {
-    let exp = match with_state(|s| s.experiment.clone()) {
+pub(crate) fn record_attempt(job: u64, idx: u64, attempt: u32) {
+    let exp = match with_job(job, |s| s.experiment.clone()) {
         Some(e) => e,
         None => return,
     };
-    append(&format!("a {exp} {idx} {attempt}"));
+    append(job, &format!("a {exp} {idx} {attempt}"));
 }
 
 /// Journals a completed point.
-pub(crate) fn record_completed(idx: u64) {
-    let exp = match with_state(|s| s.experiment.clone()) {
+pub(crate) fn record_completed(job: u64, idx: u64) {
+    let exp = match with_job(job, |s| {
+        s.completed += 1;
+        s.experiment.clone()
+    }) {
         Some(e) => e,
         None => return,
     };
-    append(&format!("c {exp} {idx}"));
+    append(job, &format!("c {exp} {idx}"));
 }
 
 /// Journals a terminal failure with its total attempt count.
-pub(crate) fn record_failed(idx: u64, attempts: u32, reason: &str) {
-    let exp = match with_state(|s| s.experiment.clone()) {
+pub(crate) fn record_failed(job: u64, idx: u64, attempts: u32, reason: &str) {
+    let exp = match with_job(job, |s| {
+        s.failed += 1;
+        s.experiment.clone()
+    }) {
         Some(e) => e,
         None => return,
     };
-    append(&format!("f {exp} {idx} {attempts} {}", json_escape(reason)));
+    append(job, &format!("f {exp} {idx} {attempts} {}", json_escape(reason)));
 }
 
 /// Journals an interrupted point (drained by a shutdown request).
-pub(crate) fn record_interrupted(idx: u64) {
-    let exp = match with_state(|s| s.experiment.clone()) {
+pub(crate) fn record_interrupted(job: u64, idx: u64) {
+    let exp = match with_job(job, |s| {
+        s.interrupted += 1;
+        s.experiment.clone()
+    }) {
         Some(e) => e,
         None => return,
     };
-    append(&format!("i {exp} {idx}"));
+    append(job, &format!("i {exp} {idx}"));
 }
 
-/// The replayed terminal outcome (if any) for point `idx` of the
+/// The replayed terminal outcome (if any) for point `idx` of `job`'s
 /// current experiment — only populated on `--resume`.
-pub(crate) fn replayed(idx: u64) -> Option<Replayed> {
-    with_state(|s| {
+pub(crate) fn replayed(job: u64, idx: u64) -> Option<Replayed> {
+    with_job(job, |s| {
         let key = (s.experiment.clone(), idx);
         match s.replay.get(&key) {
             Some(Replayed::Completed) => Some(Replayed::Completed),
@@ -322,11 +376,19 @@ pub(crate) fn replayed(idx: u64) -> Option<Replayed> {
     .flatten()
 }
 
-/// Flushes the journal file (a drain point before exit).
+/// `(scheduled, completed, failed, interrupted)` event counts recorded
+/// by this process run for `job` — the raw feed behind
+/// [`crate::store::Progress`]. `None` when `job` has no active journal.
+pub(crate) fn counters(job: u64) -> Option<(u64, u64, u64, u64)> {
+    with_job(job, |s| (s.scheduled, s.completed, s.failed, s.interrupted))
+}
+
+/// Flushes every active journal file (a drain point before exit).
 pub fn flush() {
-    with_state(|s| {
-        let _ = s.file.flush();
-    });
+    let mut jobs = state().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for active in jobs.values_mut() {
+        let _ = active.file.flush();
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +433,43 @@ mod tests {
         );
         assert_eq!(replay.get(&("sweep".to_owned(), 1)), Some(&Replayed::Completed));
         assert_eq!(replay.get(&("sweep".to_owned(), 2)), Some(&Replayed::Pending));
+    }
+
+    #[test]
+    fn jobs_journal_independently_and_release_frees_the_slot() {
+        let dir = std::env::temp_dir()
+            .join(format!("specfetch-journal-jobs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Ids chosen to stay clear of other tests: the journal map is
+        // process-wide.
+        let (a, b) = (0xDEAD_1001u64, 0xDEAD_1002u64);
+        let path_a = activate_job(a, &dir.join("a"), 1, false).unwrap();
+        let path_b = activate_job(b, &dir.join("b"), 2, false).unwrap();
+        assert_ne!(path_a, path_b);
+        assert!(activate_job(a, &dir.join("a"), 1, false).is_err(), "double activation");
+
+        begin_experiment(a, "sweep");
+        begin_experiment(b, "table3");
+        assert_eq!(reserve(a, 3), Some(0));
+        assert_eq!(reserve(a, 2), Some(3), "indices advance per job");
+        assert_eq!(reserve(b, 1), Some(0), "...not across jobs");
+        record_scheduled(a, 0, "li", 100, 0xaa);
+        record_completed(a, 0);
+        record_scheduled(b, 0, "gcc", 100, 0xab);
+        record_interrupted(b, 0);
+        assert_eq!(counters(a), Some((1, 1, 0, 0)));
+        assert_eq!(counters(b), Some((1, 0, 0, 1)));
+
+        let text = std::fs::read_to_string(&path_a).unwrap();
+        assert!(text.lines().any(|l| l.starts_with("c sweep 0|")), "{text}");
+        assert!(!text.contains("gcc"), "job b's events stay out of job a's file: {text}");
+
+        release(a);
+        release(b);
+        assert_eq!(counters(a), None, "released jobs are inactive");
+        assert!(activate_job(a, &dir.join("a"), 1, false).is_ok(), "slot is reusable");
+        release(a);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -32,7 +32,9 @@
 
 pub mod analysis;
 pub mod codec;
+pub mod diag;
 pub mod disk_cache;
+pub mod driver;
 pub mod experiments;
 pub mod fault;
 pub mod journal;
@@ -44,12 +46,14 @@ mod report;
 pub mod result_store;
 mod runner;
 pub mod scenario;
+pub mod store;
 pub mod supervise;
 pub mod sweep;
 mod table;
 pub mod trace_cache;
 pub mod worker;
 
+pub use driver::{Driver, DriverEvents, DriverOutcome, JobSpec};
 pub use options::RunOptions;
 pub use parallel::{par_map, try_par_map};
 pub use registry::{ExperimentEntry, REGISTRY};
@@ -60,6 +64,7 @@ pub use runner::{
 };
 pub use scenario::{run_scenario, ConfigPoint, Metric, Scenario, ScenarioGrid};
 pub use specfetch_core::SpecfetchError;
+pub use store::{Progress, RunStore};
 pub use sweep::{parse_sweep, SweepError};
 pub use table::{Format, Table};
 
@@ -96,7 +101,7 @@ pub fn run_experiment(id: &str, opts: &RunOptions) -> Result<ExperimentReport, S
         return Err(SpecfetchError::UnknownExperiment { id: id.to_owned() });
     }
     fault::begin_experiment(id);
-    journal::begin_experiment(id);
+    journal::begin_experiment(opts.job, id);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(id, opts))).map_err(
         |payload| SpecfetchError::ExperimentPanic {
             id: id.to_owned(),

@@ -76,6 +76,11 @@ pub struct RunOptions {
     /// the result store / journal instead of replaying the `FAILED`
     /// cell.
     pub retry_failed: bool,
+    /// The job this run executes under. Job `0` is the CLI's ambient
+    /// job; the service controller assigns each submitted job its own
+    /// id so journals, cancellation, and progress snapshots stay
+    /// per-job (see [`crate::store`] and [`crate::supervise`]).
+    pub job: u64,
 }
 
 impl RunOptions {
@@ -96,6 +101,7 @@ impl RunOptions {
             heartbeat_ms: 5_000,
             backoff_ms: 100,
             retry_failed: false,
+            job: 0,
         }
     }
 
@@ -118,6 +124,7 @@ impl RunOptions {
             heartbeat_ms: 5_000,
             backoff_ms: 100,
             retry_failed: false,
+            job: 0,
         }
     }
 
@@ -200,6 +207,13 @@ impl RunOptions {
         self
     }
 
+    /// Sets the job id this run executes under (`0` = the CLI's ambient
+    /// job).
+    pub fn with_job(mut self, job: u64) -> Self {
+        self.job = job;
+        self
+    }
+
     /// Whether finished results may be served from / filled into the
     /// process-wide memo and the on-disk store. Results are identical on
     /// every replay path, but the memo rides the same opt-outs as the
@@ -260,6 +274,8 @@ mod tests {
         assert_eq!(RunOptions::new().with_backoff_ms(5).backoff_ms, 5);
         assert!(!RunOptions::new().retry_failed, "negative cache is honoured by default");
         assert!(RunOptions::new().with_retry_failed(true).retry_failed);
+        assert_eq!(RunOptions::new().job, 0, "the CLI runs as the ambient job");
+        assert_eq!(RunOptions::new().with_job(7).job, 7);
     }
 
     #[test]

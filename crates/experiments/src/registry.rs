@@ -144,6 +144,46 @@ pub fn find(id: &str) -> Option<&'static ExperimentEntry> {
     REGISTRY.iter().find(|e| e.id == id)
 }
 
+/// The machine-readable registry listing: a JSON array with one object
+/// per experiment — id, summary, whether it is a paper artifact, and
+/// the declarative grid axes (benchmarks, config-point labels, metric)
+/// or `null` for the one bespoke experiment without a grid.
+///
+/// This is the single listing both `--list --json` and the service's
+/// `GET /experiments` serve, so the two can never drift.
+pub fn render_listing_json() -> String {
+    use crate::codec::json_escape;
+    let mut out = String::from("[\n");
+    for (i, e) in REGISTRY.iter().enumerate() {
+        let grid = match e.scenario {
+            None => "null".to_owned(),
+            Some(scenario) => {
+                let s = scenario();
+                let benches: Vec<String> =
+                    s.benches.iter().map(|b| format!("\"{}\"", json_escape(b.name))).collect();
+                let points: Vec<String> =
+                    s.points.iter().map(|p| format!("\"{}\"", json_escape(&p.label))).collect();
+                format!(
+                    "{{\"benches\":[{}],\"points\":[{}],\"metric\":\"{}\"}}",
+                    benches.join(","),
+                    points.join(","),
+                    json_escape(s.metric.name())
+                )
+            }
+        };
+        out.push_str(&format!(
+            "  {{\"id\":\"{}\",\"summary\":\"{}\",\"paper_artifact\":{},\"grid\":{}}}{}\n",
+            json_escape(e.id),
+            json_escape(e.summary),
+            e.paper_artifact,
+            grid,
+            if i + 1 < REGISTRY.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +193,25 @@ mod tests {
         for (i, e) in REGISTRY.iter().enumerate() {
             assert!(REGISTRY[i + 1..].iter().all(|o| o.id != e.id), "duplicate id {}", e.id);
         }
+    }
+
+    #[test]
+    fn the_json_listing_covers_the_whole_registry() {
+        let listing = render_listing_json();
+        assert!(listing.starts_with("[\n"), "{listing}");
+        assert!(listing.ends_with(']'), "{listing}");
+        for e in &REGISTRY {
+            assert!(listing.contains(&format!("\"id\":\"{}\"", e.id)), "missing {}", e.id);
+        }
+        // table2 is the one gridless experiment; everything else lists axes.
+        assert!(listing.contains("\"id\":\"table2\",\"summary\":\"workload inventory"));
+        assert!(listing
+            .lines()
+            .any(|l| l.contains("\"id\":\"table2\"") && l.contains("\"grid\":null")));
+        assert!(listing
+            .lines()
+            .any(|l| l.contains("\"id\":\"table5\"") && l.contains("\"benches\":[")));
+        assert_eq!(listing.matches("\"id\":").count(), REGISTRY.len());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use specfetch_synth::suite::Benchmark;
 use specfetch_trace::PathSource;
 
 use crate::parallel::panic_message;
+use crate::store::{persist, resolve_stored};
 use crate::{fault, journal, par_map, supervise, try_par_map, RunOptions};
 
 /// One benchmark's simulation outcome.
@@ -206,76 +207,32 @@ pub fn try_simulate_benchmark(
     }
 }
 
-/// Resolves a grid point from the layers that already hold its outcome:
-/// the process-wide memo first, then the on-disk result store (a disk
-/// hit back-fills the memo so the next lookup is RAM-only). A stored
-/// *negative* entry (terminal failure) resolves to its replayed
-/// `Err(CellFailure)` unless `--retry-failed` opts back into
-/// recomputing. `None` means the point must actually simulate.
-pub(crate) fn resolve_stored(
-    bench: &Benchmark,
-    instrs: u64,
-    cfg: SimConfig,
-    opts: &RunOptions,
-) -> Option<GridCell> {
-    if !opts.use_memo() {
-        return None;
-    }
-    if let Some(r) = crate::trace_cache::cached_result(bench, instrs, cfg) {
-        return Some(Ok(r));
-    }
-    if opts.result_store {
-        match crate::result_store::get(bench.name, instrs, &cfg) {
-            Some(crate::result_store::StoredOutcome::Completed(r)) => {
-                crate::trace_cache::store_result(bench, instrs, cfg, r.clone());
-                return Some(Ok(r));
-            }
-            Some(crate::result_store::StoredOutcome::Failed(reason)) if !opts.retry_failed => {
-                return Some(Err(CellFailure::from_replay(reason)));
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Persists a freshly simulated result to the on-disk store (no-op when
-/// the store is unconfigured or disabled).
-pub(crate) fn persist(
-    bench: &Benchmark,
-    instrs: u64,
-    cfg: SimConfig,
-    r: &SimResult,
-    opts: &RunOptions,
-) {
-    if opts.use_memo() && opts.result_store {
-        crate::result_store::put(bench.name, instrs, &cfg, r);
-    }
-}
-
-/// Streams one finished batch of cells to stderr (`--stream`): one
-/// `[row] ...` line per grid point, in completion order. Stdout — and
-/// therefore the golden byte-identity — is untouched.
+/// Streams one finished batch of cells (`--stream`): one `[row] ...`
+/// line per grid point, in completion order, delivered through the
+/// per-job row sink ([`crate::diag::row`]) — stderr for the CLI, the
+/// controller's buffer for service jobs. Stdout — and therefore the
+/// golden byte-identity — is untouched.
 pub(crate) fn stream_cells(points: &[GridPoint], cells: &[(usize, GridCell)], opts: &RunOptions) {
     if !opts.stream {
         return;
     }
     for (i, cell) in cells {
         let p = &points[*i];
-        match cell {
-            Ok(r) => eprintln!(
+        let row = match cell {
+            Ok(r) => format!(
                 "[row] {} cfg={:016x} ispi={:.4}",
                 p.benchmark.name,
                 p.cfg.canonical_hash(),
                 r.ispi()
             ),
-            Err(f) => eprintln!(
+            Err(f) => format!(
                 "[row] {} cfg={:016x} {}",
                 p.benchmark.name,
                 p.cfg.canonical_hash(),
                 f.cell()
             ),
-        }
+        };
+        crate::diag::row(opts.job, &row);
     }
 }
 
@@ -318,10 +275,11 @@ pub fn simulate_benchmark(bench: &Benchmark, cfg: SimConfig, opts: RunOptions) -
 /// that configuration while sibling lanes complete.
 pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     let base = fault::reserve(points.len());
-    let jbase = journal::reserve(points.len());
+    let jbase = journal::reserve(opts.job, points.len());
     if let Some(jb) = jbase {
         for (i, p) in points.iter().enumerate() {
             journal::record_scheduled(
+                opts.job,
                 jb + i as u64,
                 p.benchmark.name,
                 opts.instrs_per_benchmark,
@@ -338,7 +296,7 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     if let Some(jb) = jbase {
         for (i, slot) in out.iter_mut().enumerate() {
             if let Some(journal::Replayed::Failed { attempts: a, reason }) =
-                journal::replayed(jb + i as u64)
+                journal::replayed(opts.job, jb + i as u64)
             {
                 if !opts.retry_failed {
                     *slot = Some(Err(CellFailure::from_replay(reason)));
@@ -355,7 +313,7 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     // injected `err`) with seeded exponential backoff. Terminal and
     // interrupted cells are left alone.
     for attempt in 1..=opts.retries {
-        if supervise::shutdown_requested() {
+        if supervise::job_shutdown_requested(opts.job) {
             break;
         }
         let retry: Vec<usize> = (0..points.len())
@@ -376,7 +334,7 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
     // before bookkeeping — journaling them as terminal (and negatively
     // caching them) would make `--resume` replay the interruption
     // verbatim instead of recomputing.
-    if supervise::shutdown_requested() {
+    if supervise::job_shutdown_requested(opts.job) {
         for slot in &mut out {
             if let Some(Err(f)) = slot {
                 if f.kind == FailKind::Transient {
@@ -395,13 +353,13 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
             Some(Ok(_)) => {
                 completed += 1;
                 if let Some(jb) = jbase {
-                    journal::record_completed(jb + i as u64);
+                    journal::record_completed(opts.job, jb + i as u64);
                 }
             }
             Some(Err(f)) if f.kind == FailKind::Interrupted => {
                 interrupted += 1;
                 if let Some(jb) = jbase {
-                    journal::record_interrupted(jb + i as u64);
+                    journal::record_interrupted(opts.job, jb + i as u64);
                 }
             }
             Some(Err(f)) => {
@@ -411,7 +369,12 @@ pub fn try_run_grid(points: &[GridPoint], opts: &RunOptions) -> Vec<GridCell> {
                 // store counters and grow the WAL on every resume.
                 if !f.replayed {
                     if let Some(jb) = jbase {
-                        journal::record_failed(jb + i as u64, attempts[i].max(1), &f.reason);
+                        journal::record_failed(
+                            opts.job,
+                            jb + i as u64,
+                            attempts[i].max(1),
+                            &f.reason,
+                        );
                     }
                     if opts.use_memo() && opts.result_store {
                         let p = &points[i];
@@ -455,7 +418,7 @@ fn run_pass(
     if idxs.is_empty() {
         return;
     }
-    if supervise::shutdown_requested() {
+    if supervise::job_shutdown_requested(opts.job) {
         for &i in idxs {
             out[i] = Some(Err(CellFailure::interrupted()));
         }
@@ -463,7 +426,7 @@ fn run_pass(
     }
     if let Some(jb) = jbase {
         for &i in idxs {
-            journal::record_attempt(jb + i as u64, attempt);
+            journal::record_attempt(opts.job, jb + i as u64, attempt);
         }
     }
     for &i in idxs {
@@ -506,7 +469,7 @@ fn run_pass_inprocess(
     }
     let opts_by_val = *opts;
     let done = par_map(groups, opts.parallel, |(b, idxs)| {
-        if supervise::shutdown_requested() {
+        if supervise::job_shutdown_requested(opts_by_val.job) {
             return idxs.into_iter().map(|i| (i, Err(CellFailure::interrupted()))).collect();
         }
         let cells = if opts_by_val.use_lockstep() {

@@ -11,6 +11,7 @@
 //! flushed, and the CLI exits 130.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
 /// How many shutdown requests have been received. `0` = run normally;
@@ -36,6 +37,43 @@ pub fn request_shutdown() -> u64 {
 /// at group/point boundaries and by cooperative waits.
 pub fn shutdown_requested() -> bool {
     SHUTDOWN_REQUESTS.load(Ordering::SeqCst) > 0
+}
+
+/// Jobs cancelled individually (`DELETE /jobs/<id>`), as opposed to the
+/// process-wide shutdown above. Grow-only: a cancelled job id stays
+/// cancelled for the life of the process, which keeps the check a plain
+/// membership test with no re-arm races.
+fn cancelled_jobs() -> &'static Mutex<Vec<u64>> {
+    static CANCELLED: OnceLock<Mutex<Vec<u64>>> = OnceLock::new();
+    CANCELLED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Cancels one job: every grid running under `job` drains with the
+/// Interrupted semantics of a process-wide shutdown (in-flight points
+/// finish, pending points are journaled `interrupted`, nothing is
+/// negatively cached), while other jobs keep running.
+pub fn cancel_job(job: u64) {
+    let mut cancelled = match cancelled_jobs().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if !cancelled.contains(&job) {
+        cancelled.push(job);
+    }
+}
+
+/// Whether `job` must stop: either the whole process is shutting down
+/// or this job was cancelled individually. Polled by the runner at
+/// group/point boundaries in place of the bare [`shutdown_requested`].
+pub fn job_shutdown_requested(job: u64) -> bool {
+    if shutdown_requested() {
+        return true;
+    }
+    let cancelled = match cancelled_jobs().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    cancelled.contains(&job)
 }
 
 /// Tallies one grid's outcomes into the process-wide counters the
@@ -100,6 +138,17 @@ mod tests {
         let delays: Vec<_> = (0..16).map(|pts| backoff_delay(1, 1000, pts)).collect();
         let distinct = delays.iter().collect::<std::collections::HashSet<_>>().len();
         assert!(distinct > 1, "jitter should vary with the grid: {delays:?}");
+    }
+
+    #[test]
+    fn job_cancellation_is_per_job_and_sticky() {
+        // Ids chosen to stay clear of other tests: cancellation is
+        // process-wide and grow-only.
+        assert!(!job_shutdown_requested(0xDEAD_0001));
+        cancel_job(0xDEAD_0001);
+        cancel_job(0xDEAD_0001); // idempotent
+        assert!(job_shutdown_requested(0xDEAD_0001));
+        assert!(!job_shutdown_requested(0xDEAD_0002), "other jobs keep running");
     }
 
     #[test]

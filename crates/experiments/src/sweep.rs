@@ -80,8 +80,13 @@ fn edit_distance(a: &str, b: &str) -> usize {
 }
 
 /// The closest candidate within an edit distance budget, as a
-/// ` — did you mean "x"?` suffix (empty when nothing is close).
-fn did_you_mean<'a>(given: &str, candidates: impl IntoIterator<Item = &'a str>) -> String {
+/// ` — did you mean "x"?` suffix (empty when nothing is close). Shared
+/// with [`crate::driver`]'s experiment-id validation so HTTP 400s hint
+/// the same way sweep errors do.
+pub(crate) fn did_you_mean<'a>(
+    given: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> String {
     candidates
         .into_iter()
         .map(|c| (edit_distance(given, c), c))

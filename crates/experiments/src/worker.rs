@@ -64,7 +64,8 @@ use specfetch_synth::suite::Benchmark;
 
 use crate::codec::{decode_result, encode_result, json_escape, json_string_field, json_u64_field};
 use crate::fault::{self, FaultAction};
-use crate::runner::{resolve_stored, stream_cells, CellFailure, FailKind, GridCell, GridPoint};
+use crate::runner::{stream_cells, CellFailure, FailKind, GridCell, GridPoint};
+use crate::store::resolve_stored;
 use crate::{supervise, RunOptions};
 
 /// Version of the parent↔worker JSON-lines protocol. Bumped by the
@@ -470,7 +471,7 @@ pub(crate) fn try_run_grid_sharded(
     for (b, idxs) in groups {
         // Shutdown drain: groups not yet dispatched are interrupted, not
         // simulated; in-flight groups below finish normally.
-        if supervise::shutdown_requested() {
+        if supervise::job_shutdown_requested(opts.job) {
             for i in idxs {
                 out[i] = Some(Err(CellFailure::interrupted()));
             }

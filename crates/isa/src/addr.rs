@@ -68,7 +68,10 @@ impl Addr {
     /// Panics in debug builds on underflow below address zero.
     pub fn offset_words(self, words: i64) -> Addr {
         let delta = words * INSTR_BYTES as i64;
-        Addr(self.0.checked_add_signed(delta).expect("address out of range"))
+        match self.0.checked_add_signed(delta) {
+            Some(raw) => Addr(raw),
+            None => panic!("address out of range: {:#x} offset by {words} words", self.0),
+        }
     }
 
     /// The cache line this address falls in, for lines of `line_bytes` bytes.

@@ -1,5 +1,6 @@
-//! `specfetch-repro`: regenerate the paper's tables and figures, or run
-//! a user-defined sweep through the same pipeline.
+//! `specfetch-repro`: regenerate the paper's tables and figures, run a
+//! user-defined sweep through the same pipeline, or serve both as jobs
+//! over HTTP.
 //!
 //! ```text
 //! specfetch-repro [--experiment <id>|all] [--sweep <spec>] [--instrs N]
@@ -8,28 +9,36 @@
 //!                 [--result-dir <dir>] [--no-result-store] [--workers N]
 //!                 [--retries N] [--point-timeout SECS] [--backoff-ms N]
 //!                 [--heartbeat-ms N] [--resume] [--retry-failed]
-//!                 [--stream] [--overlay-min N] [--inject <spec>] [--list]
+//!                 [--stream] [--overlay-min N] [--inject <spec>] [--quiet]
+//!                 [--list [--json]] [--serve <addr> [--jobs N]]
 //! ```
 //!
 //! A sweep spec is whitespace-separated `axis=value[,value...]` terms,
 //! e.g. `--sweep 'policy=Res,Pess cache=8K,32K penalty=5,20 metric=ispi'`.
+//!
+//! `--serve <addr>` turns the process into a long-running job service
+//! (see `specfetch_service::http`): jobs submitted over HTTP run
+//! through the exact driver the flags above use, so a job's result body
+//! is byte-identical to the CLI's stdout for the same selection.
 //!
 //! Exit codes: `0` success, `1` one or more grid points or experiments
 //! failed (everything else still ran and rendered), `2` usage error
 //! (rejected before any experiment runs), `130` interrupted — the first
 //! SIGINT/SIGTERM drains in-flight points, flushes the result store and
 //! sweep journal, and prints a partial summary; a second signal aborts
-//! immediately.
+//! immediately. In `--serve` mode the first signal stops intake and
+//! drains running jobs, then exits `0`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use specfetch_experiments::fault::FaultPlan;
 use specfetch_experiments::sweep::AXES;
 use specfetch_experiments::{
-    analysis, disk_cache, fault, is_known_experiment, journal, parse_sweep, result_store,
-    run_experiment, run_scenario, supervise, worker, Format, RunOptions, EXPERIMENT_IDS,
-    EXTRA_EXPERIMENT_IDS,
+    analysis, diag, disk_cache, fault, journal, registry, result_store, supervise, worker, Driver,
+    Format, JobSpec, RunOptions, EXPERIMENT_IDS, EXTRA_EXPERIMENT_IDS,
 };
+use specfetch_service::{http, Controller, ControllerConfig};
 use specfetch_synth::suite::Benchmark;
 
 /// Usage problems abort before any experiment runs.
@@ -77,10 +86,13 @@ struct Args {
     format: Format,
     opts: RunOptions,
     list: bool,
+    json: bool,
     analyze: bool,
     benchmark: Option<String>,
     worker: bool,
     resume: bool,
+    serve: Option<String>,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,10 +101,13 @@ fn parse_args() -> Result<Args, String> {
     let mut format = Format::Plain;
     let mut opts = RunOptions::new();
     let mut list = false;
+    let mut json = false;
     let mut analyze = false;
     let mut benchmark: Option<String> = None;
     let mut worker = false;
     let mut resume = false;
+    let mut serve: Option<String> = None;
+    let mut jobs = 1usize;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -233,6 +248,26 @@ fn parse_args() -> Result<Args, String> {
                 analysis::set_corrupt_target(&v).map_err(|e| e.to_string())?;
             }
             "--list" => list = true,
+            // Machine-readable output where supported (--list).
+            "--json" => json = true,
+            // Suppress status chatter on stderr ([journal],
+            // [result-store], timing lines). Reports, [row] streams and
+            // errors still print.
+            "--quiet" => diag::set_quiet(true),
+            // Long-running job service: submit experiments and sweeps
+            // over HTTP instead of flags (see DESIGN §5k).
+            "--serve" => {
+                serve = Some(it.next().ok_or("--serve needs an address (host:port)")?);
+            }
+            // How many submitted jobs may run concurrently (--serve).
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be positive".into());
+                }
+                jobs = n;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: specfetch-repro [--experiment <id>|all] [--sweep <spec>] \
@@ -242,8 +277,9 @@ fn parse_args() -> Result<Args, String> {
                      [--trace-dir <dir>] [--result-dir <dir>] [--no-result-store] \
                      [--workers N] [--retries N] [--point-timeout SECS] \
                      [--backoff-ms N] [--heartbeat-ms N] [--resume] [--retry-failed] \
-                     [--stream] [--overlay-min N] \
-                     [--inject <spec>] [--corrupt-target <name>] [--list]"
+                     [--stream] [--overlay-min N] [--quiet] \
+                     [--inject <spec>] [--corrupt-target <name>] [--list [--json]] \
+                     [--serve <addr> [--jobs N]]"
                 );
                 println!("experiments: all {}", EXPERIMENT_IDS.join(" "));
                 println!("extras:      extras {}", EXTRA_EXPERIMENT_IDS.join(" "));
@@ -260,6 +296,10 @@ fn parse_args() -> Result<Args, String> {
                      chaos=<permille>@<seed>,<action>[*<k>] or soak=<permille>@<seed>; \
                      ';'-separated; actions: panic err slow abort hang exitcode=<n>; \
                      *<k> limits the fault to the first k attempts"
+                );
+                println!(
+                    "serve:       POST /jobs, GET /jobs/<id>[/result|/stream], \
+                     DELETE /jobs/<id>, GET /experiments"
                 );
                 std::process::exit(0);
             }
@@ -281,8 +321,17 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("unknown benchmark {name:?} (valid names: {})", names.join(" ")));
         }
     }
-    if worker && (sweep.is_some() || experiment.is_some() || analyze || list) {
+    if worker && (sweep.is_some() || experiment.is_some() || analyze || list || serve.is_some()) {
         return Err("--worker is a child-process mode and takes no experiment selection".into());
+    }
+    if serve.is_some() && (sweep.is_some() || experiment.is_some() || analyze || list) {
+        return Err("--serve runs jobs submitted over HTTP and takes no selection flags".into());
+    }
+    if serve.is_some() && resume {
+        return Err("--resume applies to a single run; served jobs journal per job".into());
+    }
+    if json && !list {
+        return Err("--json only applies to --list".into());
     }
     if resume {
         if result_store::dir().is_none() {
@@ -298,19 +347,23 @@ fn parse_args() -> Result<Args, String> {
         format,
         opts,
         list,
+        json,
         analyze,
         benchmark,
         worker,
         resume,
+        serve,
+        jobs,
     })
 }
 
-/// Prints the result-store hit/store counters once per process (stderr),
-/// so resume tests — and humans — can see how much work the store saved.
+/// Prints the result-store hit/store counters once per process (via the
+/// stderr diagnostics sink, so `--quiet` can silence them), letting
+/// resume tests — and humans — see how much work the store saved.
 fn report_store_stats() {
     if result_store::dir().is_some() {
         let (hits, stores) = result_store::stats();
-        eprintln!("[result-store] hits={hits} stores={stores}");
+        diag::line(&format!("[result-store] hits={hits} stores={stores}"));
     }
 }
 
@@ -332,7 +385,7 @@ fn interrupted_exit() -> Option<ExitCode> {
 
 /// Activates the crash-exact sweep journal inside the result store for
 /// this run (keyed by experiment selection + instruction budget), either
-/// fresh or in `--resume` replay mode.
+/// fresh or in `--resume` replay mode. The CLI runs as the ambient job 0.
 fn activate_journal(args: &Args) -> Result<(), ExitCode> {
     if !args.opts.result_store {
         return Ok(());
@@ -345,7 +398,7 @@ fn activate_journal(args: &Args) -> Result<(), ExitCode> {
     let key = journal::run_key(&desc, args.opts.instrs_per_benchmark);
     match journal::activate(dir, key, args.resume) {
         Ok(path) => {
-            eprintln!("[journal] {}", path.display());
+            diag::line(&format!("[journal] {}", path.display()));
             Ok(())
         }
         Err(e) => {
@@ -371,8 +424,12 @@ fn main() -> ExitCode {
     }
 
     if args.list {
-        for id in EXPERIMENT_IDS.iter().chain(EXTRA_EXPERIMENT_IDS.iter()) {
-            println!("{id}");
+        if args.json {
+            println!("{}", registry::render_listing_json());
+        } else {
+            for id in EXPERIMENT_IDS.iter().chain(EXTRA_EXPERIMENT_IDS.iter()) {
+                println!("{id}");
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -415,49 +472,65 @@ fn main() -> ExitCode {
     // the first SIGINT/SIGTERM drains instead of killing.
     signals::install();
 
+    // Service mode: a controller of bounded concurrent drivers behind a
+    // std::net HTTP front end. Journals go per job under
+    // <result-dir>/jobs/job-<id>/; the first signal stops intake,
+    // drains running jobs, and exits 0.
+    if let Some(addr) = &args.serve {
+        let controller = Arc::new(Controller::start(ControllerConfig {
+            opts: args.opts,
+            format: args.format,
+            journal_root: result_store::dir().map(|d| d.join("jobs")),
+            max_concurrent: args.jobs,
+        }));
+        return match http::serve(addr, &controller) {
+            Ok(()) => {
+                report_store_stats();
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     // A user-defined sweep runs through the same scenario pipeline as
     // the paper experiments: shared trace cache, result memo, per-point
     // fault isolation, and the same `--inject point=sweep:N` numbering.
-    if let Some(spec) = &args.sweep {
-        let scenario = match parse_sweep(spec) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::from(EXIT_USAGE);
-            }
-        };
+    // The driver owns execution; this binary prints the report and maps
+    // the outcome to an exit code.
+    if let Some(raw) = &args.sweep {
+        let spec = JobSpec::Sweep(raw.clone());
+        if let Err(e) = spec.validate() {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
         // The spec parsed; only now touch (or replay) the journal.
         if let Err(code) = activate_journal(&args) {
             return code;
         }
-        fault::begin_experiment("sweep");
-        journal::begin_experiment("sweep");
-        let started = std::time::Instant::now();
-        let report = run_scenario(scenario, &args.opts).render();
-        let failed_cells = report.failed_cells();
-        println!("{}", report.render(args.format));
-        eprintln!("[sweep done in {:.1}s]\n", started.elapsed().as_secs_f64());
+        let outcome =
+            Driver::new(args.opts, args.format).run(&spec, &mut |text: &str| println!("{text}"));
         report_store_stats();
         if let Some(code) = interrupted_exit() {
             return code;
         }
-        if failed_cells > 0 {
-            eprintln!("specfetch-repro: {failed_cells} failed cell(s), 0 failed experiment(s)");
+        if outcome.failed_cells > 0 {
+            eprintln!(
+                "specfetch-repro: {} failed cell(s), 0 failed experiment(s)",
+                outcome.failed_cells
+            );
             return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }
 
-    let ids: Vec<&str> = match args.experiment.as_str() {
-        "all" => EXPERIMENT_IDS.to_vec(),
-        "extras" => EXTRA_EXPERIMENT_IDS.to_vec(),
-        other => vec![other],
-    };
-
+    let spec = JobSpec::Experiment(args.experiment.clone());
     // Reject unknown ids up front — a typo should fail fast, not after
     // an hour of simulation.
-    if let Some(bad) = ids.iter().find(|id| !is_known_experiment(id)) {
-        eprintln!("error: unknown experiment {bad:?}");
+    if spec.validate().is_err() {
+        eprintln!("error: unknown experiment {:?}", args.experiment);
         eprintln!("valid ids: all extras {}", EXPERIMENT_IDS.join(" "));
         eprintln!("           {}", EXTRA_EXPERIMENT_IDS.join(" "));
         return ExitCode::from(EXIT_USAGE);
@@ -469,36 +542,16 @@ fn main() -> ExitCode {
     // Failures no longer stop the run: every experiment executes, failed
     // grid points render as FAILED(...) cells, and the exit code
     // summarises at the end.
-    let mut failed_cells = 0usize;
-    let mut failed_experiments = 0usize;
-    for id in ids {
-        // Graceful shutdown: the experiment that saw the signal drained
-        // its in-flight points; those after it never start.
-        if supervise::shutdown_requested() {
-            break;
-        }
-        let started = std::time::Instant::now();
-        match run_experiment(id, &args.opts) {
-            Ok(report) => {
-                failed_cells += report.failed_cells();
-                println!("{}", report.render(args.format));
-                eprintln!("[{id} done in {:.1}s]\n", started.elapsed().as_secs_f64());
-            }
-            Err(e) => {
-                failed_experiments += 1;
-                eprintln!("error: {e}");
-                eprintln!("[{id} FAILED in {:.1}s]\n", started.elapsed().as_secs_f64());
-            }
-        }
-    }
+    let outcome =
+        Driver::new(args.opts, args.format).run(&spec, &mut |text: &str| println!("{text}"));
     report_store_stats();
     if let Some(code) = interrupted_exit() {
         return code;
     }
-    if failed_cells > 0 || failed_experiments > 0 {
+    if outcome.failed() {
         eprintln!(
-            "specfetch-repro: {failed_cells} failed cell(s), \
-             {failed_experiments} failed experiment(s)"
+            "specfetch-repro: {} failed cell(s), {} failed experiment(s)",
+            outcome.failed_cells, outcome.failed_experiments
         );
         return ExitCode::FAILURE;
     }

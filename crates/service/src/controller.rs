@@ -1,0 +1,390 @@
+//! The job controller: a submit queue feeding a bounded pool of driver
+//! threads, with per-job journals, buffered row streams, and
+//! cancellation that reuses the driver's graceful-drain machinery.
+//!
+//! The controller is deliberately small: everything about *executing* a
+//! job (supervision, retries, the result store, journalling) already
+//! lives in the experiments crate; this layer only decides *when* each
+//! job runs, tracks its [`JobState`], and keeps what the HTTP layer
+//! needs to answer for it afterwards.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use specfetch_experiments::{
+    diag, journal, supervise, Driver, DriverOutcome, Format, JobSpec, Progress, RunOptions,
+    RunStore,
+};
+
+use crate::job::{JobSnapshot, JobState};
+
+/// Locks a mutex, tolerating poisoning: a panicking driver thread must
+/// not wedge the whole service (the job it was running is already
+/// accounted for by the driver's own panic isolation).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// How a [`Controller`] runs jobs.
+#[derive(Clone, Debug)]
+pub struct ControllerConfig {
+    /// Base run options every job inherits (its own `job` id and the
+    /// row stream are layered on top at submit time).
+    pub opts: RunOptions,
+    /// Report rendering format for every job.
+    pub format: Format,
+    /// Where per-job journal directories (`job-<id>/`) are created;
+    /// `None` runs jobs without journals, exactly like a CLI run with
+    /// no `--result-dir`.
+    pub journal_root: Option<PathBuf>,
+    /// Driver threads — how many jobs may run concurrently.
+    pub max_concurrent: usize,
+}
+
+/// Everything the controller keeps about one job.
+struct JobRecord {
+    spec: JobSpec,
+    opts: RunOptions,
+    state: JobState,
+    cancel_requested: bool,
+    /// `[row]` lines captured from the job's diagnostics row sink.
+    rows: Arc<Mutex<Vec<String>>>,
+    /// The rendered reports, newline-terminated exactly as the CLI
+    /// prints them. Present once terminal (empty for jobs cancelled
+    /// before running).
+    result: Option<String>,
+    outcome: Option<DriverOutcome>,
+    /// Journal progress captured just before the journal detached.
+    final_progress: Option<Progress>,
+}
+
+struct State {
+    next_id: u64,
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobRecord>,
+    accepting: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    cfg: ControllerConfig,
+}
+
+/// The job controller. Cheap to share (`Arc` it for the HTTP layer).
+pub struct Controller {
+    shared: Arc<Shared>,
+    drivers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Controller {
+    /// Starts a controller with `cfg.max_concurrent` (at least one)
+    /// driver threads waiting for work.
+    pub fn start(cfg: ControllerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                // Job 0 is the CLI's ambient job; service jobs start at 1.
+                next_id: 1,
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                accepting: true,
+            }),
+            work: Condvar::new(),
+            cfg,
+        });
+        let n = shared.cfg.max_concurrent.max(1);
+        let mut drivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let shared = Arc::clone(&shared);
+            drivers.push(std::thread::spawn(move || driver_loop(&shared)));
+        }
+        Controller { shared, drivers: Mutex::new(drivers) }
+    }
+
+    /// Validates and enqueues a spec, returning the new job id.
+    ///
+    /// # Errors
+    ///
+    /// The human-readable rejection: an invalid spec (with a
+    /// "did you mean" hint) or a draining controller.
+    pub fn submit(&self, spec: JobSpec, instrs: Option<u64>) -> Result<u64, String> {
+        spec.validate().map_err(|e| e.to_string())?;
+        let mut st = lock(&self.shared.state);
+        if !st.accepting {
+            return Err("server is draining and accepts no new jobs".to_owned());
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let mut opts = self.shared.cfg.opts.with_job(id).with_stream(true);
+        if let Some(n) = instrs {
+            opts = opts.with_instrs(n);
+        }
+        st.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                opts,
+                state: JobState::Queued,
+                cancel_requested: false,
+                rows: Arc::new(Mutex::new(Vec::new())),
+                result: None,
+                outcome: None,
+                final_progress: None,
+            },
+        );
+        st.queue.push_back(id);
+        self.shared.work.notify_one();
+        Ok(id)
+    }
+
+    /// The job's current status, or `None` for an unknown id.
+    pub fn status(&self, id: u64) -> Option<JobSnapshot> {
+        let st = lock(&self.shared.state);
+        let job = st.jobs.get(&id)?;
+        let progress = if job.state.is_terminal() {
+            job.final_progress
+        } else {
+            RunStore::for_job(id).progress()
+        };
+        let rows = lock(&job.rows).len() as u64;
+        Some(JobSnapshot {
+            id,
+            state: job.state,
+            spec: job.spec.describe(),
+            progress,
+            outcome: job.outcome,
+            rows,
+        })
+    }
+
+    /// The job's rendered result. Outer `None`: unknown id; inner
+    /// `None`: not terminal yet.
+    pub fn result(&self, id: u64) -> Option<Option<String>> {
+        let st = lock(&self.shared.state);
+        let job = st.jobs.get(&id)?;
+        Some(if job.state.is_terminal() { job.result.clone() } else { None })
+    }
+
+    /// Buffered stream rows from index `from` on, plus whether the job
+    /// is terminal (no more rows will come). `None` for an unknown id.
+    pub fn rows_after(&self, id: u64, from: usize) -> Option<(Vec<String>, bool)> {
+        let st = lock(&self.shared.state);
+        let job = st.jobs.get(&id)?;
+        let rows = lock(&job.rows);
+        Some((rows[from.min(rows.len())..].to_vec(), job.state.is_terminal()))
+    }
+
+    /// Requests cancellation: a queued job goes straight to
+    /// `Cancelled`; a running one starts `Draining` (its driver drains
+    /// in-flight points and lands on `Cancelled` with the interrupted
+    /// points journalled). Idempotent; `None` for an unknown id.
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let mut st = lock(&self.shared.state);
+        let job = st.jobs.get_mut(&id)?;
+        match job.state {
+            JobState::Queued => {
+                job.cancel_requested = true;
+                job.state = JobState::Cancelled;
+                job.result = Some(String::new());
+            }
+            JobState::Running => {
+                job.cancel_requested = true;
+                job.state = JobState::Draining;
+                supervise::cancel_job(id);
+            }
+            // Draining or already terminal: nothing more to do.
+            _ => {}
+        }
+        Some(job.state)
+    }
+
+    /// Every known job, newest first (for listing endpoints and tests).
+    pub fn snapshot_all(&self) -> Vec<JobSnapshot> {
+        let ids: Vec<u64> = {
+            let st = lock(&self.shared.state);
+            let mut ids: Vec<u64> = st.jobs.keys().copied().collect();
+            ids.sort_unstable_by(|a, b| b.cmp(a));
+            ids
+        };
+        ids.into_iter().filter_map(|id| self.status(id)).collect()
+    }
+
+    /// Stops intake and blocks until every driver thread has finished
+    /// its current job and exited. Queued jobs still run (under a
+    /// global shutdown they drain immediately and land on `Cancelled`).
+    pub fn drain(&self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.accepting = false;
+        }
+        self.shared.work.notify_all();
+        let drivers: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&self.drivers));
+        for d in drivers {
+            // A driver that panicked already lost its job to the
+            // driver-layer panic isolation; nothing to propagate.
+            let _ = d.join();
+        }
+    }
+}
+
+/// One driver thread: claim queued jobs until intake stops and the
+/// queue is empty.
+fn driver_loop(shared: &Arc<Shared>) {
+    loop {
+        let claimed = {
+            let mut st = lock(&shared.state);
+            loop {
+                if let Some(id) = st.queue.pop_front() {
+                    let Some(job) = st.jobs.get_mut(&id) else { continue };
+                    if job.state != JobState::Queued {
+                        // Cancelled while queued; already terminal.
+                        continue;
+                    }
+                    job.state = JobState::Running;
+                    break Some((id, job.spec.clone(), job.opts, Arc::clone(&job.rows)));
+                }
+                if !st.accepting {
+                    break None;
+                }
+                st = match shared.work.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        let Some((id, spec, opts, rows)) = claimed else { return };
+        run_job(shared, id, &spec, opts, rows);
+    }
+}
+
+/// Runs one claimed job start to finish: row sink, journal, driver,
+/// terminal bookkeeping.
+fn run_job(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &JobSpec,
+    opts: RunOptions,
+    rows: Arc<Mutex<Vec<String>>>,
+) {
+    let sink_rows = Arc::clone(&rows);
+    diag::register_row_sink(id, move |row| lock(&sink_rows).push(row.to_owned()));
+
+    let store = RunStore::for_job(id);
+    if let Some(root) = &shared.cfg.journal_root {
+        let dir = root.join(format!("job-{id}"));
+        match std::fs::create_dir_all(&dir) {
+            Err(e) => diag::line(&format!("[job {id}] journal dir {}: {e}", dir.display())),
+            Ok(()) => {
+                let key = journal::run_key(&spec.describe(), opts.instrs_per_benchmark);
+                match store.attach_journal(&dir, key, false) {
+                    Ok(path) => diag::line(&format!("[journal] {}", path.display())),
+                    Err(e) => diag::line(&format!("[job {id}] journal: {e}")),
+                }
+            }
+        }
+    }
+
+    let driver = Driver::new(opts, shared.cfg.format);
+    let mut body = String::new();
+    let mut events = |text: &str| {
+        // Reproduce the CLI's stdout bytes: one report, one newline
+        // (what `println!` appends).
+        body.push_str(text);
+        body.push('\n');
+    };
+    let outcome = driver.run(spec, &mut events);
+
+    journal::flush();
+    let final_progress = store.progress();
+    store.detach();
+    diag::clear_row_sink(id);
+
+    let mut st = lock(&shared.state);
+    if let Some(job) = st.jobs.get_mut(&id) {
+        job.result = Some(body);
+        job.outcome = Some(outcome);
+        job.final_progress = final_progress;
+        job.state = if outcome.interrupted || job.cancel_requested {
+            JobState::Cancelled
+        } else if outcome.failed() {
+            JobState::Failed
+        } else {
+            JobState::Done
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn ci_config() -> ControllerConfig {
+        ControllerConfig {
+            opts: RunOptions::smoke().with_instrs(2_000),
+            format: Format::Plain,
+            journal_root: None,
+            max_concurrent: 1,
+        }
+    }
+
+    fn wait_terminal(c: &Controller, id: u64) -> JobSnapshot {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let snap = c.status(id).unwrap();
+            if snap.state.is_terminal() {
+                return snap;
+            }
+            assert!(Instant::now() < deadline, "job {id} stuck in {:?}", snap.state);
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn jobs_run_to_done_and_results_match_the_driver() {
+        let c = Controller::start(ci_config());
+        let id = c.submit(JobSpec::Experiment("table2".into()), None).unwrap();
+        let snap = wait_terminal(&c, id);
+        assert_eq!(snap.state, JobState::Done);
+        assert_eq!(snap.spec, "experiment:table2");
+
+        let body = c.result(id).unwrap().expect("terminal job has a result");
+        let opts = ci_config().opts.with_job(id).with_stream(true);
+        let direct =
+            specfetch_experiments::run_experiment("table2", &opts).unwrap().render(Format::Plain);
+        assert_eq!(body, format!("{direct}\n"), "result must be the CLI's stdout bytes");
+        c.drain();
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_submit() {
+        let c = Controller::start(ci_config());
+        let e = c.submit(JobSpec::Experiment("tabel2".into()), None).unwrap_err();
+        assert!(e.contains("did you mean"), "{e}");
+        assert!(c.status(1).is_none(), "nothing was enqueued");
+        c.drain();
+    }
+
+    #[test]
+    fn queued_jobs_cancel_immediately_and_drain_stops_intake() {
+        let c = Controller::start(ci_config());
+        // Park a long job so the next one stays queued.
+        let long = c.submit(JobSpec::Experiment("table5".into()), Some(50_000)).unwrap();
+        let queued = c.submit(JobSpec::Experiment("table2".into()), None).unwrap();
+        assert_eq!(c.cancel(queued), Some(JobState::Cancelled));
+        assert_eq!(c.status(queued).unwrap().state, JobState::Cancelled);
+        assert_eq!(c.result(queued).unwrap().as_deref(), Some(""));
+        assert_eq!(c.cancel(queued), Some(JobState::Cancelled), "cancel is idempotent");
+        c.cancel(long);
+        wait_terminal(&c, long);
+        c.drain();
+        let e = c.submit(JobSpec::Experiment("table2".into()), None).unwrap_err();
+        assert!(e.contains("draining"), "{e}");
+        assert!(c.cancel(999).is_none());
+    }
+}

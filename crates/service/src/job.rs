@@ -1,0 +1,142 @@
+//! Job lifecycle types: the state machine every submitted job moves
+//! through, and the status snapshot the HTTP layer renders.
+
+use specfetch_experiments::codec::json_escape;
+use specfetch_experiments::{DriverOutcome, Progress};
+
+/// Where a job is in its lifecycle.
+///
+/// ```text
+/// Queued ── dequeue ──▶ Running ── cancel ──▶ Draining ─┐
+///    │                     │                            │
+///    │ cancel              ├──▶ Done / Failed           │
+///    ▼                     ▼                            ▼
+/// Cancelled ◀──────── (interrupted) ◀───────────────────┘
+/// ```
+///
+/// `Done`, `Failed` and `Cancelled` are terminal; only then does
+/// `GET /jobs/<id>/result` serve a body.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum JobState {
+    /// Accepted and waiting for a driver slot.
+    Queued,
+    /// A driver is executing the spec.
+    Running,
+    /// Cancelled while running: the driver is draining in-flight points.
+    Draining,
+    /// Ran to completion with nothing wrong.
+    Done,
+    /// Ran, but with failed cells or failed experiments in the outcome.
+    Failed,
+    /// Cancelled (before running, or after draining) or interrupted.
+    Cancelled,
+}
+
+impl JobState {
+    /// The lowercase wire name (`"queued"`, `"running"`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Draining => "draining",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can change no further (its result is final).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// One job's externally visible status, as served by `GET /jobs/<id>`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobSnapshot {
+    /// The job id the submit endpoint returned.
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The journal-stable description of what the job runs
+    /// (`experiment:<sel>` / `sweep:<spec>`).
+    pub spec: String,
+    /// Journalled per-point progress, when a journal is attached (live
+    /// while running, final snapshot once terminal).
+    pub progress: Option<Progress>,
+    /// The driver outcome, once the job ran.
+    pub outcome: Option<DriverOutcome>,
+    /// `[row]` stream lines buffered so far.
+    pub rows: u64,
+}
+
+impl JobSnapshot {
+    /// The status object as one line of JSON.
+    pub fn render_json(&self) -> String {
+        let progress = match &self.progress {
+            None => "null".to_owned(),
+            Some(p) => format!(
+                "{{\"scheduled\":{},\"completed\":{},\"failed\":{},\"interrupted\":{}}}",
+                p.scheduled, p.completed, p.failed, p.interrupted
+            ),
+        };
+        let outcome = match &self.outcome {
+            None => "null".to_owned(),
+            Some(o) => format!(
+                "{{\"failed_cells\":{},\"failed_experiments\":{},\"interrupted\":{}}}",
+                o.failed_cells, o.failed_experiments, o.interrupted
+            ),
+        };
+        format!(
+            "{{\"id\":{},\"state\":\"{}\",\"spec\":\"{}\",\"progress\":{},\"outcome\":{},\"rows\":{}}}",
+            self.id,
+            self.state.name(),
+            json_escape(&self.spec),
+            progress,
+            outcome,
+            self.rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminality_matches_the_state_machine() {
+        for s in [JobState::Queued, JobState::Running, JobState::Draining] {
+            assert!(!s.is_terminal(), "{}", s.name());
+        }
+        for s in [JobState::Done, JobState::Failed, JobState::Cancelled] {
+            assert!(s.is_terminal(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn snapshots_render_stable_json() {
+        let snap = JobSnapshot {
+            id: 3,
+            state: JobState::Running,
+            spec: "experiment:all".to_owned(),
+            progress: Some(Progress { scheduled: 5, completed: 2, failed: 0, interrupted: 0 }),
+            outcome: None,
+            rows: 2,
+        };
+        assert_eq!(
+            snap.render_json(),
+            "{\"id\":3,\"state\":\"running\",\"spec\":\"experiment:all\",\
+             \"progress\":{\"scheduled\":5,\"completed\":2,\"failed\":0,\"interrupted\":0},\
+             \"outcome\":null,\"rows\":2}"
+        );
+        let done = JobSnapshot {
+            id: 4,
+            state: JobState::Done,
+            spec: "sweep:cache=8K".to_owned(),
+            progress: None,
+            outcome: Some(DriverOutcome::default()),
+            rows: 0,
+        };
+        assert!(done.render_json().contains("\"outcome\":{\"failed_cells\":0"));
+    }
+}

@@ -1,0 +1,32 @@
+//! The service layer: a job controller and a zero-dependency HTTP/1.1
+//! server over the experiment [`Driver`](specfetch_experiments::Driver).
+//!
+//! The controller ([`controller::Controller`]) owns a submit queue and a
+//! bounded pool of driver threads; each accepted [`JobSpec`] becomes a
+//! numbered job with its own journal directory and a buffered row
+//! stream, moving through the states in [`job::JobState`]. The HTTP
+//! front end ([`http::serve`]) is a thin, hand-rolled `std::net` facade
+//! over it — `POST /jobs`, `GET /jobs/<id>`, `GET /jobs/<id>/result`,
+//! `GET /jobs/<id>/stream`, `DELETE /jobs/<id>`, `GET /experiments` —
+//! speaking the same hand-rolled JSON grammar as the result store
+//! (`specfetch_experiments::codec`), so the workspace still carries no
+//! dependencies.
+//!
+//! Byte-identity is the core contract: the body served by
+//! `GET /jobs/<id>/result` is exactly what `specfetch-repro` would have
+//! printed to stdout for the same selection, because both are clients
+//! of the same driver layer.
+//!
+//! This crate (plus `bin/` crate roots) is the only place in the
+//! workspace allowed to open sockets — tidy rule 7 enforces the
+//! confinement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod http;
+pub mod job;
+
+pub use controller::{Controller, ControllerConfig};
+pub use job::{JobSnapshot, JobState};

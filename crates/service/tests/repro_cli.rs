@@ -486,3 +486,57 @@ fn list_and_help_exit_cleanly() {
     assert_eq!(out.status.code(), Some(0));
     assert!(stdout(&out).contains("--inject"));
 }
+
+/// The machine-readable registry listing is golden: ids, summaries and
+/// grid axes in registry order, shared verbatim with `GET /experiments`.
+#[test]
+fn list_json_matches_the_committed_golden() {
+    let out = repro(&["--list", "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(stdout(&out), include_str!("golden/list.json"));
+    assert!(stderr(&out).is_empty(), "the listing is stdout-only");
+
+    let out = repro(&["--json"]);
+    assert_eq!(out.status.code(), Some(2), "--json without --list is a usage error");
+}
+
+/// `--quiet` silences status chatter (journal, result-store, timing
+/// lines) but not reports, rows, or the failure summary.
+#[test]
+fn quiet_suppresses_status_chatter_but_not_reports_or_rows() {
+    let dir = scratch("quiet");
+    let loud = repro(&[
+        "--experiment",
+        "table2",
+        "--instrs",
+        "2000",
+        "--result-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(loud.status.code(), Some(0));
+    let err = stderr(&loud);
+    assert!(err.contains("[journal] "), "stderr: {err}");
+    assert!(err.contains("[result-store] hits="), "stderr: {err}");
+    assert!(err.contains("[table2 done in "), "stderr: {err}");
+
+    let dir2 = scratch("quiet2");
+    let quiet = repro(&[
+        "--experiment",
+        "table2",
+        "--instrs",
+        "2000",
+        "--result-dir",
+        dir2.to_str().unwrap(),
+        "--quiet",
+        "--stream",
+    ]);
+    assert_eq!(quiet.status.code(), Some(0));
+    assert_eq!(stdout(&quiet), stdout(&loud), "reports are not chatter");
+    let err = stderr(&quiet);
+    assert!(!err.contains("[journal] "), "stderr: {err}");
+    assert!(!err.contains("[result-store]"), "stderr: {err}");
+    assert!(!err.contains("done in "), "stderr: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}

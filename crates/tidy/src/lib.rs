@@ -1,7 +1,7 @@
 //! In-repo source lints enforcing specfetch workspace invariants, in the
 //! style of rustc's `tidy`.
 //!
-//! Five rules, each a pure function over a tree root so the self-tests
+//! Seven rules, each a pure function over a tree root so the self-tests
 //! can run them against synthetic trees:
 //!
 //! 1. **Panic audit** ([`panic_audit`]) — library code (every
@@ -33,8 +33,14 @@
 //!    shutdown flag (`supervise::shutdown_requested`), never register
 //!    handlers of its own. Handler installation lives only in `bin/`
 //!    crate roots, which the library scan already excludes.
+//! 7. **Net confinement** ([`net_confinement`]) — opening sockets
+//!    (`std::net`, `TcpListener`, `TcpStream`, `UdpSocket`) is a
+//!    service-boundary decision: the simulation and experiment layers
+//!    must stay network-free so runs stay reproducible and sandboxable.
+//!    Socket code lives only in `crates/service` and `bin/` entry
+//!    points (which the library scan already excludes).
 //!
-//! The enforcement tests in `tests/tidy.rs` run all six against the
+//! The enforcement tests in `tests/tidy.rs` run all seven against the
 //! real workspace; CI runs them via `cargo test -p tidy`.
 //!
 //! The scanner is deliberately textual (line-based, no parsing crates —
@@ -73,6 +79,17 @@ const ABORT_CALL: &str = concat!("process::", "abort(");
 const SIGNAL_CALL: &str = concat!("sig", "nal(");
 const SIGACTION: &str = concat!("sig", "action");
 
+// Socket tokens, split the same way. `std::net` catches `use` paths and
+// fully-qualified calls; the type names catch imported uses.
+const NET_PATH: &str = concat!("std::", "net");
+const TCP_LISTENER: &str = concat!("Tcp", "Listener");
+const TCP_STREAM: &str = concat!("Tcp", "Stream");
+const UDP_SOCKET: &str = concat!("Udp", "Socket");
+
+/// The one library tree allowed to open sockets: the job service, whose
+/// whole purpose is the HTTP boundary.
+const NET_ALLOWED_PREFIX: &str = "crates/service/src/";
+
 /// The one library file allowed to terminate the process: the fault
 /// plan's injected-crash primitive.
 const EXIT_ALLOWED: [&str; 1] = ["crates/experiments/src/fault.rs"];
@@ -80,7 +97,7 @@ const EXIT_ALLOWED: [&str; 1] = ["crates/experiments/src/fault.rs"];
 /// The workspace dependency DAG: crate directory name, allowed
 /// `[dependencies]`, allowed extra `[dev-dependencies]`. A `Cargo.toml`
 /// or source edge outside these sets is a layering violation.
-const LAYERS: [(&str, &[&str], &[&str]); 9] = [
+const LAYERS: [(&str, &[&str], &[&str]); 10] = [
     ("isa", &[], &[]),
     ("trace", &["isa"], &[]),
     ("bpred", &["isa"], &[]),
@@ -88,6 +105,7 @@ const LAYERS: [(&str, &[&str], &[&str]); 9] = [
     ("synth", &["isa", "trace"], &[]),
     ("core", &["isa", "trace", "bpred", "cache"], &["synth"]),
     ("experiments", &["isa", "trace", "bpred", "cache", "synth", "core"], &[]),
+    ("service", &["isa", "trace", "bpred", "cache", "synth", "core", "experiments"], &[]),
     ("bench", &["isa", "trace", "bpred", "cache", "synth", "core", "experiments"], &[]),
     ("tidy", &[], &[]),
 ];
@@ -99,7 +117,8 @@ const TYPED_ERROR_CRATES: [&str; 2] = ["core", "experiments"];
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Violation {
     /// The rule that fired (`panic-audit`, `oracle-capability`,
-    /// `layering`, `error-hygiene`, `exit-confinement`, or `io` for an
+    /// `layering`, `error-hygiene`, `exit-confinement`,
+    /// `signal-confinement`, `net-confinement`, or `io` for an
     /// unreadable input).
     pub rule: &'static str,
     /// Repo-relative file path (slash-separated).
@@ -129,6 +148,7 @@ pub fn check_all(root: &Path, allowlist: &str) -> Vec<Violation> {
     v.extend(error_hygiene(root));
     v.extend(exit_confinement(root));
     v.extend(signal_confinement(root));
+    v.extend(net_confinement(root));
     v
 }
 
@@ -393,6 +413,38 @@ pub fn signal_confinement(root: &Path) -> Vec<Violation> {
                             "`{token}..` in library code: signal handlers are installed \
                              by `bin/` entry points only; poll \
                              `supervise::shutdown_requested()` instead"
+                        ),
+                    });
+                }
+            }
+        });
+    }
+    violations
+}
+
+/// Rule 7: sockets stay confined to the service crate and `bin/` entry
+/// points (which `library_sources` already excludes). The simulation
+/// and experiment layers must never open network connections — a run's
+/// inputs are its flags and its result store, nothing remote — so any
+/// `std::net` usage outside `crates/service/src/` is a violation.
+pub fn net_confinement(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (rel, path) in library_sources(root, &mut violations) {
+        if rel.starts_with(NET_ALLOWED_PREFIX) {
+            continue;
+        }
+        let Some(text) = read(&path, &rel, &mut violations) else { continue };
+        scan_code_lines(&text, |line_no, line| {
+            for token in [NET_PATH, TCP_LISTENER, TCP_STREAM, UDP_SOCKET] {
+                if line.contains(token) {
+                    violations.push(Violation {
+                        rule: "net-confinement",
+                        file: rel.clone(),
+                        line: line_no,
+                        detail: format!(
+                            "`{token}` in library code: sockets belong to \
+                             `{NET_ALLOWED_PREFIX}` and `bin/` entry points only; \
+                             simulation layers stay network-free"
                         ),
                     });
                 }

@@ -7,8 +7,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tidy::{
-    check_all, error_hygiene, exit_confinement, layering, oracle_capability, panic_audit,
-    signal_confinement, Violation, ALLOWLIST_FILE,
+    check_all, error_hygiene, exit_confinement, layering, net_confinement, oracle_capability,
+    panic_audit, signal_confinement, Violation, ALLOWLIST_FILE,
 };
 
 fn workspace_root() -> PathBuf {
@@ -295,6 +295,43 @@ fn signal_handlers_outside_bins_are_flagged() {
 }
 
 #[test]
+fn sockets_outside_the_service_crate_are_flagged() {
+    let root = scratch("net");
+    let listener = concat!("std::net::Tcp", "Listener::bind(addr)");
+    let stream = concat!("Tcp", "Stream::connect(addr)");
+    // Allowed: the service crate's library tree and bin entry points.
+    seed(
+        &root,
+        "crates/service/src/http.rs",
+        &format!("pub fn serve(addr: &str) {{\n    let _ = {listener};\n}}\n"),
+    );
+    seed(
+        &root,
+        "crates/experiments/src/bin/tool.rs",
+        &format!("fn main() {{\n    let _ = {stream};\n}}\n"),
+    );
+    assert!(net_confinement(&root).is_empty(), "{}", render(&net_confinement(&root)));
+
+    // Flagged: a simulation layer opening connections of its own —
+    // both path-qualified and imported forms.
+    seed(
+        &root,
+        "crates/core/src/phone_home.rs",
+        &format!(
+            "pub fn upload(addr: &str) {{\n    let _ = {listener};\n}}\n\
+             pub fn dial(addr: &str) {{\n    let _ = {stream};\n}}\n",
+        ),
+    );
+    let v = net_confinement(&root);
+    assert_eq!(v.len(), 3, "two tokens on line 2, one on line 5:\n{}", render(&v));
+    assert!(v
+        .iter()
+        .all(|x| x.rule == "net-confinement" && x.file == "crates/core/src/phone_home.rs"));
+    assert_eq!((v[0].line, v[1].line, v[2].line), (2, 2, 5));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
 fn check_all_aggregates_every_rule_class() {
     let root = scratch("all");
     seed(&root, "crates/cache/src/lib.rs", "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n");
@@ -321,6 +358,14 @@ fn check_all_aggregates_every_rule_class() {
         "crates/trace/src/hooks.rs",
         &format!("pub fn hook() {{\n    unsafe {{ {} }};\n}}\n", concat!("sig", "nal(2, 0)")),
     );
+    seed(
+        &root,
+        "crates/bpred/src/beacon.rs",
+        &format!(
+            "pub fn beacon(addr: &str) {{\n    let _ = {};\n}}\n",
+            concat!("std::net::Udp", "Socket::bind(addr)")
+        ),
+    );
     let v = check_all(&root, "");
     let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
     for rule in [
@@ -330,6 +375,7 @@ fn check_all_aggregates_every_rule_class() {
         "error-hygiene",
         "exit-confinement",
         "signal-confinement",
+        "net-confinement",
     ] {
         assert!(rules.contains(&rule), "missing {rule} in: {}", render(&v));
     }
