@@ -37,11 +37,15 @@
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
 use specfetch_core::{fnv1a, SpecfetchError};
+use specfetch_verify::{
+    event_tag, parse_tag, point_step, replay_of, replay_step, Counters, PointEvent, PointState,
+    ReplayClass, Step,
+};
 
 use crate::codec::{json_escape, json_unescape};
 
@@ -73,12 +77,13 @@ struct Active {
     experiment: String,
     /// Next point index within `experiment` (input order).
     next_point: u64,
+    /// Writer-side lifecycle state per point recorded by *this* process
+    /// run, dispatched through `verify::point_step` — an event order
+    /// the model calls illegal is reported (see [`transition`]).
+    points: HashMap<(String, u64), PointState>,
     /// Lifecycle counters for [`counters`]: events recorded by *this*
     /// process run (replayed history is not re-counted).
-    scheduled: u64,
-    completed: u64,
-    failed: u64,
-    interrupted: u64,
+    counters: Counters,
 }
 
 /// Active journals, keyed by job id. Job `0` is the CLI's ambient job;
@@ -117,50 +122,77 @@ pub fn run_key(description: &str, instrs: u64) -> u64 {
     fnv1a(format!("{description}@{instrs}").as_bytes())
 }
 
-/// Parses loaded journal payloads into the replay map.
+/// Parses loaded journal payloads into the replay map by folding each
+/// point's events through the model's lenient reader-side projection
+/// (`verify::replay_step`) — total over any prefix a crash can leave,
+/// with last-terminal-wins semantics. Failure details (attempt count,
+/// verbatim reason) ride alongside the fold and are attached to points
+/// that finish in the `Failed` class.
 fn replay_events(payloads: &[String]) -> HashMap<(String, u64), Replayed> {
-    let mut replay = HashMap::new();
+    let mut states: HashMap<(String, u64), PointState> = HashMap::new();
+    let mut failures: HashMap<(String, u64), (u32, String)> = HashMap::new();
     for p in payloads {
         let mut parts = p.splitn(5, ' ');
-        let (Some(event), Some(exp), Some(idx)) = (parts.next(), parts.next(), parts.next()) else {
+        let (Some(tag), Some(exp), Some(idx)) = (parts.next(), parts.next(), parts.next()) else {
             continue;
         };
+        let Some(event) = parse_tag(tag) else { continue };
         let Ok(idx) = idx.parse::<u64>() else { continue };
         let key = (exp.to_owned(), idx);
-        match event {
-            "s" | "a" | "i" => {
-                replay.entry(key).or_insert(Replayed::Pending);
-            }
-            "c" => {
-                replay.insert(key, Replayed::Completed);
-            }
-            "f" => {
-                let attempts = parts.next().and_then(|a| a.parse().ok()).unwrap_or(1);
-                let reason = parts
-                    .next()
-                    .and_then(json_unescape)
-                    .unwrap_or_else(|| "unrecorded failure".to_owned());
-                replay.insert(key, Replayed::Failed { attempts, reason });
-            }
-            _ => {}
+        if event == PointEvent::Fail {
+            let attempts = parts.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+            let reason = parts
+                .next()
+                .and_then(json_unescape)
+                .unwrap_or_else(|| "unrecorded failure".to_owned());
+            failures.insert(key.clone(), (attempts, reason));
         }
+        let state = states.entry(key).or_insert(PointState::Unscheduled);
+        *state = replay_step(*state, &event);
     }
-    replay
+    states
+        .into_iter()
+        .filter_map(|(key, state)| {
+            let replayed = match replay_of(state)? {
+                ReplayClass::Pending => Replayed::Pending,
+                ReplayClass::Completed => Replayed::Completed,
+                ReplayClass::Failed => {
+                    let (attempts, reason) = failures
+                        .remove(&key)
+                        .unwrap_or_else(|| (1, "unrecorded failure".to_owned()));
+                    Replayed::Failed { attempts, reason }
+                }
+            };
+            Some((key, replayed))
+        })
+        .collect()
 }
 
 /// Reads an existing journal, tolerating a torn final line (the crash
-/// case) but rejecting interior corruption.
-fn load(path: &Path) -> Result<Vec<String>, SpecfetchError> {
-    let file = File::open(path).map_err(|e| io_err("open journal", e))?;
-    let lines: Vec<String> = BufReader::new(file)
-        .lines()
-        .collect::<Result<_, _>>()
+/// case) but rejecting interior corruption. Returns the payloads plus
+/// the byte length of the valid prefix — everything past it is the
+/// torn tail, which a resume truncates away before appending (an
+/// append onto a torn tail would weld the next record to the partial
+/// line and turn a tolerated crash artifact into interior corruption).
+fn load(path: &Path) -> Result<(Vec<String>, u64), SpecfetchError> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
         .map_err(|e| io_err("read journal", e))?;
-    let mut payloads = Vec::with_capacity(lines.len());
-    for (i, line) in lines.iter().enumerate() {
-        match unseal(line) {
-            Some(p) => payloads.push(p.to_owned()),
-            None if i + 1 == lines.len() => {
+    let chunks: Vec<&str> = text.split_inclusive('\n').collect();
+    let mut payloads = Vec::with_capacity(chunks.len());
+    let mut valid_len = 0u64;
+    for (i, chunk) in chunks.iter().enumerate() {
+        let last = i + 1 == chunks.len();
+        // A chunk without its terminator is a write that never finished
+        // — torn even when the checksum happens to verify.
+        let complete = chunk.ends_with('\n');
+        match unseal(chunk.trim_end_matches(['\n', '\r'])) {
+            Some(p) if complete => {
+                payloads.push(p.to_owned());
+                valid_len += chunk.len() as u64;
+            }
+            _ if last => {
                 // A torn tail is exactly what a WAL expects after a
                 // crash: the event never fully happened. Drop it.
                 crate::diag::line(&format!(
@@ -168,7 +200,7 @@ fn load(path: &Path) -> Result<Vec<String>, SpecfetchError> {
                     path.display()
                 ));
             }
-            None => {
+            _ => {
                 return Err(SpecfetchError::InvalidSpec {
                     detail: format!(
                         "journal {} is corrupt at line {} (bad checksum)",
@@ -181,7 +213,7 @@ fn load(path: &Path) -> Result<Vec<String>, SpecfetchError> {
     }
     let header = format!("specfetch-journal/{FORMAT_VERSION}");
     match payloads.first() {
-        Some(h) if h.starts_with(&header) => Ok(payloads),
+        Some(h) if h.starts_with(&header) => Ok((payloads, valid_len)),
         _ => Err(SpecfetchError::InvalidSpec {
             detail: format!("journal {} has no valid header", path.display()),
         }),
@@ -221,8 +253,11 @@ pub fn activate_job(
         std::fs::create_dir_all(parent).map_err(|e| io_err("create journal dir", e))?;
     }
     let mut replay = HashMap::new();
+    let mut valid_len = 0u64;
     if resume && path.metadata().is_ok_and(|m| m.len() > 0) {
-        replay = replay_events(&load(&path)?);
+        let (payloads, len) = load(&path)?;
+        replay = replay_events(&payloads);
+        valid_len = len;
     }
     let mut file = OpenOptions::new()
         .create(true)
@@ -231,6 +266,12 @@ pub fn activate_job(
         .write(true)
         .open(&path)
         .map_err(|e| io_err("open journal", e))?;
+    // Chop any torn tail off before the first append: `load` tolerated
+    // it, but appending after it would weld the next record onto the
+    // partial line and brick the *next* resume with a checksum error.
+    if resume && file.metadata().is_ok_and(|m| m.len() > valid_len) {
+        file.set_len(valid_len).map_err(|e| io_err("truncate torn journal tail", e))?;
+    }
     // The header goes into every journal that doesn't have one yet —
     // a truncated fresh run, but also a first invocation that happened
     // to pass `--resume` (nothing to replay, but the file must still be
@@ -245,10 +286,8 @@ pub fn activate_job(
         replay,
         experiment: String::new(),
         next_point: 0,
-        scheduled: 0,
-        completed: 0,
-        failed: 0,
-        interrupted: 0,
+        points: HashMap::new(),
+        counters: Counters::default(),
     };
     let mut jobs = state().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if jobs.contains_key(&job) {
@@ -290,7 +329,36 @@ pub fn begin_experiment(job: u64, id: &str) {
     with_job(job, |s| {
         s.experiment = id.to_owned();
         s.next_point = 0;
+        // Indices restart per experiment, so lifecycle tracking does
+        // too (a re-selected experiment is a fresh grid, not a replay).
+        s.points.retain(|(exp, _), _| exp != id);
     });
+}
+
+/// Dispatches one lifecycle event for point `idx` of `job`'s current
+/// experiment through the model's strict writer-side transition
+/// function and folds it into the Progress counters. Returns the
+/// experiment name for the WAL payload; `None` when `job` has no
+/// active journal.
+///
+/// An event order `verify::point_step` calls illegal is a runner bug:
+/// it is reported loudly on the diagnostics stream (and still
+/// journalled — the lenient reader absorbs it on replay) rather than
+/// taking the sweep down.
+fn transition(job: u64, idx: u64, event: PointEvent) -> Option<String> {
+    with_job(job, |s| {
+        let key = (s.experiment.clone(), idx);
+        let state = s.points.entry(key).or_insert(PointState::Unscheduled);
+        match point_step(state, &event) {
+            Step::Next(next) => *state = next,
+            Step::Stay => {}
+            Step::Unhandled => crate::diag::line(&format!(
+                "[journal] illegal transition {state:?} -> {event:?} for point {idx}"
+            )),
+        }
+        s.counters.apply(&event);
+        s.experiment.clone()
+    })
 }
 
 /// Claims `n` consecutive journal indices for a grid about to run,
@@ -305,59 +373,37 @@ pub(crate) fn reserve(job: u64, n: usize) -> Option<u64> {
 
 /// Journals one scheduled grid point.
 pub(crate) fn record_scheduled(job: u64, idx: u64, bench: &str, instrs: u64, cfg_hash: u64) {
-    let exp = match with_job(job, |s| {
-        s.scheduled += 1;
-        s.experiment.clone()
-    }) {
-        Some(e) => e,
-        None => return,
-    };
-    append(job, &format!("s {exp} {idx} {bench} {instrs} {cfg_hash:016x}"));
+    let event = PointEvent::Schedule;
+    let Some(exp) = transition(job, idx, event) else { return };
+    append(job, &format!("{} {exp} {idx} {bench} {instrs} {cfg_hash:016x}", event_tag(&event)));
 }
 
 /// Journals the start of `attempt` (0-based) on a point.
 pub(crate) fn record_attempt(job: u64, idx: u64, attempt: u32) {
-    let exp = match with_job(job, |s| s.experiment.clone()) {
-        Some(e) => e,
-        None => return,
-    };
-    append(job, &format!("a {exp} {idx} {attempt}"));
+    let event = PointEvent::Attempt;
+    let Some(exp) = transition(job, idx, event) else { return };
+    append(job, &format!("{} {exp} {idx} {attempt}", event_tag(&event)));
 }
 
 /// Journals a completed point.
 pub(crate) fn record_completed(job: u64, idx: u64) {
-    let exp = match with_job(job, |s| {
-        s.completed += 1;
-        s.experiment.clone()
-    }) {
-        Some(e) => e,
-        None => return,
-    };
-    append(job, &format!("c {exp} {idx}"));
+    let event = PointEvent::Complete;
+    let Some(exp) = transition(job, idx, event) else { return };
+    append(job, &format!("{} {exp} {idx}", event_tag(&event)));
 }
 
 /// Journals a terminal failure with its total attempt count.
 pub(crate) fn record_failed(job: u64, idx: u64, attempts: u32, reason: &str) {
-    let exp = match with_job(job, |s| {
-        s.failed += 1;
-        s.experiment.clone()
-    }) {
-        Some(e) => e,
-        None => return,
-    };
-    append(job, &format!("f {exp} {idx} {attempts} {}", json_escape(reason)));
+    let event = PointEvent::Fail;
+    let Some(exp) = transition(job, idx, event) else { return };
+    append(job, &format!("{} {exp} {idx} {attempts} {}", event_tag(&event), json_escape(reason)));
 }
 
 /// Journals an interrupted point (drained by a shutdown request).
 pub(crate) fn record_interrupted(job: u64, idx: u64) {
-    let exp = match with_job(job, |s| {
-        s.interrupted += 1;
-        s.experiment.clone()
-    }) {
-        Some(e) => e,
-        None => return,
-    };
-    append(job, &format!("i {exp} {idx}"));
+    let event = PointEvent::Interrupt;
+    let Some(exp) = transition(job, idx, event) else { return };
+    append(job, &format!("{} {exp} {idx}", event_tag(&event)));
 }
 
 /// The replayed terminal outcome (if any) for point `idx` of `job`'s
@@ -380,7 +426,9 @@ pub(crate) fn replayed(job: u64, idx: u64) -> Option<Replayed> {
 /// by this process run for `job` — the raw feed behind
 /// [`crate::store::Progress`]. `None` when `job` has no active journal.
 pub(crate) fn counters(job: u64) -> Option<(u64, u64, u64, u64)> {
-    with_job(job, |s| (s.scheduled, s.completed, s.failed, s.interrupted))
+    with_job(job, |s| {
+        (s.counters.scheduled, s.counters.completed, s.counters.failed, s.counters.interrupted)
+    })
 }
 
 /// Flushes every active journal file (a drain point before exit).
@@ -481,12 +529,66 @@ mod tests {
         let good = sealed("specfetch-journal/1 run=0000000000000000");
         let event = sealed("c sweep 0");
         std::fs::write(&path, format!("{good}{event}c sweep 1|deadbeef")).unwrap();
-        let payloads = load(&path).unwrap();
+        let (payloads, valid_len) = load(&path).unwrap();
         assert_eq!(payloads.len(), 2, "torn tail dropped");
+        assert_eq!(valid_len, (good.len() + event.len()) as u64, "valid prefix excludes the tail");
 
         let interior = format!("{good}c sweep 1|deadbeefdeadbeef\n{event}");
         std::fs::write(&path, interior).unwrap();
         assert!(load(&path).is_err(), "interior corruption must be loud");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn an_unterminated_final_line_is_torn_even_with_a_valid_checksum() {
+        let dir = std::env::temp_dir()
+            .join(format!("specfetch-journal-noterm-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("noterm.wal");
+        let good = sealed("specfetch-journal/1 run=0000000000000000");
+        let event = sealed("c sweep 0");
+        // Checksum verifies, but the write never finished: no '\n'.
+        std::fs::write(&path, format!("{good}{}", event.trim_end())).unwrap();
+        let (payloads, valid_len) = load(&path).unwrap();
+        assert_eq!(payloads.len(), 1, "only the header survives");
+        assert_eq!(valid_len, good.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression (model invariant: replay of any reachable WAL prefix
+    /// is consistent). `activate_job` used to open in append mode with
+    /// the torn tail still in place, so the first new record was welded
+    /// onto the partial line — a checksum-invalid *interior* line that
+    /// bricked the next resume. Resume must truncate the torn tail
+    /// before appending.
+    #[test]
+    fn resume_truncates_the_torn_tail_before_appending() {
+        let dir = std::env::temp_dir()
+            .join(format!("specfetch-journal-tornappend-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let job = 0xDEAD_1003u64;
+        let run = 7u64;
+        let path = path_for(&dir, run);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let header = sealed(&format!("specfetch-journal/{FORMAT_VERSION} run={run:016x}"));
+        let event = sealed("c sweep 0");
+        // A crash tore the write of "s sweep 1 ..." mid-line.
+        std::fs::write(&path, format!("{header}{event}s sweep 1 gc")).unwrap();
+
+        activate_job(job, &dir, run, true).unwrap();
+        begin_experiment(job, "sweep");
+        record_scheduled(job, 1, "gcc", 100, 0xab);
+        record_attempt(job, 1, 0);
+        record_completed(job, 1);
+        release(job);
+
+        // The journal must replay clean: torn tail gone, both points'
+        // events intact and checksummed.
+        let (payloads, _) = load(&path).unwrap();
+        assert_eq!(payloads.len(), 5, "header + c + s/a/c, no welded garbage: {payloads:?}");
+        let replay = replay_events(&payloads);
+        assert_eq!(replay.get(&("sweep".to_owned(), 0)), Some(&Replayed::Completed));
+        assert_eq!(replay.get(&("sweep".to_owned(), 1)), Some(&Replayed::Completed));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

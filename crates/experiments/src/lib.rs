@@ -32,6 +32,8 @@
 
 pub mod analysis;
 pub mod codec;
+#[cfg(test)]
+mod conformance;
 pub mod diag;
 pub mod disk_cache;
 pub mod driver;

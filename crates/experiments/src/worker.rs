@@ -61,6 +61,7 @@ use std::time::{Duration, Instant};
 
 use specfetch_core::{SimConfig, SimResult, SpecfetchError};
 use specfetch_synth::suite::Benchmark;
+use specfetch_verify::{worker_step, DeadReason, Step, WorkerEvent, WorkerState};
 
 use crate::codec::{decode_result, encode_result, json_escape, json_string_field, json_u64_field};
 use crate::fault::{self, FaultAction};
@@ -251,9 +252,27 @@ fn handshake(slot: &mut Slot) -> Result<(), SpecfetchError> {
         .write_all(hello_line().as_bytes())
         .and_then(|()| stdin.flush())
         .map_err(|e| proto_io(format!("could not send hello: {e}")))?;
-    match slot.lines.recv_timeout(Duration::from_millis(HANDSHAKE_TIMEOUT_MS)) {
-        Ok(line) => validate_hello(&line),
-        Err(_) => Err(proto_io("no hello from worker before timeout/EOF".to_owned())),
+    // Classify the observation into a protocol event and let the model's
+    // transition decide whether the child is usable: only
+    // AwaitingHello -> HelloOk -> Idle proceeds, everything else is
+    // Dead(Handshake).
+    let mut verdict = Ok(());
+    let event = match slot.lines.recv_timeout(Duration::from_millis(HANDSHAKE_TIMEOUT_MS)) {
+        Ok(line) => match validate_hello(&line) {
+            Ok(()) => WorkerEvent::HelloOk,
+            Err(e) => {
+                verdict = Err(e);
+                WorkerEvent::HelloBad
+            }
+        },
+        Err(_) => {
+            verdict = Err(proto_io("no hello from worker before timeout/EOF".to_owned()));
+            WorkerEvent::Silence
+        }
+    };
+    match worker_step(&WorkerState::AwaitingHello, &event) {
+        Step::Next(WorkerState::Idle) => Ok(()),
+        _ => verdict.and(Err(proto_io("handshake failed".to_owned()))),
     }
 }
 
@@ -297,57 +316,137 @@ fn drive_child(
 
     let deadline = (job.point_timeout_secs > 0)
         .then(|| Duration::from_secs(job.point_timeout_secs * job.cfgs.len() as u64));
+    supervise_replies(&slot.lines, deadline, job.heartbeat_ms, job.point_timeout_secs, out)
+}
+
+/// Classifies one line from a child into a protocol [`WorkerEvent`],
+/// filling `out` for cell replies. `seen` tracks already-filled indices
+/// (a duplicate re-writes the slot, the model absorbs it); `detail`
+/// carries the human-readable description of anything that will kill
+/// the child.
+fn classify_line(
+    line: &str,
+    seen: &mut [bool],
+    out: &mut [Result<SimResult, CellFailure>],
+    detail: &mut String,
+) -> WorkerEvent {
+    match json_string_field(line, "kind").as_deref() {
+        Some("hb") => WorkerEvent::Heartbeat,
+        Some("done") => WorkerEvent::Done,
+        Some("cell") => {
+            let Some(idx) = json_u64_field(line, "idx") else {
+                *detail = format!("cell without idx: {line:?}");
+                return WorkerEvent::Garbage;
+            };
+            let idx = idx as usize;
+            if idx >= out.len() {
+                *detail = format!("cell idx {idx} out of range");
+                return WorkerEvent::Cell { in_range: false, duplicate: false };
+            }
+            let cell = match json_u64_field(line, "ok") {
+                Some(1) => {
+                    let Some(enc) = json_string_field(line, "result") else {
+                        *detail = format!("ok cell without result: {line:?}");
+                        return WorkerEvent::Garbage;
+                    };
+                    decode_result(&enc).map_err(|e| {
+                        CellFailure::permanent(format!(
+                            "worker returned an undecodable result: {e}"
+                        ))
+                    })
+                }
+                Some(0) => {
+                    let reason = json_string_field(line, "reason")
+                        .unwrap_or_else(|| "worker reported an unnamed failure".to_owned());
+                    Err(cell_failure_from_wire(json_string_field(line, "fail").as_deref(), reason))
+                }
+                _ => {
+                    *detail = format!("cell without ok flag: {line:?}");
+                    return WorkerEvent::Garbage;
+                }
+            };
+            out[idx] = cell;
+            let duplicate = std::mem::replace(&mut seen[idx], true);
+            WorkerEvent::Cell { in_range: true, duplicate }
+        }
+        _ => {
+            *detail = format!("unexpected worker message {line:?}");
+            WorkerEvent::Garbage
+        }
+    }
+}
+
+/// The supervision loop for one in-flight group, dispatching every
+/// observation (child lines, deadline and silence timers, EOF) through
+/// the model's [`worker_step`] — the checked protocol machine IS this
+/// loop's control flow. Separated from [`drive_child`] so tests can
+/// drive it with a hand-made channel.
+///
+/// Ordering matters here (regression: missed-wakeup): lines already
+/// queued by the reader thread are drained *before* the deadline and
+/// silence timers are consulted, so a healthy child whose final cells
+/// and `done` raced a timer edge is never declared hung or over
+/// deadline. Timers are only evaluated when the queue is momentarily
+/// empty — which also keeps a heartbeat-spamming child from starving
+/// the deadline, since the queue drains far faster than it fills.
+fn supervise_replies(
+    lines: &mpsc::Receiver<String>,
+    deadline: Option<Duration>,
+    heartbeat_ms: u64,
+    point_timeout_secs: u64,
+    out: &mut [Result<SimResult, CellFailure>],
+) -> Result<(), DriveFailure> {
     let started = Instant::now();
     let mut last_heard = Instant::now();
+    let mut state = WorkerState::Working { expected: out.len() as u32, filled: 0 };
+    let mut seen = vec![false; out.len()];
+    let mut detail = String::new();
     loop {
-        if let Some(d) = deadline {
-            if started.elapsed() >= d {
-                return Err(DriveFailure::Deadline(job.point_timeout_secs));
+        let event = match lines.try_recv() {
+            Ok(line) => {
+                last_heard = Instant::now();
+                classify_line(&line, &mut seen, out, &mut detail)
             }
-        }
-        if last_heard.elapsed() >= Duration::from_millis(job.heartbeat_ms) {
-            return Err(DriveFailure::Hung(job.heartbeat_ms));
-        }
-        let line = match slot.lines.recv_timeout(Duration::from_millis(SUPERVISE_POLL_MS)) {
-            Ok(line) => line,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return Err(dead("no reply before EOF".to_owned()));
+            Err(mpsc::TryRecvError::Disconnected) => {
+                detail = "no reply before EOF".to_owned();
+                WorkerEvent::Eof
+            }
+            Err(mpsc::TryRecvError::Empty) => {
+                if deadline.is_some_and(|d| started.elapsed() >= d) {
+                    WorkerEvent::Deadline
+                } else if last_heard.elapsed() >= Duration::from_millis(heartbeat_ms) {
+                    WorkerEvent::Silence
+                } else {
+                    match lines.recv_timeout(Duration::from_millis(SUPERVISE_POLL_MS)) {
+                        Ok(line) => {
+                            last_heard = Instant::now();
+                            classify_line(&line, &mut seen, out, &mut detail)
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            detail = "no reply before EOF".to_owned();
+                            WorkerEvent::Eof
+                        }
+                    }
+                }
             }
         };
-        last_heard = Instant::now();
-        match json_string_field(&line, "kind").as_deref() {
-            Some("hb") => {}
-            Some("done") => return Ok(()),
-            Some("cell") => {
-                let idx = json_u64_field(&line, "idx")
-                    .ok_or_else(|| dead(format!("cell without idx: {line:?}")))?
-                    as usize;
-                if idx >= out.len() {
-                    return Err(dead(format!("cell idx {idx} out of range")));
-                }
-                out[idx] = match json_u64_field(&line, "ok") {
-                    Some(1) => {
-                        let enc = json_string_field(&line, "result")
-                            .ok_or_else(|| dead(format!("ok cell without result: {line:?}")))?;
-                        decode_result(&enc).map_err(|e| {
-                            CellFailure::permanent(format!(
-                                "worker returned an undecodable result: {e}"
-                            ))
-                        })
-                    }
-                    Some(0) => {
-                        let reason = json_string_field(&line, "reason")
-                            .unwrap_or_else(|| "worker reported an unnamed failure".to_owned());
-                        Err(cell_failure_from_wire(
-                            json_string_field(&line, "fail").as_deref(),
-                            reason,
-                        ))
-                    }
-                    _ => return Err(dead(format!("cell without ok flag: {line:?}"))),
-                };
+        state = match worker_step(&state, &event) {
+            Step::Next(next) => next,
+            Step::Stay => state,
+            // The machine is total over its declared events; an
+            // undeclared observation is by definition a protocol
+            // violation.
+            Step::Unhandled => WorkerState::Dead(DeadReason::Protocol),
+        };
+        match state {
+            WorkerState::Complete { .. } => return Ok(()),
+            WorkerState::Dead(DeadReason::DeadlineExceeded) => {
+                return Err(DriveFailure::Deadline(point_timeout_secs));
             }
-            _ => return Err(dead(format!("unexpected worker message {line:?}"))),
+            WorkerState::Dead(DeadReason::Hung) => return Err(DriveFailure::Hung(heartbeat_ms)),
+            WorkerState::Dead(_) => return Err(DriveFailure::Dead(std::mem::take(&mut detail))),
+            _ => {}
         }
     }
 }
@@ -795,5 +894,94 @@ mod tests {
         assert!(
             matches!(&e, SpecfetchError::WorkerProtocol { detail } if detail.contains("hello"))
         );
+    }
+
+    fn pending_out(n: usize) -> Vec<Result<SimResult, CellFailure>> {
+        (0..n).map(|_| Err(CellFailure::transient(PENDING_REASON))).collect()
+    }
+
+    /// Regression (model invariant: a Working child with its replies
+    /// already delivered must reach Complete, not Dead). The old loop
+    /// consulted the deadline and silence timers *before* draining the
+    /// channel, so a healthy child whose final cell and `done` were
+    /// already queued — racing a timer edge or the reader thread's
+    /// disconnect — was declared hung/over-deadline and its finished
+    /// work thrown away. Queued lines must win over timers.
+    #[test]
+    fn queued_replies_beat_an_expired_timer_and_a_disconnect() {
+        let (tx, rx) = mpsc::channel::<String>();
+        tx.send(
+            "{\"kind\":\"cell\",\"idx\":0,\"ok\":0,\"fail\":\"terminal\",\"reason\":\"boom\"}\n"
+                .to_owned(),
+        )
+        .unwrap();
+        tx.send("{\"kind\":\"done\"}\n".to_owned()).unwrap();
+        drop(tx); // reader thread gone: the disconnect races the replies
+        let mut out = pending_out(1);
+        // Both timers are already expired when supervision starts.
+        let r = supervise_replies(&rx, Some(Duration::ZERO), 0, 30, &mut out);
+        assert!(r.is_ok(), "queued done must complete the group");
+        let f = out[0].as_ref().unwrap_err();
+        assert_eq!(f.reason, "boom", "the queued cell must be applied");
+        assert_eq!(f.kind, FailKind::Terminal);
+    }
+
+    #[test]
+    fn silence_past_the_heartbeat_window_is_hung() {
+        let (tx, rx) = mpsc::channel::<String>();
+        let mut out = pending_out(1);
+        let r = supervise_replies(&rx, None, 1, 30, &mut out);
+        assert!(matches!(r, Err(DriveFailure::Hung(1))));
+        drop(tx);
+        assert!(matches!(&out[0], Err(f) if f.reason == PENDING_REASON), "slot left transient");
+    }
+
+    #[test]
+    fn eof_with_nothing_queued_is_dead() {
+        let (tx, rx) = mpsc::channel::<String>();
+        drop(tx);
+        let mut out = pending_out(2);
+        let r = supervise_replies(&rx, None, 5_000, 30, &mut out);
+        assert!(matches!(r, Err(DriveFailure::Dead(d)) if d == "no reply before EOF"));
+    }
+
+    #[test]
+    fn protocol_violations_kill_the_child_with_a_detail() {
+        for (line, needle) in [
+            ("{\"kind\":\"mystery\"}\n", "unexpected worker message"),
+            ("{\"kind\":\"cell\",\"ok\":1}\n", "cell without idx"),
+            ("{\"kind\":\"cell\",\"idx\":9,\"ok\":1}\n", "out of range"),
+            ("{\"kind\":\"cell\",\"idx\":0,\"ok\":1}\n", "ok cell without result"),
+            ("{\"kind\":\"cell\",\"idx\":0}\n", "cell without ok flag"),
+        ] {
+            let (tx, rx) = mpsc::channel::<String>();
+            tx.send(line.to_owned()).unwrap();
+            let mut out = pending_out(1);
+            let r = supervise_replies(&rx, None, 5_000, 30, &mut out);
+            match r {
+                Err(DriveFailure::Dead(d)) => assert!(d.contains(needle), "{line:?}: {d}"),
+                _ => panic!("{line:?} must kill the child"),
+            }
+            drop(tx);
+        }
+    }
+
+    /// A duplicate cell index re-writes the slot (last write wins) and
+    /// the group still completes — the model absorbs duplicates.
+    #[test]
+    fn duplicate_cells_are_absorbed() {
+        let (tx, rx) = mpsc::channel::<String>();
+        for reason in ["first", "second"] {
+            tx.send(format!(
+                "{{\"kind\":\"cell\",\"idx\":0,\"ok\":0,\"fail\":\"terminal\",\"reason\":\"{reason}\"}}\n"
+            ))
+            .unwrap();
+        }
+        tx.send("{\"kind\":\"done\"}\n".to_owned()).unwrap();
+        let mut out = pending_out(1);
+        let r = supervise_replies(&rx, None, 5_000, 30, &mut out);
+        assert!(r.is_ok());
+        assert!(matches!(&out[0], Err(f) if f.reason == "second"));
+        drop(tx);
     }
 }

@@ -247,7 +247,9 @@ impl ProgramBuilder {
     /// builder-logic bugs, not recoverable conditions.
     pub fn patch_target(&mut self, at: Addr, target: Addr) {
         let idx = ((at.raw() - self.base.raw()) / INSTR_BYTES) as usize;
-        let slot = self.instrs.get_mut(idx).expect("patch address outside image");
+        let Some(slot) = self.instrs.get_mut(idx) else {
+            panic!("patch address {at} outside image");
+        };
         match slot {
             InstrKind::CondBranch { target: t }
             | InstrKind::Jump { target: t }

@@ -17,6 +17,7 @@ use specfetch_experiments::{
     diag, journal, supervise, Driver, DriverOutcome, Format, JobSpec, Progress, RunOptions,
     RunStore,
 };
+use specfetch_verify::{job_step, JobEvent, JobPhase, Step};
 
 use crate::job::{JobSnapshot, JobState};
 
@@ -68,6 +69,34 @@ struct State {
     queue: VecDeque<u64>,
     jobs: HashMap<u64, JobRecord>,
     accepting: bool,
+}
+
+/// Applies one lifecycle event to `job` through the model's typed
+/// transition function (`verify::job_step`) and returns the resulting
+/// state. Every state change the controller makes goes through here —
+/// the checked machine IS the shipped lifecycle logic. An event the
+/// model leaves undefined is a controller bug: reported loudly, state
+/// untouched.
+fn advance(job: &mut JobRecord, event: &JobEvent) -> JobState {
+    let phase = JobPhase { state: job.state, cancel_requested: job.cancel_requested };
+    match job_step(&phase, event) {
+        Step::Next(next) => {
+            job.state = next.state;
+            job.cancel_requested = next.cancel_requested;
+        }
+        Step::Stay => {}
+        Step::Unhandled => {
+            diag::line(&format!("[controller] illegal transition {:?} -> {event:?}", job.state));
+        }
+    }
+    job.state
+}
+
+/// Appends one streamed row. Kept out of [`run_job`] so the row sink's
+/// lock acquisition is attributed to this leaf function, not textually
+/// interleaved with the driver's state-lock sites.
+fn push_row(rows: &Mutex<Vec<String>>, row: &str) {
+    lock(rows).push(row.to_owned());
 }
 
 struct Shared {
@@ -186,21 +215,16 @@ impl Controller {
     pub fn cancel(&self, id: u64) -> Option<JobState> {
         let mut st = lock(&self.shared.state);
         let job = st.jobs.get_mut(&id)?;
-        match job.state {
-            JobState::Queued => {
-                job.cancel_requested = true;
-                job.state = JobState::Cancelled;
-                job.result = Some(String::new());
-            }
-            JobState::Running => {
-                job.cancel_requested = true;
-                job.state = JobState::Draining;
-                supervise::cancel_job(id);
-            }
-            // Draining or already terminal: nothing more to do.
+        let before = job.state;
+        let after = advance(job, &JobEvent::Cancel);
+        // Side effects ride on the edge taken (Draining-or-terminal
+        // cancels are absorbed by the machine: nothing more to do).
+        match (before, after) {
+            (JobState::Queued, JobState::Cancelled) => job.result = Some(String::new()),
+            (JobState::Running, JobState::Draining) => supervise::cancel_job(id),
             _ => {}
         }
-        Some(job.state)
+        Some(after)
     }
 
     /// Every known job, newest first (for listing endpoints and tests).
@@ -241,11 +265,11 @@ fn driver_loop(shared: &Arc<Shared>) {
             loop {
                 if let Some(id) = st.queue.pop_front() {
                     let Some(job) = st.jobs.get_mut(&id) else { continue };
-                    if job.state != JobState::Queued {
-                        // Cancelled while queued; already terminal.
+                    if advance(job, &JobEvent::Dequeue) != JobState::Running {
+                        // Cancelled while queued: the machine absorbs
+                        // the stale queue entry (already terminal).
                         continue;
                     }
-                    job.state = JobState::Running;
                     break Some((id, job.spec.clone(), job.opts, Arc::clone(&job.rows)));
                 }
                 if !st.accepting {
@@ -272,7 +296,7 @@ fn run_job(
     rows: Arc<Mutex<Vec<String>>>,
 ) {
     let sink_rows = Arc::clone(&rows);
-    diag::register_row_sink(id, move |row| lock(&sink_rows).push(row.to_owned()));
+    diag::register_row_sink(id, move |row| push_row(&sink_rows, row));
 
     let store = RunStore::for_job(id);
     if let Some(root) = &shared.cfg.journal_root {
@@ -309,13 +333,10 @@ fn run_job(
         job.result = Some(body);
         job.outcome = Some(outcome);
         job.final_progress = final_progress;
-        job.state = if outcome.interrupted || job.cancel_requested {
-            JobState::Cancelled
-        } else if outcome.failed() {
-            JobState::Failed
-        } else {
-            JobState::Done
-        };
+        advance(
+            job,
+            &JobEvent::Finish { failed: outcome.failed(), interrupted: outcome.interrupted },
+        );
     }
 }
 

@@ -4,52 +4,11 @@
 use specfetch_experiments::codec::json_escape;
 use specfetch_experiments::{DriverOutcome, Progress};
 
-/// Where a job is in its lifecycle.
-///
-/// ```text
-/// Queued ── dequeue ──▶ Running ── cancel ──▶ Draining ─┐
-///    │                     │                            │
-///    │ cancel              ├──▶ Done / Failed           │
-///    ▼                     ▼                            ▼
-/// Cancelled ◀──────── (interrupted) ◀───────────────────┘
-/// ```
-///
-/// `Done`, `Failed` and `Cancelled` are terminal; only then does
-/// `GET /jobs/<id>/result` serve a body.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum JobState {
-    /// Accepted and waiting for a driver slot.
-    Queued,
-    /// A driver is executing the spec.
-    Running,
-    /// Cancelled while running: the driver is draining in-flight points.
-    Draining,
-    /// Ran to completion with nothing wrong.
-    Done,
-    /// Ran, but with failed cells or failed experiments in the outcome.
-    Failed,
-    /// Cancelled (before running, or after draining) or interrupted.
-    Cancelled,
-}
-
-impl JobState {
-    /// The lowercase wire name (`"queued"`, `"running"`, ...).
-    pub fn name(&self) -> &'static str {
-        match self {
-            JobState::Queued => "queued",
-            JobState::Running => "running",
-            JobState::Draining => "draining",
-            JobState::Done => "done",
-            JobState::Failed => "failed",
-            JobState::Cancelled => "cancelled",
-        }
-    }
-
-    /// Whether the job can change no further (its result is final).
-    pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
-    }
-}
+/// The canonical job lifecycle state machine lives in the verify crate
+/// (its transitions are model-checked there and dispatched by the
+/// controller via `verify::job_step`); this module re-exports the state
+/// type the HTTP layer serves.
+pub use specfetch_verify::JobState;
 
 /// One job's externally visible status, as served by `GET /jobs/<id>`.
 #[derive(Clone, PartialEq, Eq, Debug)]

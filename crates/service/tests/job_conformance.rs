@@ -1,0 +1,142 @@
+//! Job lifecycle conformance (DESIGN §5l): every state trajectory a
+//! real [`Controller`] exhibits must stay inside the model-checked
+//! [`JobMachine`]'s reachable transition graph.
+//!
+//! A poller can miss intermediate states (a fast job goes Queued →
+//! Running → Done between two polls), so observed consecutive pairs are
+//! checked against the *reachability closure* of the model's edge set,
+//! not the single-step edges.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use specfetch_experiments::{Format, JobSpec, RunOptions};
+use specfetch_service::{Controller, ControllerConfig, JobState};
+use specfetch_verify::{explore, JobMachine, Machine, Step};
+
+fn ci_config() -> ControllerConfig {
+    ControllerConfig {
+        opts: RunOptions::smoke().with_instrs(2_000),
+        format: Format::Plain,
+        journal_root: None,
+        max_concurrent: 1,
+    }
+}
+
+/// The model's multi-step reachability relation over [`JobState`]:
+/// `(a, b)` is present when some event sequence takes a job from a
+/// phase in state `a` to one in state `b`. Derived from the same
+/// `JobMachine` the checker exhausts, via its own `events`/`step`.
+fn reachable_pairs() -> HashSet<(JobState, JobState)> {
+    let machine = JobMachine;
+    let phases = explore(&machine, 1_000).expect("job machine verifies").states;
+    // Single-step edges over phases, projected to the visible state.
+    let mut edges: HashSet<(JobState, JobState)> = HashSet::new();
+    for phase in &phases {
+        for event in machine.events(phase) {
+            if let Step::Next(next) = machine.step(phase, &event) {
+                edges.insert((phase.state, next.state));
+            }
+        }
+    }
+    // Transitive closure: a poll can skip any number of steps.
+    loop {
+        let mut grew = false;
+        let snapshot: Vec<_> = edges.iter().copied().collect();
+        for &(a, b) in &snapshot {
+            for &(c, d) in &snapshot {
+                if b == c && edges.insert((a, d)) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    edges
+}
+
+/// Polls `status` until terminal, recording every distinct state seen.
+fn observe(c: &Controller, id: u64) -> Vec<JobState> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut seen = Vec::new();
+    loop {
+        let snap = c.status(id).expect("job exists");
+        if seen.last() != Some(&snap.state) {
+            seen.push(snap.state);
+        }
+        if snap.state.is_terminal() {
+            return seen;
+        }
+        assert!(Instant::now() < deadline, "job {id} never reached a terminal state");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn assert_trajectory_in_model(traj: &[JobState], allowed: &HashSet<(JobState, JobState)>) {
+    for pair in traj.windows(2) {
+        assert!(
+            allowed.contains(&(pair[0], pair[1])),
+            "observed {} -> {} is outside the model's reachability: {traj:?}",
+            pair[0].name(),
+            pair[1].name()
+        );
+    }
+}
+
+#[test]
+fn controller_trajectories_stay_inside_the_model() {
+    let allowed = reachable_pairs();
+    let c = Controller::start(ci_config());
+
+    // A job that runs to completion.
+    let done = c.submit(JobSpec::Experiment("table2".into()), None).expect("submit");
+    let traj = observe(&c, done);
+    assert_trajectory_in_model(&traj, &allowed);
+    assert_eq!(traj.last(), Some(&JobState::Done), "clean run must land on done: {traj:?}");
+
+    // A job cancelled as soon as possible: whatever the race outcome
+    // (cancelled while queued, drained while running, or finished
+    // first), the trajectory must still be a model path.
+    let raced = c.submit(JobSpec::Experiment("table2".into()), None).expect("submit");
+    c.cancel(raced);
+    let traj = observe(&c, raced);
+    assert_trajectory_in_model(&traj, &allowed);
+
+    // Cancel on a terminal job is idempotent and changes nothing.
+    let before = c.status(done).expect("status").state;
+    c.cancel(done);
+    assert_eq!(c.status(done).expect("status").state, before);
+
+    c.drain();
+}
+
+/// Long-run randomized variant:
+/// `cargo test -p specfetch-service --test job_conformance -- --ignored`.
+#[test]
+#[ignore = "long-run randomized cancel-timing sweep; run explicitly with --ignored"]
+fn randomized_cancel_timing_trajectories_stay_inside_the_model() {
+    let allowed = reachable_pairs();
+    let c = Controller::start(ci_config());
+    // A deterministic xorshift so failures reproduce; seeds vary the
+    // cancel delay across the whole submit-to-terminal window.
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut ids = Vec::new();
+    for _ in 0..24 {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let id = c.submit(JobSpec::Experiment("table2".into()), None).expect("submit");
+        std::thread::sleep(Duration::from_millis(rng % 40));
+        if !rng.is_multiple_of(3) {
+            c.cancel(id);
+        }
+        ids.push(id);
+    }
+    for id in ids {
+        let traj = observe(&c, id);
+        assert_trajectory_in_model(&traj, &allowed);
+    }
+    c.drain();
+}

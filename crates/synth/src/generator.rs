@@ -267,7 +267,13 @@ pub fn generate(spec: &WorkloadSpec) -> Result<Workload, SpecError> {
         e.builder.patch_target(*at, fn_entries[*idx]);
     }
     e.builder.set_entry(main_top);
-    let program = e.builder.finish().expect("generator emits a closed image");
+    let program = match e.builder.finish() {
+        Ok(p) => p,
+        // A build failure here is a generator-logic bug (every emitted
+        // image must be closed), not a recoverable condition — but the
+        // builder's own diagnosis beats an opaque expect message.
+        Err(e) => panic!("generator emits a closed image: {e}"),
+    };
 
     let dispatch = e
         .dispatch_fixups

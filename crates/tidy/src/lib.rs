@@ -1,8 +1,8 @@
 //! In-repo source lints enforcing specfetch workspace invariants, in the
 //! style of rustc's `tidy`.
 //!
-//! Seven rules, each a pure function over a tree root so the self-tests
-//! can run them against synthetic trees:
+//! Eleven rules, each a pure function over a tree root so the
+//! self-tests can run them against synthetic trees:
 //!
 //! 1. **Panic audit** ([`panic_audit`]) — library code (every
 //!    `crates/*/src` and the root `src/`, minus `bin/` directories and
@@ -39,8 +39,31 @@
 //!    must stay network-free so runs stay reproducible and sandboxable.
 //!    Socket code lives only in `crates/service` and `bin/` entry
 //!    points (which the library scan already excludes).
+//! 8. **Lock order** ([`lock_order`]) — every mutex acquisition site is
+//!    assigned a class by the committed order file
+//!    ([`LOCK_ORDER_FILE`], outermost class first), and within any one
+//!    function a later-class lock may never be taken before an
+//!    earlier-class one. Observed acquisition pairs are also checked
+//!    globally for cycles (A-then-B in one function, B-then-A in
+//!    another), which are rejected with the cycle path — the textual
+//!    ancestor of a lock-ordering deadlock.
+//! 9. **Blocking confinement** ([`blocking_confinement`]) —
+//!    unbounded blocking calls (`.recv()` with no timeout,
+//!    `thread::sleep`, `read_line`) may only appear in the supervised
+//!    modules that own a deadline or shutdown check around them; a
+//!    blocking call sprouting anywhere else is a hang waiting for a
+//!    dead peer.
+//! 10. **Wire-kind symmetry** ([`wire_kind_symmetry`]) — every
+//!     `"kind"` value of the worker pipe protocol that a file encodes
+//!     must also appear in that file's decode arms and vice versa, so
+//!     the two halves of the JSON-lines protocol cannot drift apart
+//!     silently.
+//! 11. **Spawn confinement** ([`spawn_confinement`]) — unscoped thread
+//!     creation (`thread::spawn`) is restricted to the supervised pools
+//!     (worker pool, controller drivers, HTTP acceptor); a detached
+//!     thread anywhere else escapes the shutdown and join protocols.
 //!
-//! The enforcement tests in `tests/tidy.rs` run all seven against the
+//! The enforcement tests in `tests/tidy.rs` run all eleven against the
 //! real workspace; CI runs them via `cargo test -p tidy`.
 //!
 //! The scanner is deliberately textual (line-based, no parsing crates —
@@ -53,6 +76,9 @@ use std::path::{Path, PathBuf};
 
 /// Repo-relative path of the panic-audit allowlist.
 pub const ALLOWLIST_FILE: &str = "crates/tidy/panic_allowlist.txt";
+
+/// Repo-relative path of the committed lock-ordering file (rule 8).
+pub const LOCK_ORDER_FILE: &str = "crates/tidy/lock_order.txt";
 
 // The scanned-for tokens, split so this file never matches its own
 // patterns.
@@ -94,18 +120,57 @@ const NET_ALLOWED_PREFIX: &str = "crates/service/src/";
 /// plan's injected-crash primitive.
 const EXIT_ALLOWED: [&str; 1] = ["crates/experiments/src/fault.rs"];
 
+// Unbounded-blocking tokens (rule 9), split like the rest. `.recv()`
+// keeps its parens so the bounded `.recv_timeout(..)` never matches.
+const RECV_CALL: &str = concat!(".re", "cv()");
+const SLEEP_CALL: &str = concat!("thread::", "sleep");
+const READ_LINE_CALL: &str = concat!(".read_", "line(");
+
+/// Modules allowed to block: each wraps its blocking call in a
+/// supervised boundary (worker pool deadlines, retry backoff, fault
+/// injection, the HTTP accept loop, trace-file readers).
+const BLOCKING_ALLOWED: [&str; 6] = [
+    "crates/experiments/src/worker.rs",
+    "crates/experiments/src/parallel.rs",
+    "crates/experiments/src/runner.rs",
+    "crates/experiments/src/fault.rs",
+    "crates/service/src/http.rs",
+    "crates/trace/src/text.rs",
+];
+
+// Wire-protocol tokens (rule 10): an *encode* site embeds the escaped
+// `kind\":\"<value>` pair inside a JSON format string; a *decode* site
+// extracts the `"kind"` field and matches `Some("<value>")` arms.
+const WIRE_ENCODE_TOKEN: &str = concat!("kind", "\\\":\\\"");
+const WIRE_FIELD: &str = concat!("\"ki", "nd\"");
+const WIRE_DECODE_ARM: &str = concat!("Some(", "\"");
+
+// Detached-thread token (rule 11). Scoped spawns (`scope.spawn`) are
+// structurally joined and deliberately not matched.
+const SPAWN_CALL: &str = concat!("thread::", "spawn");
+
+/// Modules allowed to create detached threads: each owns a join/
+/// shutdown protocol for the threads it starts (worker pool + child
+/// reader, controller drivers, HTTP connection handlers).
+const SPAWN_ALLOWED: [&str; 3] = [
+    "crates/experiments/src/worker.rs",
+    "crates/service/src/controller.rs",
+    "crates/service/src/http.rs",
+];
+
 /// The workspace dependency DAG: crate directory name, allowed
 /// `[dependencies]`, allowed extra `[dev-dependencies]`. A `Cargo.toml`
 /// or source edge outside these sets is a layering violation.
-const LAYERS: [(&str, &[&str], &[&str]); 10] = [
+const LAYERS: [(&str, &[&str], &[&str]); 11] = [
     ("isa", &[], &[]),
     ("trace", &["isa"], &[]),
     ("bpred", &["isa"], &[]),
     ("cache", &["isa"], &[]),
     ("synth", &["isa", "trace"], &[]),
     ("core", &["isa", "trace", "bpred", "cache"], &["synth"]),
-    ("experiments", &["isa", "trace", "bpred", "cache", "synth", "core"], &[]),
-    ("service", &["isa", "trace", "bpred", "cache", "synth", "core", "experiments"], &[]),
+    ("verify", &[], &[]),
+    ("experiments", &["isa", "trace", "bpred", "cache", "synth", "core", "verify"], &[]),
+    ("service", &["isa", "trace", "bpred", "cache", "synth", "core", "experiments", "verify"], &[]),
     ("bench", &["isa", "trace", "bpred", "cache", "synth", "core", "experiments"], &[]),
     ("tidy", &[], &[]),
 ];
@@ -118,8 +183,9 @@ const TYPED_ERROR_CRATES: [&str; 2] = ["core", "experiments"];
 pub struct Violation {
     /// The rule that fired (`panic-audit`, `oracle-capability`,
     /// `layering`, `error-hygiene`, `exit-confinement`,
-    /// `signal-confinement`, `net-confinement`, or `io` for an
-    /// unreadable input).
+    /// `signal-confinement`, `net-confinement`, `lock-order`,
+    /// `blocking-confinement`, `wire-kind`, `spawn-confinement`, or
+    /// `io` for an unreadable input).
     pub rule: &'static str,
     /// Repo-relative file path (slash-separated).
     pub file: String,
@@ -149,6 +215,13 @@ pub fn check_all(root: &Path, allowlist: &str) -> Vec<Violation> {
     v.extend(exit_confinement(root));
     v.extend(signal_confinement(root));
     v.extend(net_confinement(root));
+    // The lock-order file is part of the tree under check; a synthetic
+    // tree without one simply has no committed order to enforce.
+    let order = std::fs::read_to_string(root.join(LOCK_ORDER_FILE)).unwrap_or_default();
+    v.extend(lock_order(root, &order));
+    v.extend(blocking_confinement(root));
+    v.extend(wire_kind_symmetry(root));
+    v.extend(spawn_confinement(root));
     v
 }
 
@@ -454,6 +527,232 @@ pub fn net_confinement(root: &Path) -> Vec<Violation> {
     violations
 }
 
+/// Rule 8: mutex acquisition order matches the committed DAG.
+///
+/// `order` is the contents of [`LOCK_ORDER_FILE`]: `class: pattern`
+/// lines, outermost class first (repeated class lines add patterns; a
+/// class's rank is its first occurrence). The scan approximates lock
+/// scopes as function bodies — from one `fn` item to the next — which
+/// overshoots real guard lifetimes and therefore only ever errs toward
+/// flagging: if even the whole-function ordering is consistent, no
+/// interleaving of the real (shorter) guard scopes can deadlock on
+/// these classes. Two checks run over the observed acquisitions:
+///
+/// - within one function, an acquisition whose class ranks *earlier*
+///   than a class already acquired above it contradicts the committed
+///   order and is flagged at its line;
+/// - globally, the union of observed (first, second) class pairs must
+///   stay acyclic; a cycle is reported with its path even when each
+///   function looks locally plausible.
+pub fn lock_order(root: &Path, order: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (classes, mut parse_errors) = parse_lock_order(order);
+    violations.append(&mut parse_errors);
+    if classes.is_empty() {
+        return violations;
+    }
+
+    // Observed ordered pairs of distinct classes, with one witness
+    // site each for the cycle report.
+    let mut edges: Vec<(usize, usize, String, usize)> = Vec::new();
+    for (rel, path) in library_sources(root, &mut violations) {
+        let Some(text) = read(&path, &rel, &mut violations) else { continue };
+        // Acquisitions of the current function, as (rank, line) pairs.
+        let mut held: Vec<(usize, usize)> = Vec::new();
+        scan_code_lines(&text, |line_no, line| {
+            let trimmed = line.trim();
+            if is_fn_item(trimmed) {
+                held.clear();
+            }
+            for (rank, (_, patterns)) in classes.iter().enumerate() {
+                if !patterns.iter().any(|p| line.contains(p.as_str())) {
+                    continue;
+                }
+                for &(prior, _) in held.iter() {
+                    if prior != rank && !edges.iter().any(|&(a, b, ..)| (a, b) == (prior, rank)) {
+                        edges.push((prior, rank, rel.clone(), line_no));
+                    }
+                }
+                if let Some(&(prior, prior_line)) =
+                    held.iter().filter(|&&(p, _)| p > rank).max_by_key(|&&(p, _)| p)
+                {
+                    violations.push(Violation {
+                        rule: "lock-order",
+                        file: rel.clone(),
+                        line: line_no,
+                        detail: format!(
+                            "lock class `{}` acquired after `{}` (line {prior_line}); \
+                             the committed order in {LOCK_ORDER_FILE} puts `{0}` first",
+                            classes[rank].0, classes[prior].0
+                        ),
+                    });
+                }
+                held.push((rank, line_no));
+            }
+        });
+    }
+
+    if let Some(cycle) = find_cycle(classes.len(), &edges) {
+        let path: Vec<&str> = cycle.iter().map(|&i| classes[i].0.as_str()).collect();
+        let (_, _, file, line) = edges
+            .iter()
+            .find(|&&(a, b, ..)| (a, b) == (cycle[0], cycle[1]))
+            .cloned()
+            .unwrap_or((0, 0, LOCK_ORDER_FILE.to_owned(), 0));
+        violations.push(Violation {
+            rule: "lock-order",
+            file,
+            line,
+            detail: format!(
+                "observed lock acquisitions form a cycle: {} — some function takes \
+                 these classes in the reverse of another",
+                path.join(" -> ")
+            ),
+        });
+    }
+    violations
+}
+
+/// Rule 9: unbounded blocking calls stay inside the supervised modules.
+///
+/// `.recv()` (no timeout), `thread::sleep`, and `.read_line(` each
+/// park a thread until a peer acts; outside a module that wraps them
+/// in deadlines, heartbeat checks, or shutdown polling, they are a
+/// hang waiting for a dead peer. The allowlist is the fixed set of
+/// supervision boundaries ([`BLOCKING_ALLOWED`]).
+pub fn blocking_confinement(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (rel, path) in library_sources(root, &mut violations) {
+        if BLOCKING_ALLOWED.contains(&rel.as_str()) {
+            continue;
+        }
+        let Some(text) = read(&path, &rel, &mut violations) else { continue };
+        scan_code_lines(&text, |line_no, line| {
+            for token in [RECV_CALL, SLEEP_CALL, READ_LINE_CALL] {
+                if line.contains(token) {
+                    violations.push(Violation {
+                        rule: "blocking-confinement",
+                        file: rel.clone(),
+                        line: line_no,
+                        detail: format!(
+                            "`{token}..` blocks unboundedly outside the supervised \
+                             modules; use a timeout variant or move the wait behind \
+                             one of the supervision boundaries"
+                        ),
+                    });
+                }
+            }
+        });
+    }
+    violations
+}
+
+/// Rule 10: the worker pipe protocol's `"kind"` vocabulary stays
+/// symmetric per file.
+///
+/// An encode site embeds `kind\":\"<value>` in a JSON format string; a
+/// decode site extracts the `"kind"` field and matches `Some("<value>")`
+/// arms (same-line for a single-kind check, or the arms of the `match`
+/// block the extraction opens). Within any one file that speaks the
+/// protocol, the two vocabularies must be equal — a kind that is
+/// emitted but never parsed (or vice versa) is silent drift between
+/// the two halves of the pipe.
+pub fn wire_kind_symmetry(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (rel, path) in library_sources(root, &mut violations) {
+        let Some(text) = read(&path, &rel, &mut violations) else { continue };
+        let mut encoded: Vec<String> = Vec::new();
+        let mut decoded: Vec<String> = Vec::new();
+        // Brace depth of the `match` block a `"kind"` extraction
+        // opened; 0 when not inside one.
+        let mut match_depth = 0usize;
+        scan_code_lines(&text, |_, line| {
+            let mut rest = line;
+            while let Some(pos) = rest.find(WIRE_ENCODE_TOKEN) {
+                rest = &rest[pos + WIRE_ENCODE_TOKEN.len()..];
+                let value: String =
+                    rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+                if !value.is_empty() && !encoded.contains(&value) {
+                    encoded.push(value);
+                }
+            }
+            if match_depth > 0 {
+                collect_some_str_arms(line, &mut decoded);
+                match_depth += count(line, '{');
+                match_depth = match_depth.saturating_sub(count(line, '}'));
+                return;
+            }
+            if !line.contains(WIRE_FIELD) {
+                return;
+            }
+            let before = decoded.len();
+            collect_some_str_arms(line, &mut decoded);
+            // No same-line kind: the extraction opens a `match` whose
+            // arms carry the vocabulary.
+            if decoded.len() == before && count(line, '{') > count(line, '}') {
+                match_depth = count(line, '{') - count(line, '}');
+            }
+        });
+        for value in &encoded {
+            if !decoded.contains(value) {
+                violations.push(Violation {
+                    rule: "wire-kind",
+                    file: rel.clone(),
+                    line: 0,
+                    detail: format!(
+                        "wire kind \"{value}\" is encoded but never decoded in this \
+                         file; the pipe protocol's vocabulary must stay symmetric"
+                    ),
+                });
+            }
+        }
+        for value in &decoded {
+            if !encoded.contains(value) {
+                violations.push(Violation {
+                    rule: "wire-kind",
+                    file: rel.clone(),
+                    line: 0,
+                    detail: format!(
+                        "wire kind \"{value}\" is decoded but never encoded in this \
+                         file; the pipe protocol's vocabulary must stay symmetric"
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Rule 11: detached thread creation stays inside the supervised pools.
+///
+/// `thread::spawn` outside [`SPAWN_ALLOWED`] creates a thread no join
+/// or shutdown protocol knows about; scoped spawns are structurally
+/// joined and exempt.
+pub fn spawn_confinement(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (rel, path) in library_sources(root, &mut violations) {
+        if SPAWN_ALLOWED.contains(&rel.as_str()) {
+            continue;
+        }
+        let Some(text) = read(&path, &rel, &mut violations) else { continue };
+        scan_code_lines(&text, |line_no, line| {
+            if line.contains(SPAWN_CALL) {
+                violations.push(Violation {
+                    rule: "spawn-confinement",
+                    file: rel.clone(),
+                    line: line_no,
+                    detail: format!(
+                        "`{SPAWN_CALL}` outside the supervised pools: a detached \
+                         thread escapes every join/shutdown protocol; use a scoped \
+                         spawn or one of the existing pools"
+                    ),
+                });
+            }
+        });
+    }
+    violations
+}
+
 // ---------------------------------------------------------------------
 // Scanning machinery
 // ---------------------------------------------------------------------
@@ -557,6 +856,107 @@ fn scan_code_lines(text: &str, mut f: impl FnMut(usize, &str)) {
 
 fn count(line: &str, ch: char) -> usize {
     line.chars().filter(|&c| c == ch).count()
+}
+
+/// Does this (trimmed) line start a function item? Lock scopes are
+/// approximated as fn-to-fn spans, so this only needs to catch the
+/// declaration forms the workspace uses.
+fn is_fn_item(trimmed: &str) -> bool {
+    let mut rest = trimmed;
+    for prefix in ["pub(crate) ", "pub ", "const ", "async ", "unsafe ", "extern \"C\" "] {
+        if let Some(stripped) = rest.strip_prefix(prefix) {
+            rest = stripped;
+        }
+    }
+    rest.starts_with("fn ")
+}
+
+/// Parses the committed lock-order file: `class: pattern` lines,
+/// outermost first; repeated class lines add patterns. Returns classes
+/// in rank order. Malformed lines surface as violations.
+fn parse_lock_order(text: &str) -> (Vec<(String, Vec<String>)>, Vec<Violation>) {
+    let mut classes: Vec<(String, Vec<String>)> = Vec::new();
+    let mut violations = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = line.split_once(':').map(|(c, p)| (c.trim(), p.trim()));
+        let Some((class, pattern)) = parsed.filter(|(c, p)| !c.is_empty() && !p.is_empty()) else {
+            violations.push(Violation {
+                rule: "lock-order",
+                file: LOCK_ORDER_FILE.to_owned(),
+                line: i + 1,
+                detail: format!("bad lock-order line {line:?} (want `class: pattern`)"),
+            });
+            continue;
+        };
+        match classes.iter_mut().find(|(c, _)| c == class) {
+            Some((_, patterns)) => patterns.push(pattern.to_owned()),
+            None => classes.push((class.to_owned(), vec![pattern.to_owned()])),
+        }
+    }
+    (classes, violations)
+}
+
+/// Finds a cycle in the observed acquisition-order graph, returned as
+/// a node path whose first node is repeated at the end.
+fn find_cycle(n: usize, edges: &[(usize, usize, String, usize)]) -> Option<Vec<usize>> {
+    let mut adjacent = vec![Vec::new(); n];
+    for &(a, b, ..) in edges {
+        adjacent[a].push(b);
+    }
+    // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut path = Vec::new();
+    for start in 0..n {
+        if color[start] == 0 && dfs_cycle(start, &adjacent, &mut color, &mut path) {
+            // The re-entered node was pushed twice: once where the
+            // path first reached it, once on cycle detection — so the
+            // slice from its first occurrence already closes the loop.
+            let entry = *path.last().unwrap_or(&start);
+            let from = path.iter().position(|&x| x == entry).unwrap_or(0);
+            return Some(path[from..].to_vec());
+        }
+    }
+    None
+}
+
+fn dfs_cycle(
+    node: usize,
+    adjacent: &[Vec<usize>],
+    color: &mut [u8],
+    path: &mut Vec<usize>,
+) -> bool {
+    color[node] = 1;
+    path.push(node);
+    for &next in &adjacent[node] {
+        if color[next] == 1 {
+            path.push(next);
+            return true;
+        }
+        if color[next] == 0 && dfs_cycle(next, adjacent, color, path) {
+            return true;
+        }
+    }
+    color[node] = 2;
+    path.pop();
+    false
+}
+
+/// Appends every `Some("<value>")` capture on `line` to `out`
+/// (deduplicated): the decode arms of a wire-kind `match`.
+fn collect_some_str_arms(line: &str, out: &mut Vec<String>) {
+    let mut rest = line;
+    while let Some(pos) = rest.find(WIRE_DECODE_ARM) {
+        rest = &rest[pos + WIRE_DECODE_ARM.len()..];
+        let value: String =
+            rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if !value.is_empty() && !out.contains(&value) {
+            out.push(value);
+        }
+    }
 }
 
 /// Parses the `path: count` allowlist. Malformed lines surface as

@@ -7,8 +7,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tidy::{
-    check_all, error_hygiene, exit_confinement, layering, net_confinement, oracle_capability,
-    panic_audit, signal_confinement, Violation, ALLOWLIST_FILE,
+    blocking_confinement, check_all, error_hygiene, exit_confinement, layering, lock_order,
+    net_confinement, oracle_capability, panic_audit, signal_confinement, spawn_confinement,
+    wire_kind_symmetry, Violation, ALLOWLIST_FILE, LOCK_ORDER_FILE,
 };
 
 fn workspace_root() -> PathBuf {
@@ -332,6 +333,159 @@ fn sockets_outside_the_service_crate_are_flagged() {
 }
 
 #[test]
+fn lock_order_contradictions_are_flagged_and_cycles_reported() {
+    let root = scratch("locks");
+    let order = "a: alpha().lock()\nb: beta().lock()\n";
+    // Consistent nesting: a before b.
+    seed(
+        &root,
+        "crates/core/src/fine.rs",
+        "pub fn one() {\n    let _a = alpha().lock();\n    let _b = beta().lock();\n}\n",
+    );
+    assert!(lock_order(&root, order).is_empty(), "{}", render(&lock_order(&root, order)));
+
+    // A second function takes them in the reverse order: the pairwise
+    // check flags the later-ranked-first acquisition, and the observed
+    // pairs now form a cycle.
+    seed(
+        &root,
+        "crates/core/src/backwards.rs",
+        "pub fn two() {\n    let _b = beta().lock();\n    let _a = alpha().lock();\n}\n",
+    );
+    let v = lock_order(&root, order);
+    assert_eq!(v.len(), 2, "{}", render(&v));
+    assert!(v.iter().all(|x| x.rule == "lock-order"));
+    assert!(
+        v.iter().any(|x| x.file == "crates/core/src/backwards.rs"
+            && x.line == 3
+            && x.detail.contains("acquired after")),
+        "{}",
+        render(&v)
+    );
+    assert!(v.iter().any(|x| x.detail.contains("a -> b -> a")), "{}", render(&v));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn lock_scopes_reset_at_function_boundaries_and_bad_order_lines_surface() {
+    let root = scratch("locks-span");
+    let order = "a: alpha().lock()\nb: beta().lock()\n";
+    // b in one function, a in the next: separate scopes, no ordering.
+    seed(
+        &root,
+        "crates/core/src/split.rs",
+        "pub fn first() {\n    let _b = beta().lock();\n}\n\
+         pub fn second() {\n    let _a = alpha().lock();\n}\n",
+    );
+    assert!(lock_order(&root, order).is_empty(), "{}", render(&lock_order(&root, order)));
+
+    let v = lock_order(&root, "a alpha().lock()\n");
+    assert_eq!(v.len(), 1, "{}", render(&v));
+    assert!(v[0].detail.contains("bad lock-order line"), "{}", v[0]);
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn the_committed_lock_order_actually_sees_the_workspace_locks() {
+    // Reversing the committed class ranks must produce violations on
+    // the real tree (the controller holds its state mutex while
+    // touching a job's row buffer) — otherwise a clean run would be
+    // vacuous.
+    let root = workspace_root();
+    let committed =
+        fs::read_to_string(root.join(LOCK_ORDER_FILE)).expect("committed lock order is readable");
+    assert!(lock_order(&root, &committed).is_empty());
+    let reversed: Vec<&str> =
+        committed.lines().filter(|l| !l.trim_start().starts_with('#')).rev().collect();
+    let v = lock_order(&root, &reversed.join("\n"));
+    assert!(!v.is_empty(), "a reversed order must contradict the observed nesting");
+}
+
+#[test]
+fn blocking_calls_outside_the_supervised_modules_are_flagged() {
+    let root = scratch("blocking");
+    let body = "pub fn wait(rx: &Receiver<u8>, r: &mut impl BufRead, s: &mut String) {\n    \
+                let _ = rx.recv();\n    \
+                std::thread::sleep(Duration::from_secs(1));\n    \
+                let _ = r.read_line(s);\n}\n";
+    // Allowed: the worker module owns supervision around its waits.
+    seed(&root, "crates/experiments/src/worker.rs", body);
+    assert!(blocking_confinement(&root).is_empty(), "{}", render(&blocking_confinement(&root)));
+
+    // Flagged: the same calls loose in a simulation crate.
+    seed(&root, "crates/core/src/stall.rs", body);
+    let v = blocking_confinement(&root);
+    assert_eq!(v.len(), 3, "{}", render(&v));
+    assert!(v.iter().all(|x| x.rule == "blocking-confinement" && x.file.contains("stall")));
+    assert_eq!((v[0].line, v[1].line, v[2].line), (2, 3, 4));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn wire_kind_vocabulary_must_stay_symmetric_per_file() {
+    let root = scratch("wire");
+    // Symmetric: every encoded kind has a decode arm (one same-line,
+    // one in a match block) and vice versa.
+    seed(
+        &root,
+        "crates/experiments/src/pipe.rs",
+        "pub fn enc() -> String {\n    \
+             format!(\"{{\\\"kind\\\":\\\"hello\\\"}}\")\n}\n\
+         pub fn enc2() -> String {\n    \
+             \"{\\\"kind\\\":\\\"done\\\"}\".to_owned()\n}\n\
+         pub fn dec(line: &str) -> bool {\n    \
+             field(line, \"kind\").as_deref() == Some(\"hello\")\n}\n\
+         pub fn dec2(line: &str) -> u8 {\n    \
+             match field(line, \"kind\").as_deref() {\n        \
+                 Some(\"done\") => 1,\n        _ => 0,\n    }\n}\n",
+    );
+    assert!(wire_kind_symmetry(&root).is_empty(), "{}", render(&wire_kind_symmetry(&root)));
+
+    // Asymmetric: `ping` is emitted but never parsed, `pong` parsed
+    // but never emitted.
+    seed(
+        &root,
+        "crates/experiments/src/drift.rs",
+        "pub fn enc() -> String {\n    \
+             \"{\\\"kind\\\":\\\"ping\\\"}\".to_owned()\n}\n\
+         pub fn dec(line: &str) -> u8 {\n    \
+             match field(line, \"kind\").as_deref() {\n        \
+                 Some(\"pong\") => 1,\n        _ => 0,\n    }\n}\n",
+    );
+    let v = wire_kind_symmetry(&root);
+    assert_eq!(v.len(), 2, "{}", render(&v));
+    assert!(v.iter().all(|x| x.rule == "wire-kind" && x.file.contains("drift")));
+    assert!(v.iter().any(|x| x.detail.contains("\"ping\" is encoded but never decoded")));
+    assert!(v.iter().any(|x| x.detail.contains("\"pong\" is decoded but never encoded")));
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn detached_spawns_outside_the_pools_are_flagged() {
+    let root = scratch("spawn");
+    let body = "pub fn bg(f: impl FnOnce() + Send + 'static) {\n    std::thread::spawn(f);\n}\n";
+    // Allowed: the HTTP layer's connection handlers.
+    seed(&root, "crates/service/src/http.rs", body);
+    // Scoped spawns are structurally joined and exempt everywhere.
+    seed(
+        &root,
+        "crates/core/src/scoped.rs",
+        "pub fn fan(xs: &[u8]) {\n    std::thread::scope(|s| {\n        \
+         for _ in xs {\n            s.spawn(|| {});\n        }\n    });\n}\n",
+    );
+    assert!(spawn_confinement(&root).is_empty(), "{}", render(&spawn_confinement(&root)));
+
+    seed(&root, "crates/synth/src/bg.rs", body);
+    let v = spawn_confinement(&root);
+    assert_eq!(v.len(), 1, "{}", render(&v));
+    assert_eq!(
+        (v[0].rule, v[0].file.as_str(), v[0].line),
+        ("spawn-confinement", "crates/synth/src/bg.rs", 2)
+    );
+    fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
 fn check_all_aggregates_every_rule_class() {
     let root = scratch("all");
     seed(&root, "crates/cache/src/lib.rs", "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n");
@@ -366,6 +520,27 @@ fn check_all_aggregates_every_rule_class() {
             concat!("std::net::Udp", "Socket::bind(addr)")
         ),
     );
+    seed(&root, LOCK_ORDER_FILE, "a: alpha().lock()\nb: beta().lock()\n");
+    seed(
+        &root,
+        "crates/cache/src/order.rs",
+        "pub fn two() {\n    let _b = beta().lock();\n    let _a = alpha().lock();\n}\n",
+    );
+    seed(
+        &root,
+        "crates/cache/src/stall.rs",
+        "pub fn wait(rx: &Receiver<u8>) -> u8 {\n    rx.recv().unwrap_or(0)\n}\n",
+    );
+    seed(
+        &root,
+        "crates/bpred/src/drift.rs",
+        "pub fn enc() -> String {\n    \"{\\\"kind\\\":\\\"ping\\\"}\".to_owned()\n}\n",
+    );
+    seed(
+        &root,
+        "crates/isa/src/bg.rs",
+        "pub fn bg(f: impl FnOnce() + Send + 'static) {\n    std::thread::spawn(f);\n}\n",
+    );
     let v = check_all(&root, "");
     let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
     for rule in [
@@ -376,6 +551,10 @@ fn check_all_aggregates_every_rule_class() {
         "exit-confinement",
         "signal-confinement",
         "net-confinement",
+        "lock-order",
+        "blocking-confinement",
+        "wire-kind",
+        "spawn-confinement",
     ] {
         assert!(rules.contains(&rule), "missing {rule} in: {}", render(&v));
     }

@@ -1,0 +1,192 @@
+//! The controller job lifecycle as a typed state machine.
+//!
+//! [`JobState`] is the canonical definition — `service::job` re-exports
+//! it, and `service::controller` applies every lifecycle change through
+//! [`job_step`]. The checker drives cancellation at every state (twice,
+//! for idempotency), stale queue entries, and every `Finish` outcome
+//! combination, and proves the terminal classification the HTTP layer
+//! serves is consistent with what was requested.
+
+use crate::explore::{Machine, Step};
+
+/// Where a job is in its lifecycle.
+///
+/// ```text
+/// Queued ── dequeue ──▶ Running ── cancel ──▶ Draining ─┐
+///    │                     │                            │
+///    │ cancel              ├──▶ Done / Failed           │
+///    ▼                     ▼                            ▼
+/// Cancelled ◀──────── (interrupted) ◀───────────────────┘
+/// ```
+///
+/// `Done`, `Failed` and `Cancelled` are terminal; only then does
+/// `GET /jobs/<id>/result` serve a body.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum JobState {
+    /// Accepted and waiting for a driver slot.
+    Queued,
+    /// A driver is executing the spec.
+    Running,
+    /// Cancelled while running: the driver is draining in-flight points.
+    Draining,
+    /// Ran to completion with nothing wrong.
+    Done,
+    /// Ran, but with failed cells or failed experiments in the outcome.
+    Failed,
+    /// Cancelled (before running, or after draining) or interrupted.
+    Cancelled,
+}
+
+impl JobState {
+    /// The lowercase wire name (`"queued"`, `"running"`, ...).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Draining => "draining",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can change no further (its result is final).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// A job's lifecycle state plus the cancellation latch — the pair the
+/// transition function actually needs (production's `JobRecord` carries
+/// both fields; this is their projection).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct JobPhase {
+    /// The externally visible state.
+    pub state: JobState,
+    /// Whether a cancel was ever requested for this job.
+    pub cancel_requested: bool,
+}
+
+impl JobPhase {
+    /// A freshly submitted job.
+    #[must_use]
+    pub fn queued() -> Self {
+        JobPhase { state: JobState::Queued, cancel_requested: false }
+    }
+}
+
+/// One lifecycle event.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum JobEvent {
+    /// A driver thread pops the job's id off the queue. On a job no
+    /// longer `Queued` (cancelled while waiting) this is a stale entry
+    /// the driver skips.
+    Dequeue,
+    /// `DELETE /jobs/<id>` (or the service's own drain). Idempotent.
+    Cancel,
+    /// The driver finished executing the spec.
+    Finish {
+        /// The outcome had failed cells or failed experiments.
+        failed: bool,
+        /// The run was interrupted (graceful shutdown / cancel drain).
+        interrupted: bool,
+    },
+}
+
+/// The job lifecycle transition function — total over every event
+/// [`JobMachine::events`] enumerates, and the exact dispatch
+/// `service::controller` uses.
+#[must_use]
+pub fn job_step(phase: &JobPhase, event: &JobEvent) -> Step<JobPhase> {
+    use JobEvent as E;
+    use JobState as S;
+    match (phase.state, event) {
+        (S::Queued, E::Dequeue) => {
+            Step::Next(JobPhase { state: S::Running, cancel_requested: phase.cancel_requested })
+        }
+        (S::Queued, E::Cancel) => {
+            Step::Next(JobPhase { state: S::Cancelled, cancel_requested: true })
+        }
+        (S::Running, E::Cancel) => {
+            Step::Next(JobPhase { state: S::Draining, cancel_requested: true })
+        }
+        // An interrupted run — or any run whose job was asked to cancel
+        // — lands on Cancelled regardless of cell failures; otherwise
+        // the outcome decides Done vs Failed.
+        (S::Running | S::Draining, E::Finish { failed, interrupted }) => {
+            let state = if *interrupted || phase.cancel_requested {
+                S::Cancelled
+            } else if *failed {
+                S::Failed
+            } else {
+                S::Done
+            };
+            Step::Next(JobPhase { state, cancel_requested: phase.cancel_requested })
+        }
+        // Cancel is idempotent while draining and after any terminal.
+        (S::Draining | S::Done | S::Failed | S::Cancelled, E::Cancel) => Step::Stay,
+        // A queue entry for a job cancelled while queued: the driver
+        // pops the id, sees a non-Queued state, and skips it.
+        (S::Cancelled, E::Dequeue) => Step::Stay,
+        _ => Step::Unhandled,
+    }
+}
+
+/// The job lifecycle machine the checker explores.
+#[derive(Default)]
+pub struct JobMachine;
+
+impl Machine for JobMachine {
+    type State = JobPhase;
+    type Event = JobEvent;
+
+    fn initial(&self) -> Vec<JobPhase> {
+        vec![JobPhase::queued()]
+    }
+
+    fn events(&self, phase: &JobPhase) -> Vec<JobEvent> {
+        use JobEvent as E;
+        use JobState as S;
+        let finishes = [
+            E::Finish { failed: false, interrupted: false },
+            E::Finish { failed: true, interrupted: false },
+            E::Finish { failed: false, interrupted: true },
+            E::Finish { failed: true, interrupted: true },
+        ];
+        match phase.state {
+            S::Queued => vec![E::Dequeue, E::Cancel],
+            S::Running | S::Draining => {
+                let mut ev = vec![E::Cancel];
+                ev.extend(finishes);
+                ev
+            }
+            S::Cancelled => vec![E::Cancel, E::Dequeue],
+            S::Done | S::Failed => vec![E::Cancel],
+        }
+    }
+
+    fn step(&self, phase: &JobPhase, event: &JobEvent) -> Step<JobPhase> {
+        job_step(phase, event)
+    }
+
+    fn is_terminal(&self, phase: &JobPhase) -> bool {
+        phase.state.is_terminal()
+    }
+
+    fn check(&self, phase: &JobPhase) -> Result<(), String> {
+        // Draining exists only because someone asked; a clean Done /
+        // Failed means nobody ever did (a cancel always wins the race
+        // under the controller's lock).
+        match phase.state {
+            JobState::Draining if !phase.cancel_requested => {
+                Err("draining without a cancel request".to_owned())
+            }
+            JobState::Done | JobState::Failed if phase.cancel_requested => {
+                Err(format!("{:?} despite a cancel request", phase.state))
+            }
+            _ => Ok(()),
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The sweep journal WAL lifecycle as a typed state machine.
+//!
+//! One grid point moves `Unscheduled → Scheduled → Attempting{n} →
+//! Completed | Failed | Interrupted`, mirroring the five WAL event
+//! kinds (`s`/`a`/`c`/`f`/`i`). Two transition functions cover the two
+//! sides of the log:
+//!
+//! - [`point_step`] is the **strict writer-side** machine: the exact
+//!   event orders `experiments::runner` is allowed to record. The
+//!   production journal asserts every record against it.
+//! - [`replay_step`] is the **lenient reader-side** projection: total
+//!   over *any* event in *any* state, because a `--resume` must accept
+//!   whatever prefix a crash left behind (including prefixes truncated
+//!   mid-point). It reproduces the production `or_insert` /
+//!   last-terminal-wins fold exactly.
+//!
+//! The model test proves the two agree on every strict edge, so the
+//! lenient reader can never re-interpret a legally-written log.
+//!
+//! [`SweepMachine`] composes a few points with a shutdown flag and
+//! running [`Counters`], and the checker proves the ISSUE invariants:
+//! replay of any reachable prefix is consistent with the counters,
+//! cancellation drains every in-flight point to `Interrupted` (never a
+//! terminal success/failure it did not earn), and shutdown never loses
+//! a scheduled point.
+
+use crate::explore::{Machine, Step};
+
+/// Retry budget mirrored from production (`--retries` default ceiling
+/// in the bounded model; production budgets are per-run but the guard
+/// logic is magnitude-blind).
+pub const MAX_ATTEMPTS: u8 = 3;
+
+/// One grid point's journalled lifecycle state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PointState {
+    /// Not yet journalled.
+    Unscheduled,
+    /// `s` written: the point exists and is owed an outcome.
+    Scheduled,
+    /// `a` written `attempt + 1` times: an execution is in flight.
+    Attempting {
+        /// Zero-based attempt index of the in-flight execution.
+        attempt: u8,
+    },
+    /// `c` written: terminal success.
+    Completed,
+    /// `f` written: terminal failure (retry budget exhausted or
+    /// permanent).
+    Failed,
+    /// `i` written: shutdown landed before an outcome; a resume owes
+    /// this point a fresh run.
+    Interrupted,
+}
+
+/// One WAL event kind for one point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PointEvent {
+    /// `s` — the point is reserved in the journal.
+    Schedule,
+    /// `a` — an attempt starts.
+    Attempt,
+    /// `c` — the attempt succeeded.
+    Complete,
+    /// `f` — the point failed terminally.
+    Fail,
+    /// `i` — shutdown interrupted the point.
+    Interrupt,
+}
+
+/// The strict writer-side transition function: exactly the record
+/// orders the runner may produce. Production's `journal::Active`
+/// dispatches every `record_*` through this.
+#[must_use]
+pub fn point_step(state: &PointState, event: &PointEvent) -> Step<PointState> {
+    use PointEvent as E;
+    use PointState as S;
+    match (state, event) {
+        (S::Unscheduled, E::Schedule) => Step::Next(S::Scheduled),
+        (S::Scheduled, E::Attempt) => Step::Next(S::Attempting { attempt: 0 }),
+        // Shutdown can land after scheduling but before any attempt.
+        (S::Scheduled, E::Interrupt) => Step::Next(S::Interrupted),
+        // Production retry budgets are user-set; the attempt counter
+        // saturates at MAX_ATTEMPTS so the *model* stays bounded while
+        // the transition stays total over any real retry count.
+        (S::Attempting { attempt }, E::Attempt) => {
+            Step::Next(S::Attempting { attempt: attempt.saturating_add(1).min(MAX_ATTEMPTS) })
+        }
+        (S::Attempting { .. }, E::Complete) => Step::Next(S::Completed),
+        (S::Attempting { .. }, E::Fail) => Step::Next(S::Failed),
+        (S::Attempting { .. }, E::Interrupt) => Step::Next(S::Interrupted),
+        _ => Step::Unhandled,
+    }
+}
+
+/// The lenient reader-side fold a `--resume` applies: total over any
+/// `(state, event)` pair, because a crash can truncate the WAL at any
+/// byte and replay must still land somewhere sensible. Semantics match
+/// the production fold: `s`/`a`/`i` only establish existence
+/// (`or_insert`), `c`/`f` are last-terminal-wins.
+#[must_use]
+pub fn replay_step(state: PointState, event: &PointEvent) -> PointState {
+    use PointEvent as E;
+    use PointState as S;
+    match (state, event) {
+        (S::Unscheduled, E::Schedule) => S::Scheduled,
+        (s, E::Schedule) => s,
+        (S::Unscheduled | S::Scheduled, E::Attempt) => S::Attempting { attempt: 0 },
+        (S::Attempting { attempt }, E::Attempt) => {
+            S::Attempting { attempt: attempt.saturating_add(1).min(MAX_ATTEMPTS) }
+        }
+        (s, E::Attempt) => s,
+        (_, E::Complete) => S::Completed,
+        (_, E::Fail) => S::Failed,
+        (S::Unscheduled | S::Scheduled | S::Attempting { .. }, E::Interrupt) => S::Interrupted,
+        (s @ (S::Completed | S::Failed | S::Interrupted), E::Interrupt) => s,
+    }
+}
+
+/// What a resume does with a replayed point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplayClass {
+    /// Scheduled / mid-attempt / interrupted: run it (again).
+    Pending,
+    /// Done; skip and reuse the recorded cell.
+    Completed,
+    /// Terminally failed; surface without re-running (unless retried
+    /// explicitly).
+    Failed,
+}
+
+/// Projects a replayed [`PointState`] to what a resume does with it.
+/// `None` for [`PointState::Unscheduled`] — a point the WAL never
+/// mentioned is simply absent from the replay map.
+#[must_use]
+pub fn replay_of(state: PointState) -> Option<ReplayClass> {
+    match state {
+        PointState::Unscheduled => None,
+        PointState::Scheduled | PointState::Attempting { .. } | PointState::Interrupted => {
+            Some(ReplayClass::Pending)
+        }
+        PointState::Completed => Some(ReplayClass::Completed),
+        PointState::Failed => Some(ReplayClass::Failed),
+    }
+}
+
+/// The Progress counters a sweep reports, updated per WAL event. The
+/// production journal carries exactly this struct.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Counters {
+    /// Points journalled with `s`.
+    pub scheduled: u64,
+    /// Points journalled with `c`.
+    pub completed: u64,
+    /// Points journalled with `f`.
+    pub failed: u64,
+    /// Points journalled with `i`.
+    pub interrupted: u64,
+}
+
+impl Counters {
+    /// Folds one WAL event into the counters (`Attempt` is progress-
+    /// neutral).
+    pub fn apply(&mut self, event: &PointEvent) {
+        match event {
+            PointEvent::Schedule => self.scheduled += 1,
+            PointEvent::Attempt => {}
+            PointEvent::Complete => self.completed += 1,
+            PointEvent::Fail => self.failed += 1,
+            PointEvent::Interrupt => self.interrupted += 1,
+        }
+    }
+}
+
+/// The single-char WAL tag for an event — the byte production writes.
+#[must_use]
+pub fn event_tag(event: &PointEvent) -> &'static str {
+    match event {
+        PointEvent::Schedule => "s",
+        PointEvent::Attempt => "a",
+        PointEvent::Complete => "c",
+        PointEvent::Fail => "f",
+        PointEvent::Interrupt => "i",
+    }
+}
+
+/// The inverse of [`event_tag`]; `None` for an unknown tag.
+#[must_use]
+pub fn parse_tag(tag: &str) -> Option<PointEvent> {
+    match tag {
+        "s" => Some(PointEvent::Schedule),
+        "a" => Some(PointEvent::Attempt),
+        "c" => Some(PointEvent::Complete),
+        "f" => Some(PointEvent::Fail),
+        "i" => Some(PointEvent::Interrupt),
+        _ => None,
+    }
+}
+
+/// How many points the bounded sweep model tracks.
+pub const MODEL_POINTS: usize = 3;
+
+/// The composed sweep state: a few points, the shutdown flag, and the
+/// running counters.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SweepState {
+    /// Per-point lifecycle states.
+    pub points: [PointState; MODEL_POINTS],
+    /// Whether graceful shutdown has been requested.
+    pub shutdown: bool,
+    /// Counters folded over every event so far.
+    pub counters: Counters,
+}
+
+/// One sweep-level event: a WAL event against one point, or the
+/// shutdown request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SweepEvent {
+    /// A WAL event for `points[idx]`.
+    Point {
+        /// Which point.
+        idx: usize,
+        /// The WAL event.
+        event: PointEvent,
+    },
+    /// Graceful shutdown is requested (SIGINT / cancel).
+    Shutdown,
+}
+
+/// The bounded sweep machine: [`MODEL_POINTS`] points driven through
+/// every strict order, with shutdown possible at every state.
+#[derive(Default)]
+pub struct SweepMachine;
+
+impl Machine for SweepMachine {
+    type State = SweepState;
+    type Event = SweepEvent;
+
+    fn initial(&self) -> Vec<SweepState> {
+        vec![SweepState {
+            points: [PointState::Unscheduled; MODEL_POINTS],
+            shutdown: false,
+            counters: Counters::default(),
+        }]
+    }
+
+    fn events(&self, state: &SweepState) -> Vec<SweepEvent> {
+        use PointEvent as E;
+        use PointState as S;
+        let mut ev = Vec::new();
+        for (idx, p) in state.points.iter().enumerate() {
+            let kinds: &[E] = if state.shutdown {
+                // After shutdown the runner stops scheduling and
+                // retrying; in-flight attempts finish or drain to
+                // Interrupted, scheduled-but-unstarted points drain.
+                match p {
+                    S::Scheduled => &[E::Interrupt],
+                    S::Attempting { .. } => &[E::Complete, E::Fail, E::Interrupt],
+                    _ => &[],
+                }
+            } else {
+                match p {
+                    S::Unscheduled => &[E::Schedule],
+                    S::Scheduled => &[E::Attempt],
+                    S::Attempting { attempt } if *attempt < MAX_ATTEMPTS => {
+                        &[E::Attempt, E::Complete, E::Fail]
+                    }
+                    S::Attempting { .. } => &[E::Complete, E::Fail],
+                    _ => &[],
+                }
+            };
+            ev.extend(kinds.iter().map(|&event| SweepEvent::Point { idx, event }));
+        }
+        if !state.shutdown {
+            ev.push(SweepEvent::Shutdown);
+        }
+        ev
+    }
+
+    fn step(&self, state: &SweepState, event: &SweepEvent) -> Step<SweepState> {
+        match event {
+            SweepEvent::Shutdown => {
+                let mut next = state.clone();
+                next.shutdown = true;
+                Step::Next(next)
+            }
+            SweepEvent::Point { idx, event } => match point_step(&state.points[*idx], event) {
+                Step::Next(p) => {
+                    let mut next = state.clone();
+                    next.points[*idx] = p;
+                    next.counters.apply(event);
+                    Step::Next(next)
+                }
+                Step::Stay => Step::Stay,
+                Step::Unhandled => Step::Unhandled,
+            },
+        }
+    }
+
+    fn is_terminal(&self, state: &SweepState) -> bool {
+        state.points.iter().all(|p| {
+            matches!(p, PointState::Completed | PointState::Failed | PointState::Interrupted)
+                || (state.shutdown && matches!(p, PointState::Unscheduled))
+        })
+    }
+
+    fn check(&self, state: &SweepState) -> Result<(), String> {
+        use PointState as S;
+        let mut tally = Counters::default();
+        for p in &state.points {
+            match p {
+                S::Unscheduled => {}
+                S::Scheduled | S::Attempting { .. } => tally.scheduled += 1,
+                S::Completed => {
+                    tally.scheduled += 1;
+                    tally.completed += 1;
+                }
+                S::Failed => {
+                    tally.scheduled += 1;
+                    tally.failed += 1;
+                }
+                S::Interrupted => {
+                    tally.scheduled += 1;
+                    tally.interrupted += 1;
+                }
+            }
+        }
+        if tally != state.counters {
+            return Err(format!(
+                "counters {:?} disagree with point states (expect {:?})",
+                state.counters, tally
+            ));
+        }
+        // Shutdown never loses a scheduled point: terminal under
+        // shutdown means every journalled point reached c/f/i, so
+        // replay still owes each one an answer.
+        if state.shutdown && self.is_terminal(state) {
+            for p in &state.points {
+                if replay_of(*p).is_none() && !matches!(p, S::Unscheduled) {
+                    return Err(format!("scheduled point lost across shutdown: {p:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}

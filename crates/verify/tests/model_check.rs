@@ -1,0 +1,254 @@
+//! The exhaustive model-check runs the acceptance criteria name: all
+//! three protocol machines explore clean (every enumerated
+//! `(state, event)` pair handled, no deadlock, every invariant holds)
+//! with at least 1k distinct states covered in total.
+
+use specfetch_verify::{
+    explore, job_step, point_step, random_walk, replay_of, replay_step, Counters, JobEvent,
+    JobMachine, JobPhase, JobState, PointEvent, PointState, Step, SweepEvent, SweepMachine,
+    SweepState, WorkerMachine, WorkerState, MAX_ATTEMPTS,
+};
+
+#[test]
+fn all_three_machines_explore_clean_with_over_1k_states() {
+    let worker = explore(&WorkerMachine::default(), 10_000).expect("worker protocol verifies");
+    let sweep = explore(&SweepMachine, 10_000).expect("journal lifecycle verifies");
+    let job = explore(&JobMachine, 10_000).expect("job lifecycle verifies");
+
+    let total = worker.states.len() + sweep.states.len() + job.states.len();
+    assert!(
+        total >= 1_000,
+        "need >= 1k distinct states across the machines, got {} (worker {}, sweep {}, job {})",
+        total,
+        worker.states.len(),
+        sweep.states.len(),
+        job.states.len()
+    );
+    assert!(worker.terminals >= 1);
+    assert!(sweep.terminals >= 1);
+    assert!(job.terminals >= 1);
+}
+
+#[test]
+fn worker_larger_groups_add_states_but_no_violations() {
+    let x = explore(&WorkerMachine { max_points: 6 }, 10_000).expect("verifies at any bound");
+    assert!(x.states.len() > explore(&WorkerMachine::default(), 10_000).unwrap().states.len());
+}
+
+/// ISSUE invariant: replay of any reachable WAL prefix yields a
+/// consistent Progress. Every reachable sweep state's counters agree
+/// with its point states (that is `SweepMachine::check`), and the
+/// lenient replay fold reproduces the strict writer on every prefix
+/// the writer can actually produce.
+#[test]
+fn replay_agrees_with_the_strict_writer_on_every_legal_edge() {
+    let all_states = [
+        PointState::Unscheduled,
+        PointState::Scheduled,
+        PointState::Attempting { attempt: 0 },
+        PointState::Attempting { attempt: 1 },
+        PointState::Attempting { attempt: MAX_ATTEMPTS },
+        PointState::Completed,
+        PointState::Failed,
+        PointState::Interrupted,
+    ];
+    let all_events = [
+        PointEvent::Schedule,
+        PointEvent::Attempt,
+        PointEvent::Complete,
+        PointEvent::Fail,
+        PointEvent::Interrupt,
+    ];
+    for s in all_states {
+        for e in all_events {
+            if let Step::Next(strict) = point_step(&s, &e) {
+                assert_eq!(
+                    replay_step(s, &e),
+                    strict,
+                    "replay diverges from the writer on ({s:?}, {e:?})"
+                );
+            }
+        }
+    }
+}
+
+/// The lenient fold is total: any event in any state lands somewhere
+/// (a torn WAL can present any suffix-free prefix to a resume).
+#[test]
+fn replay_is_total_over_hostile_prefixes() {
+    let all_states = [
+        PointState::Unscheduled,
+        PointState::Scheduled,
+        PointState::Attempting { attempt: MAX_ATTEMPTS },
+        PointState::Completed,
+        PointState::Failed,
+        PointState::Interrupted,
+    ];
+    let all_events = [
+        PointEvent::Schedule,
+        PointEvent::Attempt,
+        PointEvent::Complete,
+        PointEvent::Fail,
+        PointEvent::Interrupt,
+    ];
+    for s in all_states {
+        for e in all_events {
+            // Must not panic, and terminal successes never silently
+            // un-complete from stale existence events.
+            let next = replay_step(s, &e);
+            if s == PointState::Completed
+                && matches!(e, PointEvent::Schedule | PointEvent::Attempt | PointEvent::Interrupt)
+            {
+                assert_eq!(next, PointState::Completed);
+            }
+        }
+    }
+}
+
+/// ISSUE invariant: cancellation (shutdown) drains every in-flight
+/// point to Interrupted or a terminal it earned — never to a state a
+/// resume would lose. In every terminal sweep state reached after
+/// shutdown, every journalled point replays as Pending, Completed or
+/// Failed; none vanish.
+#[test]
+fn shutdown_never_loses_a_scheduled_point() {
+    let x = explore(&SweepMachine, 10_000).expect("journal lifecycle verifies");
+    let machine = SweepMachine;
+    use specfetch_verify::Machine;
+    for state in x.states.iter().filter(|s| s.shutdown && machine.is_terminal(s)) {
+        for p in &state.points {
+            match p {
+                PointState::Unscheduled => {} // never journalled; nothing owed
+                PointState::Scheduled | PointState::Attempting { .. } => {
+                    panic!("terminal shutdown state left a point in flight: {state:?}")
+                }
+                _ => assert!(replay_of(*p).is_some(), "journalled point lost: {p:?}"),
+            }
+        }
+        // A drained point is Interrupted (or earned Completed/Failed),
+        // and the counters account for every one of them.
+        let owed = state.points.iter().filter(|p| !matches!(p, PointState::Unscheduled)).count();
+        let accounted =
+            state.counters.completed + state.counters.failed + state.counters.interrupted;
+        assert_eq!(accounted as usize, owed, "{state:?}");
+    }
+}
+
+/// Cancellation drains to Interrupted, never to a fabricated terminal:
+/// a point that was Scheduled (no attempt ever ran) can only leave via
+/// Interrupt once shutdown is requested.
+#[test]
+fn a_never_attempted_point_cannot_fabricate_an_outcome_under_shutdown() {
+    use specfetch_verify::Machine;
+    let machine = SweepMachine;
+    let x = explore(&machine, 10_000).unwrap();
+    for state in x.states.iter().filter(|s| s.shutdown) {
+        for (idx, p) in state.points.iter().enumerate() {
+            if matches!(p, PointState::Scheduled) {
+                let evs = machine.events(state);
+                let mine: Vec<&SweepEvent> = evs
+                    .iter()
+                    .filter(|e| matches!(e, SweepEvent::Point { idx: i, .. } if *i == idx))
+                    .collect();
+                assert_eq!(mine.len(), 1, "{state:?}");
+                assert!(
+                    matches!(mine[0], SweepEvent::Point { event: PointEvent::Interrupt, .. }),
+                    "{state:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Worker protocol: from every reachable state, `done` or death is
+/// reachable — a supervisor never waits on a state that cannot resolve.
+#[test]
+fn every_worker_state_resolves() {
+    use specfetch_verify::Machine;
+    let machine = WorkerMachine::default();
+    let x = explore(&machine, 10_000).unwrap();
+    for s in &x.states {
+        if machine.is_terminal(s) {
+            continue;
+        }
+        // EOF is always a legal resolution path.
+        let evs = machine.events(s);
+        assert!(
+            evs.iter().any(|e| matches!(
+                machine.step(s, e),
+                Step::Next(WorkerState::Dead(_) | WorkerState::Complete { .. })
+            )),
+            "unresolvable worker state {s:?}"
+        );
+    }
+}
+
+/// Job lifecycle: every trajectory ends terminal, terminal states
+/// never observe a Finish (the driver reports exactly once), and a
+/// cancelled-while-queued job survives its stale queue entry.
+#[test]
+fn job_lifecycle_edges_match_the_controller() {
+    let q = JobPhase::queued();
+    // Queued -> cancel -> Cancelled, and the stale dequeue is absorbed.
+    let Step::Next(c) = job_step(&q, &JobEvent::Cancel) else { panic!() };
+    assert_eq!(c.state, JobState::Cancelled);
+    assert!(c.cancel_requested);
+    assert_eq!(job_step(&c, &JobEvent::Dequeue), Step::Stay);
+
+    // Queued -> dequeue -> Running -> cancel -> Draining -> any finish
+    // -> Cancelled (drain always lands on Cancelled).
+    let Step::Next(r) = job_step(&q, &JobEvent::Dequeue) else { panic!() };
+    let Step::Next(d) = job_step(&r, &JobEvent::Cancel) else { panic!() };
+    assert_eq!(d.state, JobState::Draining);
+    for (failed, interrupted) in [(false, false), (true, false), (false, true), (true, true)] {
+        let Step::Next(t) = job_step(&d, &JobEvent::Finish { failed, interrupted }) else {
+            panic!()
+        };
+        assert_eq!(t.state, JobState::Cancelled);
+    }
+
+    // An uncancelled run classifies by outcome.
+    for (failed, interrupted, want) in [
+        (false, false, JobState::Done),
+        (true, false, JobState::Failed),
+        (false, true, JobState::Cancelled),
+        (true, true, JobState::Cancelled),
+    ] {
+        let Step::Next(t) = job_step(&r, &JobEvent::Finish { failed, interrupted }) else {
+            panic!()
+        };
+        assert_eq!(t.state, want, "failed={failed} interrupted={interrupted}");
+    }
+}
+
+/// Random walks over the sweep machine are legal event sequences: the
+/// conformance property tests replay these into the real journal.
+#[test]
+fn sweep_walks_replay_to_consistent_counters() {
+    for seed in 0..64 {
+        let walk = random_walk(&SweepMachine, seed, 64);
+        let mut state = SweepState {
+            points: [PointState::Unscheduled; specfetch_verify::MODEL_POINTS],
+            shutdown: false,
+            counters: Counters::default(),
+        };
+        let mut replayed = [PointState::Unscheduled; specfetch_verify::MODEL_POINTS];
+        use specfetch_verify::Machine;
+        for e in &walk {
+            if let SweepEvent::Point { idx, event } = e {
+                replayed[*idx] = replay_step(replayed[*idx], event);
+            }
+            match SweepMachine.step(&state, e) {
+                Step::Next(n) => state = n,
+                Step::Stay => {}
+                Step::Unhandled => panic!("walk (seed {seed}) took an unhandled event {e:?}"),
+            }
+        }
+        SweepMachine.check(&state).expect("walked-to state passes invariants");
+        // The lenient reader agrees with the strict writer along the
+        // whole walked prefix.
+        for (i, p) in state.points.iter().enumerate() {
+            assert_eq!(replay_of(replayed[i]), replay_of(*p), "seed {seed} point {i}");
+        }
+    }
+}
